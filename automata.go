@@ -1,0 +1,84 @@
+package choreo
+
+import (
+	"repro/internal/afsa"
+	"repro/internal/formula"
+	"repro/internal/label"
+	"repro/internal/mapping"
+)
+
+// Annotated finite state automata (paper Defs. 1–4).
+type (
+	// Automaton is an annotated FSA: message-labeled transitions plus
+	// propositional state annotations marking mandatory alternatives.
+	Automaton = afsa.Automaton
+	// StateID identifies an automaton state.
+	StateID = afsa.StateID
+	// Transition is one labeled edge.
+	Transition = afsa.Transition
+	// Label is a message label "Sender#Receiver#op"; the empty label
+	// is ε.
+	Label = label.Label
+	// LabelSet is a set of labels (an automaton alphabet).
+	LabelSet = label.Set
+	// Formula is a propositional annotation formula (Def. 1).
+	Formula = formula.Formula
+	// Word is one message sequence.
+	Word = afsa.Word
+)
+
+// NewAutomaton returns an empty automaton with a diagnostic name.
+func NewAutomaton(name string) *Automaton { return afsa.New(name) }
+
+// NewLabel builds a message label from its parts.
+func NewLabel(sender, receiver, op string) Label { return label.New(sender, receiver, op) }
+
+// ParseLabel validates a textual label ("" parses to ε).
+func ParseLabel(s string) (Label, error) { return label.Parse(s) }
+
+// Epsilon is the silent label produced by view generation.
+const Epsilon = label.Epsilon
+
+// Formula constructors (Def. 1).
+var (
+	// True is the constant true formula.
+	True = formula.True
+	// False is the constant false formula.
+	False = formula.False
+	// Var is a message variable.
+	Var = formula.Var
+	// Not negates a formula.
+	Not = formula.Not
+	// And conjoins formulas (mandatory alternatives).
+	And = formula.And
+	// Or disjoins formulas.
+	Or = formula.Or
+)
+
+// ParseFormula reads the infix AND/OR/NOT notation.
+func ParseFormula(s string) (*Formula, error) { return formula.Parse(s) }
+
+// Consistent reports bilateral consistency of two public processes:
+// their intersection is annotated-non-empty (paper Sec. 3.2), which
+// guarantees deadlock-free interaction.
+func Consistent(a, b *Automaton) (bool, error) { return afsa.Consistent(a, b) }
+
+// Equivalent reports language and annotation equality of two automata.
+func Equivalent(a, b *Automaton) bool { return afsa.Equivalent(a, b) }
+
+// Public process generation (paper Sec. 3.3).
+type (
+	// PublicProcess is the result of deriving a public process: the
+	// minimized automaton plus the state↔block mapping table.
+	PublicProcess = mapping.Result
+	// MappingTable relates public-process states to BPEL blocks
+	// (paper Table 1).
+	MappingTable = mapping.Table
+)
+
+// DerivePublic generates the public process of a private one,
+// including the mapping table later used to locate private regions
+// affected by partner changes. The registry may be nil.
+func DerivePublic(p *Process, reg *Registry) (*PublicProcess, error) {
+	return mapping.Derive(p, reg)
+}

@@ -1,0 +1,390 @@
+// Command choreoctl is the command-line front end of the framework:
+//
+//	choreoctl derive   -in proc.xml [-dot]        derive the public process + mapping table
+//	choreoctl view     -in proc.xml -party P      bilateral view τ_P of the public process
+//	choreoctl check    -in a.xml -in b.xml ...    pairwise consistency of processes
+//	choreoctl classify -old old.xml -new new.xml -partner p.xml
+//	                                              classify a change (Defs. 5/6)
+//	choreoctl propagate -old old.xml -new new.xml -partner p.xml
+//	                                              plan the propagation and print suggestions
+//	choreoctl simulate -in a.xml -in b.xml ... [-walks n]
+//	                                              execute the choreography
+//
+// Processes are BPEL-flavored XML as produced by MarshalProcessXML;
+// operations referenced by the processes are registered implicitly
+// (asynchronous) unless -sync party.op flags mark them synchronous.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	choreo "repro"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	cmd, args := os.Args[1], os.Args[2:]
+	var err error
+	switch cmd {
+	case "derive":
+		err = runDerive(args)
+	case "view":
+		err = runView(args)
+	case "check":
+		err = runCheck(args)
+	case "classify":
+		err = runClassify(args)
+	case "propagate":
+		err = runPropagate(args)
+	case "simulate":
+		err = runSimulate(args)
+	case "help", "-h", "--help":
+		usage()
+	default:
+		fmt.Fprintf(os.Stderr, "choreoctl: unknown command %q\n", cmd)
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "choreoctl:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage: choreoctl <command> [flags]
+
+commands:
+  derive     derive the public process and mapping table of a private process
+  view       compute the bilateral view of a public process
+  check      check pairwise consistency of two or more processes
+  classify   classify a change of one process against a partner
+  propagate  plan the propagation of a variant change
+  simulate   execute a choreography (exhaustive + random walks)`)
+}
+
+// multiFlag collects repeated -in flags.
+type multiFlag []string
+
+func (m *multiFlag) String() string     { return strings.Join(*m, ",") }
+func (m *multiFlag) Set(s string) error { *m = append(*m, s); return nil }
+
+func loadProcess(path string) (*choreo.Process, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return choreo.UnmarshalProcessXML(data)
+}
+
+// buildRegistry registers every operation the processes mention so the
+// derivation validates; sync flags mark synchronous operations.
+func buildRegistry(procs []*choreo.Process, syncOps []string) (*choreo.Registry, error) {
+	reg := choreo.NewRegistry()
+	isSync := map[string]bool{}
+	for _, s := range syncOps {
+		isSync[s] = true
+	}
+	seen := map[string]bool{}
+	add := func(owner, op string) error {
+		key := owner + "." + op
+		if seen[key] {
+			return nil
+		}
+		seen[key] = true
+		return reg.AddOperation(owner, op, isSync[key])
+	}
+	var err error
+	for _, p := range procs {
+		owner := p.Owner
+		choreo.Walk(p.Body, func(a choreo.Activity, _ choreo.Path) bool {
+			if err != nil {
+				return false
+			}
+			switch t := a.(type) {
+			case *choreo.Receive:
+				err = add(owner, t.Op)
+			case *choreo.Reply:
+				err = add(owner, t.Op)
+			case *choreo.Invoke:
+				err = add(t.Partner, t.Op)
+			case *choreo.Pick:
+				for _, b := range t.Branches {
+					if err == nil {
+						err = add(owner, b.Op)
+					}
+				}
+			}
+			return err == nil
+		})
+	}
+	return reg, err
+}
+
+func runDerive(args []string) error {
+	fs := flag.NewFlagSet("derive", flag.ExitOnError)
+	in := fs.String("in", "", "private process XML file")
+	dot := fs.Bool("dot", false, "emit Graphviz dot instead of text")
+	var syncOps multiFlag
+	fs.Var(&syncOps, "sync", "mark party.op as synchronous (repeatable)")
+	fs.Parse(args)
+	if *in == "" {
+		return fmt.Errorf("derive: -in required")
+	}
+	p, err := loadProcess(*in)
+	if err != nil {
+		return err
+	}
+	reg, err := buildRegistry([]*choreo.Process{p}, syncOps)
+	if err != nil {
+		return err
+	}
+	pub, err := choreo.DerivePublic(p, reg)
+	if err != nil {
+		return err
+	}
+	if *dot {
+		fmt.Print(pub.Automaton.DOT())
+	} else {
+		fmt.Print(pub.Automaton.DebugString())
+	}
+	fmt.Println("mapping table:")
+	fmt.Print(pub.Table)
+	return nil
+}
+
+func runView(args []string) error {
+	fs := flag.NewFlagSet("view", flag.ExitOnError)
+	in := fs.String("in", "", "private process XML file")
+	party := fs.String("party", "", "viewing party")
+	dot := fs.Bool("dot", false, "emit Graphviz dot")
+	var syncOps multiFlag
+	fs.Var(&syncOps, "sync", "mark party.op as synchronous (repeatable)")
+	fs.Parse(args)
+	if *in == "" || *party == "" {
+		return fmt.Errorf("view: -in and -party required")
+	}
+	p, err := loadProcess(*in)
+	if err != nil {
+		return err
+	}
+	reg, err := buildRegistry([]*choreo.Process{p}, syncOps)
+	if err != nil {
+		return err
+	}
+	pub, err := choreo.DerivePublic(p, reg)
+	if err != nil {
+		return err
+	}
+	v := pub.Automaton.View(*party)
+	if *dot {
+		fmt.Print(v.DOT())
+	} else {
+		fmt.Print(v.DebugString())
+	}
+	return nil
+}
+
+func loadAll(paths []string, syncOps []string) ([]*choreo.Process, *choreo.Registry, error) {
+	if len(paths) < 2 {
+		return nil, nil, fmt.Errorf("need at least two -in processes")
+	}
+	var procs []*choreo.Process
+	for _, path := range paths {
+		p, err := loadProcess(path)
+		if err != nil {
+			return nil, nil, err
+		}
+		procs = append(procs, p)
+	}
+	reg, err := buildRegistry(procs, syncOps)
+	return procs, reg, err
+}
+
+func runCheck(args []string) error {
+	fs := flag.NewFlagSet("check", flag.ExitOnError)
+	var ins, syncOps multiFlag
+	fs.Var(&ins, "in", "private process XML file (repeatable)")
+	fs.Var(&syncOps, "sync", "mark party.op as synchronous (repeatable)")
+	fs.Parse(args)
+	procs, reg, err := loadAll(ins, syncOps)
+	if err != nil {
+		return err
+	}
+	c := choreo.NewChoreography(reg)
+	for _, p := range procs {
+		if err := c.AddParty(p); err != nil {
+			return err
+		}
+	}
+	rep, err := c.Check()
+	if err != nil {
+		return err
+	}
+	fmt.Print(rep)
+	if !rep.Consistent() {
+		os.Exit(1)
+	}
+	return nil
+}
+
+func runClassify(args []string) error {
+	fs := flag.NewFlagSet("classify", flag.ExitOnError)
+	oldF := fs.String("old", "", "originator process before the change")
+	newF := fs.String("new", "", "originator process after the change")
+	partnerF := fs.String("partner", "", "partner process")
+	var syncOps multiFlag
+	fs.Var(&syncOps, "sync", "mark party.op as synchronous (repeatable)")
+	fs.Parse(args)
+	if *oldF == "" || *newF == "" || *partnerF == "" {
+		return fmt.Errorf("classify: -old, -new and -partner required")
+	}
+	oldP, err := loadProcess(*oldF)
+	if err != nil {
+		return err
+	}
+	newP, err := loadProcess(*newF)
+	if err != nil {
+		return err
+	}
+	partnerP, err := loadProcess(*partnerF)
+	if err != nil {
+		return err
+	}
+	reg, err := buildRegistry([]*choreo.Process{oldP, newP, partnerP}, syncOps)
+	if err != nil {
+		return err
+	}
+	oldPub, err := choreo.DerivePublic(oldP, reg)
+	if err != nil {
+		return err
+	}
+	newPub, err := choreo.DerivePublic(newP, reg)
+	if err != nil {
+		return err
+	}
+	partnerPub, err := choreo.DerivePublic(partnerP, reg)
+	if err != nil {
+		return err
+	}
+	partner := partnerP.Owner
+	oldView := oldPub.Automaton.View(partner)
+	newView := newPub.Automaton.View(partner)
+	kind := choreo.ClassifyChange(oldView, newView)
+	scope, err := choreo.ClassifyScope(newView, partnerPub.Automaton.View(oldP.Owner))
+	if err != nil {
+		return err
+	}
+	fmt.Printf("change kind:  %s (Def. 5)\nchange scope: %s (Def. 6)\n", kind, scope)
+	if scope == choreo.ScopeVariant {
+		fmt.Println("propagation to the partner is REQUIRED (Sec. 5)")
+	} else {
+		fmt.Println("no propagation necessary")
+	}
+	return nil
+}
+
+func runPropagate(args []string) error {
+	fs := flag.NewFlagSet("propagate", flag.ExitOnError)
+	oldF := fs.String("old", "", "originator process before the change")
+	newF := fs.String("new", "", "originator process after the change")
+	partnerF := fs.String("partner", "", "partner process")
+	var syncOps multiFlag
+	fs.Var(&syncOps, "sync", "mark party.op as synchronous (repeatable)")
+	fs.Parse(args)
+	if *oldF == "" || *newF == "" || *partnerF == "" {
+		return fmt.Errorf("propagate: -old, -new and -partner required")
+	}
+	oldP, err := loadProcess(*oldF)
+	if err != nil {
+		return err
+	}
+	newP, err := loadProcess(*newF)
+	if err != nil {
+		return err
+	}
+	partnerP, err := loadProcess(*partnerF)
+	if err != nil {
+		return err
+	}
+	reg, err := buildRegistry([]*choreo.Process{oldP, newP, partnerP}, syncOps)
+	if err != nil {
+		return err
+	}
+	c := choreo.NewChoreography(reg)
+	if err := c.AddParty(oldP); err != nil {
+		return err
+	}
+	if err := c.AddParty(partnerP); err != nil {
+		return err
+	}
+	// Express the change as a whole-body replacement of the
+	// originator's process.
+	op := choreo.Replace{Path: nil, New: newP.Body}
+	rep, err := c.Evolve(oldP.Owner, op)
+	if err != nil {
+		return err
+	}
+	for _, im := range rep.Impacts {
+		fmt.Printf("partner %s: view changed=%v", im.Partner, im.ViewChanged)
+		if im.ViewChanged {
+			fmt.Printf(", %s, %s", im.Classification.Kind, im.Classification.Scope)
+		}
+		fmt.Println()
+		for _, plan := range im.Plans {
+			fmt.Printf("  difference automaton: %d states\n", plan.Diff.NumStates())
+			fmt.Printf("  adapted partner public: %d states\n", plan.NewPartnerPublic.NumStates())
+			for _, r := range plan.Regions {
+				fmt.Println("  region:", r)
+			}
+		}
+		for _, s := range im.Suggestions {
+			fmt.Println("  suggestion:", s)
+		}
+	}
+	return nil
+}
+
+func runSimulate(args []string) error {
+	fs := flag.NewFlagSet("simulate", flag.ExitOnError)
+	var ins, syncOps multiFlag
+	fs.Var(&ins, "in", "private process XML file (repeatable)")
+	fs.Var(&syncOps, "sync", "mark party.op as synchronous (repeatable)")
+	walks := fs.Int("walks", 100, "number of random walks")
+	seed := fs.Int64("seed", 1, "random walk seed")
+	fs.Parse(args)
+	procs, reg, err := loadAll(ins, syncOps)
+	if err != nil {
+		return err
+	}
+	parties := map[string]*choreo.Automaton{}
+	for _, p := range procs {
+		pub, err := choreo.DerivePublic(p, reg)
+		if err != nil {
+			return err
+		}
+		parties[p.Owner] = pub.Automaton
+	}
+	sys, err := choreo.NewSystem(parties)
+	if err != nil {
+		return err
+	}
+	res := sys.Explore(0)
+	fmt.Printf("global states: %d\ncompletions: %d\ndeadlock free: %v\n",
+		res.States, res.Completions, res.DeadlockFree())
+	for _, f := range res.Failures {
+		fmt.Println("failure:", f)
+	}
+	rate := sys.FailureRate(*seed, *walks, 1000)
+	fmt.Printf("random-walk failure rate (%d walks): %.2f%%\n", *walks, 100*rate)
+	if !res.DeadlockFree() {
+		os.Exit(1)
+	}
+	return nil
+}

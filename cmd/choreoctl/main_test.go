@@ -1,0 +1,140 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	choreo "repro"
+)
+
+func writeFixture(t *testing.T, name, content string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+const buyerXML = `
+<process name="buyer" owner="B">
+  <sequence name="buyer process">
+    <invoke name="order" partner="A" operation="orderOp"/>
+    <receive name="delivery" partner="A" operation="deliveryOp"/>
+  </sequence>
+</process>`
+
+const accXML = `
+<process name="accounting" owner="A">
+  <sequence name="acc process">
+    <receive name="order" partner="B" operation="orderOp"/>
+    <invoke name="delivery" partner="B" operation="deliveryOp"/>
+  </sequence>
+</process>`
+
+func TestLoadProcess(t *testing.T) {
+	path := writeFixture(t, "buyer.xml", buyerXML)
+	p, err := loadProcess(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Owner != "B" || p.Name != "buyer" {
+		t.Fatalf("loaded %q/%q", p.Name, p.Owner)
+	}
+	if _, err := loadProcess(filepath.Join(t.TempDir(), "missing.xml")); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}
+
+func TestBuildRegistryInfersOperations(t *testing.T) {
+	buyer, err := loadProcess(writeFixture(t, "buyer.xml", buyerXML))
+	if err != nil {
+		t.Fatal(err)
+	}
+	acc, err := loadProcess(writeFixture(t, "acc.xml", accXML))
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg, err := buildRegistry([]*choreo.Process{buyer, acc}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// orderOp belongs to A (received by A / invoked at A), deliveryOp
+	// to B.
+	if _, ok := reg.Lookup("A", "orderOp"); !ok {
+		t.Fatal("orderOp not registered for A")
+	}
+	if _, ok := reg.Lookup("B", "deliveryOp"); !ok {
+		t.Fatal("deliveryOp not registered for B")
+	}
+	if reg.Sync("A", "orderOp") {
+		t.Fatal("async op registered as sync")
+	}
+}
+
+func TestBuildRegistrySyncFlag(t *testing.T) {
+	src := `
+<process name="p" owner="A">
+  <invoke name="i" partner="L" operation="statusOp" sync="true"/>
+</process>`
+	p, err := loadProcess(writeFixture(t, "p.xml", src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg, err := buildRegistry([]*choreo.Process{p}, []string{"L.statusOp"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reg.Sync("L", "statusOp") {
+		t.Fatal("sync flag ignored")
+	}
+	// The process validates against the registry (sync agreement).
+	if _, err := choreo.DerivePublic(p, reg); err != nil {
+		t.Fatalf("derive with sync registry: %v", err)
+	}
+}
+
+func TestMultiFlag(t *testing.T) {
+	var m multiFlag
+	if err := m.Set("a"); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Set("b"); err != nil {
+		t.Fatal(err)
+	}
+	if m.String() != "a,b" || len(m) != 2 {
+		t.Fatalf("multiFlag = %v", m)
+	}
+}
+
+// TestEndToEndPipeline drives derive + consistency + classification
+// through the same helpers the CLI uses.
+func TestEndToEndPipeline(t *testing.T) {
+	buyer, err := loadProcess(writeFixture(t, "buyer.xml", buyerXML))
+	if err != nil {
+		t.Fatal(err)
+	}
+	acc, err := loadProcess(writeFixture(t, "acc.xml", accXML))
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg, err := buildRegistry([]*choreo.Process{buyer, acc}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := choreo.NewChoreography(reg)
+	if err := c.AddParty(buyer); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.AddParty(acc); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := c.Check()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Consistent() {
+		t.Fatalf("fixture choreography inconsistent:\n%s", rep)
+	}
+}

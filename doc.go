@@ -1,0 +1,52 @@
+// Package choreo is a Go implementation of the controlled-evolution
+// framework for process choreographies of Rinderle, Wombacher and
+// Reichert ("On the Controlled Evolution of Process Choreographies",
+// ICDE 2006).
+//
+// A choreography is a set of partner processes interacting by message
+// exchange. Each party implements a *private* process (a
+// block-structured BPEL subset, see Process); its observable behavior
+// is the *public* process, an annotated finite state automaton
+// (Automaton) derived automatically together with a mapping table
+// relating automaton states back to BPEL blocks (DerivePublic).
+// Bilateral consistency — a non-empty annotated intersection of the
+// partners' mutual views — guarantees deadlock-free interaction.
+//
+// When a party changes its private process, the framework recreates
+// the public view, classifies the change (additive/subtractive ×
+// invariant/variant) and, for variant changes, computes for every
+// affected partner a propagation plan: the difference automaton, the
+// adapted partner public process, the private-process regions to
+// touch, and ready-to-apply adaptation suggestions. The partner stays
+// autonomous: suggestions are applied explicitly.
+//
+// # Quick start
+//
+//	reg := choreo.NewRegistry()
+//	reg.AddOperation("A", "pingOp", false)
+//	reg.AddOperation("B", "pongOp", false)
+//
+//	server := &choreo.Process{Name: "server", Owner: "A",
+//		Body: &choreo.Sequence{BlockName: "srv", Children: []choreo.Activity{
+//			&choreo.Receive{BlockName: "ping", Partner: "B", Op: "pingOp"},
+//			&choreo.Invoke{BlockName: "pong", Partner: "B", Op: "pongOp"},
+//		}}}
+//	client := &choreo.Process{Name: "client", Owner: "B",
+//		Body: &choreo.Sequence{BlockName: "cli", Children: []choreo.Activity{
+//			&choreo.Invoke{BlockName: "ping", Partner: "A", Op: "pingOp"},
+//			&choreo.Receive{BlockName: "pong", Partner: "A", Op: "pongOp"},
+//		}}}
+//
+//	c := choreo.NewChoreography(reg)
+//	c.AddParty(server)
+//	c.AddParty(client)
+//	report, _ := c.Check()          // bilateral consistency of all pairs
+//	evo, _ := c.Evolve("A", choreo.Delete{Path: choreo.Path{"Sequence:srv", "Invoke:pong"}})
+//	// evo.Impacts[0].Classification → subtractive, variant
+//	// evo.Impacts[0].Suggestions    → how the client should adapt
+//
+// The runnable examples under examples/ walk through the paper's
+// procurement scenario end to end, including both propagation
+// scenarios (Secs. 5.2 and 5.3), service discovery and instance
+// migration.
+package choreo

@@ -1,0 +1,85 @@
+package choreo_test
+
+import (
+	"fmt"
+	"log"
+
+	choreo "repro"
+)
+
+// Example reproduces the smallest end-to-end flow: build a two-party
+// choreography, check consistency, evolve one side and inspect the
+// classification.
+func Example() {
+	reg := choreo.NewRegistry()
+	if err := reg.AddOperation("A", "pingOp", false); err != nil {
+		log.Fatal(err)
+	}
+	if err := reg.AddOperation("B", "pongOp", false); err != nil {
+		log.Fatal(err)
+	}
+
+	server := &choreo.Process{Name: "server", Owner: "A",
+		Body: &choreo.Sequence{BlockName: "srv", Children: []choreo.Activity{
+			&choreo.Receive{BlockName: "ping", Partner: "B", Op: "pingOp"},
+			&choreo.Invoke{BlockName: "pong", Partner: "B", Op: "pongOp"},
+		}}}
+	client := &choreo.Process{Name: "client", Owner: "B",
+		Body: &choreo.Sequence{BlockName: "cli", Children: []choreo.Activity{
+			&choreo.Invoke{BlockName: "ping", Partner: "A", Op: "pingOp"},
+			&choreo.Receive{BlockName: "pong", Partner: "A", Op: "pongOp"},
+		}}}
+
+	c := choreo.NewChoreography(reg)
+	if err := c.AddParty(server); err != nil {
+		log.Fatal(err)
+	}
+	if err := c.AddParty(client); err != nil {
+		log.Fatal(err)
+	}
+	report, err := c.Check()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("consistent: %v\n", report.Consistent())
+
+	evo, err := c.Evolve("A", choreo.Delete{Path: choreo.Path{"Sequence:srv", "Invoke:pong"}})
+	if err != nil {
+		log.Fatal(err)
+	}
+	im := evo.Impacts[0]
+	fmt.Printf("change for %s: %s, %s\n", im.Partner, im.Classification.Kind, im.Classification.Scope)
+	// Output:
+	// consistent: true
+	// change for B: additive+subtractive, variant
+}
+
+// ExampleDerivePublic derives the paper's buyer public process
+// (Fig. 6) and prints the mapping table of Table 1.
+func ExampleDerivePublic() {
+	pub, err := choreo.DerivePublic(choreo.PaperBuyer(), choreo.PaperRegistry())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("states: %d\n", pub.Automaton.NumStates())
+	fmt.Print(pub.Table)
+	// Output:
+	// states: 5
+	// 0: BPELProcess, Sequence:buyer process
+	// 1: Sequence:buyer process
+	// 2: Sequence:buyer process, While:tracking, Switch:termination?, Sequence:cond continue, Sequence:cond terminate
+	// 3: Sequence:cond continue
+	// 4: Sequence:cond terminate
+}
+
+// ExampleConsistent shows the Fig. 5 worked example: a shared message
+// is not enough when a mandatory alternative is missing.
+func ExampleConsistent() {
+	ok, err := choreo.Consistent(choreo.Fig5PartyA(), choreo.Fig5PartyB())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("fig5 consistent: %v\n", ok)
+	// Output:
+	// fig5 consistent: false
+}

@@ -1,0 +1,93 @@
+// Command cancel_propagation replays the paper's variant *additive*
+// change scenario (Sec. 5.2, Figs. 11–14): the accounting department
+// introduces an order-cancellation option; the framework detects that
+// the change breaks consistency with the buyer, plans the propagation
+// and suggests the buyer adaptation (widening the delivery receive
+// into a pick), which is then applied and verified.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	choreo "repro"
+)
+
+func main() {
+	c, err := choreo.PaperScenario()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// The change: wrap the accounting tail into a credit-check switch
+	// with a cancel alternative (paper Fig. 11).
+	op := choreo.PaperCancelChange()
+	fmt.Printf("applying change: %s\n\n", op)
+
+	report, err := c.Evolve("A", op)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("public process changed: %v\n", report.PublicChanged)
+	for _, im := range report.Impacts {
+		if !im.ViewChanged {
+			fmt.Printf("partner %s: view unchanged — nothing to do\n", im.Partner)
+			continue
+		}
+		fmt.Printf("partner %s: %s, %s\n", im.Partner, im.Classification.Kind, im.Classification.Scope)
+	}
+
+	// The buyer impact is variant: propagation needed (paper Fig. 12).
+	var buyer choreo.PartnerImpact
+	for _, im := range report.Impacts {
+		if im.Partner == "B" {
+			buyer = im
+		}
+	}
+	fmt.Println("\n=== Buyer view after the change (paper Fig. 12a) ===")
+	fmt.Print(buyer.NewView.DebugString())
+
+	plan := buyer.Plans[0]
+	fmt.Println("\n=== Added sequences A'' = τ_B(A') \\ B (paper Fig. 13a) ===")
+	fmt.Print(plan.Diff.DebugString())
+	fmt.Println("\n=== Adapted buyer public B' = A'' ∪ B (paper Fig. 13b) ===")
+	fmt.Print(plan.NewPartnerPublic.DebugString())
+
+	fmt.Println("\n=== Located regions and suggestions (steps 3–4) ===")
+	for _, r := range plan.Regions {
+		fmt.Println(" region:", r)
+	}
+	for _, s := range buyer.Suggestions {
+		fmt.Println(" suggestion:", s)
+	}
+
+	// Apply the executable suggestion (paper Fig. 14) and verify
+	// (step 5).
+	ops := choreo.ExecutableSuggestions(buyer.Suggestions)
+	newBuyer, res, err := c.AdaptPartner("B", ops)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\n=== Buyer private process after propagation (paper Fig. 14) ===")
+	fmt.Print(newBuyer)
+
+	ok, err := choreo.Consistent(buyer.NewView, res.Automaton.View("A"))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nbilaterally consistent again: %v\n", ok)
+
+	// Commit both sides and re-check the whole choreography.
+	if err := c.Commit(report); err != nil {
+		log.Fatal(err)
+	}
+	if err := c.CommitParty(newBuyer); err != nil {
+		log.Fatal(err)
+	}
+	check, err := c.Check()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\n=== Final choreography ===")
+	fmt.Print(check)
+}

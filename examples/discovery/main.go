@@ -1,0 +1,74 @@
+// Command discovery demonstrates consistency-based service
+// matchmaking (paper Sec. 6, the IPSI-PF line of work): a registry of
+// published public processes is queried with the buyer's public
+// process. Message-overlap matching (the keyword baseline) returns
+// false positives that the consistency matcher rejects.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	choreo "repro"
+)
+
+func main() {
+	reg := choreo.PaperRegistry()
+
+	buyerPub, err := choreo.DerivePublic(choreo.PaperBuyer(), reg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	accPub, err := choreo.DerivePublic(choreo.PaperAccounting(), reg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// A look-alike accounting service that shares the buyer's message
+	// vocabulary but never sends the delivery confirmation — a
+	// protocol-level mismatch invisible to keyword matching.
+	lookalike := choreo.NewAutomaton("lookalike accounting")
+	q0 := lookalike.AddState()
+	q1 := lookalike.AddState()
+	q2 := lookalike.AddState()
+	lookalike.SetStart(q0)
+	lookalike.SetFinal(q2, true)
+	lookalike.AddTransition(q0, choreo.NewLabel("B", "A", "orderOp"), q1)
+	lookalike.AddTransition(q1, choreo.NewLabel("B", "A", "terminateOp"), q2)
+	// It mandates an immediate terminate without ever delivering:
+	lookalike.Annotate(q1, choreo.Var("B#A#terminateOp"))
+
+	registry := choreo.NewServiceRegistry()
+	if err := registry.Publish("accounting", accPub.Automaton.View("B")); err != nil {
+		log.Fatal(err)
+	}
+	if err := registry.Publish("lookalike", lookalike); err != nil {
+		log.Fatal(err)
+	}
+
+	query := buyerPub.Automaton
+
+	overlap := registry.MatchOverlap(query)
+	fmt.Println("overlap matches (baseline):")
+	for _, m := range overlap {
+		fmt.Println("  -", m.Name)
+	}
+
+	consistent, err := registry.MatchConsistent(query)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("consistency matches (paper Sec. 3.2):")
+	for _, m := range consistent {
+		fmt.Println("  -", m.Name)
+	}
+
+	truth := map[string]bool{"accounting": true, "lookalike": false}
+	for _, ev := range []choreo.MatchEvaluation{
+		choreo.EvaluateMatches("overlap", overlap, truth),
+		choreo.EvaluateMatches("consistent", consistent, truth),
+	} {
+		fmt.Printf("%-10s precision=%.2f recall=%.2f (TP=%d FP=%d FN=%d)\n",
+			ev.Matcher, ev.Precision, ev.Recall, ev.TruePositives, ev.FalsePositives, ev.FalseNegatives)
+	}
+}

@@ -1,0 +1,70 @@
+// Command migration demonstrates the instance-migration extension
+// (paper Sec. 8 / ADEPT line of work): running buyer conversations are
+// classified against the bounded-tracking schema produced by the
+// subtractive propagation scenario. Fresh and single-round instances
+// migrate; instances that already tracked twice are blocked.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	choreo "repro"
+)
+
+func main() {
+	reg := choreo.PaperRegistry()
+
+	oldPub, err := choreo.DerivePublic(choreo.PaperBuyer(), reg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Evolve the choreography: accounting bounds tracking, the buyer
+	// adaptation is applied (Sec. 5.3 flow), yielding the new buyer
+	// schema.
+	c, err := choreo.PaperScenario()
+	if err != nil {
+		log.Fatal(err)
+	}
+	report, err := c.Evolve("A", choreo.PaperTrackingLimitChange())
+	if err != nil {
+		log.Fatal(err)
+	}
+	var buyerImpact choreo.PartnerImpact
+	for _, im := range report.Impacts {
+		if im.Partner == "B" {
+			buyerImpact = im
+		}
+	}
+	newBuyer, newRes, err := c.AdaptPartner("B", choreo.ExecutableSuggestions(buyerImpact.Suggestions))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("new buyer schema: %q (%d states)\n\n", newBuyer.Name, newRes.Automaton.NumStates())
+
+	// Sample running instances of the OLD schema and migrate them.
+	instances := choreo.SampleInstances(oldPub.Automaton, 2026, 1000, 12)
+	rep, err := choreo.MigrateInstances(instances, newRes.Automaton)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("instances:      %d\n", rep.Total)
+	fmt.Printf("migratable:     %d (%.1f%%)\n", rep.Migratable, 100*rep.MigratableFraction())
+	fmt.Printf("non-replayable: %d\n", rep.NonReplayable)
+	fmt.Printf("unviable:       %d\n", rep.Unviable)
+
+	// Show one concrete instance of each outcome.
+	shown := map[choreo.MigrationStatus]bool{}
+	for _, inst := range instances {
+		st, err := choreo.CheckInstance(inst, newRes.Automaton)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if !shown[st] {
+			shown[st] = true
+			fmt.Printf("\n%s example (%s): %s", st, inst.ID, choreo.Word(inst.Trace))
+		}
+	}
+	fmt.Println()
+}

@@ -1,0 +1,75 @@
+// Command monitoring demonstrates conformance monitoring: message
+// logs of the procurement choreography are replayed against the agreed
+// public processes; a log produced by an *uncontrolled* accounting
+// change is localized on the wire, and drift detection identifies the
+// unpublished cancel message from the logs alone.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	choreo "repro"
+)
+
+func lbl(s string) choreo.Label {
+	l, err := choreo.ParseLabel(s)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return l
+}
+
+func trace(labels ...string) []choreo.Label {
+	out := make([]choreo.Label, len(labels))
+	for i, s := range labels {
+		out[i] = lbl(s)
+	}
+	return out
+}
+
+func main() {
+	reg := choreo.PaperRegistry()
+	parties := map[string]*choreo.Automaton{}
+	for _, p := range []*choreo.Process{choreo.PaperBuyer(), choreo.PaperAccounting(), choreo.PaperLogistics()} {
+		pub, err := choreo.DerivePublic(p, reg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		parties[p.Owner] = pub.Automaton
+	}
+
+	// A clean conversation conforms.
+	ok := trace(
+		"B#A#orderOp", "A#L#deliverOp", "L#A#deliver_confOp", "A#B#deliveryOp",
+		"B#A#terminateOp", "A#L#terminateLOp")
+	dev, complete, err := choreo.CheckTrace(parties, ok)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("clean log:  deviation=%v complete=%v\n", dev, complete)
+
+	// A log from the wire after accounting changed without telling
+	// anyone: the monitor holds the *published* accounting process, so
+	// the cancel is localized as an illegal send by A.
+	bad := trace("B#A#orderOp", "A#B#cancelOp")
+	dev, _, err = choreo.CheckTrace(parties, bad)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("drifted log: %v\n", dev)
+
+	// Drift detection from a batch of logs: the unpublished cancel
+	// surfaces as novel behavior of the accounting department.
+	published := parties["A"].View("B")
+	logs := [][]choreo.Label{
+		trace("B#A#orderOp", "A#B#deliveryOp", "B#A#terminateOp"),
+		trace("B#A#orderOp", "A#B#cancelOp"),
+		trace("B#A#orderOp", "A#B#deliveryOp", "B#A#getStatusOp", "A#B#statusOp", "B#A#terminateOp"),
+	}
+	drift := choreo.DetectDrift("A", published, logs)
+	fmt.Printf("drift detected: %v\n", drift.Drifted())
+	for _, h := range drift.Novel {
+		fmt.Println("  novel behavior:", h)
+	}
+}

@@ -1,0 +1,96 @@
+// Command tracking_limit replays the paper's variant *subtractive*
+// change scenario (Sec. 5.3, Figs. 15–18): the accounting department
+// bounds parcel tracking to at most one round; the buyer's unlimited
+// tracking loop becomes inconsistent and is replaced, via the
+// suggestion engine, by its bounded unrolling.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	choreo "repro"
+)
+
+func main() {
+	c, err := choreo.PaperScenario()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	op := choreo.PaperTrackingLimitChange()
+	fmt.Printf("applying change: %s\n\n", op)
+
+	report, err := c.Evolve("A", op)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, im := range report.Impacts {
+		fmt.Printf("partner %s: view changed=%v", im.Partner, im.ViewChanged)
+		if im.ViewChanged {
+			fmt.Printf(" — %s, %s", im.Classification.Kind, im.Classification.Scope)
+		}
+		fmt.Println()
+	}
+
+	var buyer choreo.PartnerImpact
+	for _, im := range report.Impacts {
+		if im.Partner == "B" {
+			buyer = im
+		}
+	}
+
+	fmt.Println("\n=== Buyer view after the change (paper Fig. 16a) ===")
+	fmt.Print(buyer.NewView.DebugString())
+
+	plan := buyer.Plans[0]
+	fmt.Println("\n=== Removed sequences (paper Fig. 17a) accept e.g. two tracking rounds ===")
+	fmt.Println("states:", plan.Diff.NumStates())
+	fmt.Println("\n=== Adapted buyer public (paper Fig. 17b) ===")
+	fmt.Print(plan.NewPartnerPublic.DebugString())
+
+	fmt.Println("\n=== Regions (the paper points at While:tracking) ===")
+	for _, r := range plan.Regions {
+		fmt.Println(" region:", r)
+	}
+	for _, s := range buyer.Suggestions {
+		fmt.Println(" suggestion:", s)
+	}
+
+	ops := choreo.ExecutableSuggestions(buyer.Suggestions)
+	newBuyer, res, err := c.AdaptPartner("B", ops)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\n=== Buyer private process after propagation (paper Fig. 18) ===")
+	fmt.Print(newBuyer)
+
+	ok, err := choreo.Consistent(buyer.NewView, res.Automaton.View("A"))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nbilaterally consistent again: %v\n", ok)
+
+	// The logistics partner needs no adaptation: its tracking loop is
+	// a pick (external choice), so the bounded accounting process
+	// never violates a logistics-mandatory alternative.
+	for _, im := range report.Impacts {
+		if im.Partner == "L" {
+			fmt.Printf("logistics: %s, %s — no propagation required\n",
+				im.Classification.Kind, im.Classification.Scope)
+		}
+	}
+
+	if err := c.Commit(report); err != nil {
+		log.Fatal(err)
+	}
+	if err := c.CommitParty(newBuyer); err != nil {
+		log.Fatal(err)
+	}
+	check, err := c.Check()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\n=== Final choreography ===")
+	fmt.Print(check)
+}

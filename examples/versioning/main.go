@@ -1,0 +1,110 @@
+// Command versioning demonstrates the co-existence of choreography
+// schema versions (paper Sec. 8): the buyer evolves through the
+// Sec. 5.3 propagation, running instances are migrated where
+// compliant, and the rest keep executing on the old version. A
+// decentralized negotiation introduces the change across partners
+// first.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	choreo "repro"
+)
+
+func main() {
+	reg := choreo.PaperRegistry()
+
+	// Version 0: the original buyer.
+	v0, err := choreo.DerivePublic(choreo.PaperBuyer(), reg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	history, err := choreo.NewVersionHistory("B", choreo.PaperBuyer(), v0.Automaton)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// The accounting department proposes the tracking-limit change via
+	// the decentralized negotiation protocol; the buyer's adapter runs
+	// the framework's own propagation pipeline.
+	c, err := choreo.PaperScenario()
+	if err != nil {
+		log.Fatal(err)
+	}
+	rep, err := c.Evolve("A", choreo.PaperTrackingLimitChange())
+	if err != nil {
+		log.Fatal(err)
+	}
+	var buyerImpact choreo.PartnerImpact
+	for _, im := range rep.Impacts {
+		if im.Partner == "B" {
+			buyerImpact = im
+		}
+	}
+	var adaptedBuyer *choreo.Process
+	adapter := func(party string, newView *choreo.Automaton) (*choreo.Automaton, bool) {
+		if party != "B" {
+			return nil, false
+		}
+		proc, res, err := c.AdaptPartner("B", choreo.ExecutableSuggestions(buyerImpact.Suggestions))
+		if err != nil {
+			return nil, false
+		}
+		adaptedBuyer = proc
+		return res.Automaton, true
+	}
+
+	logisticsParty, _ := c.Party("L")
+	buyerParty, _ := c.Party("B")
+	partners := []choreo.DecentralNode{
+		{Party: "B", Public: buyerParty.Public},
+		{Party: "L", Public: logisticsParty.Public},
+	}
+	views := map[string]*choreo.Automaton{
+		"B": rep.NewPublic.View("B"),
+		"L": rep.NewPublic.View("L"),
+	}
+	neg, err := choreo.NegotiateChange("A", views, partners, adapter)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("negotiation committed: %v (messages: %d)\n", neg.Committed, neg.Messages)
+	for p, v := range neg.Votes {
+		fmt.Printf("  %s: %v\n", p, v)
+	}
+	if !neg.Committed {
+		log.Fatal("negotiation aborted")
+	}
+
+	// Version 1: the adapted buyer.
+	newPub, err := choreo.DerivePublic(adaptedBuyer, reg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	v1, err := history.Add(0, "bound tracking (Sec. 5.3 propagation)", adaptedBuyer, newPub.Automaton)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Running instances, pinned to v0.
+	mgr := choreo.NewVersionManager(history)
+	for _, inst := range choreo.SampleInstances(v0.Automaton, 11, 500, 12) {
+		if err := mgr.Start(inst, 0); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	out, err := mgr.MigrateAll(v1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nmigration to v%d:\n", v1)
+	fmt.Printf("  migrated:                %d\n", out.Migrated)
+	fmt.Printf("  kept on v0 (replay):     %d\n", out.RemainingNonReplayable)
+	fmt.Printf("  kept on v0 (viability):  %d\n", out.RemainingUnviable)
+	fmt.Printf("  residents per version:   %v\n", out.PerVersion)
+	fmt.Printf("\nco-existence: %d instances still run on v0, %d on v%d\n",
+		len(mgr.OnVersion(0)), len(mgr.OnVersion(v1)), v1)
+}

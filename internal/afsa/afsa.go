@@ -1,0 +1,458 @@
+// Package afsa implements the annotated Finite State Automata (aFSA)
+// of "On the Controlled Evolution of Process Choreographies" (ICDE
+// 2006), Definition 2, together with every operator the paper's change
+// framework needs:
+//
+//   - intersection (Def. 3) and annotated emptiness / bilateral
+//     consistency (Sec. 3.2),
+//   - difference (Def. 4), union (Sec. 5.2 step 2), complement,
+//   - ε-removal, determinization, completion, minimization,
+//   - bilateral views τ_P (Sec. 3.4) including annotation projection,
+//   - canonicalization and equivalence checking used by the
+//     figure-reproduction tests,
+//   - language inspection helpers and DOT export.
+//
+// An aFSA is a tuple (Q, Σ, Δ, q0, F, QA): states, message alphabet,
+// labeled transitions, start state, final states and a relation
+// attaching propositional formulas (package formula) to states. The
+// formulas mark message alternatives as mandatory for a trading
+// partner; a state may carry several formulas, which are conjoined.
+//
+// States are dense integers handed out by AddState, so the
+// implementation stores transitions, finality and annotations in
+// slices indexed by state.
+package afsa
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/formula"
+	"repro/internal/label"
+)
+
+// StateID identifies a state of an Automaton. Valid IDs are
+// 0..NumStates()-1; None marks the absence of a state.
+type StateID int
+
+// None is the invalid state ID.
+const None StateID = -1
+
+// Transition is one labeled edge of Δ. An ε transition carries
+// label.Epsilon; ε edges appear only transiently during view
+// generation and are removed before any product construction.
+type Transition struct {
+	Label label.Label
+	To    StateID
+}
+
+// Automaton is a mutable annotated finite state automaton. The zero
+// value is unusable; use New.
+type Automaton struct {
+	// Name is a human-readable identifier carried through operators
+	// for diagnostics ("Buyer public", "τ_Buyer(Accounting)", ...).
+	Name string
+
+	start StateID
+	final []bool
+	trans [][]Transition
+	anno  [][]*formula.Formula
+}
+
+// New returns an empty automaton with the given diagnostic name and no
+// states. Callers must add at least one state and set the start state.
+func New(name string) *Automaton {
+	return &Automaton{Name: name, start: None}
+}
+
+// NumStates returns |Q|.
+func (a *Automaton) NumStates() int { return len(a.trans) }
+
+// AddState creates a fresh non-final state and returns its ID. The
+// first state added becomes the start state unless SetStart is called.
+func (a *Automaton) AddState() StateID {
+	id := StateID(len(a.trans))
+	a.trans = append(a.trans, nil)
+	a.final = append(a.final, false)
+	a.anno = append(a.anno, nil)
+	if a.start == None {
+		a.start = id
+	}
+	return id
+}
+
+// AddStates creates n fresh states and returns the first ID.
+func (a *Automaton) AddStates(n int) StateID {
+	first := StateID(len(a.trans))
+	for i := 0; i < n; i++ {
+		a.AddState()
+	}
+	return first
+}
+
+// Start returns q0 (None if no state exists yet).
+func (a *Automaton) Start() StateID { return a.start }
+
+// SetStart makes q the start state.
+func (a *Automaton) SetStart(q StateID) {
+	a.mustState(q)
+	a.start = q
+}
+
+// IsFinal reports whether q ∈ F.
+func (a *Automaton) IsFinal(q StateID) bool {
+	a.mustState(q)
+	return a.final[q]
+}
+
+// SetFinal adds or removes q from F.
+func (a *Automaton) SetFinal(q StateID, final bool) {
+	a.mustState(q)
+	a.final[q] = final
+}
+
+// FinalStates returns F in ascending order.
+func (a *Automaton) FinalStates() []StateID {
+	var out []StateID
+	for q := range a.final {
+		if a.final[q] {
+			out = append(out, StateID(q))
+		}
+	}
+	return out
+}
+
+// AddTransition inserts (from, l, to) into Δ, ignoring exact
+// duplicates.
+func (a *Automaton) AddTransition(from StateID, l label.Label, to StateID) {
+	a.mustState(from)
+	a.mustState(to)
+	for _, t := range a.trans[from] {
+		if t.Label == l && t.To == to {
+			return
+		}
+	}
+	a.trans[from] = append(a.trans[from], Transition{Label: l, To: to})
+}
+
+// Transitions returns the outgoing transitions of q sorted by
+// (label, target). The returned slice is a copy.
+func (a *Automaton) Transitions(q StateID) []Transition {
+	a.mustState(q)
+	out := make([]Transition, len(a.trans[q]))
+	copy(out, a.trans[q])
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Label != out[j].Label {
+			return out[i].Label < out[j].Label
+		}
+		return out[i].To < out[j].To
+	})
+	return out
+}
+
+// NumTransitions returns |Δ|.
+func (a *Automaton) NumTransitions() int {
+	n := 0
+	for _, ts := range a.trans {
+		n += len(ts)
+	}
+	return n
+}
+
+// Annotate attaches formula f to state q (QA in Def. 2). Attaching
+// true is a no-op. Multiple annotations on one state are conjoined by
+// Annotation.
+func (a *Automaton) Annotate(q StateID, f *formula.Formula) {
+	a.mustState(q)
+	if f.IsTrue() {
+		return
+	}
+	a.anno[q] = append(a.anno[q], f)
+}
+
+// Annotations returns the raw annotation formulas of q (a copy).
+func (a *Automaton) Annotations(q StateID) []*formula.Formula {
+	a.mustState(q)
+	if len(a.anno[q]) == 0 {
+		return nil
+	}
+	out := make([]*formula.Formula, len(a.anno[q]))
+	copy(out, a.anno[q])
+	return out
+}
+
+// Annotation returns the conjunction of q's explicit annotations
+// (true when unannotated).
+func (a *Automaton) Annotation(q StateID) *formula.Formula {
+	a.mustState(q)
+	return formula.And(a.anno[q]...)
+}
+
+// ClearAnnotations removes every annotation of q.
+func (a *Automaton) ClearAnnotations(q StateID) {
+	a.mustState(q)
+	a.anno[q] = nil
+}
+
+// StripAnnotations returns a copy with every annotation removed — the
+// plain FSA underlying the aFSA. Used by the annotation-ablation
+// experiment: without mandatory annotations, bilateral consistency
+// degenerates to language-intersection non-emptiness and misses the
+// deadlocks the paper's Figs. 12/16 scenarios exhibit.
+func (a *Automaton) StripAnnotations() *Automaton {
+	c := a.Clone()
+	c.Name = a.Name + " (stripped)"
+	for q := range c.anno {
+		c.anno[q] = nil
+	}
+	return c
+}
+
+// Alphabet returns Σ: every non-ε label occurring on a transition.
+func (a *Automaton) Alphabet() label.Set {
+	s := label.NewSet()
+	for _, ts := range a.trans {
+		for _, t := range ts {
+			s.Add(t.Label)
+		}
+	}
+	return s
+}
+
+// HasEpsilon reports whether any transition is silent.
+func (a *Automaton) HasEpsilon() bool {
+	for _, ts := range a.trans {
+		for _, t := range ts {
+			if t.Label.IsEpsilon() {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// Deterministic reports whether the automaton is ε-free and no state
+// has two outgoing transitions with the same label.
+func (a *Automaton) Deterministic() bool {
+	for _, ts := range a.trans {
+		seen := make(map[label.Label]struct{}, len(ts))
+		for _, t := range ts {
+			if t.Label.IsEpsilon() {
+				return false
+			}
+			if _, dup := seen[t.Label]; dup {
+				return false
+			}
+			seen[t.Label] = struct{}{}
+		}
+	}
+	return true
+}
+
+// Step returns the targets reachable from q by exactly label l.
+func (a *Automaton) Step(q StateID, l label.Label) []StateID {
+	a.mustState(q)
+	var out []StateID
+	for _, t := range a.trans[q] {
+		if t.Label == l {
+			out = append(out, t.To)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Clone returns a deep copy (annotation formulas are immutable and
+// shared).
+func (a *Automaton) Clone() *Automaton {
+	c := &Automaton{Name: a.Name, start: a.start}
+	c.final = append([]bool(nil), a.final...)
+	c.trans = make([][]Transition, len(a.trans))
+	for q, ts := range a.trans {
+		c.trans[q] = append([]Transition(nil), ts...)
+	}
+	c.anno = make([][]*formula.Formula, len(a.anno))
+	for q, fs := range a.anno {
+		c.anno[q] = append([]*formula.Formula(nil), fs...)
+	}
+	return c
+}
+
+// Validate checks structural invariants: a start state exists, every
+// transition target is a valid state, labels are well-formed, and
+// annotation variables are well-formed labels.
+func (a *Automaton) Validate() error {
+	if a.start == None {
+		return fmt.Errorf("afsa %q: no start state", a.Name)
+	}
+	if int(a.start) >= a.NumStates() {
+		return fmt.Errorf("afsa %q: start state %d out of range", a.Name, a.start)
+	}
+	for q, ts := range a.trans {
+		for _, t := range ts {
+			if t.To < 0 || int(t.To) >= a.NumStates() {
+				return fmt.Errorf("afsa %q: transition from %d to invalid state %d", a.Name, q, t.To)
+			}
+			if !t.Label.Valid() {
+				return fmt.Errorf("afsa %q: invalid label %q at state %d", a.Name, string(t.Label), q)
+			}
+		}
+	}
+	for q, fs := range a.anno {
+		for _, f := range fs {
+			for v := range f.Vars() {
+				if !label.Label(v).Valid() || v == "" {
+					return fmt.Errorf("afsa %q: state %d annotation references invalid label %q", a.Name, q, v)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// CheckPositive reports an error when any annotation contains
+// negation; the annotated-emptiness fixpoint requires positive
+// formulas (see DESIGN.md).
+func (a *Automaton) CheckPositive() error {
+	for q, fs := range a.anno {
+		for _, f := range fs {
+			if !f.Positive() {
+				return fmt.Errorf("afsa %q: state %d has non-positive annotation %v", a.Name, q, f)
+			}
+		}
+	}
+	return nil
+}
+
+// Reachable returns the set of states reachable from the start state
+// (following ε like any other edge).
+func (a *Automaton) Reachable() []bool {
+	seen := make([]bool, a.NumStates())
+	if a.start == None {
+		return seen
+	}
+	stack := []StateID{a.start}
+	seen[a.start] = true
+	for len(stack) > 0 {
+		q := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, t := range a.trans[q] {
+			if !seen[t.To] {
+				seen[t.To] = true
+				stack = append(stack, t.To)
+			}
+		}
+	}
+	return seen
+}
+
+// CoReachable returns the set of states from which some final state is
+// reachable (pure graph reachability; annotations are ignored).
+func (a *Automaton) CoReachable() []bool {
+	rev := make([][]StateID, a.NumStates())
+	for q, ts := range a.trans {
+		for _, t := range ts {
+			rev[t.To] = append(rev[t.To], StateID(q))
+		}
+	}
+	seen := make([]bool, a.NumStates())
+	var stack []StateID
+	for q, f := range a.final {
+		if f {
+			seen[q] = true
+			stack = append(stack, StateID(q))
+		}
+	}
+	for len(stack) > 0 {
+		q := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, p := range rev[q] {
+			if !seen[p] {
+				seen[p] = true
+				stack = append(stack, p)
+			}
+		}
+	}
+	return seen
+}
+
+// Trim returns a copy containing only the states reachable from the
+// start state (renumbered). The returned map sends old state IDs to
+// new ones (None for dropped states).
+func (a *Automaton) Trim() (*Automaton, map[StateID]StateID) {
+	return a.restrict(a.Reachable())
+}
+
+// TrimCoReachable returns a copy containing only states that are both
+// reachable and co-reachable. The start state is always kept (an
+// automaton whose start state is dead keeps exactly that one state so
+// that it remains a valid, empty automaton).
+func (a *Automaton) TrimCoReachable() (*Automaton, map[StateID]StateID) {
+	reach, coreach := a.Reachable(), a.CoReachable()
+	keep := make([]bool, a.NumStates())
+	for q := range keep {
+		keep[q] = reach[q] && coreach[q]
+	}
+	if a.start != None {
+		keep[a.start] = true
+	}
+	return a.restrict(keep)
+}
+
+func (a *Automaton) restrict(keep []bool) (*Automaton, map[StateID]StateID) {
+	out := New(a.Name)
+	remap := make(map[StateID]StateID, a.NumStates())
+	for q := 0; q < a.NumStates(); q++ {
+		if keep[q] {
+			remap[StateID(q)] = out.AddState()
+		} else {
+			remap[StateID(q)] = None
+		}
+	}
+	for q := 0; q < a.NumStates(); q++ {
+		nq := remap[StateID(q)]
+		if nq == None {
+			continue
+		}
+		out.final[nq] = a.final[q]
+		out.anno[nq] = append([]*formula.Formula(nil), a.anno[q]...)
+		for _, t := range a.trans[q] {
+			if nt := remap[t.To]; nt != None {
+				out.AddTransition(nq, t.Label, nt)
+			}
+		}
+	}
+	if a.start != None && remap[a.start] != None {
+		out.SetStart(remap[a.start])
+	}
+	return out, remap
+}
+
+// DebugString renders the automaton in a stable, line-oriented textual
+// form for test failure messages and the figures tool.
+func (a *Automaton) DebugString() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "aFSA %q: %d states, start %d\n", a.Name, a.NumStates(), a.start)
+	for q := 0; q < a.NumStates(); q++ {
+		marker := " "
+		if a.final[q] {
+			marker = "*"
+		}
+		fmt.Fprintf(&b, "  %s%d", marker, q)
+		if f := a.Annotation(StateID(q)); !f.IsTrue() {
+			fmt.Fprintf(&b, " [%s]", f)
+		}
+		b.WriteString("\n")
+		for _, t := range a.Transitions(StateID(q)) {
+			fmt.Fprintf(&b, "      --%s--> %d\n", t.Label, t.To)
+		}
+	}
+	return b.String()
+}
+
+func (a *Automaton) mustState(q StateID) {
+	if q < 0 || int(q) >= a.NumStates() {
+		panic(fmt.Sprintf("afsa %q: state %d out of range [0,%d)", a.Name, q, a.NumStates()))
+	}
+}

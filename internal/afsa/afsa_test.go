@@ -1,0 +1,229 @@
+package afsa
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/formula"
+	"repro/internal/label"
+)
+
+func lbl(s string) label.Label { return label.MustParse(s) }
+
+// chain builds a linear automaton accepting exactly the given word.
+func chain(name string, labels ...string) *Automaton {
+	a := New(name)
+	cur := a.AddState()
+	a.SetStart(cur)
+	for _, l := range labels {
+		next := a.AddState()
+		a.AddTransition(cur, lbl(l), next)
+		cur = next
+	}
+	a.SetFinal(cur, true)
+	return a
+}
+
+// fig5A returns party A of the paper's Fig. 5: a choice between msg0
+// and msg2, both optional (no explicit annotation).
+func fig5A() *Automaton {
+	a := New("party A")
+	q0 := a.AddState()
+	q1 := a.AddState()
+	q2 := a.AddState()
+	a.SetStart(q0)
+	a.SetFinal(q1, true)
+	a.SetFinal(q2, true)
+	a.AddTransition(q0, lbl("B#A#msg0"), q1)
+	a.AddTransition(q0, lbl("B#A#msg2"), q2)
+	return a
+}
+
+// fig5B returns party B of Fig. 5: a choice between msg1 and msg2,
+// both mandatory (conjunctive annotation).
+func fig5B() *Automaton {
+	b := New("party B")
+	q0 := b.AddState()
+	q1 := b.AddState()
+	q2 := b.AddState()
+	b.SetStart(q0)
+	b.SetFinal(q1, true)
+	b.SetFinal(q2, true)
+	b.AddTransition(q0, lbl("B#A#msg1"), q1)
+	b.AddTransition(q0, lbl("B#A#msg2"), q2)
+	b.Annotate(q0, formula.And(formula.Var("B#A#msg1"), formula.Var("B#A#msg2")))
+	return b
+}
+
+func TestBuilderBasics(t *testing.T) {
+	a := New("t")
+	if a.NumStates() != 0 || a.Start() != None {
+		t.Fatal("fresh automaton not empty")
+	}
+	q0 := a.AddState()
+	if a.Start() != q0 {
+		t.Fatal("first state did not become start")
+	}
+	q1 := a.AddState()
+	a.AddTransition(q0, lbl("A#B#x"), q1)
+	a.AddTransition(q0, lbl("A#B#x"), q1) // duplicate ignored
+	if a.NumTransitions() != 1 {
+		t.Fatalf("NumTransitions = %d, want 1", a.NumTransitions())
+	}
+	a.SetFinal(q1, true)
+	if !a.IsFinal(q1) || a.IsFinal(q0) {
+		t.Fatal("finality wrong")
+	}
+	if got := a.FinalStates(); len(got) != 1 || got[0] != q1 {
+		t.Fatalf("FinalStates = %v", got)
+	}
+	if err := a.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+}
+
+func TestAnnotationAccumulation(t *testing.T) {
+	a := New("t")
+	q := a.AddState()
+	a.Annotate(q, formula.True()) // no-op
+	if len(a.Annotations(q)) != 0 {
+		t.Fatal("true annotation stored")
+	}
+	a.Annotate(q, formula.Var("A#B#x"))
+	a.Annotate(q, formula.Var("A#B#y"))
+	conj := a.Annotation(q)
+	if !formula.Equal(conj, formula.And(formula.Var("A#B#x"), formula.Var("A#B#y"))) {
+		t.Fatalf("Annotation = %v", conj)
+	}
+	a.ClearAnnotations(q)
+	if !a.Annotation(q).IsTrue() {
+		t.Fatal("ClearAnnotations did not clear")
+	}
+}
+
+func TestAlphabetAndDeterministic(t *testing.T) {
+	a := fig5A()
+	sigma := a.Alphabet()
+	if len(sigma) != 2 || !sigma.Has(lbl("B#A#msg0")) || !sigma.Has(lbl("B#A#msg2")) {
+		t.Fatalf("Alphabet = %v", sigma)
+	}
+	if !a.Deterministic() {
+		t.Fatal("fig5A should be deterministic")
+	}
+	q3 := a.AddState()
+	a.AddTransition(a.Start(), lbl("B#A#msg0"), q3)
+	if a.Deterministic() {
+		t.Fatal("duplicate label not detected")
+	}
+}
+
+func TestValidateCatchesBadLabel(t *testing.T) {
+	a := New("bad")
+	q := a.AddState()
+	a.trans[q] = append(a.trans[q], Transition{Label: label.Label("oops"), To: q})
+	if err := a.Validate(); err == nil {
+		t.Fatal("Validate accepted malformed label")
+	}
+}
+
+func TestValidateCatchesBadAnnotationVar(t *testing.T) {
+	a := New("bad")
+	q := a.AddState()
+	a.Annotate(q, formula.Var("not-a-label"))
+	if err := a.Validate(); err == nil {
+		t.Fatal("Validate accepted malformed annotation variable")
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	a := fig5B()
+	c := a.Clone()
+	c.SetFinal(c.Start(), true)
+	c.AddTransition(c.Start(), lbl("B#A#extra"), c.Start())
+	if a.IsFinal(a.Start()) {
+		t.Fatal("clone shares finality")
+	}
+	if a.NumTransitions() == c.NumTransitions() {
+		t.Fatal("clone shares transitions")
+	}
+}
+
+func TestReachableAndTrim(t *testing.T) {
+	a := New("t")
+	q0 := a.AddState()
+	q1 := a.AddState()
+	q2 := a.AddState() // unreachable
+	a.SetStart(q0)
+	a.AddTransition(q0, lbl("A#B#x"), q1)
+	a.AddTransition(q2, lbl("A#B#y"), q1)
+	a.SetFinal(q1, true)
+	reach := a.Reachable()
+	if !reach[q0] || !reach[q1] || reach[q2] {
+		t.Fatalf("Reachable = %v", reach)
+	}
+	trimmed, remap := a.Trim()
+	if trimmed.NumStates() != 2 {
+		t.Fatalf("trimmed states = %d", trimmed.NumStates())
+	}
+	if remap[q2] != None {
+		t.Fatal("unreachable state kept")
+	}
+	if !trimmed.IsFinal(remap[q1]) {
+		t.Fatal("finality lost in trim")
+	}
+}
+
+func TestCoReachableTrim(t *testing.T) {
+	a := New("t")
+	q0 := a.AddState()
+	q1 := a.AddState()
+	dead := a.AddState() // reachable but cannot reach a final state
+	a.SetStart(q0)
+	a.AddTransition(q0, lbl("A#B#x"), q1)
+	a.AddTransition(q0, lbl("A#B#z"), dead)
+	a.SetFinal(q1, true)
+	trimmed, remap := a.TrimCoReachable()
+	if trimmed.NumStates() != 2 {
+		t.Fatalf("states = %d, want 2", trimmed.NumStates())
+	}
+	if remap[dead] != None {
+		t.Fatal("dead state survived")
+	}
+}
+
+func TestTrimKeepsDeadStartState(t *testing.T) {
+	a := New("t")
+	q0 := a.AddState()
+	a.SetStart(q0) // no finals at all
+	trimmed, _ := a.TrimCoReachable()
+	if trimmed.NumStates() != 1 || trimmed.Start() == None {
+		t.Fatal("empty automaton lost its start state")
+	}
+}
+
+func TestStep(t *testing.T) {
+	a := fig5A()
+	got := a.Step(a.Start(), lbl("B#A#msg0"))
+	if len(got) != 1 {
+		t.Fatalf("Step = %v", got)
+	}
+	if len(a.Step(a.Start(), lbl("B#A#msg1"))) != 0 {
+		t.Fatal("Step found nonexistent transition")
+	}
+}
+
+func TestDebugStringAndDOT(t *testing.T) {
+	b := fig5B()
+	dbg := b.DebugString()
+	for _, want := range []string{"party B", "B#A#msg1", "AND"} {
+		if !strings.Contains(dbg, want) {
+			t.Errorf("DebugString missing %q:\n%s", want, dbg)
+		}
+	}
+	dot := b.DOT()
+	for _, want := range []string{"digraph", "doublecircle", "B#A#msg1 AND B#A#msg2"} {
+		if !strings.Contains(dot, want) {
+			t.Errorf("DOT missing %q:\n%s", want, dot)
+		}
+	}
+}

@@ -1,0 +1,38 @@
+package afsa
+
+import (
+	"fmt"
+	"strings"
+)
+
+// DOT renders the automaton in Graphviz dot syntax, mirroring the
+// paper's drawing conventions: final states use a double circle,
+// annotations appear as boxed labels attached to their state.
+func (a *Automaton) DOT() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "digraph %q {\n", a.Name)
+	b.WriteString("  rankdir=LR;\n")
+	b.WriteString("  node [shape=circle];\n")
+	if a.start != None {
+		b.WriteString("  __start [shape=point];\n")
+		fmt.Fprintf(&b, "  __start -> s%d;\n", a.start)
+	}
+	for q := 0; q < a.NumStates(); q++ {
+		shape := "circle"
+		if a.final[q] {
+			shape = "doublecircle"
+		}
+		fmt.Fprintf(&b, "  s%d [label=%q shape=%s];\n", q, fmt.Sprint(q), shape)
+		if f := a.Annotation(StateID(q)); !f.IsTrue() {
+			fmt.Fprintf(&b, "  a%d [shape=box style=dashed label=%q];\n", q, f.String())
+			fmt.Fprintf(&b, "  s%d -> a%d [style=dashed arrowhead=none];\n", q, q)
+		}
+	}
+	for q := 0; q < a.NumStates(); q++ {
+		for _, t := range a.Transitions(StateID(q)) {
+			fmt.Fprintf(&b, "  s%d -> s%d [label=%q];\n", q, t.To, t.Label.String())
+		}
+	}
+	b.WriteString("}\n")
+	return b.String()
+}

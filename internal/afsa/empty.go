@@ -1,0 +1,187 @@
+package afsa
+
+import (
+	"fmt"
+
+	"repro/internal/formula"
+	"repro/internal/label"
+)
+
+// ViableStates computes the annotated-emptiness semantics of Sec. 3.2:
+// "this emptiness test has to be extended by requiring that all
+// transitions of a conjunction associated to a single state are
+// available in the automaton and a final state can be reached
+// following each of these transitions."
+//
+// A state q is *viable* iff (i) a final state is reachable from q
+// through viable states and (ii) its effective annotation evaluates to
+// true under the assignment that makes a variable v true exactly when
+// q has a v-labeled transition to a viable state. This is a greatest
+// fixpoint interleaved with co-reachability: start from all states and
+// repeatedly remove states that lose co-reachability (restricted to
+// the surviving set) or whose annotation fails. Cyclic support is
+// intentional — the buyer public process of Fig. 6 keeps its parcel
+// tracking loop viable because loop and exit support each other, while
+// the mandatory-but-missing msg1 of Fig. 5 still kills the
+// intersection.
+//
+// The effective annotation conjoins the explicit annotations with the
+// structural default: final states default to true (the conversation
+// may stop), non-final states default to the disjunction of their
+// outgoing labels (the conversation must be able to proceed — this is
+// the "default annotation" the paper mentions in the Fig. 5
+// discussion). A non-final state without outgoing transitions is never
+// viable.
+//
+// Annotations must be positive (negation-free); ViableStates returns
+// an error otherwise, since the fixpoint is only well-defined for
+// monotone formulas. ε transitions are handled by evaluating on the
+// ε-free version (state IDs are preserved).
+func (a *Automaton) ViableStates() ([]bool, error) {
+	if err := a.CheckPositive(); err != nil {
+		return nil, err
+	}
+	src := a
+	if a.HasEpsilon() {
+		// RemoveEpsilon trims; recompute against the trimmed automaton
+		// and translate back through the identity of reachable states.
+		noEps := New(a.Name)
+		noEps.AddStates(a.NumStates())
+		noEps.SetStart(a.start)
+		for q := 0; q < a.NumStates(); q++ {
+			closure := a.EpsilonClosure(StateID(q))
+			for _, c := range closure {
+				if a.final[c] {
+					noEps.final[q] = true
+				}
+				for _, f := range a.anno[c] {
+					noEps.Annotate(StateID(q), f)
+				}
+				for _, t := range a.trans[c] {
+					if !t.Label.IsEpsilon() {
+						noEps.AddTransition(StateID(q), t.Label, t.To)
+					}
+				}
+			}
+		}
+		src = noEps
+	}
+
+	n := src.NumStates()
+	eff := make([]*formula.Formula, n)
+	for q := 0; q < n; q++ {
+		parts := append([]*formula.Formula(nil), src.anno[q]...)
+		if !src.final[q] {
+			var opts []*formula.Formula
+			seen := map[label.Label]bool{}
+			for _, t := range src.trans[q] {
+				if !seen[t.Label] {
+					seen[t.Label] = true
+					opts = append(opts, formula.Var(string(t.Label)))
+				}
+			}
+			parts = append(parts, formula.Or(opts...)) // empty Or = false
+		}
+		eff[q] = formula.And(parts...)
+	}
+
+	// Reverse adjacency for the co-reachability passes.
+	rev := make([][]StateID, n)
+	for q := 0; q < n; q++ {
+		for _, t := range src.trans[q] {
+			rev[t.To] = append(rev[t.To], StateID(q))
+		}
+	}
+
+	viable := make([]bool, n)
+	for q := range viable {
+		viable[q] = true
+	}
+	for changed := true; changed; {
+		changed = false
+
+		// Pass 1: a viable state must reach a viable final state
+		// through viable states.
+		co := make([]bool, n)
+		var stack []StateID
+		for q := 0; q < n; q++ {
+			if viable[q] && src.final[q] {
+				co[q] = true
+				stack = append(stack, StateID(q))
+			}
+		}
+		for len(stack) > 0 {
+			q := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			for _, p := range rev[q] {
+				if viable[p] && !co[p] {
+					co[p] = true
+					stack = append(stack, p)
+				}
+			}
+		}
+		for q := 0; q < n; q++ {
+			if viable[q] && !co[q] {
+				viable[q] = false
+				changed = true
+			}
+		}
+
+		// Pass 2: the effective annotation must hold, counting only
+		// transitions into states that are still viable.
+		for q := 0; q < n; q++ {
+			if !viable[q] {
+				continue
+			}
+			sigma := func(name string) bool {
+				for _, t := range src.trans[q] {
+					if string(t.Label) == name && viable[t.To] {
+						return true
+					}
+				}
+				return false
+			}
+			if !eff[q].Eval(sigma) {
+				viable[q] = false
+				changed = true
+			}
+		}
+	}
+	return viable, nil
+}
+
+// IsEmpty reports annotated emptiness: the automaton is empty iff its
+// start state is not viable (no message sequence satisfying every
+// mandatory annotation leads to a final state). An automaton without
+// states is empty.
+func (a *Automaton) IsEmpty() (bool, error) {
+	if a.NumStates() == 0 || a.start == None {
+		return true, nil
+	}
+	viable, err := a.ViableStates()
+	if err != nil {
+		return false, err
+	}
+	return !viable[a.start], nil
+}
+
+// MustIsEmpty is IsEmpty for automata known to carry positive
+// annotations; it panics on error. Intended for fixtures and benches.
+func (a *Automaton) MustIsEmpty() bool {
+	empty, err := a.IsEmpty()
+	if err != nil {
+		panic(err)
+	}
+	return empty
+}
+
+// Consistent reports bilateral consistency of two public processes
+// (Sec. 3.2): their intersection is non-empty, which the paper proves
+// equivalent to deadlock-free execution of the interaction.
+func Consistent(a, b *Automaton) (bool, error) {
+	empty, err := a.Intersect(b).IsEmpty()
+	if err != nil {
+		return false, fmt.Errorf("consistency %q vs %q: %w", a.Name, b.Name, err)
+	}
+	return !empty, nil
+}

@@ -1,0 +1,234 @@
+package afsa
+
+import (
+	"testing"
+
+	"repro/internal/formula"
+	"repro/internal/label"
+)
+
+// TestFig5Intersection reproduces the worked example of paper Fig. 5:
+// the intersection of party A (msg0/msg2 optional) and party B
+// (msg1/msg2 mandatory) contains a msg2 path to a final state but is
+// *annotated-empty* because the mandatory msg1 transition is missing.
+func TestFig5Intersection(t *testing.T) {
+	a, b := fig5A(), fig5B()
+	inter := a.Intersect(b)
+
+	// Structure: only the shared msg2 transition survives (Def. 3).
+	if inter.NumTransitions() != 1 {
+		t.Fatalf("intersection transitions = %d, want 1\n%s", inter.NumTransitions(), inter.DebugString())
+	}
+	ts := inter.Transitions(inter.Start())
+	if len(ts) != 1 || ts[0].Label != lbl("B#A#msg2") {
+		t.Fatalf("intersection start transitions = %v", ts)
+	}
+
+	// The start state annotation is B's conjunction; combined with the
+	// structural default OR(B#A#msg2) it is the paper's
+	// (B#A#msg1 AND B#A#msg2) AND B#A#msg2.
+	anno := inter.Annotation(inter.Start())
+	want := formula.And(formula.Var("B#A#msg1"), formula.Var("B#A#msg2"))
+	if !formula.Equal(anno, want) {
+		t.Fatalf("start annotation = %v, want %v", anno, want)
+	}
+
+	// Plain FSA: non-empty (a final state is reachable).
+	if !hasAcceptingPath(inter) {
+		t.Fatal("intersection has no accepting path at the FSA level")
+	}
+
+	// Annotated semantics: empty (msg1 is mandatory but unavailable).
+	empty, err := inter.IsEmpty()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !empty {
+		t.Fatalf("intersection should be annotated-empty:\n%s", inter.DebugString())
+	}
+
+	// Therefore A and B are inconsistent.
+	ok, err := Consistent(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Fatal("fig5 parties reported consistent")
+	}
+}
+
+// TestFig5ViableVariables checks the paper's explanation verbatim:
+// "The variable B#A#msg2 ... evaluates to true since there is a path
+// to a final state. By contrast the variable B#A#msg1 is evaluated to
+// false because there is no such transition available."
+func TestFig5ViableVariables(t *testing.T) {
+	inter := fig5A().Intersect(fig5B())
+	viable, err := inter.ViableStates()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := inter.Transitions(inter.Start())
+	if len(ts) != 1 {
+		t.Fatalf("unexpected structure:\n%s", inter.DebugString())
+	}
+	if !viable[ts[0].To] {
+		t.Fatal("msg2 successor (final) should be viable")
+	}
+	if viable[inter.Start()] {
+		t.Fatal("start state should not be viable (mandatory msg1 missing)")
+	}
+}
+
+func TestConsistentPair(t *testing.T) {
+	// Remove B's mandatory annotation: now the pair is consistent.
+	a := fig5A()
+	b := fig5B()
+	b.ClearAnnotations(b.Start())
+	ok, err := Consistent(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatal("annotation-free fig5 pair should be consistent")
+	}
+}
+
+func TestEmptyAutomatonIsEmpty(t *testing.T) {
+	a := New("void")
+	empty, err := a.IsEmpty()
+	if err != nil || !empty {
+		t.Fatalf("IsEmpty(void) = %v, %v", empty, err)
+	}
+}
+
+func TestNonFinalDeadEndNotViable(t *testing.T) {
+	a := New("deadend")
+	q0 := a.AddState()
+	q1 := a.AddState() // non-final, no outgoing
+	a.SetStart(q0)
+	a.AddTransition(q0, lbl("A#B#x"), q1)
+	empty, err := a.IsEmpty()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !empty {
+		t.Fatal("automaton without final states should be empty")
+	}
+}
+
+func TestFinalStateIsViable(t *testing.T) {
+	a := chain("one", "A#B#x")
+	empty, err := a.IsEmpty()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if empty {
+		t.Fatal("single-word automaton reported empty")
+	}
+}
+
+func TestMandatoryLoopStaysViable(t *testing.T) {
+	// A final state with a mandatory self-loop alternative: viable, the
+	// loop transition target (itself final) is viable.
+	a := New("loop")
+	q0 := a.AddState()
+	q1 := a.AddState()
+	a.SetStart(q0)
+	a.SetFinal(q1, true)
+	a.AddTransition(q0, lbl("B#A#go"), q1)
+	a.AddTransition(q1, lbl("B#A#again"), q1)
+	a.Annotate(q1, formula.Var("B#A#again"))
+	empty, err := a.IsEmpty()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if empty {
+		t.Fatal("loop automaton reported empty")
+	}
+}
+
+func TestMandatoryMissingTransitionKillsState(t *testing.T) {
+	a := New("missing")
+	q0 := a.AddState()
+	q1 := a.AddState()
+	a.SetStart(q0)
+	a.SetFinal(q1, true)
+	a.AddTransition(q0, lbl("B#A#x"), q1)
+	a.Annotate(q0, formula.Var("B#A#y")) // y does not exist
+	empty, err := a.IsEmpty()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !empty {
+		t.Fatal("unsatisfiable mandatory annotation should make automaton empty")
+	}
+}
+
+func TestMandatoryTransitionToDeadStateKillsState(t *testing.T) {
+	a := New("deadmandatory")
+	q0 := a.AddState()
+	q1 := a.AddState() // final: ok path
+	q2 := a.AddState() // dead end
+	a.SetStart(q0)
+	a.SetFinal(q1, true)
+	a.AddTransition(q0, lbl("B#A#ok"), q1)
+	a.AddTransition(q0, lbl("B#A#bad"), q2)
+	a.Annotate(q0, formula.And(formula.Var("B#A#ok"), formula.Var("B#A#bad")))
+	empty, err := a.IsEmpty()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !empty {
+		t.Fatal("mandatory transition into a dead state should make the start non-viable")
+	}
+}
+
+func TestDisjunctiveAnnotationSatisfiedByOneBranch(t *testing.T) {
+	a := New("disj")
+	q0 := a.AddState()
+	q1 := a.AddState()
+	a.SetStart(q0)
+	a.SetFinal(q1, true)
+	a.AddTransition(q0, lbl("B#A#ok"), q1)
+	a.Annotate(q0, formula.Or(formula.Var("B#A#ok"), formula.Var("B#A#missing")))
+	empty, err := a.IsEmpty()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if empty {
+		t.Fatal("disjunctive annotation with one satisfied branch should be viable")
+	}
+}
+
+func TestNegativeAnnotationRejected(t *testing.T) {
+	a := New("neg")
+	q0 := a.AddState()
+	a.SetStart(q0)
+	a.SetFinal(q0, true)
+	a.Annotate(q0, formula.Not(formula.Var("A#B#x")))
+	if _, err := a.IsEmpty(); err == nil {
+		t.Fatal("IsEmpty accepted a negative annotation")
+	}
+	if err := a.CheckPositive(); err == nil {
+		t.Fatal("CheckPositive accepted a negative annotation")
+	}
+}
+
+func TestViabilityThroughEpsilon(t *testing.T) {
+	// q0 --ε--> q1 --x--> q2(final): start must be viable.
+	a := New("eps")
+	q0 := a.AddState()
+	q1 := a.AddState()
+	q2 := a.AddState()
+	a.SetStart(q0)
+	a.SetFinal(q2, true)
+	a.AddTransition(q0, label.Epsilon, q1)
+	a.AddTransition(q1, lbl("A#B#x"), q2)
+	empty, err := a.IsEmpty()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if empty {
+		t.Fatal("ε-reachable language reported empty")
+	}
+}

@@ -1,0 +1,160 @@
+package afsa
+
+import (
+	"sort"
+
+	"repro/internal/label"
+)
+
+// EpsilonClosure returns the ε-closure of q (including q), sorted.
+func (a *Automaton) EpsilonClosure(q StateID) []StateID {
+	a.mustState(q)
+	seen := map[StateID]bool{q: true}
+	stack := []StateID{q}
+	for len(stack) > 0 {
+		s := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, t := range a.trans[s] {
+			if t.Label.IsEpsilon() && !seen[t.To] {
+				seen[t.To] = true
+				stack = append(stack, t.To)
+			}
+		}
+	}
+	out := make([]StateID, 0, len(seen))
+	for s := range seen {
+		out = append(out, s)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// RemoveEpsilon returns an equivalent automaton without ε transitions.
+// State IDs are preserved; unreachable states are then trimmed away.
+//
+// Annotation treatment: the new annotation of q is the conjunction of
+// the explicit annotations of every state in the ε-closure of q. The
+// closure states' visible transitions are copied to q as well, so a
+// mandatory alternative recorded deeper inside the closure stays
+// satisfiable exactly when it was before (see DESIGN.md §3). Callers
+// performing view projection substitute hidden annotation variables
+// *before* calling RemoveEpsilon.
+func (a *Automaton) RemoveEpsilon() *Automaton {
+	if !a.HasEpsilon() {
+		return a.Clone()
+	}
+	out := New(a.Name)
+	out.AddStates(a.NumStates())
+	out.SetStart(a.start)
+	for q := 0; q < a.NumStates(); q++ {
+		closure := a.EpsilonClosure(StateID(q))
+		for _, c := range closure {
+			if a.final[c] {
+				out.final[q] = true
+			}
+			for _, f := range a.anno[c] {
+				out.Annotate(StateID(q), f)
+			}
+			for _, t := range a.trans[c] {
+				if !t.Label.IsEpsilon() {
+					out.AddTransition(StateID(q), t.Label, t.To)
+				}
+			}
+		}
+	}
+	trimmed, _ := out.Trim()
+	return trimmed
+}
+
+// Determinize returns a deterministic automaton accepting the same
+// language via the subset construction (ε transitions are removed
+// first). The annotation of a subset state is the union (conjunction)
+// of its members' explicit annotations; this conservative rule is
+// exact for the near-deterministic automata produced by the BPEL
+// mapping (DESIGN.md §3).
+func (a *Automaton) Determinize() *Automaton {
+	d, _ := a.DeterminizeWithMap()
+	return d
+}
+
+// DeterminizeWithMap is Determinize and additionally reports, for each
+// new state, the set of original states it represents. The member sets
+// refer to state IDs of the ε-free version of a, which preserves the
+// IDs of a itself.
+func (a *Automaton) DeterminizeWithMap() (*Automaton, map[StateID][]StateID) {
+	src := a
+	if src.HasEpsilon() {
+		src = src.RemoveEpsilon()
+	}
+	out := New(a.Name)
+	members := make(map[StateID][]StateID)
+	if src.start == None {
+		return out, members
+	}
+
+	type subset struct {
+		key    string
+		states []StateID
+	}
+	makeSubset := func(states []StateID) subset {
+		sort.Slice(states, func(i, j int) bool { return states[i] < states[j] })
+		uniq := states[:0]
+		var prev StateID = None
+		for _, s := range states {
+			if s != prev {
+				uniq = append(uniq, s)
+				prev = s
+			}
+		}
+		var b []byte
+		for _, s := range uniq {
+			b = append(b, byte(s), byte(s>>8), byte(s>>16), byte(s>>24))
+		}
+		return subset{key: string(b), states: uniq}
+	}
+
+	index := map[string]StateID{}
+	var worklist []subset
+	add := func(ss subset) StateID {
+		if id, ok := index[ss.key]; ok {
+			return id
+		}
+		id := out.AddState()
+		index[ss.key] = id
+		members[id] = ss.states
+		for _, s := range ss.states {
+			if src.final[s] {
+				out.final[id] = true
+			}
+			for _, f := range src.anno[s] {
+				out.Annotate(id, f)
+			}
+		}
+		worklist = append(worklist, ss)
+		return id
+	}
+
+	startSubset := makeSubset([]StateID{src.start})
+	out.SetStart(add(startSubset))
+	for len(worklist) > 0 {
+		cur := worklist[0]
+		worklist = worklist[1:]
+		from := index[cur.key]
+		byLabel := map[string][]StateID{}
+		for _, s := range cur.states {
+			for _, t := range src.trans[s] {
+				byLabel[string(t.Label)] = append(byLabel[string(t.Label)], t.To)
+			}
+		}
+		labels := make([]string, 0, len(byLabel))
+		for l := range byLabel {
+			labels = append(labels, l)
+		}
+		sort.Strings(labels)
+		for _, l := range labels {
+			to := add(makeSubset(byLabel[l]))
+			out.AddTransition(from, label.Label(l), to)
+		}
+	}
+	return out, members
+}

@@ -1,0 +1,156 @@
+package afsa
+
+import (
+	"sort"
+
+	"repro/internal/label"
+)
+
+// Accepts reports plain FSA acceptance of the word (annotations are
+// ignored; use IsEmpty/ViableStates for the annotated semantics).
+// ε transitions are followed implicitly.
+func (a *Automaton) Accepts(word []label.Label) bool {
+	if a.start == None {
+		return false
+	}
+	cur := map[StateID]bool{}
+	for _, s := range a.EpsilonClosure(a.start) {
+		cur[s] = true
+	}
+	for _, l := range word {
+		next := map[StateID]bool{}
+		for q := range cur {
+			for _, t := range a.trans[q] {
+				if t.Label == l {
+					for _, s := range a.EpsilonClosure(t.To) {
+						next[s] = true
+					}
+				}
+			}
+		}
+		if len(next) == 0 {
+			return false
+		}
+		cur = next
+	}
+	for q := range cur {
+		if a.final[q] {
+			return true
+		}
+	}
+	return false
+}
+
+// Word is one message sequence.
+type Word []label.Label
+
+// String renders the word as a space-separated label sequence.
+func (w Word) String() string {
+	s := ""
+	for i, l := range w {
+		if i > 0 {
+			s += " "
+		}
+		s += l.String()
+	}
+	if s == "" {
+		return "⟨⟩"
+	}
+	return s
+}
+
+// AcceptedWords enumerates accepted words of length at most maxLen, up
+// to limit words (0 = no limit), in shortlex order. Intended for tests
+// and the figures tool; the languages of the paper's automata are
+// infinite (loops), so maxLen bounds the enumeration.
+func (a *Automaton) AcceptedWords(maxLen, limit int) []Word {
+	src := a.RemoveEpsilon()
+	var out []Word
+	if src.start == None {
+		return out
+	}
+	type item struct {
+		q StateID
+		w Word
+	}
+	frontier := []item{{src.start, nil}}
+	for depth := 0; depth <= maxLen; depth++ {
+		// Collect acceptances at this depth in deterministic order.
+		sort.SliceStable(frontier, func(i, j int) bool {
+			return lessWord(frontier[i].w, frontier[j].w)
+		})
+		seen := map[string]bool{}
+		for _, it := range frontier {
+			if src.final[it.q] {
+				key := it.w.String()
+				if !seen[key] {
+					seen[key] = true
+					out = append(out, it.w)
+					if limit > 0 && len(out) >= limit {
+						return out
+					}
+				}
+			}
+		}
+		if depth == maxLen {
+			break
+		}
+		var next []item
+		for _, it := range frontier {
+			for _, t := range src.Transitions(it.q) {
+				w := make(Word, len(it.w)+1)
+				copy(w, it.w)
+				w[len(it.w)] = t.Label
+				next = append(next, item{t.To, w})
+			}
+		}
+		frontier = next
+		if len(frontier) > 1<<16 {
+			break // defensive bound for pathological automata
+		}
+	}
+	return out
+}
+
+func lessWord(a, b Word) bool {
+	if len(a) != len(b) {
+		return len(a) < len(b)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return a[i] < b[i]
+		}
+	}
+	return false
+}
+
+// ViableWords enumerates words witnessing annotated non-emptiness:
+// accepted words all of whose visited states are viable. Empty result
+// for an annotated-empty automaton.
+func (a *Automaton) ViableWords(maxLen, limit int) ([]Word, error) {
+	src := a.RemoveEpsilon()
+	viable, err := src.ViableStates()
+	if err != nil {
+		return nil, err
+	}
+	restricted := New(src.Name)
+	restricted.AddStates(src.NumStates())
+	if src.start != None {
+		restricted.SetStart(src.start)
+	}
+	for q := 0; q < src.NumStates(); q++ {
+		if !viable[q] {
+			continue
+		}
+		restricted.final[q] = src.final[q]
+		for _, t := range src.trans[q] {
+			if viable[t.To] {
+				restricted.AddTransition(StateID(q), t.Label, t.To)
+			}
+		}
+	}
+	if src.start != None && !viable[src.start] {
+		return nil, nil
+	}
+	return restricted.AcceptedWords(maxLen, limit), nil
+}

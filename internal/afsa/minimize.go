@@ -1,0 +1,266 @@
+package afsa
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/formula"
+)
+
+// Minimize returns the annotation-preserving minimal deterministic
+// automaton for a: ε transitions are removed, the automaton is
+// determinized, dead states (unable to reach a final state) are
+// trimmed, and language-equivalent states are merged by Moore
+// partition refinement. Two states are only ever merged when they
+// carry semantically equal annotations, so the minimized automaton is
+// both language- and viability-equivalent to the input (the paper
+// presents its view automata "minimized", Figs. 8, 13, 17).
+func (a *Automaton) Minimize() *Automaton {
+	m, _ := a.MinimizeWithMap()
+	return m
+}
+
+// MinimizeWithMap is Minimize and additionally reports, for each input
+// state of the determinized form, the subset of a's original states it
+// represents, merged across equivalence classes. The map sends each
+// minimized state to the original state IDs it stands for; it is what
+// lets the mapping table of Sec. 3.3 survive minimization.
+func (a *Automaton) MinimizeWithMap() (*Automaton, map[StateID][]StateID) {
+	det, detMembers := a.DeterminizeWithMap()
+	trimmed, trimMap := det.TrimCoReachable()
+
+	// Translate determinization membership through the trim.
+	members := make(map[StateID][]StateID)
+	for oldID, newID := range trimMap {
+		if newID != None {
+			members[newID] = append([]StateID(nil), detMembers[oldID]...)
+		}
+	}
+
+	n := trimmed.NumStates()
+	if n == 0 {
+		return trimmed, members
+	}
+
+	// Initial partition: finality + canonical annotation string.
+	class := make([]int, n)
+	classKey := map[string]int{}
+	for q := 0; q < n; q++ {
+		key := fmt.Sprintf("%t|%s", trimmed.final[q], trimmed.Annotation(StateID(q)).String())
+		id, ok := classKey[key]
+		if !ok {
+			id = len(classKey)
+			classKey[key] = id
+		}
+		class[q] = id
+	}
+
+	// Moore refinement; missing transitions map to class -1 (implicit
+	// dead sink).
+	for {
+		next := make([]int, n)
+		sigKey := map[string]int{}
+		for q := 0; q < n; q++ {
+			var sig []byte
+			sig = append(sig, []byte(fmt.Sprintf("%d", class[q]))...)
+			for _, t := range trimmed.Transitions(StateID(q)) {
+				sig = append(sig, []byte(fmt.Sprintf("|%s>%d", t.Label, class[t.To]))...)
+			}
+			key := string(sig)
+			id, ok := sigKey[key]
+			if !ok {
+				id = len(sigKey)
+				sigKey[key] = id
+			}
+			next[q] = id
+		}
+		same := true
+		for q := 0; q < n; q++ {
+			if next[q] != class[q] {
+				same = false
+				break
+			}
+		}
+		class = next
+		if same || len(sigKey) == n {
+			break
+		}
+	}
+
+	// Quotient automaton.
+	out := New(a.Name)
+	rep := map[int]StateID{} // class -> new state
+	classOf := func(q StateID) StateID {
+		id, ok := rep[class[q]]
+		if !ok {
+			id = out.AddState()
+			rep[class[q]] = id
+		}
+		return id
+	}
+	// Allocate states in a stable order: BFS from the start state.
+	order := bfsOrder(trimmed)
+	for _, q := range order {
+		classOf(q)
+	}
+	outMembers := make(map[StateID][]StateID)
+	for _, q := range order {
+		nq := classOf(q)
+		out.final[nq] = trimmed.final[q]
+		if len(out.anno[nq]) == 0 {
+			for _, f := range trimmed.anno[q] {
+				out.Annotate(nq, f)
+			}
+		}
+		outMembers[nq] = append(outMembers[nq], members[q]...)
+		for _, t := range trimmed.Transitions(q) {
+			out.AddTransition(nq, t.Label, classOf(t.To))
+		}
+	}
+	out.SetStart(classOf(trimmed.start))
+	for nq := range outMembers {
+		outMembers[nq] = dedupStates(outMembers[nq])
+	}
+	return out, outMembers
+}
+
+func bfsOrder(a *Automaton) []StateID {
+	if a.start == None {
+		return nil
+	}
+	seen := make([]bool, a.NumStates())
+	order := []StateID{a.start}
+	seen[a.start] = true
+	for i := 0; i < len(order); i++ {
+		for _, t := range a.Transitions(order[i]) {
+			if !seen[t.To] {
+				seen[t.To] = true
+				order = append(order, t.To)
+			}
+		}
+	}
+	// Append unreachable states in numeric order so every state gets a
+	// class representative.
+	for q := 0; q < a.NumStates(); q++ {
+		if !seen[q] {
+			order = append(order, StateID(q))
+		}
+	}
+	return order
+}
+
+func dedupStates(in []StateID) []StateID {
+	sort.Slice(in, func(i, j int) bool { return in[i] < in[j] })
+	out := in[:0]
+	prev := None
+	for _, s := range in {
+		if s != prev {
+			out = append(out, s)
+			prev = s
+		}
+	}
+	return out
+}
+
+// Canonical returns a structurally canonical automaton: minimized,
+// states renumbered in BFS order (transitions explored in label
+// order), transition lists sorted. Two automata with the same language
+// and annotations canonicalize to identical structures, which is how
+// the figure-reproduction tests compare computed against expected
+// artifacts.
+func (a *Automaton) Canonical() *Automaton {
+	m := a.Minimize()
+	order := bfsOrder(m)
+	remap := make([]StateID, m.NumStates())
+	for i, q := range order {
+		remap[q] = StateID(i)
+	}
+	out := New(a.Name)
+	out.AddStates(m.NumStates())
+	if m.NumStates() == 0 {
+		return out
+	}
+	out.SetStart(remap[m.start])
+	for q := 0; q < m.NumStates(); q++ {
+		nq := remap[q]
+		out.final[nq] = m.final[q]
+		for _, f := range m.anno[q] {
+			out.Annotate(nq, f)
+		}
+		for _, t := range m.Transitions(StateID(q)) {
+			out.AddTransition(nq, t.Label, remap[t.To])
+		}
+	}
+	return out
+}
+
+// Equivalent reports whether a and b have the same language and the
+// same (semantically compared) annotations on corresponding states of
+// their canonical forms.
+func Equivalent(a, b *Automaton) bool {
+	return equivalentExplain(a, b) == ""
+}
+
+// ExplainDifference returns "" when Equivalent(a, b), otherwise a
+// human-readable description of the first structural difference
+// between the canonical forms — used in test failure messages.
+func ExplainDifference(a, b *Automaton) string { return equivalentExplain(a, b) }
+
+func equivalentExplain(a, b *Automaton) string {
+	ca, cb := a.Canonical(), b.Canonical()
+	if ca.NumStates() != cb.NumStates() {
+		return fmt.Sprintf("state count %d vs %d\nA:\n%s\nB:\n%s", ca.NumStates(), cb.NumStates(), ca.DebugString(), cb.DebugString())
+	}
+	if ca.NumStates() == 0 {
+		return ""
+	}
+	if ca.start != cb.start {
+		return fmt.Sprintf("start state %d vs %d", ca.start, cb.start)
+	}
+	for q := 0; q < ca.NumStates(); q++ {
+		if ca.final[q] != cb.final[q] {
+			return fmt.Sprintf("state %d finality %t vs %t\nA:\n%s\nB:\n%s", q, ca.final[q], cb.final[q], ca.DebugString(), cb.DebugString())
+		}
+		ta, tb := ca.Transitions(StateID(q)), cb.Transitions(StateID(q))
+		if len(ta) != len(tb) {
+			return fmt.Sprintf("state %d transition count %d vs %d\nA:\n%s\nB:\n%s", q, len(ta), len(tb), ca.DebugString(), cb.DebugString())
+		}
+		for i := range ta {
+			if ta[i] != tb[i] {
+				return fmt.Sprintf("state %d transition %d: %v vs %v\nA:\n%s\nB:\n%s", q, i, ta[i], tb[i], ca.DebugString(), cb.DebugString())
+			}
+		}
+		if !annotationsEqual(ca, cb, StateID(q)) {
+			return fmt.Sprintf("state %d annotation %q vs %q", q, ca.Annotation(StateID(q)), cb.Annotation(StateID(q)))
+		}
+	}
+	return ""
+}
+
+func annotationsEqual(a, b *Automaton, q StateID) bool {
+	fa, fb := a.Annotation(q), b.Annotation(q)
+	if fa.String() == fb.String() {
+		return true
+	}
+	return formula.Equal(fa, fb)
+}
+
+// SameLanguage reports language equality ignoring annotations.
+func SameLanguage(a, b *Automaton) bool {
+	return !hasAcceptingPath(a.Difference(b)) && !hasAcceptingPath(b.Difference(a))
+}
+
+// hasAcceptingPath reports plain FSA non-emptiness (annotations
+// ignored): some final state is reachable.
+func hasAcceptingPath(a *Automaton) bool {
+	if a.start == None {
+		return false
+	}
+	reach := a.Reachable()
+	for q, f := range a.final {
+		if f && reach[q] {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,256 @@
+package afsa
+
+import (
+	"fmt"
+
+	"repro/internal/formula"
+	"repro/internal/label"
+)
+
+// Complete returns a copy in which every state has an outgoing
+// transition for every label in alphabet, adding a non-final sink
+// state when needed (Def. 4 requires complete automata). The second
+// result is the sink's state ID, or None when no sink was necessary.
+// The sink carries no annotation; it is never viable.
+func (a *Automaton) Complete(alphabet label.Set) (*Automaton, StateID) {
+	out := a.Clone()
+	labels := alphabet.Sorted()
+	sink := None
+	ensureSink := func() StateID {
+		if sink == None {
+			sink = out.AddState()
+			for _, l := range labels {
+				out.AddTransition(sink, l, sink)
+			}
+		}
+		return sink
+	}
+	n := out.NumStates() // do not complete the sink twice
+	for q := 0; q < n; q++ {
+		have := map[label.Label]bool{}
+		for _, t := range out.trans[q] {
+			have[t.Label] = true
+		}
+		for _, l := range labels {
+			if !have[l] {
+				out.AddTransition(StateID(q), l, ensureSink())
+			}
+		}
+	}
+	return out, sink
+}
+
+// Complement returns an automaton accepting the complement of L(a)
+// with respect to alphabet. Annotations are dropped: the complement of
+// a *language* is well-defined, the complement of a mandatory-message
+// constraint is not (see DESIGN.md §3); the paper uses complement only
+// as a building block for union over languages.
+func (a *Automaton) Complement(alphabet label.Set) *Automaton {
+	d := a.Determinize()
+	for q := range d.anno {
+		d.anno[q] = nil
+	}
+	c, _ := d.Complete(alphabet)
+	for q := 0; q < c.NumStates(); q++ {
+		c.final[q] = !c.final[q]
+	}
+	c.Name = "not(" + a.Name + ")"
+	return c
+}
+
+// pairKey identifies a product state.
+type pairKey struct{ p, q StateID }
+
+// productConfig controls the shared product construction.
+type productConfig struct {
+	name string
+	// finalRule decides finality of a pair from the component
+	// finality bits.
+	finalRule func(f1, f2 bool) bool
+	// annoRule selects which components' annotations the pair
+	// inherits: 1 = left only, 2 = right only, 3 = both.
+	annoRule int
+}
+
+// product builds the synchronous product of two ε-free automata: pair
+// (p,q) steps on label l to (p',q') iff both components have an
+// l-transition. It is the common core of intersection, difference and
+// union (the latter two complete their inputs first so that the
+// synchronous product covers the full alphabet).
+func product(a, b *Automaton, cfg productConfig) *Automaton {
+	out := New(cfg.name)
+	if a.start == None || b.start == None {
+		return out
+	}
+	index := map[pairKey]StateID{}
+	var worklist []pairKey
+	add := func(k pairKey) StateID {
+		if id, ok := index[k]; ok {
+			return id
+		}
+		id := out.AddState()
+		index[k] = id
+		out.final[id] = cfg.finalRule(a.final[k.p], b.final[k.q])
+		if cfg.annoRule&1 != 0 {
+			for _, f := range a.anno[k.p] {
+				out.Annotate(id, f)
+			}
+		}
+		if cfg.annoRule&2 != 0 {
+			for _, f := range b.anno[k.q] {
+				out.Annotate(id, f)
+			}
+		}
+		worklist = append(worklist, k)
+		return id
+	}
+	out.SetStart(add(pairKey{a.start, b.start}))
+	for len(worklist) > 0 {
+		k := worklist[0]
+		worklist = worklist[1:]
+		from := index[k]
+		for _, t1 := range a.Transitions(k.p) {
+			for _, t2 := range b.Transitions(k.q) {
+				if t1.Label == t2.Label {
+					to := add(pairKey{t1.To, t2.To})
+					out.AddTransition(from, t1.Label, to)
+				}
+			}
+		}
+	}
+	return out
+}
+
+// Intersect implements Def. 3: the cross-product automaton over the
+// shared alphabet whose pair states conjoin the component annotations.
+// ε transitions are removed first (views produce them). The result
+// accepts L(a) ∩ L(b); its annotated emptiness decides bilateral
+// consistency (Sec. 3.2).
+func (a *Automaton) Intersect(b *Automaton) *Automaton {
+	ea, eb := a.RemoveEpsilon(), b.RemoveEpsilon()
+	return product(ea, eb, productConfig{
+		name:      fmt.Sprintf("(%s ∩ %s)", a.Name, b.Name),
+		finalRule: func(f1, f2 bool) bool { return f1 && f2 },
+		annoRule:  3,
+	})
+}
+
+// Difference implements Def. 4: an automaton accepting L(a) \ L(b)
+// whose annotations are inherited from a (the paper's QA1). b is
+// determinized and completed over Σa ∪ Σb so that F = F1 × (Q2 \ F2)
+// characterizes exactly the words of a not accepted by b.
+func (a *Automaton) Difference(b *Automaton) *Automaton {
+	ea := a.RemoveEpsilon()
+	db := b.Determinize()
+	sigma := ea.Alphabet().Union(db.Alphabet())
+	cb, _ := db.Complete(sigma)
+	out := product(ea, cb, productConfig{
+		name:      fmt.Sprintf("(%s \\ %s)", a.Name, b.Name),
+		finalRule: func(f1, f2 bool) bool { return f1 && !f2 },
+		annoRule:  1,
+	})
+	trimmed, _ := out.TrimCoReachable()
+	trimmed.Name = out.Name
+	return trimmed
+}
+
+// Union returns an automaton accepting L(a) ∪ L(b). Both inputs are
+// determinized and completed over the union alphabet; pair states
+// conjoin the component annotations (a completion sink carries none,
+// so the annotations of the surviving branch win — DESIGN.md §3).
+// The paper constructs union via De Morgan from complement and
+// intersection; see UnionDeMorgan for that language-level form.
+func (a *Automaton) Union(b *Automaton) *Automaton {
+	da, db := a.Determinize(), b.Determinize()
+	sigma := da.Alphabet().Union(db.Alphabet())
+	ca, _ := da.Complete(sigma)
+	cb, _ := db.Complete(sigma)
+	out := product(ca, cb, productConfig{
+		name:      fmt.Sprintf("(%s ∪ %s)", a.Name, b.Name),
+		finalRule: func(f1, f2 bool) bool { return f1 || f2 },
+		annoRule:  3,
+	})
+	trimmed, _ := out.TrimCoReachable()
+	trimmed.Name = out.Name
+	return trimmed
+}
+
+// UnionDeMorgan builds the union of the *languages* of a and b as the
+// paper describes (A ∪ B ≡ complement(complement(A) ∩ complement(B))).
+// Annotations are dropped by complementation; use Union to preserve
+// them.
+func (a *Automaton) UnionDeMorgan(b *Automaton) *Automaton {
+	sigma := a.Alphabet().Union(b.Alphabet())
+	u := a.Complement(sigma).Intersect(b.Complement(sigma)).Complement(sigma)
+	out, _ := u.TrimCoReachable()
+	out.Name = fmt.Sprintf("(%s ∪ %s)", a.Name, b.Name)
+	return out
+}
+
+// Shuffle returns the interleaving product of two ε-free automata:
+// pair (p,q) can take any move of either component independently.
+// Finality requires both components final; annotations conjoin. The
+// BPEL mapping uses Shuffle for the parallel <flow> construct.
+func (a *Automaton) Shuffle(b *Automaton) *Automaton {
+	ea, eb := a.RemoveEpsilon(), b.RemoveEpsilon()
+	out := New(fmt.Sprintf("(%s ⧢ %s)", a.Name, b.Name))
+	if ea.start == None || eb.start == None {
+		return out
+	}
+	index := map[pairKey]StateID{}
+	var worklist []pairKey
+	add := func(k pairKey) StateID {
+		if id, ok := index[k]; ok {
+			return id
+		}
+		id := out.AddState()
+		index[k] = id
+		out.final[id] = ea.final[k.p] && eb.final[k.q]
+		for _, f := range ea.anno[k.p] {
+			out.Annotate(id, f)
+		}
+		for _, f := range eb.anno[k.q] {
+			out.Annotate(id, f)
+		}
+		worklist = append(worklist, k)
+		return id
+	}
+	out.SetStart(add(pairKey{ea.start, eb.start}))
+	for len(worklist) > 0 {
+		k := worklist[0]
+		worklist = worklist[1:]
+		from := index[k]
+		for _, t := range ea.Transitions(k.p) {
+			out.AddTransition(from, t.Label, add(pairKey{t.To, k.q}))
+		}
+		for _, t := range eb.Transitions(k.q) {
+			out.AddTransition(from, t.Label, add(pairKey{k.p, t.To}))
+		}
+	}
+	return out
+}
+
+// Concat returns an automaton accepting L(a)·L(b): every final state
+// of a gains an ε transition to b's start state and loses finality.
+// Used by the change suggestion engine to splice message sequences.
+func (a *Automaton) Concat(b *Automaton) *Automaton {
+	out := a.Clone()
+	out.Name = fmt.Sprintf("(%s · %s)", a.Name, b.Name)
+	offset := out.NumStates()
+	out.AddStates(b.NumStates())
+	for q := 0; q < b.NumStates(); q++ {
+		nq := StateID(q + offset)
+		out.final[nq] = b.final[q]
+		out.anno[nq] = append([]*formula.Formula(nil), b.anno[q]...)
+		for _, t := range b.trans[q] {
+			out.AddTransition(nq, t.Label, t.To+StateID(offset))
+		}
+	}
+	for q := 0; q < offset; q++ {
+		if out.final[q] && a.final[q] {
+			out.final[q] = false
+			out.AddTransition(StateID(q), label.Epsilon, b.start+StateID(offset))
+		}
+	}
+	return out.RemoveEpsilon()
+}

@@ -1,0 +1,329 @@
+package afsa
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/formula"
+	"repro/internal/label"
+)
+
+// testAlphabet is a small shared alphabet for randomized operator tests.
+var testAlphabet = []label.Label{
+	lbl("A#B#m0"), lbl("A#B#m1"), lbl("B#A#m2"), lbl("B#A#m3"),
+}
+
+// randomDFA builds a random trim DFA over testAlphabet.
+func randomDFA(r *rand.Rand, states int) *Automaton {
+	a := New("rand")
+	for i := 0; i < states; i++ {
+		a.AddState()
+	}
+	a.SetStart(0)
+	for q := 0; q < states; q++ {
+		for _, l := range testAlphabet {
+			if r.Intn(100) < 55 {
+				a.AddTransition(StateID(q), l, StateID(r.Intn(states)))
+			}
+		}
+		if r.Intn(100) < 35 {
+			a.SetFinal(StateID(q), true)
+		}
+	}
+	if len(a.FinalStates()) == 0 {
+		a.SetFinal(StateID(r.Intn(states)), true)
+	}
+	trimmed, _ := a.Trim()
+	return trimmed
+}
+
+// randomWord draws a word over testAlphabet.
+func randomWord(r *rand.Rand, maxLen int) []label.Label {
+	n := r.Intn(maxLen + 1)
+	w := make([]label.Label, n)
+	for i := range w {
+		w[i] = testAlphabet[r.Intn(len(testAlphabet))]
+	}
+	return w
+}
+
+func TestIntersectLanguageProperty(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 40; trial++ {
+		a, b := randomDFA(r, 4), randomDFA(r, 4)
+		inter := a.Intersect(b)
+		for i := 0; i < 40; i++ {
+			w := randomWord(r, 6)
+			want := a.Accepts(w) && b.Accepts(w)
+			if got := inter.Accepts(w); got != want {
+				t.Fatalf("trial %d: Intersect accepts(%v) = %v, want %v\nA:\n%s\nB:\n%s", trial, w, got, want, a.DebugString(), b.DebugString())
+			}
+		}
+	}
+}
+
+func TestDifferenceLanguageProperty(t *testing.T) {
+	r := rand.New(rand.NewSource(8))
+	for trial := 0; trial < 40; trial++ {
+		a, b := randomDFA(r, 4), randomDFA(r, 4)
+		diff := a.Difference(b)
+		for i := 0; i < 40; i++ {
+			w := randomWord(r, 6)
+			want := a.Accepts(w) && !b.Accepts(w)
+			if got := diff.Accepts(w); got != want {
+				t.Fatalf("trial %d: Difference accepts(%v) = %v, want %v", trial, w, got, want)
+			}
+		}
+	}
+}
+
+func TestUnionLanguageProperty(t *testing.T) {
+	r := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 40; trial++ {
+		a, b := randomDFA(r, 4), randomDFA(r, 4)
+		union := a.Union(b)
+		for i := 0; i < 40; i++ {
+			w := randomWord(r, 6)
+			want := a.Accepts(w) || b.Accepts(w)
+			if got := union.Accepts(w); got != want {
+				t.Fatalf("trial %d: Union accepts(%v) = %v, want %v", trial, w, got, want)
+			}
+		}
+	}
+}
+
+func TestUnionMatchesDeMorganForm(t *testing.T) {
+	r := rand.New(rand.NewSource(10))
+	for trial := 0; trial < 25; trial++ {
+		a, b := randomDFA(r, 4), randomDFA(r, 4)
+		direct := a.Union(b)
+		demorgan := a.UnionDeMorgan(b)
+		if !SameLanguage(direct, demorgan) {
+			t.Fatalf("trial %d: Union and UnionDeMorgan disagree", trial)
+		}
+	}
+}
+
+func TestComplementLanguageProperty(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	sigma := label.NewSet(testAlphabet...)
+	for trial := 0; trial < 30; trial++ {
+		a := randomDFA(r, 4)
+		comp := a.Complement(sigma)
+		for i := 0; i < 40; i++ {
+			w := randomWord(r, 6)
+			if comp.Accepts(w) == a.Accepts(w) {
+				t.Fatalf("trial %d: complement agrees with original on %v", trial, w)
+			}
+		}
+	}
+}
+
+func TestDoubleComplementIsIdentityOnLanguage(t *testing.T) {
+	r := rand.New(rand.NewSource(12))
+	sigma := label.NewSet(testAlphabet...)
+	for trial := 0; trial < 20; trial++ {
+		a := randomDFA(r, 4)
+		cc := a.Complement(sigma).Complement(sigma)
+		if !SameLanguage(a, cc) {
+			t.Fatalf("trial %d: double complement changed the language", trial)
+		}
+	}
+}
+
+func TestIntersectOnlySharedLabels(t *testing.T) {
+	// Def. 3: Σ = Σ1 ∩ Σ2 — a label present in only one automaton
+	// never appears in the intersection.
+	a := chain("a", "A#B#only_a", "A#B#shared")
+	b := chain("b", "A#B#only_b", "A#B#shared")
+	inter := a.Intersect(b)
+	sigma := inter.Alphabet()
+	if sigma.Has(lbl("A#B#only_a")) || sigma.Has(lbl("A#B#only_b")) {
+		t.Fatalf("intersection alphabet leaked private labels: %v", sigma)
+	}
+}
+
+func TestIntersectAnnotationConjunction(t *testing.T) {
+	a := chain("a", "A#B#x")
+	b := chain("b", "A#B#x")
+	a.Annotate(a.Start(), formula.Var("A#B#x"))
+	b.Annotate(b.Start(), formula.Var("A#B#x"))
+	inter := a.Intersect(b)
+	// Both sides contribute the same variable; the conjunction
+	// simplifies to a single var but must not be dropped.
+	if inter.Annotation(inter.Start()).IsTrue() {
+		t.Fatal("intersection lost annotations")
+	}
+}
+
+func TestDifferenceKeepsMinuendAnnotations(t *testing.T) {
+	a := chain("a", "A#B#x", "A#B#y")
+	a.Annotate(a.Start(), formula.Var("A#B#x"))
+	b := chain("b", "A#B#z") // disjoint language
+	diff := a.Difference(b)
+	if diff.Annotation(diff.Start()).IsTrue() {
+		t.Fatalf("difference lost the minuend annotation:\n%s", diff.DebugString())
+	}
+	if !diff.Accepts([]label.Label{lbl("A#B#x"), lbl("A#B#y")}) {
+		t.Fatal("difference lost the minuend word")
+	}
+}
+
+func TestDifferenceWithSelfIsEmpty(t *testing.T) {
+	a := chain("a", "A#B#x", "A#B#y")
+	diff := a.Difference(a)
+	if hasAcceptingPath(diff) {
+		t.Fatalf("A \\ A accepts something:\n%s", diff.DebugString())
+	}
+}
+
+func TestUnionPreservesAnnotationsOfBothSides(t *testing.T) {
+	a := chain("a", "B#A#x")
+	a.Annotate(a.Start(), formula.Var("B#A#x"))
+	b := chain("b", "B#A#y")
+	b.Annotate(b.Start(), formula.Var("B#A#y"))
+	u := a.Union(b)
+	anno := u.Annotation(u.Start())
+	want := formula.And(formula.Var("B#A#x"), formula.Var("B#A#y"))
+	if !formula.Equal(anno, want) {
+		t.Fatalf("union start annotation = %v, want %v", anno, want)
+	}
+}
+
+func TestCompleteAddsSink(t *testing.T) {
+	a := chain("a", "A#B#x")
+	sigma := label.NewSet(lbl("A#B#x"), lbl("A#B#y"))
+	c, sink := a.Complete(sigma)
+	if sink == None {
+		t.Fatal("no sink added")
+	}
+	for q := 0; q < c.NumStates(); q++ {
+		for _, l := range sigma.Sorted() {
+			if len(c.Step(StateID(q), l)) == 0 {
+				t.Fatalf("state %d missing label %v after completion", q, l)
+			}
+		}
+	}
+	// Language unchanged.
+	if !c.Accepts([]label.Label{lbl("A#B#x")}) || c.Accepts([]label.Label{lbl("A#B#y")}) {
+		t.Fatal("completion changed the language")
+	}
+}
+
+func TestCompleteNoopWhenComplete(t *testing.T) {
+	a := New("full")
+	q := a.AddState()
+	a.SetStart(q)
+	a.SetFinal(q, true)
+	a.AddTransition(q, lbl("A#B#x"), q)
+	c, sink := a.Complete(label.NewSet(lbl("A#B#x")))
+	if sink != None || c.NumStates() != 1 {
+		t.Fatalf("unnecessary sink added: %d states", c.NumStates())
+	}
+}
+
+func TestShuffleInterleavings(t *testing.T) {
+	a := chain("a", "A#B#x")
+	b := chain("b", "B#A#y")
+	sh := a.Shuffle(b)
+	for _, w := range [][]label.Label{
+		{lbl("A#B#x"), lbl("B#A#y")},
+		{lbl("B#A#y"), lbl("A#B#x")},
+	} {
+		if !sh.Accepts(w) {
+			t.Fatalf("shuffle rejects interleaving %v", w)
+		}
+	}
+	if sh.Accepts([]label.Label{lbl("A#B#x")}) {
+		t.Fatal("shuffle accepts incomplete interleaving")
+	}
+}
+
+func TestConcat(t *testing.T) {
+	a := chain("a", "A#B#x")
+	b := chain("b", "B#A#y")
+	cat := a.Concat(b)
+	if !cat.Accepts([]label.Label{lbl("A#B#x"), lbl("B#A#y")}) {
+		t.Fatal("concat rejects the concatenation")
+	}
+	if cat.Accepts([]label.Label{lbl("A#B#x")}) {
+		t.Fatal("concat accepts the bare prefix")
+	}
+	if cat.Accepts([]label.Label{lbl("B#A#y")}) {
+		t.Fatal("concat accepts the bare suffix")
+	}
+}
+
+func TestProductOfEmptyAutomata(t *testing.T) {
+	void := New("void")
+	a := chain("a", "A#B#x")
+	if got := void.Intersect(a); got.NumStates() != 0 {
+		t.Fatalf("void intersect = %d states", got.NumStates())
+	}
+	if got := a.Intersect(void); got.NumStates() != 0 {
+		t.Fatalf("intersect void = %d states", got.NumStates())
+	}
+}
+
+func TestUnionDeMorganDropsAnnotations(t *testing.T) {
+	a := chain("a", "B#A#x")
+	a.Annotate(a.Start(), formula.Var("B#A#x"))
+	b := chain("b", "B#A#y")
+	u := a.UnionDeMorgan(b)
+	for q := 0; q < u.NumStates(); q++ {
+		if !u.Annotation(StateID(q)).IsTrue() {
+			t.Fatalf("De Morgan union kept an annotation at state %d", q)
+		}
+	}
+	// The language is still the union.
+	if !u.Accepts([]label.Label{lbl("B#A#x")}) || !u.Accepts([]label.Label{lbl("B#A#y")}) {
+		t.Fatal("De Morgan union language wrong")
+	}
+}
+
+func TestDeterminizeWithMapMembers(t *testing.T) {
+	// NFA with two x-successors: the subset state must report both.
+	a := New("nfa")
+	q0 := a.AddState()
+	q1 := a.AddState()
+	q2 := a.AddState()
+	a.SetStart(q0)
+	a.SetFinal(q1, true)
+	a.SetFinal(q2, true)
+	a.AddTransition(q0, lbl("A#B#x"), q1)
+	a.AddTransition(q0, lbl("A#B#x"), q2)
+	d, members := a.DeterminizeWithMap()
+	if d.NumStates() != 2 {
+		t.Fatalf("determinized states = %d", d.NumStates())
+	}
+	ts := d.Transitions(d.Start())
+	if len(ts) != 1 {
+		t.Fatalf("start transitions = %v", ts)
+	}
+	ms := members[ts[0].To]
+	if len(ms) != 2 || ms[0] != q1 || ms[1] != q2 {
+		t.Fatalf("subset members = %v, want [1 2]", ms)
+	}
+}
+
+func TestConcatThroughLoop(t *testing.T) {
+	loop := New("loop")
+	l0 := loop.AddState()
+	loop.SetStart(l0)
+	loop.SetFinal(l0, true)
+	loop.AddTransition(l0, lbl("A#B#x"), l0)
+	tail := chain("tail", "A#B#y")
+	cat := loop.Concat(tail)
+	for _, w := range [][]label.Label{
+		{lbl("A#B#y")},
+		{lbl("A#B#x"), lbl("A#B#y")},
+		{lbl("A#B#x"), lbl("A#B#x"), lbl("A#B#y")},
+	} {
+		if !cat.Accepts(w) {
+			t.Fatalf("concat through loop rejects %v", w)
+		}
+	}
+	if cat.Accepts([]label.Label{lbl("A#B#x")}) {
+		t.Fatal("concat accepts loop-only word")
+	}
+}

@@ -1,0 +1,192 @@
+package afsa
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/label"
+)
+
+// Property-based tests over seeded random automata. testing/quick
+// drives the seeds; the automata are rebuilt deterministically from
+// them so failures are reproducible.
+
+func dfaFromSeed(seed int64, states int) *Automaton {
+	if states < 1 {
+		states = 1
+	}
+	return randomDFA(rand.New(rand.NewSource(seed)), states%6+2)
+}
+
+func quickCfg() *quick.Config {
+	return &quick.Config{MaxCount: 30}
+}
+
+// Intersection is commutative on languages.
+func TestQuickIntersectCommutative(t *testing.T) {
+	f := func(s1, s2 int64) bool {
+		a, b := dfaFromSeed(s1, 4), dfaFromSeed(s2, 5)
+		return SameLanguage(a.Intersect(b), b.Intersect(a))
+	}
+	if err := quick.Check(f, quickCfg()); err != nil {
+		t.Error(err)
+	}
+}
+
+// Union is commutative on languages.
+func TestQuickUnionCommutative(t *testing.T) {
+	f := func(s1, s2 int64) bool {
+		a, b := dfaFromSeed(s1, 4), dfaFromSeed(s2, 5)
+		return SameLanguage(a.Union(b), b.Union(a))
+	}
+	if err := quick.Check(f, quickCfg()); err != nil {
+		t.Error(err)
+	}
+}
+
+// L(A \ B) and L(B) are disjoint.
+func TestQuickDifferenceDisjoint(t *testing.T) {
+	f := func(s1, s2 int64) bool {
+		a, b := dfaFromSeed(s1, 4), dfaFromSeed(s2, 5)
+		diff := a.Difference(b)
+		return !hasAcceptingPath(diff.Intersect(b))
+	}
+	if err := quick.Check(f, quickCfg()); err != nil {
+		t.Error(err)
+	}
+}
+
+// A = (A \ B) ∪ (A ∩ B) on languages.
+func TestQuickDifferencePartition(t *testing.T) {
+	f := func(s1, s2 int64) bool {
+		a, b := dfaFromSeed(s1, 4), dfaFromSeed(s2, 5)
+		rebuilt := a.Difference(b).Union(a.Intersect(b))
+		return SameLanguage(a, rebuilt)
+	}
+	if err := quick.Check(f, quickCfg()); err != nil {
+		t.Error(err)
+	}
+}
+
+// Determinize and Minimize are language-preserving and idempotent.
+func TestQuickNormalFormsIdempotent(t *testing.T) {
+	f := func(s int64) bool {
+		a := dfaFromSeed(s, 5)
+		d := a.Determinize()
+		m := a.Minimize()
+		return SameLanguage(a, d) && SameLanguage(a, m) &&
+			m.NumStates() == m.Minimize().NumStates()
+	}
+	if err := quick.Check(f, quickCfg()); err != nil {
+		t.Error(err)
+	}
+}
+
+// Minimization never grows the automaton.
+func TestQuickMinimizeShrinks(t *testing.T) {
+	f := func(s int64) bool {
+		a := dfaFromSeed(s, 5)
+		d := a.Determinize()
+		return a.Minimize().NumStates() <= d.NumStates()
+	}
+	if err := quick.Check(f, quickCfg()); err != nil {
+		t.Error(err)
+	}
+}
+
+// Canonicalization is invariant under state renumbering.
+func TestQuickCanonicalIsomorphismInvariant(t *testing.T) {
+	f := func(s int64, permSeed int64) bool {
+		a := dfaFromSeed(s, 5)
+		b := permuteStates(a, permSeed)
+		return Equivalent(a, b)
+	}
+	if err := quick.Check(f, quickCfg()); err != nil {
+		t.Error(err)
+	}
+}
+
+// permuteStates returns an isomorphic copy with renumbered states.
+func permuteStates(a *Automaton, seed int64) *Automaton {
+	r := rand.New(rand.NewSource(seed))
+	n := a.NumStates()
+	perm := r.Perm(n)
+	out := New(a.Name + " permuted")
+	out.AddStates(n)
+	if n == 0 {
+		return out
+	}
+	out.SetStart(StateID(perm[a.Start()]))
+	for q := 0; q < n; q++ {
+		nq := StateID(perm[q])
+		out.SetFinal(nq, a.IsFinal(StateID(q)))
+		for _, f := range a.Annotations(StateID(q)) {
+			out.Annotate(nq, f)
+		}
+		for _, tr := range a.Transitions(StateID(q)) {
+			out.AddTransition(nq, tr.Label, StateID(perm[tr.To]))
+		}
+	}
+	return out
+}
+
+// Bilateral consistency is symmetric.
+func TestQuickConsistentSymmetric(t *testing.T) {
+	f := func(s1, s2 int64) bool {
+		a, b := dfaFromSeed(s1, 4), dfaFromSeed(s2, 5)
+		x, err1 := Consistent(a, b)
+		y, err2 := Consistent(b, a)
+		return err1 == nil && err2 == nil && x == y
+	}
+	if err := quick.Check(f, quickCfg()); err != nil {
+		t.Error(err)
+	}
+}
+
+// The view of a party not mentioned in any label is the empty-word
+// language (everything becomes ε) — and viewing is monotone: a view
+// never invents labels.
+func TestQuickViewAlphabetShrinks(t *testing.T) {
+	f := func(s int64) bool {
+		a := dfaFromSeed(s, 5)
+		v := a.View("A")
+		for l := range v.Alphabet() {
+			if !l.Involves("A") {
+				return false
+			}
+			if !a.Alphabet().Has(l) {
+				return false
+			}
+		}
+		ghost := a.View("nobody")
+		return len(ghost.Alphabet()) == 0
+	}
+	if err := quick.Check(f, quickCfg()); err != nil {
+		t.Error(err)
+	}
+}
+
+// Completion preserves the language.
+func TestQuickCompletePreservesLanguage(t *testing.T) {
+	sigma := label.NewSet(testAlphabet...)
+	f := func(s int64) bool {
+		a := dfaFromSeed(s, 5)
+		c, _ := a.Complete(sigma)
+		return SameLanguage(a, c)
+	}
+	if err := quick.Check(f, quickCfg()); err != nil {
+		t.Error(err)
+	}
+}
+
+// Shuffle is commutative on languages.
+func TestQuickShuffleCommutative(t *testing.T) {
+	f := func(s1, s2 int64) bool {
+		a, b := dfaFromSeed(s1, 3), dfaFromSeed(s2, 3)
+		return SameLanguage(a.Shuffle(b), b.Shuffle(a))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,159 @@
+package afsa
+
+import (
+	"fmt"
+
+	"repro/internal/formula"
+	"repro/internal/label"
+)
+
+// View computes the bilateral view τ_party(a) of Sec. 3.4: every
+// transition whose label does not involve party is relabeled with ε,
+// annotations are projected onto the visible alphabet, and the result
+// is ε-removed, determinized and minimized (the paper presents views
+// minimized, Fig. 8).
+//
+// Annotation projection (DESIGN.md §3): a hidden variable v annotated
+// at state r — a mandatory alternative the partner cannot observe — is
+// substituted by the disjunction of the first *visible* labels
+// reachable from r's v-successors through hidden transitions. When the
+// obligation can discharge invisibly (a final state or nothing visible
+// follows), the variable is substituted by true. This reproduces
+// Fig. 12a, where the hidden A#L#deliverOp conjunct of the accounting
+// credit decision surfaces as A#B#deliveryOp in the buyer view.
+func (a *Automaton) View(party string) *Automaton {
+	v := a.ViewRaw(party)
+	out := v.Minimize()
+	out.Name = v.Name
+	return out
+}
+
+// ViewRaw is View without the final minimization; the propagation
+// algorithms of Sec. 5 use it when they need to keep state identities
+// aligned with the pre-view automaton.
+func (a *Automaton) ViewRaw(party string) *Automaton {
+	visible := func(l label.Label) bool { return l.Involves(party) }
+	out := New(fmt.Sprintf("τ_%s(%s)", party, a.Name))
+	out.AddStates(a.NumStates())
+	if a.start != None {
+		out.SetStart(a.start)
+	}
+	for q := 0; q < a.NumStates(); q++ {
+		out.final[q] = a.final[q]
+		for _, t := range a.trans[q] {
+			if visible(t.Label) {
+				out.AddTransition(StateID(q), t.Label, t.To)
+			} else {
+				out.AddTransition(StateID(q), label.Epsilon, t.To)
+			}
+		}
+		for _, f := range a.anno[q] {
+			out.Annotate(StateID(q), projectAnnotation(a, StateID(q), f, visible))
+		}
+	}
+	return out
+}
+
+// projectAnnotation substitutes hidden variables of f, evaluated at
+// state q, by the disjunction of the first visible labels reachable
+// from the hidden transition's targets (true when the obligation can
+// discharge invisibly).
+func projectAnnotation(a *Automaton, q StateID, f *formula.Formula, visible func(label.Label) bool) *formula.Formula {
+	return f.Substitute(func(name string) *formula.Formula {
+		l := label.Label(name)
+		if visible(l) {
+			return nil // keep visible variables unchanged
+		}
+		if !hasTransition(a, q, l) {
+			// The hidden alternative does not exist at the annotated
+			// state: it can never be satisfied, before or after the
+			// projection.
+			return formula.False()
+		}
+		var firsts []*formula.Formula
+		for _, t := range a.trans[q] {
+			if t.Label != l {
+				continue
+			}
+			fs, dischargeable := firstVisible(a, t.To, visible)
+			if dischargeable {
+				// The obligation can complete without the partner
+				// observing anything; it imposes no visible constraint.
+				return formula.True()
+			}
+			firsts = append(firsts, fs...)
+		}
+		if len(firsts) == 0 {
+			// The hidden branch reaches neither a visible label nor a
+			// final state: it is a dead alternative.
+			return formula.False()
+		}
+		return formula.Or(firsts...)
+	})
+}
+
+func hasTransition(a *Automaton, q StateID, l label.Label) bool {
+	for _, t := range a.trans[q] {
+		if t.Label == l {
+			return true
+		}
+	}
+	return false
+}
+
+// firstVisible collects the first visible labels reachable from q via
+// hidden transitions only, and reports whether a final state is
+// reachable invisibly (the obligation discharges without the partner
+// seeing anything).
+func firstVisible(a *Automaton, q StateID, visible func(label.Label) bool) ([]*formula.Formula, bool) {
+	seen := map[StateID]bool{}
+	var labels []*formula.Formula
+	labelSeen := map[label.Label]bool{}
+	discharge := false
+	var walk func(s StateID)
+	walk = func(s StateID) {
+		if seen[s] {
+			return
+		}
+		seen[s] = true
+		if a.final[s] {
+			discharge = true
+		}
+		for _, t := range a.trans[s] {
+			if visible(t.Label) {
+				if !labelSeen[t.Label] {
+					labelSeen[t.Label] = true
+					labels = append(labels, formula.Var(string(t.Label)))
+				}
+			} else {
+				walk(t.To)
+			}
+		}
+	}
+	walk(q)
+	return labels, discharge
+}
+
+// Restrict returns a copy of a containing only transitions between
+// parties p and q (both directions); other transitions are dropped
+// entirely (not ε'd). Used by the simulator to build bilateral
+// sub-protocols.
+func (a *Automaton) Restrict(p, q string) *Automaton {
+	out := New(fmt.Sprintf("%s|%s,%s", a.Name, p, q))
+	out.AddStates(a.NumStates())
+	if a.start != None {
+		out.SetStart(a.start)
+	}
+	for s := 0; s < a.NumStates(); s++ {
+		out.final[s] = a.final[s]
+		for _, f := range a.anno[s] {
+			out.Annotate(StateID(s), f)
+		}
+		for _, t := range a.trans[s] {
+			if t.Label.Between(p, q) {
+				out.AddTransition(StateID(s), t.Label, t.To)
+			}
+		}
+	}
+	return out
+}

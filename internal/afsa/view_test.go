@@ -1,0 +1,181 @@
+package afsa
+
+import (
+	"testing"
+
+	"repro/internal/formula"
+	"repro/internal/label"
+)
+
+// threePartyChain builds A: order(B→A), deliver(A→L), conf(L→A),
+// delivery(A→B) — the backbone of the paper's accounting process.
+func threePartyChain() *Automaton {
+	return chain("acc-backbone",
+		"B#A#orderOp", "A#L#deliverOp", "L#A#deliver_confOp", "A#B#deliveryOp")
+}
+
+func TestViewHidesOtherParties(t *testing.T) {
+	a := threePartyChain()
+	v := a.View("B")
+	// Buyer sees exactly order then delivery.
+	if !v.Accepts([]label.Label{lbl("B#A#orderOp"), lbl("A#B#deliveryOp")}) {
+		t.Fatalf("buyer view rejects the projected word:\n%s", v.DebugString())
+	}
+	sigma := v.Alphabet()
+	if sigma.Has(lbl("A#L#deliverOp")) || sigma.Has(lbl("L#A#deliver_confOp")) {
+		t.Fatalf("buyer view leaks logistics labels: %v", sigma)
+	}
+	if v.HasEpsilon() {
+		t.Fatal("view still has ε transitions after minimization")
+	}
+	// Minimized: 3 states (order, delivery, done).
+	if v.NumStates() != 3 {
+		t.Fatalf("buyer view has %d states, want 3:\n%s", v.NumStates(), v.DebugString())
+	}
+}
+
+func TestViewLogisticsSide(t *testing.T) {
+	a := threePartyChain()
+	v := a.View("L")
+	if !v.Accepts([]label.Label{lbl("A#L#deliverOp"), lbl("L#A#deliver_confOp")}) {
+		t.Fatalf("logistics view rejects the projected word:\n%s", v.DebugString())
+	}
+	if v.Alphabet().Has(lbl("B#A#orderOp")) {
+		t.Fatal("logistics view leaks buyer labels")
+	}
+}
+
+// TestViewAnnotationProjection reproduces the essence of Fig. 12a: an
+// internal choice between a hidden branch (deliver to logistics, later
+// visible as delivery to the buyer) and a visible branch (cancel to
+// the buyer) must surface as "cancelOp AND deliveryOp" in the buyer
+// view.
+func TestViewAnnotationProjection(t *testing.T) {
+	a := New("acc-credit-choice")
+	q0 := a.AddState() // decision state
+	q1 := a.AddState() // after deliver (hidden)
+	q2 := a.AddState() // after delivery (visible)
+	q3 := a.AddState() // after cancel (visible)
+	a.SetStart(q0)
+	a.SetFinal(q2, true)
+	a.SetFinal(q3, true)
+	a.AddTransition(q0, lbl("A#L#deliverOp"), q1)
+	a.AddTransition(q1, lbl("A#B#deliveryOp"), q2)
+	a.AddTransition(q0, lbl("A#B#cancelOp"), q3)
+	a.Annotate(q0, formula.And(formula.Var("A#L#deliverOp"), formula.Var("A#B#cancelOp")))
+
+	v := a.View("B")
+	anno := v.Annotation(v.Start())
+	want := formula.And(formula.Var("A#B#deliveryOp"), formula.Var("A#B#cancelOp"))
+	if !formula.Equal(anno, want) {
+		t.Fatalf("projected annotation = %v, want %v\n%s", anno, want, v.DebugString())
+	}
+}
+
+func TestViewAnnotationDischargesInvisibly(t *testing.T) {
+	// Hidden mandatory branch that reaches a final state without any
+	// visible label: the obligation vanishes from the view.
+	a := New("hidden-final")
+	q0 := a.AddState()
+	q1 := a.AddState()
+	q2 := a.AddState()
+	a.SetStart(q0)
+	a.SetFinal(q1, true)
+	a.SetFinal(q2, true)
+	a.AddTransition(q0, lbl("A#L#stopOp"), q1) // hidden, then done
+	a.AddTransition(q0, lbl("A#B#goOp"), q2)   // visible
+	a.Annotate(q0, formula.And(formula.Var("A#L#stopOp"), formula.Var("A#B#goOp")))
+
+	v := a.View("B")
+	anno := v.Annotation(v.Start())
+	if !formula.Equal(anno, formula.Var("A#B#goOp")) {
+		t.Fatalf("projected annotation = %v, want A#B#goOp", anno)
+	}
+}
+
+func TestViewAnnotationDeadHiddenBranch(t *testing.T) {
+	// Hidden mandatory branch that leads nowhere: stays unsatisfiable.
+	a := New("hidden-dead")
+	q0 := a.AddState()
+	q1 := a.AddState() // dead end, non-final
+	q2 := a.AddState()
+	a.SetStart(q0)
+	a.SetFinal(q2, true)
+	a.AddTransition(q0, lbl("A#L#lostOp"), q1)
+	a.AddTransition(q0, lbl("A#B#goOp"), q2)
+	a.Annotate(q0, formula.And(formula.Var("A#L#lostOp"), formula.Var("A#B#goOp")))
+
+	v := a.ViewRaw("B")
+	anno := v.Annotation(v.Start())
+	if !anno.IsFalse() {
+		t.Fatalf("projected annotation = %v, want false", anno)
+	}
+}
+
+func TestViewAnnotationMissingHiddenVariable(t *testing.T) {
+	// Annotation references a hidden label with no transition at the
+	// annotated state: substitute false.
+	a := New("missing-hidden")
+	q0 := a.AddState()
+	q1 := a.AddState()
+	a.SetStart(q0)
+	a.SetFinal(q1, true)
+	a.AddTransition(q0, lbl("A#B#goOp"), q1)
+	a.Annotate(q0, formula.Var("A#L#ghostOp"))
+	v := a.ViewRaw("B")
+	if !v.Annotation(v.Start()).IsFalse() {
+		t.Fatalf("annotation = %v, want false", v.Annotation(v.Start()))
+	}
+}
+
+func TestViewPreservesLanguageProjection(t *testing.T) {
+	// The view's language must equal the homomorphic image (dropping
+	// hidden labels) of the original language.
+	a := threePartyChain()
+	v := a.View("B")
+	orig := a.AcceptedWords(6, 0)
+	want := map[string]bool{}
+	for _, w := range orig {
+		var proj Word
+		for _, l := range w {
+			if l.Involves("B") {
+				proj = append(proj, l)
+			}
+		}
+		want[proj.String()] = true
+	}
+	got := map[string]bool{}
+	for _, w := range v.AcceptedWords(6, 0) {
+		got[w.String()] = true
+	}
+	if len(got) != len(want) {
+		t.Fatalf("projected language mismatch: got %v want %v", got, want)
+	}
+	for k := range want {
+		if !got[k] {
+			t.Fatalf("missing projected word %s", k)
+		}
+	}
+}
+
+func TestRestrict(t *testing.T) {
+	a := threePartyChain()
+	r := a.Restrict("A", "B")
+	if r.Alphabet().Has(lbl("A#L#deliverOp")) {
+		t.Fatal("Restrict kept a logistics label")
+	}
+	// Restrict drops (not ε's) foreign transitions, so the chain is
+	// broken: the delivery label is unreachable from the start.
+	if r.Accepts([]label.Label{lbl("B#A#orderOp"), lbl("A#B#deliveryOp")}) {
+		t.Fatal("Restrict should not reconnect the chain")
+	}
+}
+
+func TestViewOfViewIsIdempotent(t *testing.T) {
+	a := threePartyChain()
+	v1 := a.View("B")
+	v2 := v1.View("B")
+	if !Equivalent(v1, v2) {
+		t.Fatalf("τ_B(τ_B(A)) differs from τ_B(A): %s", ExplainDifference(v1, v2))
+	}
+}

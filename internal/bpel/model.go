@@ -1,0 +1,442 @@
+// Package bpel models the block-structured BPEL subset the paper's
+// private processes use (Sec. 2): sequence, flow (parallel), switch
+// (data-driven selective), pick (message-driven selective), while,
+// receive, reply, invoke (synchronous and asynchronous), assign,
+// empty, terminate and scope.
+//
+// Processes are trees of activities. Every structured activity carries
+// a block name; the pair Kind:Name forms the path elements of the
+// mapping table of paper Sec. 3.3 ("Sequence:buyer process",
+// "While:tracking", ...). The package provides structural navigation
+// and copy-on-write editing (Transform), XML (de)serialization in
+// BPEL-flavored syntax, and validation against a wsdl.Registry.
+package bpel
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Kind discriminates activity types.
+type Kind int
+
+// Activity kinds.
+const (
+	KindSequence Kind = iota
+	KindFlow
+	KindSwitch
+	KindPick
+	KindWhile
+	KindScope
+	KindReceive
+	KindReply
+	KindInvoke
+	KindAssign
+	KindEmpty
+	KindTerminate
+)
+
+var kindNames = map[Kind]string{
+	KindSequence:  "Sequence",
+	KindFlow:      "Flow",
+	KindSwitch:    "Switch",
+	KindPick:      "Pick",
+	KindWhile:     "While",
+	KindScope:     "Scope",
+	KindReceive:   "Receive",
+	KindReply:     "Reply",
+	KindInvoke:    "Invoke",
+	KindAssign:    "Assign",
+	KindEmpty:     "Empty",
+	KindTerminate: "Terminate",
+}
+
+func (k Kind) String() string {
+	if n, ok := kindNames[k]; ok {
+		return n
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+// Activity is a node of the process tree. Implementations live in this
+// package only.
+type Activity interface {
+	// Kind returns the activity type.
+	Kind() Kind
+	// Name returns the activity's block name (may be empty for basic
+	// activities).
+	Name() string
+	// Clone returns a deep copy.
+	Clone() Activity
+
+	isActivity()
+}
+
+// Element renders the path element of an activity, "Kind:Name"
+// ("Sequence:buyer process"); activities without a name render as the
+// bare kind ("Terminate").
+func Element(a Activity) string {
+	if a == nil {
+		return ""
+	}
+	if a.Name() == "" {
+		return a.Kind().String()
+	}
+	return a.Kind().String() + ":" + a.Name()
+}
+
+// ---- structured activities ----
+
+// Sequence executes its children in order.
+type Sequence struct {
+	BlockName string
+	Children  []Activity
+}
+
+// Flow executes its branches in parallel (interleaved).
+type Flow struct {
+	BlockName string
+	Branches  []Activity
+}
+
+// Case is one conditional branch of a Switch.
+type Case struct {
+	Cond string
+	Body Activity
+}
+
+// Switch chooses one branch by evaluating data conditions — an
+// *internal* choice invisible to partners, which is why the BPEL→aFSA
+// mapping marks all branch alternatives as mandatory (DESIGN.md §3).
+type Switch struct {
+	BlockName string
+	Cases     []Case
+	// Else is the otherwise branch (nil when absent).
+	Else Activity
+}
+
+// OnMessage is one branch of a Pick, triggered by receiving Op from
+// Partner.
+type OnMessage struct {
+	Partner string
+	Op      string
+	Body    Activity
+}
+
+// Pick waits for one of several messages — an *external* choice
+// resolved by the partner, mapped without a mandatory annotation.
+type Pick struct {
+	BlockName string
+	Branches  []OnMessage
+}
+
+// While repeats Body while Cond holds (an internal choice between
+// iterating and exiting).
+type While struct {
+	BlockName string
+	Cond      string
+	Body      Activity
+}
+
+// Scope groups a single child (used for nesting/naming only).
+type Scope struct {
+	BlockName string
+	Body      Activity
+}
+
+// ---- basic activities ----
+
+// Receive waits for Partner to invoke Op at the process owner.
+type Receive struct {
+	BlockName string
+	Partner   string
+	Op        string
+}
+
+// Reply answers a previously received synchronous Op of the owner.
+type Reply struct {
+	BlockName string
+	Partner   string
+	Op        string
+}
+
+// Invoke calls Op at Partner. When Sync is set the invocation is
+// synchronous and implies a response message from Partner back to the
+// owner (two aFSA transitions, cf. Fig. 8b).
+type Invoke struct {
+	BlockName string
+	Partner   string
+	Op        string
+	Sync      bool
+}
+
+// Assign manipulates process variables; invisible to partners.
+type Assign struct{ BlockName string }
+
+// Empty does nothing.
+type Empty struct{ BlockName string }
+
+// Terminate ends the process instance immediately.
+type Terminate struct{ BlockName string }
+
+func (a *Sequence) Kind() Kind  { return KindSequence }
+func (a *Flow) Kind() Kind      { return KindFlow }
+func (a *Switch) Kind() Kind    { return KindSwitch }
+func (a *Pick) Kind() Kind      { return KindPick }
+func (a *While) Kind() Kind     { return KindWhile }
+func (a *Scope) Kind() Kind     { return KindScope }
+func (a *Receive) Kind() Kind   { return KindReceive }
+func (a *Reply) Kind() Kind     { return KindReply }
+func (a *Invoke) Kind() Kind    { return KindInvoke }
+func (a *Assign) Kind() Kind    { return KindAssign }
+func (a *Empty) Kind() Kind     { return KindEmpty }
+func (a *Terminate) Kind() Kind { return KindTerminate }
+
+func (a *Sequence) Name() string  { return a.BlockName }
+func (a *Flow) Name() string      { return a.BlockName }
+func (a *Switch) Name() string    { return a.BlockName }
+func (a *Pick) Name() string      { return a.BlockName }
+func (a *While) Name() string     { return a.BlockName }
+func (a *Scope) Name() string     { return a.BlockName }
+func (a *Receive) Name() string   { return a.BlockName }
+func (a *Reply) Name() string     { return a.BlockName }
+func (a *Invoke) Name() string    { return a.BlockName }
+func (a *Assign) Name() string    { return a.BlockName }
+func (a *Empty) Name() string     { return a.BlockName }
+func (a *Terminate) Name() string { return a.BlockName }
+
+func (a *Sequence) isActivity()  {}
+func (a *Flow) isActivity()      {}
+func (a *Switch) isActivity()    {}
+func (a *Pick) isActivity()      {}
+func (a *While) isActivity()     {}
+func (a *Scope) isActivity()     {}
+func (a *Receive) isActivity()   {}
+func (a *Reply) isActivity()     {}
+func (a *Invoke) isActivity()    {}
+func (a *Assign) isActivity()    {}
+func (a *Empty) isActivity()     {}
+func (a *Terminate) isActivity() {}
+
+// Clone implementations (deep).
+
+func cloneSlice(in []Activity) []Activity {
+	if in == nil {
+		return nil
+	}
+	out := make([]Activity, len(in))
+	for i, a := range in {
+		if a != nil {
+			out[i] = a.Clone()
+		}
+	}
+	return out
+}
+
+func cloneOne(a Activity) Activity {
+	if a == nil {
+		return nil
+	}
+	return a.Clone()
+}
+
+// Clone returns a deep copy.
+func (a *Sequence) Clone() Activity {
+	return &Sequence{BlockName: a.BlockName, Children: cloneSlice(a.Children)}
+}
+
+// Clone returns a deep copy.
+func (a *Flow) Clone() Activity {
+	return &Flow{BlockName: a.BlockName, Branches: cloneSlice(a.Branches)}
+}
+
+// Clone returns a deep copy.
+func (a *Switch) Clone() Activity {
+	cases := make([]Case, len(a.Cases))
+	for i, c := range a.Cases {
+		cases[i] = Case{Cond: c.Cond, Body: cloneOne(c.Body)}
+	}
+	return &Switch{BlockName: a.BlockName, Cases: cases, Else: cloneOne(a.Else)}
+}
+
+// Clone returns a deep copy.
+func (a *Pick) Clone() Activity {
+	branches := make([]OnMessage, len(a.Branches))
+	for i, b := range a.Branches {
+		branches[i] = OnMessage{Partner: b.Partner, Op: b.Op, Body: cloneOne(b.Body)}
+	}
+	return &Pick{BlockName: a.BlockName, Branches: branches}
+}
+
+// Clone returns a deep copy.
+func (a *While) Clone() Activity {
+	return &While{BlockName: a.BlockName, Cond: a.Cond, Body: cloneOne(a.Body)}
+}
+
+// Clone returns a deep copy.
+func (a *Scope) Clone() Activity {
+	return &Scope{BlockName: a.BlockName, Body: cloneOne(a.Body)}
+}
+
+// Clone returns a copy.
+func (a *Receive) Clone() Activity { c := *a; return &c }
+
+// Clone returns a copy.
+func (a *Reply) Clone() Activity { c := *a; return &c }
+
+// Clone returns a copy.
+func (a *Invoke) Clone() Activity { c := *a; return &c }
+
+// Clone returns a copy.
+func (a *Assign) Clone() Activity { c := *a; return &c }
+
+// Clone returns a copy.
+func (a *Empty) Clone() Activity { c := *a; return &c }
+
+// Clone returns a copy.
+func (a *Terminate) Clone() Activity { c := *a; return &c }
+
+// Children returns the nested activities of a structured activity in
+// document order (Switch: case bodies then Else; Pick: branch bodies).
+// Basic activities return nil.
+func Children(a Activity) []Activity {
+	switch t := a.(type) {
+	case *Sequence:
+		return append([]Activity(nil), t.Children...)
+	case *Flow:
+		return append([]Activity(nil), t.Branches...)
+	case *Switch:
+		var out []Activity
+		for _, c := range t.Cases {
+			out = append(out, c.Body)
+		}
+		if t.Else != nil {
+			out = append(out, t.Else)
+		}
+		return out
+	case *Pick:
+		var out []Activity
+		for _, b := range t.Branches {
+			out = append(out, b.Body)
+		}
+		return out
+	case *While:
+		return []Activity{t.Body}
+	case *Scope:
+		return []Activity{t.Body}
+	}
+	return nil
+}
+
+// PartnerLink names the counterparty of a bilateral interaction, as
+// the paper's partnerLink definitions do.
+type PartnerLink struct {
+	Name    string
+	Partner string // the party this link points at
+	// LinkType optionally names a wsdl.PartnerLinkType.
+	LinkType string
+}
+
+// Process is a private BPEL process.
+type Process struct {
+	// Name is the process name ("accounting", "buyer", ...).
+	Name string
+	// Owner is the party executing this process; it determines message
+	// directions when deriving the public process.
+	Owner string
+	// PartnerLinks document the bilateral interactions.
+	PartnerLinks []PartnerLink
+	// Body is the root activity.
+	Body Activity
+}
+
+// Clone returns a deep copy of the process.
+func (p *Process) Clone() *Process {
+	c := &Process{Name: p.Name, Owner: p.Owner}
+	c.PartnerLinks = append([]PartnerLink(nil), p.PartnerLinks...)
+	c.Body = cloneOne(p.Body)
+	return c
+}
+
+// Partners returns the distinct partner parties referenced by
+// communication activities, in first-appearance order.
+func (p *Process) Partners() []string {
+	var out []string
+	seen := map[string]bool{}
+	Walk(p.Body, func(a Activity, _ Path) bool {
+		var partner string
+		switch t := a.(type) {
+		case *Receive:
+			partner = t.Partner
+		case *Reply:
+			partner = t.Partner
+		case *Invoke:
+			partner = t.Partner
+		case *Pick:
+			for _, b := range t.Branches {
+				if b.Partner != "" && !seen[b.Partner] {
+					seen[b.Partner] = true
+					out = append(out, b.Partner)
+				}
+			}
+		}
+		if partner != "" && !seen[partner] {
+			seen[partner] = true
+			out = append(out, partner)
+		}
+		return true
+	})
+	return out
+}
+
+// String renders an indented tree for diagnostics.
+func (p *Process) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "process %q (owner %s)\n", p.Name, p.Owner)
+	writeTree(&b, p.Body, 1)
+	return b.String()
+}
+
+func writeTree(b *strings.Builder, a Activity, depth int) {
+	if a == nil {
+		return
+	}
+	indent := strings.Repeat("  ", depth)
+	b.WriteString(indent)
+	b.WriteString(Element(a))
+	switch t := a.(type) {
+	case *Receive:
+		fmt.Fprintf(b, " <- %s.%s", t.Partner, t.Op)
+	case *Reply:
+		fmt.Fprintf(b, " -> %s.%s (reply)", t.Partner, t.Op)
+	case *Invoke:
+		arrow := "->"
+		if t.Sync {
+			arrow = "<->"
+		}
+		fmt.Fprintf(b, " %s %s.%s", arrow, t.Partner, t.Op)
+	case *While:
+		fmt.Fprintf(b, " [%s]", t.Cond)
+	}
+	b.WriteString("\n")
+	switch t := a.(type) {
+	case *Switch:
+		for _, c := range t.Cases {
+			fmt.Fprintf(b, "%s  case [%s]\n", indent, c.Cond)
+			writeTree(b, c.Body, depth+2)
+		}
+		if t.Else != nil {
+			fmt.Fprintf(b, "%s  otherwise\n", indent)
+			writeTree(b, t.Else, depth+2)
+		}
+	case *Pick:
+		for _, br := range t.Branches {
+			fmt.Fprintf(b, "%s  onMessage %s.%s\n", indent, br.Partner, br.Op)
+			writeTree(b, br.Body, depth+2)
+		}
+	default:
+		for _, c := range Children(a) {
+			writeTree(b, c, depth+1)
+		}
+	}
+}

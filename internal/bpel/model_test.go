@@ -1,0 +1,165 @@
+package bpel
+
+import (
+	"strings"
+	"testing"
+)
+
+// buyerFixture builds the buyer private process of paper Fig. 3.
+func buyerFixture() *Process {
+	return &Process{
+		Name:  "buyer",
+		Owner: "B",
+		PartnerLinks: []PartnerLink{
+			{Name: "accBuyer", Partner: "A"},
+		},
+		Body: &Sequence{
+			BlockName: "buyer process",
+			Children: []Activity{
+				&Invoke{BlockName: "order", Partner: "A", Op: "orderOp"},
+				&Receive{BlockName: "delivery", Partner: "A", Op: "deliveryOp"},
+				&While{
+					BlockName: "tracking",
+					Cond:      "1 = 1",
+					Body: &Switch{
+						BlockName: "termination?",
+						Cases: []Case{
+							{
+								Cond: "continue",
+								Body: &Sequence{
+									BlockName: "cond continue",
+									Children: []Activity{
+										&Invoke{BlockName: "getStatus", Partner: "A", Op: "getStatusOp"},
+										&Receive{BlockName: "status", Partner: "A", Op: "statusOp"},
+									},
+								},
+							},
+							{
+								Cond: "otherwise",
+								Body: &Sequence{
+									BlockName: "cond terminate",
+									Children: []Activity{
+										&Invoke{BlockName: "terminate", Partner: "A", Op: "terminateOp"},
+										&Terminate{BlockName: "end"},
+									},
+								},
+							},
+						},
+					},
+				},
+			},
+		},
+	}
+}
+
+func TestElement(t *testing.T) {
+	tests := []struct {
+		act  Activity
+		want string
+	}{
+		{&Sequence{BlockName: "buyer process"}, "Sequence:buyer process"},
+		{&While{BlockName: "tracking"}, "While:tracking"},
+		{&Switch{BlockName: "termination?"}, "Switch:termination?"},
+		{&Terminate{}, "Terminate"},
+		{&Receive{BlockName: "delivery"}, "Receive:delivery"},
+	}
+	for _, tt := range tests {
+		if got := Element(tt.act); got != tt.want {
+			t.Errorf("Element = %q, want %q", got, tt.want)
+		}
+	}
+	if Element(nil) != "" {
+		t.Error("Element(nil) != \"\"")
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if KindSequence.String() != "Sequence" || KindInvoke.String() != "Invoke" {
+		t.Fatal("Kind.String wrong")
+	}
+	if Kind(99).String() != "Kind(99)" {
+		t.Fatal("unknown kind string wrong")
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	p := buyerFixture()
+	c := p.Clone()
+	// Mutate the clone's nested switch.
+	sw, err := c.Find(Path{"Sequence:buyer process", "While:tracking", "Switch:termination?"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sw.(*Switch).Cases[0].Cond = "MUTATED"
+	orig, err := p.Find(Path{"Sequence:buyer process", "While:tracking", "Switch:termination?"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if orig.(*Switch).Cases[0].Cond == "MUTATED" {
+		t.Fatal("Clone shares switch cases")
+	}
+}
+
+func TestChildren(t *testing.T) {
+	p := buyerFixture()
+	kids := Children(p.Body)
+	if len(kids) != 3 {
+		t.Fatalf("root children = %d, want 3", len(kids))
+	}
+	sw := &Switch{
+		Cases: []Case{{Cond: "a", Body: &Empty{BlockName: "e1"}}},
+		Else:  &Empty{BlockName: "e2"},
+	}
+	if got := Children(sw); len(got) != 2 {
+		t.Fatalf("switch children = %d, want 2 (case + else)", len(got))
+	}
+	if Children(&Receive{}) != nil {
+		t.Fatal("basic activity has children")
+	}
+}
+
+func TestPartners(t *testing.T) {
+	p := buyerFixture()
+	partners := p.Partners()
+	if len(partners) != 1 || partners[0] != "A" {
+		t.Fatalf("Partners = %v", partners)
+	}
+	// Pick branches contribute partners too.
+	p2 := &Process{
+		Name: "x", Owner: "A",
+		Body: &Pick{BlockName: "p", Branches: []OnMessage{
+			{Partner: "B", Op: "a", Body: &Empty{}},
+			{Partner: "L", Op: "b", Body: &Empty{}},
+		}},
+	}
+	partners = p2.Partners()
+	if len(partners) != 2 || partners[0] != "B" || partners[1] != "L" {
+		t.Fatalf("Partners = %v", partners)
+	}
+}
+
+func TestStringRendering(t *testing.T) {
+	p := buyerFixture()
+	s := p.String()
+	for _, want := range []string{
+		"process \"buyer\" (owner B)",
+		"Sequence:buyer process",
+		"While:tracking [1 = 1]",
+		"case [continue]",
+		"<- A.deliveryOp",
+		"-> A.orderOp",
+	} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String() missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestCountActivities(t *testing.T) {
+	p := buyerFixture()
+	// sequence, invoke, receive, while, switch, 2 sequences, 2 invokes,
+	// 1 receive, 1 terminate = 11.
+	if got := p.CountActivities(); got != 11 {
+		t.Fatalf("CountActivities = %d, want 11", got)
+	}
+}

@@ -1,0 +1,280 @@
+package bpel
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Path addresses an activity inside a process as the sequence of path
+// elements (Element strings) from the root activity down to the
+// activity, root *included* — matching the paper's mapping table,
+// whose entries start at the outermost block ("Sequence:buyer
+// process"). The empty path addresses the root activity as well.
+//
+// Example (buyer process of paper Fig. 3):
+//
+//	{"Sequence:buyer process", "While:tracking", "Switch:termination?"}
+type Path []string
+
+// String joins the elements with " / ".
+func (p Path) String() string {
+	if len(p) == 0 {
+		return "(root)"
+	}
+	return strings.Join(p, " / ")
+}
+
+// Equal reports element-wise equality.
+func (p Path) Equal(q Path) bool {
+	if len(p) != len(q) {
+		return false
+	}
+	for i := range p {
+		if p[i] != q[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Child returns p extended by one element.
+func (p Path) Child(elem string) Path {
+	out := make(Path, len(p)+1)
+	copy(out, p)
+	out[len(p)] = elem
+	return out
+}
+
+// Parent returns p without its last element (nil for the empty path).
+func (p Path) Parent() Path {
+	if len(p) == 0 {
+		return nil
+	}
+	out := make(Path, len(p)-1)
+	copy(out, p[:len(p)-1])
+	return out
+}
+
+// HasPrefix reports whether q is a prefix of p.
+func (p Path) HasPrefix(q Path) bool {
+	if len(q) > len(p) {
+		return false
+	}
+	for i := range q {
+		if p[i] != q[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Walk visits every activity of the tree rooted at a in depth-first
+// document order, passing each activity and its path (starting with
+// a's own element). Returning false from fn stops the descent below
+// that activity.
+func Walk(a Activity, fn func(act Activity, path Path) bool) {
+	if a == nil {
+		return
+	}
+	walk(a, Path{Element(a)}, fn)
+}
+
+func walk(a Activity, path Path, fn func(Activity, Path) bool) {
+	if a == nil {
+		return
+	}
+	if !fn(a, path) {
+		return
+	}
+	for _, c := range Children(a) {
+		if c != nil {
+			walk(c, path.Child(Element(c)), fn)
+		}
+	}
+}
+
+// Find returns the first activity whose path equals path (relative to
+// the process body; the empty path returns the body).
+func (p *Process) Find(path Path) (Activity, error) {
+	if p.Body == nil {
+		return nil, fmt.Errorf("bpel: process %q has no body", p.Name)
+	}
+	if len(path) == 0 {
+		return p.Body, nil
+	}
+	var found Activity
+	Walk(p.Body, func(a Activity, ap Path) bool {
+		if found != nil {
+			return false
+		}
+		if ap.Equal(path) {
+			found = a
+			return false
+		}
+		// Only descend while ap is a prefix of the target.
+		return path.HasPrefix(ap)
+	})
+	if found == nil {
+		return nil, fmt.Errorf("bpel: process %q has no activity at %s", p.Name, path)
+	}
+	return found, nil
+}
+
+// FindFirst returns the path of the first activity (document order)
+// satisfying pred, or an error when none matches.
+func (p *Process) FindFirst(pred func(Activity) bool) (Path, error) {
+	var found Path
+	ok := false
+	Walk(p.Body, func(a Activity, ap Path) bool {
+		if ok {
+			return false
+		}
+		if pred(a) {
+			found = append(Path(nil), ap...)
+			ok = true
+			return false
+		}
+		return true
+	})
+	if !ok {
+		return nil, fmt.Errorf("bpel: process %q has no matching activity", p.Name)
+	}
+	return found, nil
+}
+
+// Transform returns a deep copy of the process in which the activity
+// at path has been replaced by fn(activity). fn receives a fresh clone
+// and may return a different activity (or nil to delete — deletion
+// inside a Sequence/Flow removes the element; deleting a While/Scope
+// body or a branch body replaces it with Empty).
+func (p *Process) Transform(path Path, fn func(Activity) (Activity, error)) (*Process, error) {
+	if p.Body == nil {
+		return nil, fmt.Errorf("bpel: process %q has no body", p.Name)
+	}
+	out := p.Clone()
+	if len(path) == 0 {
+		body, err := fn(out.Body)
+		if err != nil {
+			return nil, err
+		}
+		if body == nil {
+			body = &Empty{}
+		}
+		out.Body = body
+		return out, nil
+	}
+	if _, err := p.Find(path); err != nil {
+		return nil, err
+	}
+	body, err := transform(out.Body, Path{Element(out.Body)}, path, fn)
+	if err != nil {
+		return nil, err
+	}
+	if body == nil {
+		body = &Empty{}
+	}
+	out.Body = body
+	return out, nil
+}
+
+func transform(a Activity, cur, target Path, fn func(Activity) (Activity, error)) (Activity, error) {
+	if a == nil {
+		return nil, nil
+	}
+	if cur.Equal(target) {
+		return fn(a)
+	}
+	if !target.HasPrefix(cur) {
+		return a, nil
+	}
+	apply := func(child Activity) (Activity, error) {
+		if child == nil {
+			return nil, nil
+		}
+		return transform(child, cur.Child(Element(child)), target, fn)
+	}
+	switch t := a.(type) {
+	case *Sequence:
+		var kids []Activity
+		for _, c := range t.Children {
+			nc, err := apply(c)
+			if err != nil {
+				return nil, err
+			}
+			if nc != nil {
+				kids = append(kids, nc)
+			}
+		}
+		t.Children = kids
+	case *Flow:
+		var kids []Activity
+		for _, c := range t.Branches {
+			nc, err := apply(c)
+			if err != nil {
+				return nil, err
+			}
+			if nc != nil {
+				kids = append(kids, nc)
+			}
+		}
+		t.Branches = kids
+	case *Switch:
+		for i := range t.Cases {
+			nc, err := apply(t.Cases[i].Body)
+			if err != nil {
+				return nil, err
+			}
+			if nc == nil {
+				nc = &Empty{}
+			}
+			t.Cases[i].Body = nc
+		}
+		if t.Else != nil {
+			ne, err := apply(t.Else)
+			if err != nil {
+				return nil, err
+			}
+			t.Else = ne
+		}
+	case *Pick:
+		for i := range t.Branches {
+			nb, err := apply(t.Branches[i].Body)
+			if err != nil {
+				return nil, err
+			}
+			if nb == nil {
+				nb = &Empty{}
+			}
+			t.Branches[i].Body = nb
+		}
+	case *While:
+		nb, err := apply(t.Body)
+		if err != nil {
+			return nil, err
+		}
+		if nb == nil {
+			nb = &Empty{}
+		}
+		t.Body = nb
+	case *Scope:
+		nb, err := apply(t.Body)
+		if err != nil {
+			return nil, err
+		}
+		if nb == nil {
+			nb = &Empty{}
+		}
+		t.Body = nb
+	}
+	return a, nil
+}
+
+// Paths returns the paths of every activity in document order.
+func (p *Process) Paths() []Path {
+	var out []Path
+	Walk(p.Body, func(a Activity, ap Path) bool {
+		out = append(out, append(Path(nil), ap...))
+		return true
+	})
+	return out
+}

@@ -1,0 +1,220 @@
+package bpel
+
+import (
+	"testing"
+)
+
+func TestPathBasics(t *testing.T) {
+	p := Path{"Sequence:a", "While:b"}
+	if p.String() != "Sequence:a / While:b" {
+		t.Fatalf("String = %q", p.String())
+	}
+	if Path(nil).String() != "(root)" {
+		t.Fatal("empty path string wrong")
+	}
+	if !p.Equal(Path{"Sequence:a", "While:b"}) || p.Equal(Path{"Sequence:a"}) {
+		t.Fatal("Equal wrong")
+	}
+	c := p.Child("Switch:c")
+	if len(c) != 3 || c[2] != "Switch:c" {
+		t.Fatalf("Child = %v", c)
+	}
+	if !c.Parent().Equal(p) {
+		t.Fatal("Parent wrong")
+	}
+	if Path(nil).Parent() != nil {
+		t.Fatal("Parent of empty path")
+	}
+	if !c.HasPrefix(p) || p.HasPrefix(c) {
+		t.Fatal("HasPrefix wrong")
+	}
+}
+
+func TestWalkOrder(t *testing.T) {
+	p := buyerFixture()
+	var elems []string
+	Walk(p.Body, func(a Activity, path Path) bool {
+		elems = append(elems, Element(a))
+		return true
+	})
+	want := []string{
+		"Sequence:buyer process",
+		"Invoke:order",
+		"Receive:delivery",
+		"While:tracking",
+		"Switch:termination?",
+		"Sequence:cond continue",
+		"Invoke:getStatus",
+		"Receive:status",
+		"Sequence:cond terminate",
+		"Invoke:terminate",
+		"Terminate:end",
+	}
+	if len(elems) != len(want) {
+		t.Fatalf("walk visited %d activities, want %d: %v", len(elems), len(want), elems)
+	}
+	for i := range want {
+		if elems[i] != want[i] {
+			t.Fatalf("walk[%d] = %q, want %q", i, elems[i], want[i])
+		}
+	}
+}
+
+func TestWalkPrune(t *testing.T) {
+	p := buyerFixture()
+	count := 0
+	Walk(p.Body, func(a Activity, path Path) bool {
+		count++
+		return a.Kind() != KindWhile // do not descend into the loop
+	})
+	if count != 4 {
+		t.Fatalf("pruned walk visited %d, want 4", count)
+	}
+}
+
+func TestFind(t *testing.T) {
+	p := buyerFixture()
+	act, err := p.Find(Path{"Sequence:buyer process", "Receive:delivery"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if act.(*Receive).Op != "deliveryOp" {
+		t.Fatalf("found wrong activity: %v", Element(act))
+	}
+	if _, err := p.Find(Path{"Sequence:buyer process", "Receive:nonexistent"}); err == nil {
+		t.Fatal("Find accepted bogus path")
+	}
+	root, err := p.Find(nil)
+	if err != nil || root != p.Body {
+		t.Fatal("Find(nil) should return the body")
+	}
+}
+
+func TestFindDeep(t *testing.T) {
+	p := buyerFixture()
+	path := Path{
+		"Sequence:buyer process", "While:tracking", "Switch:termination?",
+		"Sequence:cond continue", "Invoke:getStatus",
+	}
+	act, err := p.Find(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if act.(*Invoke).Op != "getStatusOp" {
+		t.Fatal("deep find returned wrong activity")
+	}
+}
+
+func TestFindFirst(t *testing.T) {
+	p := buyerFixture()
+	path, err := p.FindFirst(func(a Activity) bool {
+		r, ok := a.(*Receive)
+		return ok && r.Op == "statusOp"
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := Path{
+		"Sequence:buyer process", "While:tracking", "Switch:termination?",
+		"Sequence:cond continue", "Receive:status",
+	}
+	if !path.Equal(want) {
+		t.Fatalf("FindFirst = %v, want %v", path, want)
+	}
+	if _, err := p.FindFirst(func(Activity) bool { return false }); err == nil {
+		t.Fatal("FindFirst found the unfindable")
+	}
+}
+
+func TestTransformReplace(t *testing.T) {
+	p := buyerFixture()
+	path := Path{"Sequence:buyer process", "Receive:delivery"}
+	p2, err := p.Transform(path, func(a Activity) (Activity, error) {
+		return &Pick{
+			BlockName: "delivery or cancel",
+			Branches: []OnMessage{
+				{Partner: "A", Op: "deliveryOp", Body: &Empty{BlockName: "d"}},
+				{Partner: "A", Op: "cancelOp", Body: &Empty{BlockName: "c"}},
+			},
+		}, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Original unchanged.
+	if _, err := p.Find(path); err != nil {
+		t.Fatal("Transform mutated the original")
+	}
+	// New process has the pick.
+	act, err := p2.Find(Path{"Sequence:buyer process", "Pick:delivery or cancel"})
+	if err != nil {
+		t.Fatalf("transformed activity missing: %v", err)
+	}
+	if len(act.(*Pick).Branches) != 2 {
+		t.Fatal("pick branches wrong")
+	}
+}
+
+func TestTransformDeleteFromSequence(t *testing.T) {
+	p := buyerFixture()
+	p2, err := p.Transform(Path{"Sequence:buyer process", "Invoke:order"}, func(a Activity) (Activity, error) {
+		return nil, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p2.Body.(*Sequence).Children) != 2 {
+		t.Fatalf("deletion did not shrink sequence: %d children", len(p2.Body.(*Sequence).Children))
+	}
+}
+
+func TestTransformDeleteWhileBodyBecomesEmpty(t *testing.T) {
+	p := buyerFixture()
+	p2, err := p.Transform(
+		Path{"Sequence:buyer process", "While:tracking", "Switch:termination?"},
+		func(a Activity) (Activity, error) { return nil, nil },
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := p2.Find(Path{"Sequence:buyer process", "While:tracking"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.(*While).Body.Kind() != KindEmpty {
+		t.Fatal("deleted while body not replaced by Empty")
+	}
+}
+
+func TestTransformBogusPath(t *testing.T) {
+	p := buyerFixture()
+	if _, err := p.Transform(Path{"Sequence:nope"}, func(a Activity) (Activity, error) {
+		return a, nil
+	}); err == nil {
+		t.Fatal("Transform accepted bogus path")
+	}
+}
+
+func TestTransformRoot(t *testing.T) {
+	p := buyerFixture()
+	p2, err := p.Transform(nil, func(a Activity) (Activity, error) {
+		return &Empty{BlockName: "gutted"}, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p2.Body.Kind() != KindEmpty {
+		t.Fatal("root transform failed")
+	}
+}
+
+func TestPaths(t *testing.T) {
+	p := buyerFixture()
+	paths := p.Paths()
+	if len(paths) != 11 {
+		t.Fatalf("Paths = %d entries, want 11", len(paths))
+	}
+	if !paths[0].Equal(Path{"Sequence:buyer process"}) {
+		t.Fatalf("first path should be the root element, got %v", paths[0])
+	}
+}

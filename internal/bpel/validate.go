@@ -1,0 +1,170 @@
+package bpel
+
+import (
+	"fmt"
+
+	"repro/internal/wsdl"
+)
+
+// Validate checks the structural invariants the rest of the pipeline
+// relies on:
+//
+//   - the process has a name, an owner and a body;
+//   - structured activities have the children they require (a while
+//     needs a body, a switch at least one case, a pick at least one
+//     branch);
+//   - sibling activities have distinct path elements, so Path
+//     addressing (and therefore the mapping table and change
+//     operations) is unambiguous;
+//   - communication activities name a partner different from the
+//     owner and a non-empty operation.
+//
+// When reg is non-nil, operations are additionally resolved against
+// the WSDL registry: a Receive/Pick branch receives an operation the
+// *owner* provides, an Invoke calls an operation the *partner*
+// provides, the Invoke's Sync flag must match the registered
+// operation, and a Reply is only legal for a synchronous operation of
+// the owner.
+func (p *Process) Validate(reg *wsdl.Registry) error {
+	if p.Name == "" {
+		return fmt.Errorf("bpel: process has no name")
+	}
+	if p.Owner == "" {
+		return fmt.Errorf("bpel: process %q has no owner", p.Name)
+	}
+	if p.Body == nil {
+		return fmt.Errorf("bpel: process %q has no body", p.Name)
+	}
+	var err error
+	Walk(p.Body, func(a Activity, path Path) bool {
+		if err != nil {
+			return false
+		}
+		err = p.validateActivity(a, path, reg)
+		return err == nil
+	})
+	return err
+}
+
+func (p *Process) validateActivity(a Activity, path Path, reg *wsdl.Registry) error {
+	at := func() string { return fmt.Sprintf("process %q at %s", p.Name, path.Child(Element(a))) }
+	// Sibling uniqueness.
+	kids := Children(a)
+	seen := map[string]bool{}
+	for _, c := range kids {
+		if c == nil {
+			return fmt.Errorf("bpel: %s: nil child activity", at())
+		}
+		el := Element(c)
+		if seen[el] {
+			return fmt.Errorf("bpel: %s: duplicate sibling element %q (give the activities distinct names)", at(), el)
+		}
+		seen[el] = true
+	}
+	switch t := a.(type) {
+	case *Sequence:
+		// Empty sequences are allowed (they arise from deletions).
+	case *Flow:
+		if len(t.Branches) == 0 {
+			return fmt.Errorf("bpel: %s: flow without branches", at())
+		}
+	case *Switch:
+		if len(t.Cases) == 0 && t.Else == nil {
+			return fmt.Errorf("bpel: %s: switch without cases", at())
+		}
+		for _, c := range t.Cases {
+			if c.Body == nil {
+				return fmt.Errorf("bpel: %s: switch case without body", at())
+			}
+		}
+	case *Pick:
+		if len(t.Branches) == 0 {
+			return fmt.Errorf("bpel: %s: pick without branches", at())
+		}
+		alts := map[string]bool{}
+		for _, b := range t.Branches {
+			key := b.Partner + "\x00" + b.Op
+			if alts[key] {
+				return fmt.Errorf("bpel: %s: duplicate pick alternative %s.%s", at(), b.Partner, b.Op)
+			}
+			alts[key] = true
+		}
+		for _, b := range t.Branches {
+			if b.Body == nil {
+				return fmt.Errorf("bpel: %s: onMessage without body", at())
+			}
+			if e := p.checkComm(b.Partner, b.Op, at); e != nil {
+				return e
+			}
+			if reg != nil {
+				if _, ok := reg.Lookup(p.Owner, b.Op); !ok {
+					return fmt.Errorf("bpel: %s: pick receives unknown operation %q of owner %s", at(), b.Op, p.Owner)
+				}
+			}
+		}
+	case *While:
+		if t.Body == nil {
+			return fmt.Errorf("bpel: %s: while without body", at())
+		}
+	case *Scope:
+		if t.Body == nil {
+			return fmt.Errorf("bpel: %s: scope without body", at())
+		}
+	case *Receive:
+		if e := p.checkComm(t.Partner, t.Op, at); e != nil {
+			return e
+		}
+		if reg != nil {
+			if _, ok := reg.Lookup(p.Owner, t.Op); !ok {
+				return fmt.Errorf("bpel: %s: receive of unknown operation %q of owner %s", at(), t.Op, p.Owner)
+			}
+		}
+	case *Reply:
+		if e := p.checkComm(t.Partner, t.Op, at); e != nil {
+			return e
+		}
+		if reg != nil {
+			op, ok := reg.Lookup(p.Owner, t.Op)
+			if !ok {
+				return fmt.Errorf("bpel: %s: reply to unknown operation %q of owner %s", at(), t.Op, p.Owner)
+			}
+			if !op.Sync() {
+				return fmt.Errorf("bpel: %s: reply to asynchronous operation %q", at(), t.Op)
+			}
+		}
+	case *Invoke:
+		if e := p.checkComm(t.Partner, t.Op, at); e != nil {
+			return e
+		}
+		if reg != nil {
+			op, ok := reg.Lookup(t.Partner, t.Op)
+			if !ok {
+				return fmt.Errorf("bpel: %s: invoke of unknown operation %q of partner %s", at(), t.Op, t.Partner)
+			}
+			if op.Sync() != t.Sync {
+				return fmt.Errorf("bpel: %s: invoke sync=%t mismatches registered operation %q (sync=%t)", at(), t.Sync, t.Op, op.Sync())
+			}
+		}
+	}
+	return nil
+}
+
+func (p *Process) checkComm(partner, op string, at func() string) error {
+	if partner == "" {
+		return fmt.Errorf("bpel: %s: communication activity without partner", at())
+	}
+	if partner == p.Owner {
+		return fmt.Errorf("bpel: %s: partner equals owner %q", at(), p.Owner)
+	}
+	if op == "" {
+		return fmt.Errorf("bpel: %s: communication activity without operation", at())
+	}
+	return nil
+}
+
+// CountActivities returns the number of activities in the tree.
+func (p *Process) CountActivities() int {
+	n := 0
+	Walk(p.Body, func(Activity, Path) bool { n++; return true })
+	return n
+}

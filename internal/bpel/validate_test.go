@@ -1,0 +1,143 @@
+package bpel
+
+import (
+	"testing"
+
+	"repro/internal/wsdl"
+)
+
+// buyerRegistry registers the operations of the paper's scenario that
+// the buyer process touches.
+func buyerRegistry(t *testing.T) *wsdl.Registry {
+	t.Helper()
+	r := wsdl.NewRegistry()
+	for _, op := range []struct {
+		party string
+		name  string
+		sync  bool
+	}{
+		{"A", "orderOp", false},
+		{"A", "getStatusOp", false},
+		{"A", "terminateOp", false},
+		{"B", "deliveryOp", false},
+		{"B", "statusOp", false},
+	} {
+		if err := r.AddOperation(op.party, op.name, op.sync); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return r
+}
+
+func TestValidateBuyerOK(t *testing.T) {
+	p := buyerFixture()
+	if err := p.Validate(nil); err != nil {
+		t.Fatalf("structural validation failed: %v", err)
+	}
+	if err := p.Validate(buyerRegistry(t)); err != nil {
+		t.Fatalf("registry validation failed: %v", err)
+	}
+}
+
+func TestValidateHeaderErrors(t *testing.T) {
+	if err := (&Process{Owner: "A", Body: &Empty{}}).Validate(nil); err == nil {
+		t.Error("nameless process accepted")
+	}
+	if err := (&Process{Name: "x", Body: &Empty{}}).Validate(nil); err == nil {
+		t.Error("ownerless process accepted")
+	}
+	if err := (&Process{Name: "x", Owner: "A"}).Validate(nil); err == nil {
+		t.Error("bodyless process accepted")
+	}
+}
+
+func TestValidateStructuralErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		body Activity
+	}{
+		{"flow without branches", &Flow{BlockName: "f"}},
+		{"switch without cases", &Switch{BlockName: "s"}},
+		{"pick without branches", &Pick{BlockName: "p"}},
+		{"while without body", &While{BlockName: "w"}},
+		{"scope without body", &Scope{BlockName: "s"}},
+		{"switch case nil body", &Switch{BlockName: "s", Cases: []Case{{Cond: "c"}}}},
+		{"duplicate siblings", &Sequence{BlockName: "s", Children: []Activity{
+			&Empty{BlockName: "same"}, &Empty{BlockName: "same"},
+		}}},
+		{"nil child", &Sequence{BlockName: "s", Children: []Activity{nil}}},
+	}
+	for _, tc := range cases {
+		p := &Process{Name: "x", Owner: "A", Body: tc.body}
+		if err := p.Validate(nil); err == nil {
+			t.Errorf("%s: accepted", tc.name)
+		}
+	}
+}
+
+func TestValidateCommunicationErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		body Activity
+	}{
+		{"receive without partner", &Receive{BlockName: "r", Op: "x"}},
+		{"receive without op", &Receive{BlockName: "r", Partner: "B"}},
+		{"partner equals owner", &Invoke{BlockName: "i", Partner: "A", Op: "x"}},
+		{"pick branch without partner", &Pick{BlockName: "p", Branches: []OnMessage{{Op: "x", Body: &Empty{}}}}},
+	}
+	for _, tc := range cases {
+		p := &Process{Name: "x", Owner: "A", Body: tc.body}
+		if err := p.Validate(nil); err == nil {
+			t.Errorf("%s: accepted", tc.name)
+		}
+	}
+}
+
+func TestValidateAgainstRegistry(t *testing.T) {
+	reg := buyerRegistry(t)
+
+	// Unknown receive operation.
+	p := &Process{Name: "x", Owner: "B", Body: &Receive{BlockName: "r", Partner: "A", Op: "ghostOp"}}
+	if err := p.Validate(reg); err == nil {
+		t.Error("receive of unknown op accepted")
+	}
+
+	// Unknown invoke operation.
+	p = &Process{Name: "x", Owner: "B", Body: &Invoke{BlockName: "i", Partner: "A", Op: "ghostOp"}}
+	if err := p.Validate(reg); err == nil {
+		t.Error("invoke of unknown op accepted")
+	}
+
+	// Sync mismatch.
+	p = &Process{Name: "x", Owner: "B", Body: &Invoke{BlockName: "i", Partner: "A", Op: "orderOp", Sync: true}}
+	if err := p.Validate(reg); err == nil {
+		t.Error("sync mismatch accepted")
+	}
+
+	// Reply to async operation.
+	p = &Process{Name: "x", Owner: "B", Body: &Reply{BlockName: "r", Partner: "A", Op: "deliveryOp"}}
+	if err := p.Validate(reg); err == nil {
+		t.Error("reply to async op accepted")
+	}
+
+	// Reply to sync operation of the owner is fine.
+	regSync := wsdl.NewRegistry()
+	if err := regSync.AddOperation("L", "getStatusLOp", true); err != nil {
+		t.Fatal(err)
+	}
+	p = &Process{Name: "x", Owner: "L", Body: &Sequence{BlockName: "s", Children: []Activity{
+		&Receive{BlockName: "rcv", Partner: "A", Op: "getStatusLOp"},
+		&Reply{BlockName: "rp", Partner: "A", Op: "getStatusLOp"},
+	}}}
+	if err := p.Validate(regSync); err != nil {
+		t.Errorf("valid sync receive/reply rejected: %v", err)
+	}
+
+	// Pick receiving an operation the owner does not provide.
+	p = &Process{Name: "x", Owner: "B", Body: &Pick{BlockName: "p", Branches: []OnMessage{
+		{Partner: "A", Op: "ghostOp", Body: &Empty{}},
+	}}}
+	if err := p.Validate(reg); err == nil {
+		t.Error("pick of unknown op accepted")
+	}
+}

@@ -1,0 +1,433 @@
+package bpel
+
+import (
+	"bytes"
+	"encoding/xml"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// MarshalXML renders the process in BPEL-flavored XML:
+//
+//	<process name="buyer" owner="B">
+//	  <partnerLinks>
+//	    <partnerLink name="accBuyer" partner="A"/>
+//	  </partnerLinks>
+//	  <sequence name="buyer process">
+//	    <invoke name="order" partner="A" operation="orderOp"/>
+//	    ...
+//	  </sequence>
+//	</process>
+//
+// The syntax is a faithful subset of BPEL 1.1 element names with the
+// owner/partner attributes this package needs instead of the full
+// partnerLinkType indirection.
+func MarshalXML(p *Process) ([]byte, error) {
+	var buf bytes.Buffer
+	enc := xml.NewEncoder(&buf)
+	enc.Indent("", "  ")
+	root := xml.StartElement{
+		Name: xml.Name{Local: "process"},
+		Attr: []xml.Attr{
+			{Name: xml.Name{Local: "name"}, Value: p.Name},
+			{Name: xml.Name{Local: "owner"}, Value: p.Owner},
+		},
+	}
+	if err := enc.EncodeToken(root); err != nil {
+		return nil, err
+	}
+	if len(p.PartnerLinks) > 0 {
+		pls := xml.StartElement{Name: xml.Name{Local: "partnerLinks"}}
+		if err := enc.EncodeToken(pls); err != nil {
+			return nil, err
+		}
+		for _, pl := range p.PartnerLinks {
+			el := xml.StartElement{
+				Name: xml.Name{Local: "partnerLink"},
+				Attr: []xml.Attr{
+					{Name: xml.Name{Local: "name"}, Value: pl.Name},
+					{Name: xml.Name{Local: "partner"}, Value: pl.Partner},
+				},
+			}
+			if pl.LinkType != "" {
+				el.Attr = append(el.Attr, xml.Attr{Name: xml.Name{Local: "partnerLinkType"}, Value: pl.LinkType})
+			}
+			if err := enc.EncodeToken(el); err != nil {
+				return nil, err
+			}
+			if err := enc.EncodeToken(el.End()); err != nil {
+				return nil, err
+			}
+		}
+		if err := enc.EncodeToken(pls.End()); err != nil {
+			return nil, err
+		}
+	}
+	if p.Body != nil {
+		if err := encodeActivity(enc, p.Body); err != nil {
+			return nil, err
+		}
+	}
+	if err := enc.EncodeToken(root.End()); err != nil {
+		return nil, err
+	}
+	if err := enc.Flush(); err != nil {
+		return nil, err
+	}
+	buf.WriteByte('\n')
+	return buf.Bytes(), nil
+}
+
+func attr(name, value string) xml.Attr {
+	return xml.Attr{Name: xml.Name{Local: name}, Value: value}
+}
+
+func startEl(name string, attrs ...xml.Attr) xml.StartElement {
+	return xml.StartElement{Name: xml.Name{Local: name}, Attr: attrs}
+}
+
+func encodeActivity(enc *xml.Encoder, a Activity) error {
+	emit := func(el xml.StartElement, inner func() error) error {
+		if err := enc.EncodeToken(el); err != nil {
+			return err
+		}
+		if inner != nil {
+			if err := inner(); err != nil {
+				return err
+			}
+		}
+		return enc.EncodeToken(el.End())
+	}
+	nameAttr := func(n string) []xml.Attr {
+		if n == "" {
+			return nil
+		}
+		return []xml.Attr{attr("name", n)}
+	}
+	switch t := a.(type) {
+	case *Sequence:
+		return emit(startEl("sequence", nameAttr(t.BlockName)...), func() error {
+			for _, c := range t.Children {
+				if err := encodeActivity(enc, c); err != nil {
+					return err
+				}
+			}
+			return nil
+		})
+	case *Flow:
+		return emit(startEl("flow", nameAttr(t.BlockName)...), func() error {
+			for _, c := range t.Branches {
+				if err := encodeActivity(enc, c); err != nil {
+					return err
+				}
+			}
+			return nil
+		})
+	case *Switch:
+		return emit(startEl("switch", nameAttr(t.BlockName)...), func() error {
+			for _, c := range t.Cases {
+				el := startEl("case", attr("condition", c.Cond))
+				if err := emit(el, func() error { return encodeActivity(enc, c.Body) }); err != nil {
+					return err
+				}
+			}
+			if t.Else != nil {
+				el := startEl("otherwise")
+				if err := emit(el, func() error { return encodeActivity(enc, t.Else) }); err != nil {
+					return err
+				}
+			}
+			return nil
+		})
+	case *Pick:
+		return emit(startEl("pick", nameAttr(t.BlockName)...), func() error {
+			for _, b := range t.Branches {
+				el := startEl("onMessage", attr("partner", b.Partner), attr("operation", b.Op))
+				if err := emit(el, func() error { return encodeActivity(enc, b.Body) }); err != nil {
+					return err
+				}
+			}
+			return nil
+		})
+	case *While:
+		attrs := append(nameAttr(t.BlockName), attr("condition", t.Cond))
+		return emit(startEl("while", attrs...), func() error {
+			return encodeActivity(enc, t.Body)
+		})
+	case *Scope:
+		return emit(startEl("scope", nameAttr(t.BlockName)...), func() error {
+			return encodeActivity(enc, t.Body)
+		})
+	case *Receive:
+		attrs := append(nameAttr(t.BlockName), attr("partner", t.Partner), attr("operation", t.Op))
+		return emit(startEl("receive", attrs...), nil)
+	case *Reply:
+		attrs := append(nameAttr(t.BlockName), attr("partner", t.Partner), attr("operation", t.Op))
+		return emit(startEl("reply", attrs...), nil)
+	case *Invoke:
+		attrs := append(nameAttr(t.BlockName), attr("partner", t.Partner), attr("operation", t.Op))
+		if t.Sync {
+			attrs = append(attrs, attr("sync", "true"))
+		}
+		return emit(startEl("invoke", attrs...), nil)
+	case *Assign:
+		return emit(startEl("assign", nameAttr(t.BlockName)...), nil)
+	case *Empty:
+		return emit(startEl("empty", nameAttr(t.BlockName)...), nil)
+	case *Terminate:
+		return emit(startEl("terminate", nameAttr(t.BlockName)...), nil)
+	case nil:
+		return nil
+	}
+	return fmt.Errorf("bpel: cannot encode activity kind %v", a.Kind())
+}
+
+// UnmarshalXML parses the syntax produced by MarshalXML.
+func UnmarshalXML(data []byte) (*Process, error) {
+	dec := xml.NewDecoder(bytes.NewReader(data))
+	for {
+		tok, err := dec.Token()
+		if err == io.EOF {
+			return nil, fmt.Errorf("bpel: no <process> element found")
+		}
+		if err != nil {
+			return nil, err
+		}
+		start, ok := tok.(xml.StartElement)
+		if !ok {
+			continue
+		}
+		if start.Name.Local != "process" {
+			return nil, fmt.Errorf("bpel: unexpected root element <%s>", start.Name.Local)
+		}
+		return decodeProcess(dec, start)
+	}
+}
+
+func attrValue(el xml.StartElement, name string) string {
+	for _, a := range el.Attr {
+		if a.Name.Local == name {
+			return a.Value
+		}
+	}
+	return ""
+}
+
+func decodeProcess(dec *xml.Decoder, root xml.StartElement) (*Process, error) {
+	p := &Process{
+		Name:  attrValue(root, "name"),
+		Owner: attrValue(root, "owner"),
+	}
+	for {
+		tok, err := dec.Token()
+		if err != nil {
+			return nil, err
+		}
+		switch t := tok.(type) {
+		case xml.StartElement:
+			switch t.Name.Local {
+			case "partnerLinks":
+				if err := decodePartnerLinks(dec, p); err != nil {
+					return nil, err
+				}
+			default:
+				if p.Body != nil {
+					return nil, fmt.Errorf("bpel: process %q has more than one root activity", p.Name)
+				}
+				act, err := decodeActivity(dec, t)
+				if err != nil {
+					return nil, err
+				}
+				p.Body = act
+			}
+		case xml.EndElement:
+			if t.Name.Local == "process" {
+				return p, nil
+			}
+		}
+	}
+}
+
+func decodePartnerLinks(dec *xml.Decoder, p *Process) error {
+	for {
+		tok, err := dec.Token()
+		if err != nil {
+			return err
+		}
+		switch t := tok.(type) {
+		case xml.StartElement:
+			if t.Name.Local != "partnerLink" {
+				return fmt.Errorf("bpel: unexpected <%s> inside partnerLinks", t.Name.Local)
+			}
+			p.PartnerLinks = append(p.PartnerLinks, PartnerLink{
+				Name:     attrValue(t, "name"),
+				Partner:  attrValue(t, "partner"),
+				LinkType: attrValue(t, "partnerLinkType"),
+			})
+			if err := dec.Skip(); err != nil {
+				return err
+			}
+		case xml.EndElement:
+			if t.Name.Local == "partnerLinks" {
+				return nil
+			}
+		}
+	}
+}
+
+// decodeChildren collects nested activities until the end element of
+// parent, handling <case>/<otherwise>/<onMessage> wrappers via hooks.
+func decodeActivity(dec *xml.Decoder, el xml.StartElement) (Activity, error) {
+	name := attrValue(el, "name")
+	switch el.Name.Local {
+	case "sequence":
+		kids, err := decodeActivityList(dec, el.Name.Local)
+		if err != nil {
+			return nil, err
+		}
+		return &Sequence{BlockName: name, Children: kids}, nil
+	case "flow":
+		kids, err := decodeActivityList(dec, el.Name.Local)
+		if err != nil {
+			return nil, err
+		}
+		return &Flow{BlockName: name, Branches: kids}, nil
+	case "switch":
+		return decodeSwitch(dec, el)
+	case "pick":
+		return decodePick(dec, el)
+	case "while":
+		kids, err := decodeActivityList(dec, el.Name.Local)
+		if err != nil {
+			return nil, err
+		}
+		if len(kids) != 1 {
+			return nil, fmt.Errorf("bpel: while %q needs exactly one body activity, got %d", name, len(kids))
+		}
+		return &While{BlockName: name, Cond: attrValue(el, "condition"), Body: kids[0]}, nil
+	case "scope":
+		kids, err := decodeActivityList(dec, el.Name.Local)
+		if err != nil {
+			return nil, err
+		}
+		if len(kids) != 1 {
+			return nil, fmt.Errorf("bpel: scope %q needs exactly one body activity, got %d", name, len(kids))
+		}
+		return &Scope{BlockName: name, Body: kids[0]}, nil
+	case "receive":
+		act := &Receive{BlockName: name, Partner: attrValue(el, "partner"), Op: attrValue(el, "operation")}
+		return act, dec.Skip()
+	case "reply":
+		act := &Reply{BlockName: name, Partner: attrValue(el, "partner"), Op: attrValue(el, "operation")}
+		return act, dec.Skip()
+	case "invoke":
+		act := &Invoke{
+			BlockName: name,
+			Partner:   attrValue(el, "partner"),
+			Op:        attrValue(el, "operation"),
+			Sync:      strings.EqualFold(attrValue(el, "sync"), "true"),
+		}
+		return act, dec.Skip()
+	case "assign":
+		return &Assign{BlockName: name}, dec.Skip()
+	case "empty":
+		return &Empty{BlockName: name}, dec.Skip()
+	case "terminate":
+		return &Terminate{BlockName: name}, dec.Skip()
+	}
+	return nil, fmt.Errorf("bpel: unknown activity element <%s>", el.Name.Local)
+}
+
+func decodeActivityList(dec *xml.Decoder, closing string) ([]Activity, error) {
+	var kids []Activity
+	for {
+		tok, err := dec.Token()
+		if err != nil {
+			return nil, err
+		}
+		switch t := tok.(type) {
+		case xml.StartElement:
+			act, err := decodeActivity(dec, t)
+			if err != nil {
+				return nil, err
+			}
+			kids = append(kids, act)
+		case xml.EndElement:
+			if t.Name.Local == closing {
+				return kids, nil
+			}
+		}
+	}
+}
+
+func decodeSwitch(dec *xml.Decoder, el xml.StartElement) (Activity, error) {
+	sw := &Switch{BlockName: attrValue(el, "name")}
+	for {
+		tok, err := dec.Token()
+		if err != nil {
+			return nil, err
+		}
+		switch t := tok.(type) {
+		case xml.StartElement:
+			switch t.Name.Local {
+			case "case":
+				kids, err := decodeActivityList(dec, "case")
+				if err != nil {
+					return nil, err
+				}
+				if len(kids) != 1 {
+					return nil, fmt.Errorf("bpel: switch case needs exactly one activity, got %d", len(kids))
+				}
+				sw.Cases = append(sw.Cases, Case{Cond: attrValue(t, "condition"), Body: kids[0]})
+			case "otherwise":
+				kids, err := decodeActivityList(dec, "otherwise")
+				if err != nil {
+					return nil, err
+				}
+				if len(kids) != 1 {
+					return nil, fmt.Errorf("bpel: otherwise needs exactly one activity, got %d", len(kids))
+				}
+				sw.Else = kids[0]
+			default:
+				return nil, fmt.Errorf("bpel: unexpected <%s> inside switch", t.Name.Local)
+			}
+		case xml.EndElement:
+			if t.Name.Local == "switch" {
+				return sw, nil
+			}
+		}
+	}
+}
+
+func decodePick(dec *xml.Decoder, el xml.StartElement) (Activity, error) {
+	pk := &Pick{BlockName: attrValue(el, "name")}
+	for {
+		tok, err := dec.Token()
+		if err != nil {
+			return nil, err
+		}
+		switch t := tok.(type) {
+		case xml.StartElement:
+			if t.Name.Local != "onMessage" {
+				return nil, fmt.Errorf("bpel: unexpected <%s> inside pick", t.Name.Local)
+			}
+			kids, err := decodeActivityList(dec, "onMessage")
+			if err != nil {
+				return nil, err
+			}
+			if len(kids) != 1 {
+				return nil, fmt.Errorf("bpel: onMessage needs exactly one activity, got %d", len(kids))
+			}
+			pk.Branches = append(pk.Branches, OnMessage{
+				Partner: attrValue(t, "partner"),
+				Op:      attrValue(t, "operation"),
+				Body:    kids[0],
+			})
+		case xml.EndElement:
+			if t.Name.Local == "pick" {
+				return pk, nil
+			}
+		}
+	}
+}

@@ -1,0 +1,272 @@
+package bpel
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func TestXMLRoundTrip(t *testing.T) {
+	p := buyerFixture()
+	data, err := MarshalXML(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := UnmarshalXML(data)
+	if err != nil {
+		t.Fatalf("UnmarshalXML: %v\nXML:\n%s", err, data)
+	}
+	if back.Name != p.Name || back.Owner != p.Owner {
+		t.Fatalf("header lost: %q/%q", back.Name, back.Owner)
+	}
+	if len(back.PartnerLinks) != 1 || back.PartnerLinks[0].Partner != "A" {
+		t.Fatalf("partner links lost: %v", back.PartnerLinks)
+	}
+	if p.String() != back.String() {
+		t.Fatalf("round trip changed the tree:\nbefore:\n%s\nafter:\n%s", p, back)
+	}
+}
+
+func TestXMLContainsBPELElements(t *testing.T) {
+	p := buyerFixture()
+	data, err := MarshalXML(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := string(data)
+	for _, want := range []string{
+		`<process name="buyer" owner="B">`,
+		`<sequence name="buyer process">`,
+		`<invoke name="order" partner="A" operation="orderOp">`,
+		`<while name="tracking" condition="1 = 1">`,
+		`<switch name="termination?">`,
+		`<case condition="continue">`,
+		`<terminate name="end">`,
+	} {
+		if !strings.Contains(s, want) {
+			t.Errorf("XML missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestXMLRoundTripAllConstructs(t *testing.T) {
+	p := &Process{
+		Name:  "kitchen-sink",
+		Owner: "A",
+		Body: &Sequence{BlockName: "root", Children: []Activity{
+			&Flow{BlockName: "par", Branches: []Activity{
+				&Invoke{BlockName: "i1", Partner: "B", Op: "op1"},
+				&Invoke{BlockName: "i2", Partner: "B", Op: "op2", Sync: true},
+			}},
+			&Pick{BlockName: "choice", Branches: []OnMessage{
+				{Partner: "B", Op: "a", Body: &Assign{BlockName: "as"}},
+				{Partner: "B", Op: "b", Body: &Empty{BlockName: "em"}},
+			}},
+			&Switch{BlockName: "sw", Cases: []Case{
+				{Cond: "x > 1", Body: &Reply{BlockName: "r", Partner: "B", Op: "op3"}},
+			}, Else: &Terminate{BlockName: "t"}},
+			&Scope{BlockName: "sc", Body: &Receive{BlockName: "rc", Partner: "B", Op: "op4"}},
+			&While{BlockName: "w", Cond: "true", Body: &Empty{BlockName: "we"}},
+		}},
+	}
+	data, err := MarshalXML(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := UnmarshalXML(data)
+	if err != nil {
+		t.Fatalf("UnmarshalXML: %v\n%s", err, data)
+	}
+	if p.String() != back.String() {
+		t.Fatalf("round trip changed tree:\n%s\nvs\n%s", p, back)
+	}
+	// Sync attribute preserved.
+	inv, err := back.Find(Path{"Sequence:root", "Flow:par", "Invoke:i2"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !inv.(*Invoke).Sync {
+		t.Fatal("sync flag lost in round trip")
+	}
+}
+
+func TestUnmarshalErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		xml  string
+	}{
+		{"no process", `<sequence/>`},
+		{"empty", ``},
+		{"two roots", `<process name="x" owner="A"><empty/><empty name="e2"/></process>`},
+		{"unknown element", `<process name="x" owner="A"><banana/></process>`},
+		{"while two bodies", `<process name="x" owner="A"><while name="w" condition="c"><empty name="a"/><empty name="b"/></while></process>`},
+		{"case two bodies", `<process name="x" owner="A"><switch name="s"><case condition="c"><empty name="a"/><empty name="b"/></case></switch></process>`},
+		{"bad pick child", `<process name="x" owner="A"><pick name="p"><case condition="c"><empty/></case></pick></process>`},
+	}
+	for _, tc := range cases {
+		if _, err := UnmarshalXML([]byte(tc.xml)); err == nil {
+			t.Errorf("%s: UnmarshalXML accepted invalid input", tc.name)
+		}
+	}
+}
+
+func TestUnmarshalHandwrittenBPEL(t *testing.T) {
+	src := `
+<process name="logistics" owner="L">
+  <partnerLinks>
+    <partnerLink name="accLogistics" partner="A" partnerLinkType="accLogisticsLT"/>
+  </partnerLinks>
+  <sequence name="logistics process">
+    <receive name="deliver" partner="A" operation="deliverOp"/>
+    <invoke name="deliver_conf" partner="A" operation="deliver_confOp"/>
+    <while name="serve" condition="1 = 1">
+      <pick name="request">
+        <onMessage partner="A" operation="getStatusLOp">
+          <reply name="status" partner="A" operation="getStatusLOp"/>
+        </onMessage>
+        <onMessage partner="A" operation="terminateLOp">
+          <terminate name="end"/>
+        </onMessage>
+      </pick>
+    </while>
+  </sequence>
+</process>`
+	p, err := UnmarshalXML([]byte(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Owner != "L" || p.Name != "logistics" {
+		t.Fatalf("header: %q %q", p.Name, p.Owner)
+	}
+	if p.PartnerLinks[0].LinkType != "accLogisticsLT" {
+		t.Fatal("partnerLinkType lost")
+	}
+	pick, err := p.Find(Path{"Sequence:logistics process", "While:serve", "Pick:request"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pick.(*Pick).Branches) != 2 {
+		t.Fatal("pick branches lost")
+	}
+}
+
+func TestXMLEscapesSpecialCharacters(t *testing.T) {
+	p := &Process{
+		Name:  `quote"name`,
+		Owner: "A",
+		Body: &Sequence{BlockName: "root & <friends>", Children: []Activity{
+			&While{BlockName: "w", Cond: `x < 3 && y > "z"`, Body: &Empty{BlockName: "e"}},
+			&Switch{BlockName: "s", Cases: []Case{
+				{Cond: `status = "ok"`, Body: &Invoke{BlockName: "i", Partner: "B", Op: "op"}},
+			}},
+		}},
+	}
+	data, err := MarshalXML(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := UnmarshalXML(data)
+	if err != nil {
+		t.Fatalf("UnmarshalXML: %v\n%s", err, data)
+	}
+	if back.Name != p.Name {
+		t.Fatalf("name = %q", back.Name)
+	}
+	w, err := back.Find(Path{"Sequence:root & <friends>", "While:w"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.(*While).Cond != `x < 3 && y > "z"` {
+		t.Fatalf("condition mangled: %q", w.(*While).Cond)
+	}
+	sw, err := back.Find(Path{"Sequence:root & <friends>", "Switch:s"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sw.(*Switch).Cases[0].Cond != `status = "ok"` {
+		t.Fatalf("case condition mangled: %q", sw.(*Switch).Cases[0].Cond)
+	}
+}
+
+// randomActivity builds a random activity tree for the round-trip
+// property test.
+func randomActivity(r *rand.Rand, depth int, counter *int) Activity {
+	*counter++
+	name := fmt.Sprintf("n%d", *counter)
+	if depth == 0 {
+		switch r.Intn(5) {
+		case 0:
+			return &Receive{BlockName: name, Partner: "B", Op: "op" + name}
+		case 1:
+			return &Invoke{BlockName: name, Partner: "B", Op: "op" + name, Sync: r.Intn(2) == 0}
+		case 2:
+			return &Assign{BlockName: name}
+		case 3:
+			return &Empty{BlockName: name}
+		default:
+			return &Reply{BlockName: name, Partner: "B", Op: "op" + name}
+		}
+	}
+	switch r.Intn(6) {
+	case 0:
+		seq := &Sequence{BlockName: name}
+		for i := 0; i < 1+r.Intn(3); i++ {
+			seq.Children = append(seq.Children, randomActivity(r, depth-1, counter))
+		}
+		return seq
+	case 1:
+		fl := &Flow{BlockName: name}
+		for i := 0; i < 1+r.Intn(2); i++ {
+			fl.Branches = append(fl.Branches, randomActivity(r, depth-1, counter))
+		}
+		return fl
+	case 2:
+		sw := &Switch{BlockName: name}
+		for i := 0; i < 1+r.Intn(2); i++ {
+			sw.Cases = append(sw.Cases, Case{
+				Cond: fmt.Sprintf("cond %d < %d", i, r.Intn(10)),
+				Body: randomActivity(r, depth-1, counter),
+			})
+		}
+		if r.Intn(2) == 0 {
+			sw.Else = randomActivity(r, depth-1, counter)
+		}
+		return sw
+	case 3:
+		pk := &Pick{BlockName: name}
+		for i := 0; i < 1+r.Intn(2); i++ {
+			*counter++
+			pk.Branches = append(pk.Branches, OnMessage{
+				Partner: "B",
+				Op:      fmt.Sprintf("pickop%d", *counter),
+				Body:    randomActivity(r, depth-1, counter),
+			})
+		}
+		return pk
+	case 4:
+		return &While{BlockName: name, Cond: "i < 5", Body: randomActivity(r, depth-1, counter)}
+	default:
+		return &Scope{BlockName: name, Body: randomActivity(r, depth-1, counter)}
+	}
+}
+
+// Property: every generated process XML round-trips structurally.
+func TestQuickXMLRoundTrip(t *testing.T) {
+	r := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 60; trial++ {
+		counter := 0
+		p := &Process{Name: "rt", Owner: "A", Body: randomActivity(r, 3, &counter)}
+		data, err := MarshalXML(p)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		back, err := UnmarshalXML(data)
+		if err != nil {
+			t.Fatalf("trial %d: %v\n%s", trial, err, data)
+		}
+		if p.String() != back.String() {
+			t.Fatalf("trial %d: round trip changed the tree:\n%s\nvs\n%s", trial, p, back)
+		}
+	}
+}

@@ -1,0 +1,458 @@
+// Package change implements structural change operations on private
+// BPEL processes (paper Sec. 4: "we restrict our considerations to
+// structural changes (e.g., the insertion or deletion of process
+// activities)"). Operations are applied copy-on-write: Apply returns a
+// new process and leaves the input untouched, so a choreography can
+// keep the old and new version side by side for classification
+// (Defs. 5/6).
+//
+// Besides the generic primitives (insert, delete, replace, add
+// branch), the package provides the composed operations the paper's
+// scenarios use: widening a receive into a pick (Fig. 9, Fig. 14),
+// wrapping a sequence tail into a data-driven switch (Fig. 11), and
+// replacing a loop by a bounded alternative (Figs. 15/18).
+package change
+
+import (
+	"fmt"
+
+	"repro/internal/bpel"
+)
+
+// Operation is a structural change of a private process.
+type Operation interface {
+	// Apply returns the changed process (the input is not modified).
+	Apply(p *bpel.Process) (*bpel.Process, error)
+	// String describes the operation for logs and reports.
+	String() string
+}
+
+// insertPosition distinguishes InsertBefore/InsertAfter.
+type insertPosition int
+
+const (
+	before insertPosition = iota
+	after
+)
+
+// Insert places a new activity next to the activity at Path inside its
+// enclosing Sequence or Flow.
+type Insert struct {
+	// Path addresses the sibling activity to insert next to; its
+	// parent must be a Sequence or Flow.
+	Path bpel.Path
+	// New is the activity to insert.
+	New bpel.Activity
+	// After selects insertion after (true) or before (false) Path.
+	After bool
+}
+
+// Apply implements Operation.
+func (op Insert) Apply(p *bpel.Process) (*bpel.Process, error) {
+	if len(op.Path) < 2 {
+		return nil, fmt.Errorf("change: insert needs a non-root sibling path, got %s", op.Path)
+	}
+	if op.New == nil {
+		return nil, fmt.Errorf("change: insert without activity")
+	}
+	parentPath, siblingElem := op.Path.Parent(), op.Path[len(op.Path)-1]
+	pos := before
+	if op.After {
+		pos = after
+	}
+	return p.Transform(parentPath, func(a bpel.Activity) (bpel.Activity, error) {
+		switch t := a.(type) {
+		case *bpel.Sequence:
+			kids, err := insertSibling(t.Children, siblingElem, op.New, pos)
+			if err != nil {
+				return nil, err
+			}
+			t.Children = kids
+			return t, nil
+		case *bpel.Flow:
+			kids, err := insertSibling(t.Branches, siblingElem, op.New, pos)
+			if err != nil {
+				return nil, err
+			}
+			t.Branches = kids
+			return t, nil
+		}
+		return nil, fmt.Errorf("change: parent %s is %v, need Sequence or Flow", parentPath, a.Kind())
+	})
+}
+
+func insertSibling(kids []bpel.Activity, siblingElem string, neu bpel.Activity, pos insertPosition) ([]bpel.Activity, error) {
+	for i, k := range kids {
+		if bpel.Element(k) == siblingElem {
+			idx := i
+			if pos == after {
+				idx = i + 1
+			}
+			out := make([]bpel.Activity, 0, len(kids)+1)
+			out = append(out, kids[:idx]...)
+			out = append(out, neu.Clone())
+			out = append(out, kids[idx:]...)
+			return out, nil
+		}
+	}
+	return nil, fmt.Errorf("change: sibling %q not found", siblingElem)
+}
+
+func (op Insert) String() string {
+	where := "before"
+	if op.After {
+		where = "after"
+	}
+	return fmt.Sprintf("insert %s %s %s", bpel.Element(op.New), where, op.Path)
+}
+
+// Append adds a new activity at the end of the Sequence or Flow at
+// Path.
+type Append struct {
+	Path bpel.Path
+	New  bpel.Activity
+}
+
+// Apply implements Operation.
+func (op Append) Apply(p *bpel.Process) (*bpel.Process, error) {
+	if op.New == nil {
+		return nil, fmt.Errorf("change: append without activity")
+	}
+	return p.Transform(op.Path, func(a bpel.Activity) (bpel.Activity, error) {
+		switch t := a.(type) {
+		case *bpel.Sequence:
+			t.Children = append(t.Children, op.New.Clone())
+			return t, nil
+		case *bpel.Flow:
+			t.Branches = append(t.Branches, op.New.Clone())
+			return t, nil
+		}
+		return nil, fmt.Errorf("change: %s is %v, need Sequence or Flow", op.Path, a.Kind())
+	})
+}
+
+func (op Append) String() string {
+	return fmt.Sprintf("append %s to %s", bpel.Element(op.New), op.Path)
+}
+
+// Delete removes the activity at Path (from a Sequence or Flow the
+// element disappears; a While/Scope body or branch body becomes
+// Empty).
+type Delete struct {
+	Path bpel.Path
+}
+
+// Apply implements Operation.
+func (op Delete) Apply(p *bpel.Process) (*bpel.Process, error) {
+	return p.Transform(op.Path, func(bpel.Activity) (bpel.Activity, error) {
+		return nil, nil
+	})
+}
+
+func (op Delete) String() string { return fmt.Sprintf("delete %s", op.Path) }
+
+// Replace substitutes the activity at Path by New.
+type Replace struct {
+	Path bpel.Path
+	New  bpel.Activity
+}
+
+// Apply implements Operation.
+func (op Replace) Apply(p *bpel.Process) (*bpel.Process, error) {
+	if op.New == nil {
+		return nil, fmt.Errorf("change: replace without activity")
+	}
+	return p.Transform(op.Path, func(bpel.Activity) (bpel.Activity, error) {
+		return op.New.Clone(), nil
+	})
+}
+
+func (op Replace) String() string {
+	return fmt.Sprintf("replace %s by %s", op.Path, bpel.Element(op.New))
+}
+
+// AddPickBranch adds an onMessage branch to the Pick at Path.
+type AddPickBranch struct {
+	Path   bpel.Path
+	Branch bpel.OnMessage
+}
+
+// Apply implements Operation.
+func (op AddPickBranch) Apply(p *bpel.Process) (*bpel.Process, error) {
+	return p.Transform(op.Path, func(a bpel.Activity) (bpel.Activity, error) {
+		pick, ok := a.(*bpel.Pick)
+		if !ok {
+			return nil, fmt.Errorf("change: %s is %v, need Pick", op.Path, a.Kind())
+		}
+		branch := op.Branch
+		if branch.Body == nil {
+			branch.Body = &bpel.Empty{}
+		} else {
+			branch.Body = branch.Body.Clone()
+		}
+		pick.Branches = append(pick.Branches, branch)
+		return pick, nil
+	})
+}
+
+func (op AddPickBranch) String() string {
+	return fmt.Sprintf("add pick branch %s.%s to %s", op.Branch.Partner, op.Branch.Op, op.Path)
+}
+
+// AddSwitchCase adds a case to the Switch at Path.
+type AddSwitchCase struct {
+	Path bpel.Path
+	Case bpel.Case
+}
+
+// Apply implements Operation.
+func (op AddSwitchCase) Apply(p *bpel.Process) (*bpel.Process, error) {
+	return p.Transform(op.Path, func(a bpel.Activity) (bpel.Activity, error) {
+		sw, ok := a.(*bpel.Switch)
+		if !ok {
+			return nil, fmt.Errorf("change: %s is %v, need Switch", op.Path, a.Kind())
+		}
+		c := op.Case
+		if c.Body == nil {
+			c.Body = &bpel.Empty{}
+		} else {
+			c.Body = c.Body.Clone()
+		}
+		sw.Cases = append(sw.Cases, c)
+		return sw, nil
+	})
+}
+
+func (op AddSwitchCase) String() string {
+	return fmt.Sprintf("add switch case [%s] to %s", op.Case.Cond, op.Path)
+}
+
+// ReplaceReceiveWithPick widens the Receive at Path into a Pick that
+// accepts the original message plus the Extra alternatives — the shape
+// of the paper's invariant additive change (Fig. 9: order_2) and of
+// the propagated buyer adaptation (Fig. 14: delivery or cancel).
+type ReplaceReceiveWithPick struct {
+	Path bpel.Path
+	// BlockName names the new pick block.
+	BlockName string
+	// Extra are the additional alternatives.
+	Extra []bpel.OnMessage
+}
+
+// Apply implements Operation.
+func (op ReplaceReceiveWithPick) Apply(p *bpel.Process) (*bpel.Process, error) {
+	if len(op.Extra) == 0 {
+		return nil, fmt.Errorf("change: pick widening needs at least one extra branch")
+	}
+	return p.Transform(op.Path, func(a bpel.Activity) (bpel.Activity, error) {
+		rcv, ok := a.(*bpel.Receive)
+		if !ok {
+			return nil, fmt.Errorf("change: %s is %v, need Receive", op.Path, a.Kind())
+		}
+		name := op.BlockName
+		if name == "" {
+			name = rcv.BlockName + " alternatives"
+		}
+		pick := &bpel.Pick{
+			BlockName: name,
+			Branches: []bpel.OnMessage{
+				{Partner: rcv.Partner, Op: rcv.Op, Body: &bpel.Empty{BlockName: rcv.BlockName + " done"}},
+			},
+		}
+		for _, ex := range op.Extra {
+			branch := ex
+			if branch.Body == nil {
+				branch.Body = &bpel.Empty{}
+			} else {
+				branch.Body = branch.Body.Clone()
+			}
+			pick.Branches = append(pick.Branches, branch)
+		}
+		return pick, nil
+	})
+}
+
+func (op ReplaceReceiveWithPick) String() string {
+	return fmt.Sprintf("widen receive %s into pick with %d extra branch(es)", op.Path, len(op.Extra))
+}
+
+// WrapTailInSwitch moves the suffix of the Sequence at Path (starting
+// at FromElement) into the first case of a new Switch and adds Else as
+// the alternative branch — the paper's variant additive change
+// (Fig. 11: credit check with a cancel alternative).
+type WrapTailInSwitch struct {
+	// Path addresses the enclosing Sequence.
+	Path bpel.Path
+	// FromElement is the element of the first child to move.
+	FromElement string
+	// SwitchName and CaseName name the new blocks.
+	SwitchName string
+	CaseName   string
+	// Cond is the condition of the wrapped case.
+	Cond string
+	// Else is the alternative branch.
+	Else bpel.Activity
+}
+
+// Apply implements Operation.
+func (op WrapTailInSwitch) Apply(p *bpel.Process) (*bpel.Process, error) {
+	if op.Else == nil {
+		return nil, fmt.Errorf("change: wrap-tail needs an else branch")
+	}
+	return p.Transform(op.Path, func(a bpel.Activity) (bpel.Activity, error) {
+		seq, ok := a.(*bpel.Sequence)
+		if !ok {
+			return nil, fmt.Errorf("change: %s is %v, need Sequence", op.Path, a.Kind())
+		}
+		split := -1
+		for i, k := range seq.Children {
+			if bpel.Element(k) == op.FromElement {
+				split = i
+				break
+			}
+		}
+		if split < 0 {
+			return nil, fmt.Errorf("change: element %q not found in %s", op.FromElement, op.Path)
+		}
+		tail := seq.Children[split:]
+		caseName := op.CaseName
+		if caseName == "" {
+			caseName = op.SwitchName + " main"
+		}
+		sw := &bpel.Switch{
+			BlockName: op.SwitchName,
+			Cases: []bpel.Case{{
+				Cond: op.Cond,
+				Body: &bpel.Sequence{BlockName: caseName, Children: tail},
+			}},
+			Else: op.Else.Clone(),
+		}
+		seq.Children = append(append([]bpel.Activity(nil), seq.Children[:split]...), sw)
+		return seq, nil
+	})
+}
+
+func (op WrapTailInSwitch) String() string {
+	return fmt.Sprintf("wrap tail of %s from %q into switch %q", op.Path, op.FromElement, op.SwitchName)
+}
+
+// SetWhileCond changes the loop condition of the While at Path (e.g.,
+// turning an infinite loop into a bounded one).
+type SetWhileCond struct {
+	Path bpel.Path
+	Cond string
+}
+
+// Apply implements Operation.
+func (op SetWhileCond) Apply(p *bpel.Process) (*bpel.Process, error) {
+	return p.Transform(op.Path, func(a bpel.Activity) (bpel.Activity, error) {
+		w, ok := a.(*bpel.While)
+		if !ok {
+			return nil, fmt.Errorf("change: %s is %v, need While", op.Path, a.Kind())
+		}
+		w.Cond = op.Cond
+		return w, nil
+	})
+}
+
+func (op SetWhileCond) String() string {
+	return fmt.Sprintf("set while condition of %s to %q", op.Path, op.Cond)
+}
+
+// Shift moves the activity at Path next to another sibling of the
+// same Sequence or Flow — the "shift process activities" operation the
+// paper mentions alongside insertion and deletion (Sec. 4.1). A shift
+// inside a Flow is always neutral for the public process
+// (interleaving is order-free); inside a Sequence it typically both
+// adds and removes message sequences.
+type Shift struct {
+	// Path addresses the activity to move.
+	Path bpel.Path
+	// Anchor is the element of the sibling to move next to.
+	Anchor string
+	// After selects placement after (true) or before (false) Anchor.
+	After bool
+}
+
+// Apply implements Operation.
+func (op Shift) Apply(p *bpel.Process) (*bpel.Process, error) {
+	if len(op.Path) < 2 {
+		return nil, fmt.Errorf("change: shift needs a non-root sibling path, got %s", op.Path)
+	}
+	moved := op.Path[len(op.Path)-1]
+	if moved == op.Anchor {
+		return nil, fmt.Errorf("change: shift of %q onto itself", moved)
+	}
+	return p.Transform(op.Path.Parent(), func(a bpel.Activity) (bpel.Activity, error) {
+		reorder := func(kids []bpel.Activity) ([]bpel.Activity, error) {
+			var target bpel.Activity
+			rest := make([]bpel.Activity, 0, len(kids))
+			for _, k := range kids {
+				if bpel.Element(k) == moved && target == nil {
+					target = k
+					continue
+				}
+				rest = append(rest, k)
+			}
+			if target == nil {
+				return nil, fmt.Errorf("change: shift source %q not found", moved)
+			}
+			pos := before
+			if op.After {
+				pos = after
+			}
+			return insertSibling(rest, op.Anchor, target, pos)
+		}
+		switch t := a.(type) {
+		case *bpel.Sequence:
+			kids, err := reorder(t.Children)
+			if err != nil {
+				return nil, err
+			}
+			t.Children = kids
+			return t, nil
+		case *bpel.Flow:
+			kids, err := reorder(t.Branches)
+			if err != nil {
+				return nil, err
+			}
+			t.Branches = kids
+			return t, nil
+		}
+		return nil, fmt.Errorf("change: shift parent %s is %v, need Sequence or Flow", op.Path.Parent(), a.Kind())
+	})
+}
+
+func (op Shift) String() string {
+	where := "before"
+	if op.After {
+		where = "after"
+	}
+	return fmt.Sprintf("shift %s %s %s", op.Path, where, op.Anchor)
+}
+
+// Composite applies several operations in order.
+type Composite struct {
+	Label string
+	Ops   []Operation
+}
+
+// Apply implements Operation.
+func (op Composite) Apply(p *bpel.Process) (*bpel.Process, error) {
+	cur := p
+	for i, sub := range op.Ops {
+		next, err := sub.Apply(cur)
+		if err != nil {
+			return nil, fmt.Errorf("change: composite %q step %d (%s): %w", op.Label, i, sub, err)
+		}
+		cur = next
+	}
+	return cur, nil
+}
+
+func (op Composite) String() string {
+	if op.Label != "" {
+		return fmt.Sprintf("composite %q (%d ops)", op.Label, len(op.Ops))
+	}
+	return fmt.Sprintf("composite (%d ops)", len(op.Ops))
+}

@@ -1,0 +1,307 @@
+package change
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/bpel"
+)
+
+// fixture: A sends x, receives y, then loops sending z.
+func fixture() *bpel.Process {
+	return &bpel.Process{
+		Name:  "p",
+		Owner: "A",
+		Body: &bpel.Sequence{BlockName: "root", Children: []bpel.Activity{
+			&bpel.Invoke{BlockName: "ix", Partner: "B", Op: "x"},
+			&bpel.Receive{BlockName: "ry", Partner: "B", Op: "y"},
+			&bpel.While{BlockName: "loop", Cond: "n < 3",
+				Body: &bpel.Invoke{BlockName: "iz", Partner: "B", Op: "z"}},
+		}},
+	}
+}
+
+func mustApply(t *testing.T, op Operation, p *bpel.Process) *bpel.Process {
+	t.Helper()
+	out, err := op.Apply(p)
+	if err != nil {
+		t.Fatalf("%s: %v", op, err)
+	}
+	if err := out.Validate(nil); err != nil {
+		t.Fatalf("%s produced invalid process: %v", op, err)
+	}
+	return out
+}
+
+func TestInsertBeforeAndAfter(t *testing.T) {
+	p := fixture()
+	neu := &bpel.Invoke{BlockName: "new", Partner: "B", Op: "n"}
+
+	out := mustApply(t, Insert{Path: bpel.Path{"Sequence:root", "Receive:ry"}, New: neu}, p)
+	seq := out.Body.(*bpel.Sequence)
+	if bpel.Element(seq.Children[1]) != "Invoke:new" {
+		t.Fatalf("insert before: children = %v", elements(seq.Children))
+	}
+
+	out = mustApply(t, Insert{Path: bpel.Path{"Sequence:root", "Receive:ry"}, New: neu, After: true}, p)
+	seq = out.Body.(*bpel.Sequence)
+	if bpel.Element(seq.Children[2]) != "Invoke:new" {
+		t.Fatalf("insert after: children = %v", elements(seq.Children))
+	}
+	// Original untouched.
+	if len(p.Body.(*bpel.Sequence).Children) != 3 {
+		t.Fatal("insert mutated the original")
+	}
+}
+
+func elements(acts []bpel.Activity) []string {
+	out := make([]string, len(acts))
+	for i, a := range acts {
+		out[i] = bpel.Element(a)
+	}
+	return out
+}
+
+func TestInsertErrors(t *testing.T) {
+	p := fixture()
+	neu := &bpel.Empty{BlockName: "e"}
+	cases := []Operation{
+		Insert{Path: bpel.Path{"Sequence:root"}, New: neu},                            // root path
+		Insert{Path: bpel.Path{"Sequence:root", "Receive:ghost"}, New: neu},           // missing sibling
+		Insert{Path: bpel.Path{"Sequence:root", "Receive:ry"}},                        // no activity
+		Insert{Path: bpel.Path{"Sequence:root", "While:loop", "Invoke:iz"}, New: neu}, // parent is While
+	}
+	for _, op := range cases {
+		if _, err := op.Apply(p); err == nil {
+			t.Errorf("%s: accepted", op)
+		}
+	}
+}
+
+func TestAppend(t *testing.T) {
+	p := fixture()
+	out := mustApply(t, Append{Path: bpel.Path{"Sequence:root"}, New: &bpel.Terminate{BlockName: "t"}}, p)
+	seq := out.Body.(*bpel.Sequence)
+	if bpel.Element(seq.Children[len(seq.Children)-1]) != "Terminate:t" {
+		t.Fatalf("append failed: %v", elements(seq.Children))
+	}
+	if _, err := (Append{Path: bpel.Path{"Sequence:root", "Receive:ry"}, New: &bpel.Empty{}}).Apply(p); err == nil {
+		t.Fatal("append to receive accepted")
+	}
+	if _, err := (Append{Path: bpel.Path{"Sequence:root"}}).Apply(p); err == nil {
+		t.Fatal("append without activity accepted")
+	}
+}
+
+func TestDelete(t *testing.T) {
+	p := fixture()
+	out := mustApply(t, Delete{Path: bpel.Path{"Sequence:root", "Invoke:ix"}}, p)
+	if len(out.Body.(*bpel.Sequence).Children) != 2 {
+		t.Fatal("delete did not remove the child")
+	}
+	if _, err := (Delete{Path: bpel.Path{"Sequence:root", "Invoke:ghost"}}).Apply(p); err == nil {
+		t.Fatal("delete of missing path accepted")
+	}
+}
+
+func TestReplace(t *testing.T) {
+	p := fixture()
+	out := mustApply(t, Replace{
+		Path: bpel.Path{"Sequence:root", "While:loop"},
+		New:  &bpel.Invoke{BlockName: "once", Partner: "B", Op: "z"},
+	}, p)
+	if _, err := out.Find(bpel.Path{"Sequence:root", "Invoke:once"}); err != nil {
+		t.Fatalf("replacement missing: %v", err)
+	}
+	if _, err := (Replace{Path: bpel.Path{"Sequence:root"}}).Apply(p); err == nil {
+		t.Fatal("replace without activity accepted")
+	}
+}
+
+func TestAddPickBranch(t *testing.T) {
+	p := &bpel.Process{Name: "p", Owner: "A", Body: &bpel.Pick{BlockName: "pk", Branches: []bpel.OnMessage{
+		{Partner: "B", Op: "a", Body: &bpel.Empty{BlockName: "e1"}},
+	}}}
+	out := mustApply(t, AddPickBranch{
+		Path:   bpel.Path{"Pick:pk"},
+		Branch: bpel.OnMessage{Partner: "B", Op: "b"},
+	}, p)
+	pick := out.Body.(*bpel.Pick)
+	if len(pick.Branches) != 2 || pick.Branches[1].Op != "b" {
+		t.Fatalf("branches = %+v", pick.Branches)
+	}
+	if pick.Branches[1].Body == nil {
+		t.Fatal("nil branch body not defaulted")
+	}
+	if _, err := (AddPickBranch{Path: bpel.Path{"Pick:pk"}, Branch: bpel.OnMessage{Partner: "B", Op: "c"}}).Apply(fixture()); err == nil {
+		t.Fatal("AddPickBranch on non-pick accepted")
+	}
+}
+
+func TestAddSwitchCase(t *testing.T) {
+	p := &bpel.Process{Name: "p", Owner: "A", Body: &bpel.Switch{BlockName: "sw", Cases: []bpel.Case{
+		{Cond: "c1", Body: &bpel.Empty{BlockName: "e1"}},
+	}}}
+	out := mustApply(t, AddSwitchCase{
+		Path: bpel.Path{"Switch:sw"},
+		Case: bpel.Case{Cond: "c2", Body: &bpel.Invoke{BlockName: "i", Partner: "B", Op: "x"}},
+	}, p)
+	sw := out.Body.(*bpel.Switch)
+	if len(sw.Cases) != 2 || sw.Cases[1].Cond != "c2" {
+		t.Fatalf("cases = %+v", sw.Cases)
+	}
+}
+
+func TestReplaceReceiveWithPick(t *testing.T) {
+	p := fixture()
+	out := mustApply(t, ReplaceReceiveWithPick{
+		Path:      bpel.Path{"Sequence:root", "Receive:ry"},
+		BlockName: "y or w",
+		Extra:     []bpel.OnMessage{{Partner: "B", Op: "w"}},
+	}, p)
+	pick, err := out.Find(bpel.Path{"Sequence:root", "Pick:y or w"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	branches := pick.(*bpel.Pick).Branches
+	if len(branches) != 2 || branches[0].Op != "y" || branches[1].Op != "w" {
+		t.Fatalf("branches = %+v", branches)
+	}
+	// Errors.
+	if _, err := (ReplaceReceiveWithPick{Path: bpel.Path{"Sequence:root", "Receive:ry"}}).Apply(p); err == nil {
+		t.Fatal("widening without extras accepted")
+	}
+	if _, err := (ReplaceReceiveWithPick{
+		Path:  bpel.Path{"Sequence:root", "Invoke:ix"},
+		Extra: []bpel.OnMessage{{Partner: "B", Op: "w"}},
+	}).Apply(p); err == nil {
+		t.Fatal("widening a non-receive accepted")
+	}
+}
+
+func TestWrapTailInSwitch(t *testing.T) {
+	p := fixture()
+	out := mustApply(t, WrapTailInSwitch{
+		Path:        bpel.Path{"Sequence:root"},
+		FromElement: "Receive:ry",
+		SwitchName:  "check",
+		CaseName:    "go on",
+		Cond:        "ok",
+		Else:        &bpel.Terminate{BlockName: "stop"},
+	}, p)
+	seq := out.Body.(*bpel.Sequence)
+	if len(seq.Children) != 2 {
+		t.Fatalf("children = %v", elements(seq.Children))
+	}
+	sw := seq.Children[1].(*bpel.Switch)
+	caseSeq := sw.Cases[0].Body.(*bpel.Sequence)
+	if len(caseSeq.Children) != 2 {
+		t.Fatalf("wrapped tail = %v", elements(caseSeq.Children))
+	}
+	if sw.Else.Kind() != bpel.KindTerminate {
+		t.Fatal("else branch lost")
+	}
+	// Errors.
+	if _, err := (WrapTailInSwitch{Path: bpel.Path{"Sequence:root"}, FromElement: "Receive:ghost", Else: &bpel.Empty{}}).Apply(p); err == nil {
+		t.Fatal("missing from-element accepted")
+	}
+	if _, err := (WrapTailInSwitch{Path: bpel.Path{"Sequence:root"}, FromElement: "Receive:ry"}).Apply(p); err == nil {
+		t.Fatal("missing else accepted")
+	}
+}
+
+func TestSetWhileCond(t *testing.T) {
+	p := fixture()
+	out := mustApply(t, SetWhileCond{Path: bpel.Path{"Sequence:root", "While:loop"}, Cond: "1 = 1"}, p)
+	w, err := out.Find(bpel.Path{"Sequence:root", "While:loop"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.(*bpel.While).Cond != "1 = 1" {
+		t.Fatal("condition not set")
+	}
+	if _, err := (SetWhileCond{Path: bpel.Path{"Sequence:root", "Invoke:ix"}, Cond: "x"}).Apply(p); err == nil {
+		t.Fatal("SetWhileCond on non-while accepted")
+	}
+}
+
+func TestComposite(t *testing.T) {
+	p := fixture()
+	op := Composite{Label: "two deletes", Ops: []Operation{
+		Delete{Path: bpel.Path{"Sequence:root", "Invoke:ix"}},
+		Delete{Path: bpel.Path{"Sequence:root", "Receive:ry"}},
+	}}
+	out := mustApply(t, op, p)
+	if len(out.Body.(*bpel.Sequence).Children) != 1 {
+		t.Fatal("composite did not apply both deletes")
+	}
+	// A failing step reports its index.
+	bad := Composite{Ops: []Operation{
+		Delete{Path: bpel.Path{"Sequence:root", "Invoke:ghost"}},
+	}}
+	if _, err := bad.Apply(p); err == nil || !strings.Contains(err.Error(), "step 0") {
+		t.Fatalf("composite error = %v", err)
+	}
+}
+
+func TestOperationStrings(t *testing.T) {
+	ops := []Operation{
+		Insert{Path: bpel.Path{"a", "b"}, New: &bpel.Empty{BlockName: "e"}},
+		Append{Path: bpel.Path{"a"}, New: &bpel.Empty{BlockName: "e"}},
+		Delete{Path: bpel.Path{"a"}},
+		Replace{Path: bpel.Path{"a"}, New: &bpel.Empty{BlockName: "e"}},
+		AddPickBranch{Path: bpel.Path{"a"}, Branch: bpel.OnMessage{Partner: "B", Op: "x"}},
+		AddSwitchCase{Path: bpel.Path{"a"}, Case: bpel.Case{Cond: "c"}},
+		ReplaceReceiveWithPick{Path: bpel.Path{"a"}, Extra: []bpel.OnMessage{{Op: "x"}}},
+		WrapTailInSwitch{Path: bpel.Path{"a"}, FromElement: "x", SwitchName: "s"},
+		SetWhileCond{Path: bpel.Path{"a"}, Cond: "c"},
+		Composite{Label: "l"},
+		Composite{},
+	}
+	for _, op := range ops {
+		if op.String() == "" {
+			t.Errorf("%T has empty String()", op)
+		}
+	}
+}
+
+func TestShiftWithinSequence(t *testing.T) {
+	p := fixture()
+	out := mustApply(t, Shift{
+		Path:   bpel.Path{"Sequence:root", "Invoke:ix"},
+		Anchor: "Receive:ry",
+		After:  true,
+	}, p)
+	got := elements(out.Body.(*bpel.Sequence).Children)
+	want := []string{"Receive:ry", "Invoke:ix", "While:loop"}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("after shift: %v, want %v", got, want)
+		}
+	}
+	// Shift back before the receive restores the original order.
+	out2 := mustApply(t, Shift{
+		Path:   bpel.Path{"Sequence:root", "Invoke:ix"},
+		Anchor: "Receive:ry",
+	}, out)
+	got2 := elements(out2.Body.(*bpel.Sequence).Children)
+	if got2[0] != "Invoke:ix" || got2[1] != "Receive:ry" {
+		t.Fatalf("shift back: %v", got2)
+	}
+}
+
+func TestShiftErrors(t *testing.T) {
+	p := fixture()
+	cases := []Operation{
+		Shift{Path: bpel.Path{"Sequence:root"}, Anchor: "x"},                            // root path
+		Shift{Path: bpel.Path{"Sequence:root", "Invoke:ix"}, Anchor: "Invoke:ix"},       // onto itself
+		Shift{Path: bpel.Path{"Sequence:root", "Invoke:ghost"}, Anchor: "Receive:ry"},   // missing source
+		Shift{Path: bpel.Path{"Sequence:root", "Invoke:ix"}, Anchor: "Receive:ghost"},   // missing anchor
+		Shift{Path: bpel.Path{"Sequence:root", "While:loop", "Invoke:iz"}, Anchor: "x"}, // parent is While
+	}
+	for _, op := range cases {
+		if _, err := op.Apply(p); err == nil {
+			t.Errorf("%s: accepted", op)
+		}
+	}
+}

@@ -1,0 +1,261 @@
+// Package conformance monitors running choreographies: it replays
+// observed message logs against the agreed public processes, localizes
+// deviations (which message, which party, what was expected instead)
+// and detects *uncontrolled evolution* — a partner whose observed
+// behavior has drifted from its published public process, which is
+// precisely the failure mode the paper's controlled-evolution
+// framework exists to prevent (Sec. 3.1: "If one party changes its
+// process in an uncontrolled manner, inconsistencies or errors ...
+// might occur in the sequel").
+//
+// Drift detection reuses the parallel-traversal machinery of the
+// propagation planner (package core): the observed behavior is folded
+// into a prefix automaton and compared against the published view, so
+// a detected drift comes out in the same Hint vocabulary the
+// propagation plans use.
+package conformance
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/afsa"
+	"repro/internal/core"
+	"repro/internal/label"
+)
+
+// Role says on which side of a message a deviation occurred.
+type Role int
+
+// Roles.
+const (
+	// RoleSender: the sending party's public process does not allow
+	// sending the observed message at this point.
+	RoleSender Role = iota
+	// RoleReceiver: the receiver cannot accept the observed message.
+	RoleReceiver
+	// RoleUnknown: the message references a party the monitor does
+	// not know.
+	RoleUnknown
+)
+
+func (r Role) String() string {
+	switch r {
+	case RoleSender:
+		return "sender"
+	case RoleReceiver:
+		return "receiver"
+	default:
+		return "unknown party"
+	}
+}
+
+// Deviation is one localized protocol violation.
+type Deviation struct {
+	// Step is the 0-based index of the offending message in the log.
+	Step int
+	// Label is the observed message.
+	Label label.Label
+	// Party is the deviating party.
+	Party string
+	// Role says whether Party deviated as sender or receiver.
+	Role Role
+	// Expected lists the messages Party could have exchanged at this
+	// point instead, sorted.
+	Expected []label.Label
+}
+
+func (d Deviation) String() string {
+	return fmt.Sprintf("step %d: %s deviates as %s with %s (expected one of %v)",
+		d.Step, d.Party, d.Role, d.Label, d.Expected)
+}
+
+// Monitor replays a message log against the public processes of the
+// parties. It is a deterministic state tracker: every party occupies
+// one state of its determinized public process.
+type Monitor struct {
+	names  []string
+	autos  map[string]*afsa.Automaton
+	states map[string]afsa.StateID
+	steps  int
+}
+
+// NewMonitor builds a monitor from public processes keyed by party.
+func NewMonitor(parties map[string]*afsa.Automaton) (*Monitor, error) {
+	if len(parties) == 0 {
+		return nil, fmt.Errorf("conformance: no parties")
+	}
+	m := &Monitor{autos: map[string]*afsa.Automaton{}, states: map[string]afsa.StateID{}}
+	for name, a := range parties {
+		if a == nil {
+			return nil, fmt.Errorf("conformance: party %q has no automaton", name)
+		}
+		d := a.Determinize()
+		d.Name = a.Name
+		m.autos[name] = d
+		m.states[name] = d.Start()
+		m.names = append(m.names, name)
+	}
+	sort.Strings(m.names)
+	return m, nil
+}
+
+// Reset rewinds every party to its start state.
+func (m *Monitor) Reset() {
+	for name, a := range m.autos {
+		m.states[name] = a.Start()
+	}
+	m.steps = 0
+}
+
+// Steps returns the number of successfully replayed messages.
+func (m *Monitor) Steps() int { return m.steps }
+
+// expectedAt lists the labels party can exchange in its current state.
+func (m *Monitor) expectedAt(party string) []label.Label {
+	a := m.autos[party]
+	var out []label.Label
+	for _, t := range a.Transitions(m.states[party]) {
+		out = append(out, t.Label)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Step replays one observed message. A nil result means both endpoints
+// moved; otherwise the returned deviation localizes the violation and
+// the monitor state is unchanged.
+func (m *Monitor) Step(l label.Label) *Deviation {
+	sender, receiver := l.Sender(), l.Receiver()
+	sa, okS := m.autos[sender]
+	if !okS {
+		return &Deviation{Step: m.steps, Label: l, Party: sender, Role: RoleUnknown}
+	}
+	ra, okR := m.autos[receiver]
+	if !okR {
+		return &Deviation{Step: m.steps, Label: l, Party: receiver, Role: RoleUnknown}
+	}
+	sNext := sa.Step(m.states[sender], l)
+	if len(sNext) == 0 {
+		return &Deviation{
+			Step: m.steps, Label: l, Party: sender, Role: RoleSender,
+			Expected: m.expectedAt(sender),
+		}
+	}
+	rNext := ra.Step(m.states[receiver], l)
+	if len(rNext) == 0 {
+		return &Deviation{
+			Step: m.steps, Label: l, Party: receiver, Role: RoleReceiver,
+			Expected: m.expectedAt(receiver),
+		}
+	}
+	m.states[sender] = sNext[0]
+	m.states[receiver] = rNext[0]
+	m.steps++
+	return nil
+}
+
+// Complete reports whether every party is in a final state or never
+// moved (the lenient completion of package runtime).
+func (m *Monitor) Complete() bool {
+	for _, name := range m.names {
+		a := m.autos[name]
+		if a.IsFinal(m.states[name]) || m.states[name] == a.Start() {
+			continue
+		}
+		return false
+	}
+	return true
+}
+
+// CheckTrace replays a whole log. It returns the first deviation (nil
+// if none) and whether the conversation ended in a complete state.
+func CheckTrace(parties map[string]*afsa.Automaton, trace []label.Label) (*Deviation, bool, error) {
+	m, err := NewMonitor(parties)
+	if err != nil {
+		return nil, false, err
+	}
+	for _, l := range trace {
+		if d := m.Step(l); d != nil {
+			return d, false, nil
+		}
+	}
+	return nil, m.Complete(), nil
+}
+
+// ObservedAutomaton folds message logs into a prefix-tree automaton
+// over the labels involving party (other messages are ignored). Every
+// state is accepting: a log is evidence of behavior, not of
+// termination.
+func ObservedAutomaton(party string, traces [][]label.Label) *afsa.Automaton {
+	a := afsa.New("observed " + party)
+	start := a.AddState()
+	a.SetStart(start)
+	a.SetFinal(start, true)
+	for _, trace := range traces {
+		cur := start
+		for _, l := range trace {
+			if !l.Involves(party) {
+				continue
+			}
+			next := afsa.None
+			for _, t := range a.Transitions(cur) {
+				if t.Label == l {
+					next = t.To
+					break
+				}
+			}
+			if next == afsa.None {
+				next = a.AddState()
+				a.SetFinal(next, true)
+				a.AddTransition(cur, l, next)
+			}
+			cur = next
+		}
+	}
+	return a.Minimize()
+}
+
+// Drift is the outcome of comparing observed behavior with a party's
+// published view.
+type Drift struct {
+	Party string
+	// Novel lists behavior observed but not published (evidence of an
+	// uncontrolled additive change), in the propagation planner's
+	// hint vocabulary.
+	Novel []core.Hint
+	// Unexercised lists published behavior never observed; with few
+	// traces this is expected, with many it hints at a subtractive
+	// change.
+	Unexercised []core.Hint
+}
+
+// Drifted reports whether any novel behavior was observed — published
+// behavior that never shows up is not a violation by itself.
+func (d *Drift) Drifted() bool { return len(d.Novel) > 0 }
+
+// DetectDrift compares the observed behavior of party against its
+// published bilateral view. publishedView must be the view the
+// observing side holds (τ_observer of the party's public process,
+// restricted to the pair whose messages appear in the traces).
+func DetectDrift(party string, publishedView *afsa.Automaton, traces [][]label.Label) *Drift {
+	observed := ObservedAutomaton(party, traces)
+	// Prefix-close the published view: logs are prefixes, so compare
+	// against every prefix of published behavior.
+	published := prefixClose(publishedView)
+	return &Drift{
+		Party:       party,
+		Novel:       core.DetectAddedTransitions(published, observed),
+		Unexercised: core.DetectRemovedTransitions(published, observed),
+	}
+}
+
+// prefixClose marks every reachable state accepting.
+func prefixClose(a *afsa.Automaton) *afsa.Automaton {
+	c := a.Determinize()
+	for q := 0; q < c.NumStates(); q++ {
+		c.SetFinal(afsa.StateID(q), true)
+	}
+	c.Name = a.Name + " (prefixes)"
+	return c
+}

@@ -1,0 +1,257 @@
+package conformance
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/afsa"
+	"repro/internal/label"
+	"repro/internal/mapping"
+	"repro/internal/paperrepro"
+)
+
+func word(labels ...string) []label.Label {
+	out := make([]label.Label, len(labels))
+	for i, s := range labels {
+		out[i] = label.MustParse(s)
+	}
+	return out
+}
+
+func paperParties(t *testing.T) map[string]*afsa.Automaton {
+	t.Helper()
+	reg := paperrepro.Registry()
+	out := map[string]*afsa.Automaton{}
+	buyer, err := mapping.Derive(paperrepro.BuyerProcess(), reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	acc, err := mapping.Derive(paperrepro.AccountingProcess(), reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	logistics, err := mapping.Derive(paperrepro.LogisticsProcess(), reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out[paperrepro.Buyer] = buyer.Automaton
+	out[paperrepro.Accounting] = acc.Automaton
+	out[paperrepro.Logistics] = logistics.Automaton
+	return out
+}
+
+// happyTrace is one complete procurement conversation with a single
+// tracking round.
+func happyTrace() []label.Label {
+	return word(
+		"B#A#orderOp", "A#L#deliverOp", "L#A#deliver_confOp", "A#B#deliveryOp",
+		"B#A#getStatusOp", "A#L#getStatusLOp", "L#A#getStatusLOp", "A#B#statusOp",
+		"B#A#terminateOp", "A#L#terminateLOp",
+	)
+}
+
+func TestMonitorAcceptsValidTrace(t *testing.T) {
+	dev, complete, err := CheckTrace(paperParties(t), happyTrace())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dev != nil {
+		t.Fatalf("deviation on a valid trace: %v", dev)
+	}
+	if !complete {
+		t.Fatal("valid full trace not complete")
+	}
+}
+
+func TestMonitorIncompleteTrace(t *testing.T) {
+	dev, complete, err := CheckTrace(paperParties(t), happyTrace()[:4])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dev != nil {
+		t.Fatalf("deviation on a valid prefix: %v", dev)
+	}
+	if complete {
+		t.Fatal("mid-conversation trace reported complete")
+	}
+}
+
+func TestMonitorLocalizesReceiverDeviation(t *testing.T) {
+	// The accounting department sends a cancel the buyer never agreed
+	// to (the uncontrolled Sec. 5.2 change as seen on the wire).
+	trace := word("B#A#orderOp", "A#B#cancelOp")
+	parties := paperParties(t)
+	// Sender side: use the changed accounting so the send is legal.
+	changed, err := paperrepro.CancelChange().Apply(paperrepro.AccountingProcess())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := mapping.Derive(changed, paperrepro.Registry())
+	if err != nil {
+		t.Fatal(err)
+	}
+	parties[paperrepro.Accounting] = res.Automaton
+
+	dev, _, err := CheckTrace(parties, trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dev == nil {
+		t.Fatal("deviation missed")
+	}
+	if dev.Party != paperrepro.Buyer || dev.Role != RoleReceiver {
+		t.Fatalf("deviation = %v, want buyer as receiver", dev)
+	}
+	if dev.Step != 1 || dev.Label != label.MustParse("A#B#cancelOp") {
+		t.Fatalf("deviation = %v", dev)
+	}
+	// The expectation names the delivery message.
+	foundDelivery := false
+	for _, l := range dev.Expected {
+		if l == label.MustParse("A#B#deliveryOp") {
+			foundDelivery = true
+		}
+	}
+	if !foundDelivery {
+		t.Fatalf("expected set %v misses deliveryOp", dev.Expected)
+	}
+	if !strings.Contains(dev.String(), "receiver") {
+		t.Fatalf("String = %q", dev)
+	}
+}
+
+func TestMonitorLocalizesSenderDeviation(t *testing.T) {
+	// The buyer sends getStatus before the delivery arrived: its own
+	// public process does not allow that.
+	trace := word("B#A#orderOp", "B#A#getStatusOp")
+	dev, _, err := CheckTrace(paperParties(t), trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dev == nil {
+		t.Fatal("deviation missed")
+	}
+	if dev.Party != paperrepro.Buyer || dev.Role != RoleSender {
+		t.Fatalf("deviation = %v, want buyer as sender", dev)
+	}
+}
+
+func TestMonitorUnknownParty(t *testing.T) {
+	trace := word("Z#A#mysteryOp")
+	dev, _, err := CheckTrace(paperParties(t), trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dev == nil || dev.Role != RoleUnknown {
+		t.Fatalf("deviation = %v, want unknown party", dev)
+	}
+}
+
+func TestMonitorReset(t *testing.T) {
+	m, err := NewMonitor(paperParties(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, l := range happyTrace() {
+		if d := m.Step(l); d != nil {
+			t.Fatalf("deviation: %v", d)
+		}
+	}
+	if m.Steps() != len(happyTrace()) {
+		t.Fatalf("steps = %d", m.Steps())
+	}
+	m.Reset()
+	if m.Steps() != 0 {
+		t.Fatal("reset did not rewind")
+	}
+	// Replay works again after reset.
+	if d := m.Step(happyTrace()[0]); d != nil {
+		t.Fatalf("deviation after reset: %v", d)
+	}
+}
+
+func TestNewMonitorValidation(t *testing.T) {
+	if _, err := NewMonitor(nil); err == nil {
+		t.Fatal("empty monitor accepted")
+	}
+	if _, err := NewMonitor(map[string]*afsa.Automaton{"A": nil}); err == nil {
+		t.Fatal("nil automaton accepted")
+	}
+}
+
+func TestObservedAutomaton(t *testing.T) {
+	traces := [][]label.Label{
+		word("B#A#orderOp", "A#L#deliverOp", "A#B#deliveryOp"),
+		word("B#A#orderOp", "A#B#cancelOp"),
+	}
+	obs := ObservedAutomaton("B", traces)
+	// Logistics messages are projected away.
+	if obs.Alphabet().Has(label.MustParse("A#L#deliverOp")) {
+		t.Fatal("foreign label kept")
+	}
+	if !obs.Accepts(word("B#A#orderOp", "A#B#cancelOp")) {
+		t.Fatal("observed word lost")
+	}
+	// Prefixes are accepted (all states final).
+	if !obs.Accepts(word("B#A#orderOp")) {
+		t.Fatal("prefix not accepted")
+	}
+}
+
+// TestDetectDriftFindsUncontrolledChange: wire logs from the changed
+// accounting process expose the unpublished cancel message.
+func TestDetectDriftFindsUncontrolledChange(t *testing.T) {
+	reg := paperrepro.Registry()
+	acc, err := mapping.Derive(paperrepro.AccountingProcess(), reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	publishedBuyerView := acc.Automaton.View(paperrepro.Buyer)
+
+	traces := [][]label.Label{
+		word("B#A#orderOp", "A#B#deliveryOp", "B#A#terminateOp"),
+		word("B#A#orderOp", "A#B#cancelOp"), // the drifted run
+		word("B#A#orderOp", "A#B#deliveryOp", "B#A#getStatusOp", "A#B#statusOp", "B#A#terminateOp"),
+	}
+	drift := DetectDrift(paperrepro.Accounting, publishedBuyerView, traces)
+	if !drift.Drifted() {
+		t.Fatal("drift not detected")
+	}
+	foundCancel := false
+	for _, h := range drift.Novel {
+		if h.Label == label.MustParse("A#B#cancelOp") && h.Added {
+			foundCancel = true
+		}
+	}
+	if !foundCancel {
+		t.Fatalf("novel hints = %v, want added cancelOp", drift.Novel)
+	}
+}
+
+func TestDetectDriftCleanLogs(t *testing.T) {
+	reg := paperrepro.Registry()
+	acc, err := mapping.Derive(paperrepro.AccountingProcess(), reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	publishedBuyerView := acc.Automaton.View(paperrepro.Buyer)
+	traces := [][]label.Label{
+		word("B#A#orderOp", "A#B#deliveryOp", "B#A#terminateOp"),
+	}
+	drift := DetectDrift(paperrepro.Accounting, publishedBuyerView, traces)
+	if drift.Drifted() {
+		t.Fatalf("clean logs flagged: %v", drift.Novel)
+	}
+	// Tracking was published but never observed.
+	if len(drift.Unexercised) == 0 {
+		t.Fatal("unexercised behavior not reported")
+	}
+}
+
+func TestRoleStrings(t *testing.T) {
+	for _, r := range []Role{RoleSender, RoleReceiver, RoleUnknown} {
+		if r.String() == "" {
+			t.Fatal("empty role string")
+		}
+	}
+}

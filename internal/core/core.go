@@ -1,0 +1,144 @@
+// Package core implements the paper's primary contribution: the
+// controlled-evolution framework for process choreographies.
+//
+//   - Classification of public process changes along the paper's two
+//     dimensions (Sec. 4): additive vs. subtractive (Def. 5, via aFSA
+//     difference) and invariant vs. variant (Def. 6, the propagation
+//     criterion via intersection emptiness).
+//   - Propagation planning for variant changes (Secs. 5.2/5.3): the
+//     difference automaton, the partner's adapted public process, the
+//     changed states found by parallel traversal, and — through the
+//     mapping table of Sec. 3.3 — the private process regions a
+//     process engineer has to touch.
+//   - A suggestion engine that turns the located regions into ready-
+//     to-apply change operations on the partner's private process
+//     (the paper keeps this step manual for autonomy reasons; the
+//     suggestions make the paper's step 5 verification loop testable).
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/afsa"
+)
+
+// ChangeKind classifies a change along the paper's first dimension
+// (Def. 5).
+type ChangeKind int
+
+// Change kinds. A change can add and remove message sequences at the
+// same time (KindBoth); a change that leaves the public process
+// language untouched is KindNeutral.
+const (
+	KindNeutral ChangeKind = iota
+	KindAdditive
+	KindSubtractive
+	KindBoth
+)
+
+func (k ChangeKind) String() string {
+	switch k {
+	case KindNeutral:
+		return "neutral"
+	case KindAdditive:
+		return "additive"
+	case KindSubtractive:
+		return "subtractive"
+	case KindBoth:
+		return "additive+subtractive"
+	default:
+		return fmt.Sprintf("ChangeKind(%d)", int(k))
+	}
+}
+
+// Additive reports whether the change adds message sequences.
+func (k ChangeKind) Additive() bool { return k == KindAdditive || k == KindBoth }
+
+// Subtractive reports whether the change removes message sequences.
+func (k ChangeKind) Subtractive() bool { return k == KindSubtractive || k == KindBoth }
+
+// ClassifyChange implements Def. 5 on the old and new public process
+// of the change originator: the change is additive iff A' \ A accepts
+// some word and subtractive iff A \ A' does. Following the definition
+// ("addition (deletion) of potential message sequences"), emptiness
+// here is language emptiness; annotations play their role in the
+// variant/invariant dimension.
+func ClassifyChange(oldPublic, newPublic *afsa.Automaton) ChangeKind {
+	added := acceptsSomething(newPublic.Difference(oldPublic))
+	removed := acceptsSomething(oldPublic.Difference(newPublic))
+	switch {
+	case added && removed:
+		return KindBoth
+	case added:
+		return KindAdditive
+	case removed:
+		return KindSubtractive
+	default:
+		return KindNeutral
+	}
+}
+
+func acceptsSomething(a *afsa.Automaton) bool {
+	reach := a.Reachable()
+	for _, q := range a.FinalStates() {
+		if reach[q] {
+			return true
+		}
+	}
+	return false
+}
+
+// Scope classifies a change along the paper's second dimension
+// (Def. 6).
+type Scope int
+
+// Scopes: an invariant change keeps the changed public process
+// consistent with the partner (no propagation needed, Sec. 4.2); a
+// variant change breaks consistency and must be propagated (Sec. 5).
+const (
+	ScopeInvariant Scope = iota
+	ScopeVariant
+)
+
+func (s Scope) String() string {
+	if s == ScopeInvariant {
+		return "invariant"
+	}
+	return "variant"
+}
+
+// ClassifyScope implements Def. 6: the change transforming the
+// originator's public view into newView is invariant for the partner
+// with public process partnerB iff newView ∩ partnerB ≠ ∅ (annotated
+// emptiness, i.e. bilateral consistency is preserved).
+func ClassifyScope(newView, partnerB *afsa.Automaton) (Scope, error) {
+	ok, err := afsa.Consistent(newView, partnerB)
+	if err != nil {
+		return ScopeVariant, err
+	}
+	if ok {
+		return ScopeInvariant, nil
+	}
+	return ScopeVariant, nil
+}
+
+// Classification bundles both dimensions for one partner.
+type Classification struct {
+	Kind  ChangeKind
+	Scope Scope
+}
+
+// Classify evaluates both dimensions of a change against one partner:
+// oldView/newView are the partner's views of the originator's public
+// process before and after the change, partnerB the partner's public
+// process.
+func Classify(oldView, newView, partnerB *afsa.Automaton) (Classification, error) {
+	scope, err := ClassifyScope(newView, partnerB)
+	if err != nil {
+		return Classification{}, err
+	}
+	return Classification{
+		Kind:  ClassifyChange(oldView, newView),
+		Scope: scope,
+	}, nil
+}

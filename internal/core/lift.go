@@ -1,0 +1,25 @@
+package core
+
+import (
+	"repro/internal/afsa"
+	"repro/internal/label"
+)
+
+// LiftForeign returns the inverse-homomorphism lift of a bilateral
+// view: a copy of a with a self-loop for every foreign label at every
+// state. The lifted automaton accepts exactly the words whose
+// projection onto a's own alphabet lies in L(a) — the messages a
+// partner exchanges with third parties are unconstrained by the
+// bilateral change being propagated. Used by subtractive propagation
+// planning when the partner talks to more parties than the change
+// originator.
+func LiftForeign(a *afsa.Automaton, foreign label.Set) *afsa.Automaton {
+	out := a.Clone()
+	out.Name = a.Name + "+foreign"
+	for q := 0; q < out.NumStates(); q++ {
+		for _, l := range foreign.Sorted() {
+			out.AddTransition(afsa.StateID(q), l, afsa.StateID(q))
+		}
+	}
+	return out
+}

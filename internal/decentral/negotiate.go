@@ -1,0 +1,137 @@
+package decentral
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/afsa"
+)
+
+// Adapter is a partner-side callback: given the originator's changed
+// view, it returns the partner's adapted public process and whether
+// the partner accepts the change. It models the local, autonomous
+// adaptation step of Secs. 5.2/5.3 (steps 3–5) inside the protocol —
+// in a deployment this is where a process engineer reviews the
+// framework's suggestions.
+type Adapter func(party string, newView *afsa.Automaton) (adapted *afsa.Automaton, ok bool)
+
+// Vote is one partner's answer during negotiation.
+type Vote int
+
+// Votes.
+const (
+	// VoteAccept: the change is invariant for this partner.
+	VoteAccept Vote = iota
+	// VoteAdapted: the partner adapted its public process and the
+	// pair is consistent again.
+	VoteAdapted
+	// VoteReject: the partner cannot (or will not) adapt.
+	VoteReject
+)
+
+func (v Vote) String() string {
+	switch v {
+	case VoteAccept:
+		return "accept"
+	case VoteAdapted:
+		return "adapted"
+	case VoteReject:
+		return "reject"
+	default:
+		return fmt.Sprintf("Vote(%d)", int(v))
+	}
+}
+
+// Negotiation is the outcome of one decentralized change introduction.
+type Negotiation struct {
+	Origin string
+	// Committed reports whether every partner voted accept/adapted;
+	// on abort every partner keeps its old public process.
+	Committed bool
+	// Votes per partner.
+	Votes map[string]Vote
+	// Adapted holds the new public processes of partners that
+	// adapted (only meaningful when Committed).
+	Adapted map[string]*afsa.Automaton
+	// Messages and Rounds count the protocol cost: propose + vote per
+	// partner, plus the final commit/abort broadcast.
+	Messages int
+	Rounds   int
+}
+
+// NegotiateChange runs the decentralized two-phase introduction of a
+// change (the protocol sketched in paper Sec. 6 on top of refs
+// [16, 17]):
+//
+//	phase 1 (propose): the originator sends its changed bilateral
+//	view to every affected partner — "the only information which has
+//	to be exchanged between partners is about the changes applied to
+//	public processes";
+//	phase 2 (vote): each partner checks consistency locally; if the
+//	change is variant it may adapt via the supplied Adapter and
+//	re-check; it answers accept, adapted or reject;
+//	phase 3 (decide): the originator commits iff nobody rejected,
+//	and broadcasts the decision.
+//
+// newViews maps partner names to the originator's changed view for
+// that pair; partners without an entry are not involved. adapt may be
+// nil (no partner adapts; variant changes are then rejected).
+func NegotiateChange(origin string, newViews map[string]*afsa.Automaton, partners []Node, adapt Adapter) (*Negotiation, error) {
+	neg := &Negotiation{
+		Origin:  origin,
+		Votes:   map[string]Vote{},
+		Adapted: map[string]*afsa.Automaton{},
+		Rounds:  3,
+	}
+	names := make([]string, 0, len(partners))
+	byName := map[string]*Node{}
+	for i := range partners {
+		n := &partners[i]
+		if _, involved := newViews[n.Party]; !involved {
+			continue
+		}
+		names = append(names, n.Party)
+		byName[n.Party] = n
+	}
+	sort.Strings(names)
+
+	committed := true
+	for _, name := range names {
+		n := byName[name]
+		view := newViews[name]
+		neg.Messages++ // propose
+		ok, err := afsa.Consistent(view, n.Public.View(origin))
+		if err != nil {
+			return nil, fmt.Errorf("decentral: negotiating with %s: %w", name, err)
+		}
+		switch {
+		case ok:
+			neg.Votes[name] = VoteAccept
+		case adapt != nil:
+			adapted, accepted := adapt(name, view)
+			if accepted && adapted != nil {
+				ok2, err := afsa.Consistent(view, adapted.View(origin))
+				if err != nil {
+					return nil, fmt.Errorf("decentral: re-checking %s: %w", name, err)
+				}
+				if ok2 {
+					neg.Votes[name] = VoteAdapted
+					neg.Adapted[name] = adapted
+					break
+				}
+			}
+			neg.Votes[name] = VoteReject
+			committed = false
+		default:
+			neg.Votes[name] = VoteReject
+			committed = false
+		}
+		neg.Messages++ // vote
+	}
+	neg.Messages += len(names) // commit/abort broadcast
+	neg.Committed = committed
+	if !committed {
+		neg.Adapted = map[string]*afsa.Automaton{}
+	}
+	return neg, nil
+}

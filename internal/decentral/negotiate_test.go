@@ -1,0 +1,131 @@
+package decentral
+
+import (
+	"testing"
+
+	"repro/internal/afsa"
+	"repro/internal/mapping"
+	"repro/internal/paperrepro"
+)
+
+// cancelViews computes the changed accounting views for the cancel
+// scenario.
+func cancelViews(t *testing.T) (map[string]*afsa.Automaton, []Node) {
+	t.Helper()
+	changed, err := paperrepro.CancelChange().Apply(paperrepro.AccountingProcess())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := mapping.Derive(changed, paperrepro.Registry())
+	if err != nil {
+		t.Fatal(err)
+	}
+	views := map[string]*afsa.Automaton{
+		paperrepro.Buyer:     res.Automaton.View(paperrepro.Buyer),
+		paperrepro.Logistics: res.Automaton.View(paperrepro.Logistics),
+	}
+	var partners []Node
+	for _, n := range paperNodes(t) {
+		if n.Party != paperrepro.Accounting {
+			partners = append(partners, n)
+		}
+	}
+	return views, partners
+}
+
+func TestNegotiateRejectWithoutAdapter(t *testing.T) {
+	views, partners := cancelViews(t)
+	neg, err := NegotiateChange(paperrepro.Accounting, views, partners, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if neg.Committed {
+		t.Fatal("variant change committed without adaptation")
+	}
+	if neg.Votes[paperrepro.Buyer] != VoteReject {
+		t.Fatalf("buyer vote = %v, want reject", neg.Votes[paperrepro.Buyer])
+	}
+	// Logistics is untouched by the cancel option and accepts.
+	if neg.Votes[paperrepro.Logistics] != VoteAccept {
+		t.Fatalf("logistics vote = %v, want accept", neg.Votes[paperrepro.Logistics])
+	}
+	if len(neg.Adapted) != 0 {
+		t.Fatal("abort must discard adaptations")
+	}
+	// propose+vote per partner + final broadcast.
+	if neg.Messages != 2*2+2 {
+		t.Fatalf("messages = %d", neg.Messages)
+	}
+}
+
+func TestNegotiateCommitWithAdapter(t *testing.T) {
+	views, partners := cancelViews(t)
+	// The buyer's adapter applies the Fig. 14 adaptation.
+	adapted, err := mapping.Derive(paperrepro.Fig14BuyerProcess(), paperrepro.Registry())
+	if err != nil {
+		t.Fatal(err)
+	}
+	adapter := func(party string, _ *afsa.Automaton) (*afsa.Automaton, bool) {
+		if party == paperrepro.Buyer {
+			return adapted.Automaton, true
+		}
+		return nil, false
+	}
+	neg, err := NegotiateChange(paperrepro.Accounting, views, partners, adapter)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !neg.Committed {
+		t.Fatalf("negotiation aborted: votes = %v", neg.Votes)
+	}
+	if neg.Votes[paperrepro.Buyer] != VoteAdapted {
+		t.Fatalf("buyer vote = %v, want adapted", neg.Votes[paperrepro.Buyer])
+	}
+	if neg.Adapted[paperrepro.Buyer] == nil {
+		t.Fatal("adapted public process missing")
+	}
+	if neg.Rounds != 3 {
+		t.Fatalf("rounds = %d", neg.Rounds)
+	}
+}
+
+func TestNegotiateBadAdapterStillRejects(t *testing.T) {
+	views, partners := cancelViews(t)
+	// An adapter that returns a useless automaton: the re-check fails
+	// and the vote is reject.
+	broken := afsa.New("broken")
+	broken.AddState()
+	adapter := func(party string, _ *afsa.Automaton) (*afsa.Automaton, bool) {
+		return broken, true
+	}
+	neg, err := NegotiateChange(paperrepro.Accounting, views, partners, adapter)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if neg.Committed {
+		t.Fatal("committed with a broken adaptation")
+	}
+	if neg.Votes[paperrepro.Buyer] != VoteReject {
+		t.Fatalf("buyer vote = %v", neg.Votes[paperrepro.Buyer])
+	}
+}
+
+func TestNegotiateUninvolvedPartnerSkipped(t *testing.T) {
+	views, partners := cancelViews(t)
+	delete(views, paperrepro.Logistics)
+	neg, err := NegotiateChange(paperrepro.Accounting, views, partners, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, voted := neg.Votes[paperrepro.Logistics]; voted {
+		t.Fatal("uninvolved partner voted")
+	}
+}
+
+func TestVoteStrings(t *testing.T) {
+	for _, v := range []Vote{VoteAccept, VoteAdapted, VoteReject, Vote(7)} {
+		if v.String() == "" {
+			t.Fatal("empty vote string")
+		}
+	}
+}

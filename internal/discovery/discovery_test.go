@@ -1,0 +1,140 @@
+package discovery
+
+import (
+	"testing"
+
+	"repro/internal/afsa"
+	"repro/internal/formula"
+	"repro/internal/label"
+	"repro/internal/mapping"
+	"repro/internal/paperrepro"
+)
+
+func lbl(s string) label.Label { return label.MustParse(s) }
+
+func TestPublishValidation(t *testing.T) {
+	r := NewRegistry()
+	a := afsa.New("a")
+	a.AddState()
+	if err := r.Publish("", a); err == nil {
+		t.Fatal("empty name accepted")
+	}
+	if err := r.Publish("x", nil); err == nil {
+		t.Fatal("nil automaton accepted")
+	}
+	if err := r.Publish("x", a); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Publish("x", a); err == nil {
+		t.Fatal("duplicate accepted")
+	}
+	if r.Len() != 1 || len(r.Names()) != 1 {
+		t.Fatal("registry bookkeeping wrong")
+	}
+}
+
+// TestConsistencyBeatsOverlap builds the motivating case: a service
+// that shares the query's messages but in an incompatible protocol
+// (mandatory alternative missing). Overlap matching reports it;
+// consistency matching does not.
+func TestConsistencyBeatsOverlap(t *testing.T) {
+	// Query: party A's side of the Fig. 5 example (msg0/msg2 optional).
+	query := afsa.New("query")
+	q0 := query.AddState()
+	q1 := query.AddState()
+	query.SetStart(q0)
+	query.SetFinal(q1, true)
+	query.AddTransition(q0, lbl("B#A#msg0"), q1)
+	query.AddTransition(q0, lbl("B#A#msg2"), q1)
+
+	// Good service: accepts msg0 (compatible).
+	good := afsa.New("good")
+	g0 := good.AddState()
+	g1 := good.AddState()
+	good.SetStart(g0)
+	good.SetFinal(g1, true)
+	good.AddTransition(g0, lbl("B#A#msg0"), g1)
+
+	// Bad service: shares msg2 but mandates msg1 too (Fig. 5 party B).
+	bad := afsa.New("bad")
+	b0 := bad.AddState()
+	b1 := bad.AddState()
+	bad.SetStart(b0)
+	bad.SetFinal(b1, true)
+	bad.AddTransition(b0, lbl("B#A#msg1"), b1)
+	bad.AddTransition(b0, lbl("B#A#msg2"), b1)
+	bad.Annotate(b0, formula.And(formula.Var("B#A#msg1"), formula.Var("B#A#msg2")))
+
+	r := NewRegistry()
+	for name, a := range map[string]*afsa.Automaton{"good": good, "bad": bad} {
+		if err := r.Publish(name, a); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	overlap := r.MatchOverlap(query)
+	if len(overlap) != 2 {
+		t.Fatalf("overlap matches = %v, want both", overlap)
+	}
+	consistent, err := r.MatchConsistent(query)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(consistent) != 1 || consistent[0].Name != "good" {
+		t.Fatalf("consistent matches = %v, want only good", consistent)
+	}
+
+	truth := map[string]bool{"good": true, "bad": false}
+	evOverlap := Evaluate("overlap", overlap, truth)
+	evCons := Evaluate("consistent", consistent, truth)
+	if evCons.Precision != 1 || evCons.Recall != 1 {
+		t.Fatalf("consistency evaluation = %+v", evCons)
+	}
+	if evOverlap.Precision >= 1 {
+		t.Fatalf("overlap should have false positives: %+v", evOverlap)
+	}
+	if evOverlap.FalsePositives != 1 {
+		t.Fatalf("overlap FP = %d", evOverlap.FalsePositives)
+	}
+}
+
+// TestDiscoverAccountingPartner publishes the paper's three public
+// processes and queries with the buyer: only accounting matches.
+func TestDiscoverAccountingPartner(t *testing.T) {
+	reg := paperrepro.Registry()
+	buyer, err := mapping.Derive(paperrepro.BuyerProcess(), reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	acc, err := mapping.Derive(paperrepro.AccountingProcess(), reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	logistics, err := mapping.Derive(paperrepro.LogisticsProcess(), reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := NewRegistry()
+	// Publish the views the services expose to a buyer.
+	if err := r.Publish("accounting", acc.Automaton.View(paperrepro.Buyer)); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Publish("logistics", logistics.Automaton.View(paperrepro.Buyer)); err != nil {
+		t.Fatal(err)
+	}
+	got, err := r.MatchConsistent(buyer.Automaton)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0].Name != "accounting" {
+		t.Fatalf("matches = %v, want accounting only", got)
+	}
+}
+
+func TestEvaluateFalseNegatives(t *testing.T) {
+	truth := map[string]bool{"a": true, "b": true}
+	ev := Evaluate("m", []Match{{Name: "a"}}, truth)
+	if ev.FalseNegatives != 1 || ev.Recall != 0.5 {
+		t.Fatalf("evaluation = %+v", ev)
+	}
+}

@@ -1,0 +1,352 @@
+// Package formula implements the propositional annotation formulas of
+// Definition 1 in "On the Controlled Evolution of Process
+// Choreographies" (ICDE 2006): the constants true and false, variables
+// drawn from a message alphabet, negation, conjunction and
+// disjunction.
+//
+// Formulas annotate aFSA states (package afsa) to mark message
+// alternatives as mandatory for a trading partner. Values are
+// immutable; all constructors perform light normalization (constant
+// folding, flattening of nested ∧/∨, deduplication of operands) so
+// that structural equality is meaningful for the paper's worked
+// examples.
+package formula
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Kind discriminates the formula node types of Def. 1.
+type Kind int
+
+// The node kinds.
+const (
+	KindTrue Kind = iota
+	KindFalse
+	KindVar
+	KindNot
+	KindAnd
+	KindOr
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindTrue:
+		return "true"
+	case KindFalse:
+		return "false"
+	case KindVar:
+		return "var"
+	case KindNot:
+		return "not"
+	case KindAnd:
+		return "and"
+	case KindOr:
+		return "or"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Formula is an immutable propositional formula over string variables
+// (message labels). The zero value is the constant true.
+type Formula struct {
+	kind Kind
+	name string     // for KindVar
+	subs []*Formula // for KindNot (1), KindAnd/KindOr (>=2)
+}
+
+var (
+	trueF  = &Formula{kind: KindTrue}
+	falseF = &Formula{kind: KindFalse}
+)
+
+// True returns the constant true.
+func True() *Formula { return trueF }
+
+// False returns the constant false.
+func False() *Formula { return falseF }
+
+// Var returns the variable named name. Variable names are message
+// labels in this codebase but the package does not care.
+func Var(name string) *Formula {
+	return &Formula{kind: KindVar, name: name}
+}
+
+// Not returns the negation of f, folding constants and double
+// negation.
+func Not(f *Formula) *Formula {
+	switch f.kind {
+	case KindTrue:
+		return falseF
+	case KindFalse:
+		return trueF
+	case KindNot:
+		return f.subs[0]
+	}
+	return &Formula{kind: KindNot, subs: []*Formula{f}}
+}
+
+// And returns the conjunction of fs. Nested conjunctions are
+// flattened, duplicates removed, true dropped; false dominates. An
+// empty conjunction is true.
+func And(fs ...*Formula) *Formula { return nary(KindAnd, fs) }
+
+// Or returns the disjunction of fs. Nested disjunctions are flattened,
+// duplicates removed, false dropped; true dominates. An empty
+// disjunction is false.
+func Or(fs ...*Formula) *Formula { return nary(KindOr, fs) }
+
+func nary(kind Kind, fs []*Formula) *Formula {
+	neutral, dominant := trueF, falseF
+	if kind == KindOr {
+		neutral, dominant = falseF, trueF
+	}
+	flat := make([]*Formula, 0, len(fs))
+	seen := make(map[string]struct{}, len(fs))
+	var add func(f *Formula) bool // returns false when dominated
+	add = func(f *Formula) bool {
+		if f == nil {
+			return true
+		}
+		switch {
+		case f.kind == dominant.kind:
+			return false
+		case f.kind == neutral.kind:
+			return true
+		case f.kind == kind:
+			for _, s := range f.subs {
+				if !add(s) {
+					return false
+				}
+			}
+			return true
+		}
+		key := f.String()
+		if _, dup := seen[key]; dup {
+			return true
+		}
+		seen[key] = struct{}{}
+		flat = append(flat, f)
+		return true
+	}
+	for _, f := range fs {
+		if !add(f) {
+			return dominant
+		}
+	}
+	switch len(flat) {
+	case 0:
+		return neutral
+	case 1:
+		return flat[0]
+	}
+	return &Formula{kind: kind, subs: flat}
+}
+
+// Kind returns the node kind. A nil Formula is treated as true.
+func (f *Formula) Kind() Kind {
+	if f == nil {
+		return KindTrue
+	}
+	return f.kind
+}
+
+// Name returns the variable name for KindVar nodes and "" otherwise.
+func (f *Formula) Name() string {
+	if f == nil {
+		return ""
+	}
+	return f.name
+}
+
+// Operands returns the sub-formulas (a copy).
+func (f *Formula) Operands() []*Formula {
+	if f == nil || len(f.subs) == 0 {
+		return nil
+	}
+	out := make([]*Formula, len(f.subs))
+	copy(out, f.subs)
+	return out
+}
+
+// IsTrue reports whether f is the constant true (or nil).
+func (f *Formula) IsTrue() bool { return f == nil || f.kind == KindTrue }
+
+// IsFalse reports whether f is the constant false.
+func (f *Formula) IsFalse() bool { return f != nil && f.kind == KindFalse }
+
+// Eval evaluates f under the assignment σ.
+func (f *Formula) Eval(sigma func(name string) bool) bool {
+	if f == nil {
+		return true
+	}
+	switch f.kind {
+	case KindTrue:
+		return true
+	case KindFalse:
+		return false
+	case KindVar:
+		return sigma(f.name)
+	case KindNot:
+		return !f.subs[0].Eval(sigma)
+	case KindAnd:
+		for _, s := range f.subs {
+			if !s.Eval(sigma) {
+				return false
+			}
+		}
+		return true
+	case KindOr:
+		for _, s := range f.subs {
+			if s.Eval(sigma) {
+				return true
+			}
+		}
+		return false
+	}
+	panic("formula: unknown kind " + f.kind.String())
+}
+
+// Vars appends the distinct variable names occurring in f to the set.
+func (f *Formula) Vars() map[string]struct{} {
+	vars := make(map[string]struct{})
+	f.collectVars(vars)
+	return vars
+}
+
+func (f *Formula) collectVars(into map[string]struct{}) {
+	if f == nil {
+		return
+	}
+	if f.kind == KindVar {
+		into[f.name] = struct{}{}
+		return
+	}
+	for _, s := range f.subs {
+		s.collectVars(into)
+	}
+}
+
+// Positive reports whether f contains no negation over a variable
+// (negations of constants fold away at construction, so any KindNot
+// node makes f non-positive). The annotated-emptiness fixpoint of
+// package afsa requires positive formulas.
+func (f *Formula) Positive() bool {
+	if f == nil {
+		return true
+	}
+	if f.kind == KindNot {
+		return false
+	}
+	for _, s := range f.subs {
+		if !s.Positive() {
+			return false
+		}
+	}
+	return true
+}
+
+// Substitute returns f with every variable v replaced by repl(v).
+// repl returning nil keeps the variable unchanged.
+func (f *Formula) Substitute(repl func(name string) *Formula) *Formula {
+	if f == nil {
+		return trueF
+	}
+	switch f.kind {
+	case KindTrue, KindFalse:
+		return f
+	case KindVar:
+		if r := repl(f.name); r != nil {
+			return r
+		}
+		return f
+	case KindNot:
+		return Not(f.subs[0].Substitute(repl))
+	case KindAnd, KindOr:
+		subs := make([]*Formula, len(f.subs))
+		for i, s := range f.subs {
+			subs[i] = s.Substitute(repl)
+		}
+		return nary(f.kind, subs)
+	}
+	panic("formula: unknown kind " + f.kind.String())
+}
+
+// String renders f with the paper's infix notation: AND/OR/NOT,
+// parenthesizing nested operators. Operands of ∧/∨ are sorted
+// textually so equal formulas render identically (canonical form).
+func (f *Formula) String() string {
+	if f == nil {
+		return "true"
+	}
+	switch f.kind {
+	case KindTrue:
+		return "true"
+	case KindFalse:
+		return "false"
+	case KindVar:
+		return f.name
+	case KindNot:
+		return "NOT " + f.subs[0].parenString()
+	case KindAnd, KindOr:
+		op := " AND "
+		if f.kind == KindOr {
+			op = " OR "
+		}
+		parts := make([]string, len(f.subs))
+		for i, s := range f.subs {
+			parts[i] = s.parenString()
+		}
+		sort.Strings(parts)
+		return strings.Join(parts, op)
+	}
+	panic("formula: unknown kind " + f.kind.String())
+}
+
+func (f *Formula) parenString() string {
+	if f == nil {
+		return "true"
+	}
+	switch f.kind {
+	case KindAnd, KindOr:
+		return "(" + f.String() + ")"
+	}
+	return f.String()
+}
+
+// Equal reports semantic equality by truth-table over the union of the
+// two variable sets. Annotation formulas are tiny (a handful of
+// variables), so the 2^n check is the simplest correct definition.
+func Equal(a, b *Formula) bool {
+	vars := a.Vars()
+	for v := range b.Vars() {
+		vars[v] = struct{}{}
+	}
+	names := make([]string, 0, len(vars))
+	for v := range vars {
+		names = append(names, v)
+	}
+	sort.Strings(names)
+	if len(names) > 20 {
+		// Fall back to canonical string equality for huge formulas;
+		// never reached by the constructions in this repository.
+		return a.String() == b.String()
+	}
+	for bits := 0; bits < 1<<uint(len(names)); bits++ {
+		sigma := func(name string) bool {
+			for i, n := range names {
+				if n == name {
+					return bits&(1<<uint(i)) != 0
+				}
+			}
+			return false
+		}
+		if a.Eval(sigma) != b.Eval(sigma) {
+			return false
+		}
+	}
+	return true
+}

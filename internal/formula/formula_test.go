@@ -1,0 +1,303 @@
+package formula
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func sigmaFrom(set map[string]bool) func(string) bool {
+	return func(name string) bool { return set[name] }
+}
+
+func TestConstants(t *testing.T) {
+	if !True().IsTrue() || True().IsFalse() {
+		t.Fatal("True misbehaves")
+	}
+	if !False().IsFalse() || False().IsTrue() {
+		t.Fatal("False misbehaves")
+	}
+	if !True().Eval(sigmaFrom(nil)) {
+		t.Fatal("Eval(true) = false")
+	}
+	if False().Eval(sigmaFrom(nil)) {
+		t.Fatal("Eval(false) = true")
+	}
+}
+
+func TestNilIsTrue(t *testing.T) {
+	var f *Formula
+	if !f.IsTrue() || f.Kind() != KindTrue {
+		t.Fatal("nil formula is not true")
+	}
+	if !f.Eval(sigmaFrom(nil)) {
+		t.Fatal("nil Eval = false")
+	}
+	if f.String() != "true" {
+		t.Fatalf("nil String = %q", f.String())
+	}
+	if !f.Positive() {
+		t.Fatal("nil not positive")
+	}
+}
+
+func TestVarEval(t *testing.T) {
+	v := Var("B#A#orderOp")
+	if !v.Eval(sigmaFrom(map[string]bool{"B#A#orderOp": true})) {
+		t.Fatal("var true eval failed")
+	}
+	if v.Eval(sigmaFrom(map[string]bool{})) {
+		t.Fatal("var false eval failed")
+	}
+	if v.Name() != "B#A#orderOp" {
+		t.Fatalf("Name = %q", v.Name())
+	}
+}
+
+func TestNotFolding(t *testing.T) {
+	if Not(True()) != False() || Not(False()) != True() {
+		t.Fatal("constant negation does not fold")
+	}
+	v := Var("x")
+	if Not(Not(v)) != v {
+		t.Fatal("double negation does not fold")
+	}
+	if Not(v).Positive() {
+		t.Fatal("NOT x reported positive")
+	}
+}
+
+func TestAndOrNormalization(t *testing.T) {
+	x, y, z := Var("x"), Var("y"), Var("z")
+	if And() != True() {
+		t.Fatal("empty And != true")
+	}
+	if Or() != False() {
+		t.Fatal("empty Or != false")
+	}
+	if And(x) != x || Or(x) != x {
+		t.Fatal("singleton not unwrapped")
+	}
+	if And(x, False(), y).Kind() != KindFalse {
+		t.Fatal("false does not dominate And")
+	}
+	if Or(x, True(), y).Kind() != KindTrue {
+		t.Fatal("true does not dominate Or")
+	}
+	if got := And(x, True(), y); got.Kind() != KindAnd || len(got.Operands()) != 2 {
+		t.Fatalf("true not dropped from And: %v", got)
+	}
+	// Flattening.
+	f := And(And(x, y), z)
+	if f.Kind() != KindAnd || len(f.Operands()) != 3 {
+		t.Fatalf("nested And not flattened: %v", f)
+	}
+	// Dedup.
+	g := Or(x, x, y)
+	if len(g.Operands()) != 2 {
+		t.Fatalf("duplicates not removed: %v", g)
+	}
+}
+
+func TestEvalCompound(t *testing.T) {
+	x, y := Var("x"), Var("y")
+	f := And(x, Or(y, Not(x)))
+	tests := []struct {
+		x, y, want bool
+	}{
+		{true, true, true},
+		{true, false, false},
+		{false, true, false},
+		{false, false, false},
+	}
+	for _, tt := range tests {
+		got := f.Eval(sigmaFrom(map[string]bool{"x": tt.x, "y": tt.y}))
+		if got != tt.want {
+			t.Errorf("f(%v,%v) = %v, want %v", tt.x, tt.y, got, tt.want)
+		}
+	}
+}
+
+func TestVars(t *testing.T) {
+	f := And(Var("a"), Or(Var("b"), Not(Var("c"))), Var("a"))
+	vars := f.Vars()
+	if len(vars) != 3 {
+		t.Fatalf("Vars = %v", vars)
+	}
+	for _, v := range []string{"a", "b", "c"} {
+		if _, ok := vars[v]; !ok {
+			t.Fatalf("missing var %q in %v", v, vars)
+		}
+	}
+}
+
+func TestSubstitute(t *testing.T) {
+	f := And(Var("hidden"), Var("kept"))
+	got := f.Substitute(func(name string) *Formula {
+		if name == "hidden" {
+			return Or(Var("v1"), Var("v2"))
+		}
+		return nil
+	})
+	want := And(Or(Var("v1"), Var("v2")), Var("kept"))
+	if !Equal(got, want) {
+		t.Fatalf("Substitute = %v, want %v", got, want)
+	}
+	// Substituting true simplifies away.
+	got = f.Substitute(func(name string) *Formula {
+		if name == "hidden" {
+			return True()
+		}
+		return nil
+	})
+	if !Equal(got, Var("kept")) {
+		t.Fatalf("Substitute true = %v", got)
+	}
+}
+
+func TestStringCanonicalOrder(t *testing.T) {
+	a := And(Var("x"), Var("y"))
+	b := And(Var("y"), Var("x"))
+	if a.String() != b.String() {
+		t.Fatalf("canonical strings differ: %q vs %q", a, b)
+	}
+	// Paper's Fig. 5 annotation renders with AND.
+	f := And(Var("B#A#msg1"), Var("B#A#msg2"))
+	if got := f.String(); got != "B#A#msg1 AND B#A#msg2" {
+		t.Fatalf("String = %q", got)
+	}
+}
+
+func TestParseRoundTrip(t *testing.T) {
+	cases := []string{
+		"true",
+		"false",
+		"B#A#msg1",
+		"B#A#msg1 AND B#A#msg2",
+		"(B#A#msg1 AND B#A#msg2) AND B#A#msg2",
+		"a OR b AND c",
+		"NOT a",
+		"NOT (a OR b)",
+		"a AND (b OR c)",
+	}
+	for _, in := range cases {
+		f, err := Parse(in)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", in, err)
+		}
+		back, err := Parse(f.String())
+		if err != nil {
+			t.Fatalf("reparse of %q -> %q: %v", in, f.String(), err)
+		}
+		if !Equal(f, back) {
+			t.Fatalf("round trip of %q changed semantics: %v vs %v", in, f, back)
+		}
+	}
+}
+
+func TestParsePrecedence(t *testing.T) {
+	f := MustParse("a OR b AND c")
+	want := Or(Var("a"), And(Var("b"), Var("c")))
+	if !Equal(f, want) {
+		t.Fatalf("precedence wrong: %v", f)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{"", "(", "a AND", "OR a", "a b", "(a", "a)", "NOT", "AND"}
+	for _, in := range bad {
+		if _, err := Parse(in); err == nil {
+			t.Errorf("Parse(%q): want error", in)
+		}
+	}
+}
+
+func TestEqualSemantic(t *testing.T) {
+	// x AND (x OR y) == x (absorption — detected semantically).
+	if !Equal(And(Var("x"), Or(Var("x"), Var("y"))), Var("x")) {
+		t.Fatal("absorption not detected by Equal")
+	}
+	if Equal(Var("x"), Var("y")) {
+		t.Fatal("distinct vars reported equal")
+	}
+	// De Morgan.
+	if !Equal(Not(And(Var("x"), Var("y"))), Or(Not(Var("x")), Not(Var("y")))) {
+		t.Fatal("De Morgan not detected")
+	}
+}
+
+// randomFormula builds a random formula over a small variable pool.
+func randomFormula(r *rand.Rand, depth int) *Formula {
+	vars := []string{"a", "b", "c", "d"}
+	if depth == 0 {
+		switch r.Intn(3) {
+		case 0:
+			return True()
+		case 1:
+			return False()
+		default:
+			return Var(vars[r.Intn(len(vars))])
+		}
+	}
+	switch r.Intn(4) {
+	case 0:
+		return Not(randomFormula(r, depth-1))
+	case 1:
+		return And(randomFormula(r, depth-1), randomFormula(r, depth-1))
+	case 2:
+		return Or(randomFormula(r, depth-1), randomFormula(r, depth-1))
+	default:
+		return randomFormula(r, 0)
+	}
+}
+
+// Property: parsing the canonical string of a random formula preserves
+// semantics.
+func TestQuickParsePreservesSemantics(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	for i := 0; i < 300; i++ {
+		f := randomFormula(r, 4)
+		back, err := Parse(f.String())
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", f.String(), err)
+		}
+		if !Equal(f, back) {
+			t.Fatalf("round trip changed semantics for %q", f.String())
+		}
+	}
+}
+
+// Property: And/Or are commutative under Equal.
+func TestQuickCommutative(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	for i := 0; i < 200; i++ {
+		a, b := randomFormula(r, 3), randomFormula(r, 3)
+		if !Equal(And(a, b), And(b, a)) {
+			t.Fatalf("And not commutative for %v, %v", a, b)
+		}
+		if !Equal(Or(a, b), Or(b, a)) {
+			t.Fatalf("Or not commutative for %v, %v", a, b)
+		}
+	}
+}
+
+// Property: Eval is deterministic w.r.t. assignments built from bool maps.
+func TestQuickEvalStable(t *testing.T) {
+	f := func(x, y, z bool) bool {
+		form := And(Var("x"), Or(Var("y"), Var("z")))
+		sigma := sigmaFrom(map[string]bool{"x": x, "y": y, "z": z})
+		return form.Eval(sigma) == (x && (y || z))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPositive(t *testing.T) {
+	if !And(Var("a"), Or(Var("b"), Var("c"))).Positive() {
+		t.Fatal("positive formula reported non-positive")
+	}
+	if And(Var("a"), Not(Var("b"))).Positive() {
+		t.Fatal("negative formula reported positive")
+	}
+}

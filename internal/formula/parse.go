@@ -1,0 +1,164 @@
+package formula
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// Parse reads the infix notation produced by Formula.String:
+//
+//	formula := or
+//	or      := and ("OR" and)*
+//	and     := unary ("AND" unary)*
+//	unary   := "NOT" unary | atom
+//	atom    := "true" | "false" | variable | "(" formula ")"
+//
+// Variable names are any run of characters that are not whitespace or
+// parentheses and are not the keywords; message labels like
+// "B#A#orderOp" therefore parse as single variables. Keywords are
+// case-insensitive.
+func Parse(input string) (*Formula, error) {
+	p := &parser{toks: tokenize(input)}
+	f, err := p.parseOr()
+	if err != nil {
+		return nil, err
+	}
+	if p.pos != len(p.toks) {
+		return nil, fmt.Errorf("formula: trailing input at %q", p.toks[p.pos])
+	}
+	return f, nil
+}
+
+// MustParse is Parse that panics on error; intended for fixtures.
+func MustParse(input string) *Formula {
+	f, err := Parse(input)
+	if err != nil {
+		panic(err)
+	}
+	return f
+}
+
+func tokenize(input string) []string {
+	var toks []string
+	i := 0
+	for i < len(input) {
+		c := rune(input[i])
+		switch {
+		case unicode.IsSpace(c):
+			i++
+		case c == '(' || c == ')':
+			toks = append(toks, string(c))
+			i++
+		default:
+			j := i
+			for j < len(input) {
+				d := rune(input[j])
+				if unicode.IsSpace(d) || d == '(' || d == ')' {
+					break
+				}
+				j++
+			}
+			toks = append(toks, input[i:j])
+			i = j
+		}
+	}
+	return toks
+}
+
+type parser struct {
+	toks []string
+	pos  int
+}
+
+func (p *parser) peek() (string, bool) {
+	if p.pos >= len(p.toks) {
+		return "", false
+	}
+	return p.toks[p.pos], true
+}
+
+func (p *parser) keyword(word string) bool {
+	tok, ok := p.peek()
+	if ok && strings.EqualFold(tok, word) {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *parser) parseOr() (*Formula, error) {
+	left, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	parts := []*Formula{left}
+	for p.keyword("OR") {
+		right, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		parts = append(parts, right)
+	}
+	return Or(parts...), nil
+}
+
+func (p *parser) parseAnd() (*Formula, error) {
+	left, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	parts := []*Formula{left}
+	for p.keyword("AND") {
+		right, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		parts = append(parts, right)
+	}
+	return And(parts...), nil
+}
+
+func (p *parser) parseUnary() (*Formula, error) {
+	if p.keyword("NOT") {
+		f, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return Not(f), nil
+	}
+	return p.parseAtom()
+}
+
+func (p *parser) parseAtom() (*Formula, error) {
+	tok, ok := p.peek()
+	if !ok {
+		return nil, fmt.Errorf("formula: unexpected end of input")
+	}
+	switch {
+	case tok == "(":
+		p.pos++
+		f, err := p.parseOr()
+		if err != nil {
+			return nil, err
+		}
+		if closing, ok := p.peek(); !ok || closing != ")" {
+			return nil, fmt.Errorf("formula: missing closing parenthesis")
+		}
+		p.pos++
+		return f, nil
+	case tok == ")":
+		return nil, fmt.Errorf("formula: unexpected )")
+	case strings.EqualFold(tok, "true"):
+		p.pos++
+		return True(), nil
+	case strings.EqualFold(tok, "false"):
+		p.pos++
+		return False(), nil
+	case strings.EqualFold(tok, "AND"), strings.EqualFold(tok, "OR"), strings.EqualFold(tok, "NOT"):
+		return nil, fmt.Errorf("formula: unexpected keyword %q", tok)
+	default:
+		p.pos++
+		return Var(tok), nil
+	}
+}

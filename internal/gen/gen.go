@@ -1,0 +1,293 @@
+// Package gen generates synthetic workloads for the benchmarks and
+// property tests: consistent-by-construction partner process pairs,
+// random change operations, and random automata. It replaces the
+// proprietary process models a production evaluation would use; all
+// generation is seeded and deterministic.
+//
+// # Conversation projection
+//
+// A random *conversation tree* (sequences, messages with a direction,
+// and choices owned by the party deciding them) is projected onto the
+// two parties: a message becomes an invoke on the sender side and a
+// receive on the other; a choice becomes a switch (internal choice)
+// for its decider and a pick (external choice) for the partner. Every
+// choice branch starts with a message sent by the decider, which makes
+// the projection realizable and the resulting pair bilaterally
+// consistent by construction — the generator's own tests verify this
+// against afsa.Consistent and the runtime simulator.
+package gen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/bpel"
+	"repro/internal/change"
+	"repro/internal/wsdl"
+)
+
+// Params controls conversation generation.
+type Params struct {
+	// PartyA and PartyB name the two participants.
+	PartyA, PartyB string
+	// Messages is the approximate number of message exchanges.
+	Messages int
+	// MaxDepth bounds choice nesting.
+	MaxDepth int
+	// ChoiceProb is the per-node probability (percent) of generating a
+	// choice instead of a plain message.
+	ChoiceProb int
+	// MaxBranch bounds the branches of one choice.
+	MaxBranch int
+}
+
+// DefaultParams returns a medium-sized workload.
+func DefaultParams() Params {
+	return Params{PartyA: "A", PartyB: "B", Messages: 12, MaxDepth: 3, ChoiceProb: 30, MaxBranch: 3}
+}
+
+// conversation tree node.
+type conv struct {
+	// seq: children executed in order (msg/choice leaves between them).
+	seq []convStep
+}
+
+type convStep struct {
+	// msg: op sent from -> to. choice == nil for message steps.
+	op       string
+	from, to string
+	// choice: decider picks one branch; every branch starts with a
+	// decider-sent message.
+	decider  string
+	branches []*conv
+}
+
+// Conversation is a generated two-party conversation with its
+// projections.
+type Conversation struct {
+	Params Params
+	// A and B are the projected private processes.
+	A, B *bpel.Process
+	// Registry registers every generated operation.
+	Registry *wsdl.Registry
+	// MessageCount is the number of distinct operations generated.
+	MessageCount int
+}
+
+// Generate builds a random conversation and its two projections.
+func Generate(seed int64, p Params) (*Conversation, error) {
+	if p.PartyA == "" || p.PartyB == "" || p.PartyA == p.PartyB {
+		return nil, fmt.Errorf("gen: invalid parties %q/%q", p.PartyA, p.PartyB)
+	}
+	if p.Messages <= 0 {
+		return nil, fmt.Errorf("gen: need at least one message")
+	}
+	if p.MaxBranch < 2 {
+		p.MaxBranch = 2
+	}
+	g := &generator{r: rand.New(rand.NewSource(seed)), p: p}
+	tree := g.genConv(p.Messages, p.MaxDepth)
+	reg := wsdl.NewRegistry()
+	for i := 0; i < g.nextOp; i++ {
+		owner := g.opOwner[i]
+		if err := reg.AddOperation(owner, opName(i), false); err != nil {
+			return nil, err
+		}
+	}
+	procA := &bpel.Process{Name: "genA", Owner: p.PartyA, Body: g.project(tree, p.PartyA, "root")}
+	procB := &bpel.Process{Name: "genB", Owner: p.PartyB, Body: g.project(tree, p.PartyB, "root")}
+	if err := procA.Validate(reg); err != nil {
+		return nil, fmt.Errorf("gen: projection A invalid: %w", err)
+	}
+	if err := procB.Validate(reg); err != nil {
+		return nil, fmt.Errorf("gen: projection B invalid: %w", err)
+	}
+	return &Conversation{Params: p, A: procA, B: procB, Registry: reg, MessageCount: g.nextOp}, nil
+}
+
+// MustGenerate is Generate for benchmarks and fixtures.
+func MustGenerate(seed int64, p Params) *Conversation {
+	c, err := Generate(seed, p)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+func opName(i int) string { return fmt.Sprintf("op%d", i) }
+
+type generator struct {
+	r       *rand.Rand
+	p       Params
+	nextOp  int
+	opOwner map[int]string // op index -> receiving party (operation owner)
+}
+
+func (g *generator) newOp(receiver string) string {
+	if g.opOwner == nil {
+		g.opOwner = map[int]string{}
+	}
+	id := g.nextOp
+	g.nextOp++
+	g.opOwner[id] = receiver
+	return opName(id)
+}
+
+func (g *generator) parties() (string, string) { return g.p.PartyA, g.p.PartyB }
+
+func (g *generator) randParty() string {
+	a, b := g.parties()
+	if g.r.Intn(2) == 0 {
+		return a
+	}
+	return b
+}
+
+func other(p Params, name string) string {
+	if name == p.PartyA {
+		return p.PartyB
+	}
+	return p.PartyA
+}
+
+// genConv builds a conversation with roughly budget messages.
+func (g *generator) genConv(budget, depth int) *conv {
+	c := &conv{}
+	for budget > 0 {
+		if depth > 0 && budget >= 3 && g.r.Intn(100) < g.p.ChoiceProb {
+			branches := 2 + g.r.Intn(g.p.MaxBranch-1)
+			decider := g.randParty()
+			step := convStep{decider: decider}
+			per := budget / branches
+			if per < 1 {
+				per = 1
+			}
+			for i := 0; i < branches; i++ {
+				br := &conv{}
+				// Every branch starts with a decider-sent message.
+				to := other(g.p, decider)
+				br.seq = append(br.seq, convStep{op: g.newOp(to), from: decider, to: to})
+				sub := g.genConv(per-1, depth-1)
+				br.seq = append(br.seq, sub.seq...)
+				step.branches = append(step.branches, br)
+			}
+			c.seq = append(c.seq, step)
+			budget -= per * branches
+			if budget < 0 {
+				budget = 0
+			}
+			continue
+		}
+		from := g.randParty()
+		to := other(g.p, from)
+		c.seq = append(c.seq, convStep{op: g.newOp(to), from: from, to: to})
+		budget--
+	}
+	return c
+}
+
+// project renders the conversation from one party's perspective.
+func (g *generator) project(c *conv, party, name string) bpel.Activity {
+	seq := &bpel.Sequence{BlockName: name}
+	for i, step := range c.seq {
+		stepName := fmt.Sprintf("%s_%d", name, i)
+		if step.branches == nil {
+			if step.from == party {
+				seq.Children = append(seq.Children, &bpel.Invoke{
+					BlockName: "snd_" + step.op, Partner: step.to, Op: step.op,
+				})
+			} else {
+				seq.Children = append(seq.Children, &bpel.Receive{
+					BlockName: "rcv_" + step.op, Partner: step.from, Op: step.op,
+				})
+			}
+			continue
+		}
+		if step.decider == party {
+			// The last branch becomes the otherwise case: a switch
+			// without otherwise could fall through, which the
+			// partner's pick cannot mirror (it always waits for a
+			// message) — the choice must be exhaustive.
+			sw := &bpel.Switch{BlockName: "sw_" + stepName}
+			last := len(step.branches) - 1
+			for bi, br := range step.branches[:last] {
+				sw.Cases = append(sw.Cases, bpel.Case{
+					Cond: fmt.Sprintf("branch = %d", bi),
+					Body: g.project(br, party, fmt.Sprintf("%s_b%d", stepName, bi)),
+				})
+			}
+			sw.Else = g.project(step.branches[last], party, fmt.Sprintf("%s_b%d", stepName, last))
+			seq.Children = append(seq.Children, sw)
+		} else {
+			pk := &bpel.Pick{BlockName: "pk_" + stepName}
+			for bi, br := range step.branches {
+				first := br.seq[0]
+				rest := &conv{seq: br.seq[1:]}
+				pk.Branches = append(pk.Branches, bpel.OnMessage{
+					Partner: first.from,
+					Op:      first.op,
+					Body:    g.project(rest, party, fmt.Sprintf("%s_b%d", stepName, bi)),
+				})
+			}
+			seq.Children = append(seq.Children, pk)
+		}
+	}
+	if len(seq.Children) == 0 {
+		seq.Children = append(seq.Children, &bpel.Empty{BlockName: name + "_empty"})
+	}
+	return seq
+}
+
+// RandomChange draws a random structural change for process p: an
+// insertion of a new send or receive, the widening of a receive into a
+// pick, or the deletion of a communication activity. The returned
+// operation references a fresh operation name registered in reg.
+func RandomChange(seed int64, p *bpel.Process, reg *wsdl.Registry) (change.Operation, error) {
+	r := rand.New(rand.NewSource(seed))
+
+	var commPaths []bpel.Path
+	var receivePaths []bpel.Path
+	bpel.Walk(p.Body, func(a bpel.Activity, path bpel.Path) bool {
+		switch a.(type) {
+		case *bpel.Receive:
+			receivePaths = append(receivePaths, append(bpel.Path(nil), path...))
+			commPaths = append(commPaths, append(bpel.Path(nil), path...))
+		case *bpel.Invoke, *bpel.Reply:
+			commPaths = append(commPaths, append(bpel.Path(nil), path...))
+		}
+		return true
+	})
+	if len(commPaths) == 0 {
+		return nil, fmt.Errorf("gen: process %q has no communication activity to change", p.Name)
+	}
+	partners := p.Partners()
+	partner := partners[r.Intn(len(partners))]
+	freshOp := fmt.Sprintf("gen_%s_%d", p.Owner, r.Int63())
+
+	switch r.Intn(3) {
+	case 0: // insert a new send before a random activity
+		if err := reg.AddOperation(partner, freshOp, false); err != nil {
+			return nil, err
+		}
+		at := commPaths[r.Intn(len(commPaths))]
+		return change.Insert{
+			Path: at,
+			New:  &bpel.Invoke{BlockName: "new_" + freshOp, Partner: partner, Op: freshOp},
+		}, nil
+	case 1: // widen a receive into a pick with a fresh alternative
+		if len(receivePaths) > 0 {
+			if err := reg.AddOperation(p.Owner, freshOp, false); err != nil {
+				return nil, err
+			}
+			at := receivePaths[r.Intn(len(receivePaths))]
+			return change.ReplaceReceiveWithPick{
+				Path:  at,
+				Extra: []bpel.OnMessage{{Partner: partner, Op: freshOp}},
+			}, nil
+		}
+		fallthrough
+	default: // delete a communication activity
+		at := commPaths[r.Intn(len(commPaths))]
+		return change.Delete{Path: at}, nil
+	}
+}

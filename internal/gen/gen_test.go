@@ -1,0 +1,108 @@
+package gen
+
+import (
+	"testing"
+
+	"repro/internal/afsa"
+	"repro/internal/bpel"
+	"repro/internal/mapping"
+	"repro/internal/runtime"
+)
+
+func TestGenerateValidation(t *testing.T) {
+	if _, err := Generate(1, Params{PartyA: "A", PartyB: "A", Messages: 3}); err == nil {
+		t.Fatal("equal parties accepted")
+	}
+	if _, err := Generate(1, Params{PartyA: "A", PartyB: "B"}); err == nil {
+		t.Fatal("zero messages accepted")
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	p := DefaultParams()
+	c1 := MustGenerate(7, p)
+	c2 := MustGenerate(7, p)
+	if c1.A.String() != c2.A.String() || c1.B.String() != c2.B.String() {
+		t.Fatal("generation not deterministic")
+	}
+	c3 := MustGenerate(8, p)
+	if c1.A.String() == c3.A.String() {
+		t.Fatal("different seeds produced identical processes")
+	}
+}
+
+// TestGeneratedPairsConsistent is the generator's core guarantee: the
+// projected pair is bilaterally consistent and deadlock-free for many
+// seeds.
+func TestGeneratedPairsConsistent(t *testing.T) {
+	p := DefaultParams()
+	for seed := int64(0); seed < 25; seed++ {
+		c, err := Generate(seed, p)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		ra, err := mapping.Derive(c.A, c.Registry)
+		if err != nil {
+			t.Fatalf("seed %d: derive A: %v", seed, err)
+		}
+		rb, err := mapping.Derive(c.B, c.Registry)
+		if err != nil {
+			t.Fatalf("seed %d: derive B: %v", seed, err)
+		}
+		ok, err := afsa.Consistent(ra.Automaton.View(p.PartyB), rb.Automaton.View(p.PartyA))
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if !ok {
+			t.Fatalf("seed %d: generated pair inconsistent:\nA:\n%s\nB:\n%s",
+				seed, ra.Automaton.DebugString(), rb.Automaton.DebugString())
+		}
+		sys, err := runtime.NewSystem(map[string]*afsa.Automaton{
+			p.PartyA: ra.Automaton,
+			p.PartyB: rb.Automaton,
+		})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		res := sys.Explore(1 << 16)
+		if !res.DeadlockFree() {
+			t.Fatalf("seed %d: generated pair deadlocks: %v", seed, res.Failures)
+		}
+	}
+}
+
+func TestGeneratedSizesScale(t *testing.T) {
+	small := MustGenerate(1, Params{PartyA: "A", PartyB: "B", Messages: 4, MaxDepth: 1, ChoiceProb: 0, MaxBranch: 2})
+	large := MustGenerate(1, Params{PartyA: "A", PartyB: "B", Messages: 40, MaxDepth: 3, ChoiceProb: 30, MaxBranch: 3})
+	if small.A.CountActivities() >= large.A.CountActivities() {
+		t.Fatalf("sizes do not scale: %d vs %d", small.A.CountActivities(), large.A.CountActivities())
+	}
+}
+
+func TestRandomChangeAppliesAndDerives(t *testing.T) {
+	p := DefaultParams()
+	for seed := int64(0); seed < 20; seed++ {
+		c := MustGenerate(seed, p)
+		op, err := RandomChange(seed*31, c.A, c.Registry)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		changed, err := op.Apply(c.A)
+		if err != nil {
+			t.Fatalf("seed %d: applying %s: %v", seed, op, err)
+		}
+		if _, err := mapping.Derive(changed, c.Registry); err != nil {
+			t.Fatalf("seed %d: deriving changed process: %v", seed, err)
+		}
+	}
+}
+
+func TestRandomChangeNeedsComm(t *testing.T) {
+	c := MustGenerate(1, DefaultParams())
+	// A process without communication activities is rejected.
+	bare := c.A.Clone()
+	bare.Body = &bpel.Sequence{BlockName: "bare", Children: []bpel.Activity{&bpel.Empty{BlockName: "e"}}}
+	if _, err := RandomChange(1, bare, c.Registry); err == nil {
+		t.Fatal("change on comm-free process accepted")
+	}
+}

@@ -1,0 +1,189 @@
+package gen
+
+import (
+	"fmt"
+
+	"repro/internal/bpel"
+	"repro/internal/wsdl"
+)
+
+// Star is a hub-and-spokes choreography: one hub party talks to k
+// partners in sequence (the shape of the paper's accounting
+// department, which serves the buyer and drives the logistics
+// department). All pairs are bilaterally consistent by construction.
+type Star struct {
+	// Hub is the central party's process.
+	Hub *bpel.Process
+	// Partners are the spoke processes, index-aligned with the
+	// partner names.
+	Partners []*bpel.Process
+	// Registry registers every generated operation.
+	Registry *wsdl.Registry
+}
+
+// StarParams controls star generation.
+type StarParams struct {
+	// HubName is the central party.
+	HubName string
+	// PartnerCount is the number of spokes (≥1).
+	PartnerCount int
+	// MessagesPerPartner sizes each bilateral conversation.
+	MessagesPerPartner int
+	// ChoiceProb and MaxBranch are as in Params.
+	ChoiceProb int
+	MaxBranch  int
+}
+
+// DefaultStarParams returns a 3-spoke star.
+func DefaultStarParams() StarParams {
+	return StarParams{HubName: "H", PartnerCount: 3, MessagesPerPartner: 6, ChoiceProb: 25, MaxBranch: 2}
+}
+
+// GenerateStar builds a hub process conversing with PartnerCount
+// partners one after another, plus the matching partner processes.
+func GenerateStar(seed int64, p StarParams) (*Star, error) {
+	if p.HubName == "" {
+		return nil, fmt.Errorf("gen: star needs a hub name")
+	}
+	if p.PartnerCount < 1 {
+		return nil, fmt.Errorf("gen: star needs at least one partner")
+	}
+	if p.MessagesPerPartner < 1 {
+		return nil, fmt.Errorf("gen: star needs at least one message per partner")
+	}
+
+	star := &Star{Registry: wsdl.NewRegistry()}
+	hubSeq := &bpel.Sequence{BlockName: "hub process"}
+
+	for i := 0; i < p.PartnerCount; i++ {
+		partner := fmt.Sprintf("%s_p%d", p.HubName, i)
+		conv, err := Generate(seed+int64(i)*7919, Params{
+			PartyA:     p.HubName,
+			PartyB:     partner,
+			Messages:   p.MessagesPerPartner,
+			MaxDepth:   2,
+			ChoiceProb: p.ChoiceProb,
+			MaxBranch:  p.MaxBranch,
+		})
+		if err != nil {
+			return nil, err
+		}
+		// Merge the pair registry into the star registry. Operation
+		// names are globally unique per pair because the partner name
+		// is embedded in the owner; hub-owned ops need fresh names per
+		// segment, so rename them.
+		segment, partnerProc, err := renameOps(conv, i)
+		if err != nil {
+			return nil, err
+		}
+		// Realizability: the hub serves its partners sequentially, so
+		// every segment starts with a hub-sent kickoff message — the
+		// partner must not send before its turn.
+		kickoff := fmt.Sprintf("s%d_kickoff", i)
+		segBody := &bpel.Sequence{
+			BlockName: fmt.Sprintf("seg%d body", i),
+			Children: []bpel.Activity{
+				&bpel.Invoke{BlockName: "kickoff", Partner: partner, Op: kickoff},
+				segment.Body,
+			},
+		}
+		partnerProc.Body = &bpel.Sequence{
+			BlockName: "partner body",
+			Children: []bpel.Activity{
+				&bpel.Receive{BlockName: "kickoff", Partner: p.HubName, Op: kickoff},
+				partnerProc.Body,
+			},
+		}
+		if err := star.Registry.AddOperation(partner, kickoff, false); err != nil {
+			return nil, err
+		}
+		if err := mergeRegistry(star.Registry, segment, partnerProc); err != nil {
+			return nil, err
+		}
+		hubSeq.Children = append(hubSeq.Children, &bpel.Scope{
+			BlockName: fmt.Sprintf("segment_%d", i),
+			Body:      segBody,
+		})
+		star.Partners = append(star.Partners, partnerProc)
+	}
+
+	star.Hub = &bpel.Process{Name: "hub", Owner: p.HubName, Body: hubSeq}
+	if err := star.Hub.Validate(star.Registry); err != nil {
+		return nil, fmt.Errorf("gen: star hub invalid: %w", err)
+	}
+	for _, partner := range star.Partners {
+		if err := partner.Validate(star.Registry); err != nil {
+			return nil, fmt.Errorf("gen: star partner %q invalid: %w", partner.Owner, err)
+		}
+	}
+	return star, nil
+}
+
+// renameOps prefixes every operation of the pair with its segment
+// index so segments never collide, and renames the partner process.
+func renameOps(conv *Conversation, segment int) (*bpel.Process, *bpel.Process, error) {
+	prefix := fmt.Sprintf("s%d_", segment)
+	rename := func(p *bpel.Process) (*bpel.Process, error) {
+		return p.Transform(bpel.Path{bpel.Element(p.Body)}, func(a bpel.Activity) (bpel.Activity, error) {
+			bpel.Walk(a, func(act bpel.Activity, _ bpel.Path) bool {
+				switch t := act.(type) {
+				case *bpel.Receive:
+					t.Op = prefix + t.Op
+				case *bpel.Reply:
+					t.Op = prefix + t.Op
+				case *bpel.Invoke:
+					t.Op = prefix + t.Op
+				case *bpel.Pick:
+					for bi := range t.Branches {
+						t.Branches[bi].Op = prefix + t.Branches[bi].Op
+					}
+				}
+				return true
+			})
+			return a, nil
+		})
+	}
+	hubSide, err := rename(conv.A)
+	if err != nil {
+		return nil, nil, err
+	}
+	partnerSide, err := rename(conv.B)
+	if err != nil {
+		return nil, nil, err
+	}
+	partnerSide.Name = "partner_" + conv.B.Owner
+	return hubSide, partnerSide, nil
+}
+
+// mergeRegistry registers every operation the two processes use.
+func mergeRegistry(reg *wsdl.Registry, procs ...*bpel.Process) error {
+	var err error
+	add := func(owner, op string) {
+		if err != nil {
+			return
+		}
+		if _, exists := reg.Lookup(owner, op); exists {
+			return
+		}
+		err = reg.AddOperation(owner, op, false)
+	}
+	for _, p := range procs {
+		owner := p.Owner
+		bpel.Walk(p.Body, func(a bpel.Activity, _ bpel.Path) bool {
+			switch t := a.(type) {
+			case *bpel.Receive:
+				add(owner, t.Op)
+			case *bpel.Reply:
+				add(owner, t.Op)
+			case *bpel.Invoke:
+				add(t.Partner, t.Op)
+			case *bpel.Pick:
+				for _, b := range t.Branches {
+					add(owner, b.Op)
+				}
+			}
+			return err == nil
+		})
+	}
+	return err
+}

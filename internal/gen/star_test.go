@@ -1,0 +1,83 @@
+package gen
+
+import (
+	"testing"
+
+	"repro/internal/afsa"
+	"repro/internal/mapping"
+	"repro/internal/runtime"
+)
+
+func TestGenerateStarValidation(t *testing.T) {
+	if _, err := GenerateStar(1, StarParams{PartnerCount: 1, MessagesPerPartner: 1}); err == nil {
+		t.Fatal("hubless star accepted")
+	}
+	if _, err := GenerateStar(1, StarParams{HubName: "H", MessagesPerPartner: 1}); err == nil {
+		t.Fatal("partnerless star accepted")
+	}
+	if _, err := GenerateStar(1, StarParams{HubName: "H", PartnerCount: 1}); err == nil {
+		t.Fatal("messageless star accepted")
+	}
+}
+
+func TestGenerateStarConsistent(t *testing.T) {
+	for seed := int64(0); seed < 10; seed++ {
+		star, err := GenerateStar(seed, DefaultStarParams())
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		hub, err := mapping.Derive(star.Hub, star.Registry)
+		if err != nil {
+			t.Fatalf("seed %d: hub: %v", seed, err)
+		}
+		parties := map[string]*afsa.Automaton{star.Hub.Owner: hub.Automaton}
+		for _, partner := range star.Partners {
+			res, err := mapping.Derive(partner, star.Registry)
+			if err != nil {
+				t.Fatalf("seed %d: %s: %v", seed, partner.Owner, err)
+			}
+			parties[partner.Owner] = res.Automaton
+			ok, err := afsa.Consistent(
+				hub.Automaton.View(partner.Owner),
+				res.Automaton.View(star.Hub.Owner))
+			if err != nil {
+				t.Fatalf("seed %d: %v", seed, err)
+			}
+			if !ok {
+				t.Fatalf("seed %d: hub inconsistent with %s", seed, partner.Owner)
+			}
+		}
+		// The whole star executes without deadlock.
+		sys, err := runtime.NewSystem(parties)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		res := sys.Explore(1 << 18)
+		if !res.DeadlockFree() {
+			t.Fatalf("seed %d: star deadlocks: %v", seed, res.Failures)
+		}
+		if res.Truncated {
+			t.Fatalf("seed %d: exploration truncated", seed)
+		}
+	}
+}
+
+func TestGenerateStarSegmentsDisjoint(t *testing.T) {
+	star, err := GenerateStar(3, DefaultStarParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	hub, err := mapping.Derive(star.Hub, star.Registry)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Each partner's view contains only its own labels.
+	for _, partner := range star.Partners {
+		view := hub.Automaton.View(partner.Owner)
+		for l := range view.Alphabet() {
+			if !l.Involves(partner.Owner) {
+				t.Fatalf("view of %s leaks label %s", partner.Owner, l)
+			}
+		}
+	}
+}

@@ -1,0 +1,143 @@
+// Package instance implements the instance-migration extension the
+// paper defers to future work (Sec. 8: "For long-running
+// choreographies, in addition, change propagation to already running
+// instances is highly desirable", referring to the ADEPT compliance
+// criterion [10, 11, 12]).
+//
+// A running instance is represented by its execution trace — the
+// message sequence observed so far. The ADEPT-style compliance
+// criterion carries over to public processes directly: an instance can
+// migrate to the changed public process iff its trace can be replayed
+// on the new automaton and the reached state is viable (the remaining
+// conversation can still complete under the mandatory annotations).
+package instance
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/afsa"
+	"repro/internal/label"
+)
+
+// Instance is one running conversation.
+type Instance struct {
+	ID    string
+	Trace []label.Label
+}
+
+// Status classifies an instance against a new schema version.
+type Status int
+
+// Migration statuses.
+const (
+	// Migratable: the trace replays and the reached state is viable.
+	Migratable Status = iota
+	// NonReplayable: the trace is not a prefix of the new behavior.
+	NonReplayable
+	// Unviable: the trace replays but the reached state cannot
+	// complete anymore (a mandatory alternative disappeared).
+	Unviable
+)
+
+func (s Status) String() string {
+	switch s {
+	case Migratable:
+		return "migratable"
+	case NonReplayable:
+		return "non-replayable"
+	case Unviable:
+		return "unviable"
+	default:
+		return fmt.Sprintf("Status(%d)", int(s))
+	}
+}
+
+// Check classifies one instance against the new public process.
+func Check(inst Instance, newPublic *afsa.Automaton) (Status, error) {
+	d := newPublic.Determinize()
+	viable, err := d.ViableStates()
+	if err != nil {
+		return NonReplayable, err
+	}
+	q := d.Start()
+	if q == afsa.None {
+		return NonReplayable, nil
+	}
+	for _, l := range inst.Trace {
+		next := d.Step(q, l)
+		if len(next) == 0 {
+			return NonReplayable, nil
+		}
+		q = next[0]
+	}
+	if !viable[q] {
+		return Unviable, nil
+	}
+	return Migratable, nil
+}
+
+// Report summarizes a migration of many instances.
+type Report struct {
+	Total         int
+	Migratable    int
+	NonReplayable int
+	Unviable      int
+	// Blocked lists the IDs that cannot migrate.
+	Blocked []string
+}
+
+// MigratableFraction returns the fraction of instances that migrate.
+func (r *Report) MigratableFraction() float64 {
+	if r.Total == 0 {
+		return 0
+	}
+	return float64(r.Migratable) / float64(r.Total)
+}
+
+// Migrate classifies every instance against the new schema.
+func Migrate(instances []Instance, newPublic *afsa.Automaton) (*Report, error) {
+	rep := &Report{Total: len(instances)}
+	for _, inst := range instances {
+		st, err := Check(inst, newPublic)
+		if err != nil {
+			return nil, fmt.Errorf("instance %q: %w", inst.ID, err)
+		}
+		switch st {
+		case Migratable:
+			rep.Migratable++
+		case NonReplayable:
+			rep.NonReplayable++
+			rep.Blocked = append(rep.Blocked, inst.ID)
+		case Unviable:
+			rep.Unviable++
+			rep.Blocked = append(rep.Blocked, inst.ID)
+		}
+	}
+	return rep, nil
+}
+
+// SampleInstances draws n running instances of the old public process
+// by seeded random walks of up to maxLen steps — the synthetic stand-in
+// for a production instance database.
+func SampleInstances(oldPublic *afsa.Automaton, seed int64, n, maxLen int) []Instance {
+	d := oldPublic.Determinize()
+	r := rand.New(rand.NewSource(seed))
+	out := make([]Instance, 0, n)
+	for i := 0; i < n; i++ {
+		q := d.Start()
+		var trace []label.Label
+		steps := r.Intn(maxLen + 1)
+		for s := 0; s < steps; s++ {
+			ts := d.Transitions(q)
+			if len(ts) == 0 {
+				break
+			}
+			t := ts[r.Intn(len(ts))]
+			trace = append(trace, t.Label)
+			q = t.To
+		}
+		out = append(out, Instance{ID: fmt.Sprintf("inst-%d", i), Trace: trace})
+	}
+	return out
+}

@@ -1,0 +1,284 @@
+package mapping
+
+import (
+	"testing"
+
+	"repro/internal/afsa"
+	"repro/internal/bpel"
+	"repro/internal/formula"
+	"repro/internal/label"
+)
+
+func lbl(s string) label.Label { return label.MustParse(s) }
+
+func derive(t *testing.T, p *bpel.Process) *Result {
+	t.Helper()
+	res, err := Derive(p, nil)
+	if err != nil {
+		t.Fatalf("Derive(%s): %v", p.Name, err)
+	}
+	if err := res.Automaton.Validate(); err != nil {
+		t.Fatalf("derived automaton invalid: %v", err)
+	}
+	return res
+}
+
+func proc(owner string, body bpel.Activity) *bpel.Process {
+	return &bpel.Process{Name: "test", Owner: owner, Body: body}
+}
+
+func TestDeriveSequenceOfMessages(t *testing.T) {
+	p := proc("A", &bpel.Sequence{BlockName: "s", Children: []bpel.Activity{
+		&bpel.Receive{BlockName: "r", Partner: "B", Op: "x"},
+		&bpel.Invoke{BlockName: "i", Partner: "B", Op: "y"},
+	}})
+	res := derive(t, p)
+	a := res.Automaton
+	if a.NumStates() != 3 {
+		t.Fatalf("states = %d, want 3\n%s", a.NumStates(), a.DebugString())
+	}
+	if !a.Accepts([]label.Label{lbl("B#A#x"), lbl("A#B#y")}) {
+		t.Fatalf("derived automaton rejects the conversation:\n%s", a.DebugString())
+	}
+	if a.Accepts([]label.Label{lbl("B#A#x")}) {
+		t.Fatal("prefix accepted — final state set wrong")
+	}
+	if empty, _ := a.IsEmpty(); empty {
+		t.Fatal("derived automaton empty")
+	}
+}
+
+func TestDeriveSyncInvokeTwoTransitions(t *testing.T) {
+	p := proc("A", &bpel.Invoke{BlockName: "i", Partner: "L", Op: "getStatusLOp", Sync: true})
+	res := derive(t, p)
+	if !res.Automaton.Accepts([]label.Label{lbl("A#L#getStatusLOp"), lbl("L#A#getStatusLOp")}) {
+		t.Fatalf("sync invoke did not expand to request/response:\n%s", res.Automaton.DebugString())
+	}
+	if res.Automaton.NumStates() != 3 {
+		t.Fatalf("states = %d, want 3", res.Automaton.NumStates())
+	}
+}
+
+func TestDeriveReplyDirection(t *testing.T) {
+	p := proc("L", &bpel.Sequence{BlockName: "s", Children: []bpel.Activity{
+		&bpel.Receive{BlockName: "r", Partner: "A", Op: "q"},
+		&bpel.Reply{BlockName: "p", Partner: "A", Op: "q"},
+	}})
+	res := derive(t, p)
+	if !res.Automaton.Accepts([]label.Label{lbl("A#L#q"), lbl("L#A#q")}) {
+		t.Fatalf("reply direction wrong:\n%s", res.Automaton.DebugString())
+	}
+}
+
+func TestDeriveInvisibleActivities(t *testing.T) {
+	p := proc("A", &bpel.Sequence{BlockName: "s", Children: []bpel.Activity{
+		&bpel.Assign{BlockName: "a"},
+		&bpel.Receive{BlockName: "r", Partner: "B", Op: "x"},
+		&bpel.Empty{BlockName: "e"},
+	}})
+	res := derive(t, p)
+	if res.Automaton.NumStates() != 2 {
+		t.Fatalf("invisible activities created states: %d\n%s", res.Automaton.NumStates(), res.Automaton.DebugString())
+	}
+}
+
+func TestDeriveSwitchAnnotation(t *testing.T) {
+	// Internal choice between sending x and sending y: both mandatory.
+	p := proc("A", &bpel.Switch{BlockName: "sw", Cases: []bpel.Case{
+		{Cond: "c1", Body: &bpel.Invoke{BlockName: "ix", Partner: "B", Op: "x"}},
+		{Cond: "c2", Body: &bpel.Invoke{BlockName: "iy", Partner: "B", Op: "y"}},
+	}})
+	res := derive(t, p)
+	anno := res.Automaton.Annotation(res.Automaton.Start())
+	want := formula.And(formula.Var("A#B#x"), formula.Var("A#B#y"))
+	if !formula.Equal(anno, want) {
+		t.Fatalf("switch annotation = %v, want %v", anno, want)
+	}
+}
+
+func TestDerivePickNoAnnotation(t *testing.T) {
+	// External choice: the partner decides; no mandatory annotation.
+	p := proc("A", &bpel.Pick{BlockName: "pk", Branches: []bpel.OnMessage{
+		{Partner: "B", Op: "x", Body: &bpel.Empty{BlockName: "e1"}},
+		{Partner: "B", Op: "y", Body: &bpel.Empty{BlockName: "e2"}},
+	}})
+	res := derive(t, p)
+	if !res.Automaton.Annotation(res.Automaton.Start()).IsTrue() {
+		t.Fatalf("pick produced annotation %v", res.Automaton.Annotation(res.Automaton.Start()))
+	}
+	if !res.Automaton.Accepts([]label.Label{lbl("B#A#x")}) || !res.Automaton.Accepts([]label.Label{lbl("B#A#y")}) {
+		t.Fatal("pick branches not both accepted")
+	}
+}
+
+func TestDeriveSwitchBranchesRejoin(t *testing.T) {
+	p := proc("A", &bpel.Sequence{BlockName: "s", Children: []bpel.Activity{
+		&bpel.Switch{BlockName: "sw", Cases: []bpel.Case{
+			{Cond: "c1", Body: &bpel.Invoke{BlockName: "ix", Partner: "B", Op: "x"}},
+			{Cond: "c2", Body: &bpel.Invoke{BlockName: "iy", Partner: "B", Op: "y"}},
+		}},
+		&bpel.Invoke{BlockName: "iz", Partner: "B", Op: "z"},
+	}})
+	res := derive(t, p)
+	for _, w := range [][]label.Label{
+		{lbl("A#B#x"), lbl("A#B#z")},
+		{lbl("A#B#y"), lbl("A#B#z")},
+	} {
+		if !res.Automaton.Accepts(w) {
+			t.Fatalf("branches do not rejoin before z:\n%s", res.Automaton.DebugString())
+		}
+	}
+}
+
+func TestDeriveSwitchWithoutElseFallsThrough(t *testing.T) {
+	p := proc("A", &bpel.Sequence{BlockName: "s", Children: []bpel.Activity{
+		&bpel.Switch{BlockName: "sw", Cases: []bpel.Case{
+			{Cond: "c1", Body: &bpel.Invoke{BlockName: "ix", Partner: "B", Op: "x"}},
+		}},
+		&bpel.Invoke{BlockName: "iz", Partner: "B", Op: "z"},
+	}})
+	res := derive(t, p)
+	if !res.Automaton.Accepts([]label.Label{lbl("A#B#z")}) {
+		t.Fatal("switch without otherwise cannot fall through")
+	}
+	if !res.Automaton.Accepts([]label.Label{lbl("A#B#x"), lbl("A#B#z")}) {
+		t.Fatal("switch case lost")
+	}
+}
+
+func TestDeriveTerminateMakesFinal(t *testing.T) {
+	p := proc("A", &bpel.Sequence{BlockName: "s", Children: []bpel.Activity{
+		&bpel.Invoke{BlockName: "ix", Partner: "B", Op: "x"},
+		&bpel.Terminate{BlockName: "t"},
+		// Unreachable tail.
+		&bpel.Invoke{BlockName: "iy", Partner: "B", Op: "y"},
+	}})
+	res := derive(t, p)
+	if !res.Automaton.Accepts([]label.Label{lbl("A#B#x")}) {
+		t.Fatal("terminate did not finalize")
+	}
+	if res.Automaton.Alphabet().Has(lbl("A#B#y")) {
+		t.Fatal("activities after terminate were derived")
+	}
+}
+
+func TestDeriveFiniteWhile(t *testing.T) {
+	p := proc("A", &bpel.Sequence{BlockName: "s", Children: []bpel.Activity{
+		&bpel.While{BlockName: "w", Cond: "n < 3",
+			Body: &bpel.Invoke{BlockName: "ix", Partner: "B", Op: "x"}},
+		&bpel.Invoke{BlockName: "iy", Partner: "B", Op: "y"},
+	}})
+	res := derive(t, p)
+	for _, w := range [][]label.Label{
+		{lbl("A#B#y")},
+		{lbl("A#B#x"), lbl("A#B#y")},
+		{lbl("A#B#x"), lbl("A#B#x"), lbl("A#B#y")},
+	} {
+		if !res.Automaton.Accepts(w) {
+			t.Fatalf("finite while rejects %v:\n%s", w, res.Automaton.DebugString())
+		}
+	}
+	// Loop state: internal choice between iterating (x) and exiting (y).
+	var found bool
+	for q := 0; q < res.Automaton.NumStates(); q++ {
+		anno := res.Automaton.Annotation(afsa.StateID(q))
+		if formula.Equal(anno, formula.And(formula.Var("A#B#x"), formula.Var("A#B#y"))) {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("while annotation missing:\n%s", res.Automaton.DebugString())
+	}
+}
+
+func TestDeriveInfiniteWhileNeverExits(t *testing.T) {
+	p := proc("A", &bpel.Sequence{BlockName: "s", Children: []bpel.Activity{
+		&bpel.While{BlockName: "w", Cond: "1 = 1",
+			Body: &bpel.Invoke{BlockName: "ix", Partner: "B", Op: "x"}},
+		&bpel.Invoke{BlockName: "iy", Partner: "B", Op: "y"},
+	}})
+	res := derive(t, p)
+	if res.Automaton.Alphabet().Has(lbl("A#B#y")) {
+		t.Fatal("infinite while leaked into the continuation")
+	}
+	if got := len(res.Automaton.FinalStates()); got != 0 {
+		t.Fatalf("infinite while produced %d final states", got)
+	}
+}
+
+func TestDeriveFlowInterleaves(t *testing.T) {
+	p := proc("A", &bpel.Flow{BlockName: "f", Branches: []bpel.Activity{
+		&bpel.Invoke{BlockName: "ix", Partner: "B", Op: "x"},
+		&bpel.Receive{BlockName: "ry", Partner: "B", Op: "y"},
+	}})
+	res := derive(t, p)
+	for _, w := range [][]label.Label{
+		{lbl("A#B#x"), lbl("B#A#y")},
+		{lbl("B#A#y"), lbl("A#B#x")},
+	} {
+		if !res.Automaton.Accepts(w) {
+			t.Fatalf("flow rejects interleaving %v:\n%s", w, res.Automaton.DebugString())
+		}
+	}
+	if res.Automaton.Accepts([]label.Label{lbl("A#B#x")}) {
+		t.Fatal("flow accepted before both branches completed")
+	}
+}
+
+func TestDeriveFlowRejectsTerminate(t *testing.T) {
+	p := proc("A", &bpel.Flow{BlockName: "f", Branches: []bpel.Activity{
+		&bpel.Terminate{BlockName: "t"},
+		&bpel.Invoke{BlockName: "ix", Partner: "B", Op: "x"},
+	}})
+	if _, err := Derive(p, nil); err == nil {
+		t.Fatal("terminate inside flow accepted")
+	}
+}
+
+func TestDeriveScopeTransparent(t *testing.T) {
+	p := proc("A", &bpel.Scope{BlockName: "sc",
+		Body: &bpel.Invoke{BlockName: "ix", Partner: "B", Op: "x"}})
+	res := derive(t, p)
+	if !res.Automaton.Accepts([]label.Label{lbl("A#B#x")}) {
+		t.Fatal("scope broke derivation")
+	}
+}
+
+func TestDeriveInvalidProcessRejected(t *testing.T) {
+	p := proc("A", &bpel.Receive{BlockName: "r", Partner: "A", Op: "x"}) // partner == owner
+	if _, err := Derive(p, nil); err == nil {
+		t.Fatal("invalid process accepted")
+	}
+}
+
+func TestTableBlocksAndString(t *testing.T) {
+	p := proc("A", &bpel.Sequence{BlockName: "root", Children: []bpel.Activity{
+		&bpel.Receive{BlockName: "r", Partner: "B", Op: "x"},
+	}})
+	res := derive(t, p)
+	start := res.Automaton.Start()
+	blocks := res.Table.Blocks(start)
+	if len(blocks) == 0 || blocks[0] != ProcessRootElement {
+		t.Fatalf("start blocks = %v, want leading %s", blocks, ProcessRootElement)
+	}
+	joined := res.Table.String()
+	if joined == "" {
+		t.Fatal("table renders empty")
+	}
+	if len(res.Table.Paths(start)) == 0 {
+		t.Fatal("no paths for start state")
+	}
+}
+
+func TestInfiniteCond(t *testing.T) {
+	for _, c := range []string{"1 = 1", "1=1", "true", "TRUE", " 1 =1 "} {
+		if !InfiniteCond(c) {
+			t.Errorf("InfiniteCond(%q) = false", c)
+		}
+	}
+	for _, c := range []string{"n < 3", "continue", ""} {
+		if InfiniteCond(c) {
+			t.Errorf("InfiniteCond(%q) = true", c)
+		}
+	}
+}

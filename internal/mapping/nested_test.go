@@ -1,0 +1,212 @@
+package mapping
+
+import (
+	"testing"
+
+	"repro/internal/afsa"
+	"repro/internal/bpel"
+	"repro/internal/label"
+	"repro/internal/paperrepro"
+)
+
+// TestDerivePickWithSyncReply models the logistics pattern: a pick
+// branch that replies to the synchronous operation it received.
+func TestDerivePickWithSyncReply(t *testing.T) {
+	p := &bpel.Process{Name: "svc", Owner: "L", Body: &bpel.While{
+		BlockName: "serve", Cond: "1 = 1",
+		Body: &bpel.Pick{BlockName: "req", Branches: []bpel.OnMessage{
+			{Partner: "A", Op: "q", Body: &bpel.Reply{BlockName: "answer", Partner: "A", Op: "q"}},
+			{Partner: "A", Op: "stop", Body: &bpel.Terminate{BlockName: "end"}},
+		}},
+	}}
+	res := derive(t, p)
+	a := res.Automaton
+	if !a.Accepts(word("A#L#q", "L#A#q", "A#L#q", "L#A#q", "A#L#stop")) {
+		t.Fatalf("request/reply loop broken:\n%s", a.DebugString())
+	}
+	if a.Accepts(word("A#L#q", "A#L#stop")) {
+		t.Fatal("reply skipped")
+	}
+}
+
+// TestDeriveNestedFlowInSequence checks interleaving spliced between
+// sequential phases.
+func TestDeriveNestedFlowInSequence(t *testing.T) {
+	p := proc("A", &bpel.Sequence{BlockName: "s", Children: []bpel.Activity{
+		&bpel.Receive{BlockName: "start", Partner: "B", Op: "go"},
+		&bpel.Flow{BlockName: "par", Branches: []bpel.Activity{
+			&bpel.Invoke{BlockName: "i1", Partner: "B", Op: "a"},
+			&bpel.Invoke{BlockName: "i2", Partner: "B", Op: "b"},
+		}},
+		&bpel.Invoke{BlockName: "done", Partner: "B", Op: "fin"},
+	}})
+	res := derive(t, p)
+	for _, w := range [][]label.Label{
+		word("B#A#go", "A#B#a", "A#B#b", "A#B#fin"),
+		word("B#A#go", "A#B#b", "A#B#a", "A#B#fin"),
+	} {
+		if !res.Automaton.Accepts(w) {
+			t.Fatalf("missing interleaving %v:\n%s", w, res.Automaton.DebugString())
+		}
+	}
+	if res.Automaton.Accepts(word("B#A#go", "A#B#a", "A#B#fin")) {
+		t.Fatal("flow exited before both branches finished")
+	}
+}
+
+// TestDeriveFlowOfFlows nests parallel blocks.
+func TestDeriveFlowOfFlows(t *testing.T) {
+	p := proc("A", &bpel.Flow{BlockName: "outer", Branches: []bpel.Activity{
+		&bpel.Flow{BlockName: "inner", Branches: []bpel.Activity{
+			&bpel.Invoke{BlockName: "i1", Partner: "B", Op: "a"},
+			&bpel.Invoke{BlockName: "i2", Partner: "B", Op: "b"},
+		}},
+		&bpel.Invoke{BlockName: "i3", Partner: "B", Op: "c"},
+	}})
+	res := derive(t, p)
+	for _, w := range [][]label.Label{
+		word("A#B#c", "A#B#a", "A#B#b"),
+		word("A#B#a", "A#B#c", "A#B#b"),
+		word("A#B#b", "A#B#a", "A#B#c"),
+	} {
+		if !res.Automaton.Accepts(w) {
+			t.Fatalf("missing interleaving %v", w)
+		}
+	}
+}
+
+// TestDeriveSwitchInsidePickBranch mixes external and internal choice.
+func TestDeriveSwitchInsidePickBranch(t *testing.T) {
+	p := proc("A", &bpel.Pick{BlockName: "pk", Branches: []bpel.OnMessage{
+		{Partner: "B", Op: "go", Body: &bpel.Switch{BlockName: "sw", Cases: []bpel.Case{
+			{Cond: "c", Body: &bpel.Invoke{BlockName: "ix", Partner: "B", Op: "x"}},
+		}, Else: &bpel.Invoke{BlockName: "iy", Partner: "B", Op: "y"}}},
+		{Partner: "B", Op: "skip", Body: &bpel.Empty{BlockName: "e"}},
+	}})
+	res := derive(t, p)
+	a := res.Automaton
+	if !a.Accepts(word("B#A#go", "A#B#x")) || !a.Accepts(word("B#A#go", "A#B#y")) || !a.Accepts(word("B#A#skip")) {
+		t.Fatalf("mixed choice derivation wrong:\n%s", a.DebugString())
+	}
+	// The switch state (after go) carries the internal-choice
+	// annotation; the pick state does not.
+	if !a.Annotation(a.Start()).IsTrue() {
+		t.Fatal("pick state annotated")
+	}
+	annotated := 0
+	for q := 0; q < a.NumStates(); q++ {
+		if !a.Annotation(afsa.StateID(q)).IsTrue() {
+			annotated++
+		}
+	}
+	if annotated != 1 {
+		t.Fatalf("annotated states = %d, want exactly the switch state", annotated)
+	}
+}
+
+// TestDeriveDeepScopeNesting keeps block paths navigable.
+func TestDeriveDeepScopeNesting(t *testing.T) {
+	p := proc("A", &bpel.Scope{BlockName: "outer", Body: &bpel.Scope{
+		BlockName: "middle", Body: &bpel.Sequence{BlockName: "inner", Children: []bpel.Activity{
+			&bpel.Receive{BlockName: "r", Partner: "B", Op: "x"},
+		}},
+	}})
+	res := derive(t, p)
+	blocks := res.Table.Blocks(res.Automaton.Start())
+	want := map[string]bool{}
+	for _, b := range blocks {
+		want[b] = true
+	}
+	for _, expect := range []string{"Scope:outer", "Scope:middle", "Sequence:inner"} {
+		if !want[expect] {
+			t.Fatalf("mapping table misses %s: %v", expect, blocks)
+		}
+	}
+}
+
+// TestDeriveWhileFollowAnnotation: a finite loop followed by a message
+// marks both the body and the continuation as mandatory alternatives.
+func TestDeriveWhileFollowAnnotationAcrossSequences(t *testing.T) {
+	p := proc("A", &bpel.Sequence{BlockName: "s", Children: []bpel.Activity{
+		&bpel.Scope{BlockName: "sc", Body: &bpel.While{BlockName: "w", Cond: "n < 2",
+			Body: &bpel.Invoke{BlockName: "ix", Partner: "B", Op: "x"}}},
+		&bpel.Invoke{BlockName: "iy", Partner: "B", Op: "y"},
+	}})
+	res := derive(t, p)
+	found := false
+	for q := 0; q < res.Automaton.NumStates(); q++ {
+		anno := res.Automaton.Annotation(afsa.StateID(q))
+		vars := anno.Vars()
+		_, hasX := vars["A#B#x"]
+		_, hasY := vars["A#B#y"]
+		if hasX && hasY {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("loop/continuation annotation missing:\n%s", res.Automaton.DebugString())
+	}
+}
+
+// TestAccountingMappingTable spot-checks the mapping table of the
+// paper's accounting process: the pick state maps to the tracking
+// loop blocks.
+func TestAccountingMappingTable(t *testing.T) {
+	res, err := Derive(paperrepro.AccountingProcess(), paperrepro.Registry())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Locate the pick state: it has both getStatusOp and terminateOp
+	// receive transitions.
+	var pickState afsa.StateID = afsa.None
+	for q := 0; q < res.Automaton.NumStates(); q++ {
+		ts := res.Automaton.Transitions(afsa.StateID(q))
+		hasGet, hasTerm := false, false
+		for _, tr := range ts {
+			if tr.Label == label.MustParse("B#A#getStatusOp") {
+				hasGet = true
+			}
+			if tr.Label == label.MustParse("B#A#terminateOp") {
+				hasTerm = true
+			}
+		}
+		if hasGet && hasTerm {
+			pickState = afsa.StateID(q)
+		}
+	}
+	if pickState == afsa.None {
+		t.Fatalf("pick state not found:\n%s", res.Automaton.DebugString())
+	}
+	blocks := map[string]bool{}
+	for _, b := range res.Table.Blocks(pickState) {
+		blocks[b] = true
+	}
+	for _, expect := range []string{"While:parcel tracking", "Pick:request"} {
+		if !blocks[expect] {
+			t.Fatalf("accounting pick state misses block %s: %v", expect, res.Table.Blocks(pickState))
+		}
+	}
+}
+
+// TestDeriveResultRawRetained: the raw (pre-minimization) artifacts
+// stay available for diagnostics.
+func TestDeriveResultRawRetained(t *testing.T) {
+	res, err := Derive(paperrepro.BuyerProcess(), paperrepro.Registry())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Raw == nil || res.Raw.NumStates() < res.Automaton.NumStates() {
+		t.Fatalf("raw automaton missing or smaller than minimized: %v", res.Raw)
+	}
+	if len(res.RawTable) == 0 {
+		t.Fatal("raw table missing")
+	}
+}
+
+func word(labels ...string) []label.Label {
+	out := make([]label.Label, len(labels))
+	for i, s := range labels {
+		out[i] = label.MustParse(s)
+	}
+	return out
+}

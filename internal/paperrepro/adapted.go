@@ -1,0 +1,59 @@
+package paperrepro
+
+import (
+	"repro/internal/bpel"
+)
+
+// Fig14BuyerProcess returns the buyer private process after
+// propagating the additive cancel change (paper Fig. 14): the delivery
+// receive has become a pick accepting either the delivery or the
+// cancel message; a cancel ends the process.
+func Fig14BuyerProcess() *bpel.Process {
+	p := BuyerProcess()
+	p.Name = "buyer'"
+	seq := p.Body.(*bpel.Sequence)
+	seq.Children[1] = &bpel.Pick{
+		BlockName: "delivery or cancel",
+		Branches: []bpel.OnMessage{
+			{Partner: Accounting, Op: "deliveryOp", Body: &bpel.Empty{BlockName: "delivered"}},
+			{Partner: Accounting, Op: "cancelOp", Body: &bpel.Terminate{BlockName: "cancelled"}},
+		},
+	}
+	return p
+}
+
+// Fig18BuyerProcess returns the buyer private process after
+// propagating the subtractive tracking-limit change (paper Fig. 18):
+// the unlimited tracking loop has been replaced by a switch allowing
+// at most one tracking round; both branches end with the terminate
+// message.
+func Fig18BuyerProcess() *bpel.Process {
+	p := BuyerProcess()
+	p.Name = "buyer''"
+	seq := p.Body.(*bpel.Sequence)
+	seq.Children[2] = &bpel.Switch{
+		BlockName: "track once?",
+		Cases: []bpel.Case{
+			{
+				Cond: "continue",
+				Body: &bpel.Sequence{
+					BlockName: "track once",
+					Children: []bpel.Activity{
+						&bpel.Invoke{BlockName: "getStatus", Partner: Accounting, Op: "getStatusOp"},
+						&bpel.Receive{BlockName: "status", Partner: Accounting, Op: "statusOp"},
+						&bpel.Invoke{BlockName: "terminate", Partner: Accounting, Op: "terminateOp"},
+						&bpel.Terminate{BlockName: "end"},
+					},
+				},
+			},
+		},
+		Else: &bpel.Sequence{
+			BlockName: "terminate directly",
+			Children: []bpel.Activity{
+				&bpel.Invoke{BlockName: "terminate now", Partner: Accounting, Op: "terminateOp"},
+				&bpel.Terminate{BlockName: "end now"},
+			},
+		},
+	}
+	return p
+}

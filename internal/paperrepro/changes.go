@@ -1,0 +1,211 @@
+package paperrepro
+
+import (
+	"repro/internal/afsa"
+	"repro/internal/bpel"
+	"repro/internal/change"
+	"repro/internal/formula"
+)
+
+// OrderTwoChange returns the invariant additive change of paper
+// Sec. 5.1 / Fig. 9: the accounting department additionally accepts an
+// alternative order message format (order_2), widening the initial
+// order receive into a pick.
+func OrderTwoChange() change.Operation {
+	return change.ReplaceReceiveWithPick{
+		Path:      bpel.Path{"Sequence:accounting process", "Receive:order"},
+		BlockName: "order formats",
+		Extra: []bpel.OnMessage{
+			{Partner: Buyer, Op: "order_2Op", Body: &bpel.Empty{BlockName: "order_2 done"}},
+		},
+	}
+}
+
+// CancelChange returns the variant additive change of paper Sec. 5.2 /
+// Fig. 11: after receiving the order the accounting department checks
+// the credit status and either proceeds (deliver … tracking) or sends
+// a cancel message to the buyer and stops.
+func CancelChange() change.Operation {
+	return change.WrapTailInSwitch{
+		Path:        bpel.Path{"Sequence:accounting process"},
+		FromElement: "Invoke:deliver",
+		SwitchName:  "credit check",
+		CaseName:    "process order",
+		Cond:        `creditStatus = "ok"`,
+		Else: &bpel.Sequence{
+			BlockName: "cancel order",
+			Children: []bpel.Activity{
+				&bpel.Invoke{BlockName: "cancel", Partner: Buyer, Op: "cancelOp"},
+				&bpel.Terminate{BlockName: "cancelled"},
+			},
+		},
+	}
+}
+
+// TrackingLimitChange returns the variant subtractive change of paper
+// Sec. 5.3 / Fig. 15: the unlimited parcel-tracking loop is replaced
+// by a decision allowing at most one tracking request; both paths
+// finish with the terminate exchange.
+func TrackingLimitChange() change.Operation {
+	terminateTail := func(suffix string) []bpel.Activity {
+		return []bpel.Activity{
+			&bpel.Invoke{BlockName: "terminateL" + suffix, Partner: Logistics, Op: "terminateLOp"},
+			&bpel.Terminate{BlockName: "end" + suffix},
+		}
+	}
+	newPick := &bpel.Pick{
+		BlockName: "track once?",
+		Branches: []bpel.OnMessage{
+			{
+				Partner: Buyer,
+				Op:      "getStatusOp",
+				Body: &bpel.Sequence{
+					BlockName: "track once",
+					Children: append([]bpel.Activity{
+						&bpel.Invoke{BlockName: "getStatusL", Partner: Logistics, Op: "getStatusLOp", Sync: true},
+						&bpel.Invoke{BlockName: "status", Partner: Buyer, Op: "statusOp"},
+						&bpel.Receive{BlockName: "terminate", Partner: Buyer, Op: "terminateOp"},
+					}, terminateTail(" after tracking")...),
+				},
+			},
+			{
+				Partner: Buyer,
+				Op:      "terminateOp",
+				Body: &bpel.Sequence{
+					BlockName: "terminate directly",
+					Children:  terminateTail(" directly"),
+				},
+			},
+		},
+	}
+	return change.Replace{
+		Path: bpel.Path{"Sequence:accounting process", "While:parcel tracking"},
+		New:  newPick,
+	}
+}
+
+// ---- expected artifacts of the change scenarios ----
+
+// Fig10aBuyerViewAfterOrderTwo returns the expected buyer view of the
+// accounting public process after the invariant additive change
+// (Fig. 10a): like Fig. 8a with an alternative order_2 transition.
+func Fig10aBuyerViewAfterOrderTwo() *afsa.Automaton {
+	a := Fig8aBuyerView()
+	a.Name = "τ_B(accounting public + order_2)"
+	// State 0 is the start, state 1 the post-order state (BFS order).
+	a.AddTransition(0, lbl("B#A#order_2Op"), 1)
+	return a
+}
+
+// Fig12aBuyerViewAfterCancel returns the expected buyer view after the
+// variant additive cancel change (Fig. 12a): the post-order state
+// carries the projected mandatory annotation
+// "A#B#cancelOp AND A#B#deliveryOp", and a cancel branch leads to a
+// final state.
+func Fig12aBuyerViewAfterCancel() *afsa.Automaton {
+	a := afsa.New("τ_B(accounting public + cancel)")
+	s := make([]afsa.StateID, 6)
+	for i := range s {
+		s[i] = a.AddState()
+	}
+	a.SetStart(s[0])
+	a.AddTransition(s[0], lbl("B#A#orderOp"), s[1])
+	a.AddTransition(s[1], lbl("A#B#deliveryOp"), s[2])
+	a.AddTransition(s[1], lbl("A#B#cancelOp"), s[5])
+	a.AddTransition(s[2], lbl("B#A#getStatusOp"), s[3])
+	a.AddTransition(s[3], lbl("A#B#statusOp"), s[2])
+	a.AddTransition(s[2], lbl("B#A#terminateOp"), s[4])
+	a.SetFinal(s[4], true)
+	a.SetFinal(s[5], true)
+	a.Annotate(s[1], formula.And(v("A#B#cancelOp"), v("A#B#deliveryOp")))
+	return a
+}
+
+// Fig13aDifference returns the expected difference automaton
+// A” = τ_B(A') \ B of Fig. 13a (minimized): the single added sequence
+// order·cancel, with the mandatory annotation inherited from the
+// changed accounting view.
+func Fig13aDifference() *afsa.Automaton {
+	a := afsa.New("difference (buyer view of accounting') \\ buyer public")
+	s := make([]afsa.StateID, 3)
+	for i := range s {
+		s[i] = a.AddState()
+	}
+	a.SetStart(s[0])
+	a.SetFinal(s[2], true)
+	a.AddTransition(s[0], lbl("B#A#orderOp"), s[1])
+	a.AddTransition(s[1], lbl("A#B#cancelOp"), s[2])
+	a.Annotate(s[1], formula.And(v("A#B#cancelOp"), v("A#B#deliveryOp")))
+	return a
+}
+
+// Fig13bNewBuyerPublic returns the expected adapted buyer public
+// process B' = A” ∪ B of Fig. 13b (minimized): the buyer conversation
+// of Fig. 6 extended with the cancel alternative after the order.
+func Fig13bNewBuyerPublic() *afsa.Automaton {
+	a := afsa.New("buyer public'")
+	s := make([]afsa.StateID, 6)
+	for i := range s {
+		s[i] = a.AddState()
+	}
+	a.SetStart(s[0])
+	a.AddTransition(s[0], lbl("B#A#orderOp"), s[1])
+	a.AddTransition(s[1], lbl("A#B#deliveryOp"), s[2])
+	a.AddTransition(s[1], lbl("A#B#cancelOp"), s[5])
+	a.AddTransition(s[2], lbl("B#A#getStatusOp"), s[3])
+	a.AddTransition(s[3], lbl("A#B#statusOp"), s[2])
+	a.AddTransition(s[2], lbl("B#A#terminateOp"), s[4])
+	a.SetFinal(s[4], true)
+	a.SetFinal(s[5], true)
+	// The union inherits both the A''-side annotation at the
+	// post-order state and the buyer's tracking annotation.
+	a.Annotate(s[1], formula.And(v("A#B#cancelOp"), v("A#B#deliveryOp")))
+	a.Annotate(s[2], formula.And(v("B#A#getStatusOp"), v("B#A#terminateOp")))
+	return a
+}
+
+// Fig16aBuyerViewAfterTrackingLimit returns the expected buyer view of
+// the accounting public process after the subtractive change
+// (Fig. 16a): at most one tracking round, then a mandatory terminate.
+func Fig16aBuyerViewAfterTrackingLimit() *afsa.Automaton {
+	a := afsa.New("τ_B(accounting public, ≤1 tracking)")
+	s := make([]afsa.StateID, 7)
+	for i := range s {
+		s[i] = a.AddState()
+	}
+	a.SetStart(s[0])
+	a.AddTransition(s[0], lbl("B#A#orderOp"), s[1])
+	a.AddTransition(s[1], lbl("A#B#deliveryOp"), s[2])
+	a.AddTransition(s[2], lbl("B#A#getStatusOp"), s[3])
+	a.AddTransition(s[3], lbl("A#B#statusOp"), s[4])
+	a.AddTransition(s[4], lbl("B#A#terminateOp"), s[5])
+	a.AddTransition(s[2], lbl("B#A#terminateOp"), s[6])
+	a.SetFinal(s[5], true)
+	a.SetFinal(s[6], true)
+	return a
+}
+
+// Fig17bNewBuyerPublic returns the expected adapted buyer public
+// process B' = B \ (B \ τ_B(A')) of Fig. 17b (minimized): the buyer
+// conversation bounded to at most one tracking round. Annotations are
+// inherited from B (Def. 4 keeps QA1); the tracking annotation
+// survives at the branch states.
+func Fig17bNewBuyerPublic() *afsa.Automaton {
+	a := afsa.New("buyer public after subtractive propagation")
+	s := make([]afsa.StateID, 7)
+	for i := range s {
+		s[i] = a.AddState()
+	}
+	a.SetStart(s[0])
+	a.AddTransition(s[0], lbl("B#A#orderOp"), s[1])
+	a.AddTransition(s[1], lbl("A#B#deliveryOp"), s[2])
+	a.AddTransition(s[2], lbl("B#A#getStatusOp"), s[3])
+	a.AddTransition(s[3], lbl("A#B#statusOp"), s[4])
+	a.AddTransition(s[4], lbl("B#A#terminateOp"), s[5])
+	a.AddTransition(s[2], lbl("B#A#terminateOp"), s[6])
+	a.SetFinal(s[5], true)
+	a.SetFinal(s[6], true)
+	a.Annotate(s[2], formula.And(v("B#A#getStatusOp"), v("B#A#terminateOp")))
+	a.Annotate(s[4], formula.And(v("B#A#getStatusOp"), v("B#A#terminateOp")))
+	return a
+}

@@ -1,0 +1,168 @@
+package paperrepro
+
+import (
+	"repro/internal/afsa"
+	"repro/internal/formula"
+	"repro/internal/label"
+)
+
+// Note on operation names: the paper's BPEL listings use getStatusOp
+// while some figure labels abbreviate to get_statusOp; this repository
+// normalizes to the BPEL names (getStatusOp, getStatusLOp) everywhere.
+
+func lbl(s string) label.Label { return label.MustParse(s) }
+
+func v(s string) *formula.Formula { return formula.Var(s) }
+
+// Fig5PartyA returns the left aFSA of paper Fig. 5: a choice between
+// msg0 and msg2, both optional.
+func Fig5PartyA() *afsa.Automaton {
+	a := afsa.New("party A")
+	q0 := a.AddState()
+	q1 := a.AddState()
+	q2 := a.AddState()
+	a.SetStart(q0)
+	a.SetFinal(q1, true)
+	a.SetFinal(q2, true)
+	a.AddTransition(q0, lbl("B#A#msg0"), q1)
+	a.AddTransition(q0, lbl("B#A#msg2"), q2)
+	return a
+}
+
+// Fig5PartyB returns the right aFSA of paper Fig. 5: a choice between
+// msg1 and msg2, both mandatory (conjunctive annotation).
+func Fig5PartyB() *afsa.Automaton {
+	a := afsa.New("party B")
+	q0 := a.AddState()
+	q1 := a.AddState()
+	q2 := a.AddState()
+	a.SetStart(q0)
+	a.SetFinal(q1, true)
+	a.SetFinal(q2, true)
+	a.AddTransition(q0, lbl("B#A#msg1"), q1)
+	a.AddTransition(q0, lbl("B#A#msg2"), q2)
+	a.Annotate(q0, formula.And(v("B#A#msg1"), v("B#A#msg2")))
+	return a
+}
+
+// Fig5Intersection returns the expected intersection automaton of
+// Fig. 5: only the shared msg2 transition survives, annotated with
+// party B's conjunction (annotated-empty).
+func Fig5Intersection() *afsa.Automaton {
+	a := afsa.New("intersection of A and B")
+	q0 := a.AddState()
+	q1 := a.AddState()
+	a.SetStart(q0)
+	a.SetFinal(q1, true)
+	a.AddTransition(q0, lbl("B#A#msg2"), q1)
+	a.Annotate(q0, formula.And(v("B#A#msg1"), v("B#A#msg2")))
+	return a
+}
+
+// Fig6BuyerPublic returns the expected buyer public process of paper
+// Fig. 6 (states numbered 1–5 in the paper, 0–4 here):
+//
+//	0 --B#A#orderOp--> 1 --A#B#deliveryOp--> 2
+//	2 --B#A#getStatusOp--> 3 --A#B#statusOp--> 2
+//	2 --B#A#terminateOp--> 4 (final)
+//
+// State 2 carries the internal-choice annotation
+// "B#A#getStatusOp AND B#A#terminateOp".
+func Fig6BuyerPublic() *afsa.Automaton {
+	a := afsa.New("buyer public")
+	s := make([]afsa.StateID, 5)
+	for i := range s {
+		s[i] = a.AddState()
+	}
+	a.SetStart(s[0])
+	a.SetFinal(s[4], true)
+	a.AddTransition(s[0], lbl("B#A#orderOp"), s[1])
+	a.AddTransition(s[1], lbl("A#B#deliveryOp"), s[2])
+	a.AddTransition(s[2], lbl("B#A#getStatusOp"), s[3])
+	a.AddTransition(s[3], lbl("A#B#statusOp"), s[2])
+	a.AddTransition(s[2], lbl("B#A#terminateOp"), s[4])
+	a.Annotate(s[2], formula.And(v("B#A#getStatusOp"), v("B#A#terminateOp")))
+	return a
+}
+
+// Table1Expected returns the expected buyer mapping table of paper
+// Table 1, keyed by the states of Fig6BuyerPublic (paper state n =
+// state n-1 here). Each row lists the BPEL block names associated
+// with the state.
+func Table1Expected() map[afsa.StateID][]string {
+	return map[afsa.StateID][]string{
+		0: {"BPELProcess", "Sequence:buyer process"},
+		1: {"Sequence:buyer process"},
+		2: {"Sequence:buyer process", "While:tracking", "Switch:termination?",
+			"Sequence:cond continue", "Sequence:cond terminate"},
+		3: {"Sequence:cond continue"},
+		4: {"Sequence:cond terminate"},
+	}
+}
+
+// Fig7AccountingPublic returns the expected accounting public process
+// of paper Fig. 7: the full three-party conversation from the
+// accounting perspective, including the synchronous getStatusLOp
+// request/response pair.
+func Fig7AccountingPublic() *afsa.Automaton {
+	a := afsa.New("accounting public")
+	s := make([]afsa.StateID, 10)
+	for i := range s {
+		s[i] = a.AddState()
+	}
+	a.SetStart(s[0])
+	a.AddTransition(s[0], lbl("B#A#orderOp"), s[1])
+	a.AddTransition(s[1], lbl("A#L#deliverOp"), s[2])
+	a.AddTransition(s[2], lbl("L#A#deliver_confOp"), s[3])
+	a.AddTransition(s[3], lbl("A#B#deliveryOp"), s[4])
+	// Parcel tracking loop (pick: external choice, no annotation).
+	a.AddTransition(s[4], lbl("B#A#getStatusOp"), s[5])
+	a.AddTransition(s[5], lbl("A#L#getStatusLOp"), s[6])
+	a.AddTransition(s[6], lbl("L#A#getStatusLOp"), s[7])
+	a.AddTransition(s[7], lbl("A#B#statusOp"), s[4])
+	// Termination.
+	a.AddTransition(s[4], lbl("B#A#terminateOp"), s[8])
+	a.AddTransition(s[8], lbl("A#L#terminateLOp"), s[9])
+	a.SetFinal(s[9], true)
+	return a
+}
+
+// Fig8aBuyerView returns the expected buyer view of the accounting
+// public process (paper Fig. 8a, minimized): structurally the buyer
+// conversation of Fig. 6 but *without* the mandatory annotation — the
+// accounting pick is an external choice.
+func Fig8aBuyerView() *afsa.Automaton {
+	a := Fig6BuyerPublic()
+	a.Name = "τ_B(accounting public)"
+	for q := 0; q < a.NumStates(); q++ {
+		a.ClearAnnotations(afsa.StateID(q))
+	}
+	return a
+}
+
+// Fig8bLogisticsView returns the expected logistics view of the
+// accounting public process (paper Fig. 8b, minimized).
+func Fig8bLogisticsView() *afsa.Automaton {
+	a := afsa.New("τ_L(accounting public)")
+	s := make([]afsa.StateID, 5)
+	for i := range s {
+		s[i] = a.AddState()
+	}
+	a.SetStart(s[0])
+	a.SetFinal(s[4], true)
+	a.AddTransition(s[0], lbl("A#L#deliverOp"), s[1])
+	a.AddTransition(s[1], lbl("L#A#deliver_confOp"), s[2])
+	a.AddTransition(s[2], lbl("A#L#getStatusLOp"), s[3])
+	a.AddTransition(s[3], lbl("L#A#getStatusLOp"), s[2])
+	a.AddTransition(s[2], lbl("A#L#terminateLOp"), s[4])
+	return a
+}
+
+// LogisticsPublicExpected returns the expected logistics public
+// process derived from LogisticsProcess — the mirror image of Fig. 8b
+// (logistics receives what accounting sends).
+func LogisticsPublicExpected() *afsa.Automaton {
+	a := Fig8bLogisticsView()
+	a.Name = "logistics public"
+	return a
+}

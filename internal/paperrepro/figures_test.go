@@ -1,0 +1,173 @@
+package paperrepro
+
+import (
+	"sort"
+	"testing"
+
+	"repro/internal/afsa"
+	"repro/internal/bpel"
+	"repro/internal/mapping"
+)
+
+// TestFig5 reproduces the aFSA worked example of paper Fig. 5.
+func TestFig5(t *testing.T) {
+	inter := Fig5PartyA().Intersect(Fig5PartyB())
+	want := Fig5Intersection()
+	if diff := afsa.ExplainDifference(inter, want); diff != "" {
+		t.Fatalf("Fig. 5 intersection differs from the paper: %s", diff)
+	}
+	empty, err := inter.IsEmpty()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !empty {
+		t.Fatal("Fig. 5 intersection must be annotated-empty")
+	}
+}
+
+// TestFig6 reproduces the buyer public process (paper Fig. 6) from the
+// buyer private BPEL process (paper Fig. 3).
+func TestFig6(t *testing.T) {
+	res, err := mapping.Derive(BuyerProcess(), Registry())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if diff := afsa.ExplainDifference(res.Automaton, Fig6BuyerPublic()); diff != "" {
+		t.Fatalf("derived buyer public differs from Fig. 6: %s", diff)
+	}
+	if res.Automaton.NumStates() != 5 {
+		t.Fatalf("buyer public has %d states, want 5", res.Automaton.NumStates())
+	}
+}
+
+// TestTable1 reproduces the buyer mapping table (paper Table 1).
+func TestTable1(t *testing.T) {
+	res, err := mapping.Derive(BuyerProcess(), Registry())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Identify the canonical state numbering by matching Fig. 6: the
+	// derived automaton is already minimized with BFS numbering, which
+	// coincides with the paper's 1..5 (shifted to 0..4).
+	want := Table1Expected()
+	if len(want) != res.Automaton.NumStates() {
+		t.Fatalf("state count %d vs expected %d", res.Automaton.NumStates(), len(want))
+	}
+	for q, wantBlocks := range want {
+		got := res.Table.Blocks(q)
+		gs, ws := append([]string(nil), got...), append([]string(nil), wantBlocks...)
+		sort.Strings(gs)
+		sort.Strings(ws)
+		if len(gs) != len(ws) {
+			t.Fatalf("state %d blocks = %v, want %v", q, got, wantBlocks)
+		}
+		for i := range gs {
+			if gs[i] != ws[i] {
+				t.Fatalf("state %d blocks = %v, want %v", q, got, wantBlocks)
+			}
+		}
+	}
+}
+
+// TestFig7 reproduces the accounting public process (paper Fig. 7).
+func TestFig7(t *testing.T) {
+	res, err := mapping.Derive(AccountingProcess(), Registry())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if diff := afsa.ExplainDifference(res.Automaton, Fig7AccountingPublic()); diff != "" {
+		t.Fatalf("derived accounting public differs from Fig. 7: %s", diff)
+	}
+}
+
+// TestFig8Views reproduces the bilateral views of the accounting
+// public process (paper Fig. 8).
+func TestFig8Views(t *testing.T) {
+	res, err := mapping.Derive(AccountingProcess(), Registry())
+	if err != nil {
+		t.Fatal(err)
+	}
+	buyerView := res.Automaton.View(Buyer)
+	if diff := afsa.ExplainDifference(buyerView, Fig8aBuyerView()); diff != "" {
+		t.Fatalf("buyer view differs from Fig. 8a: %s", diff)
+	}
+	logView := res.Automaton.View(Logistics)
+	if diff := afsa.ExplainDifference(logView, Fig8bLogisticsView()); diff != "" {
+		t.Fatalf("logistics view differs from Fig. 8b: %s", diff)
+	}
+}
+
+// TestLogisticsPublic derives the logistics public process; it must
+// mirror Fig. 8b.
+func TestLogisticsPublic(t *testing.T) {
+	res, err := mapping.Derive(LogisticsProcess(), Registry())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if diff := afsa.ExplainDifference(res.Automaton, LogisticsPublicExpected()); diff != "" {
+		t.Fatalf("logistics public differs from expectation: %s", diff)
+	}
+}
+
+// TestScenarioBilateralConsistency checks the paper's premise: the
+// original choreography is bilaterally consistent on both protocol
+// pairs (buyer↔accounting and accounting↔logistics).
+func TestScenarioBilateralConsistency(t *testing.T) {
+	reg := Registry()
+	acc, err := mapping.Derive(AccountingProcess(), reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buyer, err := mapping.Derive(BuyerProcess(), reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	logistics, err := mapping.Derive(LogisticsProcess(), reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	accForBuyer := acc.Automaton.View(Buyer)
+	buyerForAcc := buyer.Automaton.View(Accounting)
+	ok, err := afsa.Consistent(accForBuyer, buyerForAcc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatalf("buyer and accounting inconsistent:\n%s\n%s",
+			accForBuyer.DebugString(), buyerForAcc.DebugString())
+	}
+
+	accForLog := acc.Automaton.View(Logistics)
+	logForAcc := logistics.Automaton.View(Accounting)
+	ok, err = afsa.Consistent(accForLog, logForAcc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatalf("accounting and logistics inconsistent:\n%s\n%s",
+			accForLog.DebugString(), logForAcc.DebugString())
+	}
+}
+
+// TestScenarioXMLRoundTrip guards the BPEL fixtures through XML
+// serialization (paper Fig. 2/3 are BPEL documents).
+func TestScenarioXMLRoundTrip(t *testing.T) {
+	reg := Registry()
+	for _, p := range []*bpel.Process{BuyerProcess(), AccountingProcess(), LogisticsProcess()} {
+		if err := p.Validate(reg); err != nil {
+			t.Fatalf("%s: %v", p.Name, err)
+		}
+		data, err := bpel.MarshalXML(p)
+		if err != nil {
+			t.Fatalf("%s: %v", p.Name, err)
+		}
+		back, err := bpel.UnmarshalXML(data)
+		if err != nil {
+			t.Fatalf("%s: %v", p.Name, err)
+		}
+		if p.String() != back.String() {
+			t.Fatalf("%s: XML round trip changed the process", p.Name)
+		}
+	}
+}

@@ -1,0 +1,12 @@
+package paperrepro
+
+import "repro/internal/label"
+
+// word builds a message sequence from label strings.
+func word(labels ...string) []label.Label {
+	out := make([]label.Label, len(labels))
+	for i, s := range labels {
+		out[i] = label.MustParse(s)
+	}
+	return out
+}

@@ -1,0 +1,278 @@
+package runtime
+
+import (
+	"testing"
+
+	"repro/internal/afsa"
+	"repro/internal/label"
+	"repro/internal/mapping"
+	"repro/internal/paperrepro"
+)
+
+func lbl(s string) label.Label { return label.MustParse(s) }
+
+// pingPong builds matching two-party automata: B sends ping, A
+// answers pong.
+func pingPong() map[string]*afsa.Automaton {
+	a := afsa.New("A")
+	a0 := a.AddState()
+	a1 := a.AddState()
+	a2 := a.AddState()
+	a.SetStart(a0)
+	a.SetFinal(a2, true)
+	a.AddTransition(a0, lbl("B#A#ping"), a1)
+	a.AddTransition(a1, lbl("A#B#pong"), a2)
+
+	b := afsa.New("B")
+	b0 := b.AddState()
+	b1 := b.AddState()
+	b2 := b.AddState()
+	b.SetStart(b0)
+	b.SetFinal(b2, true)
+	b.AddTransition(b0, lbl("B#A#ping"), b1)
+	b.AddTransition(b1, lbl("A#B#pong"), b2)
+
+	return map[string]*afsa.Automaton{"A": a, "B": b}
+}
+
+func TestNewSystemValidation(t *testing.T) {
+	if _, err := NewSystem(map[string]*afsa.Automaton{"A": afsa.New("A")}); err == nil {
+		t.Fatal("single-party system accepted")
+	}
+	bad := pingPong()
+	q := bad["A"].AddState()
+	bad["A"].AddTransition(bad["A"].Start(), lbl("A#Z#ghost"), q)
+	if _, err := NewSystem(bad); err == nil {
+		t.Fatal("label to unknown party accepted")
+	}
+	if _, err := NewSystem(map[string]*afsa.Automaton{"A": nil, "B": afsa.New("B")}); err == nil {
+		t.Fatal("nil automaton accepted")
+	}
+}
+
+func TestExplorePingPong(t *testing.T) {
+	sys, err := NewSystem(pingPong())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := sys.Explore(0)
+	if !res.DeadlockFree() {
+		t.Fatalf("ping-pong deadlocks: %v", res.Failures)
+	}
+	if res.Completions != 1 {
+		t.Fatalf("completions = %d, want 1", res.Completions)
+	}
+	if res.States != 3 {
+		t.Fatalf("states = %d, want 3", res.States)
+	}
+	if res.Truncated {
+		t.Fatal("tiny system truncated")
+	}
+}
+
+func TestExploreDetectsUnreceivable(t *testing.T) {
+	parties := pingPong()
+	// B optionally sends an extra message A cannot receive.
+	b := parties["B"]
+	q := b.AddState()
+	b.SetFinal(q, true)
+	b.AddTransition(b.Start(), lbl("B#A#surprise"), q)
+	sys, err := NewSystem(parties)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := sys.Explore(0)
+	if res.DeadlockFree() {
+		t.Fatal("unreceivable message not detected")
+	}
+	found := false
+	for _, f := range res.Failures {
+		if f.Kind == FailureUnreceivable && f.Label == lbl("B#A#surprise") {
+			found = true
+			if f.String() == "" {
+				t.Fatal("empty failure string")
+			}
+		}
+	}
+	if !found {
+		t.Fatalf("failures = %v", res.Failures)
+	}
+}
+
+func TestExploreDetectsStuck(t *testing.T) {
+	// A waits for a message B never sends.
+	a := afsa.New("A")
+	a0 := a.AddState()
+	a1 := a.AddState()
+	a.SetStart(a0)
+	a.SetFinal(a1, true)
+	a.AddTransition(a0, lbl("B#A#never"), a1)
+
+	b := afsa.New("B")
+	b0 := b.AddState()
+	b.SetStart(b0)
+	b.SetFinal(b0, false) // B idles non-final without sending
+
+	sys, err := NewSystem(map[string]*afsa.Automaton{"A": a, "B": b})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// With the default lenient completion both parties are still in
+	// their start states, so the initial state counts as (vacuously)
+	// complete. Strict completion flags it as stuck.
+	if res := sys.Explore(0); !res.DeadlockFree() {
+		t.Fatalf("lenient completion should accept the never-started system: %v", res.Failures)
+	}
+	sys.StrictCompletion = true
+	res := sys.Explore(0)
+	if res.DeadlockFree() {
+		t.Fatal("stuck state not detected under strict completion")
+	}
+	if res.Failures[0].Kind != FailureStuck {
+		t.Fatalf("failure kind = %v", res.Failures[0].Kind)
+	}
+}
+
+// TestPaperScenarioDeadlockFree runs the full three-party procurement
+// choreography: bilateral consistency (validated in paperrepro) must
+// coincide with deadlock-free joint execution.
+func TestPaperScenarioDeadlockFree(t *testing.T) {
+	reg := paperrepro.Registry()
+	parties := map[string]*afsa.Automaton{}
+	buyer, err := mapping.Derive(paperrepro.BuyerProcess(), reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	acc, err := mapping.Derive(paperrepro.AccountingProcess(), reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	logistics, err := mapping.Derive(paperrepro.LogisticsProcess(), reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parties[paperrepro.Buyer] = buyer.Automaton
+	parties[paperrepro.Accounting] = acc.Automaton
+	parties[paperrepro.Logistics] = logistics.Automaton
+
+	sys, err := NewSystem(parties)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := sys.Explore(0)
+	if !res.DeadlockFree() {
+		t.Fatalf("paper scenario deadlocks: %v", res.Failures)
+	}
+	if res.Completions == 0 {
+		t.Fatal("paper scenario never completes")
+	}
+}
+
+// TestUncontrolledChangeFails commits the variant additive cancel
+// change WITHOUT propagating it to the buyer: the execution must be
+// able to fail (Sec. 3.1: "the execution of the modified process
+// choreography could fail").
+func TestUncontrolledChangeFails(t *testing.T) {
+	reg := paperrepro.Registry()
+	changed, err := paperrepro.CancelChange().Apply(paperrepro.AccountingProcess())
+	if err != nil {
+		t.Fatal(err)
+	}
+	acc, err := mapping.Derive(changed, reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buyer, err := mapping.Derive(paperrepro.BuyerProcess(), reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	logistics, err := mapping.Derive(paperrepro.LogisticsProcess(), reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, err := NewSystem(map[string]*afsa.Automaton{
+		paperrepro.Buyer:      buyer.Automaton,
+		paperrepro.Accounting: acc.Automaton,
+		paperrepro.Logistics:  logistics.Automaton,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := sys.Explore(0)
+	if res.DeadlockFree() {
+		t.Fatal("uncontrolled variant change did not surface any failure")
+	}
+	// The failure is exactly the unpropagated cancel message.
+	found := false
+	for _, f := range res.Failures {
+		if f.Kind == FailureUnreceivable && f.Label == lbl("A#B#cancelOp") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("expected an unreceivable cancelOp, got %v", res.Failures)
+	}
+}
+
+func TestRandomWalkCompletesAndFails(t *testing.T) {
+	sys, err := NewSystem(pingPong())
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := sys.RandomWalk(1, 100)
+	if !w.Completed || w.Failure != nil || len(w.Trace) != 2 {
+		t.Fatalf("walk = %+v", w)
+	}
+
+	// Broken system: walks eventually fail.
+	parties := pingPong()
+	b := parties["B"]
+	q := b.AddState()
+	b.SetFinal(q, true)
+	b.AddTransition(b.Start(), lbl("B#A#surprise"), q)
+	sys2, err := NewSystem(parties)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rate := sys2.FailureRate(42, 200, 100)
+	if rate <= 0 {
+		t.Fatal("failure rate 0 for broken system")
+	}
+	if good := sys.FailureRate(42, 50, 100); good != 0 {
+		t.Fatalf("failure rate %v for correct system", good)
+	}
+}
+
+func TestWalkBudget(t *testing.T) {
+	// Infinite tracking loop: the walk must stop at its budget without
+	// reporting failure.
+	reg := paperrepro.Registry()
+	buyer, _ := mapping.Derive(paperrepro.BuyerProcess(), reg)
+	acc, _ := mapping.Derive(paperrepro.AccountingProcess(), reg)
+	logistics, _ := mapping.Derive(paperrepro.LogisticsProcess(), reg)
+	sys, err := NewSystem(map[string]*afsa.Automaton{
+		paperrepro.Buyer:      buyer.Automaton,
+		paperrepro.Accounting: acc.Automaton,
+		paperrepro.Logistics:  logistics.Automaton,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for seed := int64(0); seed < 20; seed++ {
+		w := sys.RandomWalk(seed, 50)
+		if w.Failure != nil {
+			t.Fatalf("seed %d: consistent choreography failed: %v", seed, w.Failure)
+		}
+	}
+}
+
+func TestPartiesOrder(t *testing.T) {
+	sys, err := NewSystem(pingPong())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ps := sys.Parties()
+	if len(ps) != 2 || ps[0] != "A" || ps[1] != "B" {
+		t.Fatalf("Parties = %v", ps)
+	}
+}

@@ -1,0 +1,67 @@
+package runtime
+
+import (
+	"testing"
+
+	"repro/internal/afsa"
+	"repro/internal/mapping"
+	"repro/internal/paperrepro"
+)
+
+// TestStrictCompletionExposesStarvation documents a known gap of the
+// bilateral criterion for multi-party termination: after the cancel
+// evolution (accounting + adapted buyer), every bilateral protocol is
+// consistent, yet on the cancel path the logistics department is never
+// engaged. Under the default lenient completion (a never-started party
+// is vacuously complete) the system is deadlock-free; under strict
+// completion the starvation becomes visible. The paper's own Fig. 11
+// change has this property — the cancel branch never informs
+// logistics.
+func TestStrictCompletionExposesStarvation(t *testing.T) {
+	reg := paperrepro.Registry()
+	changedAcc, err := paperrepro.CancelChange().Apply(paperrepro.AccountingProcess())
+	if err != nil {
+		t.Fatal(err)
+	}
+	acc, err := mapping.Derive(changedAcc, reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buyer, err := mapping.Derive(paperrepro.Fig14BuyerProcess(), reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	logistics, err := mapping.Derive(paperrepro.LogisticsProcess(), reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parties := map[string]*afsa.Automaton{
+		paperrepro.Buyer:      buyer.Automaton,
+		paperrepro.Accounting: acc.Automaton,
+		paperrepro.Logistics:  logistics.Automaton,
+	}
+
+	sys, err := NewSystem(parties)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res := sys.Explore(0); !res.DeadlockFree() {
+		t.Fatalf("lenient completion should accept the propagated choreography: %v", res.Failures)
+	}
+
+	sys.StrictCompletion = true
+	res := sys.Explore(0)
+	if res.DeadlockFree() {
+		t.Fatal("strict completion should flag the logistics starvation on the cancel path")
+	}
+	// The stuck trace ends after order·cancel.
+	foundCancelTrace := false
+	for _, f := range res.Failures {
+		if f.Kind == FailureStuck && len(f.Trace) == 2 && f.Trace[1] == lbl("A#B#cancelOp") {
+			foundCancelTrace = true
+		}
+	}
+	if !foundCancelTrace {
+		t.Fatalf("expected a stuck trace ending in cancel, got %v", res.Failures)
+	}
+}

@@ -1,0 +1,205 @@
+// Package version implements the schema-version management the paper
+// names as a requirement for long-running choreographies (Sec. 8:
+// "The co-existence of different versions of a process choreography is
+// a must in this context. For long-running choreographies, in
+// addition, change propagation to already running instances is highly
+// desirable.").
+//
+// Each party keeps a linear-or-branching history of process versions
+// (private process + derived public process). Running instances are
+// pinned to the version they started on; MigrateAll moves every
+// instance that satisfies the compliance criterion (package instance)
+// to a newer version and leaves the rest co-existing on their old
+// versions — the ADEPT-style controlled migration of refs [10, 11, 12]
+// lifted to public processes.
+package version
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/afsa"
+	"repro/internal/bpel"
+	"repro/internal/instance"
+)
+
+// ID identifies a version within one party's history.
+type ID int
+
+// None marks the absence of a version (the root's parent).
+const None ID = -1
+
+// Version is one schema version of a party.
+type Version struct {
+	ID ID
+	// Parent is the version this one was derived from (None for the
+	// initial version).
+	Parent ID
+	// Comment describes the change that produced this version.
+	Comment string
+	// Private is the BPEL process of this version.
+	Private *bpel.Process
+	// Public is the derived public process.
+	Public *afsa.Automaton
+}
+
+// History is the version tree of one party.
+type History struct {
+	Party    string
+	versions []Version
+}
+
+// NewHistory starts a history with the initial version (ID 0).
+func NewHistory(party string, private *bpel.Process, public *afsa.Automaton) (*History, error) {
+	if party == "" || private == nil || public == nil {
+		return nil, fmt.Errorf("version: history needs party, private and public process")
+	}
+	h := &History{Party: party}
+	h.versions = append(h.versions, Version{
+		ID: 0, Parent: None, Comment: "initial", Private: private.Clone(), Public: public,
+	})
+	return h, nil
+}
+
+// Add appends a new version derived from parent and returns its ID.
+func (h *History) Add(parent ID, comment string, private *bpel.Process, public *afsa.Automaton) (ID, error) {
+	if _, err := h.Version(parent); err != nil {
+		return None, err
+	}
+	if private == nil || public == nil {
+		return None, fmt.Errorf("version: new version needs private and public process")
+	}
+	id := ID(len(h.versions))
+	h.versions = append(h.versions, Version{
+		ID: id, Parent: parent, Comment: comment, Private: private.Clone(), Public: public,
+	})
+	return id, nil
+}
+
+// Version returns a version by ID.
+func (h *History) Version(id ID) (Version, error) {
+	if id < 0 || int(id) >= len(h.versions) {
+		return Version{}, fmt.Errorf("version: party %q has no version %d", h.Party, id)
+	}
+	return h.versions[id], nil
+}
+
+// Latest returns the most recently added version.
+func (h *History) Latest() Version { return h.versions[len(h.versions)-1] }
+
+// Len returns the number of versions.
+func (h *History) Len() int { return len(h.versions) }
+
+// Lineage returns the version IDs from the root to id.
+func (h *History) Lineage(id ID) ([]ID, error) {
+	var rev []ID
+	for id != None {
+		v, err := h.Version(id)
+		if err != nil {
+			return nil, err
+		}
+		rev = append(rev, v.ID)
+		id = v.Parent
+	}
+	out := make([]ID, len(rev))
+	for i, v := range rev {
+		out[len(rev)-1-i] = v
+	}
+	return out, nil
+}
+
+// PinnedInstance is a running instance bound to a schema version.
+type PinnedInstance struct {
+	Instance instance.Instance
+	Version  ID
+}
+
+// Manager tracks one party's history together with its running
+// instances.
+type Manager struct {
+	History   *History
+	instances map[string]*PinnedInstance
+}
+
+// NewManager wraps a history.
+func NewManager(h *History) *Manager {
+	return &Manager{History: h, instances: map[string]*PinnedInstance{}}
+}
+
+// Start registers a running instance on a version.
+func (m *Manager) Start(inst instance.Instance, v ID) error {
+	if _, err := m.History.Version(v); err != nil {
+		return err
+	}
+	if _, dup := m.instances[inst.ID]; dup {
+		return fmt.Errorf("version: instance %q already registered", inst.ID)
+	}
+	m.instances[inst.ID] = &PinnedInstance{Instance: inst, Version: v}
+	return nil
+}
+
+// InstanceCount returns the number of registered instances.
+func (m *Manager) InstanceCount() int { return len(m.instances) }
+
+// OnVersion returns the IDs of instances pinned to v, sorted.
+func (m *Manager) OnVersion(v ID) []string {
+	var out []string
+	for id, p := range m.instances {
+		if p.Version == v {
+			out = append(out, id)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// MigrationOutcome summarizes one MigrateAll run.
+type MigrationOutcome struct {
+	Target ID
+	// Migrated instances now run on Target.
+	Migrated int
+	// Remaining instances stay on their previous versions
+	// (co-existence), keyed by reason.
+	RemainingNonReplayable int
+	RemainingUnviable      int
+	// PerVersion counts instances per version after the run.
+	PerVersion map[ID]int
+}
+
+// MigrateAll attempts to move every instance pinned to a version other
+// than target onto target, using the compliance criterion of package
+// instance. Non-compliant instances keep running on their old version.
+func (m *Manager) MigrateAll(target ID) (*MigrationOutcome, error) {
+	tv, err := m.History.Version(target)
+	if err != nil {
+		return nil, err
+	}
+	out := &MigrationOutcome{Target: target, PerVersion: map[ID]int{}}
+	ids := make([]string, 0, len(m.instances))
+	for id := range m.instances {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	for _, id := range ids {
+		p := m.instances[id]
+		if p.Version == target {
+			out.PerVersion[target]++
+			continue
+		}
+		st, err := instance.Check(p.Instance, tv.Public)
+		if err != nil {
+			return nil, fmt.Errorf("version: instance %q: %w", id, err)
+		}
+		switch st {
+		case instance.Migratable:
+			p.Version = target
+			out.Migrated++
+		case instance.NonReplayable:
+			out.RemainingNonReplayable++
+		case instance.Unviable:
+			out.RemainingUnviable++
+		}
+		out.PerVersion[p.Version]++
+	}
+	return out, nil
+}

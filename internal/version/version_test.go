@@ -1,0 +1,146 @@
+package version
+
+import (
+	"testing"
+
+	"repro/internal/instance"
+	"repro/internal/mapping"
+	"repro/internal/paperrepro"
+)
+
+func buyerHistory(t *testing.T) (*History, ID) {
+	t.Helper()
+	reg := paperrepro.Registry()
+	v0, err := mapping.Derive(paperrepro.BuyerProcess(), reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := NewHistory(paperrepro.Buyer, paperrepro.BuyerProcess(), v0.Automaton)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bounded, err := mapping.Derive(paperrepro.Fig18BuyerProcess(), reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v1, err := h.Add(0, "bound tracking to one round (Sec. 5.3 propagation)",
+		paperrepro.Fig18BuyerProcess(), bounded.Automaton)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return h, v1
+}
+
+func TestHistoryBasics(t *testing.T) {
+	h, v1 := buyerHistory(t)
+	if h.Len() != 2 {
+		t.Fatalf("Len = %d", h.Len())
+	}
+	if h.Latest().ID != v1 {
+		t.Fatal("Latest wrong")
+	}
+	root, err := h.Version(0)
+	if err != nil || root.Parent != None || root.Comment != "initial" {
+		t.Fatalf("root = %+v, %v", root, err)
+	}
+	if _, err := h.Version(99); err == nil {
+		t.Fatal("bogus version accepted")
+	}
+	lineage, err := h.Lineage(v1)
+	if err != nil || len(lineage) != 2 || lineage[0] != 0 || lineage[1] != v1 {
+		t.Fatalf("lineage = %v, %v", lineage, err)
+	}
+}
+
+func TestHistoryValidation(t *testing.T) {
+	if _, err := NewHistory("", nil, nil); err == nil {
+		t.Fatal("invalid history accepted")
+	}
+	h, _ := buyerHistory(t)
+	if _, err := h.Add(99, "x", paperrepro.BuyerProcess(), h.Latest().Public); err == nil {
+		t.Fatal("bogus parent accepted")
+	}
+	if _, err := h.Add(0, "x", nil, nil); err == nil {
+		t.Fatal("nil version content accepted")
+	}
+}
+
+func TestBranchingHistory(t *testing.T) {
+	h, _ := buyerHistory(t)
+	reg := paperrepro.Registry()
+	alt, err := mapping.Derive(paperrepro.Fig14BuyerProcess(), reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Branch a second child off the root.
+	v2, err := h.Add(0, "accept cancel messages (Sec. 5.2 propagation)",
+		paperrepro.Fig14BuyerProcess(), alt.Automaton)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lineage, err := h.Lineage(v2)
+	if err != nil || len(lineage) != 2 || lineage[0] != 0 {
+		t.Fatalf("branch lineage = %v", lineage)
+	}
+}
+
+func TestManagerMigrateAll(t *testing.T) {
+	h, v1 := buyerHistory(t)
+	m := NewManager(h)
+
+	// Instances running on v0.
+	root, _ := h.Version(0)
+	instances := instance.SampleInstances(root.Public, 7, 300, 10)
+	for _, inst := range instances {
+		if err := m.Start(inst, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if m.InstanceCount() != 300 {
+		t.Fatalf("count = %d", m.InstanceCount())
+	}
+	if err := m.Start(instances[0], 0); err == nil {
+		t.Fatal("duplicate instance accepted")
+	}
+
+	out, err := m.MigrateAll(v1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Migrated == 0 {
+		t.Fatal("nothing migrated")
+	}
+	if out.RemainingNonReplayable == 0 {
+		t.Fatal("multi-round instances should be blocked")
+	}
+	// Co-existence: blocked instances stay on v0, migrated on v1.
+	if got := len(m.OnVersion(0)); got != out.RemainingNonReplayable+out.RemainingUnviable {
+		t.Fatalf("v0 residents = %d, want %d", got, out.RemainingNonReplayable+out.RemainingUnviable)
+	}
+	if got := len(m.OnVersion(v1)); got != out.Migrated {
+		t.Fatalf("v1 residents = %d, want %d", got, out.Migrated)
+	}
+	if out.PerVersion[0]+out.PerVersion[v1] != 300 {
+		t.Fatalf("per-version accounting broken: %v", out.PerVersion)
+	}
+
+	// A second run is idempotent for already-migrated instances.
+	out2, err := m.MigrateAll(v1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out2.Migrated != 0 {
+		t.Fatalf("second run migrated %d", out2.Migrated)
+	}
+}
+
+func TestManagerValidation(t *testing.T) {
+	h, _ := buyerHistory(t)
+	m := NewManager(h)
+	if err := m.Start(instance.Instance{ID: "x"}, 42); err == nil {
+		t.Fatal("pin to bogus version accepted")
+	}
+	if _, err := m.MigrateAll(42); err == nil {
+		t.Fatal("migrate to bogus version accepted")
+	}
+}

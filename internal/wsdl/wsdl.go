@@ -1,0 +1,167 @@
+// Package wsdl models the slice of WSDL the paper relies on (Sec. 2):
+// port types grouping operations, the synchronous/asynchronous
+// distinction ("If an operation contains only one single input
+// message, it is considered to be asynchronous, otherwise the
+// operation is synchronous"), and partner link types associating the
+// two roles of a bilateral interaction.
+//
+// The registry is what BPEL validation and the BPEL→aFSA mapping
+// consult to find out which party owns an operation and whether an
+// invocation produces one message (asynchronous) or a request/response
+// pair (synchronous).
+package wsdl
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Operation is one operation of a port type. Input is always present
+// (every operation receives a message); an operation with Output set
+// is synchronous and answers with a response message.
+type Operation struct {
+	Name   string
+	Input  string // input message name (informational)
+	Output string // output message name; "" for asynchronous operations
+}
+
+// Sync reports whether the operation is synchronous (request/response).
+func (o Operation) Sync() bool { return o.Output != "" }
+
+// PortType groups the operations a party offers.
+type PortType struct {
+	Name       string
+	Owner      string // the party providing these operations
+	Operations []Operation
+}
+
+// Role is one side of a partner link type.
+type Role struct {
+	Name     string
+	PortType string
+}
+
+// PartnerLinkType associates two roles, as the paper's
+// partnerLinkType definitions do.
+type PartnerLinkType struct {
+	Name  string
+	Roles [2]Role
+}
+
+// Registry resolves (party, operation) pairs. It is the stand-in for
+// the WSDL documents the paper's BPEL processes refer to.
+type Registry struct {
+	portTypes    map[string]PortType // by name
+	byPartyOp    map[string]Operation
+	partnerLinks map[string]PartnerLinkType
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		portTypes:    map[string]PortType{},
+		byPartyOp:    map[string]Operation{},
+		partnerLinks: map[string]PartnerLinkType{},
+	}
+}
+
+func key(party, op string) string { return party + "\x00" + op }
+
+// AddPortType registers pt and all its operations under pt.Owner.
+// Re-registering an operation of the same party is an error.
+func (r *Registry) AddPortType(pt PortType) error {
+	if pt.Name == "" || pt.Owner == "" {
+		return fmt.Errorf("wsdl: port type needs name and owner (got %q/%q)", pt.Name, pt.Owner)
+	}
+	if _, dup := r.portTypes[pt.Name]; dup {
+		return fmt.Errorf("wsdl: duplicate port type %q", pt.Name)
+	}
+	for _, op := range pt.Operations {
+		if op.Name == "" {
+			return fmt.Errorf("wsdl: port type %q has an unnamed operation", pt.Name)
+		}
+		if _, dup := r.byPartyOp[key(pt.Owner, op.Name)]; dup {
+			return fmt.Errorf("wsdl: duplicate operation %q for party %q", op.Name, pt.Owner)
+		}
+	}
+	r.portTypes[pt.Name] = pt
+	for _, op := range pt.Operations {
+		r.byPartyOp[key(pt.Owner, op.Name)] = op
+	}
+	return nil
+}
+
+// AddOperation is a convenience that registers a single operation in a
+// synthetic port type named "<party>PT_<op>".
+func (r *Registry) AddOperation(party, op string, sync bool) error {
+	output := ""
+	if sync {
+		output = op + "Response"
+	}
+	return r.AddPortType(PortType{
+		Name:       party + "PT_" + op,
+		Owner:      party,
+		Operations: []Operation{{Name: op, Input: op + "Request", Output: output}},
+	})
+}
+
+// AddPartnerLinkType registers a partner link type.
+func (r *Registry) AddPartnerLinkType(plt PartnerLinkType) error {
+	if plt.Name == "" {
+		return fmt.Errorf("wsdl: partner link type needs a name")
+	}
+	if _, dup := r.partnerLinks[plt.Name]; dup {
+		return fmt.Errorf("wsdl: duplicate partner link type %q", plt.Name)
+	}
+	r.partnerLinks[plt.Name] = plt
+	return nil
+}
+
+// Lookup resolves an operation offered by party.
+func (r *Registry) Lookup(party, op string) (Operation, bool) {
+	o, ok := r.byPartyOp[key(party, op)]
+	return o, ok
+}
+
+// Sync reports whether (party, op) is registered as synchronous. An
+// unknown operation reports false.
+func (r *Registry) Sync(party, op string) bool {
+	o, ok := r.Lookup(party, op)
+	return ok && o.Sync()
+}
+
+// PortTypeNames returns the registered port type names, sorted.
+func (r *Registry) PortTypeNames() []string {
+	names := make([]string, 0, len(r.portTypes))
+	for n := range r.portTypes {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// PortTypeByName returns a registered port type.
+func (r *Registry) PortTypeByName(name string) (PortType, bool) {
+	pt, ok := r.portTypes[name]
+	return pt, ok
+}
+
+// PartnerLinkTypeByName returns a registered partner link type.
+func (r *Registry) PartnerLinkTypeByName(name string) (PartnerLinkType, bool) {
+	plt, ok := r.partnerLinks[name]
+	return plt, ok
+}
+
+// Parties returns the sorted list of parties owning any operation.
+func (r *Registry) Parties() []string {
+	seen := map[string]struct{}{}
+	for _, pt := range r.portTypes {
+		seen[pt.Owner] = struct{}{}
+	}
+	out := make([]string, 0, len(seen))
+	for p := range seen {
+		out = append(out, p)
+	}
+	sort.Strings(out)
+	return out
+}

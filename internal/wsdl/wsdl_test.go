@@ -1,0 +1,124 @@
+package wsdl
+
+import "testing"
+
+func TestOperationSync(t *testing.T) {
+	async := Operation{Name: "orderOp", Input: "order"}
+	if async.Sync() {
+		t.Fatal("input-only operation reported synchronous")
+	}
+	sync := Operation{Name: "getStatusLOp", Input: "req", Output: "resp"}
+	if !sync.Sync() {
+		t.Fatal("input+output operation reported asynchronous")
+	}
+}
+
+func TestRegistryAddAndLookup(t *testing.T) {
+	r := NewRegistry()
+	err := r.AddPortType(PortType{
+		Name:  "accBuyer",
+		Owner: "A",
+		Operations: []Operation{
+			{Name: "orderOp", Input: "order"},
+			{Name: "getStatusOp", Input: "get_status"},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	op, ok := r.Lookup("A", "orderOp")
+	if !ok || op.Name != "orderOp" {
+		t.Fatalf("Lookup = %v, %v", op, ok)
+	}
+	if _, ok := r.Lookup("B", "orderOp"); ok {
+		t.Fatal("operation leaked to wrong party")
+	}
+	if _, ok := r.Lookup("A", "nonexistent"); ok {
+		t.Fatal("unknown operation found")
+	}
+}
+
+func TestRegistryDuplicates(t *testing.T) {
+	r := NewRegistry()
+	pt := PortType{Name: "p", Owner: "A", Operations: []Operation{{Name: "x", Input: "x"}}}
+	if err := r.AddPortType(pt); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.AddPortType(pt); err == nil {
+		t.Fatal("duplicate port type accepted")
+	}
+	pt2 := PortType{Name: "p2", Owner: "A", Operations: []Operation{{Name: "x", Input: "x"}}}
+	if err := r.AddPortType(pt2); err == nil {
+		t.Fatal("duplicate operation accepted")
+	}
+}
+
+func TestRegistryValidation(t *testing.T) {
+	r := NewRegistry()
+	if err := r.AddPortType(PortType{Name: "", Owner: "A"}); err == nil {
+		t.Fatal("unnamed port type accepted")
+	}
+	if err := r.AddPortType(PortType{Name: "x", Owner: ""}); err == nil {
+		t.Fatal("ownerless port type accepted")
+	}
+	if err := r.AddPortType(PortType{Name: "y", Owner: "A", Operations: []Operation{{}}}); err == nil {
+		t.Fatal("unnamed operation accepted")
+	}
+}
+
+func TestAddOperationConvenience(t *testing.T) {
+	r := NewRegistry()
+	if err := r.AddOperation("L", "getStatusLOp", true); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.AddOperation("L", "terminateLOp", false); err != nil {
+		t.Fatal(err)
+	}
+	if !r.Sync("L", "getStatusLOp") {
+		t.Fatal("sync flag lost")
+	}
+	if r.Sync("L", "terminateLOp") {
+		t.Fatal("async operation reported sync")
+	}
+	if r.Sync("L", "unknownOp") {
+		t.Fatal("unknown operation reported sync")
+	}
+}
+
+func TestPartnerLinkTypes(t *testing.T) {
+	r := NewRegistry()
+	plt := PartnerLinkType{
+		Name:  "accBuyerLT",
+		Roles: [2]Role{{Name: "accounting", PortType: "accBuyer"}, {Name: "buyer", PortType: "buyer"}},
+	}
+	if err := r.AddPartnerLinkType(plt); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.AddPartnerLinkType(plt); err == nil {
+		t.Fatal("duplicate partner link type accepted")
+	}
+	got, ok := r.PartnerLinkTypeByName("accBuyerLT")
+	if !ok || got.Roles[0].Name != "accounting" {
+		t.Fatalf("PartnerLinkTypeByName = %v, %v", got, ok)
+	}
+	if err := r.AddPartnerLinkType(PartnerLinkType{}); err == nil {
+		t.Fatal("unnamed partner link type accepted")
+	}
+}
+
+func TestPartiesAndPortTypeNames(t *testing.T) {
+	r := NewRegistry()
+	_ = r.AddOperation("B", "deliveryOp", false)
+	_ = r.AddOperation("A", "orderOp", false)
+	parties := r.Parties()
+	if len(parties) != 2 || parties[0] != "A" || parties[1] != "B" {
+		t.Fatalf("Parties = %v", parties)
+	}
+	names := r.PortTypeNames()
+	if len(names) != 2 {
+		t.Fatalf("PortTypeNames = %v", names)
+	}
+	if _, ok := r.PortTypeByName(names[0]); !ok {
+		t.Fatal("PortTypeByName failed for listed name")
+	}
+}

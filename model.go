@@ -1,0 +1,106 @@
+package choreo
+
+import (
+	"repro/internal/bpel"
+	"repro/internal/wsdl"
+)
+
+// BPEL process model (paper Sec. 2). The types alias the internal
+// implementation so they can be constructed directly; see the package
+// documentation for an example.
+type (
+	// Process is a private BPEL process: a name, the owning party and
+	// a tree of activities.
+	Process = bpel.Process
+	// Activity is a node of the process tree.
+	Activity = bpel.Activity
+	// Path addresses an activity as the sequence of "Kind:Name"
+	// elements from the root block (the paper's mapping-table rows).
+	Path = bpel.Path
+	// ActivityKind discriminates activity types.
+	ActivityKind = bpel.Kind
+
+	// Sequence executes its children in order.
+	Sequence = bpel.Sequence
+	// Flow executes its branches in parallel.
+	Flow = bpel.Flow
+	// Switch is a data-driven (internal) choice.
+	Switch = bpel.Switch
+	// Case is one branch of a Switch.
+	Case = bpel.Case
+	// Pick is a message-driven (external) choice.
+	Pick = bpel.Pick
+	// OnMessage is one branch of a Pick.
+	OnMessage = bpel.OnMessage
+	// While repeats its body; the conditions "1 = 1" and "true" mark
+	// the paper's non-terminating loops.
+	While = bpel.While
+	// Scope groups a single child.
+	Scope = bpel.Scope
+	// Receive waits for a partner message.
+	Receive = bpel.Receive
+	// Reply answers a synchronous operation.
+	Reply = bpel.Reply
+	// Invoke calls a partner operation (Sync expands to a
+	// request/response pair in the public process).
+	Invoke = bpel.Invoke
+	// Assign manipulates variables (invisible to partners).
+	Assign = bpel.Assign
+	// Empty does nothing.
+	Empty = bpel.Empty
+	// Terminate ends the process instance.
+	Terminate = bpel.Terminate
+	// PartnerLink documents a bilateral interaction.
+	PartnerLink = bpel.PartnerLink
+)
+
+// Activity kinds.
+const (
+	KindSequence  = bpel.KindSequence
+	KindFlow      = bpel.KindFlow
+	KindSwitch    = bpel.KindSwitch
+	KindPick      = bpel.KindPick
+	KindWhile     = bpel.KindWhile
+	KindScope     = bpel.KindScope
+	KindReceive   = bpel.KindReceive
+	KindReply     = bpel.KindReply
+	KindInvoke    = bpel.KindInvoke
+	KindAssign    = bpel.KindAssign
+	KindEmpty     = bpel.KindEmpty
+	KindTerminate = bpel.KindTerminate
+)
+
+// Element renders the path element of an activity ("Sequence:buyer
+// process").
+func Element(a Activity) string { return bpel.Element(a) }
+
+// Children returns the nested activities of a structured activity.
+func Children(a Activity) []Activity { return bpel.Children(a) }
+
+// Walk visits the activity tree in document order.
+func Walk(a Activity, fn func(act Activity, path Path) bool) { bpel.Walk(a, fn) }
+
+// MarshalProcessXML renders a process in BPEL-flavored XML.
+func MarshalProcessXML(p *Process) ([]byte, error) { return bpel.MarshalXML(p) }
+
+// UnmarshalProcessXML parses the XML produced by MarshalProcessXML.
+func UnmarshalProcessXML(data []byte) (*Process, error) { return bpel.UnmarshalXML(data) }
+
+// WSDL subset (paper Sec. 2): operations, port types and the
+// synchronous/asynchronous distinction.
+type (
+	// Registry resolves (party, operation) pairs.
+	Registry = wsdl.Registry
+	// Operation is one operation of a port type; Output non-empty
+	// means synchronous.
+	Operation = wsdl.Operation
+	// PortType groups the operations a party offers.
+	PortType = wsdl.PortType
+	// PartnerLinkType associates the two roles of an interaction.
+	PartnerLinkType = wsdl.PartnerLinkType
+	// Role is one side of a PartnerLinkType.
+	Role = wsdl.Role
+)
+
+// NewRegistry returns an empty WSDL registry.
+func NewRegistry() *Registry { return wsdl.NewRegistry() }
