@@ -9,6 +9,8 @@ package choreo
 import (
 	"fmt"
 	"math/rand"
+	"net/http/httptest"
+	"sync/atomic"
 	"testing"
 
 	"repro/internal/afsa"
@@ -20,6 +22,8 @@ import (
 	"repro/internal/mapping"
 	"repro/internal/paperrepro"
 	"repro/internal/runtime"
+	"repro/internal/server"
+	"repro/internal/store"
 )
 
 // ---- E-F5: Fig. 5 intersection + annotated emptiness ----
@@ -722,3 +726,126 @@ func BenchmarkVersionMigrateAll(b *testing.B) {
 
 // ---- D-7 lives in criterion_test.go (a correctness experiment, not a
 // timing benchmark). ----
+
+// ---- D-8: the choreod serving layer (internal/store + internal/server) ----
+
+// benchStoreFromGen loads n generated two-party choreographies into a
+// fresh store (the service's synthetic tenant population).
+func benchStoreFromGen(b *testing.B, n int) *store.Store {
+	b.Helper()
+	st := store.New(0)
+	p := gen.Params{PartyA: "A", PartyB: "B", Messages: 12, MaxDepth: 3, ChoiceProb: 30, MaxBranch: 3}
+	for i := 0; i < n; i++ {
+		conv, err := gen.Generate(int64(i+1), p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		id := fmt.Sprintf("tenant-%03d", i)
+		if err := st.Create(id, nil); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := st.RegisterParty(id, conv.A); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := st.RegisterParty(id, conv.B); err != nil {
+			b.Fatal(err)
+		}
+	}
+	return st
+}
+
+// BenchmarkStoreCheckCachedVsUncached reports both paths side by side
+// as sub-benchmarks; the ratio is the payoff of the consistency-result
+// cache.
+func BenchmarkStoreCheckCachedVsUncached(b *testing.B) {
+	b.Run("uncached", func(b *testing.B) {
+		st := benchStoreFromGen(b, 8)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := st.CheckUncached(fmt.Sprintf("tenant-%03d", i%8)); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("cached", func(b *testing.B) {
+		st := benchStoreFromGen(b, 8)
+		for i := 0; i < 8; i++ {
+			if _, err := st.Check(fmt.Sprintf("tenant-%03d", i)); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := st.Check(fmt.Sprintf("tenant-%03d", i%8)); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkStoreParallelCheckEvolve drives parallel mixed traffic —
+// mostly consistency checks with occasional evolve→commit writes —
+// over generated choreographies, the workload choreod serves.
+func BenchmarkStoreParallelCheckEvolve(b *testing.B) {
+	const tenants = 16
+	st := benchStoreFromGen(b, tenants)
+	var seq atomic.Int64
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			n := seq.Add(1)
+			id := fmt.Sprintf("tenant-%03d", int(n)%tenants)
+			if n%20 == 0 {
+				snap, err := st.Snapshot(id)
+				if err != nil {
+					b.Fatal(err)
+				}
+				party, _ := snap.Party("A")
+				op, err := gen.RandomChange(n, party.Private, snap.Registry)
+				if err != nil {
+					continue
+				}
+				evo, err := st.Evolve(id, "A", op)
+				if err != nil {
+					continue
+				}
+				_, _ = st.CommitEvolution(evo) // conflicts expected under contention
+			} else if _, err := st.Check(id); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkChoreodHTTPCheck measures a full client→HTTP→store check
+// round trip on the paper scenario, with concurrent clients.
+func BenchmarkChoreodHTTPCheck(b *testing.B) {
+	srv := server.New(store.New(0))
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	c := server.NewClient(ts.URL, ts.Client())
+	if err := c.CreateChoreography("p", []string{"L.getStatusLOp"}); err != nil {
+		b.Fatal(err)
+	}
+	for _, proc := range []*Process{paperrepro.BuyerProcess(), paperrepro.AccountingProcess(), paperrepro.LogisticsProcess()} {
+		if _, err := c.RegisterParty("p", proc); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			rep, err := c.Check("p")
+			if err != nil {
+				b.Fatal(err)
+			}
+			if !rep.Consistent {
+				b.Fatal("paper scenario inconsistent")
+			}
+		}
+	})
+}

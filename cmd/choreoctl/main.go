@@ -9,6 +9,7 @@
 //	                                              plan the propagation and print suggestions
 //	choreoctl simulate -in a.xml -in b.xml ... [-walks n]
 //	                                              execute the choreography
+//	choreoctl serve    [-addr :8080] [-shards n]  run the choreod HTTP service
 //
 // Processes are BPEL-flavored XML as produced by MarshalProcessXML;
 // operations referenced by the processes are registered implicitly
@@ -18,6 +19,8 @@ package main
 import (
 	"flag"
 	"fmt"
+	"log"
+	"net/http"
 	"os"
 	"strings"
 
@@ -44,6 +47,8 @@ func main() {
 		err = runPropagate(args)
 	case "simulate":
 		err = runSimulate(args)
+	case "serve":
+		err = runServe(args)
 	case "help", "-h", "--help":
 		usage()
 	default:
@@ -66,7 +71,8 @@ commands:
   check      check pairwise consistency of two or more processes
   classify   classify a change of one process against a partner
   propagate  plan the propagation of a variant change
-  simulate   execute a choreography (exhaustive + random walks)`)
+  simulate   execute a choreography (exhaustive + random walks)
+  serve      run the choreod HTTP service`)
 }
 
 // multiFlag collects repeated -in flags.
@@ -84,47 +90,10 @@ func loadProcess(path string) (*choreo.Process, error) {
 }
 
 // buildRegistry registers every operation the processes mention so the
-// derivation validates; sync flags mark synchronous operations.
+// derivation validates; sync flags mark synchronous operations. It is
+// the same inference the choreod service runs when parties register.
 func buildRegistry(procs []*choreo.Process, syncOps []string) (*choreo.Registry, error) {
-	reg := choreo.NewRegistry()
-	isSync := map[string]bool{}
-	for _, s := range syncOps {
-		isSync[s] = true
-	}
-	seen := map[string]bool{}
-	add := func(owner, op string) error {
-		key := owner + "." + op
-		if seen[key] {
-			return nil
-		}
-		seen[key] = true
-		return reg.AddOperation(owner, op, isSync[key])
-	}
-	var err error
-	for _, p := range procs {
-		owner := p.Owner
-		choreo.Walk(p.Body, func(a choreo.Activity, _ choreo.Path) bool {
-			if err != nil {
-				return false
-			}
-			switch t := a.(type) {
-			case *choreo.Receive:
-				err = add(owner, t.Op)
-			case *choreo.Reply:
-				err = add(owner, t.Op)
-			case *choreo.Invoke:
-				err = add(t.Partner, t.Op)
-			case *choreo.Pick:
-				for _, b := range t.Branches {
-					if err == nil {
-						err = add(owner, b.Op)
-					}
-				}
-			}
-			return err == nil
-		})
-	}
-	return reg, err
+	return choreo.InferRegistry(procs, syncOps)
 }
 
 func runDerive(args []string) error {
@@ -349,6 +318,19 @@ func runPropagate(args []string) error {
 		}
 	}
 	return nil
+}
+
+// runServe starts the choreod HTTP service: a sharded, cache-aware
+// choreography store behind the JSON API of internal/server.
+func runServe(args []string) error {
+	fs := flag.NewFlagSet("serve", flag.ExitOnError)
+	addr := fs.String("addr", ":8080", "listen address")
+	shards := fs.Int("shards", 0, "store shard count (0 = default)")
+	fs.Parse(args)
+	st := choreo.NewChoreographyStore(*shards)
+	srv := choreo.NewChoreoServer(st)
+	log.Printf("choreod listening on %s", *addr)
+	return http.ListenAndServe(*addr, srv.Handler())
 }
 
 func runSimulate(args []string) error {

@@ -49,4 +49,32 @@
 // procurement scenario end to end, including both propagation
 // scenarios (Secs. 5.2 and 5.3), service discovery and instance
 // migration.
+//
+// # Service layer (choreod)
+//
+// Beyond the in-process library, the framework runs as a long-lived
+// service that owns choreography state and serves concurrent
+// check/evolve/migrate traffic:
+//
+//	st  := choreo.NewChoreographyStore(0)      // sharded COW store
+//	srv := choreo.NewChoreoServer(st)          // JSON HTTP API
+//	http.ListenAndServe(":8080", srv.Handler())
+//
+// or, from the command line, "choreoctl serve". The store
+// (ChoreographyStore) keeps every choreography behind an atomically
+// published copy-on-write snapshot: readers proceed without locks,
+// writers commit under optimistic concurrency (ErrStoreConflict when
+// the analyzed base version is stale). The expensive aFSA work is
+// amortized across requests — bilateral views are memoized per party
+// version and bilateral-consistency results are cached keyed by the
+// two party versions, so a commit invalidates exactly the pairs the
+// changed party touches.
+//
+// The HTTP API mirrors the library's evolution loop: register parties
+// (BPEL XML), check, evolve (returns classification, propagation
+// plans and partner suggestions as a pending evolution), commit,
+// apply suggestions to partners, instance-migration what-ifs, and
+// consistency-based discovery. ChoreoClient is the typed Go client;
+// see internal/server for the wire types and README.md for curl
+// examples.
 package choreo

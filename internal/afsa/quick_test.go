@@ -1,7 +1,9 @@
 package afsa
 
 import (
+	"flag"
 	"math/rand"
+	"strconv"
 	"testing"
 	"testing/quick"
 
@@ -11,6 +13,31 @@ import (
 // Property-based tests over seeded random automata. testing/quick
 // drives the seeds; the automata are rebuilt deterministically from
 // them so failures are reproducible.
+//
+// Iteration counts are tiered so the default suite finishes in
+// seconds: -short runs a smoke fraction, and testing/quick's own
+// -quickchecks flag (default 100) scales every count proportionally —
+// `go test -quickchecks 1000 ./internal/afsa` is the deep soak for
+// hunting rare seeds.
+
+// quickCount scales a per-test default by -quickchecks/100, divides
+// by 10 under -short, and never returns less than one iteration.
+func quickCount(def int) int {
+	n := 100
+	if f := flag.Lookup("quickchecks"); f != nil {
+		if v, err := strconv.Atoi(f.Value.String()); err == nil {
+			n = v
+		}
+	}
+	count := def * n / 100
+	if testing.Short() {
+		count /= 10
+	}
+	if count < 1 {
+		count = 1
+	}
+	return count
+}
 
 func dfaFromSeed(seed int64, states int) *Automaton {
 	if states < 1 {
@@ -20,7 +47,7 @@ func dfaFromSeed(seed int64, states int) *Automaton {
 }
 
 func quickCfg() *quick.Config {
-	return &quick.Config{MaxCount: 30}
+	return &quick.Config{MaxCount: quickCount(30)}
 }
 
 // Intersection is commutative on languages.
@@ -180,13 +207,16 @@ func TestQuickCompletePreservesLanguage(t *testing.T) {
 	}
 }
 
-// Shuffle is commutative on languages.
+// Shuffle is commutative on languages. The shuffle product squares
+// the state count and SameLanguage determinizes both sides, so each
+// iteration costs ~0.5s; the default count keeps the whole package
+// under a few seconds (raise it with -quickchecks for a soak).
 func TestQuickShuffleCommutative(t *testing.T) {
 	f := func(s1, s2 int64) bool {
 		a, b := dfaFromSeed(s1, 3), dfaFromSeed(s2, 3)
 		return SameLanguage(a.Shuffle(b), b.Shuffle(a))
 	}
-	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+	if err := quick.Check(f, &quick.Config{MaxCount: quickCount(4)}); err != nil {
 		t.Error(err)
 	}
 }

@@ -1,0 +1,273 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+
+	"repro/internal/bpel"
+)
+
+// Client is a thin typed client for the choreod HTTP API. The zero
+// value is unusable; use NewClient.
+type Client struct {
+	base string
+	http *http.Client
+}
+
+// NewClient returns a client for the service at base (e.g.
+// "http://localhost:8080"). httpClient may be nil for
+// http.DefaultClient.
+func NewClient(base string, httpClient *http.Client) *Client {
+	if httpClient == nil {
+		httpClient = http.DefaultClient
+	}
+	return &Client{base: base, http: httpClient}
+}
+
+// seg escapes one path segment (choreography IDs, party names and
+// evolution IDs are caller-chosen strings).
+func seg(s string) string { return url.PathEscape(s) }
+
+// APIError is a non-2xx response.
+type APIError struct {
+	Status  int
+	Message string
+}
+
+func (e *APIError) Error() string {
+	return fmt.Sprintf("server: HTTP %d: %s", e.Status, e.Message)
+}
+
+func (c *Client) do(method, path string, in, out any) error {
+	var body io.Reader
+	if in != nil {
+		data, err := json.Marshal(in)
+		if err != nil {
+			return err
+		}
+		body = bytes.NewReader(data)
+	}
+	req, err := http.NewRequest(method, c.base+path, body)
+	if err != nil {
+		return err
+	}
+	if in != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode >= 300 {
+		var apiErr ErrorResponse
+		msg := resp.Status
+		if err := json.NewDecoder(resp.Body).Decode(&apiErr); err == nil && apiErr.Error != "" {
+			msg = apiErr.Error
+		}
+		return &APIError{Status: resp.StatusCode, Message: msg}
+	}
+	if out == nil {
+		_, _ = io.Copy(io.Discard, resp.Body)
+		return nil
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+// CreateChoreography creates an empty choreography; sync lists
+// "party.op" synchronous operations.
+func (c *Client) CreateChoreography(id string, sync []string) error {
+	return c.do("POST", "/v1/choreographies", CreateRequest{ID: id, Sync: sync}, nil)
+}
+
+// Choreographies lists the stored choreography IDs.
+func (c *Client) Choreographies() ([]string, error) {
+	var out struct {
+		Choreographies []string `json:"choreographies"`
+	}
+	if err := c.do("GET", "/v1/choreographies", nil, &out); err != nil {
+		return nil, err
+	}
+	return out.Choreographies, nil
+}
+
+// Choreography fetches one choreography summary.
+func (c *Client) Choreography(id string) (*ChoreographyInfo, error) {
+	var out ChoreographyInfo
+	if err := c.do("GET", "/v1/choreographies/"+seg(id), nil, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// RegisterParty registers a private process (serialized to XML on the
+// wire).
+func (c *Client) RegisterParty(id string, p *bpel.Process) (*PartyInfo, error) {
+	data, err := bpel.MarshalXML(p)
+	if err != nil {
+		return nil, err
+	}
+	return c.RegisterPartyXML(id, string(data))
+}
+
+// RegisterPartyXML registers a private process given as BPEL XML.
+func (c *Client) RegisterPartyXML(id, xml string) (*PartyInfo, error) {
+	var out PartyInfo
+	if err := c.do("POST", "/v1/choreographies/"+seg(id)+"/parties", PartyRequest{XML: xml}, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Party fetches one party (including its private process XML).
+func (c *Client) Party(id, party string) (*PartyInfo, error) {
+	var out PartyInfo
+	if err := c.do("GET", "/v1/choreographies/"+seg(id)+"/parties/"+seg(party), nil, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// UpdateParty replaces a party's private process outright.
+func (c *Client) UpdateParty(id string, p *bpel.Process) (*PartyInfo, error) {
+	data, err := bpel.MarshalXML(p)
+	if err != nil {
+		return nil, err
+	}
+	var out PartyInfo
+	err = c.do("PUT", "/v1/choreographies/"+seg(id)+"/parties/"+seg(p.Owner), PartyRequest{XML: string(data)}, &out)
+	if err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Check runs the pairwise consistency check.
+func (c *Client) Check(id string) (*CheckResponse, error) {
+	var out CheckResponse
+	if err := c.do("POST", "/v1/choreographies/"+seg(id)+"/check", struct{}{}, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Evolve submits a party's proposed new private process for analysis.
+func (c *Client) Evolve(id string, p *bpel.Process) (*EvolveResponse, error) {
+	data, err := bpel.MarshalXML(p)
+	if err != nil {
+		return nil, err
+	}
+	var out EvolveResponse
+	err = c.do("POST", "/v1/choreographies/"+seg(id)+"/evolve",
+		EvolveRequest{Party: p.Owner, XML: string(data)}, &out)
+	if err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Evolution re-fetches a pending evolution analysis.
+func (c *Client) Evolution(evoID string) (*EvolveResponse, error) {
+	var out EvolveResponse
+	if err := c.do("GET", "/v1/evolutions/"+seg(evoID), nil, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Commit publishes a pending evolution (409 on version conflict).
+func (c *Client) Commit(evoID string) (*CommitResponse, error) {
+	var out CommitResponse
+	if err := c.do("POST", "/v1/evolutions/"+seg(evoID)+"/commit", struct{}{}, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Apply runs suggestions from a pending evolution on a partner; empty
+// indices mean every executable suggestion.
+func (c *Client) Apply(evoID, partner string, suggestions []int) (*CommitResponse, error) {
+	var out CommitResponse
+	err := c.do("POST", "/v1/evolutions/"+seg(evoID)+"/apply",
+		ApplyRequest{Partner: partner, Suggestions: suggestions}, &out)
+	if err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// SampleInstances records n seeded random-walk instances of a party.
+func (c *Client) SampleInstances(id, party string, seed int64, n, maxLen int) (int, error) {
+	var out struct {
+		Added int `json:"added"`
+	}
+	err := c.do("POST", "/v1/choreographies/"+seg(id)+"/parties/"+seg(party)+"/instances",
+		InstancesRequest{Sample: &SampleJSON{Seed: seed, N: n, MaxLen: maxLen}}, &out)
+	return out.Added, err
+}
+
+// AddInstances records explicit instance traces.
+func (c *Client) AddInstances(id, party string, insts []InstanceJSON) (int, error) {
+	var out struct {
+		Added int `json:"added"`
+	}
+	err := c.do("POST", "/v1/choreographies/"+seg(id)+"/parties/"+seg(party)+"/instances",
+		InstancesRequest{Instances: insts}, &out)
+	return out.Added, err
+}
+
+// Migrate classifies a party's recorded instances; evoID may be empty
+// (classify against the current schema) or name a pending evolution
+// (what-if before committing).
+func (c *Client) Migrate(id, party, evoID string) (*MigrateResponse, error) {
+	var out MigrateResponse
+	err := c.do("POST", "/v1/choreographies/"+seg(id)+"/parties/"+seg(party)+"/migrate",
+		MigrateRequest{Evolution: evoID}, &out)
+	if err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Publish publishes a party's public process for discovery; a
+// non-empty forParty publishes the bilateral view τ_forParty(party)
+// instead — the behavior the service exposes to that prospective
+// partner.
+func (c *Client) Publish(name, choreography, party, forParty string) error {
+	return c.do("POST", "/v1/discovery/publish",
+		PublishRequest{Name: name, Choreography: choreography, Party: party, For: forParty}, nil)
+}
+
+// Match queries discovery with a party's public process; matcher is
+// "consistent" (default) or "overlap".
+func (c *Client) Match(choreography, party, matcher string) ([]string, error) {
+	var out MatchResponse
+	err := c.do("POST", "/v1/discovery/match",
+		MatchRequest{Choreography: choreography, Party: party, Matcher: matcher}, &out)
+	if err != nil {
+		return nil, err
+	}
+	return out.Matches, nil
+}
+
+// View fetches the bilateral view τ_forParty(of) rendered as text.
+func (c *Client) View(id, of, forParty string) (string, error) {
+	var out struct {
+		View string `json:"view"`
+	}
+	err := c.do("GET", "/v1/choreographies/"+seg(id)+"/parties/"+seg(of)+"/view?for="+url.QueryEscape(forParty), nil, &out)
+	return out.View, err
+}
+
+// Stats fetches server counters.
+func (c *Client) Stats() (*StatsResponse, error) {
+	var out StatsResponse
+	if err := c.do("GET", "/v1/stats", nil, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}

@@ -1,0 +1,336 @@
+package store
+
+import (
+	"fmt"
+
+	"repro/internal/afsa"
+	"repro/internal/bpel"
+	"repro/internal/change"
+	"repro/internal/core"
+	"repro/internal/instance"
+	"repro/internal/label"
+	"repro/internal/mapping"
+	"repro/internal/wsdl"
+)
+
+// PartnerImpact describes the effect of an analyzed change on one
+// partner (mirrors the paper's Fig. 4 loop: classification, plans,
+// suggestions).
+type PartnerImpact struct {
+	Partner string
+	// ViewChanged reports whether the partner's view of the originator
+	// changed at all; when false nothing else is set.
+	ViewChanged bool
+	// Classification is the two-dimensional classification (Defs. 5/6).
+	Classification core.Classification
+	// OldView/NewView are the partner's views of the originator before
+	// and after the change.
+	OldView, NewView *afsa.Automaton
+	// Plans are the propagation plans (empty for invariant changes).
+	Plans []*core.Plan
+	// Suggestions are ready-to-review private adaptations per plan.
+	Suggestions []core.Suggestion
+}
+
+// Evolution is an analyzed-but-not-committed change: the outcome of
+// Evolve, pinned to the snapshot version it was computed against.
+// Committing it succeeds only while the choreography has not advanced
+// (optimistic concurrency).
+type Evolution struct {
+	// Choreography and BaseVersion pin the analysis to its snapshot.
+	Choreography string
+	BaseVersion  uint64
+	// Party is the change originator.
+	Party string
+	// Op is the analyzed operation.
+	Op change.Operation
+	// NewPrivate/NewPublic/NewTable are the originator's state after
+	// the change; Registry the re-inferred operation registry.
+	NewPrivate *bpel.Process
+	OldPublic  *afsa.Automaton
+	NewPublic  *afsa.Automaton
+	NewTable   mapping.Table
+	Registry   *wsdl.Registry
+	// PublicChanged reports whether the public process changed at all.
+	PublicChanged bool
+	Impacts       []PartnerImpact
+	// PartnerVersions records each partner's party version at analysis
+	// time: the propagation plans and suggestion paths are only valid
+	// against these versions (ApplyOps checks them).
+	PartnerVersions map[string]uint64
+}
+
+// NeedsPropagation reports whether any partner requires propagation.
+func (evo *Evolution) NeedsPropagation() bool {
+	for _, im := range evo.Impacts {
+		if im.ViewChanged && im.Classification.Scope == core.ScopeVariant {
+			return true
+		}
+	}
+	return false
+}
+
+// Impact returns the impact on one partner.
+func (evo *Evolution) Impact(partner string) (*PartnerImpact, bool) {
+	for i := range evo.Impacts {
+		if evo.Impacts[i].Partner == partner {
+			return &evo.Impacts[i], true
+		}
+	}
+	return nil, false
+}
+
+// Evolve analyzes the application of op to party's private process
+// against the current snapshot, without mutating anything: re-derive
+// the public view, classify per partner (Defs. 5/6), and for variant
+// changes compute propagation plans and adaptation suggestions
+// (Secs. 5.1–5.3). Concurrent Evolve calls on the same choreography
+// proceed in parallel; each works on the snapshot it loaded.
+func (s *Store) Evolve(id, party string, op change.Operation) (*Evolution, error) {
+	snap, err := s.Snapshot(id)
+	if err != nil {
+		return nil, err
+	}
+	return s.evolveSnapshot(snap, party, op)
+}
+
+func (s *Store) evolveSnapshot(snap *Snapshot, party string, op change.Operation) (*Evolution, error) {
+	s.evolutions.Add(1)
+	originator, ok := snap.parties[party]
+	if !ok {
+		return nil, fmt.Errorf("%w: party %q in choreography %q", ErrNotFound, party, snap.ID)
+	}
+	newPrivate, err := op.Apply(originator.Private)
+	if err != nil {
+		return nil, fmt.Errorf("store: applying %s: %w", op, err)
+	}
+	// The changed process may introduce operations the current
+	// registry has never seen (e.g. the paper's cancelOp), so the
+	// registry is re-inferred with the candidate process substituted.
+	reg, err := InferRegistry(snap.privates(newPrivate), snap.syncOps)
+	if err != nil {
+		return nil, err
+	}
+	res, err := mapping.Derive(newPrivate, reg)
+	if err != nil {
+		return nil, fmt.Errorf("store: deriving changed public process: %w", err)
+	}
+	evo := &Evolution{
+		Choreography:    snap.ID,
+		BaseVersion:     snap.Version,
+		Party:           party,
+		Op:              op,
+		NewPrivate:      newPrivate,
+		OldPublic:       originator.Public,
+		NewPublic:       res.Automaton,
+		NewTable:        res.Table,
+		Registry:        reg,
+		PartnerVersions: map[string]uint64{},
+	}
+	evo.PublicChanged = !afsa.Equivalent(originator.Public, res.Automaton)
+	if !evo.PublicChanged {
+		return evo, nil
+	}
+	for _, partnerName := range snap.PartnersOf(party) {
+		partner := snap.parties[partnerName]
+		evo.PartnerVersions[partnerName] = partner.Version
+		impact := PartnerImpact{Partner: partnerName}
+		impact.OldView = s.view(originator, partnerName)
+		impact.NewView = res.Automaton.View(partnerName)
+		impact.ViewChanged = !afsa.Equivalent(impact.OldView, impact.NewView)
+		if !impact.ViewChanged {
+			evo.Impacts = append(evo.Impacts, impact)
+			continue
+		}
+		partnerView := s.view(partner, party)
+		impact.Classification, err = core.Classify(impact.OldView, impact.NewView, partnerView)
+		if err != nil {
+			return nil, err
+		}
+		if impact.Classification.Scope == core.ScopeVariant {
+			if err := s.planPropagation(snap, party, partner, &impact); err != nil {
+				return nil, err
+			}
+		}
+		evo.Impacts = append(evo.Impacts, impact)
+	}
+	return evo, nil
+}
+
+// planPropagation runs steps 1–3 of Secs. 5.2/5.3 against a partner,
+// lifting the new view over the partner's foreign labels for
+// subtractive planning (third-party conversations are unconstrained by
+// this change).
+func (s *Store) planPropagation(snap *Snapshot, party string, partner *PartyState, impact *PartnerImpact) error {
+	foreign := label.NewSet()
+	for l := range partner.alphabet {
+		if !l.Involves(party) {
+			foreign.Add(l)
+		}
+	}
+	if impact.Classification.Kind.Additive() {
+		p, err := core.PlanAdditive(impact.NewView, partner.Public, partner.Table)
+		if err != nil {
+			return err
+		}
+		impact.Plans = append(impact.Plans, p)
+	}
+	if impact.Classification.Kind.Subtractive() {
+		view := impact.NewView
+		if len(foreign) > 0 {
+			view = core.LiftForeign(view, foreign)
+		}
+		p, err := core.PlanSubtractive(view, partner.Public, partner.Table)
+		if err != nil {
+			return err
+		}
+		impact.Plans = append(impact.Plans, p)
+	}
+	sugg := &core.Suggester{Private: partner.Private, Registry: snap.Registry}
+	for _, p := range impact.Plans {
+		impact.Suggestions = append(impact.Suggestions, sugg.Suggest(p)...)
+	}
+	return nil
+}
+
+// CommitEvolution publishes an analyzed evolution. It fails with
+// ErrConflict when the choreography advanced past evo.BaseVersion —
+// the caller re-runs Evolve against the fresh snapshot.
+func (s *Store) CommitEvolution(evo *Evolution) (*Snapshot, error) {
+	e, err := s.entry(evo.Choreography)
+	if err != nil {
+		return nil, err
+	}
+	e.commitMu.Lock()
+	defer e.commitMu.Unlock()
+	cur := e.snap.Load()
+	if cur.Version != evo.BaseVersion {
+		s.conflicts.Add(1)
+		return nil, fmt.Errorf("%w: choreography %q at version %d, evolution based on %d",
+			ErrConflict, evo.Choreography, cur.Version, evo.BaseVersion)
+	}
+	old := cur.parties[evo.Party]
+	next := cur.clone()
+	next.Version = cur.Version + 1
+	next.Registry = evo.Registry
+	next.parties[evo.Party] = newPartyState(evo.NewPrivate,
+		&mapping.Result{Automaton: evo.NewPublic, Table: evo.NewTable}, old.Version+1)
+	next.computePairs()
+	e.snap.Store(next)
+	s.commits.Add(1)
+	s.invalidatePairs(e, evo.Party)
+	return next, nil
+}
+
+// ApplyOps applies adaptation operations to a partner's private
+// process, re-derives and commits it (steps 4–5 of Secs. 5.2/5.3 —
+// explicit, since partner processes are autonomous). A non-zero
+// basePartyVersion guards against stale suggestions: the ops carry
+// activity paths computed against that version of the partner's
+// private process, so the commit fails with ErrConflict when the
+// partner has changed since (party versions start at 1; pass 0 to
+// skip the check).
+func (s *Store) ApplyOps(id, partner string, ops []change.Operation, basePartyVersion uint64) (*Snapshot, error) {
+	if len(ops) == 0 {
+		return nil, fmt.Errorf("store: no operations to apply")
+	}
+	e, err := s.entry(id)
+	if err != nil {
+		return nil, err
+	}
+	e.commitMu.Lock()
+	defer e.commitMu.Unlock()
+	cur := e.snap.Load()
+	ps, ok := cur.parties[partner]
+	if !ok {
+		return nil, fmt.Errorf("%w: party %q in choreography %q", ErrNotFound, partner, id)
+	}
+	if basePartyVersion != 0 && ps.Version != basePartyVersion {
+		s.conflicts.Add(1)
+		return nil, fmt.Errorf("%w: party %q at version %d, suggestions computed against %d",
+			ErrConflict, partner, ps.Version, basePartyVersion)
+	}
+	p := ps.Private
+	for _, op := range ops {
+		next, err := op.Apply(p)
+		if err != nil {
+			return nil, fmt.Errorf("store: adapting %s with %s: %w", partner, op, err)
+		}
+		p = next
+	}
+	next, err := s.rebuild(cur, p, false)
+	if err != nil {
+		return nil, err
+	}
+	e.snap.Store(next)
+	s.commits.Add(1)
+	s.invalidatePairs(e, partner)
+	return next, nil
+}
+
+// AddInstances records running conversations of a party.
+func (s *Store) AddInstances(id, party string, insts []instance.Instance) error {
+	e, err := s.entry(id)
+	if err != nil {
+		return err
+	}
+	if _, ok := e.snap.Load().parties[party]; !ok {
+		return fmt.Errorf("%w: party %q in choreography %q", ErrNotFound, party, id)
+	}
+	e.instMu.Lock()
+	e.instances[party] = append(e.instances[party], insts...)
+	e.instMu.Unlock()
+	return nil
+}
+
+// SampleInstances draws n seeded random-walk instances of party's
+// current public process, records and returns them.
+func (s *Store) SampleInstances(id, party string, seed int64, n, maxLen int) ([]instance.Instance, error) {
+	e, err := s.entry(id)
+	if err != nil {
+		return nil, err
+	}
+	ps, ok := e.snap.Load().parties[party]
+	if !ok {
+		return nil, fmt.Errorf("%w: party %q in choreography %q", ErrNotFound, party, id)
+	}
+	insts := instance.SampleInstances(ps.Public, seed, n, maxLen)
+	e.instMu.Lock()
+	e.instances[party] = append(e.instances[party], insts...)
+	e.instMu.Unlock()
+	return insts, nil
+}
+
+// Instances returns the recorded instances of a party.
+func (s *Store) Instances(id, party string) ([]instance.Instance, error) {
+	e, err := s.entry(id)
+	if err != nil {
+		return nil, err
+	}
+	e.instMu.Lock()
+	defer e.instMu.Unlock()
+	return append([]instance.Instance(nil), e.instances[party]...), nil
+}
+
+// Migrate classifies the recorded instances of party against candidate
+// (ADEPT-style compliance, Sec. 8). A nil candidate means the party's
+// current public process — useful after a commit; passing a pending
+// Evolution's NewPublic answers "what would break" before committing.
+func (s *Store) Migrate(id, party string, candidate *afsa.Automaton) (*instance.Report, error) {
+	e, err := s.entry(id)
+	if err != nil {
+		return nil, err
+	}
+	if candidate == nil {
+		ps, ok := e.snap.Load().parties[party]
+		if !ok {
+			return nil, fmt.Errorf("%w: party %q in choreography %q", ErrNotFound, party, id)
+		}
+		candidate = ps.Public
+	}
+	insts, err := s.Instances(id, party)
+	if err != nil {
+		return nil, err
+	}
+	return instance.Migrate(insts, candidate)
+}

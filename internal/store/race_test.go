@@ -1,0 +1,213 @@
+package store
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/paperrepro"
+)
+
+// Concurrency tests: meant to run under -race. They exercise parallel
+// check/evolve/read on the *same* choreography, proving snapshot
+// isolation (readers never see a torn state) and cache correctness
+// (cached answers always match a fresh recomputation).
+
+func TestConcurrentCheckEvolveRead(t *testing.T) {
+	s, id := paperStore(t)
+	const (
+		readers = 4
+		writers = 2
+		rounds  = 12
+	)
+	var readerWG, writerWG sync.WaitGroup
+	stop := make(chan struct{})
+	var fail atomic.Value // first error message
+
+	record := func(msg string) { fail.CompareAndSwap(nil, msg) }
+
+	// Readers: hammer Check and snapshot reads while writers commit.
+	for r := 0; r < readers; r++ {
+		readerWG.Add(1)
+		go func() {
+			defer readerWG.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				rep, err := s.Check(id)
+				if err != nil {
+					record("check: " + err.Error())
+					return
+				}
+				// A report must always cover both interacting pairs of
+				// the scenario, whatever version it observed.
+				if len(rep.Pairs) != 2 {
+					record("torn check report")
+					return
+				}
+				snap, err := s.Snapshot(id)
+				if err != nil {
+					record("snapshot: " + err.Error())
+					return
+				}
+				if snap.NumParties() != 3 {
+					record("torn snapshot")
+					return
+				}
+				for _, name := range snap.Parties() {
+					if _, err := s.View(id, name, "B"); err != nil {
+						record("view: " + err.Error())
+						return
+					}
+				}
+			}
+		}()
+	}
+
+	// Writers: alternate the accounting process between its original
+	// form and the cancel variant via evolve→commit, retrying on
+	// conflict (the optimistic-concurrency loop a real client runs).
+	var commits atomic.Uint64
+	for w := 0; w < writers; w++ {
+		writerWG.Add(1)
+		go func(seed int) {
+			defer writerWG.Done()
+			for i := 0; i < rounds; i++ {
+				snap, err := s.Snapshot(id)
+				if err != nil {
+					record(err.Error())
+					return
+				}
+				// Toggle: odd rounds restore the original process,
+				// even rounds introduce the cancel option.
+				if (i+seed)%2 != 0 {
+					if _, err := s.UpdateParty(id, paperrepro.AccountingProcess()); err != nil {
+						record(err.Error())
+						return
+					}
+					commits.Add(1)
+					continue
+				}
+				evo, err := s.evolveSnapshot(snap, paperrepro.Accounting, paperrepro.CancelChange())
+				if err != nil {
+					// The cancel change only applies to the original
+					// process shape; a concurrent writer may have
+					// switched it already. That is expected contention,
+					// not a bug.
+					continue
+				}
+				if _, err := s.CommitEvolution(evo); err != nil {
+					if errors.Is(err, ErrConflict) {
+						continue
+					}
+					record("commit: " + err.Error())
+					return
+				}
+				commits.Add(1)
+			}
+		}(w)
+	}
+
+	writerWG.Wait()
+	close(stop)
+	readerWG.Wait()
+	if msg := fail.Load(); msg != nil {
+		t.Fatal(msg)
+	}
+	if commits.Load() == 0 {
+		t.Fatal("no writer ever committed")
+	}
+	// Cached results must agree with fresh recomputation at the end.
+	cached, err := s.Check(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fresh, err := s.CheckUncached(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range cached.Pairs {
+		if cached.Pairs[i].Consistent != fresh.Pairs[i].Consistent {
+			t.Fatalf("cache poisoned: pair %s/%s cached=%v fresh=%v",
+				cached.Pairs[i].A, cached.Pairs[i].B,
+				cached.Pairs[i].Consistent, fresh.Pairs[i].Consistent)
+		}
+	}
+}
+
+// Parallel evolutions on one snapshot version: exactly one commit wins,
+// every other one conflicts, and the loser's analysis is still usable
+// for a retry.
+func TestConcurrentCommitSingleWinner(t *testing.T) {
+	s, id := paperStore(t)
+	const contenders = 8
+	evos := make([]*Evolution, contenders)
+	var wg sync.WaitGroup
+	for i := range evos {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			evo, err := s.Evolve(id, paperrepro.Accounting, paperrepro.OrderTwoChange())
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			evos[i] = evo
+		}(i)
+	}
+	wg.Wait()
+	var wins, conflicts atomic.Uint64
+	for i := range evos {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, err := s.CommitEvolution(evos[i])
+			switch {
+			case err == nil:
+				wins.Add(1)
+			case errors.Is(err, ErrConflict):
+				conflicts.Add(1)
+			default:
+				t.Error(err)
+			}
+		}(i)
+	}
+	wg.Wait()
+	if wins.Load() != 1 || conflicts.Load() != contenders-1 {
+		t.Fatalf("wins = %d, conflicts = %d, want 1/%d", wins.Load(), conflicts.Load(), contenders-1)
+	}
+}
+
+// Concurrent instance recording and migration on disjoint parties.
+func TestConcurrentInstances(t *testing.T) {
+	s, id := paperStore(t)
+	var wg sync.WaitGroup
+	for _, party := range []string{paperrepro.Buyer, paperrepro.Accounting, paperrepro.Logistics} {
+		wg.Add(1)
+		go func(party string) {
+			defer wg.Done()
+			for i := 0; i < 5; i++ {
+				if _, err := s.SampleInstances(id, party, int64(i), 10, 6); err != nil {
+					t.Error(err)
+					return
+				}
+				if _, err := s.Migrate(id, party, nil); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(party)
+	}
+	wg.Wait()
+	insts, err := s.Instances(id, paperrepro.Buyer)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(insts) != 50 {
+		t.Fatalf("buyer instances = %d, want 50", len(insts))
+	}
+}

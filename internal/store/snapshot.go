@@ -1,0 +1,202 @@
+package store
+
+import (
+	"sort"
+	"sync"
+
+	"repro/internal/afsa"
+	"repro/internal/bpel"
+	"repro/internal/label"
+	"repro/internal/mapping"
+	"repro/internal/wsdl"
+)
+
+// PartyState is the immutable state of one party at one version: its
+// private process, the derived public process and mapping table. A
+// PartyState is shared by every snapshot taken while the party is
+// unchanged, so the memoized bilateral views survive evolutions of
+// *other* parties.
+type PartyState struct {
+	Name string
+	// Version counts the commits that touched this party (starting at
+	// 1). It keys the consistency cache: results computed for an old
+	// version can never be confused with the current behavior.
+	Version uint64
+	Private *bpel.Process
+	Public  *afsa.Automaton
+	Table   mapping.Table
+
+	// alphabet of Public, precomputed: interaction queries
+	// (InteractingPairs, partner discovery) run on every check.
+	alphabet label.Set
+
+	// views memoizes Public.View(forParty). Guarded by viewMu; the
+	// automata themselves are immutable once published.
+	viewMu sync.RWMutex
+	views  map[string]*afsa.Automaton
+}
+
+func newPartyState(p *bpel.Process, res *mapping.Result, version uint64) *PartyState {
+	return &PartyState{
+		Name:     p.Owner,
+		Version:  version,
+		Private:  p.Clone(),
+		Public:   res.Automaton,
+		Table:    res.Table,
+		alphabet: res.Automaton.Alphabet(),
+		views:    map[string]*afsa.Automaton{},
+	}
+}
+
+// view returns the memoized bilateral view τ_forParty(Public),
+// reporting whether it was a cache hit.
+func (ps *PartyState) view(forParty string) (*afsa.Automaton, bool) {
+	ps.viewMu.RLock()
+	v, ok := ps.views[forParty]
+	ps.viewMu.RUnlock()
+	if ok {
+		return v, true
+	}
+	v = ps.Public.View(forParty)
+	ps.viewMu.Lock()
+	if cached, ok := ps.views[forParty]; ok {
+		v = cached // another goroutine won the race; keep one copy
+	} else {
+		ps.views[forParty] = v
+	}
+	ps.viewMu.Unlock()
+	return v, false
+}
+
+// Snapshot is an immutable, copy-on-write view of one choreography.
+// Readers obtain a snapshot and work on it without locks; writers
+// build a new snapshot and publish it atomically. Party states that a
+// commit does not touch are shared between the old and new snapshot.
+type Snapshot struct {
+	// ID is the choreography identifier.
+	ID string
+	// Version counts the commits applied to the choreography.
+	Version uint64
+	// Registry resolves operations; rebuilt on every commit from the
+	// current private processes plus the choreography's sync markers.
+	Registry *wsdl.Registry
+
+	syncOps []string
+	parties map[string]*PartyState
+	order   []string
+	// pairs caches InteractingPairs: the snapshot is immutable, so the
+	// alphabet scans run once per commit instead of once per check.
+	pairs [][2]string
+}
+
+// Parties returns the party names in registration order.
+func (s *Snapshot) Parties() []string {
+	return append([]string(nil), s.order...)
+}
+
+// Party returns one party's state.
+func (s *Snapshot) Party(name string) (*PartyState, bool) {
+	ps, ok := s.parties[name]
+	return ps, ok
+}
+
+// NumParties returns the number of registered parties.
+func (s *Snapshot) NumParties() int { return len(s.parties) }
+
+// privates collects the current private processes (for registry
+// rebuilds), substituting replace for its owner when non-nil.
+func (s *Snapshot) privates(replace *bpel.Process) []*bpel.Process {
+	out := make([]*bpel.Process, 0, len(s.parties)+1)
+	replaced := false
+	for _, name := range s.order {
+		p := s.parties[name].Private
+		if replace != nil && replace.Owner == name {
+			p = replace
+			replaced = true
+		}
+		out = append(out, p)
+	}
+	if replace != nil && !replaced {
+		out = append(out, replace)
+	}
+	return out
+}
+
+// interacts reports whether parties a and b exchange at least one
+// message.
+func (s *Snapshot) interacts(a, b string) bool {
+	for l := range s.parties[a].alphabet {
+		if l.Between(a, b) {
+			return true
+		}
+	}
+	for l := range s.parties[b].alphabet {
+		if l.Between(a, b) {
+			return true
+		}
+	}
+	return false
+}
+
+// InteractingPairs returns the party pairs that exchange at least one
+// message, in deterministic order (precomputed per snapshot).
+func (s *Snapshot) InteractingPairs() [][2]string {
+	return append([][2]string(nil), s.pairs...)
+}
+
+// computePairs fills the pair cache; called once when the snapshot is
+// built, before publication.
+func (s *Snapshot) computePairs() {
+	s.pairs = nil
+	for i := 0; i < len(s.order); i++ {
+		for j := i + 1; j < len(s.order); j++ {
+			a, b := s.order[i], s.order[j]
+			if s.interacts(a, b) {
+				s.pairs = append(s.pairs, [2]string{a, b})
+			}
+		}
+	}
+}
+
+// PartnersOf returns the registered parties that exchange messages
+// with party, sorted.
+func (s *Snapshot) PartnersOf(party string) []string {
+	ps, ok := s.parties[party]
+	if !ok {
+		return nil
+	}
+	seen := map[string]bool{}
+	for l := range ps.alphabet {
+		for _, other := range [2]string{l.Sender(), l.Receiver()} {
+			if other != party && other != "" {
+				if _, registered := s.parties[other]; registered {
+					seen[other] = true
+				}
+			}
+		}
+	}
+	out := make([]string, 0, len(seen))
+	for name := range seen {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// clone returns a shallow copy of the snapshot sharing every party
+// state; the caller replaces the touched parties and recomputes the
+// pair cache (computePairs) before publishing.
+func (s *Snapshot) clone() *Snapshot {
+	parties := make(map[string]*PartyState, len(s.parties))
+	for k, v := range s.parties {
+		parties[k] = v
+	}
+	return &Snapshot{
+		ID:       s.ID,
+		Version:  s.Version,
+		Registry: s.Registry,
+		syncOps:  append([]string(nil), s.syncOps...),
+		parties:  parties,
+		order:    append([]string(nil), s.order...),
+	}
+}

@@ -1,0 +1,446 @@
+// Package store is the serving heart of choreod: a sharded, versioned,
+// in-memory choreography store designed for heavy concurrent traffic.
+//
+// Each choreography lives behind an atomically published copy-on-write
+// Snapshot: readers (consistency checks, evolution analyses, view and
+// discovery queries) grab the current snapshot pointer and proceed
+// without holding any lock, while writers build the next snapshot and
+// publish it under a per-choreography commit lock. Party states that a
+// commit does not touch are shared between snapshots, so the expensive
+// derived artifacts memoized on them — the bilateral views
+// τ_partner(public) — are amortized across requests and commits alike.
+//
+// The bilateral-consistency results (intersection + annotated
+// emptiness, the hot path of the paper's criterion) are cached per
+// choreography keyed by (partyA, versionA, partyB, versionB). Because
+// party versions are part of the key, a commit invalidates exactly the
+// pairs the changed party participates in; results for untouched pairs
+// keep hitting. The choreography ID space is partitioned over
+// independently locked shards so unrelated choreographies never
+// contend.
+package store
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/afsa"
+	"repro/internal/bpel"
+	"repro/internal/instance"
+	"repro/internal/mapping"
+)
+
+// Sentinel errors, mapped onto HTTP statuses by the server layer.
+var (
+	// ErrNotFound marks an unknown choreography or party.
+	ErrNotFound = fmt.Errorf("store: not found")
+	// ErrExists marks a duplicate registration.
+	ErrExists = fmt.Errorf("store: already exists")
+	// ErrConflict marks an optimistic-concurrency failure: the
+	// choreography advanced since the evolution was analyzed.
+	ErrConflict = fmt.Errorf("store: version conflict")
+)
+
+// pairKey keys one bilateral-consistency result. Party names are
+// ordered (A < B) so both query directions share one entry; the
+// versions make results from superseded schemas unreachable.
+type pairKey struct {
+	a, b   string
+	va, vb uint64
+}
+
+// entry is the mutable cell owning one choreography.
+type entry struct {
+	id string
+
+	// commitMu serializes writers; readers never take it.
+	commitMu sync.Mutex
+	// snap is the current snapshot, atomically published.
+	snap atomic.Pointer[Snapshot]
+
+	// cons caches bilateral-consistency results for this choreography.
+	consMu sync.RWMutex
+	cons   map[pairKey]bool
+
+	// instances holds running conversations per party — runtime data,
+	// deliberately outside the schema snapshots.
+	instMu    sync.Mutex
+	instances map[string][]instance.Instance
+}
+
+type shard struct {
+	mu      sync.RWMutex
+	entries map[string]*entry
+}
+
+// Stats are cumulative store counters.
+type Stats struct {
+	Choreographies int
+	// ConsistencyHits/Misses count bilateral-consistency lookups
+	// answered from / missing the result cache.
+	ConsistencyHits, ConsistencyMisses uint64
+	// ViewHits/Misses count bilateral-view lookups answered from /
+	// missing the per-party memo.
+	ViewHits, ViewMisses uint64
+	// Commits counts published snapshots; Conflicts counts commits
+	// rejected by optimistic concurrency.
+	Commits, Conflicts uint64
+	// Evolutions counts analyzed (not necessarily committed) changes.
+	Evolutions uint64
+}
+
+// Store is a sharded in-memory choreography store safe for concurrent
+// use.
+type Store struct {
+	shards []shard
+
+	consHits, consMisses atomic.Uint64
+	viewHits, viewMisses atomic.Uint64
+	commits, conflicts   atomic.Uint64
+	evolutions           atomic.Uint64
+}
+
+// DefaultShards is the shard count used when New is given n <= 0.
+const DefaultShards = 16
+
+// New returns an empty store partitioned over n shards (DefaultShards
+// when n <= 0).
+func New(n int) *Store {
+	if n <= 0 {
+		n = DefaultShards
+	}
+	s := &Store{shards: make([]shard, n)}
+	for i := range s.shards {
+		s.shards[i].entries = map[string]*entry{}
+	}
+	return s
+}
+
+func (s *Store) shardOf(id string) *shard {
+	h := fnv.New32a()
+	h.Write([]byte(id))
+	return &s.shards[h.Sum32()%uint32(len(s.shards))]
+}
+
+func (s *Store) entry(id string) (*entry, error) {
+	sh := s.shardOf(id)
+	sh.mu.RLock()
+	e, ok := sh.entries[id]
+	sh.mu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("%w: choreography %q", ErrNotFound, id)
+	}
+	return e, nil
+}
+
+// Create registers an empty choreography. syncOps entries "party.op"
+// mark synchronous operations for the registries inferred on party
+// registration.
+func (s *Store) Create(id string, syncOps []string) error {
+	if id == "" {
+		return fmt.Errorf("store: empty choreography id")
+	}
+	sh := s.shardOf(id)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if _, dup := sh.entries[id]; dup {
+		return fmt.Errorf("%w: choreography %q", ErrExists, id)
+	}
+	e := &entry{
+		id:        id,
+		cons:      map[pairKey]bool{},
+		instances: map[string][]instance.Instance{},
+	}
+	e.snap.Store(&Snapshot{
+		ID:      id,
+		syncOps: append([]string(nil), syncOps...),
+		parties: map[string]*PartyState{},
+	})
+	sh.entries[id] = e
+	return nil
+}
+
+// Delete removes a choreography.
+func (s *Store) Delete(id string) error {
+	sh := s.shardOf(id)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if _, ok := sh.entries[id]; !ok {
+		return fmt.Errorf("%w: choreography %q", ErrNotFound, id)
+	}
+	delete(sh.entries, id)
+	return nil
+}
+
+// IDs returns the stored choreography IDs (unordered across shards,
+// sorted within none — callers sort if they care).
+func (s *Store) IDs() []string {
+	var out []string
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.RLock()
+		for id := range sh.entries {
+			out = append(out, id)
+		}
+		sh.mu.RUnlock()
+	}
+	return out
+}
+
+// Snapshot returns the current snapshot of a choreography. The
+// snapshot is immutable: it remains valid (and unchanged) regardless
+// of concurrent commits.
+func (s *Store) Snapshot(id string) (*Snapshot, error) {
+	e, err := s.entry(id)
+	if err != nil {
+		return nil, err
+	}
+	return e.snap.Load(), nil
+}
+
+// RegisterParty derives the public process of p and adds the party to
+// the choreography. The snapshot registry is re-inferred over all
+// private processes including the new one.
+func (s *Store) RegisterParty(id string, p *bpel.Process) (*Snapshot, error) {
+	if p == nil || p.Owner == "" {
+		return nil, fmt.Errorf("store: register needs a process with an owner")
+	}
+	e, err := s.entry(id)
+	if err != nil {
+		return nil, err
+	}
+	e.commitMu.Lock()
+	defer e.commitMu.Unlock()
+	cur := e.snap.Load()
+	if _, dup := cur.parties[p.Owner]; dup {
+		return nil, fmt.Errorf("%w: party %q in choreography %q", ErrExists, p.Owner, id)
+	}
+	next, err := s.rebuild(cur, p, true)
+	if err != nil {
+		return nil, err
+	}
+	e.snap.Store(next)
+	s.commits.Add(1)
+	return next, nil
+}
+
+// UpdateParty replaces a party's private process outright (the
+// uncontrolled path: no classification, no propagation planning) and
+// invalidates the consistency results of the pairs it touches.
+func (s *Store) UpdateParty(id string, p *bpel.Process) (*Snapshot, error) {
+	if p == nil || p.Owner == "" {
+		return nil, fmt.Errorf("store: update needs a process with an owner")
+	}
+	e, err := s.entry(id)
+	if err != nil {
+		return nil, err
+	}
+	e.commitMu.Lock()
+	defer e.commitMu.Unlock()
+	cur := e.snap.Load()
+	if _, ok := cur.parties[p.Owner]; !ok {
+		return nil, fmt.Errorf("%w: party %q in choreography %q", ErrNotFound, p.Owner, id)
+	}
+	next, err := s.rebuild(cur, p, false)
+	if err != nil {
+		return nil, err
+	}
+	e.snap.Store(next)
+	s.commits.Add(1)
+	s.invalidatePairs(e, p.Owner)
+	return next, nil
+}
+
+// rebuild produces the successor snapshot with p registered (add) or
+// replaced, re-inferring the registry and re-deriving only p's public
+// process. Every other party state is shared with cur.
+func (s *Store) rebuild(cur *Snapshot, p *bpel.Process, add bool) (*Snapshot, error) {
+	reg, err := InferRegistry(cur.privates(p), cur.syncOps)
+	if err != nil {
+		return nil, err
+	}
+	res, err := mapping.Derive(p, reg)
+	if err != nil {
+		return nil, fmt.Errorf("store: deriving %q: %w", p.Owner, err)
+	}
+	next := cur.clone()
+	next.Version = cur.Version + 1
+	next.Registry = reg
+	var partyVersion uint64 = 1
+	if old, ok := cur.parties[p.Owner]; ok {
+		partyVersion = old.Version + 1
+	}
+	next.parties[p.Owner] = newPartyState(p, res, partyVersion)
+	if add {
+		next.order = append(next.order, p.Owner)
+	}
+	next.computePairs()
+	return next, nil
+}
+
+// invalidatePairs drops every cached consistency result involving
+// party — exactly the pairs a change to party can touch. Results for
+// pairs between other parties stay valid and stay cached.
+func (s *Store) invalidatePairs(e *entry, party string) {
+	e.consMu.Lock()
+	for k := range e.cons {
+		if k.a == party || k.b == party {
+			delete(e.cons, k)
+		}
+	}
+	e.consMu.Unlock()
+}
+
+// view returns the memoized bilateral view, counting hit/miss.
+func (s *Store) view(ps *PartyState, forParty string) *afsa.Automaton {
+	v, hit := ps.view(forParty)
+	if hit {
+		s.viewHits.Add(1)
+	} else {
+		s.viewMisses.Add(1)
+	}
+	return v
+}
+
+// PairResult is the consistency status of one interacting pair.
+type PairResult struct {
+	A, B       string
+	Consistent bool
+	// Cached reports whether the result came from the cache.
+	Cached bool
+}
+
+// CheckReport is the outcome of checking every interacting pair of a
+// choreography snapshot.
+type CheckReport struct {
+	ID string
+	// Version is the snapshot version the report describes.
+	Version uint64
+	Pairs   []PairResult
+}
+
+// Consistent reports whether every pair is consistent.
+func (r *CheckReport) Consistent() bool {
+	for _, p := range r.Pairs {
+		if !p.Consistent {
+			return false
+		}
+	}
+	return true
+}
+
+// CheckSnapshot verifies bilateral consistency of every interacting
+// pair of snap, using e's result cache. snap may be older than the
+// current snapshot; version-keyed cache entries keep old and new
+// results apart.
+func (s *Store) checkSnapshot(e *entry, snap *Snapshot, useCache bool) (*CheckReport, error) {
+	rep := &CheckReport{ID: snap.ID, Version: snap.Version, Pairs: make([]PairResult, 0, len(snap.pairs))}
+	for _, pair := range snap.pairs {
+		res, err := s.checkPair(e, snap, pair[0], pair[1], useCache)
+		if err != nil {
+			return nil, err
+		}
+		rep.Pairs = append(rep.Pairs, res)
+	}
+	return rep, nil
+}
+
+func (s *Store) checkPair(e *entry, snap *Snapshot, a, b string, useCache bool) (PairResult, error) {
+	pa, pb := snap.parties[a], snap.parties[b]
+	key := pairKey{a: a, b: b, va: pa.Version, vb: pb.Version}
+	if key.b < key.a {
+		key.a, key.b, key.va, key.vb = key.b, key.a, key.vb, key.va
+	}
+	if useCache {
+		e.consMu.RLock()
+		ok, cached := e.cons[key]
+		e.consMu.RUnlock()
+		if cached {
+			s.consHits.Add(1)
+			return PairResult{A: a, B: b, Consistent: ok, Cached: true}, nil
+		}
+		s.consMisses.Add(1)
+	}
+	ok, err := afsa.Consistent(s.view(pa, b), s.view(pb, a))
+	if err != nil {
+		return PairResult{}, fmt.Errorf("store: pair %s/%s: %w", a, b, err)
+	}
+	if useCache {
+		e.consMu.Lock()
+		e.cons[key] = ok
+		e.consMu.Unlock()
+	}
+	return PairResult{A: a, B: b, Consistent: ok}, nil
+}
+
+// Check verifies bilateral consistency of every interacting pair,
+// serving repeated queries from the result cache.
+func (s *Store) Check(id string) (*CheckReport, error) {
+	e, err := s.entry(id)
+	if err != nil {
+		return nil, err
+	}
+	return s.checkSnapshot(e, e.snap.Load(), true)
+}
+
+// CheckUncached recomputes every pair, bypassing (and not feeding) the
+// result cache — the baseline the cache is measured against.
+func (s *Store) CheckUncached(id string) (*CheckReport, error) {
+	e, err := s.entry(id)
+	if err != nil {
+		return nil, err
+	}
+	return s.checkSnapshot(e, e.snap.Load(), false)
+}
+
+// CheckPair checks one pair through the cache.
+func (s *Store) CheckPair(id, a, b string) (PairResult, error) {
+	e, err := s.entry(id)
+	if err != nil {
+		return PairResult{}, err
+	}
+	snap := e.snap.Load()
+	for _, name := range [2]string{a, b} {
+		if _, ok := snap.parties[name]; !ok {
+			return PairResult{}, fmt.Errorf("%w: party %q in choreography %q", ErrNotFound, name, id)
+		}
+	}
+	return s.checkPair(e, snap, a, b, true)
+}
+
+// View returns the bilateral view τ_forParty(of's public process) from
+// the memo.
+func (s *Store) View(id, of, forParty string) (*afsa.Automaton, error) {
+	snap, err := s.Snapshot(id)
+	if err != nil {
+		return nil, err
+	}
+	ps, ok := snap.parties[of]
+	if !ok {
+		return nil, fmt.Errorf("%w: party %q in choreography %q", ErrNotFound, of, id)
+	}
+	return s.view(ps, forParty), nil
+}
+
+// Stats returns cumulative counters.
+func (s *Store) Stats() Stats {
+	n := 0
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.RLock()
+		n += len(sh.entries)
+		sh.mu.RUnlock()
+	}
+	return Stats{
+		Choreographies:    n,
+		ConsistencyHits:   s.consHits.Load(),
+		ConsistencyMisses: s.consMisses.Load(),
+		ViewHits:          s.viewHits.Load(),
+		ViewMisses:        s.viewMisses.Load(),
+		Commits:           s.commits.Load(),
+		Conflicts:         s.conflicts.Load(),
+		Evolutions:        s.evolutions.Load(),
+	}
+}

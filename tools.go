@@ -1,14 +1,69 @@
 package choreo
 
 import (
+	"net/http"
+
 	"repro/internal/conformance"
 	"repro/internal/decentral"
 	"repro/internal/discovery"
 	"repro/internal/gen"
 	"repro/internal/instance"
 	"repro/internal/runtime"
+	"repro/internal/server"
+	"repro/internal/store"
 	"repro/internal/version"
 )
+
+// Serving layer (choreod): a sharded, versioned, cache-aware
+// choreography store plus the JSON HTTP service and client over it.
+type (
+	// ChoreographyStore is the concurrent in-memory choreography
+	// store: copy-on-write snapshots per choreography, memoized
+	// bilateral views and a version-keyed consistency-result cache.
+	ChoreographyStore = store.Store
+	// StoreSnapshot is one immutable choreography snapshot.
+	StoreSnapshot = store.Snapshot
+	// StoreStats are cumulative store counters (cache hits/misses,
+	// commits, conflicts).
+	StoreStats = store.Stats
+	// StoreEvolution is an analyzed-but-uncommitted change pinned to
+	// its base snapshot version.
+	StoreEvolution = store.Evolution
+	// StoreCheckReport is the cached pairwise consistency report.
+	StoreCheckReport = store.CheckReport
+	// ChoreoServer is the choreod HTTP front end.
+	ChoreoServer = server.Server
+	// ChoreoClient is the thin typed client for the choreod API.
+	ChoreoClient = server.Client
+)
+
+// Store sentinel errors.
+var (
+	ErrStoreNotFound = store.ErrNotFound
+	ErrStoreExists   = store.ErrExists
+	ErrStoreConflict = store.ErrConflict
+)
+
+// NewChoreographyStore returns an empty store partitioned over n
+// shards (n <= 0 picks the default).
+func NewChoreographyStore(shards int) *ChoreographyStore { return store.New(shards) }
+
+// NewChoreoServer returns the choreod HTTP service over st.
+func NewChoreoServer(st *ChoreographyStore) *ChoreoServer { return server.New(st) }
+
+// NewChoreoClient returns a client for the choreod service at base;
+// httpClient may be nil.
+func NewChoreoClient(base string, httpClient *http.Client) *ChoreoClient {
+	return server.NewClient(base, httpClient)
+}
+
+// InferRegistry builds a WSDL registry covering every operation the
+// processes mention ("party.op" entries in syncOps mark synchronous
+// operations) — the registry the service infers when parties register
+// by XML.
+func InferRegistry(procs []*Process, syncOps []string) (*Registry, error) {
+	return store.InferRegistry(procs, syncOps)
+}
 
 // Choreography execution (the empirical substrate validating the
 // consistency criterion).
