@@ -7,6 +7,7 @@
 package choreo
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"net/http/httptest"
@@ -729,11 +730,15 @@ func BenchmarkVersionMigrateAll(b *testing.B) {
 
 // ---- D-8: the choreod serving layer (internal/store + internal/server) ----
 
+// benchCtx is the background context the serving-layer benchmarks run
+// their store and client calls under.
+var benchCtx = context.Background()
+
 // benchStoreFromGen loads n generated two-party choreographies into a
 // fresh store (the service's synthetic tenant population).
 func benchStoreFromGen(b *testing.B, n int) *store.Store {
 	b.Helper()
-	st := store.New(0)
+	st := store.New()
 	p := gen.Params{PartyA: "A", PartyB: "B", Messages: 12, MaxDepth: 3, ChoiceProb: 30, MaxBranch: 3}
 	for i := 0; i < n; i++ {
 		conv, err := gen.Generate(int64(i+1), p)
@@ -741,13 +746,13 @@ func benchStoreFromGen(b *testing.B, n int) *store.Store {
 			b.Fatal(err)
 		}
 		id := fmt.Sprintf("tenant-%03d", i)
-		if err := st.Create(id, nil); err != nil {
+		if err := st.Create(benchCtx, id, nil); err != nil {
 			b.Fatal(err)
 		}
-		if _, err := st.RegisterParty(id, conv.A); err != nil {
+		if _, err := st.RegisterParty(benchCtx, id, conv.A); err != nil {
 			b.Fatal(err)
 		}
-		if _, err := st.RegisterParty(id, conv.B); err != nil {
+		if _, err := st.RegisterParty(benchCtx, id, conv.B); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -763,7 +768,7 @@ func BenchmarkStoreCheckCachedVsUncached(b *testing.B) {
 		b.ReportAllocs()
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
-			if _, err := st.CheckUncached(fmt.Sprintf("tenant-%03d", i%8)); err != nil {
+			if _, err := st.CheckUncached(benchCtx, fmt.Sprintf("tenant-%03d", i%8)); err != nil {
 				b.Fatal(err)
 			}
 		}
@@ -771,14 +776,14 @@ func BenchmarkStoreCheckCachedVsUncached(b *testing.B) {
 	b.Run("cached", func(b *testing.B) {
 		st := benchStoreFromGen(b, 8)
 		for i := 0; i < 8; i++ {
-			if _, err := st.Check(fmt.Sprintf("tenant-%03d", i)); err != nil {
+			if _, err := st.Check(benchCtx, fmt.Sprintf("tenant-%03d", i)); err != nil {
 				b.Fatal(err)
 			}
 		}
 		b.ReportAllocs()
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
-			if _, err := st.Check(fmt.Sprintf("tenant-%03d", i%8)); err != nil {
+			if _, err := st.Check(benchCtx, fmt.Sprintf("tenant-%03d", i%8)); err != nil {
 				b.Fatal(err)
 			}
 		}
@@ -799,7 +804,7 @@ func BenchmarkStoreParallelCheckEvolve(b *testing.B) {
 			n := seq.Add(1)
 			id := fmt.Sprintf("tenant-%03d", int(n)%tenants)
 			if n%20 == 0 {
-				snap, err := st.Snapshot(id)
+				snap, err := st.Snapshot(benchCtx, id)
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -808,12 +813,12 @@ func BenchmarkStoreParallelCheckEvolve(b *testing.B) {
 				if err != nil {
 					continue
 				}
-				evo, err := st.Evolve(id, "A", op)
+				evo, err := st.Evolve(benchCtx, id, "A", op)
 				if err != nil {
 					continue
 				}
-				_, _ = st.CommitEvolution(evo) // conflicts expected under contention
-			} else if _, err := st.Check(id); err != nil {
+				_, _ = st.CommitEvolution(benchCtx, evo) // conflicts expected under contention
+			} else if _, err := st.Check(benchCtx, id); err != nil {
 				b.Fatal(err)
 			}
 		}
@@ -823,15 +828,15 @@ func BenchmarkStoreParallelCheckEvolve(b *testing.B) {
 // BenchmarkChoreodHTTPCheck measures a full client→HTTP→store check
 // round trip on the paper scenario, with concurrent clients.
 func BenchmarkChoreodHTTPCheck(b *testing.B) {
-	srv := server.New(store.New(0))
+	srv := server.New(store.New())
 	ts := httptest.NewServer(srv.Handler())
 	defer ts.Close()
 	c := server.NewClient(ts.URL, ts.Client())
-	if err := c.CreateChoreography("p", []string{"L.getStatusLOp"}); err != nil {
+	if err := c.CreateChoreography(benchCtx, "p", []string{"L.getStatusLOp"}); err != nil {
 		b.Fatal(err)
 	}
 	for _, proc := range []*Process{paperrepro.BuyerProcess(), paperrepro.AccountingProcess(), paperrepro.LogisticsProcess()} {
-		if _, err := c.RegisterParty("p", proc); err != nil {
+		if _, err := c.RegisterParty(benchCtx, "p", proc); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -839,7 +844,7 @@ func BenchmarkChoreodHTTPCheck(b *testing.B) {
 	b.ResetTimer()
 	b.RunParallel(func(pb *testing.PB) {
 		for pb.Next() {
-			rep, err := c.Check("p")
+			rep, err := c.Check(benchCtx, "p")
 			if err != nil {
 				b.Fatal(err)
 			}

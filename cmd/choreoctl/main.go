@@ -9,7 +9,15 @@
 //	                                              plan the propagation and print suggestions
 //	choreoctl simulate -in a.xml -in b.xml ... [-walks n]
 //	                                              execute the choreography
-//	choreoctl serve    [-addr :8080] [-shards n]  run the choreod HTTP service
+//	choreoctl serve    [-addr :8080] [-shards n] [-cachecap n]
+//	                                              run the choreod HTTP service
+//	choreoctl register -addr URL -chor ID -in a.xml [-in b.xml ...]
+//	                                              batch-register parties on a running service
+//	choreoctl evolve   -addr URL -chor ID -party P (-new new.xml | -op SPEC ...) [-commit]
+//	                                              submit a change transaction for analysis
+//
+// The remote subcommands (register, evolve) talk to a running choreod
+// over its /v2/ API and accept -timeout to bound the request context.
 //
 // Processes are BPEL-flavored XML as produced by MarshalProcessXML;
 // operations referenced by the processes are registered implicitly
@@ -17,12 +25,15 @@
 package main
 
 import (
+	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
 	"net/http"
 	"os"
 	"strings"
+	"time"
 
 	choreo "repro"
 )
@@ -49,6 +60,10 @@ func main() {
 		err = runSimulate(args)
 	case "serve":
 		err = runServe(args)
+	case "register":
+		err = runRegister(args)
+	case "evolve":
+		err = runEvolve(args)
 	case "help", "-h", "--help":
 		usage()
 	default:
@@ -72,7 +87,9 @@ commands:
   classify   classify a change of one process against a partner
   propagate  plan the propagation of a variant change
   simulate   execute a choreography (exhaustive + random walks)
-  serve      run the choreod HTTP service`)
+  serve      run the choreod HTTP service
+  register   batch-register parties on a running choreod (/v2/)
+  evolve     submit a change transaction to a running choreod (/v2/)`)
 }
 
 // multiFlag collects repeated -in flags.
@@ -321,16 +338,164 @@ func runPropagate(args []string) error {
 }
 
 // runServe starts the choreod HTTP service: a sharded, cache-aware
-// choreography store behind the JSON API of internal/server.
+// choreography store behind the JSON API of internal/server (/v2/
+// plus the /v1/ compatibility shim).
 func runServe(args []string) error {
 	fs := flag.NewFlagSet("serve", flag.ExitOnError)
 	addr := fs.String("addr", ":8080", "listen address")
 	shards := fs.Int("shards", 0, "store shard count (0 = default)")
+	cacheCap := fs.Int("cachecap", 0, "per-choreography consistency-cache entries (0 = unbounded)")
 	fs.Parse(args)
-	st := choreo.NewChoreographyStore(*shards)
+	st := choreo.NewChoreographyStore(
+		choreo.WithStoreShards(*shards), choreo.WithStoreCacheCap(*cacheCap))
 	srv := choreo.NewChoreoServer(st)
 	log.Printf("choreod listening on %s", *addr)
 	return http.ListenAndServe(*addr, srv.Handler())
+}
+
+// remoteContext builds the request context for the remote subcommands;
+// timeout <= 0 means no deadline.
+func remoteContext(timeout time.Duration) (context.Context, context.CancelFunc) {
+	if timeout > 0 {
+		return context.WithTimeout(context.Background(), timeout)
+	}
+	return context.WithCancel(context.Background())
+}
+
+// runRegister batch-registers (or updates) parties on a running
+// choreod through POST /v2/choreographies/{id}/parties:batch — one
+// change transaction, one version bump.
+func runRegister(args []string) error {
+	fs := flag.NewFlagSet("register", flag.ExitOnError)
+	addr := fs.String("addr", "http://localhost:8080", "choreod base URL")
+	chor := fs.String("chor", "", "choreography ID")
+	create := fs.Bool("create", false, "create the choreography first")
+	timeout := fs.Duration("timeout", 30*time.Second, "request timeout (0 = none)")
+	var ins, syncOps multiFlag
+	fs.Var(&ins, "in", "private process XML file (repeatable)")
+	fs.Var(&syncOps, "sync", "mark party.op as synchronous (repeatable, with -create)")
+	fs.Parse(args)
+	if *chor == "" || len(ins) == 0 {
+		return fmt.Errorf("register: -chor and at least one -in required")
+	}
+	var procs []*choreo.Process
+	for _, path := range ins {
+		p, err := loadProcess(path)
+		if err != nil {
+			return err
+		}
+		procs = append(procs, p)
+	}
+	ctx, cancel := remoteContext(*timeout)
+	defer cancel()
+	c := choreo.NewChoreoClient(*addr, nil)
+	if *create {
+		if err := c.CreateChoreography(ctx, *chor, syncOps); err != nil {
+			return err
+		}
+	}
+	batch, err := c.RegisterParties(ctx, *chor, procs, nil)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("choreography %s at version %d\n", batch.Choreography, batch.Version)
+	for _, pi := range batch.Parties {
+		fmt.Printf("  party %s v%d: %d states, %d transitions\n", pi.Name, pi.Version, pi.States, pi.Transitions)
+	}
+	return nil
+}
+
+// parseOpSpec turns one -op flag value into a wire operation: either
+// inline JSON ({"kind": ...}) or @file pointing at a JSON document.
+func parseOpSpec(spec string) (choreo.EvolveOp, error) {
+	var op choreo.EvolveOp
+	raw := []byte(spec)
+	if strings.HasPrefix(spec, "@") {
+		data, err := os.ReadFile(spec[1:])
+		if err != nil {
+			return op, err
+		}
+		raw = data
+	}
+	if err := json.Unmarshal(raw, &op); err != nil {
+		return op, fmt.Errorf("op %q: %v", spec, err)
+	}
+	if op.Kind == "" {
+		return op, fmt.Errorf("op %q: missing kind", spec)
+	}
+	return op, nil
+}
+
+// runEvolve submits a change transaction — one or more operations
+// analyzed as a unit — through POST /v2/choreographies/{id}/evolve,
+// prints the per-partner analysis, and optionally commits it under the
+// If-Match precondition the analysis returned.
+func runEvolve(args []string) error {
+	fs := flag.NewFlagSet("evolve", flag.ExitOnError)
+	addr := fs.String("addr", "http://localhost:8080", "choreod base URL")
+	chor := fs.String("chor", "", "choreography ID")
+	party := fs.String("party", "", "change originator")
+	newProc := fs.String("new", "", "proposed new private process XML file (whole-process replacement)")
+	commit := fs.Bool("commit", false, "commit the transaction after analysis")
+	timeout := fs.Duration("timeout", 30*time.Second, "request timeout (0 = none)")
+	var opSpecs multiFlag
+	fs.Var(&opSpecs, "op", `operation as JSON or @file, e.g. '{"kind":"delete","path":"Sequence:p/Invoke:x"}' (repeatable)`)
+	fs.Parse(args)
+	if *chor == "" || *party == "" {
+		return fmt.Errorf("evolve: -chor and -party required")
+	}
+	var ops []choreo.EvolveOp
+	if *newProc != "" {
+		data, err := os.ReadFile(*newProc)
+		if err != nil {
+			return err
+		}
+		ops = append(ops, choreo.EvolveOp{Kind: "replaceProcess", XML: string(data)})
+	}
+	for _, spec := range opSpecs {
+		op, err := parseOpSpec(spec)
+		if err != nil {
+			return err
+		}
+		ops = append(ops, op)
+	}
+	if len(ops) == 0 {
+		return fmt.Errorf("evolve: provide -new and/or at least one -op")
+	}
+	ctx, cancel := remoteContext(*timeout)
+	defer cancel()
+	c := choreo.NewChoreoClient(*addr, nil)
+	evo, err := c.EvolveOps(ctx, *chor, *party, ops)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("evolution %s on %s (base version %d): public changed=%v, propagation needed=%v\n",
+		evo.Evolution, evo.Choreography, evo.BaseVersion, evo.PublicChanged, evo.NeedsPropagation)
+	for _, op := range evo.Ops {
+		fmt.Println("  op:", op)
+	}
+	for _, im := range evo.Impacts {
+		fmt.Printf("  partner %s: view changed=%v", im.Partner, im.ViewChanged)
+		if im.ViewChanged {
+			fmt.Printf(", %s, %s", im.Kind, im.Scope)
+		}
+		fmt.Println()
+		for _, plan := range im.Plans {
+			fmt.Printf("    plan %s: diff %d states, adapted partner public %d states\n",
+				plan.Kind, plan.DiffStates, plan.NewPartnerPublicStates)
+		}
+		for _, sg := range im.Suggestions {
+			fmt.Printf("    suggestion %d (executable=%v): %s\n", sg.Index, sg.Executable, sg.Description)
+		}
+	}
+	if *commit {
+		res, err := c.CommitIfMatch(ctx, evo.Evolution, evo.BaseVersion)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("committed: %s now at version %d\n", res.Choreography, res.Version)
+	}
+	return nil
 }
 
 func runSimulate(args []string) error {

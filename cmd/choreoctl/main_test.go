@@ -1,6 +1,8 @@
 package main
 
 import (
+	"context"
+	"net/http/httptest"
 	"os"
 	"path/filepath"
 	"testing"
@@ -136,5 +138,81 @@ func TestEndToEndPipeline(t *testing.T) {
 	}
 	if !rep.Consistent() {
 		t.Fatalf("fixture choreography inconsistent:\n%s", rep)
+	}
+}
+
+func TestParseOpSpec(t *testing.T) {
+	op, err := parseOpSpec(`{"kind":"setWhileCond","path":"Sequence:p/While:w","cond":"n < 3"}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if op.Kind != "setWhileCond" || op.Cond != "n < 3" {
+		t.Fatalf("parsed op = %+v", op)
+	}
+	path := writeFixture(t, "op.json", `{"kind":"delete","path":"Sequence:p/Invoke:x"}`)
+	op, err = parseOpSpec("@" + path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if op.Kind != "delete" {
+		t.Fatalf("file op = %+v", op)
+	}
+	if _, err := parseOpSpec(`{"path":"no kind"}`); err == nil {
+		t.Fatal("kindless op accepted")
+	}
+	if _, err := parseOpSpec("not json"); err == nil {
+		t.Fatal("malformed op accepted")
+	}
+}
+
+// TestRemoteSubcommands drives register and evolve against an
+// in-process choreod: batch registration in one commit, then a
+// whole-process evolve transaction with -commit, bounded by -timeout.
+func TestRemoteSubcommands(t *testing.T) {
+	srv := choreo.NewChoreoServer(choreo.NewChoreographyStore())
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+
+	buyerPath := writeFixture(t, "buyer.xml", buyerXML)
+	accPath := writeFixture(t, "acc.xml", accXML)
+	if err := runRegister([]string{
+		"-addr", ts.URL, "-chor", "demo", "-create", "-timeout", "10s",
+		"-in", buyerPath, "-in", accPath,
+	}); err != nil {
+		t.Fatalf("register: %v", err)
+	}
+	info, err := choreo.NewChoreoClient(ts.URL, nil).Choreography(context.Background(), "demo")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Version != 1 || len(info.Parties) != 2 {
+		t.Fatalf("after batch register: version=%d parties=%d, want one commit with 2 parties", info.Version, len(info.Parties))
+	}
+
+	// Widen the accounting receive via a whole-process replacement and
+	// commit in the same invocation.
+	const accV2 = `
+<process name="accounting" owner="A">
+  <sequence name="acc process">
+    <pick name="order formats">
+      <onMessage partner="B" operation="orderOp"><empty name="o1"/></onMessage>
+      <onMessage partner="B" operation="order2Op"><empty name="o2"/></onMessage>
+    </pick>
+    <invoke name="delivery" partner="B" operation="deliveryOp"/>
+  </sequence>
+</process>`
+	accV2Path := writeFixture(t, "acc_v2.xml", accV2)
+	if err := runEvolve([]string{
+		"-addr", ts.URL, "-chor", "demo", "-party", "A", "-timeout", "10s",
+		"-new", accV2Path, "-commit",
+	}); err != nil {
+		t.Fatalf("evolve: %v", err)
+	}
+	info, err = choreo.NewChoreoClient(ts.URL, nil).Choreography(context.Background(), "demo")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Version != 2 {
+		t.Fatalf("after evolve -commit: version=%d, want 2", info.Version)
 	}
 }

@@ -50,31 +50,42 @@
 // scenarios (Secs. 5.2 and 5.3), service discovery and instance
 // migration.
 //
-// # Service layer (choreod)
+// # Service layer (choreod, API v2)
 //
 // Beyond the in-process library, the framework runs as a long-lived
 // service that owns choreography state and serves concurrent
 // check/evolve/migrate traffic:
 //
-//	st  := choreo.NewChoreographyStore(0)      // sharded COW store
-//	srv := choreo.NewChoreoServer(st)          // JSON HTTP API
+//	st  := choreo.NewChoreographyStore(             // sharded COW store
+//		choreo.WithStoreShards(32),
+//		choreo.WithStoreCacheCap(4096))
+//	srv := choreo.NewChoreoServer(st)               // JSON HTTP API (/v2/ + /v1/ shim)
 //	http.ListenAndServe(":8080", srv.Handler())
 //
 // or, from the command line, "choreoctl serve". The store
 // (ChoreographyStore) keeps every choreography behind an atomically
 // published copy-on-write snapshot: readers proceed without locks,
 // writers commit under optimistic concurrency (ErrStoreConflict when
-// the analyzed base version is stale). The expensive aFSA work is
-// amortized across requests — bilateral views are memoized per party
-// version and bilateral-consistency results are cached keyed by the
-// two party versions, so a commit invalidates exactly the pairs the
-// changed party touches.
+// the analyzed base version is stale). Every store operation takes a
+// leading context.Context; the expensive check and evolve paths honor
+// cancellation mid-computation. The expensive aFSA work is amortized
+// across requests — bilateral views are memoized per party version and
+// bilateral-consistency results are cached keyed by the two party
+// versions (optionally bounded by WithStoreCacheCap), so a commit
+// invalidates exactly the pairs the changed party touches.
 //
-// The HTTP API mirrors the library's evolution loop: register parties
-// (BPEL XML), check, evolve (returns classification, propagation
-// plans and partner suggestions as a pending evolution), commit,
-// apply suggestions to partners, instance-migration what-ifs, and
-// consistency-based discovery. ChoreoClient is the typed Go client;
-// see internal/server for the wire types and README.md for curl
-// examples.
+// The v2 HTTP API treats a change the way the paper does — as one
+// transaction: an evolve call carries a list of operations (EvolveOp)
+// applied in order and classified once against the combined delta, and
+// a batch endpoint registers or updates many parties in one commit.
+// Snapshot versions travel as ETags; writes accept If-Match and answer
+// 412 {code: "stale_version"} when the precondition misses, while an
+// apply-suggestion race on a changed partner stays 409
+// {code: "conflict"}. Listings paginate with limit/page_token cursors,
+// and every error is a uniform {code, message, details} envelope
+// (ChoreoCode* constants, matched with ChoreoErrIs). ChoreoClient is
+// the typed, context-first Go client; the /v1/ surface remains served
+// as a compatibility shim for deployed clients. See internal/server
+// for the wire types and README.md for curl examples and the v1→v2
+// migration table.
 package choreo

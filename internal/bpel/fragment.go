@@ -1,0 +1,48 @@
+package bpel
+
+import (
+	"bytes"
+	"encoding/xml"
+	"fmt"
+	"io"
+)
+
+// MarshalActivityXML renders a single activity as an XML fragment in
+// the same syntax MarshalXML uses inside a process — the wire format
+// of activity-carrying change operations.
+func MarshalActivityXML(a Activity) ([]byte, error) {
+	if a == nil {
+		return nil, fmt.Errorf("bpel: cannot marshal nil activity")
+	}
+	var buf bytes.Buffer
+	enc := xml.NewEncoder(&buf)
+	enc.Indent("", "  ")
+	if err := encodeActivity(enc, a); err != nil {
+		return nil, err
+	}
+	if err := enc.Flush(); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// UnmarshalActivityXML parses a single activity fragment as produced
+// by MarshalActivityXML (any activity element that may appear inside a
+// process body).
+func UnmarshalActivityXML(data []byte) (Activity, error) {
+	dec := xml.NewDecoder(bytes.NewReader(data))
+	for {
+		tok, err := dec.Token()
+		if err == io.EOF {
+			return nil, fmt.Errorf("bpel: no activity element found")
+		}
+		if err != nil {
+			return nil, err
+		}
+		start, ok := tok.(xml.StartElement)
+		if !ok {
+			continue
+		}
+		return decodeActivity(dec, start)
+	}
+}

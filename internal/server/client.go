@@ -2,21 +2,31 @@ package server
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
 	"net/url"
+	"strconv"
+	"strings"
 
 	"repro/internal/bpel"
 )
 
-// Client is a thin typed client for the choreod HTTP API. The zero
-// value is unusable; use NewClient.
+// Client is a typed client for the choreod /v2/ HTTP API. Every method
+// takes a leading context governing the request; errors carry the
+// machine-readable /v2/ code (see APIError and ErrIs). The zero value
+// is unusable; use NewClient.
 type Client struct {
 	base string
 	http *http.Client
 }
+
+// maxResponseBytes caps how much of a response body the client reads —
+// a misbehaving server cannot make the client buffer unbounded data.
+const maxResponseBytes = 8 << 20
 
 // NewClient returns a client for the service at base (e.g.
 // "http://localhost:8080"). httpClient may be nil for
@@ -32,167 +42,293 @@ func NewClient(base string, httpClient *http.Client) *Client {
 // evolution IDs are caller-chosen strings).
 func seg(s string) string { return url.PathEscape(s) }
 
-// APIError is a non-2xx response.
+// APIError is a non-2xx response, carrying the /v2/ error envelope.
 type APIError struct {
 	Status  int
+	Code    string
 	Message string
+	Details map[string]any
 }
 
 func (e *APIError) Error() string {
+	if e.Code != "" {
+		return fmt.Sprintf("server: HTTP %d %s: %s", e.Status, e.Code, e.Message)
+	}
 	return fmt.Sprintf("server: HTTP %d: %s", e.Status, e.Message)
 }
 
-func (c *Client) do(method, path string, in, out any) error {
+// ErrIs reports whether err is an APIError with the given /v2/ code
+// (one of the Code* constants).
+func ErrIs(err error, code string) bool {
+	var apiErr *APIError
+	return errors.As(err, &apiErr) && apiErr.Code == code
+}
+
+// do runs one request. A non-nil ifMatch sends the If-Match
+// precondition (version 0 is a valid precondition — a freshly created
+// choreography). The response body is always drained and closed so
+// keep-alive connections return to the pool, reads are capped at
+// maxResponseBytes, and the returned version carries the response ETag
+// (0 when absent).
+func (c *Client) do(ctx context.Context, method, path string, ifMatch *uint64, in, out any) (version uint64, err error) {
 	var body io.Reader
 	if in != nil {
 		data, err := json.Marshal(in)
 		if err != nil {
-			return err
+			return 0, err
 		}
 		body = bytes.NewReader(data)
 	}
-	req, err := http.NewRequest(method, c.base+path, body)
+	req, err := http.NewRequestWithContext(ctx, method, c.base+path, body)
 	if err != nil {
-		return err
+		return 0, err
 	}
 	if in != nil {
 		req.Header.Set("Content-Type", "application/json")
 	}
+	if ifMatch != nil {
+		req.Header.Set("If-Match", etagOf(*ifMatch))
+	}
 	resp, err := c.http.Do(req)
 	if err != nil {
-		return err
+		return 0, err
 	}
-	defer resp.Body.Close()
+	defer func() {
+		// Drain whatever the decoder left so the connection is reusable,
+		// but never more than the response cap.
+		_, _ = io.Copy(io.Discard, io.LimitReader(resp.Body, maxResponseBytes))
+		resp.Body.Close()
+	}()
+	limited := io.LimitReader(resp.Body, maxResponseBytes)
+	if etag := strings.Trim(resp.Header.Get("ETag"), `"`); etag != "" {
+		version, _ = strconv.ParseUint(etag, 10, 64)
+	}
 	if resp.StatusCode >= 300 {
-		var apiErr ErrorResponse
-		msg := resp.Status
-		if err := json.NewDecoder(resp.Body).Decode(&apiErr); err == nil && apiErr.Error != "" {
-			msg = apiErr.Error
+		apiErr := &APIError{Status: resp.StatusCode, Message: resp.Status}
+		var env ErrorEnvelope
+		if derr := json.NewDecoder(limited).Decode(&env); derr == nil && env.Message != "" {
+			apiErr.Code, apiErr.Message, apiErr.Details = env.Code, env.Message, env.Details
 		}
-		return &APIError{Status: resp.StatusCode, Message: msg}
+		return version, apiErr
 	}
 	if out == nil {
-		_, _ = io.Copy(io.Discard, resp.Body)
-		return nil
+		return version, nil
 	}
-	return json.NewDecoder(resp.Body).Decode(out)
+	return version, json.NewDecoder(limited).Decode(out)
 }
+
+// ---- choreographies ----
 
 // CreateChoreography creates an empty choreography; sync lists
 // "party.op" synchronous operations.
-func (c *Client) CreateChoreography(id string, sync []string) error {
-	return c.do("POST", "/v1/choreographies", CreateRequest{ID: id, Sync: sync}, nil)
+func (c *Client) CreateChoreography(ctx context.Context, id string, sync []string) error {
+	_, err := c.do(ctx, "POST", "/v2/choreographies", nil, CreateRequest{ID: id, Sync: sync}, nil)
+	return err
 }
 
-// Choreographies lists the stored choreography IDs.
-func (c *Client) Choreographies() ([]string, error) {
-	var out struct {
-		Choreographies []string `json:"choreographies"`
+// DeleteChoreography removes a choreography.
+func (c *Client) DeleteChoreography(ctx context.Context, id string) error {
+	_, err := c.do(ctx, "DELETE", "/v2/choreographies/"+seg(id), nil, nil, nil)
+	return err
+}
+
+// ChoreographiesPage fetches one page of choreography IDs; pageToken
+// "" starts from the beginning, the returned token is "" on the last
+// page.
+func (c *Client) ChoreographiesPage(ctx context.Context, limit int, pageToken string) ([]string, string, error) {
+	var out ListResponse
+	path := "/v2/choreographies?" + pageValues(limit, pageToken)
+	if _, err := c.do(ctx, "GET", path, nil, nil, &out); err != nil {
+		return nil, "", err
 	}
-	if err := c.do("GET", "/v1/choreographies", nil, &out); err != nil {
-		return nil, err
+	return out.Choreographies, out.NextPageToken, nil
+}
+
+// Choreographies iterates the cursor until exhaustion and returns
+// every stored choreography ID.
+func (c *Client) Choreographies(ctx context.Context) ([]string, error) {
+	var all []string
+	token := ""
+	for {
+		page, next, err := c.ChoreographiesPage(ctx, 0, token)
+		if err != nil {
+			return nil, err
+		}
+		all = append(all, page...)
+		if next == "" {
+			return all, nil
+		}
+		token = next
 	}
-	return out.Choreographies, nil
 }
 
 // Choreography fetches one choreography summary.
-func (c *Client) Choreography(id string) (*ChoreographyInfo, error) {
+func (c *Client) Choreography(ctx context.Context, id string) (*ChoreographyInfo, error) {
 	var out ChoreographyInfo
-	if err := c.do("GET", "/v1/choreographies/"+seg(id), nil, &out); err != nil {
+	if _, err := c.do(ctx, "GET", "/v2/choreographies/"+seg(id), nil, nil, &out); err != nil {
 		return nil, err
 	}
 	return &out, nil
 }
 
+// ---- parties ----
+
 // RegisterParty registers a private process (serialized to XML on the
 // wire).
-func (c *Client) RegisterParty(id string, p *bpel.Process) (*PartyInfo, error) {
+func (c *Client) RegisterParty(ctx context.Context, id string, p *bpel.Process) (*PartyInfo, error) {
 	data, err := bpel.MarshalXML(p)
 	if err != nil {
 		return nil, err
 	}
-	return c.RegisterPartyXML(id, string(data))
+	return c.RegisterPartyXML(ctx, id, string(data))
 }
 
 // RegisterPartyXML registers a private process given as BPEL XML.
-func (c *Client) RegisterPartyXML(id, xml string) (*PartyInfo, error) {
+func (c *Client) RegisterPartyXML(ctx context.Context, id, xml string) (*PartyInfo, error) {
 	var out PartyInfo
-	if err := c.do("POST", "/v1/choreographies/"+seg(id)+"/parties", PartyRequest{XML: xml}, &out); err != nil {
+	_, err := c.do(ctx, "POST", "/v2/choreographies/"+seg(id)+"/parties", nil, PartyRequest{XML: xml}, &out)
+	if err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// RegisterParties registers and/or updates several parties as one
+// change transaction (one commit, one version bump). A non-nil
+// ifMatch pins the batch to that snapshot version: the call fails
+// with CodeStaleVersion when the choreography moved past it.
+func (c *Client) RegisterParties(ctx context.Context, id string, procs []*bpel.Process, ifMatch *uint64) (*BatchPartiesResponse, error) {
+	req := BatchPartiesRequest{Parties: make([]PartyRequest, 0, len(procs))}
+	for _, p := range procs {
+		data, err := bpel.MarshalXML(p)
+		if err != nil {
+			return nil, err
+		}
+		req.Parties = append(req.Parties, PartyRequest{XML: string(data)})
+	}
+	var out BatchPartiesResponse
+	_, err := c.do(ctx, "POST", "/v2/choreographies/"+seg(id)+"/parties:batch", ifMatch, req, &out)
+	if err != nil {
 		return nil, err
 	}
 	return &out, nil
 }
 
 // Party fetches one party (including its private process XML).
-func (c *Client) Party(id, party string) (*PartyInfo, error) {
+func (c *Client) Party(ctx context.Context, id, party string) (*PartyInfo, error) {
 	var out PartyInfo
-	if err := c.do("GET", "/v1/choreographies/"+seg(id)+"/parties/"+seg(party), nil, &out); err != nil {
+	_, err := c.do(ctx, "GET", "/v2/choreographies/"+seg(id)+"/parties/"+seg(party), nil, nil, &out)
+	if err != nil {
 		return nil, err
 	}
 	return &out, nil
 }
 
-// UpdateParty replaces a party's private process outright.
-func (c *Client) UpdateParty(id string, p *bpel.Process) (*PartyInfo, error) {
+// UpdateParty replaces a party's private process outright. A non-nil
+// ifMatch sends If-Match (CodeStaleVersion on a lost race).
+func (c *Client) UpdateParty(ctx context.Context, id string, p *bpel.Process, ifMatch *uint64) (*PartyInfo, error) {
 	data, err := bpel.MarshalXML(p)
 	if err != nil {
 		return nil, err
 	}
 	var out PartyInfo
-	err = c.do("PUT", "/v1/choreographies/"+seg(id)+"/parties/"+seg(p.Owner), PartyRequest{XML: string(data)}, &out)
+	_, err = c.do(ctx, "PUT", "/v2/choreographies/"+seg(id)+"/parties/"+seg(p.Owner), ifMatch,
+		PartyRequest{XML: string(data)}, &out)
 	if err != nil {
 		return nil, err
 	}
 	return &out, nil
 }
+
+// ---- consistency ----
 
 // Check runs the pairwise consistency check.
-func (c *Client) Check(id string) (*CheckResponse, error) {
+func (c *Client) Check(ctx context.Context, id string) (*CheckResponse, error) {
 	var out CheckResponse
-	if err := c.do("POST", "/v1/choreographies/"+seg(id)+"/check", struct{}{}, &out); err != nil {
+	if _, err := c.do(ctx, "POST", "/v2/choreographies/"+seg(id)+"/check", nil, struct{}{}, &out); err != nil {
 		return nil, err
 	}
 	return &out, nil
 }
 
-// Evolve submits a party's proposed new private process for analysis.
-func (c *Client) Evolve(id string, p *bpel.Process) (*EvolveResponse, error) {
+// CheckBatch checks several choreographies in one request; per-ID
+// failures come back inside the results, not as a call error.
+func (c *Client) CheckBatch(ctx context.Context, ids []string) ([]BatchCheckResult, error) {
+	var out BatchCheckResponse
+	if _, err := c.do(ctx, "POST", "/v2/check:batch", nil, BatchCheckRequest{IDs: ids}, &out); err != nil {
+		return nil, err
+	}
+	return out.Results, nil
+}
+
+// ---- evolution ----
+
+// Evolve submits a party's proposed new private process for analysis —
+// the single-op convenience over EvolveOps (one whole-process
+// replacement).
+func (c *Client) Evolve(ctx context.Context, id string, p *bpel.Process) (*EvolveOpsResponse, error) {
 	data, err := bpel.MarshalXML(p)
 	if err != nil {
 		return nil, err
 	}
-	var out EvolveResponse
-	err = c.do("POST", "/v1/choreographies/"+seg(id)+"/evolve",
-		EvolveRequest{Party: p.Owner, XML: string(data)}, &out)
+	return c.EvolveOps(ctx, id, p.Owner, []OpJSON{{Kind: "replaceProcess", XML: string(data)}})
+}
+
+// EvolveOps submits a multi-op change transaction for analysis: the
+// ops are applied in order and the combined delta is classified once.
+// The returned BaseVersion (from the response ETag) pins the analysis
+// for CommitIfMatch.
+func (c *Client) EvolveOps(ctx context.Context, id, party string, ops []OpJSON) (*EvolveOpsResponse, error) {
+	var out EvolveOpsResponse
+	version, err := c.do(ctx, "POST", "/v2/choreographies/"+seg(id)+"/evolve", nil,
+		EvolveOpsRequest{Party: party, Ops: ops}, &out)
 	if err != nil {
 		return nil, err
 	}
+	out.BaseVersion = version
 	return &out, nil
 }
 
 // Evolution re-fetches a pending evolution analysis.
-func (c *Client) Evolution(evoID string) (*EvolveResponse, error) {
-	var out EvolveResponse
-	if err := c.do("GET", "/v1/evolutions/"+seg(evoID), nil, &out); err != nil {
+func (c *Client) Evolution(ctx context.Context, evoID string) (*EvolveOpsResponse, error) {
+	var out EvolveOpsResponse
+	version, err := c.do(ctx, "GET", "/v2/evolutions/"+seg(evoID), nil, nil, &out)
+	if err != nil {
 		return nil, err
 	}
+	out.BaseVersion = version
 	return &out, nil
 }
 
-// Commit publishes a pending evolution (409 on version conflict).
-func (c *Client) Commit(evoID string) (*CommitResponse, error) {
+// Commit publishes a pending evolution (CodeStaleVersion / HTTP 412
+// when the choreography advanced past the analysis).
+func (c *Client) Commit(ctx context.Context, evoID string) (*CommitResponse, error) {
+	return c.commit(ctx, evoID, nil)
+}
+
+// CommitIfMatch publishes a pending evolution under an explicit
+// If-Match precondition on the current snapshot version — typically
+// the BaseVersion returned by EvolveOps. The header is always sent,
+// version 0 included.
+func (c *Client) CommitIfMatch(ctx context.Context, evoID string, baseVersion uint64) (*CommitResponse, error) {
+	return c.commit(ctx, evoID, &baseVersion)
+}
+
+func (c *Client) commit(ctx context.Context, evoID string, ifMatch *uint64) (*CommitResponse, error) {
 	var out CommitResponse
-	if err := c.do("POST", "/v1/evolutions/"+seg(evoID)+"/commit", struct{}{}, &out); err != nil {
+	_, err := c.do(ctx, "POST", "/v2/evolutions/"+seg(evoID)+"/commit", ifMatch, struct{}{}, &out)
+	if err != nil {
 		return nil, err
 	}
 	return &out, nil
 }
 
 // Apply runs suggestions from a pending evolution on a partner; empty
-// indices mean every executable suggestion.
-func (c *Client) Apply(evoID, partner string, suggestions []int) (*CommitResponse, error) {
+// indices mean every executable suggestion. A partner that changed
+// since the analysis answers CodeConflict / HTTP 409.
+func (c *Client) Apply(ctx context.Context, evoID, partner string, suggestions []int) (*CommitResponse, error) {
 	var out CommitResponse
-	err := c.do("POST", "/v1/evolutions/"+seg(evoID)+"/apply",
+	_, err := c.do(ctx, "POST", "/v2/evolutions/"+seg(evoID)+"/apply", nil,
 		ApplyRequest{Partner: partner, Suggestions: suggestions}, &out)
 	if err != nil {
 		return nil, err
@@ -200,22 +336,24 @@ func (c *Client) Apply(evoID, partner string, suggestions []int) (*CommitRespons
 	return &out, nil
 }
 
+// ---- instances & migration ----
+
 // SampleInstances records n seeded random-walk instances of a party.
-func (c *Client) SampleInstances(id, party string, seed int64, n, maxLen int) (int, error) {
+func (c *Client) SampleInstances(ctx context.Context, id, party string, seed int64, n, maxLen int) (int, error) {
 	var out struct {
 		Added int `json:"added"`
 	}
-	err := c.do("POST", "/v1/choreographies/"+seg(id)+"/parties/"+seg(party)+"/instances",
+	_, err := c.do(ctx, "POST", "/v2/choreographies/"+seg(id)+"/parties/"+seg(party)+"/instances", nil,
 		InstancesRequest{Sample: &SampleJSON{Seed: seed, N: n, MaxLen: maxLen}}, &out)
 	return out.Added, err
 }
 
 // AddInstances records explicit instance traces.
-func (c *Client) AddInstances(id, party string, insts []InstanceJSON) (int, error) {
+func (c *Client) AddInstances(ctx context.Context, id, party string, insts []InstanceJSON) (int, error) {
 	var out struct {
 		Added int `json:"added"`
 	}
-	err := c.do("POST", "/v1/choreographies/"+seg(id)+"/parties/"+seg(party)+"/instances",
+	_, err := c.do(ctx, "POST", "/v2/choreographies/"+seg(id)+"/parties/"+seg(party)+"/instances", nil,
 		InstancesRequest{Instances: insts}, &out)
 	return out.Added, err
 }
@@ -223,9 +361,9 @@ func (c *Client) AddInstances(id, party string, insts []InstanceJSON) (int, erro
 // Migrate classifies a party's recorded instances; evoID may be empty
 // (classify against the current schema) or name a pending evolution
 // (what-if before committing).
-func (c *Client) Migrate(id, party, evoID string) (*MigrateResponse, error) {
+func (c *Client) Migrate(ctx context.Context, id, party, evoID string) (*MigrateResponse, error) {
 	var out MigrateResponse
-	err := c.do("POST", "/v1/choreographies/"+seg(id)+"/parties/"+seg(party)+"/migrate",
+	_, err := c.do(ctx, "POST", "/v2/choreographies/"+seg(id)+"/parties/"+seg(party)+"/migrate", nil,
 		MigrateRequest{Evolution: evoID}, &out)
 	if err != nil {
 		return nil, err
@@ -233,41 +371,84 @@ func (c *Client) Migrate(id, party, evoID string) (*MigrateResponse, error) {
 	return &out, nil
 }
 
+// ---- discovery ----
+
 // Publish publishes a party's public process for discovery; a
 // non-empty forParty publishes the bilateral view τ_forParty(party)
 // instead — the behavior the service exposes to that prospective
 // partner.
-func (c *Client) Publish(name, choreography, party, forParty string) error {
-	return c.do("POST", "/v1/discovery/publish",
+func (c *Client) Publish(ctx context.Context, name, choreography, party, forParty string) error {
+	_, err := c.do(ctx, "POST", "/v2/discovery/publish", nil,
 		PublishRequest{Name: name, Choreography: choreography, Party: party, For: forParty}, nil)
+	return err
 }
 
-// Match queries discovery with a party's public process; matcher is
-// "consistent" (default) or "overlap".
-func (c *Client) Match(choreography, party, matcher string) ([]string, error) {
+// MatchPage fetches one page of discovery matches.
+func (c *Client) MatchPage(ctx context.Context, req MatchRequest) (*MatchResponse, error) {
 	var out MatchResponse
-	err := c.do("POST", "/v1/discovery/match",
-		MatchRequest{Choreography: choreography, Party: party, Matcher: matcher}, &out)
-	if err != nil {
+	if _, err := c.do(ctx, "POST", "/v2/discovery/match", nil, req, &out); err != nil {
 		return nil, err
 	}
-	return out.Matches, nil
+	return &out, nil
 }
 
+// Match queries discovery with a party's public process, iterating the
+// cursor until exhaustion; matcher is "consistent" (default) or
+// "overlap".
+func (c *Client) Match(ctx context.Context, choreography, party, matcher string) ([]string, error) {
+	req := MatchRequest{Choreography: choreography, Party: party, Matcher: matcher}
+	var all []string
+	for {
+		page, err := c.MatchPage(ctx, req)
+		if err != nil {
+			return nil, err
+		}
+		all = append(all, page.Matches...)
+		if page.NextPageToken == "" {
+			return all, nil
+		}
+		req.PageToken = page.NextPageToken
+	}
+}
+
+// ServicesPage fetches one page of published discovery service names.
+func (c *Client) ServicesPage(ctx context.Context, limit int, pageToken string) ([]string, string, error) {
+	var out ServicesResponse
+	path := "/v2/discovery/services?" + pageValues(limit, pageToken)
+	if _, err := c.do(ctx, "GET", path, nil, nil, &out); err != nil {
+		return nil, "", err
+	}
+	return out.Services, out.NextPageToken, nil
+}
+
+// ---- misc ----
+
 // View fetches the bilateral view τ_forParty(of) rendered as text.
-func (c *Client) View(id, of, forParty string) (string, error) {
+func (c *Client) View(ctx context.Context, id, of, forParty string) (string, error) {
 	var out struct {
 		View string `json:"view"`
 	}
-	err := c.do("GET", "/v1/choreographies/"+seg(id)+"/parties/"+seg(of)+"/view?for="+url.QueryEscape(forParty), nil, &out)
+	_, err := c.do(ctx, "GET",
+		"/v2/choreographies/"+seg(id)+"/parties/"+seg(of)+"/view?for="+url.QueryEscape(forParty), nil, nil, &out)
 	return out.View, err
 }
 
 // Stats fetches server counters.
-func (c *Client) Stats() (*StatsResponse, error) {
+func (c *Client) Stats(ctx context.Context) (*StatsResponse, error) {
 	var out StatsResponse
-	if err := c.do("GET", "/v1/stats", nil, &out); err != nil {
+	if _, err := c.do(ctx, "GET", "/v2/stats", nil, nil, &out); err != nil {
 		return nil, err
 	}
 	return &out, nil
+}
+
+func pageValues(limit int, pageToken string) string {
+	v := url.Values{}
+	if limit > 0 {
+		v.Set("limit", strconv.Itoa(limit))
+	}
+	if pageToken != "" {
+		v.Set("page_token", pageToken)
+	}
+	return v.Encode()
 }

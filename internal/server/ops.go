@@ -1,0 +1,120 @@
+package server
+
+import (
+	"strings"
+
+	"repro/internal/bpel"
+	"repro/internal/change"
+)
+
+// OpJSON is the wire encoding of one structural change operation of a
+// /v2/ evolve transaction. Kind selects the operation; the other
+// fields parameterize it:
+//
+//	replaceProcess  XML (whole process; owner must match the party)
+//	replace         Path, XML (activity fragment)
+//	insert          Path (sibling), XML, After
+//	append          Path (sequence/flow), XML
+//	delete          Path
+//	shift           Path, Anchor, After
+//	setWhileCond    Path, Cond
+//
+// Path addresses an activity as its block elements joined by "/"
+// (e.g. "Sequence:accounting process/Receive:order"); activity XML
+// uses the same fragment syntax the BPEL process bodies use.
+type OpJSON struct {
+	Kind   string `json:"kind"`
+	Path   string `json:"path,omitempty"`
+	XML    string `json:"xml,omitempty"`
+	Cond   string `json:"cond,omitempty"`
+	Anchor string `json:"anchor,omitempty"`
+	After  bool   `json:"after,omitempty"`
+}
+
+// parsePath splits the "/"-joined wire path into bpel.Path elements.
+func parsePath(s string) bpel.Path {
+	if strings.TrimSpace(s) == "" {
+		return nil
+	}
+	parts := strings.Split(s, "/")
+	out := make(bpel.Path, 0, len(parts))
+	for _, p := range parts {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// activity parses the op's XML field as an activity fragment.
+func (o OpJSON) activity() (bpel.Activity, error) {
+	if o.XML == "" {
+		return nil, badRequest("op %q needs an activity in xml", o.Kind)
+	}
+	a, err := bpel.UnmarshalActivityXML([]byte(o.XML))
+	if err != nil {
+		return nil, badRequest("op %q: parsing activity XML: %v", o.Kind, err)
+	}
+	return a, nil
+}
+
+// Operation translates the wire op into a change.Operation for party.
+func (o OpJSON) Operation(party string) (change.Operation, error) {
+	switch o.Kind {
+	case "replaceProcess":
+		p, err := parseProcess(o.XML)
+		if err != nil {
+			return nil, err
+		}
+		if p.Owner != party {
+			return nil, badRequest("op replaceProcess: process owner %q does not match party %q", p.Owner, party)
+		}
+		return change.Replace{Path: nil, New: p.Body}, nil
+	case "replace":
+		a, err := o.activity()
+		if err != nil {
+			return nil, err
+		}
+		return change.Replace{Path: parsePath(o.Path), New: a}, nil
+	case "insert":
+		a, err := o.activity()
+		if err != nil {
+			return nil, err
+		}
+		return change.Insert{Path: parsePath(o.Path), New: a, After: o.After}, nil
+	case "append":
+		a, err := o.activity()
+		if err != nil {
+			return nil, err
+		}
+		return change.Append{Path: parsePath(o.Path), New: a}, nil
+	case "delete":
+		return change.Delete{Path: parsePath(o.Path)}, nil
+	case "shift":
+		return change.Shift{Path: parsePath(o.Path), Anchor: o.Anchor, After: o.After}, nil
+	case "setWhileCond":
+		return change.SetWhileCond{Path: parsePath(o.Path), Cond: o.Cond}, nil
+	case "":
+		return nil, badRequest("op without kind")
+	}
+	return nil, badRequest("unknown op kind %q", o.Kind)
+}
+
+// decodeOps translates a wire op list into a change transaction.
+func decodeOps(party string, ops []OpJSON) ([]change.Operation, error) {
+	if party == "" {
+		return nil, badRequest("missing party")
+	}
+	if len(ops) == 0 {
+		return nil, badRequest("evolve needs at least one op")
+	}
+	out := make([]change.Operation, 0, len(ops))
+	for i, o := range ops {
+		op, err := o.Operation(party)
+		if err != nil {
+			return nil, badRequest("ops[%d]: %v", i, err)
+		}
+		out = append(out, op)
+	}
+	return out, nil
+}

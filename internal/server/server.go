@@ -1,41 +1,52 @@
 // Package server exposes the choreography store as a JSON HTTP
 // service — choreod. It is the serving front end of the framework:
 // clients register parties as BPEL XML, check pairwise consistency,
-// submit changes for analysis (classification, propagation plans,
-// adaptation suggestions), commit them, apply suggestions to
-// partners, query instance migratability, and run consistency-based
-// service discovery.
+// submit change transactions for analysis (classification,
+// propagation plans, adaptation suggestions), commit them, apply
+// suggestions to partners, query instance migratability, and run
+// consistency-based service discovery.
 //
-// The API (all bodies JSON; XML process payloads travel inside JSON
-// strings):
+// The primary surface is /v2/ (all bodies JSON; XML process payloads
+// travel inside JSON strings):
 //
-//	POST   /v1/choreographies                                 {id, sync[]}
-//	GET    /v1/choreographies
-//	GET    /v1/choreographies/{id}
-//	DELETE /v1/choreographies/{id}
-//	POST   /v1/choreographies/{id}/parties                    {xml}
-//	GET    /v1/choreographies/{id}/parties/{party}
-//	PUT    /v1/choreographies/{id}/parties/{party}            {xml}
-//	GET    /v1/choreographies/{id}/parties/{party}/view?for=P[&format=dot]
-//	POST   /v1/choreographies/{id}/check
-//	POST   /v1/choreographies/{id}/evolve                     {party, xml}
-//	GET    /v1/evolutions/{evo}
-//	POST   /v1/evolutions/{evo}/commit
-//	POST   /v1/evolutions/{evo}/apply                         {partner, suggestions[]}
-//	POST   /v1/choreographies/{id}/parties/{party}/instances  {sample}|{instances}
-//	POST   /v1/choreographies/{id}/parties/{party}/migrate    {evolution}
-//	POST   /v1/discovery/publish                              {name, choreography, party}
-//	POST   /v1/discovery/match                                {choreography, party, matcher}
-//	GET    /v1/stats
+//	POST   /v2/choreographies                                 {id, sync[]}
+//	GET    /v2/choreographies?limit=&page_token=
+//	GET    /v2/choreographies/{id}                            (ETag)
+//	DELETE /v2/choreographies/{id}
+//	POST   /v2/choreographies/{id}/parties                    {xml}
+//	POST   /v2/choreographies/{id}/parties:batch              {parties[]} [If-Match]
+//	GET    /v2/choreographies/{id}/parties/{party}
+//	PUT    /v2/choreographies/{id}/parties/{party}            {xml} [If-Match]
+//	GET    /v2/choreographies/{id}/parties/{party}/view?for=P[&format=dot]
+//	POST   /v2/choreographies/{id}/check                      (ETag)
+//	POST   /v2/check:batch                                    {ids[]}
+//	POST   /v2/choreographies/{id}/evolve                     {party, ops[]} (ETag = base version)
+//	GET    /v2/evolutions/{evo}
+//	POST   /v2/evolutions/{evo}/commit                        [If-Match] → 412 on stale
+//	POST   /v2/evolutions/{evo}/apply                         {partner, suggestions[]} → 409 on race
+//	POST   /v2/choreographies/{id}/parties/{party}/instances  {sample}|{instances}
+//	POST   /v2/choreographies/{id}/parties/{party}/migrate    {evolution}
+//	POST   /v2/discovery/publish                              {name, choreography, party}
+//	POST   /v2/discovery/match                                {choreography, party, matcher, limit, pageToken}
+//	GET    /v2/discovery/services?limit=&page_token=
+//	GET    /v2/stats
 //	GET    /healthz
 //
-// Store sentinel errors map onto HTTP statuses: not-found → 404,
-// duplicates and version conflicts → 409, malformed input → 400.
+// Optimistic concurrency travels in headers: responses describing a
+// snapshot carry its version as a strong ETag, and writes accept
+// If-Match, answering 412 {code: "stale_version"} when the caller's
+// version is outdated. Errors are a uniform machine-readable envelope
+// {code, message, details}; see the Code* constants for the mapping
+// (not-found → 404, duplicates and apply races → 409, malformed input
+// → 400, stale preconditions → 412).
+//
+// /v1/ remains available as a compatibility shim with the original
+// single-op, body-version, {error}-envelope wire contract; it
+// delegates to the same core as /v2/. See v1.go.
 package server
 
 import (
-	"encoding/json"
-	"errors"
+	"context"
 	"fmt"
 	"net/http"
 	"sort"
@@ -85,261 +96,24 @@ func New(st *store.Store) *Server {
 // Store returns the underlying store.
 func (s *Server) Store() *store.Store { return s.store }
 
-// Handler returns the routed HTTP handler.
+// Handler returns the routed HTTP handler serving /v2/, the /v1/
+// compatibility shim, and /healthz.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", s.handleHealth)
-	mux.HandleFunc("GET /v1/stats", s.handleStats)
-	mux.HandleFunc("POST /v1/choreographies", s.handleCreate)
-	mux.HandleFunc("GET /v1/choreographies", s.handleList)
-	mux.HandleFunc("GET /v1/choreographies/{id}", s.handleGet)
-	mux.HandleFunc("DELETE /v1/choreographies/{id}", s.handleDelete)
-	mux.HandleFunc("POST /v1/choreographies/{id}/parties", s.handleRegisterParty)
-	mux.HandleFunc("GET /v1/choreographies/{id}/parties/{party}", s.handleGetParty)
-	mux.HandleFunc("PUT /v1/choreographies/{id}/parties/{party}", s.handleUpdateParty)
-	mux.HandleFunc("GET /v1/choreographies/{id}/parties/{party}/view", s.handleView)
-	mux.HandleFunc("POST /v1/choreographies/{id}/check", s.handleCheck)
-	mux.HandleFunc("POST /v1/choreographies/{id}/evolve", s.handleEvolve)
-	mux.HandleFunc("GET /v1/evolutions/{evo}", s.handleGetEvolution)
-	mux.HandleFunc("POST /v1/evolutions/{evo}/commit", s.handleCommit)
-	mux.HandleFunc("POST /v1/evolutions/{evo}/apply", s.handleApply)
-	mux.HandleFunc("POST /v1/choreographies/{id}/parties/{party}/instances", s.handleInstances)
-	mux.HandleFunc("POST /v1/choreographies/{id}/parties/{party}/migrate", s.handleMigrate)
-	mux.HandleFunc("POST /v1/discovery/publish", s.handlePublish)
-	mux.HandleFunc("POST /v1/discovery/match", s.handleMatch)
+	s.routesV2(mux)
+	s.routesV1(mux)
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		s.requests.Add(1)
 		mux.ServeHTTP(w, r)
 	})
 }
 
-// ---- wire types ----
-
-// ErrorResponse is the JSON error envelope.
-type ErrorResponse struct {
-	Error string `json:"error"`
+func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 }
 
-// CreateRequest creates a choreography.
-type CreateRequest struct {
-	ID string `json:"id"`
-	// Sync lists "party.op" pairs to treat as synchronous operations.
-	Sync []string `json:"sync,omitempty"`
-}
-
-// PartyRequest carries a private process as BPEL XML.
-type PartyRequest struct {
-	XML string `json:"xml"`
-}
-
-// PartyInfo summarizes one registered party.
-type PartyInfo struct {
-	Name    string `json:"name"`
-	Version uint64 `json:"version"`
-	// States/Transitions size the derived public process.
-	States      int    `json:"states"`
-	Transitions int    `json:"transitions"`
-	XML         string `json:"xml,omitempty"`
-}
-
-// ChoreographyInfo summarizes one choreography.
-type ChoreographyInfo struct {
-	ID      string      `json:"id"`
-	Version uint64      `json:"version"`
-	Parties []PartyInfo `json:"parties"`
-}
-
-// PairJSON is one pair's consistency status.
-type PairJSON struct {
-	A          string `json:"a"`
-	B          string `json:"b"`
-	Consistent bool   `json:"consistent"`
-	Cached     bool   `json:"cached"`
-}
-
-// CheckResponse reports pairwise consistency.
-type CheckResponse struct {
-	ID         string     `json:"id"`
-	Version    uint64     `json:"version"`
-	Consistent bool       `json:"consistent"`
-	Pairs      []PairJSON `json:"pairs"`
-}
-
-// EvolveRequest submits a change: the party's proposed new private
-// process as XML.
-type EvolveRequest struct {
-	Party string `json:"party"`
-	XML   string `json:"xml"`
-}
-
-// PlanJSON summarizes one propagation plan.
-type PlanJSON struct {
-	Kind string `json:"kind"`
-	// DiffStates/NewPartnerPublicStates size the difference automaton
-	// and adapted partner public process.
-	DiffStates             int      `json:"diffStates"`
-	NewPartnerPublicStates int      `json:"newPartnerPublicStates"`
-	Hints                  []string `json:"hints,omitempty"`
-	Regions                []string `json:"regions,omitempty"`
-}
-
-// SuggestionJSON is one proposed partner adaptation.
-type SuggestionJSON struct {
-	Index       int    `json:"index"`
-	Description string `json:"description"`
-	// Executable reports whether the suggestion carries a ready
-	// operation that /apply can run; otherwise it is a manual
-	// recommendation.
-	Executable bool   `json:"executable"`
-	Op         string `json:"op,omitempty"`
-}
-
-// ImpactJSON is the per-partner effect of a change.
-type ImpactJSON struct {
-	Partner     string           `json:"partner"`
-	ViewChanged bool             `json:"viewChanged"`
-	Kind        string           `json:"kind,omitempty"`
-	Scope       string           `json:"scope,omitempty"`
-	Plans       []PlanJSON       `json:"plans,omitempty"`
-	Suggestions []SuggestionJSON `json:"suggestions,omitempty"`
-}
-
-// EvolveResponse is the analysis of one submitted change.
-type EvolveResponse struct {
-	Evolution        string       `json:"evolution"`
-	Choreography     string       `json:"choreography"`
-	Party            string       `json:"party"`
-	BaseVersion      uint64       `json:"baseVersion"`
-	PublicChanged    bool         `json:"publicChanged"`
-	NeedsPropagation bool         `json:"needsPropagation"`
-	Impacts          []ImpactJSON `json:"impacts"`
-}
-
-// CommitResponse acknowledges a commit.
-type CommitResponse struct {
-	Choreography string `json:"choreography"`
-	Version      uint64 `json:"version"`
-}
-
-// ApplyRequest applies suggestions to a partner.
-type ApplyRequest struct {
-	Partner string `json:"partner"`
-	// Suggestions are indices into the partner impact's suggestion
-	// list; empty means every executable suggestion.
-	Suggestions []int `json:"suggestions,omitempty"`
-}
-
-// InstancesRequest records running instances: either explicit traces
-// or a seeded random sample.
-type InstancesRequest struct {
-	Instances []InstanceJSON `json:"instances,omitempty"`
-	Sample    *SampleJSON    `json:"sample,omitempty"`
-}
-
-// InstanceJSON is one running conversation.
-type InstanceJSON struct {
-	ID    string   `json:"id"`
-	Trace []string `json:"trace"`
-}
-
-// SampleJSON parameterizes instance sampling.
-type SampleJSON struct {
-	Seed   int64 `json:"seed"`
-	N      int   `json:"n"`
-	MaxLen int   `json:"maxLen"`
-}
-
-// MigrateRequest classifies a party's instances; with Evolution set,
-// against that pending evolution's new public process (what-if before
-// committing), otherwise against the party's current one.
-type MigrateRequest struct {
-	Evolution string `json:"evolution,omitempty"`
-}
-
-// MigrateResponse is the migration report.
-type MigrateResponse struct {
-	Total         int      `json:"total"`
-	Migratable    int      `json:"migratable"`
-	NonReplayable int      `json:"nonReplayable"`
-	Unviable      int      `json:"unviable"`
-	Blocked       []string `json:"blocked,omitempty"`
-}
-
-// PublishRequest publishes a party's public process for discovery.
-// With For set, the bilateral view τ_For(party) is published instead —
-// the behavior the service exposes to that prospective partner (the
-// idiom of paper Sec. 6 matchmaking).
-type PublishRequest struct {
-	Name         string `json:"name"`
-	Choreography string `json:"choreography"`
-	Party        string `json:"party"`
-	For          string `json:"for,omitempty"`
-}
-
-// MatchRequest queries discovery with a party's public process.
-type MatchRequest struct {
-	Choreography string `json:"choreography"`
-	Party        string `json:"party"`
-	// Matcher is "consistent" (default; the paper's matchmaking) or
-	// "overlap" (the keyword-style baseline).
-	Matcher string `json:"matcher,omitempty"`
-}
-
-// MatchResponse lists the matched services.
-type MatchResponse struct {
-	Matcher string   `json:"matcher"`
-	Matches []string `json:"matches"`
-}
-
-// StatsResponse reports store and server counters.
-type StatsResponse struct {
-	Choreographies    int    `json:"choreographies"`
-	ConsistencyHits   uint64 `json:"consistencyHits"`
-	ConsistencyMisses uint64 `json:"consistencyMisses"`
-	ViewHits          uint64 `json:"viewHits"`
-	ViewMisses        uint64 `json:"viewMisses"`
-	Commits           uint64 `json:"commits"`
-	Conflicts         uint64 `json:"conflicts"`
-	Evolutions        uint64 `json:"evolutions"`
-	PendingEvolutions int    `json:"pendingEvolutions"`
-	Requests          uint64 `json:"requests"`
-}
-
-// ---- helpers ----
-
-func writeJSON(w http.ResponseWriter, status int, v any) {
-	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(status)
-	_ = json.NewEncoder(w).Encode(v)
-}
-
-func writeError(w http.ResponseWriter, err error) {
-	status := http.StatusInternalServerError
-	switch {
-	case errors.Is(err, store.ErrNotFound):
-		status = http.StatusNotFound
-	case errors.Is(err, store.ErrExists), errors.Is(err, store.ErrConflict):
-		status = http.StatusConflict
-	case errors.Is(err, errBadRequest):
-		status = http.StatusBadRequest
-	}
-	writeJSON(w, status, ErrorResponse{Error: err.Error()})
-}
-
-var errBadRequest = errors.New("bad request")
-
-func badRequest(format string, args ...any) error {
-	return fmt.Errorf("%w: %s", errBadRequest, fmt.Sprintf(format, args...))
-}
-
-func decode(r *http.Request, v any) error {
-	dec := json.NewDecoder(r.Body)
-	dec.DisallowUnknownFields()
-	if err := dec.Decode(v); err != nil {
-		return badRequest("decoding body: %v", err)
-	}
-	return nil
-}
+// ---- shared core (version-agnostic logic both route sets delegate to) ----
 
 func parseProcess(xml string) (*bpel.Process, error) {
 	if xml == "" {
@@ -369,23 +143,16 @@ func partyInfo(ps *store.PartyState, withXML bool) (PartyInfo, error) {
 	return info, nil
 }
 
-func checkResponse(rep *store.CheckReport) CheckResponse {
-	out := CheckResponse{ID: rep.ID, Version: rep.Version, Consistent: rep.Consistent()}
+func checkResponse(rep *store.CheckReport) *CheckResponse {
+	out := &CheckResponse{ID: rep.ID, Version: rep.Version, Consistent: rep.Consistent()}
 	for _, p := range rep.Pairs {
 		out.Pairs = append(out.Pairs, PairJSON{A: p.A, B: p.B, Consistent: p.Consistent, Cached: p.Cached})
 	}
 	return out
 }
 
-func evolveResponse(id string, evo *store.Evolution) EvolveResponse {
-	out := EvolveResponse{
-		Evolution:        id,
-		Choreography:     evo.Choreography,
-		Party:            evo.Party,
-		BaseVersion:      evo.BaseVersion,
-		PublicChanged:    evo.PublicChanged,
-		NeedsPropagation: evo.NeedsPropagation(),
-	}
+func impactsJSON(evo *store.Evolution) []ImpactJSON {
+	var out []ImpactJSON
 	for _, im := range evo.Impacts {
 		ij := ImpactJSON{Partner: im.Partner, ViewChanged: im.ViewChanged}
 		if im.ViewChanged {
@@ -413,61 +180,38 @@ func evolveResponse(id string, evo *store.Evolution) EvolveResponse {
 			}
 			ij.Suggestions = append(ij.Suggestions, sj)
 		}
-		out.Impacts = append(out.Impacts, ij)
+		out = append(out, ij)
 	}
 	return out
 }
 
-// ---- handlers ----
-
-func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
-	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+// registerEvolution stores an analysis under a fresh ID, evicting the
+// oldest pending ones past the retention bound.
+func (s *Server) registerEvolution(evo *store.Evolution) string {
+	id := fmt.Sprintf("evo-%d", s.evoSeq.Add(1))
+	s.evoMu.Lock()
+	s.evos[id] = evo
+	s.evoOrder = append(s.evoOrder, id)
+	for len(s.evoOrder) > maxPendingEvolutions {
+		delete(s.evos, s.evoOrder[0])
+		s.evoOrder = s.evoOrder[1:]
+	}
+	s.evoMu.Unlock()
+	return id
 }
 
-func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
-	st := s.store.Stats()
+func (s *Server) evolution(id string) (*store.Evolution, error) {
 	s.evoMu.RLock()
-	pending := len(s.evos)
+	evo, ok := s.evos[id]
 	s.evoMu.RUnlock()
-	writeJSON(w, http.StatusOK, StatsResponse{
-		Choreographies:    st.Choreographies,
-		ConsistencyHits:   st.ConsistencyHits,
-		ConsistencyMisses: st.ConsistencyMisses,
-		ViewHits:          st.ViewHits,
-		ViewMisses:        st.ViewMisses,
-		Commits:           st.Commits,
-		Conflicts:         st.Conflicts,
-		Evolutions:        st.Evolutions,
-		PendingEvolutions: pending,
-		Requests:          s.requests.Load(),
-	})
+	if !ok {
+		return nil, fmt.Errorf("%w: evolution %q", store.ErrNotFound, id)
+	}
+	return evo, nil
 }
 
-func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
-	var req CreateRequest
-	if err := decode(r, &req); err != nil {
-		writeError(w, err)
-		return
-	}
-	if req.ID == "" {
-		writeError(w, badRequest("missing choreography id"))
-		return
-	}
-	if err := s.store.Create(req.ID, req.Sync); err != nil {
-		writeError(w, err)
-		return
-	}
-	writeJSON(w, http.StatusCreated, map[string]string{"id": req.ID})
-}
-
-func (s *Server) handleList(w http.ResponseWriter, _ *http.Request) {
-	ids := s.store.IDs()
-	sort.Strings(ids)
-	writeJSON(w, http.StatusOK, map[string][]string{"choreographies": ids})
-}
-
-func (s *Server) choreographyInfo(id string) (*ChoreographyInfo, error) {
-	snap, err := s.store.Snapshot(id)
+func (s *Server) choreographyInfo(ctx context.Context, id string) (*ChoreographyInfo, error) {
+	snap, err := s.store.Snapshot(ctx, id)
 	if err != nil {
 		return nil, err
 	}
@@ -483,212 +227,23 @@ func (s *Server) choreographyInfo(id string) (*ChoreographyInfo, error) {
 	return info, nil
 }
 
-func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {
-	info, err := s.choreographyInfo(r.PathValue("id"))
+func (s *Server) sortedIDs(ctx context.Context) ([]string, error) {
+	ids, err := s.store.IDs(ctx)
 	if err != nil {
-		writeError(w, err)
-		return
+		return nil, err
 	}
-	writeJSON(w, http.StatusOK, info)
+	sort.Strings(ids)
+	return ids, nil
 }
 
-func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
-	if err := s.store.Delete(r.PathValue("id")); err != nil {
-		writeError(w, err)
-		return
-	}
-	writeJSON(w, http.StatusOK, map[string]string{"status": "deleted"})
-}
-
-func (s *Server) handleRegisterParty(w http.ResponseWriter, r *http.Request) {
-	var req PartyRequest
-	if err := decode(r, &req); err != nil {
-		writeError(w, err)
-		return
-	}
-	p, err := parseProcess(req.XML)
-	if err != nil {
-		writeError(w, err)
-		return
-	}
-	snap, err := s.store.RegisterParty(r.PathValue("id"), p)
-	if err != nil {
-		writeError(w, err)
-		return
-	}
-	ps, _ := snap.Party(p.Owner)
-	info, err := partyInfo(ps, false)
-	if err != nil {
-		writeError(w, err)
-		return
-	}
-	writeJSON(w, http.StatusCreated, info)
-}
-
-func (s *Server) handleGetParty(w http.ResponseWriter, r *http.Request) {
-	snap, err := s.store.Snapshot(r.PathValue("id"))
-	if err != nil {
-		writeError(w, err)
-		return
-	}
-	ps, ok := snap.Party(r.PathValue("party"))
-	if !ok {
-		writeError(w, fmt.Errorf("%w: party %q", store.ErrNotFound, r.PathValue("party")))
-		return
-	}
-	info, err := partyInfo(ps, true)
-	if err != nil {
-		writeError(w, err)
-		return
-	}
-	writeJSON(w, http.StatusOK, info)
-}
-
-func (s *Server) handleUpdateParty(w http.ResponseWriter, r *http.Request) {
-	var req PartyRequest
-	if err := decode(r, &req); err != nil {
-		writeError(w, err)
-		return
-	}
-	p, err := parseProcess(req.XML)
-	if err != nil {
-		writeError(w, err)
-		return
-	}
-	if p.Owner != r.PathValue("party") {
-		writeError(w, badRequest("process owner %q does not match party %q", p.Owner, r.PathValue("party")))
-		return
-	}
-	snap, err := s.store.UpdateParty(r.PathValue("id"), p)
-	if err != nil {
-		writeError(w, err)
-		return
-	}
-	ps, _ := snap.Party(p.Owner)
-	info, err := partyInfo(ps, false)
-	if err != nil {
-		writeError(w, err)
-		return
-	}
-	writeJSON(w, http.StatusOK, info)
-}
-
-func (s *Server) handleView(w http.ResponseWriter, r *http.Request) {
-	forParty := r.URL.Query().Get("for")
-	if forParty == "" {
-		writeError(w, badRequest("missing ?for=party"))
-		return
-	}
-	v, err := s.store.View(r.PathValue("id"), r.PathValue("party"), forParty)
-	if err != nil {
-		writeError(w, err)
-		return
-	}
-	body := v.DebugString()
-	if r.URL.Query().Get("format") == "dot" {
-		body = v.DOT()
-	}
-	writeJSON(w, http.StatusOK, map[string]any{
-		"of": r.PathValue("party"), "for": forParty,
-		"states": v.NumStates(), "view": body,
-	})
-}
-
-func (s *Server) handleCheck(w http.ResponseWriter, r *http.Request) {
-	rep, err := s.store.Check(r.PathValue("id"))
-	if err != nil {
-		writeError(w, err)
-		return
-	}
-	writeJSON(w, http.StatusOK, checkResponse(rep))
-}
-
-func (s *Server) handleEvolve(w http.ResponseWriter, r *http.Request) {
-	var req EvolveRequest
-	if err := decode(r, &req); err != nil {
-		writeError(w, err)
-		return
-	}
-	if req.Party == "" {
-		writeError(w, badRequest("missing party"))
-		return
-	}
-	p, err := parseProcess(req.XML)
-	if err != nil {
-		writeError(w, err)
-		return
-	}
-	if p.Owner != req.Party {
-		writeError(w, badRequest("process owner %q does not match party %q", p.Owner, req.Party))
-		return
-	}
-	op := change.Replace{Path: nil, New: p.Body}
-	evo, err := s.store.Evolve(r.PathValue("id"), req.Party, op)
-	if err != nil {
-		writeError(w, err)
-		return
-	}
-	id := fmt.Sprintf("evo-%d", s.evoSeq.Add(1))
-	s.evoMu.Lock()
-	s.evos[id] = evo
-	s.evoOrder = append(s.evoOrder, id)
-	for len(s.evoOrder) > maxPendingEvolutions {
-		delete(s.evos, s.evoOrder[0])
-		s.evoOrder = s.evoOrder[1:]
-	}
-	s.evoMu.Unlock()
-	writeJSON(w, http.StatusOK, evolveResponse(id, evo))
-}
-
-func (s *Server) evolution(id string) (*store.Evolution, error) {
-	s.evoMu.RLock()
-	evo, ok := s.evos[id]
-	s.evoMu.RUnlock()
-	if !ok {
-		return nil, fmt.Errorf("%w: evolution %q", store.ErrNotFound, id)
-	}
-	return evo, nil
-}
-
-func (s *Server) handleGetEvolution(w http.ResponseWriter, r *http.Request) {
-	id := r.PathValue("evo")
-	evo, err := s.evolution(id)
-	if err != nil {
-		writeError(w, err)
-		return
-	}
-	writeJSON(w, http.StatusOK, evolveResponse(id, evo))
-}
-
-func (s *Server) handleCommit(w http.ResponseWriter, r *http.Request) {
-	evo, err := s.evolution(r.PathValue("evo"))
-	if err != nil {
-		writeError(w, err)
-		return
-	}
-	snap, err := s.store.CommitEvolution(evo)
-	if err != nil {
-		writeError(w, err)
-		return
-	}
-	writeJSON(w, http.StatusOK, CommitResponse{Choreography: snap.ID, Version: snap.Version})
-}
-
-func (s *Server) handleApply(w http.ResponseWriter, r *http.Request) {
-	evo, err := s.evolution(r.PathValue("evo"))
-	if err != nil {
-		writeError(w, err)
-		return
-	}
-	var req ApplyRequest
-	if err := decode(r, &req); err != nil {
-		writeError(w, err)
-		return
-	}
+// applyOps resolves an apply request against the pending evolution and
+// runs it (steps 4–5 of Secs. 5.2/5.3). The suggestion paths are only
+// valid against the partner version the evolution was analyzed on; a
+// changed partner answers with a version conflict.
+func (s *Server) applyOps(ctx context.Context, evo *store.Evolution, req ApplyRequest) (*store.Snapshot, error) {
 	impact, ok := evo.Impact(req.Partner)
 	if !ok {
-		writeError(w, badRequest("evolution has no impact on partner %q", req.Partner))
-		return
+		return nil, badRequest("evolution has no impact on partner %q", req.Partner)
 	}
 	var ops []change.Operation
 	if len(req.Suggestions) == 0 {
@@ -700,38 +255,24 @@ func (s *Server) handleApply(w http.ResponseWriter, r *http.Request) {
 	} else {
 		for _, idx := range req.Suggestions {
 			if idx < 0 || idx >= len(impact.Suggestions) {
-				writeError(w, badRequest("suggestion index %d out of range", idx))
-				return
+				return nil, badRequest("suggestion index %d out of range", idx)
 			}
 			sg := impact.Suggestions[idx]
 			if sg.Op == nil {
-				writeError(w, badRequest("suggestion %d is manual: %s", idx, sg.Description))
-				return
+				return nil, badRequest("suggestion %d is manual: %s", idx, sg.Description)
 			}
 			ops = append(ops, sg.Op)
 		}
 	}
 	if len(ops) == 0 {
-		writeError(w, badRequest("no executable suggestions for partner %q", req.Partner))
-		return
+		return nil, badRequest("no executable suggestions for partner %q", req.Partner)
 	}
-	// The suggestion paths are only valid against the partner version
-	// the evolution was analyzed on; a changed partner answers 409.
-	snap, err := s.store.ApplyOps(evo.Choreography, req.Partner, ops, evo.PartnerVersions[req.Partner])
-	if err != nil {
-		writeError(w, err)
-		return
-	}
-	writeJSON(w, http.StatusOK, CommitResponse{Choreography: snap.ID, Version: snap.Version})
+	return s.store.ApplyOps(ctx, evo.Choreography, req.Partner, ops, evo.PartnerVersions[req.Partner])
 }
 
-func (s *Server) handleInstances(w http.ResponseWriter, r *http.Request) {
-	var req InstancesRequest
-	if err := decode(r, &req); err != nil {
-		writeError(w, err)
-		return
-	}
-	id, party := r.PathValue("id"), r.PathValue("party")
+// addInstances records sampled and/or explicit instances; it returns
+// the number recorded.
+func (s *Server) addInstances(ctx context.Context, id, party string, req InstancesRequest) (int, error) {
 	added := 0
 	if req.Sample != nil {
 		n := req.Sample.N
@@ -742,10 +283,9 @@ func (s *Server) handleInstances(w http.ResponseWriter, r *http.Request) {
 		if maxLen <= 0 {
 			maxLen = 20
 		}
-		insts, err := s.store.SampleInstances(id, party, req.Sample.Seed, n, maxLen)
+		insts, err := s.store.SampleInstances(ctx, id, party, req.Sample.Seed, n, maxLen)
 		if err != nil {
-			writeError(w, err)
-			return
+			return 0, err
 		}
 		added += len(insts)
 	}
@@ -756,83 +296,63 @@ func (s *Server) handleInstances(w http.ResponseWriter, r *http.Request) {
 			for _, t := range ij.Trace {
 				l, err := label.Parse(t)
 				if err != nil {
-					writeError(w, badRequest("instance %q: %v", ij.ID, err))
-					return
+					return 0, badRequest("instance %q: %v", ij.ID, err)
 				}
 				trace = append(trace, l)
 			}
 			insts = append(insts, instance.Instance{ID: ij.ID, Trace: trace})
 		}
-		if err := s.store.AddInstances(id, party, insts); err != nil {
-			writeError(w, err)
-			return
+		if err := s.store.AddInstances(ctx, id, party, insts); err != nil {
+			return 0, err
 		}
 		added += len(insts)
 	}
 	if added == 0 {
-		writeError(w, badRequest("nothing to add: provide instances or sample"))
-		return
+		return 0, badRequest("nothing to add: provide instances or sample")
 	}
-	writeJSON(w, http.StatusCreated, map[string]int{"added": added})
+	return added, nil
 }
 
-func (s *Server) handleMigrate(w http.ResponseWriter, r *http.Request) {
-	var req MigrateRequest
-	if err := decode(r, &req); err != nil {
-		writeError(w, err)
-		return
-	}
-	id, party := r.PathValue("id"), r.PathValue("party")
+func (s *Server) migrate(ctx context.Context, id, party, evoID string) (*MigrateResponse, error) {
 	var rep *instance.Report
 	var err error
-	if req.Evolution != "" {
-		evo, eerr := s.evolution(req.Evolution)
+	if evoID != "" {
+		evo, eerr := s.evolution(evoID)
 		if eerr != nil {
-			writeError(w, eerr)
-			return
+			return nil, eerr
 		}
 		if evo.Choreography != id || evo.Party != party {
-			writeError(w, badRequest("evolution %q does not target %s/%s", req.Evolution, id, party))
-			return
+			return nil, badRequest("evolution %q does not target %s/%s", evoID, id, party)
 		}
-		rep, err = s.store.Migrate(id, party, evo.NewPublic)
+		rep, err = s.store.Migrate(ctx, id, party, evo.NewPublic)
 	} else {
-		rep, err = s.store.Migrate(id, party, nil)
+		rep, err = s.store.Migrate(ctx, id, party, nil)
 	}
 	if err != nil {
-		writeError(w, err)
-		return
+		return nil, err
 	}
-	writeJSON(w, http.StatusOK, MigrateResponse{
+	return &MigrateResponse{
 		Total:         rep.Total,
 		Migratable:    rep.Migratable,
 		NonReplayable: rep.NonReplayable,
 		Unviable:      rep.Unviable,
 		Blocked:       rep.Blocked,
-	})
+	}, nil
 }
 
-func (s *Server) handlePublish(w http.ResponseWriter, r *http.Request) {
-	var req PublishRequest
-	if err := decode(r, &req); err != nil {
-		writeError(w, err)
-		return
-	}
-	snap, err := s.store.Snapshot(req.Choreography)
+func (s *Server) publish(ctx context.Context, req PublishRequest) (string, error) {
+	snap, err := s.store.Snapshot(ctx, req.Choreography)
 	if err != nil {
-		writeError(w, err)
-		return
+		return "", err
 	}
 	ps, ok := snap.Party(req.Party)
 	if !ok {
-		writeError(w, fmt.Errorf("%w: party %q", store.ErrNotFound, req.Party))
-		return
+		return "", fmt.Errorf("%w: party %q", store.ErrNotFound, req.Party)
 	}
 	pub := ps.Public
 	if req.For != "" {
-		if pub, err = s.store.View(req.Choreography, req.Party, req.For); err != nil {
-			writeError(w, err)
-			return
+		if pub, err = s.store.View(ctx, req.Choreography, req.Party, req.For); err != nil {
+			return "", err
 		}
 	}
 	name := req.Name
@@ -843,29 +363,22 @@ func (s *Server) handlePublish(w http.ResponseWriter, r *http.Request) {
 	err = s.disc.Publish(name, pub)
 	s.discMu.Unlock()
 	if err != nil {
-		writeError(w, fmt.Errorf("%w: %v", store.ErrExists, err))
-		return
+		return "", fmt.Errorf("%w: %v", store.ErrExists, err)
 	}
-	writeJSON(w, http.StatusCreated, map[string]string{"name": name})
+	return name, nil
 }
 
-func (s *Server) handleMatch(w http.ResponseWriter, r *http.Request) {
-	var req MatchRequest
-	if err := decode(r, &req); err != nil {
-		writeError(w, err)
-		return
-	}
-	snap, err := s.store.Snapshot(req.Choreography)
+// match runs discovery matchmaking and returns the sorted match names.
+func (s *Server) match(ctx context.Context, req MatchRequest) (matcher string, names []string, err error) {
+	snap, err := s.store.Snapshot(ctx, req.Choreography)
 	if err != nil {
-		writeError(w, err)
-		return
+		return "", nil, err
 	}
 	ps, ok := snap.Party(req.Party)
 	if !ok {
-		writeError(w, fmt.Errorf("%w: party %q", store.ErrNotFound, req.Party))
-		return
+		return "", nil, fmt.Errorf("%w: party %q", store.ErrNotFound, req.Party)
 	}
-	matcher := req.Matcher
+	matcher = req.Matcher
 	if matcher == "" {
 		matcher = "consistent"
 	}
@@ -881,12 +394,31 @@ func (s *Server) handleMatch(w http.ResponseWriter, r *http.Request) {
 	}
 	s.discMu.RUnlock()
 	if err != nil {
-		writeError(w, err)
-		return
+		return "", nil, err
 	}
-	out := MatchResponse{Matcher: matcher, Matches: []string{}}
+	names = make([]string, 0, len(matches))
 	for _, m := range matches {
-		out.Matches = append(out.Matches, m.Name)
+		names = append(names, m.Name)
 	}
-	writeJSON(w, http.StatusOK, out)
+	sort.Strings(names)
+	return matcher, names, nil
+}
+
+func (s *Server) stats() StatsResponse {
+	st := s.store.Stats()
+	s.evoMu.RLock()
+	pending := len(s.evos)
+	s.evoMu.RUnlock()
+	return StatsResponse{
+		Choreographies:    st.Choreographies,
+		ConsistencyHits:   st.ConsistencyHits,
+		ConsistencyMisses: st.ConsistencyMisses,
+		ViewHits:          st.ViewHits,
+		ViewMisses:        st.ViewMisses,
+		Commits:           st.Commits,
+		Conflicts:         st.Conflicts,
+		Evolutions:        st.Evolutions,
+		PendingEvolutions: pending,
+		Requests:          s.requests.Load(),
+	}
 }

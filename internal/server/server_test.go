@@ -1,6 +1,7 @@
 package server
 
 import (
+	"context"
 	"errors"
 	"net/http/httptest"
 	"strings"
@@ -13,9 +14,13 @@ import (
 	"repro/internal/store"
 )
 
+// ctx is the background context shared by the package tests; the
+// cancellation and timeout tests build their own.
+var ctx = context.Background()
+
 func testClient(t *testing.T) (*Client, *Server) {
 	t.Helper()
-	srv := New(store.New(4))
+	srv := New(store.New(store.WithShards(4)))
 	ts := httptest.NewServer(srv.Handler())
 	t.Cleanup(ts.Close)
 	return NewClient(ts.URL, ts.Client()), srv
@@ -25,13 +30,13 @@ func testClient(t *testing.T) (*Client, *Server) {
 func paperSetup(t *testing.T, c *Client) string {
 	t.Helper()
 	const id = "procurement"
-	if err := c.CreateChoreography(id, []string{"L.getStatusLOp"}); err != nil {
+	if err := c.CreateChoreography(ctx, id, []string{"L.getStatusLOp"}); err != nil {
 		t.Fatal(err)
 	}
 	for _, p := range []*bpel.Process{
 		paperrepro.BuyerProcess(), paperrepro.AccountingProcess(), paperrepro.LogisticsProcess(),
 	} {
-		if _, err := c.RegisterParty(id, p); err != nil {
+		if _, err := c.RegisterParty(ctx, id, p); err != nil {
 			t.Fatalf("RegisterParty(%s): %v", p.Owner, err)
 		}
 	}
@@ -60,21 +65,21 @@ func TestProcurementScenarioEndToEnd(t *testing.T) {
 	id := paperSetup(t, c)
 
 	// Initial summary and consistency.
-	info, err := c.Choreography(id)
+	info, err := c.Choreography(ctx, id)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if len(info.Parties) != 3 {
 		t.Fatalf("parties = %d, want 3", len(info.Parties))
 	}
-	rep, err := c.Check(id)
+	rep, err := c.Check(ctx, id)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if !rep.Consistent || len(rep.Pairs) != 2 {
 		t.Fatalf("initial check = %+v", rep)
 	}
-	rep, err = c.Check(id)
+	rep, err = c.Check(ctx, id)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -86,7 +91,7 @@ func TestProcurementScenarioEndToEnd(t *testing.T) {
 
 	// Sec. 5.2: the cancel change on the accounting department.
 	newAcc := apply(t, paperrepro.AccountingProcess(), paperrepro.CancelChange())
-	evo, err := c.Evolve(id, newAcc)
+	evo, err := c.Evolve(ctx, id, newAcc)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -129,7 +134,7 @@ func TestProcurementScenarioEndToEnd(t *testing.T) {
 	}
 
 	// The pending evolution is re-fetchable.
-	again, err := c.Evolution(evo.Evolution)
+	again, err := c.Evolution(ctx, evo.Evolution)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -138,14 +143,14 @@ func TestProcurementScenarioEndToEnd(t *testing.T) {
 	}
 
 	// Commit the originator; the choreography is now inconsistent.
-	commit, err := c.Commit(evo.Evolution)
+	commit, err := c.Commit(ctx, evo.Evolution)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if commit.Version != evo.BaseVersion+1 {
 		t.Fatalf("committed version = %d", commit.Version)
 	}
-	rep, err = c.Check(id)
+	rep, err = c.Check(ctx, id)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -154,10 +159,10 @@ func TestProcurementScenarioEndToEnd(t *testing.T) {
 	}
 
 	// The buyer applies the suggested widening; consistency returns.
-	if _, err := c.Apply(evo.Evolution, paperrepro.Buyer, executable); err != nil {
+	if _, err := c.Apply(ctx, evo.Evolution, paperrepro.Buyer, executable); err != nil {
 		t.Fatal(err)
 	}
-	rep, err = c.Check(id)
+	rep, err = c.Check(ctx, id)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -170,21 +175,21 @@ func TestProcurementScenarioEndToEnd(t *testing.T) {
 	// accounting tail the tracking loop lives in), with a migration
 	// what-if for its running instances.
 	const id2 = "procurement-2"
-	if err := c.CreateChoreography(id2, []string{"L.getStatusLOp"}); err != nil {
+	if err := c.CreateChoreography(ctx, id2, []string{"L.getStatusLOp"}); err != nil {
 		t.Fatal(err)
 	}
 	for _, p := range []*bpel.Process{
 		paperrepro.BuyerProcess(), paperrepro.AccountingProcess(), paperrepro.LogisticsProcess(),
 	} {
-		if _, err := c.RegisterParty(id2, p); err != nil {
+		if _, err := c.RegisterParty(ctx, id2, p); err != nil {
 			t.Fatal(err)
 		}
 	}
-	if _, err := c.SampleInstances(id2, paperrepro.Accounting, 7, 50, 12); err != nil {
+	if _, err := c.SampleInstances(ctx, id2, paperrepro.Accounting, 7, 50, 12); err != nil {
 		t.Fatal(err)
 	}
 	newAcc2 := apply(t, paperrepro.AccountingProcess(), paperrepro.TrackingLimitChange())
-	evo2, err := c.Evolve(id2, newAcc2)
+	evo2, err := c.Evolve(ctx, id2, newAcc2)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -199,7 +204,7 @@ func TestProcurementScenarioEndToEnd(t *testing.T) {
 			}
 		}
 	}
-	mig, err := c.Migrate(id2, paperrepro.Accounting, evo2.Evolution)
+	mig, err := c.Migrate(ctx, id2, paperrepro.Accounting, evo2.Evolution)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -208,7 +213,7 @@ func TestProcurementScenarioEndToEnd(t *testing.T) {
 	}
 
 	// Stats reflect the traffic.
-	st, err := c.Stats()
+	st, err := c.Stats(ctx)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -225,11 +230,11 @@ func TestDiscoveryEndpoints(t *testing.T) {
 	c, _ := testClient(t)
 	id := paperSetup(t, c)
 	for _, party := range []string{paperrepro.Accounting, paperrepro.Logistics} {
-		if err := c.Publish("svc-"+party, id, party, paperrepro.Buyer); err != nil {
+		if err := c.Publish(ctx, "svc-"+party, id, party, paperrepro.Buyer); err != nil {
 			t.Fatal(err)
 		}
 	}
-	matches, err := c.Match(id, paperrepro.Buyer, "consistent")
+	matches, err := c.Match(ctx, id, paperrepro.Buyer, "consistent")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -238,7 +243,7 @@ func TestDiscoveryEndpoints(t *testing.T) {
 	}
 	// The overlap baseline over-approximates: it cannot return fewer
 	// matches than the consistency matcher.
-	overlap, err := c.Match(id, paperrepro.Buyer, "overlap")
+	overlap, err := c.Match(ctx, id, paperrepro.Buyer, "overlap")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -246,7 +251,7 @@ func TestDiscoveryEndpoints(t *testing.T) {
 		t.Fatalf("overlap (%v) returned fewer matches than consistent (%v)", overlap, matches)
 	}
 	// Duplicate publication conflicts.
-	err = c.Publish("svc-A", id, paperrepro.Accounting, paperrepro.Buyer)
+	err = c.Publish(ctx, "svc-A", id, paperrepro.Accounting, paperrepro.Buyer)
 	var apiErr *APIError
 	if !errors.As(err, &apiErr) || apiErr.Status != 409 {
 		t.Fatalf("duplicate publish = %v, want HTTP 409", err)
@@ -262,35 +267,39 @@ func TestErrorStatuses(t *testing.T) {
 			t.Fatalf("error = %v, want HTTP %d", err, status)
 		}
 	}
-	_, err := c.Check("ghost")
+	_, err := c.Check(ctx, "ghost")
 	wantStatus(err, 404)
-	if err := c.CreateChoreography("dup", nil); err != nil {
+	if err := c.CreateChoreography(ctx, "dup", nil); err != nil {
 		t.Fatal(err)
 	}
-	wantStatus(c.CreateChoreography("dup", nil), 409)
-	_, err = c.RegisterPartyXML("dup", "not xml")
+	wantStatus(c.CreateChoreography(ctx, "dup", nil), 409)
+	_, err = c.RegisterPartyXML(ctx, "dup", "not xml")
 	wantStatus(err, 400)
-	_, err = c.Evolution("evo-999")
+	_, err = c.Evolution(ctx, "evo-999")
 	wantStatus(err, 404)
 
 	// Version conflict through the API: two evolutions from the same
 	// base, the second commit 409s.
 	id := paperSetup(t, c)
 	newAcc := apply(t, paperrepro.AccountingProcess(), paperrepro.OrderTwoChange())
-	evo1, err := c.Evolve(id, newAcc)
+	evo1, err := c.Evolve(ctx, id, newAcc)
 	if err != nil {
 		t.Fatal(err)
 	}
 	newAcc2 := apply(t, paperrepro.AccountingProcess(), paperrepro.CancelChange())
-	evo2, err := c.Evolve(id, newAcc2)
+	evo2, err := c.Evolve(ctx, id, newAcc2)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := c.Commit(evo1.Evolution); err != nil {
+	if _, err := c.Commit(ctx, evo1.Evolution); err != nil {
 		t.Fatal(err)
 	}
-	_, err = c.Commit(evo2.Evolution)
-	wantStatus(err, 409)
+	// Commit staleness is a precondition failure on /v2/.
+	_, err = c.Commit(ctx, evo2.Evolution)
+	wantStatus(err, 412)
+	if !ErrIs(err, CodeStaleVersion) {
+		t.Fatalf("stale commit code = %v, want %s", err, CodeStaleVersion)
+	}
 }
 
 // TestParallelTrafficThroughAPI exercises the full HTTP stack with
@@ -299,7 +308,7 @@ func TestErrorStatuses(t *testing.T) {
 func TestParallelTrafficThroughAPI(t *testing.T) {
 	c, _ := testClient(t)
 	id := paperSetup(t, c)
-	if _, err := c.Check(id); err != nil {
+	if _, err := c.Check(ctx, id); err != nil {
 		t.Fatal(err)
 	}
 	var wg sync.WaitGroup
@@ -310,27 +319,27 @@ func TestParallelTrafficThroughAPI(t *testing.T) {
 			for i := 0; i < 10; i++ {
 				switch (w + i) % 3 {
 				case 0:
-					if _, err := c.Check(id); err != nil {
+					if _, err := c.Check(ctx, id); err != nil {
 						t.Error(err)
 						return
 					}
 				case 1:
-					if _, err := c.Party(id, paperrepro.Buyer); err != nil {
+					if _, err := c.Party(ctx, id, paperrepro.Buyer); err != nil {
 						t.Error(err)
 						return
 					}
 				default:
 					newAcc := apply(t, paperrepro.AccountingProcess(), paperrepro.OrderTwoChange())
-					evo, err := c.Evolve(id, newAcc)
+					evo, err := c.Evolve(ctx, id, newAcc)
 					if err != nil {
 						t.Error(err)
 						return
 					}
-					// Conflicts are the expected outcome under
+					// Stale commits are the expected outcome under
 					// contention; anything else is a bug.
-					if _, err := c.Commit(evo.Evolution); err != nil {
+					if _, err := c.Commit(ctx, evo.Evolution); err != nil {
 						var apiErr *APIError
-						if !errors.As(err, &apiErr) || apiErr.Status != 409 {
+						if !errors.As(err, &apiErr) || apiErr.Status != 412 {
 							t.Error(err)
 							return
 						}
@@ -340,7 +349,7 @@ func TestParallelTrafficThroughAPI(t *testing.T) {
 		}(w)
 	}
 	wg.Wait()
-	rep, err := c.Check(id)
+	rep, err := c.Check(ctx, id)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,329 @@
+package server
+
+import (
+	"fmt"
+	"net/http"
+
+	"repro/internal/change"
+	"repro/internal/store"
+)
+
+// The /v1/ compatibility shim. It preserves the original choreod wire
+// contract — one whole-process operation per evolve call, the base
+// version as a body field, the {error} envelope — while delegating to
+// the same core logic the /v2/ handlers use. New clients should talk
+// /v2/; this surface exists so deployed v1 clients keep working.
+
+func (s *Server) routesV1(mux *http.ServeMux) {
+	mux.HandleFunc("GET /v1/stats", s.v1Stats)
+	mux.HandleFunc("POST /v1/choreographies", s.v1Create)
+	mux.HandleFunc("GET /v1/choreographies", s.v1List)
+	mux.HandleFunc("GET /v1/choreographies/{id}", s.v1Get)
+	mux.HandleFunc("DELETE /v1/choreographies/{id}", s.v1Delete)
+	mux.HandleFunc("POST /v1/choreographies/{id}/parties", s.v1RegisterParty)
+	mux.HandleFunc("GET /v1/choreographies/{id}/parties/{party}", s.v1GetParty)
+	mux.HandleFunc("PUT /v1/choreographies/{id}/parties/{party}", s.v1UpdateParty)
+	mux.HandleFunc("GET /v1/choreographies/{id}/parties/{party}/view", s.v1View)
+	mux.HandleFunc("POST /v1/choreographies/{id}/check", s.v1Check)
+	mux.HandleFunc("POST /v1/choreographies/{id}/evolve", s.v1Evolve)
+	mux.HandleFunc("GET /v1/evolutions/{evo}", s.v1GetEvolution)
+	mux.HandleFunc("POST /v1/evolutions/{evo}/commit", s.v1Commit)
+	mux.HandleFunc("POST /v1/evolutions/{evo}/apply", s.v1Apply)
+	mux.HandleFunc("POST /v1/choreographies/{id}/parties/{party}/instances", s.v1Instances)
+	mux.HandleFunc("POST /v1/choreographies/{id}/parties/{party}/migrate", s.v1Migrate)
+	mux.HandleFunc("POST /v1/discovery/publish", s.v1Publish)
+	mux.HandleFunc("POST /v1/discovery/match", s.v1Match)
+}
+
+// evolveResponseV1 renders an analysis in the v1 shape (base version
+// in the body).
+func evolveResponseV1(id string, evo *store.Evolution) EvolveResponse {
+	return EvolveResponse{
+		Evolution:        id,
+		Choreography:     evo.Choreography,
+		Party:            evo.Party,
+		BaseVersion:      evo.BaseVersion,
+		PublicChanged:    evo.PublicChanged,
+		NeedsPropagation: evo.NeedsPropagation(),
+		Impacts:          impactsJSON(evo),
+	}
+}
+
+func (s *Server) v1Stats(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, s.stats())
+}
+
+func (s *Server) v1Create(w http.ResponseWriter, r *http.Request) {
+	var req CreateRequest
+	if err := decode(r, &req); err != nil {
+		writeErrorV1(w, err)
+		return
+	}
+	if req.ID == "" {
+		writeErrorV1(w, badRequest("missing choreography id"))
+		return
+	}
+	if err := s.store.Create(r.Context(), req.ID, req.Sync); err != nil {
+		writeErrorV1(w, err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, map[string]string{"id": req.ID})
+}
+
+func (s *Server) v1List(w http.ResponseWriter, r *http.Request) {
+	ids, err := s.sortedIDs(r.Context())
+	if err != nil {
+		writeErrorV1(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string][]string{"choreographies": ids})
+}
+
+func (s *Server) v1Get(w http.ResponseWriter, r *http.Request) {
+	info, err := s.choreographyInfo(r.Context(), r.PathValue("id"))
+	if err != nil {
+		writeErrorV1(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, info)
+}
+
+func (s *Server) v1Delete(w http.ResponseWriter, r *http.Request) {
+	if err := s.store.Delete(r.Context(), r.PathValue("id")); err != nil {
+		writeErrorV1(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "deleted"})
+}
+
+func (s *Server) v1RegisterParty(w http.ResponseWriter, r *http.Request) {
+	var req PartyRequest
+	if err := decode(r, &req); err != nil {
+		writeErrorV1(w, err)
+		return
+	}
+	p, err := parseProcess(req.XML)
+	if err != nil {
+		writeErrorV1(w, err)
+		return
+	}
+	snap, err := s.store.RegisterParty(r.Context(), r.PathValue("id"), p)
+	if err != nil {
+		writeErrorV1(w, err)
+		return
+	}
+	ps, _ := snap.Party(p.Owner)
+	info, err := partyInfo(ps, false)
+	if err != nil {
+		writeErrorV1(w, err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, info)
+}
+
+func (s *Server) v1GetParty(w http.ResponseWriter, r *http.Request) {
+	snap, err := s.store.Snapshot(r.Context(), r.PathValue("id"))
+	if err != nil {
+		writeErrorV1(w, err)
+		return
+	}
+	ps, ok := snap.Party(r.PathValue("party"))
+	if !ok {
+		writeErrorV1(w, fmt.Errorf("%w: party %q", store.ErrNotFound, r.PathValue("party")))
+		return
+	}
+	info, err := partyInfo(ps, true)
+	if err != nil {
+		writeErrorV1(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, info)
+}
+
+func (s *Server) v1UpdateParty(w http.ResponseWriter, r *http.Request) {
+	var req PartyRequest
+	if err := decode(r, &req); err != nil {
+		writeErrorV1(w, err)
+		return
+	}
+	p, err := parseProcess(req.XML)
+	if err != nil {
+		writeErrorV1(w, err)
+		return
+	}
+	if p.Owner != r.PathValue("party") {
+		writeErrorV1(w, badRequest("process owner %q does not match party %q", p.Owner, r.PathValue("party")))
+		return
+	}
+	snap, err := s.store.UpdateParty(r.Context(), r.PathValue("id"), p, nil)
+	if err != nil {
+		writeErrorV1(w, err)
+		return
+	}
+	ps, _ := snap.Party(p.Owner)
+	info, err := partyInfo(ps, false)
+	if err != nil {
+		writeErrorV1(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, info)
+}
+
+func (s *Server) v1View(w http.ResponseWriter, r *http.Request) {
+	forParty := r.URL.Query().Get("for")
+	if forParty == "" {
+		writeErrorV1(w, badRequest("missing ?for=party"))
+		return
+	}
+	v, err := s.store.View(r.Context(), r.PathValue("id"), r.PathValue("party"), forParty)
+	if err != nil {
+		writeErrorV1(w, err)
+		return
+	}
+	body := v.DebugString()
+	if r.URL.Query().Get("format") == "dot" {
+		body = v.DOT()
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"of": r.PathValue("party"), "for": forParty,
+		"states": v.NumStates(), "view": body,
+	})
+}
+
+func (s *Server) v1Check(w http.ResponseWriter, r *http.Request) {
+	rep, err := s.store.Check(r.Context(), r.PathValue("id"))
+	if err != nil {
+		writeErrorV1(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, checkResponse(rep))
+}
+
+func (s *Server) v1Evolve(w http.ResponseWriter, r *http.Request) {
+	var req EvolveRequest
+	if err := decode(r, &req); err != nil {
+		writeErrorV1(w, err)
+		return
+	}
+	if req.Party == "" {
+		writeErrorV1(w, badRequest("missing party"))
+		return
+	}
+	p, err := parseProcess(req.XML)
+	if err != nil {
+		writeErrorV1(w, err)
+		return
+	}
+	if p.Owner != req.Party {
+		writeErrorV1(w, badRequest("process owner %q does not match party %q", p.Owner, req.Party))
+		return
+	}
+	op := change.Replace{Path: nil, New: p.Body}
+	evo, err := s.store.Evolve(r.Context(), r.PathValue("id"), req.Party, op)
+	if err != nil {
+		writeErrorV1(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, evolveResponseV1(s.registerEvolution(evo), evo))
+}
+
+func (s *Server) v1GetEvolution(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("evo")
+	evo, err := s.evolution(id)
+	if err != nil {
+		writeErrorV1(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, evolveResponseV1(id, evo))
+}
+
+func (s *Server) v1Commit(w http.ResponseWriter, r *http.Request) {
+	evo, err := s.evolution(r.PathValue("evo"))
+	if err != nil {
+		writeErrorV1(w, err)
+		return
+	}
+	snap, err := s.store.CommitEvolution(r.Context(), evo)
+	if err != nil {
+		writeErrorV1(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, CommitResponse{Choreography: snap.ID, Version: snap.Version})
+}
+
+func (s *Server) v1Apply(w http.ResponseWriter, r *http.Request) {
+	evo, err := s.evolution(r.PathValue("evo"))
+	if err != nil {
+		writeErrorV1(w, err)
+		return
+	}
+	var req ApplyRequest
+	if err := decode(r, &req); err != nil {
+		writeErrorV1(w, err)
+		return
+	}
+	snap, err := s.applyOps(r.Context(), evo, req)
+	if err != nil {
+		writeErrorV1(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, CommitResponse{Choreography: snap.ID, Version: snap.Version})
+}
+
+func (s *Server) v1Instances(w http.ResponseWriter, r *http.Request) {
+	var req InstancesRequest
+	if err := decode(r, &req); err != nil {
+		writeErrorV1(w, err)
+		return
+	}
+	added, err := s.addInstances(r.Context(), r.PathValue("id"), r.PathValue("party"), req)
+	if err != nil {
+		writeErrorV1(w, err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, map[string]int{"added": added})
+}
+
+func (s *Server) v1Migrate(w http.ResponseWriter, r *http.Request) {
+	var req MigrateRequest
+	if err := decode(r, &req); err != nil {
+		writeErrorV1(w, err)
+		return
+	}
+	rep, err := s.migrate(r.Context(), r.PathValue("id"), r.PathValue("party"), req.Evolution)
+	if err != nil {
+		writeErrorV1(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, rep)
+}
+
+func (s *Server) v1Publish(w http.ResponseWriter, r *http.Request) {
+	var req PublishRequest
+	if err := decode(r, &req); err != nil {
+		writeErrorV1(w, err)
+		return
+	}
+	name, err := s.publish(r.Context(), req)
+	if err != nil {
+		writeErrorV1(w, err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, map[string]string{"name": name})
+}
+
+func (s *Server) v1Match(w http.ResponseWriter, r *http.Request) {
+	var req MatchRequest
+	if err := decode(r, &req); err != nil {
+		writeErrorV1(w, err)
+		return
+	}
+	matcher, names, err := s.match(r.Context(), req)
+	if err != nil {
+		writeErrorV1(w, err)
+		return
+	}
+	out := MatchResponse{Matcher: matcher, Matches: []string{}}
+	out.Matches = append(out.Matches, names...)
+	writeJSON(w, http.StatusOK, out)
+}

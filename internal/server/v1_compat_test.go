@@ -1,0 +1,257 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"repro/internal/bpel"
+	"repro/internal/paperrepro"
+	"repro/internal/store"
+)
+
+// v1Client speaks the original /v1/ wire contract — one whole-process
+// op per evolve, base version in the body, {error} envelope — exactly
+// as a deployed v1 client binary would. It deliberately does not share
+// code with the v2 Client: it is the compatibility oracle.
+type v1Client struct {
+	t    *testing.T
+	base string
+	http *http.Client
+}
+
+// call returns the HTTP status and decodes a 2xx body into out.
+func (c *v1Client) call(method, path string, in, out any) (int, string) {
+	c.t.Helper()
+	var body io.Reader
+	if in != nil {
+		data, err := json.Marshal(in)
+		if err != nil {
+			c.t.Fatal(err)
+		}
+		body = bytes.NewReader(data)
+	}
+	req, err := http.NewRequest(method, c.base+path, body)
+	if err != nil {
+		c.t.Fatal(err)
+	}
+	resp, err := c.http.Do(req)
+	if err != nil {
+		c.t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode >= 300 {
+		var envlp ErrorResponse
+		if err := json.NewDecoder(resp.Body).Decode(&envlp); err != nil {
+			c.t.Fatalf("%s %s: HTTP %d without v1 {error} envelope: %v", method, path, resp.StatusCode, err)
+		}
+		if envlp.Error == "" {
+			c.t.Fatalf("%s %s: HTTP %d with empty v1 error", method, path, resp.StatusCode)
+		}
+		return resp.StatusCode, envlp.Error
+	}
+	if out != nil {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			c.t.Fatalf("%s %s: decoding: %v", method, path, err)
+		}
+	}
+	return resp.StatusCode, ""
+}
+
+func (c *v1Client) mustCall(method, path string, in, out any, wantStatus int) {
+	c.t.Helper()
+	status, errMsg := c.call(method, path, in, out)
+	if status != wantStatus {
+		c.t.Fatalf("%s %s = HTTP %d (%s), want %d", method, path, status, errMsg, wantStatus)
+	}
+}
+
+func (c *v1Client) registerXML(id string, p *bpel.Process) {
+	c.t.Helper()
+	data, err := bpel.MarshalXML(p)
+	if err != nil {
+		c.t.Fatal(err)
+	}
+	c.mustCall("POST", "/v1/choreographies/"+id+"/parties", PartyRequest{XML: string(data)}, nil, http.StatusCreated)
+}
+
+// TestV1CompatProcurementScenario drives the paper's procurement
+// scenario end to end through the unchanged /v1/ contract: register
+// the three parties, check, evolve the accounting process with the
+// Sec. 5.2 cancel change (single whole-process op, base version in the
+// body), commit, let the buyer apply the suggested adaptation, and
+// verify the legacy status mapping (404/400/409 with the {error}
+// envelope, conflicts at 409 — not /v2/'s 412).
+func TestV1CompatProcurementScenario(t *testing.T) {
+	srv := New(store.New())
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+	c := &v1Client{t: t, base: ts.URL, http: ts.Client()}
+
+	const id = "procurement"
+	c.mustCall("POST", "/v1/choreographies",
+		CreateRequest{ID: id, Sync: []string{"L.getStatusLOp"}}, nil, http.StatusCreated)
+	for _, p := range []*bpel.Process{
+		paperrepro.BuyerProcess(), paperrepro.AccountingProcess(), paperrepro.LogisticsProcess(),
+	} {
+		c.registerXML(id, p)
+	}
+
+	var list struct {
+		Choreographies []string `json:"choreographies"`
+	}
+	c.mustCall("GET", "/v1/choreographies", nil, &list, http.StatusOK)
+	if len(list.Choreographies) != 1 || list.Choreographies[0] != id {
+		t.Fatalf("v1 list = %v", list.Choreographies)
+	}
+
+	var rep CheckResponse
+	c.mustCall("POST", "/v1/choreographies/"+id+"/check", struct{}{}, &rep, http.StatusOK)
+	if !rep.Consistent || len(rep.Pairs) != 2 {
+		t.Fatalf("initial v1 check = %+v", rep)
+	}
+
+	// The v1 evolve body: {party, xml} with the full proposed process.
+	newAcc, err := paperrepro.CancelChange().Apply(paperrepro.AccountingProcess())
+	if err != nil {
+		t.Fatal(err)
+	}
+	xml, err := bpel.MarshalXML(newAcc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var evo EvolveResponse
+	c.mustCall("POST", "/v1/choreographies/"+id+"/evolve",
+		EvolveRequest{Party: paperrepro.Accounting, XML: string(xml)}, &evo, http.StatusOK)
+	if !evo.PublicChanged || !evo.NeedsPropagation {
+		t.Fatalf("v1 cancel evolve = %+v", evo)
+	}
+	if evo.BaseVersion != 3 {
+		t.Fatalf("v1 baseVersion (body field) = %d, want 3", evo.BaseVersion)
+	}
+	var buyer *ImpactJSON
+	for i := range evo.Impacts {
+		if evo.Impacts[i].Partner == paperrepro.Buyer {
+			buyer = &evo.Impacts[i]
+		}
+	}
+	if buyer == nil || buyer.Kind != "additive" || buyer.Scope != "variant" {
+		t.Fatalf("v1 buyer impact = %+v", buyer)
+	}
+	var executable []int
+	for _, sg := range buyer.Suggestions {
+		if sg.Executable {
+			executable = append(executable, sg.Index)
+		}
+	}
+	if len(executable) != 1 {
+		t.Fatalf("v1 executable suggestions = %v", executable)
+	}
+
+	var commit CommitResponse
+	c.mustCall("POST", "/v1/evolutions/"+evo.Evolution+"/commit", struct{}{}, &commit, http.StatusOK)
+	if commit.Version != evo.BaseVersion+1 {
+		t.Fatalf("v1 committed version = %d", commit.Version)
+	}
+	c.mustCall("POST", "/v1/choreographies/"+id+"/check", struct{}{}, &rep, http.StatusOK)
+	if rep.Consistent {
+		t.Fatal("v1 choreography still consistent before the buyer adapts")
+	}
+	c.mustCall("POST", "/v1/evolutions/"+evo.Evolution+"/apply",
+		ApplyRequest{Partner: paperrepro.Buyer, Suggestions: executable}, &commit, http.StatusOK)
+	c.mustCall("POST", "/v1/choreographies/"+id+"/check", struct{}{}, &rep, http.StatusOK)
+	if !rep.Consistent {
+		t.Fatalf("v1 choreography inconsistent after propagation: %+v", rep.Pairs)
+	}
+
+	// Legacy status mapping with the {error} envelope.
+	if status, _ := c.call("POST", "/v1/choreographies/ghost/check", struct{}{}, nil); status != 404 {
+		t.Fatalf("v1 unknown choreography = HTTP %d, want 404", status)
+	}
+	if status, _ := c.call("POST", "/v1/choreographies",
+		CreateRequest{ID: id}, nil); status != 409 {
+		t.Fatalf("v1 duplicate create = HTTP %d, want 409", status)
+	}
+	if status, _ := c.call("POST", "/v1/choreographies/"+id+"/parties",
+		PartyRequest{XML: "not xml"}, nil); status != 400 {
+		t.Fatalf("v1 malformed XML = HTTP %d, want 400", status)
+	}
+
+	// A stale commit stays HTTP 409 on /v1/ (it is 412 on /v2/).
+	newAcc2, err := paperrepro.OrderTwoChange().Apply(paperrepro.AccountingProcess())
+	if err != nil {
+		t.Fatal(err)
+	}
+	const id2 = "procurement-conflict"
+	c.mustCall("POST", "/v1/choreographies",
+		CreateRequest{ID: id2, Sync: []string{"L.getStatusLOp"}}, nil, http.StatusCreated)
+	for _, p := range []*bpel.Process{
+		paperrepro.BuyerProcess(), paperrepro.AccountingProcess(), paperrepro.LogisticsProcess(),
+	} {
+		c.registerXML(id2, p)
+	}
+	xml2, err := bpel.MarshalXML(newAcc2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var evoA, evoB EvolveResponse
+	body := EvolveRequest{Party: paperrepro.Accounting, XML: string(xml2)}
+	c.mustCall("POST", "/v1/choreographies/"+id2+"/evolve", body, &evoA, http.StatusOK)
+	c.mustCall("POST", "/v1/choreographies/"+id2+"/evolve", body, &evoB, http.StatusOK)
+	c.mustCall("POST", "/v1/evolutions/"+evoA.Evolution+"/commit", struct{}{}, &commit, http.StatusOK)
+	if status, msg := c.call("POST", "/v1/evolutions/"+evoB.Evolution+"/commit", struct{}{}, nil); status != 409 {
+		t.Fatalf("v1 stale commit = HTTP %d (%s), want 409", status, msg)
+	}
+}
+
+// TestV1AndV2ShareOneStore pins the shim property: a party registered
+// through /v1/ is visible through /v2/ and vice versa, and an
+// evolution analyzed on one surface commits on the other.
+func TestV1AndV2ShareOneStore(t *testing.T) {
+	srv := New(store.New())
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+	v1 := &v1Client{t: t, base: ts.URL, http: ts.Client()}
+	v2 := NewClient(ts.URL, ts.Client())
+
+	const id = "shared"
+	v1.mustCall("POST", "/v1/choreographies",
+		CreateRequest{ID: id, Sync: []string{"L.getStatusLOp"}}, nil, http.StatusCreated)
+	v1.registerXML(id, paperrepro.BuyerProcess())
+	if _, err := v2.RegisterParty(ctx, id, paperrepro.AccountingProcess()); err != nil {
+		t.Fatal(err)
+	}
+	v1.registerXML(id, paperrepro.LogisticsProcess())
+
+	info, err := v2.Choreography(ctx, id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(info.Parties) != 3 {
+		t.Fatalf("parties across surfaces = %d, want 3", len(info.Parties))
+	}
+
+	// Analyze on /v1/, commit on /v2/.
+	newAcc, err := paperrepro.CancelChange().Apply(paperrepro.AccountingProcess())
+	if err != nil {
+		t.Fatal(err)
+	}
+	xml, err := bpel.MarshalXML(newAcc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var evo EvolveResponse
+	v1.mustCall("POST", fmt.Sprintf("/v1/choreographies/%s/evolve", id),
+		EvolveRequest{Party: paperrepro.Accounting, XML: string(xml)}, &evo, http.StatusOK)
+	commit, err := v2.CommitIfMatch(ctx, evo.Evolution, evo.BaseVersion)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if commit.Version != evo.BaseVersion+1 {
+		t.Fatalf("cross-surface commit version = %d", commit.Version)
+	}
+}

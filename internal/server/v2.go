@@ -1,0 +1,496 @@
+package server
+
+import (
+	"errors"
+	"fmt"
+	"net/http"
+
+	"repro/internal/bpel"
+	"repro/internal/store"
+)
+
+// The /v2/ surface: batch-first endpoints, multi-op change
+// transactions, snapshot versions in ETag/If-Match headers (412 on
+// stale preconditions), cursor pagination, and the {code, message,
+// details} error envelope.
+
+func (s *Server) routesV2(mux *http.ServeMux) {
+	mux.HandleFunc("GET /v2/stats", s.v2Stats)
+	mux.HandleFunc("POST /v2/choreographies", s.v2Create)
+	mux.HandleFunc("GET /v2/choreographies", s.v2List)
+	mux.HandleFunc("GET /v2/choreographies/{id}", s.v2Get)
+	mux.HandleFunc("DELETE /v2/choreographies/{id}", s.v2Delete)
+	mux.HandleFunc("POST /v2/choreographies/{id}/parties", s.v2RegisterParty)
+	mux.HandleFunc("POST /v2/choreographies/{id}/parties:batch", s.v2BatchParties)
+	mux.HandleFunc("GET /v2/choreographies/{id}/parties/{party}", s.v2GetParty)
+	mux.HandleFunc("PUT /v2/choreographies/{id}/parties/{party}", s.v2UpdateParty)
+	mux.HandleFunc("GET /v2/choreographies/{id}/parties/{party}/view", s.v2View)
+	mux.HandleFunc("POST /v2/choreographies/{id}/check", s.v2Check)
+	mux.HandleFunc("POST /v2/check:batch", s.v2BatchCheck)
+	mux.HandleFunc("POST /v2/choreographies/{id}/evolve", s.v2Evolve)
+	mux.HandleFunc("GET /v2/evolutions/{evo}", s.v2GetEvolution)
+	mux.HandleFunc("POST /v2/evolutions/{evo}/commit", s.v2Commit)
+	mux.HandleFunc("POST /v2/evolutions/{evo}/apply", s.v2Apply)
+	mux.HandleFunc("POST /v2/choreographies/{id}/parties/{party}/instances", s.v2Instances)
+	mux.HandleFunc("POST /v2/choreographies/{id}/parties/{party}/migrate", s.v2Migrate)
+	mux.HandleFunc("POST /v2/discovery/publish", s.v2Publish)
+	mux.HandleFunc("POST /v2/discovery/match", s.v2Match)
+	mux.HandleFunc("GET /v2/discovery/services", s.v2Services)
+}
+
+// evolveResponseV2 renders an analysis in the v2 shape; the base
+// version travels as the response ETag instead of a body field.
+func evolveResponseV2(id string, evo *store.Evolution) EvolveOpsResponse {
+	out := EvolveOpsResponse{
+		Evolution:        id,
+		Choreography:     evo.Choreography,
+		Party:            evo.Party,
+		Ops:              make([]string, 0, len(evo.Ops)),
+		PublicChanged:    evo.PublicChanged,
+		NeedsPropagation: evo.NeedsPropagation(),
+		Impacts:          impactsJSON(evo),
+		BaseVersion:      evo.BaseVersion,
+	}
+	for _, op := range evo.Ops {
+		out.Ops = append(out.Ops, op.String())
+	}
+	return out
+}
+
+// ifMatchVersion parses the If-Match header into a nil-able expected
+// snapshot version for the store, which enforces it under the commit
+// lock (absent header or "*" → nil, unconditional).
+func ifMatchVersion(r *http.Request) (*uint64, error) {
+	want, ok, err := ifMatch(r)
+	if err != nil || !ok {
+		return nil, err
+	}
+	return &want, nil
+}
+
+// asStale rewrites a store version conflict into the /v2/ 412
+// precondition failure; other errors pass through.
+func asStale(err error) error {
+	if errors.Is(err, store.ErrConflict) {
+		return fmt.Errorf("%w: %v", errStale, err)
+	}
+	return err
+}
+
+func (s *Server) v2Stats(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, s.stats())
+}
+
+func (s *Server) v2Create(w http.ResponseWriter, r *http.Request) {
+	var req CreateRequest
+	if err := decode(r, &req); err != nil {
+		writeErrorV2(w, err)
+		return
+	}
+	if req.ID == "" {
+		writeErrorV2(w, badRequest("missing choreography id"))
+		return
+	}
+	if err := s.store.Create(r.Context(), req.ID, req.Sync); err != nil {
+		writeErrorV2(w, err)
+		return
+	}
+	setETag(w, 0)
+	writeJSON(w, http.StatusCreated, map[string]string{"id": req.ID})
+}
+
+func (s *Server) v2List(w http.ResponseWriter, r *http.Request) {
+	limit, token, err := pageQuery(r)
+	if err != nil {
+		writeErrorV2(w, err)
+		return
+	}
+	ids, err := s.sortedIDs(r.Context())
+	if err != nil {
+		writeErrorV2(w, err)
+		return
+	}
+	page, next, err := paginate(ids, limit, token)
+	if err != nil {
+		writeErrorV2(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, ListResponse{Choreographies: page, NextPageToken: next})
+}
+
+func (s *Server) v2Get(w http.ResponseWriter, r *http.Request) {
+	info, err := s.choreographyInfo(r.Context(), r.PathValue("id"))
+	if err != nil {
+		writeErrorV2(w, err)
+		return
+	}
+	setETag(w, info.Version)
+	writeJSON(w, http.StatusOK, info)
+}
+
+func (s *Server) v2Delete(w http.ResponseWriter, r *http.Request) {
+	if err := s.store.Delete(r.Context(), r.PathValue("id")); err != nil {
+		writeErrorV2(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "deleted"})
+}
+
+func (s *Server) v2RegisterParty(w http.ResponseWriter, r *http.Request) {
+	var req PartyRequest
+	if err := decode(r, &req); err != nil {
+		writeErrorV2(w, err)
+		return
+	}
+	p, err := parseProcess(req.XML)
+	if err != nil {
+		writeErrorV2(w, err)
+		return
+	}
+	snap, err := s.store.RegisterParty(r.Context(), r.PathValue("id"), p)
+	if err != nil {
+		writeErrorV2(w, err)
+		return
+	}
+	ps, _ := snap.Party(p.Owner)
+	info, err := partyInfo(ps, false)
+	if err != nil {
+		writeErrorV2(w, err)
+		return
+	}
+	setETag(w, snap.Version)
+	writeJSON(w, http.StatusCreated, info)
+}
+
+// v2BatchParties registers and/or updates several parties as one
+// change transaction: one registry inference, one snapshot publish,
+// one version bump.
+func (s *Server) v2BatchParties(w http.ResponseWriter, r *http.Request) {
+	var req BatchPartiesRequest
+	if err := decode(r, &req); err != nil {
+		writeErrorV2(w, err)
+		return
+	}
+	if len(req.Parties) == 0 {
+		writeErrorV2(w, badRequest("empty party batch"))
+		return
+	}
+	procs := make([]*bpel.Process, 0, len(req.Parties))
+	for i, pr := range req.Parties {
+		p, err := parseProcess(pr.XML)
+		if err != nil {
+			writeErrorV2(w, badRequest("parties[%d]: %v", i, err))
+			return
+		}
+		procs = append(procs, p)
+	}
+	ifVersion, err := ifMatchVersion(r)
+	if err != nil {
+		writeErrorV2(w, err)
+		return
+	}
+	snap, err := s.store.PutParties(r.Context(), r.PathValue("id"), procs, ifVersion)
+	if err != nil {
+		writeErrorV2(w, asStale(err))
+		return
+	}
+	out := BatchPartiesResponse{Choreography: snap.ID, Version: snap.Version}
+	for _, p := range procs {
+		ps, _ := snap.Party(p.Owner)
+		info, err := partyInfo(ps, false)
+		if err != nil {
+			writeErrorV2(w, err)
+			return
+		}
+		out.Parties = append(out.Parties, info)
+	}
+	setETag(w, snap.Version)
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) v2GetParty(w http.ResponseWriter, r *http.Request) {
+	snap, err := s.store.Snapshot(r.Context(), r.PathValue("id"))
+	if err != nil {
+		writeErrorV2(w, err)
+		return
+	}
+	ps, ok := snap.Party(r.PathValue("party"))
+	if !ok {
+		writeErrorV2(w, fmt.Errorf("%w: party %q", store.ErrNotFound, r.PathValue("party")))
+		return
+	}
+	info, err := partyInfo(ps, true)
+	if err != nil {
+		writeErrorV2(w, err)
+		return
+	}
+	setETag(w, snap.Version)
+	writeJSON(w, http.StatusOK, info)
+}
+
+func (s *Server) v2UpdateParty(w http.ResponseWriter, r *http.Request) {
+	var req PartyRequest
+	if err := decode(r, &req); err != nil {
+		writeErrorV2(w, err)
+		return
+	}
+	p, err := parseProcess(req.XML)
+	if err != nil {
+		writeErrorV2(w, err)
+		return
+	}
+	if p.Owner != r.PathValue("party") {
+		writeErrorV2(w, badRequest("process owner %q does not match party %q", p.Owner, r.PathValue("party")))
+		return
+	}
+	ifVersion, err := ifMatchVersion(r)
+	if err != nil {
+		writeErrorV2(w, err)
+		return
+	}
+	snap, err := s.store.UpdateParty(r.Context(), r.PathValue("id"), p, ifVersion)
+	if err != nil {
+		writeErrorV2(w, asStale(err))
+		return
+	}
+	ps, _ := snap.Party(p.Owner)
+	info, err := partyInfo(ps, false)
+	if err != nil {
+		writeErrorV2(w, err)
+		return
+	}
+	setETag(w, snap.Version)
+	writeJSON(w, http.StatusOK, info)
+}
+
+func (s *Server) v2View(w http.ResponseWriter, r *http.Request) {
+	forParty := r.URL.Query().Get("for")
+	if forParty == "" {
+		writeErrorV2(w, badRequest("missing ?for=party"))
+		return
+	}
+	v, err := s.store.View(r.Context(), r.PathValue("id"), r.PathValue("party"), forParty)
+	if err != nil {
+		writeErrorV2(w, err)
+		return
+	}
+	body := v.DebugString()
+	if r.URL.Query().Get("format") == "dot" {
+		body = v.DOT()
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"of": r.PathValue("party"), "for": forParty,
+		"states": v.NumStates(), "view": body,
+	})
+}
+
+func (s *Server) v2Check(w http.ResponseWriter, r *http.Request) {
+	rep, err := s.store.Check(r.Context(), r.PathValue("id"))
+	if err != nil {
+		writeErrorV2(w, err)
+		return
+	}
+	setETag(w, rep.Version)
+	writeJSON(w, http.StatusOK, checkResponse(rep))
+}
+
+// v2BatchCheck checks several choreographies in one request; failures
+// are reported per ID so one unknown choreography does not void the
+// rest of the batch.
+func (s *Server) v2BatchCheck(w http.ResponseWriter, r *http.Request) {
+	var req BatchCheckRequest
+	if err := decode(r, &req); err != nil {
+		writeErrorV2(w, err)
+		return
+	}
+	if len(req.IDs) == 0 {
+		writeErrorV2(w, badRequest("empty id batch"))
+		return
+	}
+	out := BatchCheckResponse{Results: make([]BatchCheckResult, 0, len(req.IDs))}
+	for _, id := range req.IDs {
+		if err := r.Context().Err(); err != nil {
+			writeErrorV2(w, err)
+			return
+		}
+		res := BatchCheckResult{ID: id}
+		rep, err := s.store.Check(r.Context(), id)
+		if err != nil {
+			_, env := envelope(err)
+			res.Error = &env
+		} else {
+			res.Report = checkResponse(rep)
+		}
+		out.Results = append(out.Results, res)
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// v2Evolve analyzes a multi-op change transaction. The ops are applied
+// in order to the party's private process and the combined delta is
+// classified once; the base snapshot version is returned as the ETag.
+func (s *Server) v2Evolve(w http.ResponseWriter, r *http.Request) {
+	var req EvolveOpsRequest
+	if err := decode(r, &req); err != nil {
+		writeErrorV2(w, err)
+		return
+	}
+	ops, err := decodeOps(req.Party, req.Ops)
+	if err != nil {
+		writeErrorV2(w, err)
+		return
+	}
+	evo, err := s.store.Evolve(r.Context(), r.PathValue("id"), req.Party, ops...)
+	if err != nil {
+		writeErrorV2(w, err)
+		return
+	}
+	setETag(w, evo.BaseVersion)
+	writeJSON(w, http.StatusOK, evolveResponseV2(s.registerEvolution(evo), evo))
+}
+
+func (s *Server) v2GetEvolution(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("evo")
+	evo, err := s.evolution(id)
+	if err != nil {
+		writeErrorV2(w, err)
+		return
+	}
+	setETag(w, evo.BaseVersion)
+	writeJSON(w, http.StatusOK, evolveResponseV2(id, evo))
+}
+
+// v2Commit publishes a pending evolution. Staleness — an If-Match that
+// no longer matches, or a choreography that advanced past the
+// evolution's base version — answers 412 {code: "stale_version"}; the
+// client re-runs evolve against the fresh snapshot.
+func (s *Server) v2Commit(w http.ResponseWriter, r *http.Request) {
+	evo, err := s.evolution(r.PathValue("evo"))
+	if err != nil {
+		writeErrorV2(w, err)
+		return
+	}
+	// An If-Match that disagrees with the evolution's pinned base is
+	// stale by construction; matching ones defer to the commit lock's
+	// own base-version check, so the precondition is race-free.
+	ifVersion, err := ifMatchVersion(r)
+	if err != nil {
+		writeErrorV2(w, err)
+		return
+	}
+	if ifVersion != nil && *ifVersion != evo.BaseVersion {
+		writeErrorV2(w, staleVersion(*ifVersion, evo.BaseVersion))
+		return
+	}
+	snap, err := s.store.CommitEvolution(r.Context(), evo)
+	if err != nil {
+		writeErrorV2(w, asStale(err))
+		return
+	}
+	setETag(w, snap.Version)
+	writeJSON(w, http.StatusOK, CommitResponse{Choreography: snap.ID, Version: snap.Version})
+}
+
+// v2Apply runs suggestions on a partner. A partner that changed since
+// the analysis answers 409 {code: "conflict"} — unlike commit
+// staleness this is a race on the partner's own process, and the
+// caller must re-evolve to get fresh suggestions.
+func (s *Server) v2Apply(w http.ResponseWriter, r *http.Request) {
+	evo, err := s.evolution(r.PathValue("evo"))
+	if err != nil {
+		writeErrorV2(w, err)
+		return
+	}
+	var req ApplyRequest
+	if err := decode(r, &req); err != nil {
+		writeErrorV2(w, err)
+		return
+	}
+	snap, err := s.applyOps(r.Context(), evo, req)
+	if err != nil {
+		writeErrorV2(w, err)
+		return
+	}
+	setETag(w, snap.Version)
+	writeJSON(w, http.StatusOK, CommitResponse{Choreography: snap.ID, Version: snap.Version})
+}
+
+func (s *Server) v2Instances(w http.ResponseWriter, r *http.Request) {
+	var req InstancesRequest
+	if err := decode(r, &req); err != nil {
+		writeErrorV2(w, err)
+		return
+	}
+	added, err := s.addInstances(r.Context(), r.PathValue("id"), r.PathValue("party"), req)
+	if err != nil {
+		writeErrorV2(w, err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, map[string]int{"added": added})
+}
+
+func (s *Server) v2Migrate(w http.ResponseWriter, r *http.Request) {
+	var req MigrateRequest
+	if err := decode(r, &req); err != nil {
+		writeErrorV2(w, err)
+		return
+	}
+	rep, err := s.migrate(r.Context(), r.PathValue("id"), r.PathValue("party"), req.Evolution)
+	if err != nil {
+		writeErrorV2(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, rep)
+}
+
+func (s *Server) v2Publish(w http.ResponseWriter, r *http.Request) {
+	var req PublishRequest
+	if err := decode(r, &req); err != nil {
+		writeErrorV2(w, err)
+		return
+	}
+	name, err := s.publish(r.Context(), req)
+	if err != nil {
+		writeErrorV2(w, err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, map[string]string{"name": name})
+}
+
+func (s *Server) v2Match(w http.ResponseWriter, r *http.Request) {
+	var req MatchRequest
+	if err := decode(r, &req); err != nil {
+		writeErrorV2(w, err)
+		return
+	}
+	matcher, names, err := s.match(r.Context(), req)
+	if err != nil {
+		writeErrorV2(w, err)
+		return
+	}
+	page, next, err := paginate(names, req.Limit, req.PageToken)
+	if err != nil {
+		writeErrorV2(w, err)
+		return
+	}
+	out := MatchResponse{Matcher: matcher, Matches: []string{}, NextPageToken: next}
+	out.Matches = append(out.Matches, page...)
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) v2Services(w http.ResponseWriter, r *http.Request) {
+	limit, token, err := pageQuery(r)
+	if err != nil {
+		writeErrorV2(w, err)
+		return
+	}
+	s.discMu.RLock()
+	names := s.disc.Names()
+	s.discMu.RUnlock()
+	page, next, err := paginate(names, limit, token)
+	if err != nil {
+		writeErrorV2(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, ServicesResponse{Services: page, NextPageToken: next})
+}

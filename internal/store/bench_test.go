@@ -13,20 +13,20 @@ import (
 // genStore loads n generated two-party choreographies into a store.
 func genStore(b testing.TB, n int, p gen.Params) *Store {
 	b.Helper()
-	s := New(0)
+	s := New()
 	for i := 0; i < n; i++ {
 		conv, err := gen.Generate(int64(i+1), p)
 		if err != nil {
 			b.Fatal(err)
 		}
 		id := genID(i)
-		if err := s.Create(id, nil); err != nil {
+		if err := s.Create(ctx, id, nil); err != nil {
 			b.Fatal(err)
 		}
-		if _, err := s.RegisterParty(id, conv.A); err != nil {
+		if _, err := s.RegisterParty(ctx, id, conv.A); err != nil {
 			b.Fatal(err)
 		}
-		if _, err := s.RegisterParty(id, conv.B); err != nil {
+		if _, err := s.RegisterParty(ctx, id, conv.B); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -42,7 +42,7 @@ func BenchmarkCheckUncached(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := s.CheckUncached(genID(i % 8)); err != nil {
+		if _, err := s.CheckUncached(ctx, genID(i%8)); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -53,14 +53,14 @@ func BenchmarkCheckUncached(b *testing.B) {
 func BenchmarkCheckCached(b *testing.B) {
 	s := genStore(b, 8, benchParams)
 	for i := 0; i < 8; i++ { // warm
-		if _, err := s.Check(genID(i)); err != nil {
+		if _, err := s.Check(ctx, genID(i)); err != nil {
 			b.Fatal(err)
 		}
 	}
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := s.Check(genID(i % 8)); err != nil {
+		if _, err := s.Check(ctx, genID(i%8)); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -81,7 +81,7 @@ func BenchmarkParallelMixedTraffic(b *testing.B) {
 			id := genID(int(n) % pool)
 			if n%16 == 0 {
 				// Write path: analyze and commit a random change.
-				snap, err := s.Snapshot(id)
+				snap, err := s.Snapshot(ctx, id)
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -90,13 +90,13 @@ func BenchmarkParallelMixedTraffic(b *testing.B) {
 				if err != nil {
 					continue // not every process admits every change
 				}
-				evo, err := s.Evolve(id, "A", op)
+				evo, err := s.Evolve(ctx, id, "A", op)
 				if err != nil {
 					continue
 				}
-				_, _ = s.CommitEvolution(evo) // conflicts are expected
+				_, _ = s.CommitEvolution(ctx, evo) // conflicts are expected
 			} else {
-				if _, err := s.Check(id); err != nil {
+				if _, err := s.Check(ctx, id); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -107,21 +107,21 @@ func BenchmarkParallelMixedTraffic(b *testing.B) {
 // BenchmarkEvolveAnalysis measures one full evolution analysis (the
 // paper's Fig. 4 loop) on the procurement scenario.
 func BenchmarkEvolveAnalysis(b *testing.B) {
-	s := New(0)
-	if err := s.Create("p", paperSyncOps); err != nil {
+	s := New()
+	if err := s.Create(ctx, "p", paperSyncOps); err != nil {
 		b.Fatal(err)
 	}
 	for _, p := range []*bpel.Process{
 		paperrepro.BuyerProcess(), paperrepro.AccountingProcess(), paperrepro.LogisticsProcess(),
 	} {
-		if _, err := s.RegisterParty("p", p); err != nil {
+		if _, err := s.RegisterParty(ctx, "p", p); err != nil {
 			b.Fatal(err)
 		}
 	}
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := s.Evolve("p", paperrepro.Accounting, paperrepro.CancelChange()); err != nil {
+		if _, err := s.Evolve(ctx, "p", paperrepro.Accounting, paperrepro.CancelChange()); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -138,13 +138,13 @@ func TestCacheSpeedup(t *testing.T) {
 	// Warm both the view memos and the result cache so the comparison
 	// isolates the consistency computation itself.
 	for i := 0; i < 4; i++ {
-		if _, err := s.Check(genID(i)); err != nil {
+		if _, err := s.Check(ctx, genID(i)); err != nil {
 			t.Fatal(err)
 		}
 	}
 	uncachedStart := time.Now()
 	for i := 0; i < rounds; i++ {
-		if _, err := s.CheckUncached(genID(i % 4)); err != nil {
+		if _, err := s.CheckUncached(ctx, genID(i%4)); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -152,7 +152,7 @@ func TestCacheSpeedup(t *testing.T) {
 
 	cachedStart := time.Now()
 	for i := 0; i < rounds; i++ {
-		rep, err := s.Check(genID(i % 4))
+		rep, err := s.Check(ctx, genID(i%4))
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -1,6 +1,7 @@
 package store
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/afsa"
@@ -42,8 +43,10 @@ type Evolution struct {
 	BaseVersion  uint64
 	// Party is the change originator.
 	Party string
-	// Op is the analyzed operation.
-	Op change.Operation
+	// Ops are the analyzed operations — one change transaction applied
+	// in order; classification, plans and suggestions describe the
+	// combined delta.
+	Ops []change.Operation
 	// NewPrivate/NewPublic/NewTable are the originator's state after
 	// the change; Registry the re-inferred operation registry.
 	NewPrivate *bpel.Process
@@ -80,35 +83,47 @@ func (evo *Evolution) Impact(partner string) (*PartnerImpact, bool) {
 	return nil, false
 }
 
-// Evolve analyzes the application of op to party's private process
-// against the current snapshot, without mutating anything: re-derive
-// the public view, classify per partner (Defs. 5/6), and for variant
-// changes compute propagation plans and adaptation suggestions
+// Evolve analyzes the application of ops — one change transaction,
+// applied in order — to party's private process against the current
+// snapshot, without mutating anything: re-derive the public view once
+// for the combined delta, classify per partner (Defs. 5/6), and for
+// variant changes compute propagation plans and adaptation suggestions
 // (Secs. 5.1–5.3). Concurrent Evolve calls on the same choreography
-// proceed in parallel; each works on the snapshot it loaded.
-func (s *Store) Evolve(id, party string, op change.Operation) (*Evolution, error) {
-	snap, err := s.Snapshot(id)
+// proceed in parallel; each works on the snapshot it loaded. The
+// expensive per-partner loop honors ctx cancellation.
+func (s *Store) Evolve(ctx context.Context, id, party string, ops ...change.Operation) (*Evolution, error) {
+	snap, err := s.Snapshot(ctx, id)
 	if err != nil {
 		return nil, err
 	}
-	return s.evolveSnapshot(snap, party, op)
+	return s.evolveSnapshot(ctx, snap, party, ops)
 }
 
-func (s *Store) evolveSnapshot(snap *Snapshot, party string, op change.Operation) (*Evolution, error) {
+func (s *Store) evolveSnapshot(ctx context.Context, snap *Snapshot, party string, ops []change.Operation) (*Evolution, error) {
+	if len(ops) == 0 {
+		return nil, fmt.Errorf("%w: no operations to analyze", ErrInvalid)
+	}
 	s.evolutions.Add(1)
 	originator, ok := snap.parties[party]
 	if !ok {
 		return nil, fmt.Errorf("%w: party %q in choreography %q", ErrNotFound, party, snap.ID)
 	}
-	newPrivate, err := op.Apply(originator.Private)
-	if err != nil {
-		return nil, fmt.Errorf("store: applying %s: %w", op, err)
+	newPrivate := originator.Private
+	for _, op := range ops {
+		next, err := op.Apply(newPrivate)
+		if err != nil {
+			return nil, fmt.Errorf("%w: applying %s: %v", ErrInvalid, op, err)
+		}
+		newPrivate = next
 	}
 	// The changed process may introduce operations the current
 	// registry has never seen (e.g. the paper's cancelOp), so the
 	// registry is re-inferred with the candidate process substituted.
 	reg, err := InferRegistry(snap.privates(newPrivate), snap.syncOps)
 	if err != nil {
+		return nil, err
+	}
+	if err := ctxErr(ctx); err != nil {
 		return nil, err
 	}
 	res, err := mapping.Derive(newPrivate, reg)
@@ -119,7 +134,7 @@ func (s *Store) evolveSnapshot(snap *Snapshot, party string, op change.Operation
 		Choreography:    snap.ID,
 		BaseVersion:     snap.Version,
 		Party:           party,
-		Op:              op,
+		Ops:             ops,
 		NewPrivate:      newPrivate,
 		OldPublic:       originator.Public,
 		NewPublic:       res.Automaton,
@@ -132,6 +147,9 @@ func (s *Store) evolveSnapshot(snap *Snapshot, party string, op change.Operation
 		return evo, nil
 	}
 	for _, partnerName := range snap.PartnersOf(party) {
+		if err := ctxErr(ctx); err != nil {
+			return nil, err
+		}
 		partner := snap.parties[partnerName]
 		evo.PartnerVersions[partnerName] = partner.Version
 		impact := PartnerImpact{Partner: partnerName}
@@ -196,7 +214,10 @@ func (s *Store) planPropagation(snap *Snapshot, party string, partner *PartyStat
 // CommitEvolution publishes an analyzed evolution. It fails with
 // ErrConflict when the choreography advanced past evo.BaseVersion —
 // the caller re-runs Evolve against the fresh snapshot.
-func (s *Store) CommitEvolution(evo *Evolution) (*Snapshot, error) {
+func (s *Store) CommitEvolution(ctx context.Context, evo *Evolution) (*Snapshot, error) {
+	if err := ctxErr(ctx); err != nil {
+		return nil, err
+	}
 	e, err := s.entry(evo.Choreography)
 	if err != nil {
 		return nil, err
@@ -230,9 +251,9 @@ func (s *Store) CommitEvolution(evo *Evolution) (*Snapshot, error) {
 // private process, so the commit fails with ErrConflict when the
 // partner has changed since (party versions start at 1; pass 0 to
 // skip the check).
-func (s *Store) ApplyOps(id, partner string, ops []change.Operation, basePartyVersion uint64) (*Snapshot, error) {
+func (s *Store) ApplyOps(ctx context.Context, id, partner string, ops []change.Operation, basePartyVersion uint64) (*Snapshot, error) {
 	if len(ops) == 0 {
-		return nil, fmt.Errorf("store: no operations to apply")
+		return nil, fmt.Errorf("%w: no operations to apply", ErrInvalid)
 	}
 	e, err := s.entry(id)
 	if err != nil {
@@ -254,11 +275,11 @@ func (s *Store) ApplyOps(id, partner string, ops []change.Operation, basePartyVe
 	for _, op := range ops {
 		next, err := op.Apply(p)
 		if err != nil {
-			return nil, fmt.Errorf("store: adapting %s with %s: %w", partner, op, err)
+			return nil, fmt.Errorf("%w: adapting %s with %s: %v", ErrInvalid, partner, op, err)
 		}
 		p = next
 	}
-	next, err := s.rebuild(cur, p, false)
+	next, err := s.rebuildAll(ctx, cur, []*bpel.Process{p})
 	if err != nil {
 		return nil, err
 	}
@@ -269,7 +290,10 @@ func (s *Store) ApplyOps(id, partner string, ops []change.Operation, basePartyVe
 }
 
 // AddInstances records running conversations of a party.
-func (s *Store) AddInstances(id, party string, insts []instance.Instance) error {
+func (s *Store) AddInstances(ctx context.Context, id, party string, insts []instance.Instance) error {
+	if err := ctxErr(ctx); err != nil {
+		return err
+	}
 	e, err := s.entry(id)
 	if err != nil {
 		return err
@@ -285,7 +309,10 @@ func (s *Store) AddInstances(id, party string, insts []instance.Instance) error 
 
 // SampleInstances draws n seeded random-walk instances of party's
 // current public process, records and returns them.
-func (s *Store) SampleInstances(id, party string, seed int64, n, maxLen int) ([]instance.Instance, error) {
+func (s *Store) SampleInstances(ctx context.Context, id, party string, seed int64, n, maxLen int) ([]instance.Instance, error) {
+	if err := ctxErr(ctx); err != nil {
+		return nil, err
+	}
 	e, err := s.entry(id)
 	if err != nil {
 		return nil, err
@@ -302,7 +329,10 @@ func (s *Store) SampleInstances(id, party string, seed int64, n, maxLen int) ([]
 }
 
 // Instances returns the recorded instances of a party.
-func (s *Store) Instances(id, party string) ([]instance.Instance, error) {
+func (s *Store) Instances(ctx context.Context, id, party string) ([]instance.Instance, error) {
+	if err := ctxErr(ctx); err != nil {
+		return nil, err
+	}
 	e, err := s.entry(id)
 	if err != nil {
 		return nil, err
@@ -316,7 +346,10 @@ func (s *Store) Instances(id, party string) ([]instance.Instance, error) {
 // (ADEPT-style compliance, Sec. 8). A nil candidate means the party's
 // current public process — useful after a commit; passing a pending
 // Evolution's NewPublic answers "what would break" before committing.
-func (s *Store) Migrate(id, party string, candidate *afsa.Automaton) (*instance.Report, error) {
+func (s *Store) Migrate(ctx context.Context, id, party string, candidate *afsa.Automaton) (*instance.Report, error) {
+	if err := ctxErr(ctx); err != nil {
+		return nil, err
+	}
 	e, err := s.entry(id)
 	if err != nil {
 		return nil, err
@@ -328,7 +361,7 @@ func (s *Store) Migrate(id, party string, candidate *afsa.Automaton) (*instance.
 		}
 		candidate = ps.Public
 	}
-	insts, err := s.Instances(id, party)
+	insts, err := s.Instances(ctx, id, party)
 	if err != nil {
 		return nil, err
 	}

@@ -6,6 +6,7 @@ import (
 	"sync/atomic"
 	"testing"
 
+	"repro/internal/change"
 	"repro/internal/paperrepro"
 )
 
@@ -38,7 +39,7 @@ func TestConcurrentCheckEvolveRead(t *testing.T) {
 					return
 				default:
 				}
-				rep, err := s.Check(id)
+				rep, err := s.Check(ctx, id)
 				if err != nil {
 					record("check: " + err.Error())
 					return
@@ -49,7 +50,7 @@ func TestConcurrentCheckEvolveRead(t *testing.T) {
 					record("torn check report")
 					return
 				}
-				snap, err := s.Snapshot(id)
+				snap, err := s.Snapshot(ctx, id)
 				if err != nil {
 					record("snapshot: " + err.Error())
 					return
@@ -59,7 +60,7 @@ func TestConcurrentCheckEvolveRead(t *testing.T) {
 					return
 				}
 				for _, name := range snap.Parties() {
-					if _, err := s.View(id, name, "B"); err != nil {
+					if _, err := s.View(ctx, id, name, "B"); err != nil {
 						record("view: " + err.Error())
 						return
 					}
@@ -77,7 +78,7 @@ func TestConcurrentCheckEvolveRead(t *testing.T) {
 		go func(seed int) {
 			defer writerWG.Done()
 			for i := 0; i < rounds; i++ {
-				snap, err := s.Snapshot(id)
+				snap, err := s.Snapshot(ctx, id)
 				if err != nil {
 					record(err.Error())
 					return
@@ -85,14 +86,14 @@ func TestConcurrentCheckEvolveRead(t *testing.T) {
 				// Toggle: odd rounds restore the original process,
 				// even rounds introduce the cancel option.
 				if (i+seed)%2 != 0 {
-					if _, err := s.UpdateParty(id, paperrepro.AccountingProcess()); err != nil {
+					if _, err := s.UpdateParty(ctx, id, paperrepro.AccountingProcess(), nil); err != nil {
 						record(err.Error())
 						return
 					}
 					commits.Add(1)
 					continue
 				}
-				evo, err := s.evolveSnapshot(snap, paperrepro.Accounting, paperrepro.CancelChange())
+				evo, err := s.evolveSnapshot(ctx, snap, paperrepro.Accounting, []change.Operation{paperrepro.CancelChange()})
 				if err != nil {
 					// The cancel change only applies to the original
 					// process shape; a concurrent writer may have
@@ -100,7 +101,7 @@ func TestConcurrentCheckEvolveRead(t *testing.T) {
 					// not a bug.
 					continue
 				}
-				if _, err := s.CommitEvolution(evo); err != nil {
+				if _, err := s.CommitEvolution(ctx, evo); err != nil {
 					if errors.Is(err, ErrConflict) {
 						continue
 					}
@@ -122,11 +123,11 @@ func TestConcurrentCheckEvolveRead(t *testing.T) {
 		t.Fatal("no writer ever committed")
 	}
 	// Cached results must agree with fresh recomputation at the end.
-	cached, err := s.Check(id)
+	cached, err := s.Check(ctx, id)
 	if err != nil {
 		t.Fatal(err)
 	}
-	fresh, err := s.CheckUncached(id)
+	fresh, err := s.CheckUncached(ctx, id)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -151,7 +152,7 @@ func TestConcurrentCommitSingleWinner(t *testing.T) {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			evo, err := s.Evolve(id, paperrepro.Accounting, paperrepro.OrderTwoChange())
+			evo, err := s.Evolve(ctx, id, paperrepro.Accounting, paperrepro.OrderTwoChange())
 			if err != nil {
 				t.Error(err)
 				return
@@ -165,7 +166,7 @@ func TestConcurrentCommitSingleWinner(t *testing.T) {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			_, err := s.CommitEvolution(evos[i])
+			_, err := s.CommitEvolution(ctx, evos[i])
 			switch {
 			case err == nil:
 				wins.Add(1)
@@ -191,11 +192,11 @@ func TestConcurrentInstances(t *testing.T) {
 		go func(party string) {
 			defer wg.Done()
 			for i := 0; i < 5; i++ {
-				if _, err := s.SampleInstances(id, party, int64(i), 10, 6); err != nil {
+				if _, err := s.SampleInstances(ctx, id, party, int64(i), 10, 6); err != nil {
 					t.Error(err)
 					return
 				}
-				if _, err := s.Migrate(id, party, nil); err != nil {
+				if _, err := s.Migrate(ctx, id, party, nil); err != nil {
 					t.Error(err)
 					return
 				}
@@ -203,7 +204,7 @@ func TestConcurrentInstances(t *testing.T) {
 		}(party)
 	}
 	wg.Wait()
-	insts, err := s.Instances(id, paperrepro.Buyer)
+	insts, err := s.Instances(ctx, id, paperrepro.Buyer)
 	if err != nil {
 		t.Fatal(err)
 	}

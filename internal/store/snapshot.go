@@ -106,18 +106,35 @@ func (s *Snapshot) NumParties() int { return len(s.parties) }
 // privates collects the current private processes (for registry
 // rebuilds), substituting replace for its owner when non-nil.
 func (s *Snapshot) privates(replace *bpel.Process) []*bpel.Process {
-	out := make([]*bpel.Process, 0, len(s.parties)+1)
-	replaced := false
+	if replace == nil {
+		return s.privatesWith(nil)
+	}
+	return s.privatesWith([]*bpel.Process{replace})
+}
+
+// privatesWith collects the current private processes with every
+// process of repl substituted for its owner (new owners are appended
+// in repl order) — the combined process set a batch commit infers its
+// registry from.
+func (s *Snapshot) privatesWith(repl []*bpel.Process) []*bpel.Process {
+	byOwner := make(map[string]*bpel.Process, len(repl))
+	for _, p := range repl {
+		byOwner[p.Owner] = p
+	}
+	out := make([]*bpel.Process, 0, len(s.parties)+len(repl))
+	used := make(map[string]bool, len(repl))
 	for _, name := range s.order {
 		p := s.parties[name].Private
-		if replace != nil && replace.Owner == name {
-			p = replace
-			replaced = true
+		if r, ok := byOwner[name]; ok {
+			p = r
+			used[name] = true
 		}
 		out = append(out, p)
 	}
-	if replace != nil && !replaced {
-		out = append(out, replace)
+	for _, p := range repl {
+		if !used[p.Owner] {
+			out = append(out, p)
+		}
 	}
 	return out
 }

@@ -21,6 +21,7 @@
 package store
 
 import (
+	"context"
 	"fmt"
 	"hash/fnv"
 	"sync"
@@ -41,6 +42,9 @@ var (
 	// ErrConflict marks an optimistic-concurrency failure: the
 	// choreography advanced since the evolution was analyzed.
 	ErrConflict = fmt.Errorf("store: version conflict")
+	// ErrInvalid marks malformed input (empty IDs, ownerless processes,
+	// empty batches).
+	ErrInvalid = fmt.Errorf("store: invalid argument")
 )
 
 // pairKey keys one bilateral-consistency result. Party names are
@@ -94,7 +98,8 @@ type Stats struct {
 // Store is a sharded in-memory choreography store safe for concurrent
 // use.
 type Store struct {
-	shards []shard
+	shards   []shard
+	cacheCap int
 
 	consHits, consMisses atomic.Uint64
 	viewHits, viewMisses atomic.Uint64
@@ -102,20 +107,53 @@ type Store struct {
 	evolutions           atomic.Uint64
 }
 
-// DefaultShards is the shard count used when New is given n <= 0.
+// DefaultShards is the shard count used unless WithShards overrides it.
 const DefaultShards = 16
 
-// New returns an empty store partitioned over n shards (DefaultShards
-// when n <= 0).
-func New(n int) *Store {
-	if n <= 0 {
-		n = DefaultShards
+// Option configures a Store at construction time.
+type Option func(*Store)
+
+// WithShards partitions the choreography ID space over n independently
+// locked shards (n <= 0 keeps DefaultShards).
+func WithShards(n int) Option {
+	return func(s *Store) {
+		if n > 0 {
+			s.shards = make([]shard, n)
+		}
 	}
-	s := &Store{shards: make([]shard, n)}
+}
+
+// WithCacheCap bounds the per-choreography consistency-result cache to
+// n entries; once full, arbitrary entries are evicted to make room
+// (n <= 0 keeps the cache unbounded, the default).
+func WithCacheCap(n int) Option {
+	return func(s *Store) {
+		if n > 0 {
+			s.cacheCap = n
+		}
+	}
+}
+
+// New returns an empty store configured by opts.
+func New(opts ...Option) *Store {
+	s := &Store{shards: make([]shard, DefaultShards)}
+	for _, opt := range opts {
+		opt(s)
+	}
 	for i := range s.shards {
 		s.shards[i].entries = map[string]*entry{}
 	}
 	return s
+}
+
+// ctxErr translates a canceled or expired context into a store error;
+// the expensive check and evolve paths call it between units of work so
+// an abandoned request stops burning CPU.
+func ctxErr(ctx context.Context) error {
+	if err := ctx.Err(); err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	return nil
 }
 
 func (s *Store) shardOf(id string) *shard {
@@ -138,9 +176,12 @@ func (s *Store) entry(id string) (*entry, error) {
 // Create registers an empty choreography. syncOps entries "party.op"
 // mark synchronous operations for the registries inferred on party
 // registration.
-func (s *Store) Create(id string, syncOps []string) error {
+func (s *Store) Create(ctx context.Context, id string, syncOps []string) error {
+	if err := ctxErr(ctx); err != nil {
+		return err
+	}
 	if id == "" {
-		return fmt.Errorf("store: empty choreography id")
+		return fmt.Errorf("%w: empty choreography id", ErrInvalid)
 	}
 	sh := s.shardOf(id)
 	sh.mu.Lock()
@@ -163,7 +204,10 @@ func (s *Store) Create(id string, syncOps []string) error {
 }
 
 // Delete removes a choreography.
-func (s *Store) Delete(id string) error {
+func (s *Store) Delete(ctx context.Context, id string) error {
+	if err := ctxErr(ctx); err != nil {
+		return err
+	}
 	sh := s.shardOf(id)
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
@@ -176,7 +220,10 @@ func (s *Store) Delete(id string) error {
 
 // IDs returns the stored choreography IDs (unordered across shards,
 // sorted within none — callers sort if they care).
-func (s *Store) IDs() []string {
+func (s *Store) IDs(ctx context.Context) ([]string, error) {
+	if err := ctxErr(ctx); err != nil {
+		return nil, err
+	}
 	var out []string
 	for i := range s.shards {
 		sh := &s.shards[i]
@@ -186,13 +233,16 @@ func (s *Store) IDs() []string {
 		}
 		sh.mu.RUnlock()
 	}
-	return out
+	return out, nil
 }
 
 // Snapshot returns the current snapshot of a choreography. The
 // snapshot is immutable: it remains valid (and unchanged) regardless
 // of concurrent commits.
-func (s *Store) Snapshot(id string) (*Snapshot, error) {
+func (s *Store) Snapshot(ctx context.Context, id string) (*Snapshot, error) {
+	if err := ctxErr(ctx); err != nil {
+		return nil, err
+	}
 	e, err := s.entry(id)
 	if err != nil {
 		return nil, err
@@ -203,9 +253,9 @@ func (s *Store) Snapshot(id string) (*Snapshot, error) {
 // RegisterParty derives the public process of p and adds the party to
 // the choreography. The snapshot registry is re-inferred over all
 // private processes including the new one.
-func (s *Store) RegisterParty(id string, p *bpel.Process) (*Snapshot, error) {
+func (s *Store) RegisterParty(ctx context.Context, id string, p *bpel.Process) (*Snapshot, error) {
 	if p == nil || p.Owner == "" {
-		return nil, fmt.Errorf("store: register needs a process with an owner")
+		return nil, fmt.Errorf("%w: register needs a process with an owner", ErrInvalid)
 	}
 	e, err := s.entry(id)
 	if err != nil {
@@ -217,7 +267,7 @@ func (s *Store) RegisterParty(id string, p *bpel.Process) (*Snapshot, error) {
 	if _, dup := cur.parties[p.Owner]; dup {
 		return nil, fmt.Errorf("%w: party %q in choreography %q", ErrExists, p.Owner, id)
 	}
-	next, err := s.rebuild(cur, p, true)
+	next, err := s.rebuildAll(ctx, cur, []*bpel.Process{p})
 	if err != nil {
 		return nil, err
 	}
@@ -228,10 +278,14 @@ func (s *Store) RegisterParty(id string, p *bpel.Process) (*Snapshot, error) {
 
 // UpdateParty replaces a party's private process outright (the
 // uncontrolled path: no classification, no propagation planning) and
-// invalidates the consistency results of the pairs it touches.
-func (s *Store) UpdateParty(id string, p *bpel.Process) (*Snapshot, error) {
+// invalidates the consistency results of the pairs it touches. A
+// non-nil ifVersion pins the write to that snapshot version: the
+// check runs under the commit lock, so a lost precondition always
+// fails with ErrConflict instead of silently overwriting a concurrent
+// commit.
+func (s *Store) UpdateParty(ctx context.Context, id string, p *bpel.Process, ifVersion *uint64) (*Snapshot, error) {
 	if p == nil || p.Owner == "" {
-		return nil, fmt.Errorf("store: update needs a process with an owner")
+		return nil, fmt.Errorf("%w: update needs a process with an owner", ErrInvalid)
 	}
 	e, err := s.entry(id)
 	if err != nil {
@@ -240,10 +294,13 @@ func (s *Store) UpdateParty(id string, p *bpel.Process) (*Snapshot, error) {
 	e.commitMu.Lock()
 	defer e.commitMu.Unlock()
 	cur := e.snap.Load()
+	if err := s.checkVersion(cur, ifVersion); err != nil {
+		return nil, err
+	}
 	if _, ok := cur.parties[p.Owner]; !ok {
 		return nil, fmt.Errorf("%w: party %q in choreography %q", ErrNotFound, p.Owner, id)
 	}
-	next, err := s.rebuild(cur, p, false)
+	next, err := s.rebuildAll(ctx, cur, []*bpel.Process{p})
 	if err != nil {
 		return nil, err
 	}
@@ -253,28 +310,91 @@ func (s *Store) UpdateParty(id string, p *bpel.Process) (*Snapshot, error) {
 	return next, nil
 }
 
-// rebuild produces the successor snapshot with p registered (add) or
-// replaced, re-inferring the registry and re-deriving only p's public
-// process. Every other party state is shared with cur.
-func (s *Store) rebuild(cur *Snapshot, p *bpel.Process, add bool) (*Snapshot, error) {
-	reg, err := InferRegistry(cur.privates(p), cur.syncOps)
+// checkVersion enforces an optimistic-concurrency precondition under
+// the caller-held commit lock; nil means unconditional.
+func (s *Store) checkVersion(cur *Snapshot, ifVersion *uint64) error {
+	if ifVersion != nil && cur.Version != *ifVersion {
+		s.conflicts.Add(1)
+		return fmt.Errorf("%w: choreography %q at version %d, precondition %d",
+			ErrConflict, cur.ID, cur.Version, *ifVersion)
+	}
+	return nil
+}
+
+// PutParties registers or updates several parties as one change
+// transaction: the registry is inferred once over the combined set of
+// private processes, every supplied party is re-derived against it,
+// and a single successor snapshot is published (one version bump, one
+// commit). Parties not present yet are added; existing ones are
+// replaced and their cached pair results invalidated. Nothing is
+// published if any derivation fails. A non-nil ifVersion pins the
+// batch to that snapshot version (checked under the commit lock;
+// ErrConflict on a lost race).
+func (s *Store) PutParties(ctx context.Context, id string, procs []*bpel.Process, ifVersion *uint64) (*Snapshot, error) {
+	if len(procs) == 0 {
+		return nil, fmt.Errorf("%w: no parties to put", ErrInvalid)
+	}
+	seen := map[string]bool{}
+	for _, p := range procs {
+		if p == nil || p.Owner == "" {
+			return nil, fmt.Errorf("%w: put needs processes with owners", ErrInvalid)
+		}
+		if seen[p.Owner] {
+			return nil, fmt.Errorf("%w: party %q appears twice in one batch", ErrInvalid, p.Owner)
+		}
+		seen[p.Owner] = true
+	}
+	e, err := s.entry(id)
 	if err != nil {
 		return nil, err
 	}
-	res, err := mapping.Derive(p, reg)
+	e.commitMu.Lock()
+	defer e.commitMu.Unlock()
+	cur := e.snap.Load()
+	if err := s.checkVersion(cur, ifVersion); err != nil {
+		return nil, err
+	}
+	next, err := s.rebuildAll(ctx, cur, procs)
 	if err != nil {
-		return nil, fmt.Errorf("store: deriving %q: %w", p.Owner, err)
+		return nil, err
+	}
+	e.snap.Store(next)
+	s.commits.Add(1)
+	for _, p := range procs {
+		if _, existed := cur.parties[p.Owner]; existed {
+			s.invalidatePairs(e, p.Owner)
+		}
+	}
+	return next, nil
+}
+
+// rebuildAll produces the successor snapshot with every proc in procs
+// registered (if new) or replaced, re-inferring the registry once over
+// the combined set and re-deriving only the supplied processes. Every
+// untouched party state is shared with cur.
+func (s *Store) rebuildAll(ctx context.Context, cur *Snapshot, procs []*bpel.Process) (*Snapshot, error) {
+	reg, err := InferRegistry(cur.privatesWith(procs), cur.syncOps)
+	if err != nil {
+		return nil, err
 	}
 	next := cur.clone()
 	next.Version = cur.Version + 1
 	next.Registry = reg
-	var partyVersion uint64 = 1
-	if old, ok := cur.parties[p.Owner]; ok {
-		partyVersion = old.Version + 1
-	}
-	next.parties[p.Owner] = newPartyState(p, res, partyVersion)
-	if add {
-		next.order = append(next.order, p.Owner)
+	for _, p := range procs {
+		if err := ctxErr(ctx); err != nil {
+			return nil, err
+		}
+		res, err := mapping.Derive(p, reg)
+		if err != nil {
+			return nil, fmt.Errorf("store: deriving %q: %w", p.Owner, err)
+		}
+		var partyVersion uint64 = 1
+		if old, ok := cur.parties[p.Owner]; ok {
+			partyVersion = old.Version + 1
+		} else {
+			next.order = append(next.order, p.Owner)
+		}
+		next.parties[p.Owner] = newPartyState(p, res, partyVersion)
 	}
 	next.computePairs()
 	return next, nil
@@ -335,9 +455,12 @@ func (r *CheckReport) Consistent() bool {
 // pair of snap, using e's result cache. snap may be older than the
 // current snapshot; version-keyed cache entries keep old and new
 // results apart.
-func (s *Store) checkSnapshot(e *entry, snap *Snapshot, useCache bool) (*CheckReport, error) {
+func (s *Store) checkSnapshot(ctx context.Context, e *entry, snap *Snapshot, useCache bool) (*CheckReport, error) {
 	rep := &CheckReport{ID: snap.ID, Version: snap.Version, Pairs: make([]PairResult, 0, len(snap.pairs))}
 	for _, pair := range snap.pairs {
+		if err := ctxErr(ctx); err != nil {
+			return nil, err
+		}
 		res, err := s.checkPair(e, snap, pair[0], pair[1], useCache)
 		if err != nil {
 			return nil, err
@@ -370,33 +493,47 @@ func (s *Store) checkPair(e *entry, snap *Snapshot, a, b string, useCache bool) 
 	if useCache {
 		e.consMu.Lock()
 		e.cons[key] = ok
+		if s.cacheCap > 0 {
+			for k := range e.cons {
+				if len(e.cons) <= s.cacheCap {
+					break
+				}
+				if k != key {
+					delete(e.cons, k)
+				}
+			}
+		}
 		e.consMu.Unlock()
 	}
 	return PairResult{A: a, B: b, Consistent: ok}, nil
 }
 
 // Check verifies bilateral consistency of every interacting pair,
-// serving repeated queries from the result cache.
-func (s *Store) Check(id string) (*CheckReport, error) {
+// serving repeated queries from the result cache. It honors ctx
+// cancellation between pairs.
+func (s *Store) Check(ctx context.Context, id string) (*CheckReport, error) {
 	e, err := s.entry(id)
 	if err != nil {
 		return nil, err
 	}
-	return s.checkSnapshot(e, e.snap.Load(), true)
+	return s.checkSnapshot(ctx, e, e.snap.Load(), true)
 }
 
 // CheckUncached recomputes every pair, bypassing (and not feeding) the
 // result cache — the baseline the cache is measured against.
-func (s *Store) CheckUncached(id string) (*CheckReport, error) {
+func (s *Store) CheckUncached(ctx context.Context, id string) (*CheckReport, error) {
 	e, err := s.entry(id)
 	if err != nil {
 		return nil, err
 	}
-	return s.checkSnapshot(e, e.snap.Load(), false)
+	return s.checkSnapshot(ctx, e, e.snap.Load(), false)
 }
 
 // CheckPair checks one pair through the cache.
-func (s *Store) CheckPair(id, a, b string) (PairResult, error) {
+func (s *Store) CheckPair(ctx context.Context, id, a, b string) (PairResult, error) {
+	if err := ctxErr(ctx); err != nil {
+		return PairResult{}, err
+	}
 	e, err := s.entry(id)
 	if err != nil {
 		return PairResult{}, err
@@ -412,8 +549,8 @@ func (s *Store) CheckPair(id, a, b string) (PairResult, error) {
 
 // View returns the bilateral view τ_forParty(of's public process) from
 // the memo.
-func (s *Store) View(id, of, forParty string) (*afsa.Automaton, error) {
-	snap, err := s.Snapshot(id)
+func (s *Store) View(ctx context.Context, id, of, forParty string) (*afsa.Automaton, error) {
+	snap, err := s.Snapshot(ctx, id)
 	if err != nil {
 		return nil, err
 	}

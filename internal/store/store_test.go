@@ -1,6 +1,7 @@
 package store
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"testing"
@@ -26,6 +27,10 @@ func derive(p *bpel.Process, reg *wsdl.Registry) (*afsa.Automaton, error) {
 
 func genID(i int) string { return fmt.Sprintf("conv-%03d", i) }
 
+// ctx is the background context shared by the package tests; the
+// cancellation tests build their own.
+var ctx = context.Background()
+
 // paperSyncOps marks the one synchronous operation of the paper
 // scenario (logistics parcel tracking, Fig. 8b) for registry
 // inference.
@@ -35,15 +40,15 @@ var paperSyncOps = []string{"L.getStatusLOp"}
 // fresh store.
 func paperStore(t *testing.T) (*Store, string) {
 	t.Helper()
-	s := New(4)
+	s := New(WithShards(4))
 	const id = "procurement"
-	if err := s.Create(id, paperSyncOps); err != nil {
+	if err := s.Create(ctx, id, paperSyncOps); err != nil {
 		t.Fatal(err)
 	}
 	for _, p := range []*bpel.Process{
 		paperrepro.BuyerProcess(), paperrepro.AccountingProcess(), paperrepro.LogisticsProcess(),
 	} {
-		if _, err := s.RegisterParty(id, p); err != nil {
+		if _, err := s.RegisterParty(ctx, id, p); err != nil {
 			t.Fatalf("RegisterParty(%s): %v", p.Owner, err)
 		}
 	}
@@ -55,7 +60,7 @@ func paperStore(t *testing.T) (*Store, string) {
 // paperrepro.Registry().
 func TestInferredRegistryMatchesPaper(t *testing.T) {
 	s, id := paperStore(t)
-	snap, err := s.Snapshot(id)
+	snap, err := s.Snapshot(ctx, id)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -83,7 +88,7 @@ func TestInferredRegistryMatchesPaper(t *testing.T) {
 
 func TestCheckAndCaching(t *testing.T) {
 	s, id := paperStore(t)
-	rep, err := s.Check(id)
+	rep, err := s.Check(ctx, id)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -99,7 +104,7 @@ func TestCheckAndCaching(t *testing.T) {
 		}
 	}
 	st0 := s.Stats()
-	rep2, err := s.Check(id)
+	rep2, err := s.Check(ctx, id)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -121,13 +126,13 @@ func TestCheckAndCaching(t *testing.T) {
 // updating the logistics process recomputes A↔L but keeps B↔A cached.
 func TestCacheInvalidationIsPairScoped(t *testing.T) {
 	s, id := paperStore(t)
-	if _, err := s.Check(id); err != nil {
+	if _, err := s.Check(ctx, id); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := s.UpdateParty(id, paperrepro.LogisticsProcess()); err != nil {
+	if _, err := s.UpdateParty(ctx, id, paperrepro.LogisticsProcess(), nil); err != nil {
 		t.Fatal(err)
 	}
-	rep, err := s.Check(id)
+	rep, err := s.Check(ctx, id)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -145,16 +150,16 @@ func TestCacheInvalidationIsPairScoped(t *testing.T) {
 
 func TestSnapshotIsolation(t *testing.T) {
 	s, id := paperStore(t)
-	before, err := s.Snapshot(id)
+	before, err := s.Snapshot(ctx, id)
 	if err != nil {
 		t.Fatal(err)
 	}
 	accBefore, _ := before.Party(paperrepro.Accounting)
-	evo, err := s.Evolve(id, paperrepro.Accounting, paperrepro.CancelChange())
+	evo, err := s.Evolve(ctx, id, paperrepro.Accounting, paperrepro.CancelChange())
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := s.CommitEvolution(evo); err != nil {
+	if _, err := s.CommitEvolution(ctx, evo); err != nil {
 		t.Fatal(err)
 	}
 	// The old snapshot is untouched by the commit.
@@ -162,7 +167,7 @@ func TestSnapshotIsolation(t *testing.T) {
 	if accStill != accBefore || accStill.Version != accBefore.Version {
 		t.Fatal("committed evolution mutated a held snapshot")
 	}
-	after, _ := s.Snapshot(id)
+	after, _ := s.Snapshot(ctx, id)
 	accAfter, _ := after.Party(paperrepro.Accounting)
 	if accAfter.Version != accBefore.Version+1 {
 		t.Fatalf("accounting version = %d, want %d", accAfter.Version, accBefore.Version+1)
@@ -181,18 +186,18 @@ func TestSnapshotIsolation(t *testing.T) {
 
 func TestCommitConflict(t *testing.T) {
 	s, id := paperStore(t)
-	evo1, err := s.Evolve(id, paperrepro.Accounting, paperrepro.OrderTwoChange())
+	evo1, err := s.Evolve(ctx, id, paperrepro.Accounting, paperrepro.OrderTwoChange())
 	if err != nil {
 		t.Fatal(err)
 	}
-	evo2, err := s.Evolve(id, paperrepro.Accounting, paperrepro.CancelChange())
+	evo2, err := s.Evolve(ctx, id, paperrepro.Accounting, paperrepro.CancelChange())
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := s.CommitEvolution(evo1); err != nil {
+	if _, err := s.CommitEvolution(ctx, evo1); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := s.CommitEvolution(evo2); !errors.Is(err, ErrConflict) {
+	if _, err := s.CommitEvolution(ctx, evo2); !errors.Is(err, ErrConflict) {
 		t.Fatalf("stale commit error = %v, want ErrConflict", err)
 	}
 	if s.Stats().Conflicts != 1 {
@@ -205,7 +210,7 @@ func TestCommitConflict(t *testing.T) {
 // again.
 func TestCancelPropagationEndToEnd(t *testing.T) {
 	s, id := paperStore(t)
-	evo, err := s.Evolve(id, paperrepro.Accounting, paperrepro.CancelChange())
+	evo, err := s.Evolve(ctx, id, paperrepro.Accounting, paperrepro.CancelChange())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -222,10 +227,10 @@ func TestCancelPropagationEndToEnd(t *testing.T) {
 	if len(buyer.Plans) != 1 || len(buyer.Suggestions) == 0 {
 		t.Fatalf("plans = %d, suggestions = %d", len(buyer.Plans), len(buyer.Suggestions))
 	}
-	if _, err := s.CommitEvolution(evo); err != nil {
+	if _, err := s.CommitEvolution(ctx, evo); err != nil {
 		t.Fatal(err)
 	}
-	rep, err := s.Check(id)
+	rep, err := s.Check(ctx, id)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -243,14 +248,14 @@ func TestCancelPropagationEndToEnd(t *testing.T) {
 	}
 	// A stale base version is rejected...
 	buyerVersion := evo.PartnerVersions[paperrepro.Buyer]
-	if _, err := s.ApplyOps(id, paperrepro.Buyer, ops, buyerVersion+1); !errors.Is(err, ErrConflict) {
+	if _, err := s.ApplyOps(ctx, id, paperrepro.Buyer, ops, buyerVersion+1); !errors.Is(err, ErrConflict) {
 		t.Fatalf("stale ApplyOps error = %v, want ErrConflict", err)
 	}
 	// ...the recorded one commits.
-	if _, err := s.ApplyOps(id, paperrepro.Buyer, ops, buyerVersion); err != nil {
+	if _, err := s.ApplyOps(ctx, id, paperrepro.Buyer, ops, buyerVersion); err != nil {
 		t.Fatal(err)
 	}
-	rep, err = s.Check(id)
+	rep, err = s.Check(ctx, id)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -265,14 +270,14 @@ func TestTrackingLimitWithMigration(t *testing.T) {
 	s, id := paperStore(t)
 	// Sample running buyer instances under the old (unbounded
 	// tracking) schema.
-	insts, err := s.SampleInstances(id, paperrepro.Accounting, 7, 60, 12)
+	insts, err := s.SampleInstances(ctx, id, paperrepro.Accounting, 7, 60, 12)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if len(insts) != 60 {
 		t.Fatalf("sampled %d instances", len(insts))
 	}
-	evo, err := s.Evolve(id, paperrepro.Accounting, paperrepro.TrackingLimitChange())
+	evo, err := s.Evolve(ctx, id, paperrepro.Accounting, paperrepro.TrackingLimitChange())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -280,7 +285,7 @@ func TestTrackingLimitWithMigration(t *testing.T) {
 		t.Fatal("tracking limit did not change the accounting public process")
 	}
 	// Pre-commit what-if: some long-tracking instances cannot migrate.
-	rep, err := s.Migrate(id, paperrepro.Accounting, evo.NewPublic)
+	rep, err := s.Migrate(ctx, id, paperrepro.Accounting, evo.NewPublic)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -293,11 +298,11 @@ func TestTrackingLimitWithMigration(t *testing.T) {
 	if rep.Migratable == rep.Total {
 		t.Fatal("every instance migratable — the subtractive change should strand long trackers")
 	}
-	if _, err := s.CommitEvolution(evo); err != nil {
+	if _, err := s.CommitEvolution(ctx, evo); err != nil {
 		t.Fatal(err)
 	}
 	// Post-commit, nil candidate = current public: same report.
-	rep2, err := s.Migrate(id, paperrepro.Accounting, nil)
+	rep2, err := s.Migrate(ctx, id, paperrepro.Accounting, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -307,26 +312,26 @@ func TestTrackingLimitWithMigration(t *testing.T) {
 }
 
 func TestNotFoundAndDuplicates(t *testing.T) {
-	s := New(0)
-	if _, err := s.Check("ghost"); !errors.Is(err, ErrNotFound) {
+	s := New()
+	if _, err := s.Check(ctx, "ghost"); !errors.Is(err, ErrNotFound) {
 		t.Fatalf("Check(ghost) = %v, want ErrNotFound", err)
 	}
-	if err := s.Create("c", nil); err != nil {
+	if err := s.Create(ctx, "c", nil); err != nil {
 		t.Fatal(err)
 	}
-	if err := s.Create("c", nil); !errors.Is(err, ErrExists) {
+	if err := s.Create(ctx, "c", nil); !errors.Is(err, ErrExists) {
 		t.Fatalf("duplicate Create = %v, want ErrExists", err)
 	}
-	if _, err := s.RegisterParty("c", paperrepro.BuyerProcess()); err != nil {
+	if _, err := s.RegisterParty(ctx, "c", paperrepro.BuyerProcess()); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := s.RegisterParty("c", paperrepro.BuyerProcess()); !errors.Is(err, ErrExists) {
+	if _, err := s.RegisterParty(ctx, "c", paperrepro.BuyerProcess()); !errors.Is(err, ErrExists) {
 		t.Fatalf("duplicate RegisterParty = %v, want ErrExists", err)
 	}
-	if err := s.Delete("c"); err != nil {
+	if err := s.Delete(ctx, "c"); err != nil {
 		t.Fatal(err)
 	}
-	if err := s.Delete("c"); !errors.Is(err, ErrNotFound) {
+	if err := s.Delete(ctx, "c"); !errors.Is(err, ErrNotFound) {
 		t.Fatalf("double Delete = %v, want ErrNotFound", err)
 	}
 }
@@ -334,7 +339,7 @@ func TestNotFoundAndDuplicates(t *testing.T) {
 // Sharding must keep independent choreographies independent: generated
 // two-party conversations register, check and evolve across many IDs.
 func TestManyChoreographies(t *testing.T) {
-	s := New(8)
+	s := New(WithShards(8))
 	p := gen.Params{PartyA: "A", PartyB: "B", Messages: 6, MaxDepth: 2, ChoiceProb: 30, MaxBranch: 2}
 	for i := 0; i < 20; i++ {
 		id := genID(i)
@@ -342,16 +347,16 @@ func TestManyChoreographies(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		if err := s.Create(id, nil); err != nil {
+		if err := s.Create(ctx, id, nil); err != nil {
 			t.Fatal(err)
 		}
-		if _, err := s.RegisterParty(id, conv.A); err != nil {
+		if _, err := s.RegisterParty(ctx, id, conv.A); err != nil {
 			t.Fatal(err)
 		}
-		if _, err := s.RegisterParty(id, conv.B); err != nil {
+		if _, err := s.RegisterParty(ctx, id, conv.B); err != nil {
 			t.Fatal(err)
 		}
-		rep, err := s.Check(id)
+		rep, err := s.Check(ctx, id)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -362,7 +367,11 @@ func TestManyChoreographies(t *testing.T) {
 	if got := s.Stats().Choreographies; got != 20 {
 		t.Fatalf("stored choreographies = %d, want 20", got)
 	}
-	if got := len(s.IDs()); got != 20 {
+	ids, err := s.IDs(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(ids); got != 20 {
 		t.Fatalf("IDs() = %d, want 20", got)
 	}
 }

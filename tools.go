@@ -15,26 +15,44 @@ import (
 )
 
 // Serving layer (choreod): a sharded, versioned, cache-aware
-// choreography store plus the JSON HTTP service and client over it.
+// choreography store plus the JSON HTTP service (v2 surface with a v1
+// compatibility shim) and typed client over it.
 type (
 	// ChoreographyStore is the concurrent in-memory choreography
 	// store: copy-on-write snapshots per choreography, memoized
 	// bilateral views and a version-keyed consistency-result cache.
+	// All operations take a leading context honoring cancellation.
 	ChoreographyStore = store.Store
+	// StoreOption configures NewChoreographyStore.
+	StoreOption = store.Option
 	// StoreSnapshot is one immutable choreography snapshot.
 	StoreSnapshot = store.Snapshot
 	// StoreStats are cumulative store counters (cache hits/misses,
 	// commits, conflicts).
 	StoreStats = store.Stats
-	// StoreEvolution is an analyzed-but-uncommitted change pinned to
-	// its base snapshot version.
+	// StoreEvolution is an analyzed-but-uncommitted change transaction
+	// pinned to its base snapshot version.
 	StoreEvolution = store.Evolution
 	// StoreCheckReport is the cached pairwise consistency report.
 	StoreCheckReport = store.CheckReport
 	// ChoreoServer is the choreod HTTP front end.
 	ChoreoServer = server.Server
-	// ChoreoClient is the thin typed client for the choreod API.
+	// ChoreoClient is the typed client for the choreod /v2/ API:
+	// context-first, machine-readable error codes, pagination.
 	ChoreoClient = server.Client
+	// ChoreoAPIError is a non-2xx choreod response with its /v2/ code.
+	ChoreoAPIError = server.APIError
+	// EvolveOp is the wire encoding of one structural change operation
+	// inside a /v2/ evolve transaction.
+	EvolveOp = server.OpJSON
+)
+
+// Store construction options.
+var (
+	// WithStoreShards partitions the choreography ID space.
+	WithStoreShards = store.WithShards
+	// WithStoreCacheCap bounds the per-choreography consistency cache.
+	WithStoreCacheCap = store.WithCacheCap
 )
 
 // Store sentinel errors.
@@ -42,11 +60,25 @@ var (
 	ErrStoreNotFound = store.ErrNotFound
 	ErrStoreExists   = store.ErrExists
 	ErrStoreConflict = store.ErrConflict
+	ErrStoreInvalid  = store.ErrInvalid
 )
 
-// NewChoreographyStore returns an empty store partitioned over n
-// shards (n <= 0 picks the default).
-func NewChoreographyStore(shards int) *ChoreographyStore { return store.New(shards) }
+// Machine-readable choreod /v2/ error codes (ChoreoErrIs matches them).
+const (
+	ChoreoCodeInvalidArgument = server.CodeInvalidArgument
+	ChoreoCodeNotFound        = server.CodeNotFound
+	ChoreoCodeAlreadyExists   = server.CodeAlreadyExists
+	ChoreoCodeConflict        = server.CodeConflict
+	ChoreoCodeStaleVersion    = server.CodeStaleVersion
+)
+
+// ChoreoErrIs reports whether err is a choreod API error with the
+// given /v2/ code.
+func ChoreoErrIs(err error, code string) bool { return server.ErrIs(err, code) }
+
+// NewChoreographyStore returns an empty store configured by opts
+// (WithStoreShards, WithStoreCacheCap).
+func NewChoreographyStore(opts ...StoreOption) *ChoreographyStore { return store.New(opts...) }
 
 // NewChoreoServer returns the choreod HTTP service over st.
 func NewChoreoServer(st *ChoreographyStore) *ChoreoServer { return server.New(st) }
