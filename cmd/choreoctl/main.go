@@ -15,9 +15,13 @@
 //	                                              batch-register parties on a running service
 //	choreoctl evolve   -addr URL -chor ID -party P (-new new.xml | -op SPEC ...) [-commit]
 //	                                              submit a change transaction for analysis
+//	choreoctl migrate  -addr URL -chor ID [-workers n] [-nowait] [-stranded n]
+//	                                              bulk-migrate running instances to the
+//	                                              committed schema
 //
-// The remote subcommands (register, evolve) talk to a running choreod
-// over its /v2/ API and accept -timeout to bound the request context.
+// The remote subcommands (register, evolve, migrate) talk to a running
+// choreod over its /v2/ API and accept -timeout to bound the request
+// context (default 30s; 0 disables the deadline).
 //
 // Processes are BPEL-flavored XML as produced by MarshalProcessXML;
 // operations referenced by the processes are registered implicitly
@@ -64,6 +68,8 @@ func main() {
 		err = runRegister(args)
 	case "evolve":
 		err = runEvolve(args)
+	case "migrate":
+		err = runMigrate(args)
 	case "help", "-h", "--help":
 		usage()
 	default:
@@ -88,8 +94,15 @@ commands:
   propagate  plan the propagation of a variant change
   simulate   execute a choreography (exhaustive + random walks)
   serve      run the choreod HTTP service
+             [-addr :8080] [-shards 16] [-cachecap n, 0 = unbounded cache]
   register   batch-register parties on a running choreod (/v2/)
-  evolve     submit a change transaction to a running choreod (/v2/)`)
+             [-addr http://localhost:8080] [-timeout 30s, 0 = none]
+  evolve     submit a change transaction to a running choreod (/v2/)
+             [-addr http://localhost:8080] [-timeout 30s, 0 = none]
+  migrate    bulk-migrate running instances to the committed schema (/v2/)
+             [-addr http://localhost:8080] [-timeout 30s, 0 = none]
+
+run 'choreoctl <command> -h' for the full flag list of a command`)
 }
 
 // multiFlag collects repeated -in flags.
@@ -494,6 +507,76 @@ func runEvolve(args []string) error {
 			return err
 		}
 		fmt.Printf("committed: %s now at version %d\n", res.Choreography, res.Version)
+	}
+	return nil
+}
+
+// runMigrate starts (or resumes) the bulk migration of a
+// choreography's tracked instances through
+// POST /v2/choreographies/{id}/migrations, waits for the sweep to
+// finish and prints the report with the stranded instances. The job is
+// idempotent per committed version: re-running a completed migration
+// just reprints its report.
+func runMigrate(args []string) error {
+	fs := flag.NewFlagSet("migrate", flag.ExitOnError)
+	addr := fs.String("addr", "http://localhost:8080", "choreod base URL")
+	chor := fs.String("chor", "", "choreography ID")
+	workers := fs.Int("workers", 0, "sweep worker-pool size (0 = server default)")
+	nowait := fs.Bool("nowait", false, "start the sweep and exit without waiting")
+	stranded := fs.Int("stranded", 20, "stranded instances to print (0 = none, -1 = all)")
+	timeout := fs.Duration("timeout", 30*time.Second, "request timeout (0 = none)")
+	fs.Parse(args)
+	if *chor == "" {
+		return fmt.Errorf("migrate: -chor required")
+	}
+	ctx, cancel := remoteContext(*timeout)
+	defer cancel()
+	c := choreo.NewChoreoClient(*addr, nil)
+	job, err := c.StartMigration(ctx, *chor, *workers)
+	if err != nil {
+		return err
+	}
+	if *nowait {
+		fmt.Printf("migration %s on %s to version %d: %s (%d/%d shards)\n",
+			job.Job, job.Choreography, job.TargetVersion, job.Status, job.ShardsDone, job.Shards)
+		return nil
+	}
+	final, err := c.WaitMigration(ctx, *chor, job.Job, 0)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("migration %s on %s to version %d: %s\n",
+		final.Job, final.Choreography, final.TargetVersion, final.Status)
+	if final.Error != "" {
+		fmt.Println("  error:", final.Error)
+	}
+	fmt.Printf("  %d instances: %d migrated, %d non-replayable, %d unviable\n",
+		final.Total, final.Migratable, final.NonReplayable, final.Unviable)
+	if *stranded == 0 {
+		return nil
+	}
+	// A positive -stranded prints one page of that size; -stranded -1
+	// drains the whole report through the cursor.
+	total := final.NonReplayable + final.Unviable
+	list := final.Stranded
+	if *stranded < 0 {
+		if list, err = c.MigrationStranded(ctx, *chor, final.Job); err != nil {
+			return err
+		}
+	} else if len(list) > *stranded {
+		list = list[:*stranded]
+	} else if len(list) < *stranded && len(list) < total {
+		page, err := c.MigrationJob(ctx, *chor, final.Job, *stranded, "")
+		if err != nil {
+			return err
+		}
+		list = page.Stranded
+	}
+	for _, st := range list {
+		fmt.Printf("  stranded %s/%s: %s\n", st.Party, st.ID, st.Status)
+	}
+	if rest := total - len(list); *stranded > 0 && rest > 0 {
+		fmt.Printf("  ... and %d more stranded instances\n", rest)
 	}
 	return nil
 }

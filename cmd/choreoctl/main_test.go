@@ -216,3 +216,70 @@ func TestRemoteSubcommands(t *testing.T) {
 		t.Fatalf("after evolve -commit: version=%d, want 2", info.Version)
 	}
 }
+
+// TestMigrateSubcommand drives the bulk-migration subcommand against
+// an in-process choreod: record instances, commit a subtractive
+// change, sweep, and verify the idempotent job report.
+func TestMigrateSubcommand(t *testing.T) {
+	srv := choreo.NewChoreoServer(choreo.NewChoreographyStore())
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+	ctx := context.Background()
+
+	buyerPath := writeFixture(t, "buyer.xml", buyerXML)
+	accPath := writeFixture(t, "acc.xml", accXML)
+	if err := runRegister([]string{
+		"-addr", ts.URL, "-chor", "demo", "-create",
+		"-in", buyerPath, "-in", accPath,
+	}); err != nil {
+		t.Fatalf("register: %v", err)
+	}
+	c := choreo.NewChoreoClient(ts.URL, nil)
+	if _, err := c.SampleInstances(ctx, "demo", "A", 7, 40, 2); err != nil {
+		t.Fatal(err)
+	}
+
+	// Accounting drops the delivery invoke — instances that already
+	// sent it cannot replay on the shrunk schema.
+	const accV3 = `
+<process name="accounting" owner="A">
+  <sequence name="acc process">
+    <receive name="order" partner="B" operation="orderOp"/>
+  </sequence>
+</process>`
+	accV3Path := writeFixture(t, "acc_v3.xml", accV3)
+	if err := runEvolve([]string{
+		"-addr", ts.URL, "-chor", "demo", "-party", "A",
+		"-new", accV3Path, "-commit",
+	}); err != nil {
+		t.Fatalf("evolve: %v", err)
+	}
+
+	if err := runMigrate([]string{
+		"-addr", ts.URL, "-chor", "demo", "-workers", "4", "-stranded", "5",
+	}); err != nil {
+		t.Fatalf("migrate: %v", err)
+	}
+	jobs, err := c.MigrationJobs(ctx, "demo")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(jobs) != 1 {
+		t.Fatalf("jobs = %d, want 1", len(jobs))
+	}
+	job := jobs[0]
+	if job.Status != "done" || job.Total != 40 {
+		t.Fatalf("job = %+v, want done over 40 instances", job)
+	}
+	if job.Migratable == 0 || job.Migratable == job.Total {
+		t.Fatalf("job = %+v, want a split verdict", job)
+	}
+
+	// Re-running the subcommand is a no-op against the same version.
+	if err := runMigrate([]string{"-addr", ts.URL, "-chor", "demo", "-stranded", "0"}); err != nil {
+		t.Fatalf("migrate rerun: %v", err)
+	}
+	if jobs, err = c.MigrationJobs(ctx, "demo"); err != nil || len(jobs) != 1 {
+		t.Fatalf("after rerun: jobs=%d err=%v, want the single completed job", len(jobs), err)
+	}
+}

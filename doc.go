@@ -86,6 +86,33 @@
 // (ChoreoCode* constants, matched with ChoreoErrIs). ChoreoClient is
 // the typed, context-first Go client; the /v1/ surface remains served
 // as a compatibility shim for deployed clients. See internal/server
-// for the wire types and README.md for curl examples and the v1→v2
-// migration table.
+// for the wire types and docs/api.md for the full wire reference with
+// curl examples and the v1→v2 migration table.
+//
+// # Bulk instance migration
+//
+// After a change is committed, every in-flight conversation must be
+// classified: an instance migrates to the new schema iff its trace
+// replays on the new public process into a viable state (the
+// ADEPT-style compliance criterion the paper points to in Sec. 8).
+// The store answers per-party what-ifs (ChoreographyStore.Migrate,
+// optionally against a pending evolution), and sweeps whole
+// populations with the bulk engine:
+//
+//	job, err := st.MigrateAll(ctx, "procurement", 8)   // 8 workers
+//	v := job.Snapshot()                                // progress counters
+//	stuck := job.Stranded()                            // who cannot move, and why
+//
+// A sweep iterates the choreography's instance shards on a bounded
+// worker pool — no choreography-wide lock — classifying through
+// per-party compliance checkers that are determinized once per party
+// version and shared by all workers. The job (BulkMigrationJob) is
+// idempotent and resumable: its identity is (choreography, committed
+// version), re-running a completed job returns the finished report
+// untouched, and a canceled sweep keeps whole committed shards so the
+// next run finishes the remainder. StartMigration is the asynchronous
+// variant behind POST /v2/choreographies/{id}/migrations, which the
+// client wraps as StartMigration/WaitMigration/MigrationStranded and
+// the CLI as "choreoctl migrate". See ARCHITECTURE.md for where the
+// engine sits in the system.
 package choreo

@@ -1,8 +1,10 @@
 package choreo_test
 
 import (
+	"context"
 	"fmt"
 	"log"
+	"net/http/httptest"
 
 	choreo "repro"
 )
@@ -82,4 +84,127 @@ func ExampleConsistent() {
 	fmt.Printf("fig5 consistent: %v\n", ok)
 	// Output:
 	// fig5 consistent: false
+}
+
+// ExampleChoreographyStore_MigrateAll runs the bulk instance-migration
+// engine in process: record running conversations, commit a
+// subtractive change, then sweep the whole population to the new
+// schema — migratable instances move, the rest are reported stranded.
+func ExampleChoreographyStore_MigrateAll() {
+	ctx := context.Background()
+	st := choreo.NewChoreographyStore()
+	if err := st.Create(ctx, "demo", nil); err != nil {
+		log.Fatal(err)
+	}
+
+	server := &choreo.Process{Name: "server", Owner: "A",
+		Body: &choreo.Sequence{BlockName: "srv", Children: []choreo.Activity{
+			&choreo.Receive{BlockName: "ping", Partner: "B", Op: "pingOp"},
+			&choreo.Invoke{BlockName: "pong", Partner: "B", Op: "pongOp"},
+		}}}
+	client := &choreo.Process{Name: "client", Owner: "B",
+		Body: &choreo.Sequence{BlockName: "cli", Children: []choreo.Activity{
+			&choreo.Invoke{BlockName: "ping", Partner: "A", Op: "pingOp"},
+			&choreo.Receive{BlockName: "pong", Partner: "A", Op: "pongOp"},
+		}}}
+	// One batch, one commit, one version bump.
+	if _, err := st.PutParties(ctx, "demo", []*choreo.Process{server, client}, nil); err != nil {
+		log.Fatal(err)
+	}
+
+	// 100 running server conversations under the current schema.
+	if _, err := st.SampleInstances(ctx, "demo", "A", 1, 100, 2); err != nil {
+		log.Fatal(err)
+	}
+
+	// The server drops the pong reply — a subtractive change — and
+	// commits it.
+	shrunk := &choreo.Sequence{BlockName: "srv", Children: []choreo.Activity{
+		&choreo.Receive{BlockName: "ping", Partner: "B", Op: "pingOp"},
+	}}
+	evo, err := st.Evolve(ctx, "demo", "A", choreo.Replace{Path: nil, New: shrunk})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if _, err := st.CommitEvolution(ctx, evo); err != nil {
+		log.Fatal(err)
+	}
+
+	// Sweep every tracked instance to the committed snapshot with 4
+	// workers. Conversations that already sent the pong cannot replay
+	// on the shrunk schema and are stranded.
+	job, err := st.MigrateAll(ctx, "demo", 4)
+	if err != nil {
+		log.Fatal(err)
+	}
+	v := job.Snapshot()
+	fmt.Printf("job %s: %s\n", v.ID, v.Status)
+	fmt.Printf("migrated %d of %d, stranded %d\n", v.Migratable, v.Total, v.NonReplayable+v.Unviable)
+
+	// Re-running the same migration is a no-op: the job identity is
+	// (choreography, committed version).
+	again, err := st.MigrateAll(ctx, "demo", 4)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("rerun is same job: %v\n", again == job)
+	// Output:
+	// job mig-demo-v2: done
+	// migrated 70 of 100, stranded 30
+	// rerun is same job: true
+}
+
+// ExampleChoreoClient_StartMigration drives the same sweep over the
+// wire: POST the migration, poll it to completion, read the stranded
+// report through the cursor.
+func ExampleChoreoClient_StartMigration() {
+	ctx := context.Background()
+	st := choreo.NewChoreographyStore()
+	srv := httptest.NewServer(choreo.NewChoreoServer(st).Handler())
+	defer srv.Close()
+	c := choreo.NewChoreoClient(srv.URL, nil)
+
+	if err := st.Create(ctx, "demo", nil); err != nil {
+		log.Fatal(err)
+	}
+	server := &choreo.Process{Name: "server", Owner: "A",
+		Body: &choreo.Sequence{BlockName: "srv", Children: []choreo.Activity{
+			&choreo.Receive{BlockName: "ping", Partner: "B", Op: "pingOp"},
+			&choreo.Invoke{BlockName: "pong", Partner: "B", Op: "pongOp"},
+		}}}
+	if _, err := c.RegisterParty(ctx, "demo", server); err != nil {
+		log.Fatal(err)
+	}
+	if _, err := c.SampleInstances(ctx, "demo", "A", 1, 50, 2); err != nil {
+		log.Fatal(err)
+	}
+	shrunk := &choreo.Process{Name: "server", Owner: "A",
+		Body: &choreo.Sequence{BlockName: "srv", Children: []choreo.Activity{
+			&choreo.Receive{BlockName: "ping", Partner: "B", Op: "pingOp"},
+		}}}
+	evo, err := c.Evolve(ctx, "demo", shrunk)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if _, err := c.CommitIfMatch(ctx, evo.Evolution, evo.BaseVersion); err != nil {
+		log.Fatal(err)
+	}
+
+	job, err := c.StartMigration(ctx, "demo", 4)
+	if err != nil {
+		log.Fatal(err)
+	}
+	final, err := c.WaitMigration(ctx, "demo", job.Job, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	stranded, err := c.MigrationStranded(ctx, "demo", job.Job)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("status: %s\n", final.Status)
+	fmt.Printf("migrated %d of %d, stranded %d\n", final.Migratable, final.Total, len(stranded))
+	// Output:
+	// status: done
+	// migrated 34 of 50, stranded 16
 }

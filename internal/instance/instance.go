@@ -10,6 +10,22 @@
 // migrate to the changed public process iff its trace can be replayed
 // on the new automaton and the reached state is viable (the remaining
 // conversation can still complete under the mandatory annotations).
+//
+// The package offers the criterion at two granularities:
+//
+//   - Check classifies one instance against one candidate schema. It
+//     is the ad-hoc entry point: it determinizes the candidate and
+//     computes its viable-state set on every call.
+//   - Checker front-loads that per-schema work once (NewChecker) and
+//     then classifies any number of instances with a plain trace
+//     replay — O(len(trace)) per instance, no allocation. Bulk sweeps
+//     (Migrate here, the internal/migrate engine, the store's
+//     MigrateAll) share one Checker per schema version, so a
+//     10k-instance sweep pays for one determinization, not 10k.
+//
+// Checker is immutable after construction and safe for concurrent use
+// from any number of goroutines, which is what makes the worker-pool
+// sweep in internal/migrate embarrassingly parallel.
 package instance
 
 import (
@@ -53,28 +69,55 @@ func (s Status) String() string {
 	}
 }
 
-// Check classifies one instance against the new public process.
-func Check(inst Instance, newPublic *afsa.Automaton) (Status, error) {
+// Checker classifies instances against one candidate schema. It holds
+// the determinized automaton and its viable-state set, computed once in
+// NewChecker; Check is then a lock-free trace replay, safe for
+// concurrent use.
+type Checker struct {
+	d      *afsa.Automaton
+	viable []bool
+}
+
+// NewChecker prepares the compliance check against newPublic:
+// determinize once, compute the viable states once.
+func NewChecker(newPublic *afsa.Automaton) (*Checker, error) {
 	d := newPublic.Determinize()
 	viable, err := d.ViableStates()
 	if err != nil {
-		return NonReplayable, err
+		return nil, err
 	}
-	q := d.Start()
+	return &Checker{d: d, viable: viable}, nil
+}
+
+// Check classifies one instance: replay the trace on the determinized
+// candidate and test viability of the reached state.
+func (c *Checker) Check(inst Instance) Status {
+	q := c.d.Start()
 	if q == afsa.None {
-		return NonReplayable, nil
+		return NonReplayable
 	}
 	for _, l := range inst.Trace {
-		next := d.Step(q, l)
+		next := c.d.Step(q, l)
 		if len(next) == 0 {
-			return NonReplayable, nil
+			return NonReplayable
 		}
 		q = next[0]
 	}
-	if !viable[q] {
-		return Unviable, nil
+	if !c.viable[q] {
+		return Unviable
 	}
-	return Migratable, nil
+	return Migratable
+}
+
+// Check classifies one instance against the new public process. It
+// builds a throwaway Checker; classify batches through NewChecker
+// instead.
+func Check(inst Instance, newPublic *afsa.Automaton) (Status, error) {
+	c, err := NewChecker(newPublic)
+	if err != nil {
+		return NonReplayable, err
+	}
+	return c.Check(inst), nil
 }
 
 // Report summarizes a migration of many instances.
@@ -95,15 +138,23 @@ func (r *Report) MigratableFraction() float64 {
 	return float64(r.Migratable) / float64(r.Total)
 }
 
-// Migrate classifies every instance against the new schema.
+// Migrate classifies every instance against the new schema, sharing
+// one Checker across the batch.
 func Migrate(instances []Instance, newPublic *afsa.Automaton) (*Report, error) {
+	c, err := NewChecker(newPublic)
+	if err != nil {
+		return nil, err
+	}
+	return MigrateWith(instances, c), nil
+}
+
+// MigrateWith classifies every instance through an existing Checker —
+// the entry point for callers that memoize the per-schema work (the
+// store keeps one Checker per party version).
+func MigrateWith(instances []Instance, c *Checker) *Report {
 	rep := &Report{Total: len(instances)}
 	for _, inst := range instances {
-		st, err := Check(inst, newPublic)
-		if err != nil {
-			return nil, fmt.Errorf("instance %q: %w", inst.ID, err)
-		}
-		switch st {
+		switch c.Check(inst) {
 		case Migratable:
 			rep.Migratable++
 		case NonReplayable:
@@ -114,7 +165,7 @@ func Migrate(instances []Instance, newPublic *afsa.Automaton) (*Report, error) {
 			rep.Blocked = append(rep.Blocked, inst.ID)
 		}
 	}
-	return rep, nil
+	return rep
 }
 
 // SampleInstances draws n running instances of the old public process

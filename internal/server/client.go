@@ -11,6 +11,7 @@ import (
 	"net/url"
 	"strconv"
 	"strings"
+	"time"
 
 	"repro/internal/bpel"
 )
@@ -369,6 +370,110 @@ func (c *Client) Migrate(ctx context.Context, id, party, evoID string) (*Migrate
 		return nil, err
 	}
 	return &out, nil
+}
+
+// ---- bulk migration ----
+
+// StartMigration launches (or resumes) the bulk migration of a
+// choreography's tracked instances to its current committed snapshot,
+// sweeping with the given worker-pool size (0 picks the server
+// default). The call is idempotent per (choreography, version) and
+// returns immediately with the job's current state; poll with
+// MigrationJob or block with WaitMigration.
+func (c *Client) StartMigration(ctx context.Context, id string, workers int) (*MigrationJobJSON, error) {
+	var out MigrationJobJSON
+	_, err := c.do(ctx, "POST", "/v2/choreographies/"+seg(id)+"/migrations", nil,
+		MigrationStartRequest{Workers: workers}, &out)
+	if err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// MigrationJob fetches one job's progress plus one page of its
+// stranded-instance report (limit 0 = server default page size,
+// pageToken "" = from the start).
+func (c *Client) MigrationJob(ctx context.Context, id, job string, limit int, pageToken string) (*MigrationJobJSON, error) {
+	var out MigrationJobJSON
+	path := "/v2/choreographies/" + seg(id) + "/migrations/" + seg(job) + "?" + pageValues(limit, pageToken)
+	if _, err := c.do(ctx, "GET", path, nil, nil, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// MigrationJobs lists a choreography's migration jobs (without their
+// stranded reports), iterating the cursor until exhaustion.
+func (c *Client) MigrationJobs(ctx context.Context, id string) ([]MigrationJobJSON, error) {
+	var all []MigrationJobJSON
+	token := ""
+	for {
+		var out MigrationListResponse
+		path := "/v2/choreographies/" + seg(id) + "/migrations?" + pageValues(0, token)
+		if _, err := c.do(ctx, "GET", path, nil, nil, &out); err != nil {
+			return nil, err
+		}
+		all = append(all, out.Jobs...)
+		if out.NextPageToken == "" {
+			return all, nil
+		}
+		token = out.NextPageToken
+	}
+}
+
+// MigrationStranded iterates a job's full stranded-instance report.
+func (c *Client) MigrationStranded(ctx context.Context, id, job string) ([]StrandedJSON, error) {
+	var all []StrandedJSON
+	token := ""
+	for {
+		page, err := c.MigrationJob(ctx, id, job, 0, token)
+		if err != nil {
+			return nil, err
+		}
+		all = append(all, page.Stranded...)
+		if page.NextPageToken == "" {
+			return all, nil
+		}
+		token = page.NextPageToken
+	}
+}
+
+// CancelMigration stops a running sweep; committed shards keep their
+// results and StartMigration resumes the rest.
+func (c *Client) CancelMigration(ctx context.Context, id, job string) (*MigrationJobJSON, error) {
+	var out MigrationJobJSON
+	_, err := c.do(ctx, "DELETE", "/v2/choreographies/"+seg(id)+"/migrations/"+seg(job), nil, nil, &out)
+	if err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// WaitMigration polls a job every poll interval (<= 0 means 100ms)
+// until it leaves the running state or ctx is done, and returns its
+// final progress (first stranded page included). Progress polls ask
+// for a single stranded entry so waiting on a huge sweep does not
+// drag the report along; the final fetch takes a full page.
+func (c *Client) WaitMigration(ctx context.Context, id, job string, poll time.Duration) (*MigrationJobJSON, error) {
+	if poll <= 0 {
+		poll = 100 * time.Millisecond
+	}
+	t := time.NewTicker(poll)
+	defer t.Stop()
+	for {
+		out, err := c.MigrationJob(ctx, id, job, 1, "")
+		if err != nil {
+			return nil, err
+		}
+		if out.Status != "running" {
+			return c.MigrationJob(ctx, id, job, 0, "")
+		}
+		select {
+		case <-ctx.Done():
+			return out, ctx.Err()
+		case <-t.C:
+		}
+	}
 }
 
 // ---- discovery ----

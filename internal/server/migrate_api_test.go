@@ -1,0 +1,166 @@
+package server
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/paperrepro"
+)
+
+// migrationSetup drives the wire-level precondition of a bulk sweep:
+// the procurement scenario with tracked instances for every party and
+// the tracking-limit change committed.
+func migrationSetup(t *testing.T, c *Client) string {
+	t.Helper()
+	id := paperSetup(t, c)
+	for i, party := range []string{paperrepro.Buyer, paperrepro.Accounting, paperrepro.Logistics} {
+		if _, err := c.SampleInstances(ctx, id, party, int64(100+i), 40, 12); err != nil {
+			t.Fatal(err)
+		}
+	}
+	newAcc := apply(t, paperrepro.AccountingProcess(), paperrepro.TrackingLimitChange())
+	evo, err := c.Evolve(ctx, id, newAcc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.CommitIfMatch(ctx, evo.Evolution, evo.BaseVersion); err != nil {
+		t.Fatal(err)
+	}
+	return id
+}
+
+// TestV2MigrationLifecycle drives a bulk migration end to end over the
+// wire: start, poll to completion, page through the stranded report,
+// verify idempotent restart, list and cancel semantics.
+func TestV2MigrationLifecycle(t *testing.T) {
+	c, _ := testClient(t)
+	id := migrationSetup(t, c)
+
+	job, err := c.StartMigration(ctx, id, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if job.Choreography != id || job.Job == "" {
+		t.Fatalf("start answered %+v", job)
+	}
+	final, err := c.WaitMigration(ctx, id, job.Job, 5*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if final.Status != "done" {
+		t.Fatalf("status = %q (%s), want done", final.Status, final.Error)
+	}
+	if final.Total != 120 || final.ShardsDone != final.Shards {
+		t.Fatalf("final = %+v, want 120 instances over all shards", final)
+	}
+	if final.Migratable == 0 || final.Migratable == final.Total {
+		t.Fatalf("final = %+v, want a split verdict", final)
+	}
+
+	// The stranded report pages with a cursor; the union over pages is
+	// exactly the non-migratable population, without duplicates.
+	seen := map[string]bool{}
+	token := ""
+	pages := 0
+	for {
+		page, err := c.MigrationJob(ctx, id, job.Job, 3, token)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pages++
+		if len(page.Stranded) > 3 {
+			t.Fatalf("page of %d entries, limit 3", len(page.Stranded))
+		}
+		for _, st := range page.Stranded {
+			key := st.Party + "/" + st.ID
+			if seen[key] {
+				t.Fatalf("stranded entry %s on two pages", key)
+			}
+			if st.Status != "non-replayable" && st.Status != "unviable" {
+				t.Fatalf("stranded status %q", st.Status)
+			}
+			seen[key] = true
+		}
+		if page.NextPageToken == "" {
+			break
+		}
+		token = page.NextPageToken
+	}
+	if len(seen) != final.NonReplayable+final.Unviable {
+		t.Fatalf("paged %d stranded entries, counters say %d", len(seen), final.NonReplayable+final.Unviable)
+	}
+	if pages < 2 {
+		t.Fatalf("stranded report fit one page (%d entries) — raise the population", len(seen))
+	}
+
+	// Idempotent restart: same job, same report, nothing re-swept.
+	again, err := c.StartMigration(ctx, id, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again.Job != job.Job || again.Status != "done" || again.Total != final.Total {
+		t.Fatalf("restart answered %+v, want the completed %s", again, job.Job)
+	}
+
+	// The job shows up in the listing; canceling a finished job is a
+	// harmless no-op.
+	jobs, err := c.MigrationJobs(ctx, id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(jobs) != 1 || jobs[0].Job != job.Job {
+		t.Fatalf("jobs = %+v", jobs)
+	}
+	canceled, err := c.CancelMigration(ctx, id, job.Job)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if canceled.Status != "done" {
+		t.Fatalf("cancel of a done job flipped status to %q", canceled.Status)
+	}
+
+	// MigrationStranded drains the full report in one call.
+	all, err := c.MigrationStranded(ctx, id, job.Job)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all) != len(seen) {
+		t.Fatalf("MigrationStranded = %d entries, want %d", len(all), len(seen))
+	}
+}
+
+// TestV2MigrationErrors pins the error contract of the migration
+// endpoints.
+func TestV2MigrationErrors(t *testing.T) {
+	c, _ := testClient(t)
+
+	_, err := c.StartMigration(ctx, "ghost", 2)
+	wantCode(t, err, 404, CodeNotFound)
+	_, err = c.MigrationJobs(ctx, "ghost")
+	wantCode(t, err, 404, CodeNotFound)
+
+	id := paperSetup(t, c)
+	_, err = c.MigrationJob(ctx, id, "mig-ghost-v9", 0, "")
+	wantCode(t, err, 404, CodeNotFound)
+	_, err = c.CancelMigration(ctx, id, "mig-ghost-v9")
+	wantCode(t, err, 404, CodeNotFound)
+
+	// A sweep over a choreography without any instances completes
+	// trivially — and a job belongs to its choreography only.
+	job, err := c.StartMigration(ctx, id, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	final, err := c.WaitMigration(ctx, id, job.Job, time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if final.Status != "done" || final.Total != 0 {
+		t.Fatalf("empty sweep = %+v", final)
+	}
+	if err := c.CreateChoreography(ctx, "other", nil); err != nil {
+		t.Fatal(err)
+	}
+	_, err = c.MigrationJob(ctx, "other", job.Job, 0, "")
+	wantCode(t, err, 404, CodeNotFound)
+}

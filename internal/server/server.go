@@ -26,6 +26,10 @@
 //	POST   /v2/evolutions/{evo}/apply                         {partner, suggestions[]} → 409 on race
 //	POST   /v2/choreographies/{id}/parties/{party}/instances  {sample}|{instances}
 //	POST   /v2/choreographies/{id}/parties/{party}/migrate    {evolution}
+//	POST   /v2/choreographies/{id}/migrations                 {workers} → bulk sweep job
+//	GET    /v2/choreographies/{id}/migrations                 ?limit=&page_token=
+//	GET    /v2/choreographies/{id}/migrations/{job}           ?limit=&page_token= (stranded page)
+//	DELETE /v2/choreographies/{id}/migrations/{job}           cancel (resumable)
 //	POST   /v2/discovery/publish                              {name, choreography, party}
 //	POST   /v2/discovery/match                                {choreography, party, matcher, limit, pageToken}
 //	GET    /v2/discovery/services?limit=&page_token=
@@ -58,6 +62,7 @@ import (
 	"repro/internal/discovery"
 	"repro/internal/instance"
 	"repro/internal/label"
+	"repro/internal/migrate"
 	"repro/internal/store"
 )
 
@@ -311,6 +316,70 @@ func (s *Server) addInstances(ctx context.Context, id, party string, req Instanc
 		return 0, badRequest("nothing to add: provide instances or sample")
 	}
 	return added, nil
+}
+
+// defaultMigrationWorkers is the sweep fan-out when the start request
+// does not pick one.
+const defaultMigrationWorkers = 4
+
+// migrationJSON renders a job's observable state (without the
+// stranded report — migrationJSONPage adds one page of it).
+func migrationJSON(job *migrate.Job) MigrationJobJSON {
+	return migrationView(job.Snapshot())
+}
+
+func migrationView(v migrate.View) MigrationJobJSON {
+	return MigrationJobJSON{
+		Job:           v.ID,
+		Choreography:  v.Choreography,
+		TargetVersion: v.TargetVersion,
+		Status:        v.Status.String(),
+		Shards:        v.Shards,
+		ShardsDone:    v.ShardsDone,
+		Total:         v.Total,
+		Migratable:    v.Migratable,
+		NonReplayable: v.NonReplayable,
+		Unviable:      v.Unviable,
+		Error:         v.Err,
+	}
+}
+
+// strandedKey is the composite cursor key of one stranded entry; NUL
+// keeps the sort order identical to (party, id) and cannot appear in
+// either component.
+func strandedKey(st migrate.Stranded) string { return st.Party + "\x00" + st.ID }
+
+// migrationJSONPage renders a job with one cursor page of its
+// stranded-instance report. Counters and report come from one lock
+// acquisition (Job.Report), so they are mutually consistent even
+// mid-sweep; the report is kept sorted by the job, so a page is a
+// binary search plus a bounded slice — polling a huge sweep stays
+// cheap.
+func migrationJSONPage(job *migrate.Job, limit int, pageToken string) (MigrationJobJSON, error) {
+	v, stranded := job.Report()
+	out := migrationView(v)
+	cursor, err := decodePageToken(pageToken)
+	if err != nil {
+		return out, err
+	}
+	if limit <= 0 || limit > defaultPageLimit {
+		limit = defaultPageLimit
+	}
+	start := 0
+	if cursor != "" {
+		start = sort.Search(len(stranded), func(i int) bool { return strandedKey(stranded[i]) > cursor })
+	}
+	end := start + limit
+	if end > len(stranded) {
+		end = len(stranded)
+	}
+	for _, st := range stranded[start:end] {
+		out.Stranded = append(out.Stranded, StrandedJSON{Party: st.Party, ID: st.ID, Status: st.Status.String()})
+	}
+	if end < len(stranded) {
+		out.NextPageToken = encodePageToken(strandedKey(stranded[end-1]))
+	}
+	return out, nil
 }
 
 func (s *Server) migrate(ctx context.Context, id, party, evoID string) (*MigrateResponse, error) {

@@ -1,9 +1,11 @@
 package server
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"net/http"
+	"time"
 
 	"repro/internal/bpel"
 	"repro/internal/store"
@@ -33,6 +35,10 @@ func (s *Server) routesV2(mux *http.ServeMux) {
 	mux.HandleFunc("POST /v2/evolutions/{evo}/apply", s.v2Apply)
 	mux.HandleFunc("POST /v2/choreographies/{id}/parties/{party}/instances", s.v2Instances)
 	mux.HandleFunc("POST /v2/choreographies/{id}/parties/{party}/migrate", s.v2Migrate)
+	mux.HandleFunc("POST /v2/choreographies/{id}/migrations", s.v2StartMigration)
+	mux.HandleFunc("GET /v2/choreographies/{id}/migrations", s.v2ListMigrations)
+	mux.HandleFunc("GET /v2/choreographies/{id}/migrations/{job}", s.v2GetMigration)
+	mux.HandleFunc("DELETE /v2/choreographies/{id}/migrations/{job}", s.v2CancelMigration)
 	mux.HandleFunc("POST /v2/discovery/publish", s.v2Publish)
 	mux.HandleFunc("POST /v2/discovery/match", s.v2Match)
 	mux.HandleFunc("GET /v2/discovery/services", s.v2Services)
@@ -442,6 +448,107 @@ func (s *Server) v2Migrate(w http.ResponseWriter, r *http.Request) {
 	}
 	writeJSON(w, http.StatusOK, rep)
 }
+
+// v2StartMigration launches (or resumes) the bulk migration of a
+// choreography's tracked instances to its current committed snapshot.
+// The job identity is (choreography, snapshot version), so POSTing the
+// same migration twice is idempotent: a sweep already in flight is
+// joined (202), a completed one answers its final report immediately
+// (200) without re-sweeping.
+func (s *Server) v2StartMigration(w http.ResponseWriter, r *http.Request) {
+	var req MigrationStartRequest
+	if err := decode(r, &req); err != nil {
+		writeErrorV2(w, err)
+		return
+	}
+	workers := req.Workers
+	if workers <= 0 {
+		workers = defaultMigrationWorkers
+	}
+	job, err := s.store.StartMigration(r.Context(), r.PathValue("id"), workers)
+	if err != nil {
+		writeErrorV2(w, err)
+		return
+	}
+	out := migrationJSON(job)
+	status := http.StatusAccepted
+	if out.Status != "running" {
+		status = http.StatusOK
+	}
+	writeJSON(w, status, out)
+}
+
+func (s *Server) v2ListMigrations(w http.ResponseWriter, r *http.Request) {
+	limit, token, err := pageQuery(r)
+	if err != nil {
+		writeErrorV2(w, err)
+		return
+	}
+	jobs, err := s.store.MigrationJobs(r.Context(), r.PathValue("id"))
+	if err != nil {
+		writeErrorV2(w, err)
+		return
+	}
+	ids := make([]string, 0, len(jobs))
+	byID := make(map[string]MigrationJobJSON, len(jobs))
+	for _, job := range jobs {
+		ids = append(ids, job.ID)
+		byID[job.ID] = migrationJSON(job)
+	}
+	page, next, err := paginate(ids, limit, token)
+	if err != nil {
+		writeErrorV2(w, err)
+		return
+	}
+	out := MigrationListResponse{Jobs: make([]MigrationJobJSON, 0, len(page)), NextPageToken: next}
+	for _, id := range page {
+		out.Jobs = append(out.Jobs, byID[id])
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// v2GetMigration reports a job's progress plus one cursor page of its
+// stranded-instance report.
+func (s *Server) v2GetMigration(w http.ResponseWriter, r *http.Request) {
+	limit, token, err := pageQuery(r)
+	if err != nil {
+		writeErrorV2(w, err)
+		return
+	}
+	job, err := s.store.MigrationJob(r.Context(), r.PathValue("id"), r.PathValue("job"))
+	if err != nil {
+		writeErrorV2(w, err)
+		return
+	}
+	out, err := migrationJSONPage(job, limit, token)
+	if err != nil {
+		writeErrorV2(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// v2CancelMigration stops a running sweep. Shards already committed
+// keep their results; POSTing the migration again resumes the rest.
+// The handler waits briefly for the runner to settle so the response
+// normally shows the terminal state; a response still saying
+// "running" means the workers are draining — poll the job.
+func (s *Server) v2CancelMigration(w http.ResponseWriter, r *http.Request) {
+	job, err := s.store.MigrationJob(r.Context(), r.PathValue("id"), r.PathValue("job"))
+	if err != nil {
+		writeErrorV2(w, err)
+		return
+	}
+	job.Cancel()
+	settle, cancel := context.WithTimeout(r.Context(), cancelSettleTimeout)
+	defer cancel()
+	v, _ := job.Wait(settle)
+	writeJSON(w, http.StatusOK, migrationView(v))
+}
+
+// cancelSettleTimeout bounds how long a cancel waits for the sweep's
+// workers to drain before answering with the still-running state.
+const cancelSettleTimeout = 500 * time.Millisecond
 
 func (s *Server) v2Publish(w http.ResponseWriter, r *http.Request) {
 	var req PublishRequest

@@ -301,6 +301,56 @@ type ServicesResponse struct {
 	NextPageToken string   `json:"nextPageToken,omitempty"`
 }
 
+// MigrationStartRequest starts (or resumes) the bulk migration of a
+// choreography's tracked instances to its current committed snapshot.
+type MigrationStartRequest struct {
+	// Workers bounds the sweep's worker pool (<= 0 picks the server
+	// default).
+	Workers int `json:"workers,omitempty"`
+}
+
+// StrandedJSON is one instance that cannot move to the target version.
+type StrandedJSON struct {
+	Party string `json:"party"`
+	ID    string `json:"id"`
+	// Status is "non-replayable" (the trace is no prefix of the new
+	// behavior) or "unviable" (it replays into a dead end).
+	Status string `json:"status"`
+}
+
+// MigrationJobJSON is the observable state of one bulk-migration job.
+// Jobs are idempotent per (choreography, targetVersion): starting the
+// same migration twice returns the same job.
+type MigrationJobJSON struct {
+	Job           string `json:"job"`
+	Choreography  string `json:"choreography"`
+	TargetVersion uint64 `json:"targetVersion"`
+	// Status is "running", "done", "canceled" (resumable) or "failed"
+	// (retryable; see Error).
+	Status string `json:"status"`
+	// Shards/ShardsDone report sweep progress; counters below cover
+	// committed shards only and never double-count across a
+	// cancel/resume cycle.
+	Shards        int `json:"shards"`
+	ShardsDone    int `json:"shardsDone"`
+	Total         int `json:"total"`
+	Migratable    int `json:"migratable"`
+	NonReplayable int `json:"nonReplayable"`
+	Unviable      int `json:"unviable"`
+	// Stranded is one page of the stranded-instance report (sorted by
+	// party, then instance ID); NextPageToken continues it.
+	Stranded      []StrandedJSON `json:"stranded,omitempty"`
+	NextPageToken string         `json:"nextPageToken,omitempty"`
+	Error         string         `json:"error,omitempty"`
+}
+
+// MigrationListResponse is one page of a choreography's migration
+// jobs (without their stranded reports).
+type MigrationListResponse struct {
+	Jobs          []MigrationJobJSON `json:"jobs"`
+	NextPageToken string             `json:"nextPageToken,omitempty"`
+}
+
 // ---- error mapping ----
 
 var (

@@ -8,7 +8,6 @@ import (
 	"repro/internal/bpel"
 	"repro/internal/change"
 	"repro/internal/core"
-	"repro/internal/instance"
 	"repro/internal/label"
 	"repro/internal/mapping"
 	"repro/internal/wsdl"
@@ -287,83 +286,4 @@ func (s *Store) ApplyOps(ctx context.Context, id, partner string, ops []change.O
 	s.commits.Add(1)
 	s.invalidatePairs(e, partner)
 	return next, nil
-}
-
-// AddInstances records running conversations of a party.
-func (s *Store) AddInstances(ctx context.Context, id, party string, insts []instance.Instance) error {
-	if err := ctxErr(ctx); err != nil {
-		return err
-	}
-	e, err := s.entry(id)
-	if err != nil {
-		return err
-	}
-	if _, ok := e.snap.Load().parties[party]; !ok {
-		return fmt.Errorf("%w: party %q in choreography %q", ErrNotFound, party, id)
-	}
-	e.instMu.Lock()
-	e.instances[party] = append(e.instances[party], insts...)
-	e.instMu.Unlock()
-	return nil
-}
-
-// SampleInstances draws n seeded random-walk instances of party's
-// current public process, records and returns them.
-func (s *Store) SampleInstances(ctx context.Context, id, party string, seed int64, n, maxLen int) ([]instance.Instance, error) {
-	if err := ctxErr(ctx); err != nil {
-		return nil, err
-	}
-	e, err := s.entry(id)
-	if err != nil {
-		return nil, err
-	}
-	ps, ok := e.snap.Load().parties[party]
-	if !ok {
-		return nil, fmt.Errorf("%w: party %q in choreography %q", ErrNotFound, party, id)
-	}
-	insts := instance.SampleInstances(ps.Public, seed, n, maxLen)
-	e.instMu.Lock()
-	e.instances[party] = append(e.instances[party], insts...)
-	e.instMu.Unlock()
-	return insts, nil
-}
-
-// Instances returns the recorded instances of a party.
-func (s *Store) Instances(ctx context.Context, id, party string) ([]instance.Instance, error) {
-	if err := ctxErr(ctx); err != nil {
-		return nil, err
-	}
-	e, err := s.entry(id)
-	if err != nil {
-		return nil, err
-	}
-	e.instMu.Lock()
-	defer e.instMu.Unlock()
-	return append([]instance.Instance(nil), e.instances[party]...), nil
-}
-
-// Migrate classifies the recorded instances of party against candidate
-// (ADEPT-style compliance, Sec. 8). A nil candidate means the party's
-// current public process — useful after a commit; passing a pending
-// Evolution's NewPublic answers "what would break" before committing.
-func (s *Store) Migrate(ctx context.Context, id, party string, candidate *afsa.Automaton) (*instance.Report, error) {
-	if err := ctxErr(ctx); err != nil {
-		return nil, err
-	}
-	e, err := s.entry(id)
-	if err != nil {
-		return nil, err
-	}
-	if candidate == nil {
-		ps, ok := e.snap.Load().parties[party]
-		if !ok {
-			return nil, fmt.Errorf("%w: party %q in choreography %q", ErrNotFound, party, id)
-		}
-		candidate = ps.Public
-	}
-	insts, err := s.Instances(ctx, id, party)
-	if err != nil {
-		return nil, err
-	}
-	return instance.Migrate(insts, candidate)
 }

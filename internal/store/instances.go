@@ -1,0 +1,396 @@
+package store
+
+import (
+	"context"
+	"fmt"
+	"hash/fnv"
+	"sort"
+	"sync"
+
+	"repro/internal/afsa"
+	"repro/internal/instance"
+	"repro/internal/migrate"
+)
+
+// Instance storage. Running conversations are runtime data,
+// deliberately outside the schema snapshots: recording an instance
+// must not publish a new snapshot or invalidate any consistency
+// result. Each choreography's instances are partitioned over
+// instShardCount independently locked shards keyed by
+// hash(party, instance id), so a bulk-migration sweep never holds a
+// choreography-wide lock — it drains one shard at a time while
+// recording, checking and evolving continue on the rest.
+
+// instShardCount fixes the instance-shard fan-out per choreography. 64
+// shards keep per-shard critical sections tiny and give a worker pool
+// enough independent units to scale on (a 10k-instance population is
+// ~156 instances per shard).
+const instShardCount = 64
+
+// instRecord is one tracked instance. schema is the choreography
+// snapshot version the instance currently complies with: the version
+// current when it was recorded, advanced by every bulk migration that
+// classified it migratable. Records are addressed by pointer, so a
+// commit tags them in place regardless of concurrent appends.
+type instRecord struct {
+	inst   instance.Instance
+	schema uint64
+}
+
+// instShard is one lockable slice of a choreography's instances,
+// grouped by party. Slices are append-only: a record's (party, index)
+// position never changes, which is what migrate.Item.Ref relies on.
+type instShard struct {
+	mu   sync.Mutex
+	recs map[string][]*instRecord
+}
+
+func instShardOf(party, id string) int {
+	h := fnv.New32a()
+	h.Write([]byte(party))
+	h.Write([]byte{0})
+	h.Write([]byte(id))
+	return int(h.Sum32() % instShardCount)
+}
+
+// addInstances distributes records over e's instance shards, tagging
+// them with the given snapshot version.
+func (e *entry) addInstances(party string, insts []instance.Instance, schema uint64) {
+	for _, inst := range insts {
+		sh := &e.inst[instShardOf(party, inst.ID)]
+		sh.mu.Lock()
+		if sh.recs == nil {
+			sh.recs = map[string][]*instRecord{}
+		}
+		sh.recs[party] = append(sh.recs[party], &instRecord{inst: inst, schema: schema})
+		sh.mu.Unlock()
+	}
+}
+
+// instancesOf collects party's instances across shards (deterministic
+// shard order, not insertion order).
+func (e *entry) instancesOf(party string) []instance.Instance {
+	var out []instance.Instance
+	for i := range e.inst {
+		sh := &e.inst[i]
+		sh.mu.Lock()
+		for _, rec := range sh.recs[party] {
+			out = append(out, rec.inst)
+		}
+		sh.mu.Unlock()
+	}
+	return out
+}
+
+// AddInstances records running conversations of a party. The records
+// are tagged with the current snapshot version — the schema they are
+// assumed to comply with until a bulk migration moves them.
+func (s *Store) AddInstances(ctx context.Context, id, party string, insts []instance.Instance) error {
+	if err := ctxErr(ctx); err != nil {
+		return err
+	}
+	e, err := s.entry(id)
+	if err != nil {
+		return err
+	}
+	snap := e.snap.Load()
+	if _, ok := snap.parties[party]; !ok {
+		return fmt.Errorf("%w: party %q in choreography %q", ErrNotFound, party, id)
+	}
+	e.addInstances(party, insts, snap.Version)
+	return nil
+}
+
+// SampleInstances draws n seeded random-walk instances of party's
+// current public process, records and returns them.
+func (s *Store) SampleInstances(ctx context.Context, id, party string, seed int64, n, maxLen int) ([]instance.Instance, error) {
+	if err := ctxErr(ctx); err != nil {
+		return nil, err
+	}
+	e, err := s.entry(id)
+	if err != nil {
+		return nil, err
+	}
+	snap := e.snap.Load()
+	ps, ok := snap.parties[party]
+	if !ok {
+		return nil, fmt.Errorf("%w: party %q in choreography %q", ErrNotFound, party, id)
+	}
+	insts := instance.SampleInstances(ps.Public, seed, n, maxLen)
+	e.addInstances(party, insts, snap.Version)
+	return insts, nil
+}
+
+// Instances returns the recorded instances of a party (in shard order,
+// deterministic for a fixed population).
+func (s *Store) Instances(ctx context.Context, id, party string) ([]instance.Instance, error) {
+	if err := ctxErr(ctx); err != nil {
+		return nil, err
+	}
+	e, err := s.entry(id)
+	if err != nil {
+		return nil, err
+	}
+	return e.instancesOf(party), nil
+}
+
+// InstanceRecord is one tracked instance with its migration state.
+type InstanceRecord struct {
+	Inst instance.Instance
+	// Schema is the choreography snapshot version the instance
+	// complies with: the version current when it was recorded,
+	// advanced by every bulk migration that classified it migratable.
+	// Instances whose Schema trails the current snapshot are the
+	// stragglers a completed sweep left stranded.
+	Schema uint64
+}
+
+// InstanceRecords returns the recorded instances of a party together
+// with the schema version each one currently complies with (in shard
+// order, deterministic for a fixed population).
+func (s *Store) InstanceRecords(ctx context.Context, id, party string) ([]InstanceRecord, error) {
+	if err := ctxErr(ctx); err != nil {
+		return nil, err
+	}
+	e, err := s.entry(id)
+	if err != nil {
+		return nil, err
+	}
+	var out []InstanceRecord
+	for i := range e.inst {
+		sh := &e.inst[i]
+		sh.mu.Lock()
+		for _, rec := range sh.recs[party] {
+			out = append(out, InstanceRecord{Inst: rec.inst, Schema: rec.schema})
+		}
+		sh.mu.Unlock()
+	}
+	return out, nil
+}
+
+// Migrate classifies the recorded instances of party against candidate
+// (ADEPT-style compliance, Sec. 8). A nil candidate means the party's
+// current public process — served by the party state's memoized
+// compliance checker; passing a pending Evolution's NewPublic answers
+// "what would break" before committing.
+func (s *Store) Migrate(ctx context.Context, id, party string, candidate *afsa.Automaton) (*instance.Report, error) {
+	if err := ctxErr(ctx); err != nil {
+		return nil, err
+	}
+	e, err := s.entry(id)
+	if err != nil {
+		return nil, err
+	}
+	var chk *instance.Checker
+	if candidate == nil {
+		ps, ok := e.snap.Load().parties[party]
+		if !ok {
+			return nil, fmt.Errorf("%w: party %q in choreography %q", ErrNotFound, party, id)
+		}
+		if chk, err = ps.complianceChecker(); err != nil {
+			return nil, err
+		}
+	} else if chk, err = instance.NewChecker(candidate); err != nil {
+		return nil, err
+	}
+	return instance.MigrateWith(e.instancesOf(party), chk), nil
+}
+
+// ---- bulk migration (internal/migrate glue) ----
+
+// maxMigrationJobs bounds the retained job reports; the oldest
+// terminal jobs are evicted first (running jobs are never evicted).
+const maxMigrationJobs = 256
+
+// instanceSource adapts one entry's instance shards to the engine's
+// Source interface, tagging committed migrations with target.
+type instanceSource struct {
+	e      *entry
+	target uint64
+}
+
+func (src *instanceSource) Shards() int { return instShardCount }
+
+func (src *instanceSource) Load(ctx context.Context, shard int) ([]migrate.Item, error) {
+	if err := ctxErr(ctx); err != nil {
+		return nil, err
+	}
+	sh := &src.e.inst[shard]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	var out []migrate.Item
+	parties := make([]string, 0, len(sh.recs))
+	for party := range sh.recs {
+		parties = append(parties, party)
+	}
+	sort.Strings(parties)
+	for _, party := range parties {
+		for i, rec := range sh.recs[party] {
+			out = append(out, migrate.Item{Party: party, Inst: rec.inst, Ref: i})
+		}
+	}
+	return out, nil
+}
+
+func (src *instanceSource) Commit(ctx context.Context, shard int, migrated []migrate.Item) error {
+	if err := ctxErr(ctx); err != nil {
+		return err
+	}
+	sh := &src.e.inst[shard]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	for _, it := range migrated {
+		// Tags only ever advance: a slow sweep targeting an older
+		// snapshot must not downgrade records a newer sweep (or a
+		// post-commit recording) already moved past its target.
+		if rec := sh.recs[it.Party][it.Ref]; rec.schema < src.target {
+			rec.schema = src.target
+		}
+	}
+	return nil
+}
+
+// migrationJobID derives the deterministic job identity of "sweep
+// choreography id to committed version v" — the key that makes
+// starting the same migration twice idempotent.
+func migrationJobID(id string, version uint64) string {
+	return fmt.Sprintf("mig-%s-v%d", id, version)
+}
+
+// prepareMigration resolves or creates the job for sweeping id's
+// instances to its current snapshot, plus the engine inputs.
+func (s *Store) prepareMigration(id string, workers int) (*migrate.Job, *migrate.Engine, *instanceSource, migrate.Classifier, error) {
+	e, err := s.entry(id)
+	if err != nil {
+		return nil, nil, nil, nil, err
+	}
+	snap := e.snap.Load()
+	jobID := migrationJobID(id, snap.Version)
+	s.migMu.Lock()
+	job, ok := s.migs[jobID]
+	if !ok {
+		job = migrate.NewJob(jobID, id, snap.Version, instShardCount)
+		s.migs[jobID] = job
+		s.migOrder = append(s.migOrder, jobID)
+		s.evictMigrationJobsLocked()
+	}
+	s.migMu.Unlock()
+
+	// The classifier closes over the snapshot the job targets: party
+	// states are immutable, so the memoized compliance checkers
+	// (determinized automaton + viable set, built once per party
+	// version) are shared by every worker and every resume.
+	classify := func(party string, inst instance.Instance) (instance.Status, error) {
+		ps, ok := snap.parties[party]
+		if !ok {
+			return instance.NonReplayable, fmt.Errorf("%w: party %q in choreography %q", ErrNotFound, party, id)
+		}
+		chk, err := ps.complianceChecker()
+		if err != nil {
+			return instance.NonReplayable, err
+		}
+		return chk.Check(inst), nil
+	}
+	eng := &migrate.Engine{Workers: workers}
+	return job, eng, &instanceSource{e: e, target: snap.Version}, classify, nil
+}
+
+// evictMigrationJobsLocked drops the oldest terminal jobs past the
+// retention bound; callers hold migMu.
+func (s *Store) evictMigrationJobsLocked() {
+	for len(s.migOrder) > maxMigrationJobs {
+		evicted := false
+		for i, jobID := range s.migOrder {
+			if s.migs[jobID].Snapshot().Terminal() {
+				delete(s.migs, jobID)
+				s.migOrder = append(s.migOrder[:i], s.migOrder[i+1:]...)
+				evicted = true
+				break
+			}
+		}
+		if !evicted {
+			return // everything running; keep them all
+		}
+	}
+}
+
+// MigrateAll sweeps every tracked instance of the choreography —
+// all parties — through migratability classification against the
+// current committed snapshot, moving migratable instances to it and
+// reporting the stranded ones. The sweep runs on a bounded pool of
+// workers over the instance shards; no choreography-wide lock is held
+// at any point.
+//
+// The job is idempotent and resumable: its identity is
+// (choreography, snapshot version), calling MigrateAll again for a
+// completed job returns the finished report without re-sweeping, and
+// canceling mid-sweep (ctx) keeps the committed shards so the next
+// call resumes with the remainder. MigrateAll blocks until the sweep
+// ends; StartMigration is the non-blocking variant.
+func (s *Store) MigrateAll(ctx context.Context, id string, workers int) (*migrate.Job, error) {
+	job, eng, src, classify, err := s.prepareMigration(id, workers)
+	if err != nil {
+		return nil, err
+	}
+	if err := eng.Run(ctx, job, src, classify); err != nil {
+		return job, fmt.Errorf("store: migration %s: %w", job.ID, err)
+	}
+	return job, nil
+}
+
+// StartMigration launches (or resumes) the bulk migration of id's
+// instances in the background and returns its job immediately; poll
+// job.Snapshot, block on job.Wait, or stop it with job.Cancel. Like
+// MigrateAll it is idempotent per (choreography, snapshot version).
+// The runner role is claimed before returning, so a resumed job is
+// never observable in its previous terminal state and an immediate
+// Cancel takes effect; the sweep itself outlives the request that
+// started it (Cancel, not a request context, is the way to stop it).
+func (s *Store) StartMigration(ctx context.Context, id string, workers int) (*migrate.Job, error) {
+	if err := ctxErr(ctx); err != nil {
+		return nil, err
+	}
+	job, eng, src, classify, err := s.prepareMigration(id, workers)
+	if err != nil {
+		return nil, err
+	}
+	eng.RunAsync(job, src, classify)
+	return job, nil
+}
+
+// MigrationJob returns one of id's migration jobs.
+func (s *Store) MigrationJob(ctx context.Context, id, jobID string) (*migrate.Job, error) {
+	if err := ctxErr(ctx); err != nil {
+		return nil, err
+	}
+	if _, err := s.entry(id); err != nil {
+		return nil, err
+	}
+	s.migMu.Lock()
+	job, ok := s.migs[jobID]
+	s.migMu.Unlock()
+	if !ok || job.Choreography != id {
+		return nil, fmt.Errorf("%w: migration job %q in choreography %q", ErrNotFound, jobID, id)
+	}
+	return job, nil
+}
+
+// MigrationJobs lists id's migration jobs, sorted by job ID.
+func (s *Store) MigrationJobs(ctx context.Context, id string) ([]*migrate.Job, error) {
+	if err := ctxErr(ctx); err != nil {
+		return nil, err
+	}
+	if _, err := s.entry(id); err != nil {
+		return nil, err
+	}
+	s.migMu.Lock()
+	var out []*migrate.Job
+	for _, job := range s.migs {
+		if job.Choreography == id {
+			out = append(out, job)
+		}
+	}
+	s.migMu.Unlock()
+	sort.Slice(out, func(a, b int) bool { return out[a].ID < out[b].ID })
+	return out, nil
+}

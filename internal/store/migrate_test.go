@@ -1,0 +1,361 @@
+package store
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/change"
+	"repro/internal/gen"
+	"repro/internal/instance"
+	"repro/internal/migrate"
+	"repro/internal/paperrepro"
+)
+
+// migrationStore loads the paper scenario, records instances for all
+// three parties under the initial schema, then commits the tracking
+// limit change — the population a bulk sweep has to partition.
+func migrationStore(t *testing.T) (*Store, string) {
+	t.Helper()
+	s, id := paperStore(t)
+	for i, party := range []string{paperrepro.Buyer, paperrepro.Accounting, paperrepro.Logistics} {
+		if _, err := s.SampleInstances(ctx, id, party, int64(100+i), 40, 12); err != nil {
+			t.Fatal(err)
+		}
+	}
+	evo, err := s.Evolve(ctx, id, paperrepro.Accounting, paperrepro.TrackingLimitChange())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.CommitEvolution(ctx, evo); err != nil {
+		t.Fatal(err)
+	}
+	return s, id
+}
+
+type strandedKey struct {
+	party, id string
+	status    instance.Status
+}
+
+// sequentialBaseline classifies every recorded instance one at a time
+// through the ad-hoc instance.Check — the per-instance what-if path
+// MigrateAll must agree with.
+func sequentialBaseline(t *testing.T, s *Store, id string) (migrate.Counts, map[strandedKey]bool) {
+	t.Helper()
+	snap, err := s.Snapshot(ctx, id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want migrate.Counts
+	stranded := map[strandedKey]bool{}
+	for _, party := range snap.Parties() {
+		ps, _ := snap.Party(party)
+		insts, err := s.Instances(ctx, id, party)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, inst := range insts {
+			st, err := instance.Check(inst, ps.Public)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want.Total++
+			switch st {
+			case instance.Migratable:
+				want.Migratable++
+			case instance.NonReplayable:
+				want.NonReplayable++
+				stranded[strandedKey{party, inst.ID, st}] = true
+			case instance.Unviable:
+				want.Unviable++
+				stranded[strandedKey{party, inst.ID, st}] = true
+			}
+		}
+	}
+	return want, stranded
+}
+
+// TestMigrateAllMatchesSequential pins the acceptance criterion: the
+// bulk sweep's migratable/stranded partition equals classifying every
+// instance sequentially with per-instance what-ifs.
+func TestMigrateAllMatchesSequential(t *testing.T) {
+	s, id := migrationStore(t)
+	want, wantStranded := sequentialBaseline(t, s, id)
+	if want.NonReplayable+want.Unviable == 0 {
+		t.Fatal("baseline stranded nobody — the subtractive change should strand long trackers")
+	}
+	if want.Migratable == 0 {
+		t.Fatal("baseline migrated nobody")
+	}
+
+	job, err := s.MigrateAll(ctx, id, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := job.Snapshot()
+	if v.Status != migrate.StatusDone {
+		t.Fatalf("status = %v, want done", v.Status)
+	}
+	if v.Counts != want {
+		t.Fatalf("bulk counts = %+v, sequential baseline %+v", v.Counts, want)
+	}
+	got := job.Stranded()
+	if len(got) != len(wantStranded) {
+		t.Fatalf("stranded = %d entries, want %d", len(got), len(wantStranded))
+	}
+	for _, st := range got {
+		if !wantStranded[strandedKey{st.Party, st.ID, st.Status}] {
+			t.Fatalf("unexpected stranded entry %+v", st)
+		}
+	}
+
+	// Migratable instances were moved to the target snapshot version,
+	// stranded ones stay pinned to the schema they were recorded under
+	// — observable through InstanceRecords.
+	snap, err := s.Snapshot(ctx, id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	moved, pinned := 0, 0
+	for _, party := range snap.Parties() {
+		recs, err := s.InstanceRecords(ctx, id, party)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, rec := range recs {
+			if rec.Schema == v.TargetVersion {
+				moved++
+			} else {
+				pinned++
+				if !wantStranded[strandedKey{party, rec.Inst.ID, instance.NonReplayable}] &&
+					!wantStranded[strandedKey{party, rec.Inst.ID, instance.Unviable}] {
+					t.Fatalf("instance %s/%s pinned to v%d but not stranded", party, rec.Inst.ID, rec.Schema)
+				}
+			}
+		}
+	}
+	if moved != want.Migratable || pinned != want.NonReplayable+want.Unviable {
+		t.Fatalf("schema tags: moved=%d pinned=%d, want %d/%d",
+			moved, pinned, want.Migratable, want.NonReplayable+want.Unviable)
+	}
+}
+
+// TestMigrateAllRerunNoop: the job identity is (choreography, version),
+// so starting the same migration again returns the finished job as-is.
+func TestMigrateAllRerunNoop(t *testing.T) {
+	s, id := migrationStore(t)
+	job1, err := s.MigrateAll(ctx, id, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := job1.Snapshot()
+	job2, err := s.MigrateAll(ctx, id, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if job1 != job2 {
+		t.Fatalf("rerun created a new job %q, want the completed %q", job2.ID, job1.ID)
+	}
+	if second := job2.Snapshot(); second != first {
+		t.Fatalf("rerun changed the job: %+v -> %+v", first, second)
+	}
+	// The async variant joins the same job too.
+	job3, err := s.StartMigration(ctx, id, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if job3 != job1 {
+		t.Fatal("StartMigration minted a fresh job for a completed migration")
+	}
+}
+
+// TestMigrateAllCancelResume: a canceled sweep keeps only whole
+// committed shards and the next call finishes the rest; the final
+// report equals the sequential baseline.
+func TestMigrateAllCancelResume(t *testing.T) {
+	s, id := migrationStore(t)
+	want, _ := sequentialBaseline(t, s, id)
+
+	canceled, cancel := context.WithCancel(context.Background())
+	cancel()
+	job, err := s.MigrateAll(canceled, id, 4)
+	if err == nil {
+		t.Fatal("MigrateAll under a canceled context succeeded")
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("error = %v, want context.Canceled", err)
+	}
+	if v := job.Snapshot(); v.Status != migrate.StatusCanceled {
+		t.Fatalf("status = %v, want canceled", v.Status)
+	}
+
+	resumed, err := s.MigrateAll(ctx, id, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resumed != job {
+		t.Fatal("resume minted a fresh job instead of continuing the canceled one")
+	}
+	if v := resumed.Snapshot(); v.Status != migrate.StatusDone || v.Counts != want {
+		t.Fatalf("after resume: %+v, want done with %+v", v, want)
+	}
+}
+
+// TestMigrateAllStableUnderConcurrentEvolves: evolves and commits on
+// other choreographies must not perturb a sweep's stranded report
+// (run with -race in CI).
+func TestMigrateAllStableUnderConcurrentEvolves(t *testing.T) {
+	s, id := migrationStore(t)
+	want, wantStranded := sequentialBaseline(t, s, id)
+
+	// An unrelated churning choreography in the same store.
+	conv, err := gen.Generate(1, gen.DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	const noisy = "noisy"
+	if err := s.Create(ctx, noisy, nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.RegisterParty(ctx, noisy, conv.A); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.RegisterParty(ctx, noisy, conv.B); err != nil {
+		t.Fatal(err)
+	}
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			evo, err := s.Evolve(ctx, noisy, conv.A.Owner, change.Replace{Path: nil, New: conv.A.Body})
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			if _, err := s.CommitEvolution(ctx, evo); err != nil && !errors.Is(err, ErrConflict) {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+
+	job, err := s.MigrateAll(ctx, id, 4)
+	close(stop)
+	wg.Wait()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := job.Snapshot(); v.Counts != want {
+		t.Fatalf("counts under churn = %+v, want %+v", v.Counts, want)
+	}
+	for _, st := range job.Stranded() {
+		if !wantStranded[strandedKey{st.Party, st.ID, st.Status}] {
+			t.Fatalf("unexpected stranded entry under churn: %+v", st)
+		}
+	}
+}
+
+// dropMigrationJob removes a job from the registry so benchmarks can
+// force a fresh sweep of an identical population.
+func (s *Store) dropMigrationJob(jobID string) {
+	s.migMu.Lock()
+	delete(s.migs, jobID)
+	for i, got := range s.migOrder {
+		if got == jobID {
+			s.migOrder = append(s.migOrder[:i], s.migOrder[i+1:]...)
+			break
+		}
+	}
+	s.migMu.Unlock()
+}
+
+// BenchmarkMigrateAll sweeps a 10k-instance population; the sub-
+// benchmarks vary the worker count, and on multi-core hardware the
+// sweep time shrinks accordingly (the per-shard work is lock-free
+// classification against shared immutable checkers).
+func BenchmarkMigrateAll(b *testing.B) {
+	s := genStore(b, 1, benchParams)
+	id := genID(0)
+	snap, err := s.Snapshot(ctx, id)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i, party := range snap.Parties() {
+		if _, err := s.SampleInstances(ctx, id, party, int64(i+1), 5000, 40); err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				job, err := s.MigrateAll(ctx, id, workers)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if v := job.Snapshot(); v.Total != 10000 {
+					b.Fatalf("swept %d instances, want 10000", v.Total)
+				}
+				b.StopTimer()
+				s.dropMigrationJob(job.ID)
+				b.StartTimer()
+			}
+		})
+	}
+}
+
+// TestCommitNeverDowngradesSchema: a slow sweep targeting an older
+// snapshot must not move records backward past the version a newer
+// sweep (or a post-commit recording) already tagged them with.
+func TestCommitNeverDowngradesSchema(t *testing.T) {
+	s, id := migrationStore(t)
+	if _, err := s.MigrateAll(ctx, id, 2); err != nil {
+		t.Fatal(err)
+	}
+	snap, err := s.Snapshot(ctx, id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := s.entry(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A stale source, as held by a sweep started before the last
+	// commit, re-commits every instance of every shard.
+	stale := &instanceSource{e: e, target: snap.Version - 1}
+	for shard := 0; shard < stale.Shards(); shard++ {
+		items, err := stale.Load(ctx, shard)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := stale.Commit(ctx, shard, items); err != nil {
+			t.Fatal(err)
+		}
+	}
+	moved := 0
+	for _, party := range snap.Parties() {
+		recs, err := s.InstanceRecords(ctx, id, party)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, rec := range recs {
+			if rec.Schema == snap.Version {
+				moved++
+			}
+		}
+	}
+	if want := s.migs[migrationJobID(id, snap.Version)].Snapshot().Migratable; moved != want {
+		t.Fatalf("stale commit downgraded tags: %d at current version, want %d", moved, want)
+	}
+}

@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/afsa"
 	"repro/internal/bpel"
+	"repro/internal/instance"
 	"repro/internal/label"
 	"repro/internal/mapping"
 	"repro/internal/wsdl"
@@ -34,6 +35,13 @@ type PartyState struct {
 	// automata themselves are immutable once published.
 	viewMu sync.RWMutex
 	views  map[string]*afsa.Automaton
+
+	// chk memoizes the compliance checker over Public (determinized
+	// automaton + viable-state set): migration sweeps classify every
+	// instance of this party version through one shared checker.
+	chkOnce sync.Once
+	chk     *instance.Checker
+	chkErr  error
 }
 
 func newPartyState(p *bpel.Process, res *mapping.Result, version uint64) *PartyState {
@@ -66,6 +74,17 @@ func (ps *PartyState) view(forParty string) (*afsa.Automaton, bool) {
 	}
 	ps.viewMu.Unlock()
 	return v, false
+}
+
+// complianceChecker returns the memoized ADEPT-style compliance
+// checker of this party version's public process; like the bilateral
+// views it is computed at most once per PartyState and shared by
+// every concurrent reader.
+func (ps *PartyState) complianceChecker() (*instance.Checker, error) {
+	ps.chkOnce.Do(func() {
+		ps.chk, ps.chkErr = instance.NewChecker(ps.Public)
+	})
+	return ps.chk, ps.chkErr
 }
 
 // Snapshot is an immutable, copy-on-write view of one choreography.

@@ -18,6 +18,50 @@
 // keep hitting. The choreography ID space is partitioned over
 // independently locked shards so unrelated choreographies never
 // contend.
+//
+// # Construction options
+//
+// New takes functional options. WithShards(n) sets the choreography
+// shard count (DefaultShards when omitted): shards bound lock
+// contention between unrelated choreographies, not capacity.
+// WithCacheCap(n) bounds the per-choreography consistency-result
+// cache to n entries with arbitrary eviction on overflow; the default
+// is unbounded, which is right for populations whose version churn is
+// low relative to memory.
+//
+// # Context contract
+//
+// Every public method takes a leading context.Context. Cheap methods
+// check it once on entry; the expensive paths — consistency checks
+// (between pairs), evolution analyses (between partners), snapshot
+// rebuilds (between parties) and bulk-migration sweeps (between
+// instances) — re-check between units of work, so an abandoned
+// request stops burning CPU mid-computation. Cancellation never
+// corrupts state: writes either publish a complete successor snapshot
+// or nothing, and a canceled migration sweep keeps only whole,
+// committed shards.
+//
+// # Batch and transaction contract
+//
+// Writes are transactional per choreography: one call, one registry
+// inference, one published snapshot, one version bump — whether it
+// registers a single party (RegisterParty), a whole batch
+// (PutParties), or commits a multi-operation change transaction
+// (Evolve + CommitEvolution). Optimistic concurrency is uniform: an
+// analysis is pinned to the snapshot version it read, and committing
+// it fails with ErrConflict once the choreography has advanced.
+// Partial failure never publishes — if any party of a batch fails to
+// derive, the snapshot stands untouched.
+//
+// # Instances and bulk migration
+//
+// Running instances are runtime data outside the schema snapshots,
+// partitioned per choreography over independently locked instance
+// shards. MigrateAll / StartMigration sweep them to the current
+// committed snapshot through the internal/migrate engine: bounded
+// workers over the shards, per-party compliance checkers memoized on
+// the immutable party states, and an idempotent, resumable job per
+// (choreography, version) — see instances.go.
 package store
 
 import (
@@ -29,8 +73,8 @@ import (
 
 	"repro/internal/afsa"
 	"repro/internal/bpel"
-	"repro/internal/instance"
 	"repro/internal/mapping"
+	"repro/internal/migrate"
 )
 
 // Sentinel errors, mapped onto HTTP statuses by the server layer.
@@ -68,10 +112,10 @@ type entry struct {
 	consMu sync.RWMutex
 	cons   map[pairKey]bool
 
-	// instances holds running conversations per party — runtime data,
-	// deliberately outside the schema snapshots.
-	instMu    sync.Mutex
-	instances map[string][]instance.Instance
+	// inst holds running conversations — runtime data, deliberately
+	// outside the schema snapshots — sharded so bulk-migration sweeps
+	// never lock the whole population (see instances.go).
+	inst [instShardCount]instShard
 }
 
 type shard struct {
@@ -100,6 +144,12 @@ type Stats struct {
 type Store struct {
 	shards   []shard
 	cacheCap int
+
+	// migs tracks bulk-migration jobs by job ID (see instances.go);
+	// migOrder is their creation order for bounded retention.
+	migMu    sync.Mutex
+	migs     map[string]*migrate.Job
+	migOrder []string
 
 	consHits, consMisses atomic.Uint64
 	viewHits, viewMisses atomic.Uint64
@@ -136,7 +186,7 @@ func WithCacheCap(n int) Option {
 
 // New returns an empty store configured by opts.
 func New(opts ...Option) *Store {
-	s := &Store{shards: make([]shard, DefaultShards)}
+	s := &Store{shards: make([]shard, DefaultShards), migs: map[string]*migrate.Job{}}
 	for _, opt := range opts {
 		opt(s)
 	}
@@ -190,9 +240,8 @@ func (s *Store) Create(ctx context.Context, id string, syncOps []string) error {
 		return fmt.Errorf("%w: choreography %q", ErrExists, id)
 	}
 	e := &entry{
-		id:        id,
-		cons:      map[pairKey]bool{},
-		instances: map[string][]instance.Instance{},
+		id:   id,
+		cons: map[pairKey]bool{},
 	}
 	e.snap.Store(&Snapshot{
 		ID:      id,

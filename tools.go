@@ -8,6 +8,7 @@ import (
 	"repro/internal/discovery"
 	"repro/internal/gen"
 	"repro/internal/instance"
+	"repro/internal/migrate"
 	"repro/internal/runtime"
 	"repro/internal/server"
 	"repro/internal/store"
@@ -75,6 +76,32 @@ const (
 // ChoreoErrIs reports whether err is a choreod API error with the
 // given /v2/ code.
 func ChoreoErrIs(err error, code string) bool { return server.ErrIs(err, code) }
+
+// Bulk instance migration: choreography-wide sweeps moving every
+// tracked instance to the current committed snapshot
+// (ChoreographyStore.MigrateAll / StartMigration, served as
+// POST /v2/choreographies/{id}/migrations).
+type (
+	// BulkMigrationJob is one idempotent, resumable sweep: per-shard
+	// checkpoint, progress counters, stranded-instance report.
+	BulkMigrationJob = migrate.Job
+	// BulkMigrationView is a consistent copy of a job's progress.
+	BulkMigrationView = migrate.View
+	// BulkMigrationStatus is a job lifecycle state.
+	BulkMigrationStatus = migrate.Status
+	// StrandedInstance is one instance a sweep could not migrate.
+	StrandedInstance = migrate.Stranded
+	// ChoreoMigrationJob is the wire shape of a job on the /v2/ API.
+	ChoreoMigrationJob = server.MigrationJobJSON
+)
+
+// Bulk-migration job states.
+const (
+	MigrationRunning  = migrate.StatusRunning
+	MigrationDone     = migrate.StatusDone
+	MigrationCanceled = migrate.StatusCanceled
+	MigrationFailed   = migrate.StatusFailed
+)
 
 // NewChoreographyStore returns an empty store configured by opts
 // (WithStoreShards, WithStoreCacheCap).

@@ -1,0 +1,113 @@
+// Command docscheck keeps docs/api.md honest: it extracts every
+// "METHOD /path" route the document mentions and fails when one of
+// them is absent from the server's route table (the mux.HandleFunc
+// registrations in internal/server). Run from the repository root;
+// wired into CI as `go run ./tools/docscheck`.
+package main
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+var (
+	// routeReg matches one route registration in the server sources.
+	routeReg = regexp.MustCompile(`mux\.HandleFunc\("([A-Z]+) ([^"]+)"`)
+	// docReg matches one route mention in the docs: an HTTP method
+	// followed by an absolute path (curl URLs carry a host and never
+	// start with "/", so they do not match).
+	docReg = regexp.MustCompile("(GET|POST|PUT|DELETE|PATCH)\\s+(/[^\\s`)|,]+)")
+	// placeholder collapses path parameters so `{id}` in the docs
+	// matches `{id}` (or any other name) in the route table.
+	placeholder = regexp.MustCompile(`\{[^}]*\}`)
+)
+
+// normalize canonicalizes one route for comparison: drop the query
+// part, trailing punctuation and parameter names.
+func normalize(method, path string) string {
+	if i := strings.IndexByte(path, '?'); i >= 0 {
+		path = path[:i]
+	}
+	path = strings.TrimRight(path, ".,;:")
+	path = placeholder.ReplaceAllString(path, "{}")
+	return method + " " + path
+}
+
+func serverRoutes(dir string) (map[string]bool, error) {
+	files, err := filepath.Glob(filepath.Join(dir, "*.go"))
+	if err != nil {
+		return nil, err
+	}
+	routes := map[string]bool{}
+	for _, file := range files {
+		data, err := os.ReadFile(file)
+		if err != nil {
+			return nil, err
+		}
+		for _, m := range routeReg.FindAllStringSubmatch(string(data), -1) {
+			routes[normalize(m[1], m[2])] = true
+		}
+	}
+	if len(routes) == 0 {
+		return nil, fmt.Errorf("no route registrations found under %s", dir)
+	}
+	return routes, nil
+}
+
+func docRoutes(file string) (map[string]bool, error) {
+	data, err := os.ReadFile(file)
+	if err != nil {
+		return nil, err
+	}
+	routes := map[string]bool{}
+	for _, m := range docReg.FindAllStringSubmatch(string(data), -1) {
+		routes[normalize(m[1], m[2])] = true
+	}
+	if len(routes) == 0 {
+		return nil, fmt.Errorf("no routes found in %s", file)
+	}
+	return routes, nil
+}
+
+func main() {
+	served, err := serverRoutes("internal/server")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "docscheck:", err)
+		os.Exit(1)
+	}
+	documented, err := docRoutes("docs/api.md")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "docscheck:", err)
+		os.Exit(1)
+	}
+	var missing, undocumented []string
+	for route := range documented {
+		if !served[route] {
+			missing = append(missing, route)
+		}
+	}
+	for route := range served {
+		if !documented[route] {
+			undocumented = append(undocumented, route)
+		}
+	}
+	sort.Strings(missing)
+	sort.Strings(undocumented)
+	// Undocumented routes are reported but tolerated — the hard
+	// guarantee is that the docs never describe a route the server
+	// does not serve.
+	for _, route := range undocumented {
+		fmt.Printf("docscheck: note: served but not in docs/api.md: %s\n", route)
+	}
+	if len(missing) > 0 {
+		for _, route := range missing {
+			fmt.Fprintf(os.Stderr, "docscheck: docs/api.md references unserved route: %s\n", route)
+		}
+		os.Exit(1)
+	}
+	fmt.Printf("docscheck: %d documented routes all present in the route table\n", len(documented))
+}
