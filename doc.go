@@ -10,7 +10,14 @@
 // (Automaton) derived automatically together with a mapping table
 // relating automaton states back to BPEL blocks (DerivePublic).
 // Bilateral consistency — a non-empty annotated intersection of the
-// partners' mutual views — guarantees deadlock-free interaction.
+// partners' mutual views — guarantees deadlock-free interaction. The
+// automaton kernel interns message labels into dense integer symbols
+// (internal/label's Interner; one interner is shared per choreography
+// in the service layer), so the hot operators — determinization,
+// minimization, products, the viability fixpoint — run on integers
+// and allocation-lean scratch buffers instead of hashing label
+// strings; see ARCHITECTURE.md's "Compute kernel" section and
+// BENCH_afsa.json for the recorded before/after numbers.
 //
 // When a party changes its private process, the framework recreates
 // the public view, classifies the change (additive/subtractive ×

@@ -20,12 +20,20 @@
 //
 // States are dense integers handed out by AddState, so the
 // implementation stores transitions, finality and annotations in
-// slices indexed by state.
+// slices indexed by state. Labels are likewise interned into dense
+// label.Symbol values (package label's Interner), so the operator
+// kernels — subset construction, partition refinement, products —
+// work on integers and never hash or compare label strings on their
+// hot paths. label.Label appears only at the construction and
+// serialization boundary (AddTransition, Transitions, DOT, ...).
+// Automata produced by an operator share the interner of their
+// primary operand; NewShared builds automata on a caller-provided
+// (for example per-choreography) interner, and Reintern moves an
+// existing automaton onto one.
 package afsa
 
 import (
 	"fmt"
-	"sort"
 	"strings"
 
 	"repro/internal/formula"
@@ -47,23 +55,64 @@ type Transition struct {
 	To    StateID
 }
 
+// edge is the internal, interned form of a transition.
+type edge struct {
+	sym label.Symbol
+	to  StateID
+}
+
 // Automaton is a mutable annotated finite state automaton. The zero
-// value is unusable; use New.
+// value is unusable; use New or NewShared.
 type Automaton struct {
 	// Name is a human-readable identifier carried through operators
 	// for diagnostics ("Buyer public", "τ_Buyer(Accounting)", ...).
 	Name string
 
+	syms  *label.Interner
 	start StateID
 	final []bool
-	trans [][]Transition
+	trans [][]edge
 	anno  [][]*formula.Formula
 }
 
-// New returns an empty automaton with the given diagnostic name and no
-// states. Callers must add at least one state and set the start state.
+// New returns an empty automaton with the given diagnostic name, no
+// states and a private interner. Callers must add at least one state
+// and set the start state.
 func New(name string) *Automaton {
-	return &Automaton{Name: name, start: None}
+	return NewShared(name, label.NewInterner())
+}
+
+// NewShared returns an empty automaton whose labels are interned into
+// in. Automata sharing one interner agree on their label.Symbol
+// values, so products and comparisons between them skip all label
+// re-hashing; a serving layer typically shares one interner per
+// choreography snapshot.
+func NewShared(name string, in *label.Interner) *Automaton {
+	return &Automaton{Name: name, syms: in, start: None}
+}
+
+// Interner returns the interner holding this automaton's labels.
+func (a *Automaton) Interner() *label.Interner { return a.syms }
+
+// Reintern rewrites the automaton's symbols into in (a no-op when the
+// automaton already uses it) and makes in its interner. The registry
+// of a choreography calls this once per party registration so that
+// every derived automaton of the snapshot shares one symbol space.
+func (a *Automaton) Reintern(in *label.Interner) {
+	if a.syms == in {
+		return
+	}
+	old := a.syms.Labels()
+	tr := make([]label.Symbol, len(old))
+	for s := range tr {
+		tr[s] = in.Intern(old[s])
+	}
+	for q := range a.trans {
+		for i := range a.trans[q] {
+			a.trans[q][i].sym = tr[a.trans[q][i].sym]
+		}
+	}
+	a.syms = in
 }
 
 // NumStates returns |Q|.
@@ -82,11 +131,18 @@ func (a *Automaton) AddState() StateID {
 	return id
 }
 
-// AddStates creates n fresh states and returns the first ID.
+// AddStates creates n fresh states in one allocation step and returns
+// the first ID.
 func (a *Automaton) AddStates(n int) StateID {
 	first := StateID(len(a.trans))
-	for i := 0; i < n; i++ {
-		a.AddState()
+	if n <= 0 {
+		return first
+	}
+	a.trans = append(a.trans, make([][]edge, n)...)
+	a.final = append(a.final, make([]bool, n)...)
+	a.anno = append(a.anno, make([][]*formula.Formula, n)...)
+	if a.start == None {
+		a.start = first
 	}
 	return first
 }
@@ -126,28 +182,73 @@ func (a *Automaton) FinalStates() []StateID {
 // AddTransition inserts (from, l, to) into Δ, ignoring exact
 // duplicates.
 func (a *Automaton) AddTransition(from StateID, l label.Label, to StateID) {
+	a.addEdgeUnique(from, a.syms.Intern(l), to)
+}
+
+// addEdgeUnique inserts the interned edge (from, sym, to), ignoring
+// exact duplicates.
+func (a *Automaton) addEdgeUnique(from StateID, sym label.Symbol, to StateID) {
 	a.mustState(from)
 	a.mustState(to)
-	for _, t := range a.trans[from] {
-		if t.Label == l && t.To == to {
+	for _, e := range a.trans[from] {
+		if e.sym == sym && e.to == to {
 			return
 		}
 	}
-	a.trans[from] = append(a.trans[from], Transition{Label: l, To: to})
+	a.trans[from] = append(a.trans[from], edge{sym: sym, to: to})
+}
+
+// addEdge inserts the interned edge without the duplicate scan —
+// for operator kernels that construct each (from, sym, to) at most
+// once by design.
+func (a *Automaton) addEdge(from StateID, sym label.Symbol, to StateID) {
+	a.trans[from] = append(a.trans[from], edge{sym: sym, to: to})
+}
+
+// reserveEdges pre-sizes state q's edge list for n insertions, so the
+// per-state relabeling loops of the view and trim operators allocate
+// once instead of growing append by append.
+func (a *Automaton) reserveEdges(q StateID, n int) {
+	if n > 0 && a.trans[q] == nil {
+		a.trans[q] = make([]edge, 0, n)
+	}
+}
+
+// reserveStates grows the state-table capacity to n, a hint for
+// operators that discover their output states one by one.
+func (a *Automaton) reserveStates(n int) {
+	if cap(a.trans) >= n {
+		return
+	}
+	trans := make([][]edge, len(a.trans), n)
+	copy(trans, a.trans)
+	a.trans = trans
+	final := make([]bool, len(a.final), n)
+	copy(final, a.final)
+	a.final = final
+	anno := make([][]*formula.Formula, len(a.anno), n)
+	copy(anno, a.anno)
+	a.anno = anno
 }
 
 // Transitions returns the outgoing transitions of q sorted by
 // (label, target). The returned slice is a copy.
 func (a *Automaton) Transitions(q StateID) []Transition {
 	a.mustState(q)
+	labels := a.syms.Labels()
 	out := make([]Transition, len(a.trans[q]))
-	copy(out, a.trans[q])
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].Label != out[j].Label {
-			return out[i].Label < out[j].Label
+	for i, e := range a.trans[q] {
+		out[i] = Transition{Label: labels[e.sym], To: e.to}
+	}
+	// Insertion sort: transition lists are short (bounded by the
+	// alphabet for DFAs) and sort.Slice's closure allocations show up
+	// in the operator profiles.
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && (out[j].Label < out[j-1].Label ||
+			(out[j].Label == out[j-1].Label && out[j].To < out[j-1].To)); j-- {
+			out[j], out[j-1] = out[j-1], out[j]
 		}
-		return out[i].To < out[j].To
-	})
+	}
 	return out
 }
 
@@ -211,10 +312,11 @@ func (a *Automaton) StripAnnotations() *Automaton {
 
 // Alphabet returns Σ: every non-ε label occurring on a transition.
 func (a *Automaton) Alphabet() label.Set {
+	labels := a.syms.Labels()
 	s := label.NewSet()
 	for _, ts := range a.trans {
-		for _, t := range ts {
-			s.Add(t.Label)
+		for _, e := range ts {
+			s.Add(labels[e.sym])
 		}
 	}
 	return s
@@ -223,8 +325,8 @@ func (a *Automaton) Alphabet() label.Set {
 // HasEpsilon reports whether any transition is silent.
 func (a *Automaton) HasEpsilon() bool {
 	for _, ts := range a.trans {
-		for _, t := range ts {
-			if t.Label.IsEpsilon() {
+		for _, e := range ts {
+			if e.sym == label.SymEpsilon {
 				return true
 			}
 		}
@@ -235,16 +337,17 @@ func (a *Automaton) HasEpsilon() bool {
 // Deterministic reports whether the automaton is ε-free and no state
 // has two outgoing transitions with the same label.
 func (a *Automaton) Deterministic() bool {
-	for _, ts := range a.trans {
-		seen := make(map[label.Label]struct{}, len(ts))
-		for _, t := range ts {
-			if t.Label.IsEpsilon() {
+	seen := make([]int32, a.syms.Len())
+	for q, ts := range a.trans {
+		mark := int32(q) + 1
+		for _, e := range ts {
+			if e.sym == label.SymEpsilon {
 				return false
 			}
-			if _, dup := seen[t.Label]; dup {
+			if seen[e.sym] == mark {
 				return false
 			}
-			seen[t.Label] = struct{}{}
+			seen[e.sym] = mark
 		}
 	}
 	return true
@@ -253,24 +356,28 @@ func (a *Automaton) Deterministic() bool {
 // Step returns the targets reachable from q by exactly label l.
 func (a *Automaton) Step(q StateID, l label.Label) []StateID {
 	a.mustState(q)
+	sym, ok := a.syms.Lookup(l)
+	if !ok {
+		return nil
+	}
 	var out []StateID
-	for _, t := range a.trans[q] {
-		if t.Label == l {
-			out = append(out, t.To)
+	for _, e := range a.trans[q] {
+		if e.sym == sym {
+			out = append(out, e.to)
 		}
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	sortIDs(out)
 	return out
 }
 
 // Clone returns a deep copy (annotation formulas are immutable and
-// shared).
+// shared, as is the append-only interner).
 func (a *Automaton) Clone() *Automaton {
-	c := &Automaton{Name: a.Name, start: a.start}
+	c := &Automaton{Name: a.Name, syms: a.syms, start: a.start}
 	c.final = append([]bool(nil), a.final...)
-	c.trans = make([][]Transition, len(a.trans))
+	c.trans = make([][]edge, len(a.trans))
 	for q, ts := range a.trans {
-		c.trans[q] = append([]Transition(nil), ts...)
+		c.trans[q] = append([]edge(nil), ts...)
 	}
 	c.anno = make([][]*formula.Formula, len(a.anno))
 	for q, fs := range a.anno {
@@ -289,13 +396,14 @@ func (a *Automaton) Validate() error {
 	if int(a.start) >= a.NumStates() {
 		return fmt.Errorf("afsa %q: start state %d out of range", a.Name, a.start)
 	}
+	labels := a.syms.Labels()
 	for q, ts := range a.trans {
-		for _, t := range ts {
-			if t.To < 0 || int(t.To) >= a.NumStates() {
-				return fmt.Errorf("afsa %q: transition from %d to invalid state %d", a.Name, q, t.To)
+		for _, e := range ts {
+			if e.to < 0 || int(e.to) >= a.NumStates() {
+				return fmt.Errorf("afsa %q: transition from %d to invalid state %d", a.Name, q, e.to)
 			}
-			if !t.Label.Valid() {
-				return fmt.Errorf("afsa %q: invalid label %q at state %d", a.Name, string(t.Label), q)
+			if !labels[e.sym].Valid() {
+				return fmt.Errorf("afsa %q: invalid label %q at state %d", a.Name, string(labels[e.sym]), q)
 			}
 		}
 	}
@@ -337,10 +445,10 @@ func (a *Automaton) Reachable() []bool {
 	for len(stack) > 0 {
 		q := stack[len(stack)-1]
 		stack = stack[:len(stack)-1]
-		for _, t := range a.trans[q] {
-			if !seen[t.To] {
-				seen[t.To] = true
-				stack = append(stack, t.To)
+		for _, e := range a.trans[q] {
+			if !seen[e.to] {
+				seen[e.to] = true
+				stack = append(stack, e.to)
 			}
 		}
 	}
@@ -348,15 +456,34 @@ func (a *Automaton) Reachable() []bool {
 }
 
 // CoReachable returns the set of states from which some final state is
-// reachable (pure graph reachability; annotations are ignored).
+// reachable (pure graph reachability; annotations are ignored). The
+// reverse adjacency is built in compressed sparse form: two
+// allocations instead of one bucket per state.
 func (a *Automaton) CoReachable() []bool {
-	rev := make([][]StateID, a.NumStates())
-	for q, ts := range a.trans {
-		for _, t := range ts {
-			rev[t.To] = append(rev[t.To], StateID(q))
+	n := a.NumStates()
+	m := 0
+	for q := 0; q < n; q++ {
+		m += len(a.trans[q])
+	}
+	off := make([]int32, n+1)
+	for q := 0; q < n; q++ {
+		for _, e := range a.trans[q] {
+			off[e.to+1]++
 		}
 	}
-	seen := make([]bool, a.NumStates())
+	for q := 0; q < n; q++ {
+		off[q+1] += off[q]
+	}
+	flat := make([]StateID, m)
+	fill := make([]int32, n)
+	copy(fill, off[:n])
+	for q := 0; q < n; q++ {
+		for _, e := range a.trans[q] {
+			flat[fill[e.to]] = StateID(q)
+			fill[e.to]++
+		}
+	}
+	seen := make([]bool, n)
 	var stack []StateID
 	for q, f := range a.final {
 		if f {
@@ -367,7 +494,7 @@ func (a *Automaton) CoReachable() []bool {
 	for len(stack) > 0 {
 		q := stack[len(stack)-1]
 		stack = stack[:len(stack)-1]
-		for _, p := range rev[q] {
+		for _, p := range flat[off[q]:off[q+1]] {
 			if !seen[p] {
 				seen[p] = true
 				stack = append(stack, p)
@@ -401,15 +528,18 @@ func (a *Automaton) TrimCoReachable() (*Automaton, map[StateID]StateID) {
 }
 
 func (a *Automaton) restrict(keep []bool) (*Automaton, map[StateID]StateID) {
-	out := New(a.Name)
+	out := NewShared(a.Name, a.syms)
 	remap := make(map[StateID]StateID, a.NumStates())
+	kept := 0
 	for q := 0; q < a.NumStates(); q++ {
 		if keep[q] {
-			remap[StateID(q)] = out.AddState()
+			remap[StateID(q)] = StateID(kept)
+			kept++
 		} else {
 			remap[StateID(q)] = None
 		}
 	}
+	out.AddStates(kept)
 	for q := 0; q < a.NumStates(); q++ {
 		nq := remap[StateID(q)]
 		if nq == None {
@@ -417,9 +547,10 @@ func (a *Automaton) restrict(keep []bool) (*Automaton, map[StateID]StateID) {
 		}
 		out.final[nq] = a.final[q]
 		out.anno[nq] = append([]*formula.Formula(nil), a.anno[q]...)
-		for _, t := range a.trans[q] {
-			if nt := remap[t.To]; nt != None {
-				out.AddTransition(nq, t.Label, nt)
+		out.reserveEdges(nq, len(a.trans[q]))
+		for _, e := range a.trans[q] {
+			if nt := remap[e.to]; nt != None {
+				out.addEdgeUnique(nq, e.sym, nt)
 			}
 		}
 	}
@@ -427,6 +558,31 @@ func (a *Automaton) restrict(keep []bool) (*Automaton, map[StateID]StateID) {
 		out.SetStart(remap[a.start])
 	}
 	return out, remap
+}
+
+// labelRanks returns rank[sym] = position of sym's label in the
+// lexicographic order of all interned labels (cached on the
+// interner). Sorting edges by rank reproduces label-order iteration
+// without touching strings.
+func (a *Automaton) labelRanks() []int32 {
+	return a.syms.Ranks()
+}
+
+// sortEdges sorts es in place by (rank, target); insertion sort, as
+// edge lists are short and this runs inside the product kernels.
+func sortEdges(es []edge, ranks []int32) {
+	for i := 1; i < len(es); i++ {
+		for j := i; j > 0 && edgeLess(es[j], es[j-1], ranks); j-- {
+			es[j], es[j-1] = es[j-1], es[j]
+		}
+	}
+}
+
+func edgeLess(a, b edge, ranks []int32) bool {
+	if ranks[a.sym] != ranks[b.sym] {
+		return ranks[a.sym] < ranks[b.sym]
+	}
+	return a.to < b.to
 }
 
 // DebugString renders the automaton in a stable, line-oriented textual

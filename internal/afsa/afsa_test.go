@@ -120,7 +120,7 @@ func TestAlphabetAndDeterministic(t *testing.T) {
 func TestValidateCatchesBadLabel(t *testing.T) {
 	a := New("bad")
 	q := a.AddState()
-	a.trans[q] = append(a.trans[q], Transition{Label: label.Label("oops"), To: q})
+	a.trans[q] = append(a.trans[q], edge{sym: a.syms.Intern(label.Label("oops")), to: q})
 	if err := a.Validate(); err == nil {
 		t.Fatal("Validate accepted malformed label")
 	}

@@ -45,11 +45,17 @@ func (a *Automaton) ViableStates() ([]bool, error) {
 	if a.HasEpsilon() {
 		// RemoveEpsilon trims; recompute against the trimmed automaton
 		// and translate back through the identity of reachable states.
-		noEps := New(a.Name)
+		noEps := NewShared(a.Name, a.syms)
 		noEps.AddStates(a.NumStates())
 		noEps.SetStart(a.start)
+		seen := make([]bool, a.NumStates())
+		var closure []StateID
 		for q := 0; q < a.NumStates(); q++ {
-			closure := a.EpsilonClosure(StateID(q))
+			for i := range seen {
+				seen[i] = false
+			}
+			closure = a.closureInto(StateID(q), seen, closure[:0])
+			noEps.reserveEdges(StateID(q), len(a.trans[q]))
 			for _, c := range closure {
 				if a.final[c] {
 					noEps.final[q] = true
@@ -57,9 +63,9 @@ func (a *Automaton) ViableStates() ([]bool, error) {
 				for _, f := range a.anno[c] {
 					noEps.Annotate(StateID(q), f)
 				}
-				for _, t := range a.trans[c] {
-					if !t.Label.IsEpsilon() {
-						noEps.AddTransition(StateID(q), t.Label, t.To)
+				for _, e := range a.trans[c] {
+					if e.sym != label.SymEpsilon {
+						noEps.addEdgeUnique(StateID(q), e.sym, e.to)
 					}
 				}
 			}
@@ -68,16 +74,25 @@ func (a *Automaton) ViableStates() ([]bool, error) {
 	}
 
 	n := src.NumStates()
+	labels := src.syms.Labels()
 	eff := make([]*formula.Formula, n)
+	// optSeen is a symbol-indexed presence array shared across states
+	// (per-state mark values make resets free); varCache memoizes the
+	// per-symbol variable formulas of the default annotations.
+	optSeen := make([]int32, len(labels))
+	varCache := make([]*formula.Formula, len(labels))
 	for q := 0; q < n; q++ {
 		parts := append([]*formula.Formula(nil), src.anno[q]...)
 		if !src.final[q] {
 			var opts []*formula.Formula
-			seen := map[label.Label]bool{}
-			for _, t := range src.trans[q] {
-				if !seen[t.Label] {
-					seen[t.Label] = true
-					opts = append(opts, formula.Var(string(t.Label)))
+			mark := int32(q) + 1
+			for _, e := range src.trans[q] {
+				if optSeen[e.sym] != mark {
+					optSeen[e.sym] = mark
+					if varCache[e.sym] == nil {
+						varCache[e.sym] = formula.Var(string(labels[e.sym]))
+					}
+					opts = append(opts, varCache[e.sym])
 				}
 			}
 			parts = append(parts, formula.Or(opts...)) // empty Or = false
@@ -85,11 +100,28 @@ func (a *Automaton) ViableStates() ([]bool, error) {
 		eff[q] = formula.And(parts...)
 	}
 
-	// Reverse adjacency for the co-reachability passes.
-	rev := make([][]StateID, n)
+	// Reverse adjacency for the co-reachability passes, in compressed
+	// sparse form: two allocations instead of one bucket per state.
+	m := 0
 	for q := 0; q < n; q++ {
-		for _, t := range src.trans[q] {
-			rev[t.To] = append(rev[t.To], StateID(q))
+		m += len(src.trans[q])
+	}
+	revOff := make([]int32, n+1)
+	for q := 0; q < n; q++ {
+		for _, e := range src.trans[q] {
+			revOff[e.to+1]++
+		}
+	}
+	for q := 0; q < n; q++ {
+		revOff[q+1] += revOff[q]
+	}
+	revFlat := make([]StateID, m)
+	fill := make([]int32, n)
+	copy(fill, revOff[:n])
+	for q := 0; q < n; q++ {
+		for _, e := range src.trans[q] {
+			revFlat[fill[e.to]] = StateID(q)
+			fill[e.to]++
 		}
 	}
 
@@ -97,13 +129,17 @@ func (a *Automaton) ViableStates() ([]bool, error) {
 	for q := range viable {
 		viable[q] = true
 	}
+	co := make([]bool, n)
+	var stack []StateID
 	for changed := true; changed; {
 		changed = false
 
 		// Pass 1: a viable state must reach a viable final state
 		// through viable states.
-		co := make([]bool, n)
-		var stack []StateID
+		for i := range co {
+			co[i] = false
+		}
+		stack = stack[:0]
 		for q := 0; q < n; q++ {
 			if viable[q] && src.final[q] {
 				co[q] = true
@@ -113,7 +149,7 @@ func (a *Automaton) ViableStates() ([]bool, error) {
 		for len(stack) > 0 {
 			q := stack[len(stack)-1]
 			stack = stack[:len(stack)-1]
-			for _, p := range rev[q] {
+			for _, p := range revFlat[revOff[q]:revOff[q+1]] {
 				if viable[p] && !co[p] {
 					co[p] = true
 					stack = append(stack, p)
@@ -133,9 +169,17 @@ func (a *Automaton) ViableStates() ([]bool, error) {
 			if !viable[q] {
 				continue
 			}
+			// Annotation variables are label texts; Lookup resolves
+			// them to symbols (a lock-guarded map read, no copy of
+			// the potentially choreography-wide interner) so the
+			// edge probes compare integers.
 			sigma := func(name string) bool {
-				for _, t := range src.trans[q] {
-					if string(t.Label) == name && viable[t.To] {
+				sym, ok := src.syms.Lookup(label.Label(name))
+				if !ok {
+					return false
+				}
+				for _, e := range src.trans[q] {
+					if e.sym == sym && viable[e.to] {
 						return true
 					}
 				}

@@ -18,11 +18,15 @@ func (a *Automaton) Accepts(word []label.Label) bool {
 		cur[s] = true
 	}
 	for _, l := range word {
+		sym, known := a.syms.Lookup(l)
+		if !known {
+			return false
+		}
 		next := map[StateID]bool{}
 		for q := range cur {
-			for _, t := range a.trans[q] {
-				if t.Label == l {
-					for _, s := range a.EpsilonClosure(t.To) {
+			for _, e := range a.trans[q] {
+				if e.sym == sym {
+					for _, s := range a.EpsilonClosure(e.to) {
 						next[s] = true
 					}
 				}
@@ -133,7 +137,7 @@ func (a *Automaton) ViableWords(maxLen, limit int) ([]Word, error) {
 	if err != nil {
 		return nil, err
 	}
-	restricted := New(src.Name)
+	restricted := NewShared(src.Name, src.syms)
 	restricted.AddStates(src.NumStates())
 	if src.start != None {
 		restricted.SetStart(src.start)
@@ -143,9 +147,9 @@ func (a *Automaton) ViableWords(maxLen, limit int) ([]Word, error) {
 			continue
 		}
 		restricted.final[q] = src.final[q]
-		for _, t := range src.trans[q] {
-			if viable[t.To] {
-				restricted.AddTransition(StateID(q), t.Label, t.To)
+		for _, e := range src.trans[q] {
+			if viable[e.to] {
+				restricted.addEdgeUnique(StateID(q), e.sym, e.to)
 			}
 		}
 	}

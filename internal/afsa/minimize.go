@@ -2,7 +2,6 @@ package afsa
 
 import (
 	"fmt"
-	"sort"
 
 	"repro/internal/formula"
 )
@@ -16,7 +15,7 @@ import (
 // both language- and viability-equivalent to the input (the paper
 // presents its view automata "minimized", Figs. 8, 13, 17).
 func (a *Automaton) Minimize() *Automaton {
-	m, _ := a.MinimizeWithMap()
+	m, _ := a.minimize(false)
 	return m
 }
 
@@ -26,14 +25,23 @@ func (a *Automaton) Minimize() *Automaton {
 // minimized state to the original state IDs it stands for; it is what
 // lets the mapping table of Sec. 3.3 survive minimization.
 func (a *Automaton) MinimizeWithMap() (*Automaton, map[StateID][]StateID) {
-	det, detMembers := a.DeterminizeWithMap()
+	return a.minimize(true)
+}
+
+// minimize is the shared implementation; membership tracking is built
+// only when wantMembers is set.
+func (a *Automaton) minimize(wantMembers bool) (*Automaton, map[StateID][]StateID) {
+	det, detMembers := a.determinize(wantMembers)
 	trimmed, trimMap := det.TrimCoReachable()
 
 	// Translate determinization membership through the trim.
-	members := make(map[StateID][]StateID)
-	for oldID, newID := range trimMap {
-		if newID != None {
-			members[newID] = append([]StateID(nil), detMembers[oldID]...)
+	var members map[StateID][]StateID
+	if wantMembers {
+		members = make(map[StateID][]StateID)
+		for oldID, newID := range trimMap {
+			if newID != None {
+				members[newID] = append([]StateID(nil), detMembers[oldID]...)
+			}
 		}
 	}
 
@@ -42,11 +50,20 @@ func (a *Automaton) MinimizeWithMap() (*Automaton, map[StateID][]StateID) {
 		return trimmed, members
 	}
 
-	// Initial partition: finality + canonical annotation string.
+	// Initial partition: finality + canonical annotation string. The
+	// annotation string is the one piece of the partition that has to
+	// stay textual (annotations are compared semantically, via their
+	// canonical rendering); it is computed once per state, outside the
+	// refinement loop.
 	class := make([]int, n)
 	classKey := map[string]int{}
 	for q := 0; q < n; q++ {
-		key := fmt.Sprintf("%t|%s", trimmed.final[q], trimmed.Annotation(StateID(q)).String())
+		key := trimmed.Annotation(StateID(q)).String()
+		if trimmed.final[q] {
+			key = "T|" + key
+		} else {
+			key = "F|" + key
+		}
 		id, ok := classKey[key]
 		if !ok {
 			id = len(classKey)
@@ -55,22 +72,38 @@ func (a *Automaton) MinimizeWithMap() (*Automaton, map[StateID][]StateID) {
 		class[q] = id
 	}
 
-	// Moore refinement; missing transitions map to class -1 (implicit
-	// dead sink).
+	// Sort each state's edge list by symbol once: trimmed is
+	// deterministic (at most one edge per symbol), so the sorted lists
+	// are this automaton's canonical signatures modulo the class IDs.
+	// trimmed is private to this call; reordering its edges is safe.
+	for q := range trimmed.trans {
+		es := trimmed.trans[q]
+		for i := 1; i < len(es); i++ {
+			for j := i; j > 0 && es[j].sym < es[j-1].sym; j-- {
+				es[j], es[j-1] = es[j-1], es[j]
+			}
+		}
+	}
+
+	// Moore refinement on integer signatures: class of the state
+	// followed by (symbol, class of target) pairs in symbol order.
+	// Signatures are packed into a reused byte buffer; the map lookup
+	// with a string(sig) key does not allocate, and the key string is
+	// materialized only for newly discovered classes (at most n).
+	var sig []byte
+	next := make([]int, n)
 	for {
-		next := make([]int, n)
 		sigKey := map[string]int{}
 		for q := 0; q < n; q++ {
-			var sig []byte
-			sig = append(sig, []byte(fmt.Sprintf("%d", class[q]))...)
-			for _, t := range trimmed.Transitions(StateID(q)) {
-				sig = append(sig, []byte(fmt.Sprintf("|%s>%d", t.Label, class[t.To]))...)
+			sig = appendUint32(sig[:0], uint32(class[q]))
+			for _, e := range trimmed.trans[q] {
+				sig = appendUint32(sig, uint32(e.sym)+1)
+				sig = appendUint32(sig, uint32(class[e.to]))
 			}
-			key := string(sig)
-			id, ok := sigKey[key]
+			id, ok := sigKey[string(sig)]
 			if !ok {
 				id = len(sigKey)
-				sigKey[key] = id
+				sigKey[string(sig)] = id
 			}
 			next[q] = id
 		}
@@ -81,14 +114,14 @@ func (a *Automaton) MinimizeWithMap() (*Automaton, map[StateID][]StateID) {
 				break
 			}
 		}
-		class = next
+		class, next = next, class
 		if same || len(sigKey) == n {
 			break
 		}
 	}
 
 	// Quotient automaton.
-	out := New(a.Name)
+	out := NewShared(a.Name, trimmed.syms)
 	rep := map[int]StateID{} // class -> new state
 	classOf := func(q StateID) StateID {
 		id, ok := rep[class[q]]
@@ -103,7 +136,10 @@ func (a *Automaton) MinimizeWithMap() (*Automaton, map[StateID][]StateID) {
 	for _, q := range order {
 		classOf(q)
 	}
-	outMembers := make(map[StateID][]StateID)
+	var outMembers map[StateID][]StateID
+	if wantMembers {
+		outMembers = make(map[StateID][]StateID)
+	}
 	for _, q := range order {
 		nq := classOf(q)
 		out.final[nq] = trimmed.final[q]
@@ -112,9 +148,14 @@ func (a *Automaton) MinimizeWithMap() (*Automaton, map[StateID][]StateID) {
 				out.Annotate(nq, f)
 			}
 		}
-		outMembers[nq] = append(outMembers[nq], members[q]...)
-		for _, t := range trimmed.Transitions(q) {
-			out.AddTransition(nq, t.Label, classOf(t.To))
+		if wantMembers {
+			outMembers[nq] = append(outMembers[nq], members[q]...)
+		}
+		// Every class representative already has its state (the
+		// classOf pass above), so edge insertion order is not
+		// observable; iterate the raw edge lists.
+		for _, e := range trimmed.trans[q] {
+			out.addEdgeUnique(nq, e.sym, classOf(e.to))
 		}
 	}
 	out.SetStart(classOf(trimmed.start))
@@ -124,18 +165,29 @@ func (a *Automaton) MinimizeWithMap() (*Automaton, map[StateID][]StateID) {
 	return out, outMembers
 }
 
+func appendUint32(b []byte, v uint32) []byte {
+	return append(b, byte(v), byte(v>>8), byte(v>>16), byte(v>>24))
+}
+
 func bfsOrder(a *Automaton) []StateID {
 	if a.start == None {
 		return nil
 	}
+	ranks := a.labelRanks()
 	seen := make([]bool, a.NumStates())
-	order := []StateID{a.start}
+	order := make([]StateID, 1, a.NumStates())
+	order[0] = a.start
 	seen[a.start] = true
+	var scratch []edge
 	for i := 0; i < len(order); i++ {
-		for _, t := range a.Transitions(order[i]) {
-			if !seen[t.To] {
-				seen[t.To] = true
-				order = append(order, t.To)
+		// Explore in label order (via symbol ranks) for the stable
+		// numbering Canonical depends on.
+		scratch = append(scratch[:0], a.trans[order[i]]...)
+		sortEdges(scratch, ranks)
+		for _, e := range scratch {
+			if !seen[e.to] {
+				seen[e.to] = true
+				order = append(order, e.to)
 			}
 		}
 	}
@@ -150,16 +202,8 @@ func bfsOrder(a *Automaton) []StateID {
 }
 
 func dedupStates(in []StateID) []StateID {
-	sort.Slice(in, func(i, j int) bool { return in[i] < in[j] })
-	out := in[:0]
-	prev := None
-	for _, s := range in {
-		if s != prev {
-			out = append(out, s)
-			prev = s
-		}
-	}
-	return out
+	sortIDs(in)
+	return dedupSortedIDs(in)
 }
 
 // Canonical returns a structurally canonical automaton: minimized,
@@ -175,7 +219,7 @@ func (a *Automaton) Canonical() *Automaton {
 	for i, q := range order {
 		remap[q] = StateID(i)
 	}
-	out := New(a.Name)
+	out := NewShared(a.Name, m.syms)
 	out.AddStates(m.NumStates())
 	if m.NumStates() == 0 {
 		return out
@@ -187,8 +231,8 @@ func (a *Automaton) Canonical() *Automaton {
 		for _, f := range m.anno[q] {
 			out.Annotate(nq, f)
 		}
-		for _, t := range m.Transitions(StateID(q)) {
-			out.AddTransition(nq, t.Label, remap[t.To])
+		for _, e := range m.trans[q] {
+			out.addEdgeUnique(nq, e.sym, remap[e.to])
 		}
 	}
 	return out

@@ -7,6 +7,20 @@ import (
 	"repro/internal/label"
 )
 
+// alignedTo returns b itself when it already uses in, otherwise a copy
+// of b reinterned into in. Binary operators align their operands so
+// the product kernels compare symbols, never label strings; operands
+// that already share an interner (the per-choreography case) align for
+// free.
+func alignedTo(b *Automaton, in *label.Interner) *Automaton {
+	if b.syms == in {
+		return b
+	}
+	c := b.Clone()
+	c.Reintern(in)
+	return c
+}
+
 // Complete returns a copy in which every state has an outgoing
 // transition for every label in alphabet, adding a non-final sink
 // state when needed (Def. 4 requires complete automata). The second
@@ -15,25 +29,32 @@ import (
 func (a *Automaton) Complete(alphabet label.Set) (*Automaton, StateID) {
 	out := a.Clone()
 	labels := alphabet.Sorted()
+	syms := make([]label.Symbol, len(labels))
+	for i, l := range labels {
+		syms[i] = out.syms.Intern(l)
+	}
 	sink := None
 	ensureSink := func() StateID {
 		if sink == None {
 			sink = out.AddState()
-			for _, l := range labels {
-				out.AddTransition(sink, l, sink)
+			for _, s := range syms {
+				out.addEdge(sink, s, sink)
 			}
 		}
 		return sink
 	}
+	// have is a symbol-indexed presence array shared across states;
+	// the per-state mark value makes resets free.
+	have := make([]int32, out.syms.Len())
 	n := out.NumStates() // do not complete the sink twice
 	for q := 0; q < n; q++ {
-		have := map[label.Label]bool{}
-		for _, t := range out.trans[q] {
-			have[t.Label] = true
+		mark := int32(q) + 1
+		for _, e := range out.trans[q] {
+			have[e.sym] = mark
 		}
-		for _, l := range labels {
-			if !have[l] {
-				out.AddTransition(StateID(q), l, ensureSink())
+		for _, s := range syms {
+			if have[s] != mark {
+				out.addEdge(StateID(q), s, ensureSink())
 			}
 		}
 	}
@@ -77,11 +98,34 @@ type productConfig struct {
 // l-transition. It is the common core of intersection, difference and
 // union (the latter two complete their inputs first so that the
 // synchronous product covers the full alphabet).
+//
+// The kernel merge-joins the two components' edge lists, pre-sorted
+// by symbol rank and memoized per state, so each visited pair costs
+// one linear scan — no per-pair label maps, no string comparisons.
 func product(a, b *Automaton, cfg productConfig) *Automaton {
-	out := New(cfg.name)
+	b = alignedTo(b, a.syms)
+	out := NewShared(cfg.name, a.syms)
 	if a.start == None || b.start == None {
 		return out
 	}
+	out.reserveStates(max(a.NumStates(), b.NumStates()))
+	ranks := a.labelRanks()
+
+	// Edge lists sorted by (label rank, target), memoized per state:
+	// product states revisit component states many times.
+	aEdges := make([][]edge, a.NumStates())
+	bEdges := make([][]edge, b.NumStates())
+	sortedOf := func(src *Automaton, cache [][]edge, q StateID) []edge {
+		es := cache[q]
+		if es == nil {
+			es = make([]edge, len(src.trans[q]))
+			copy(es, src.trans[q])
+			sortEdges(es, ranks)
+			cache[q] = es
+		}
+		return es
+	}
+
 	index := map[pairKey]StateID{}
 	var worklist []pairKey
 	add := func(k pairKey) StateID {
@@ -105,17 +149,38 @@ func product(a, b *Automaton, cfg productConfig) *Automaton {
 		return id
 	}
 	out.SetStart(add(pairKey{a.start, b.start}))
-	for len(worklist) > 0 {
-		k := worklist[0]
-		worklist = worklist[1:]
+	for head := 0; head < len(worklist); head++ {
+		k := worklist[head]
 		from := index[k]
-		for _, t1 := range a.Transitions(k.p) {
-			for _, t2 := range b.Transitions(k.q) {
-				if t1.Label == t2.Label {
-					to := add(pairKey{t1.To, t2.To})
-					out.AddTransition(from, t1.Label, to)
+		ea := sortedOf(a, aEdges, k.p)
+		eb := sortedOf(b, bEdges, k.q)
+		i, j := 0, 0
+		for i < len(ea) && j < len(eb) {
+			ri, rj := ranks[ea[i].sym], ranks[eb[j].sym]
+			if ri < rj {
+				i++
+				continue
+			}
+			if rj < ri {
+				j++
+				continue
+			}
+			sym := ea[i].sym
+			i2 := i
+			for i2 < len(ea) && ea[i2].sym == sym {
+				i2++
+			}
+			j2 := j
+			for j2 < len(eb) && eb[j2].sym == sym {
+				j2++
+			}
+			for x := i; x < i2; x++ {
+				for y := j; y < j2; y++ {
+					to := add(pairKey{ea[x].to, eb[y].to})
+					out.addEdge(from, sym, to)
 				}
 			}
+			i, j = i2, j2
 		}
 	}
 	return out
@@ -127,7 +192,7 @@ func product(a, b *Automaton, cfg productConfig) *Automaton {
 // accepts L(a) ∩ L(b); its annotated emptiness decides bilateral
 // consistency (Sec. 3.2).
 func (a *Automaton) Intersect(b *Automaton) *Automaton {
-	ea, eb := a.RemoveEpsilon(), b.RemoveEpsilon()
+	ea, eb := a.epsFree(), b.epsFree()
 	return product(ea, eb, productConfig{
 		name:      fmt.Sprintf("(%s ∩ %s)", a.Name, b.Name),
 		finalRule: func(f1, f2 bool) bool { return f1 && f2 },
@@ -140,7 +205,7 @@ func (a *Automaton) Intersect(b *Automaton) *Automaton {
 // determinized and completed over Σa ∪ Σb so that F = F1 × (Q2 \ F2)
 // characterizes exactly the words of a not accepted by b.
 func (a *Automaton) Difference(b *Automaton) *Automaton {
-	ea := a.RemoveEpsilon()
+	ea := a.epsFree()
 	db := b.Determinize()
 	sigma := ea.Alphabet().Union(db.Alphabet())
 	cb, _ := db.Complete(sigma)
@@ -192,11 +257,13 @@ func (a *Automaton) UnionDeMorgan(b *Automaton) *Automaton {
 // Finality requires both components final; annotations conjoin. The
 // BPEL mapping uses Shuffle for the parallel <flow> construct.
 func (a *Automaton) Shuffle(b *Automaton) *Automaton {
-	ea, eb := a.RemoveEpsilon(), b.RemoveEpsilon()
-	out := New(fmt.Sprintf("(%s ⧢ %s)", a.Name, b.Name))
+	ea, eb := a.epsFree(), b.epsFree()
+	eb = alignedTo(eb, ea.syms)
+	out := NewShared(fmt.Sprintf("(%s ⧢ %s)", a.Name, b.Name), ea.syms)
 	if ea.start == None || eb.start == None {
 		return out
 	}
+	ranks := ea.labelRanks()
 	index := map[pairKey]StateID{}
 	var worklist []pairKey
 	add := func(k pairKey) StateID {
@@ -215,16 +282,29 @@ func (a *Automaton) Shuffle(b *Automaton) *Automaton {
 		worklist = append(worklist, k)
 		return id
 	}
-	out.SetStart(add(pairKey{ea.start, eb.start}))
-	for len(worklist) > 0 {
-		k := worklist[0]
-		worklist = worklist[1:]
-		from := index[k]
-		for _, t := range ea.Transitions(k.p) {
-			out.AddTransition(from, t.Label, add(pairKey{t.To, k.q}))
+	// Sorted edge lists memoized per component state, as in product:
+	// a component state is revisited once per pair it appears in.
+	aEdges := make([][]edge, ea.NumStates())
+	bEdges := make([][]edge, eb.NumStates())
+	sortedOf := func(src *Automaton, cache [][]edge, q StateID) []edge {
+		es := cache[q]
+		if es == nil {
+			es = make([]edge, len(src.trans[q]))
+			copy(es, src.trans[q])
+			sortEdges(es, ranks)
+			cache[q] = es
 		}
-		for _, t := range eb.Transitions(k.q) {
-			out.AddTransition(from, t.Label, add(pairKey{k.p, t.To}))
+		return es
+	}
+	out.SetStart(add(pairKey{ea.start, eb.start}))
+	for head := 0; head < len(worklist); head++ {
+		k := worklist[head]
+		from := index[k]
+		for _, e := range sortedOf(ea, aEdges, k.p) {
+			out.addEdgeUnique(from, e.sym, add(pairKey{e.to, k.q}))
+		}
+		for _, e := range sortedOf(eb, bEdges, k.q) {
+			out.addEdgeUnique(from, e.sym, add(pairKey{k.p, e.to}))
 		}
 	}
 	return out
@@ -236,20 +316,21 @@ func (a *Automaton) Shuffle(b *Automaton) *Automaton {
 func (a *Automaton) Concat(b *Automaton) *Automaton {
 	out := a.Clone()
 	out.Name = fmt.Sprintf("(%s · %s)", a.Name, b.Name)
+	bb := alignedTo(b, out.syms)
 	offset := out.NumStates()
-	out.AddStates(b.NumStates())
-	for q := 0; q < b.NumStates(); q++ {
+	out.AddStates(bb.NumStates())
+	for q := 0; q < bb.NumStates(); q++ {
 		nq := StateID(q + offset)
-		out.final[nq] = b.final[q]
-		out.anno[nq] = append([]*formula.Formula(nil), b.anno[q]...)
-		for _, t := range b.trans[q] {
-			out.AddTransition(nq, t.Label, t.To+StateID(offset))
+		out.final[nq] = bb.final[q]
+		out.anno[nq] = append([]*formula.Formula(nil), bb.anno[q]...)
+		for _, e := range bb.trans[q] {
+			out.addEdgeUnique(nq, e.sym, e.to+StateID(offset))
 		}
 	}
 	for q := 0; q < offset; q++ {
 		if out.final[q] && a.final[q] {
 			out.final[q] = false
-			out.AddTransition(StateID(q), label.Epsilon, b.start+StateID(offset))
+			out.addEdgeUnique(StateID(q), label.SymEpsilon, bb.start+StateID(offset))
 		}
 	}
 	return out.RemoveEpsilon()

@@ -1,0 +1,110 @@
+package afsa
+
+// Regression tests for ownership and aliasing in the subset
+// construction. The historical implementation sorted and compacted
+// caller-derived bucket slices in place and aliased member sets into
+// its worklist; the interned kernel documents and enforces copy
+// semantics instead: the input automaton is never mutated, and the
+// returned member slices are caller-owned.
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/label"
+)
+
+func TestDeterminizeDoesNotMutateInput(t *testing.T) {
+	for seed := int64(0); seed < 20; seed++ {
+		a := annotatedNFA(seed, int(seed)+2)
+		before := a.DebugString()
+		a.Determinize()
+		a.DeterminizeWithMap()
+		a.Minimize()
+		a.MinimizeWithMap()
+		if after := a.DebugString(); after != before {
+			t.Fatalf("seed %d: operators mutated their input\nbefore:\n%s\nafter:\n%s", seed, before, after)
+		}
+	}
+}
+
+func TestDeterminizeMembersAreOwnedCopies(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	a := randomDFA(r, 5)
+	n := a.NumStates()
+	// Force real subsets: nondeterminism on a shared label.
+	l := testAlphabet[0]
+	for q := 0; q < n; q++ {
+		a.AddTransition(StateID(q), l, StateID((q+1)%n))
+		a.AddTransition(StateID(q), l, StateID((q+2)%n))
+	}
+
+	d1, m1 := a.DeterminizeWithMap()
+	// Clobber every returned member slice.
+	for _, states := range m1 {
+		for i := range states {
+			states[i] = StateID(-7)
+		}
+	}
+	// A second run must be unaffected by the mutation, and the
+	// automaton itself must still canonicalize identically.
+	d2, m2 := a.DeterminizeWithMap()
+	if d1.DebugString() != d2.DebugString() {
+		t.Fatalf("mutating members changed determinization:\n%s\nvs\n%s", d1.DebugString(), d2.DebugString())
+	}
+	for id, states := range m2 {
+		for i, s := range states {
+			if s == StateID(-7) {
+				t.Fatalf("state %d member %d aliases the previously returned slice", id, i)
+			}
+			if i > 0 && states[i-1] >= s {
+				t.Fatalf("state %d members not sorted/deduped: %v", id, states)
+			}
+		}
+	}
+}
+
+func TestMinimizeMembersAreOwnedCopies(t *testing.T) {
+	a := annotatedNFA(11, 5)
+	m, members := a.MinimizeWithMap()
+	for _, states := range members {
+		for i := range states {
+			states[i] = StateID(-9)
+		}
+	}
+	m2, members2 := a.MinimizeWithMap()
+	if m.DebugString() != m2.DebugString() {
+		t.Fatal("mutating members changed minimization")
+	}
+	for id, states := range members2 {
+		for _, s := range states {
+			if s == StateID(-9) {
+				t.Fatalf("state %d members alias the previously returned slice", id)
+			}
+		}
+	}
+}
+
+func TestStepperMatchesStep(t *testing.T) {
+	for seed := int64(0); seed < 30; seed++ {
+		a := annotatedNFA(seed, int(seed%5)+2).Determinize()
+		st := NewStepper(a)
+		if st.Start() != a.Start() {
+			t.Fatalf("seed %d: stepper start %d, automaton %d", seed, st.Start(), a.Start())
+		}
+		for q := 0; q < a.NumStates(); q++ {
+			for _, l := range testAlphabet {
+				want := None
+				if targets := a.Step(StateID(q), l); len(targets) > 0 {
+					want = targets[0]
+				}
+				if got := st.Step(StateID(q), l); got != want {
+					t.Fatalf("seed %d: Step(%d,%s) = %d, want %d", seed, q, l, got, want)
+				}
+			}
+			if got := st.Step(StateID(q), label.MustParse("Z#Q#unknown")); got != None {
+				t.Fatalf("unknown label stepped to %d", got)
+			}
+		}
+	}
+}

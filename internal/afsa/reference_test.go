@@ -1,0 +1,373 @@
+package afsa
+
+// Reference implementations of determinize, minimize and intersect,
+// transliterated from the pre-interning (string-keyed) kernel and
+// written against the public API only. The property tests below pin
+// the interned-symbol kernel to them on randomly generated annotated
+// automata: outputs must be Equivalent — language AND annotations.
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/formula"
+	"repro/internal/label"
+)
+
+// refRemoveEpsilon is the historical ε-removal over the public API.
+func refRemoveEpsilon(a *Automaton) *Automaton {
+	if !a.HasEpsilon() {
+		return a.Clone()
+	}
+	out := New(a.Name) // deliberately a fresh interner: exercises cross-interner ops
+	out.AddStates(a.NumStates())
+	out.SetStart(a.Start())
+	for q := 0; q < a.NumStates(); q++ {
+		for _, c := range a.EpsilonClosure(StateID(q)) {
+			if a.IsFinal(c) {
+				out.SetFinal(StateID(q), true)
+			}
+			for _, f := range a.Annotations(c) {
+				out.Annotate(StateID(q), f)
+			}
+			for _, t := range a.Transitions(c) {
+				if !t.Label.IsEpsilon() {
+					out.AddTransition(StateID(q), t.Label, t.To)
+				}
+			}
+		}
+	}
+	trimmed, _ := out.Trim()
+	return trimmed
+}
+
+// refDeterminize is the historical subset construction: subsets keyed
+// by strings built from the sorted member IDs, per-item label buckets
+// in a map keyed by label strings.
+func refDeterminize(a *Automaton) *Automaton {
+	src := a
+	if src.HasEpsilon() {
+		src = refRemoveEpsilon(src)
+	}
+	out := New(a.Name)
+	if src.Start() == None {
+		return out
+	}
+
+	type subset struct {
+		key    string
+		states []StateID
+	}
+	makeSubset := func(states []StateID) subset {
+		sort.Slice(states, func(i, j int) bool { return states[i] < states[j] })
+		uniq := states[:0]
+		var prev StateID = None
+		for _, s := range states {
+			if s != prev {
+				uniq = append(uniq, s)
+				prev = s
+			}
+		}
+		var b []byte
+		for _, s := range uniq {
+			b = append(b, byte(s), byte(s>>8), byte(s>>16), byte(s>>24))
+		}
+		return subset{key: string(b), states: uniq}
+	}
+
+	index := map[string]StateID{}
+	var worklist []subset
+	add := func(ss subset) StateID {
+		if id, ok := index[ss.key]; ok {
+			return id
+		}
+		id := out.AddState()
+		index[ss.key] = id
+		for _, s := range ss.states {
+			if src.IsFinal(s) {
+				out.SetFinal(id, true)
+			}
+			for _, f := range src.Annotations(s) {
+				out.Annotate(id, f)
+			}
+		}
+		worklist = append(worklist, ss)
+		return id
+	}
+
+	out.SetStart(add(makeSubset([]StateID{src.Start()})))
+	for len(worklist) > 0 {
+		cur := worklist[0]
+		worklist = worklist[1:]
+		from := index[cur.key]
+		byLabel := map[string][]StateID{}
+		for _, s := range cur.states {
+			for _, t := range src.Transitions(s) {
+				byLabel[string(t.Label)] = append(byLabel[string(t.Label)], t.To)
+			}
+		}
+		labels := make([]string, 0, len(byLabel))
+		for l := range byLabel {
+			labels = append(labels, l)
+		}
+		sort.Strings(labels)
+		for _, l := range labels {
+			to := add(makeSubset(byLabel[l]))
+			out.AddTransition(from, label.Label(l), to)
+		}
+	}
+	return out
+}
+
+// refMinimize is the historical pipeline: reference determinize, trim,
+// Moore refinement on fmt.Sprintf signatures, quotient.
+func refMinimize(a *Automaton) *Automaton {
+	det := refDeterminize(a)
+	trimmed, _ := det.TrimCoReachable()
+	n := trimmed.NumStates()
+	if n == 0 {
+		return trimmed
+	}
+
+	class := make([]int, n)
+	classKey := map[string]int{}
+	for q := 0; q < n; q++ {
+		key := fmt.Sprintf("%t|%s", trimmed.IsFinal(StateID(q)), trimmed.Annotation(StateID(q)).String())
+		id, ok := classKey[key]
+		if !ok {
+			id = len(classKey)
+			classKey[key] = id
+		}
+		class[q] = id
+	}
+	for {
+		next := make([]int, n)
+		sigKey := map[string]int{}
+		for q := 0; q < n; q++ {
+			sig := fmt.Sprintf("%d", class[q])
+			for _, t := range trimmed.Transitions(StateID(q)) {
+				sig += fmt.Sprintf("|%s>%d", t.Label, class[t.To])
+			}
+			id, ok := sigKey[sig]
+			if !ok {
+				id = len(sigKey)
+				sigKey[sig] = id
+			}
+			next[q] = id
+		}
+		same := true
+		for q := 0; q < n; q++ {
+			if next[q] != class[q] {
+				same = false
+				break
+			}
+		}
+		class = next
+		if same || len(sigKey) == n {
+			break
+		}
+	}
+
+	out := New(a.Name)
+	rep := map[int]StateID{}
+	classOf := func(q StateID) StateID {
+		id, ok := rep[class[q]]
+		if !ok {
+			id = out.AddState()
+			rep[class[q]] = id
+		}
+		return id
+	}
+	order := refBFSOrder(trimmed)
+	for _, q := range order {
+		classOf(q)
+	}
+	for _, q := range order {
+		nq := classOf(q)
+		out.SetFinal(nq, trimmed.IsFinal(q))
+		if len(out.Annotations(nq)) == 0 {
+			for _, f := range trimmed.Annotations(q) {
+				out.Annotate(nq, f)
+			}
+		}
+		for _, t := range trimmed.Transitions(q) {
+			out.AddTransition(nq, t.Label, classOf(t.To))
+		}
+	}
+	out.SetStart(classOf(trimmed.Start()))
+	return out
+}
+
+func refBFSOrder(a *Automaton) []StateID {
+	if a.Start() == None {
+		return nil
+	}
+	seen := make([]bool, a.NumStates())
+	order := []StateID{a.Start()}
+	seen[a.Start()] = true
+	for i := 0; i < len(order); i++ {
+		for _, t := range a.Transitions(order[i]) {
+			if !seen[t.To] {
+				seen[t.To] = true
+				order = append(order, t.To)
+			}
+		}
+	}
+	for q := 0; q < a.NumStates(); q++ {
+		if !seen[q] {
+			order = append(order, StateID(q))
+		}
+	}
+	return order
+}
+
+// refIntersect is the historical product: per-pair nested loops over
+// label-sorted transition copies, matching on label equality.
+func refIntersect(a, b *Automaton) *Automaton {
+	ea, eb := refRemoveEpsilon(a), refRemoveEpsilon(b)
+	out := New(fmt.Sprintf("(%s ∩ %s)", a.Name, b.Name))
+	if ea.Start() == None || eb.Start() == None {
+		return out
+	}
+	type pk struct{ p, q StateID }
+	index := map[pk]StateID{}
+	var worklist []pk
+	add := func(k pk) StateID {
+		if id, ok := index[k]; ok {
+			return id
+		}
+		id := out.AddState()
+		index[k] = id
+		out.SetFinal(id, ea.IsFinal(k.p) && eb.IsFinal(k.q))
+		for _, f := range ea.Annotations(k.p) {
+			out.Annotate(id, f)
+		}
+		for _, f := range eb.Annotations(k.q) {
+			out.Annotate(id, f)
+		}
+		worklist = append(worklist, k)
+		return id
+	}
+	out.SetStart(add(pk{ea.Start(), eb.Start()}))
+	for len(worklist) > 0 {
+		k := worklist[0]
+		worklist = worklist[1:]
+		from := index[k]
+		for _, t1 := range ea.Transitions(k.p) {
+			for _, t2 := range eb.Transitions(k.q) {
+				if t1.Label == t2.Label {
+					out.AddTransition(from, t1.Label, add(pk{t1.To, t2.To}))
+				}
+			}
+		}
+	}
+	return out
+}
+
+// annotatedNFA generates a random automaton with nondeterminism, some
+// ε edges, and variable annotations over outgoing labels — the input
+// class the kernels must agree on.
+func annotatedNFA(seed int64, states int) *Automaton {
+	r := rand.New(rand.NewSource(seed))
+	a := randomDFA(r, int(uint(states)%5)+2)
+	n := a.NumStates()
+	for i := 0; i < n/2+1; i++ {
+		if r.Intn(3) == 0 {
+			a.AddTransition(StateID(r.Intn(n)), label.Epsilon, StateID(r.Intn(n)))
+		}
+		l := testAlphabet[r.Intn(len(testAlphabet))]
+		a.AddTransition(StateID(r.Intn(n)), l, StateID(r.Intn(n)))
+	}
+	for q := 0; q < n; q++ {
+		if r.Intn(3) == 0 {
+			l := testAlphabet[r.Intn(len(testAlphabet))]
+			a.Annotate(StateID(q), formula.Var(string(l)))
+		}
+	}
+	return a
+}
+
+func TestQuickDeterminizeMatchesReference(t *testing.T) {
+	f := func(s int64, states int) bool {
+		a := annotatedNFA(s, states)
+		got, want := a.Determinize(), refDeterminize(a)
+		if !Equivalent(got, want) {
+			t.Logf("input:\n%s\ndiff: %s", a.DebugString(), ExplainDifference(got, want))
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, quickCfg()); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickMinimizeMatchesReference(t *testing.T) {
+	f := func(s int64, states int) bool {
+		a := annotatedNFA(s, states)
+		got, want := a.Minimize(), refMinimize(a)
+		if !Equivalent(got, want) {
+			t.Logf("input:\n%s\ndiff: %s", a.DebugString(), ExplainDifference(got, want))
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, quickCfg()); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickIntersectMatchesReference(t *testing.T) {
+	f := func(s1, s2 int64, n1, n2 int) bool {
+		a, b := annotatedNFA(s1, n1), annotatedNFA(s2, n2)
+		got, want := a.Intersect(b), refIntersect(a, b)
+		if !Equivalent(got, want) {
+			t.Logf("diff: %s", ExplainDifference(got, want))
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, quickCfg()); err != nil {
+		t.Error(err)
+	}
+}
+
+// rebuildFresh reconstructs a behaviorally identical automaton on a
+// brand-new interner, so symbol values differ from the original's.
+func rebuildFresh(a *Automaton) *Automaton {
+	out := New(a.Name)
+	out.AddStates(a.NumStates())
+	if a.Start() != None {
+		out.SetStart(a.Start())
+	}
+	for q := 0; q < a.NumStates(); q++ {
+		out.SetFinal(StateID(q), a.IsFinal(StateID(q)))
+		for _, f := range a.Annotations(StateID(q)) {
+			out.Annotate(StateID(q), f)
+		}
+		for _, t := range a.Transitions(StateID(q)) {
+			out.AddTransition(StateID(q), t.Label, t.To)
+		}
+	}
+	return out
+}
+
+// The interned kernels must not care whether the operands share an
+// interner — Intersect aligns them internally.
+func TestQuickCrossInternerIntersect(t *testing.T) {
+	f := func(s1, s2 int64) bool {
+		a, b := annotatedNFA(s1, 4), annotatedNFA(s2, 5)
+		shared := a.Intersect(b)
+		bb := rebuildFresh(b)
+		if bb.Interner() == b.Interner() {
+			return false
+		}
+		return Equivalent(shared, a.Intersect(bb))
+	}
+	if err := quick.Check(f, quickCfg()); err != nil {
+		t.Error(err)
+	}
+}

@@ -32,23 +32,29 @@ func (a *Automaton) View(party string) *Automaton {
 // algorithms of Sec. 5 use it when they need to keep state identities
 // aligned with the pre-view automaton.
 func (a *Automaton) ViewRaw(party string) *Automaton {
-	visible := func(l label.Label) bool { return l.Involves(party) }
-	out := New(fmt.Sprintf("τ_%s(%s)", party, a.Name))
+	labels := a.syms.Labels()
+	// Per-symbol visibility, computed once instead of per transition.
+	vis := make([]bool, len(labels))
+	for s := range labels {
+		vis[s] = labels[s].Involves(party)
+	}
+	out := NewShared(fmt.Sprintf("τ_%s(%s)", party, a.Name), a.syms)
 	out.AddStates(a.NumStates())
 	if a.start != None {
 		out.SetStart(a.start)
 	}
 	for q := 0; q < a.NumStates(); q++ {
 		out.final[q] = a.final[q]
-		for _, t := range a.trans[q] {
-			if visible(t.Label) {
-				out.AddTransition(StateID(q), t.Label, t.To)
+		out.reserveEdges(StateID(q), len(a.trans[q]))
+		for _, e := range a.trans[q] {
+			if vis[e.sym] {
+				out.addEdgeUnique(StateID(q), e.sym, e.to)
 			} else {
-				out.AddTransition(StateID(q), label.Epsilon, t.To)
+				out.addEdgeUnique(StateID(q), label.SymEpsilon, e.to)
 			}
 		}
 		for _, f := range a.anno[q] {
-			out.Annotate(StateID(q), projectAnnotation(a, StateID(q), f, visible))
+			out.Annotate(StateID(q), projectAnnotation(a, StateID(q), f, party, labels, vis))
 		}
 	}
 	return out
@@ -57,25 +63,27 @@ func (a *Automaton) ViewRaw(party string) *Automaton {
 // projectAnnotation substitutes hidden variables of f, evaluated at
 // state q, by the disjunction of the first visible labels reachable
 // from the hidden transition's targets (true when the obligation can
-// discharge invisibly).
-func projectAnnotation(a *Automaton, q StateID, f *formula.Formula, visible func(label.Label) bool) *formula.Formula {
+// discharge invisibly). labels and vis are the symbol table and
+// per-symbol visibility of a's interner.
+func projectAnnotation(a *Automaton, q StateID, f *formula.Formula, party string, labels []label.Label, vis []bool) *formula.Formula {
 	return f.Substitute(func(name string) *formula.Formula {
 		l := label.Label(name)
-		if visible(l) {
+		if l.Involves(party) {
 			return nil // keep visible variables unchanged
 		}
-		if !hasTransition(a, q, l) {
+		sym, known := a.syms.Lookup(l)
+		if !known || !hasEdge(a, q, sym) {
 			// The hidden alternative does not exist at the annotated
 			// state: it can never be satisfied, before or after the
 			// projection.
 			return formula.False()
 		}
 		var firsts []*formula.Formula
-		for _, t := range a.trans[q] {
-			if t.Label != l {
+		for _, e := range a.trans[q] {
+			if e.sym != sym {
 				continue
 			}
-			fs, dischargeable := firstVisible(a, t.To, visible)
+			fs, dischargeable := firstVisible(a, e.to, labels, vis)
 			if dischargeable {
 				// The obligation can complete without the partner
 				// observing anything; it imposes no visible constraint.
@@ -92,9 +100,9 @@ func projectAnnotation(a *Automaton, q StateID, f *formula.Formula, visible func
 	})
 }
 
-func hasTransition(a *Automaton, q StateID, l label.Label) bool {
-	for _, t := range a.trans[q] {
-		if t.Label == l {
+func hasEdge(a *Automaton, q StateID, sym label.Symbol) bool {
+	for _, e := range a.trans[q] {
+		if e.sym == sym {
 			return true
 		}
 	}
@@ -105,10 +113,10 @@ func hasTransition(a *Automaton, q StateID, l label.Label) bool {
 // hidden transitions only, and reports whether a final state is
 // reachable invisibly (the obligation discharges without the partner
 // seeing anything).
-func firstVisible(a *Automaton, q StateID, visible func(label.Label) bool) ([]*formula.Formula, bool) {
-	seen := map[StateID]bool{}
-	var labels []*formula.Formula
-	labelSeen := map[label.Label]bool{}
+func firstVisible(a *Automaton, q StateID, labels []label.Label, vis []bool) ([]*formula.Formula, bool) {
+	seen := make([]bool, a.NumStates())
+	var out []*formula.Formula
+	labelSeen := map[label.Symbol]bool{}
 	discharge := false
 	var walk func(s StateID)
 	walk = func(s StateID) {
@@ -119,19 +127,19 @@ func firstVisible(a *Automaton, q StateID, visible func(label.Label) bool) ([]*f
 		if a.final[s] {
 			discharge = true
 		}
-		for _, t := range a.trans[s] {
-			if visible(t.Label) {
-				if !labelSeen[t.Label] {
-					labelSeen[t.Label] = true
-					labels = append(labels, formula.Var(string(t.Label)))
+		for _, e := range a.trans[s] {
+			if vis[e.sym] {
+				if !labelSeen[e.sym] {
+					labelSeen[e.sym] = true
+					out = append(out, formula.Var(string(labels[e.sym])))
 				}
 			} else {
-				walk(t.To)
+				walk(e.to)
 			}
 		}
 	}
 	walk(q)
-	return labels, discharge
+	return out, discharge
 }
 
 // Restrict returns a copy of a containing only transitions between
@@ -139,7 +147,12 @@ func firstVisible(a *Automaton, q StateID, visible func(label.Label) bool) ([]*f
 // entirely (not ε'd). Used by the simulator to build bilateral
 // sub-protocols.
 func (a *Automaton) Restrict(p, q string) *Automaton {
-	out := New(fmt.Sprintf("%s|%s,%s", a.Name, p, q))
+	labels := a.syms.Labels()
+	keep := make([]bool, len(labels))
+	for s := range labels {
+		keep[s] = labels[s].Between(p, q)
+	}
+	out := NewShared(fmt.Sprintf("%s|%s,%s", a.Name, p, q), a.syms)
 	out.AddStates(a.NumStates())
 	if a.start != None {
 		out.SetStart(a.start)
@@ -149,9 +162,9 @@ func (a *Automaton) Restrict(p, q string) *Automaton {
 		for _, f := range a.anno[s] {
 			out.Annotate(StateID(s), f)
 		}
-		for _, t := range a.trans[s] {
-			if t.Label.Between(p, q) {
-				out.AddTransition(StateID(s), t.Label, t.To)
+		for _, e := range a.trans[s] {
+			if keep[e.sym] {
+				out.addEdgeUnique(StateID(s), e.sym, e.to)
 			}
 		}
 	}

@@ -72,12 +72,15 @@ func (d Deviation) String() string {
 
 // Monitor replays a message log against the public processes of the
 // parties. It is a deterministic state tracker: every party occupies
-// one state of its determinized public process.
+// one state of its determinized public process; stepping goes through
+// a dense per-party step table (afsa.Stepper), so replaying a message
+// costs two table probes and allocates nothing.
 type Monitor struct {
-	names  []string
-	autos  map[string]*afsa.Automaton
-	states map[string]afsa.StateID
-	steps  int
+	names    []string
+	autos    map[string]*afsa.Automaton
+	steppers map[string]*afsa.Stepper
+	states   map[string]afsa.StateID
+	steps    int
 }
 
 // NewMonitor builds a monitor from public processes keyed by party.
@@ -85,7 +88,11 @@ func NewMonitor(parties map[string]*afsa.Automaton) (*Monitor, error) {
 	if len(parties) == 0 {
 		return nil, fmt.Errorf("conformance: no parties")
 	}
-	m := &Monitor{autos: map[string]*afsa.Automaton{}, states: map[string]afsa.StateID{}}
+	m := &Monitor{
+		autos:    map[string]*afsa.Automaton{},
+		steppers: map[string]*afsa.Stepper{},
+		states:   map[string]afsa.StateID{},
+	}
 	for name, a := range parties {
 		if a == nil {
 			return nil, fmt.Errorf("conformance: party %q has no automaton", name)
@@ -93,6 +100,7 @@ func NewMonitor(parties map[string]*afsa.Automaton) (*Monitor, error) {
 		d := a.Determinize()
 		d.Name = a.Name
 		m.autos[name] = d
+		m.steppers[name] = afsa.NewStepper(d)
 		m.states[name] = d.Start()
 		m.names = append(m.names, name)
 	}
@@ -127,30 +135,30 @@ func (m *Monitor) expectedAt(party string) []label.Label {
 // the monitor state is unchanged.
 func (m *Monitor) Step(l label.Label) *Deviation {
 	sender, receiver := l.Sender(), l.Receiver()
-	sa, okS := m.autos[sender]
+	ss, okS := m.steppers[sender]
 	if !okS {
 		return &Deviation{Step: m.steps, Label: l, Party: sender, Role: RoleUnknown}
 	}
-	ra, okR := m.autos[receiver]
+	rs, okR := m.steppers[receiver]
 	if !okR {
 		return &Deviation{Step: m.steps, Label: l, Party: receiver, Role: RoleUnknown}
 	}
-	sNext := sa.Step(m.states[sender], l)
-	if len(sNext) == 0 {
+	sNext := ss.Step(m.states[sender], l)
+	if sNext == afsa.None {
 		return &Deviation{
 			Step: m.steps, Label: l, Party: sender, Role: RoleSender,
 			Expected: m.expectedAt(sender),
 		}
 	}
-	rNext := ra.Step(m.states[receiver], l)
-	if len(rNext) == 0 {
+	rNext := rs.Step(m.states[receiver], l)
+	if rNext == afsa.None {
 		return &Deviation{
 			Step: m.steps, Label: l, Party: receiver, Role: RoleReceiver,
 			Expected: m.expectedAt(receiver),
 		}
 	}
-	m.states[sender] = sNext[0]
-	m.states[receiver] = rNext[0]
+	m.states[sender] = sNext
+	m.states[receiver] = rNext
 	m.steps++
 	return nil
 }

@@ -70,38 +70,39 @@ func (s Status) String() string {
 }
 
 // Checker classifies instances against one candidate schema. It holds
-// the determinized automaton and its viable-state set, computed once in
-// NewChecker; Check is then a lock-free trace replay, safe for
-// concurrent use.
+// the determinized automaton, a dense step table over its interned
+// alphabet (afsa.Stepper) and its viable-state set, all computed once
+// in NewChecker; Check is then a lock-free, allocation-free trace
+// replay, safe for concurrent use.
 type Checker struct {
-	d      *afsa.Automaton
+	step   *afsa.Stepper
 	viable []bool
 }
 
 // NewChecker prepares the compliance check against newPublic:
-// determinize once, compute the viable states once.
+// determinize once, build the step table once, compute the viable
+// states once.
 func NewChecker(newPublic *afsa.Automaton) (*Checker, error) {
 	d := newPublic.Determinize()
 	viable, err := d.ViableStates()
 	if err != nil {
 		return nil, err
 	}
-	return &Checker{d: d, viable: viable}, nil
+	return &Checker{step: afsa.NewStepper(d), viable: viable}, nil
 }
 
 // Check classifies one instance: replay the trace on the determinized
 // candidate and test viability of the reached state.
 func (c *Checker) Check(inst Instance) Status {
-	q := c.d.Start()
+	q := c.step.Start()
 	if q == afsa.None {
 		return NonReplayable
 	}
 	for _, l := range inst.Trace {
-		next := c.d.Step(q, l)
-		if len(next) == 0 {
+		q = c.step.Step(q, l)
+		if q == afsa.None {
 			return NonReplayable
 		}
-		q = next[0]
 	}
 	if !c.viable[q] {
 		return Unviable

@@ -1,0 +1,155 @@
+package label
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func TestInternerRoundTrip(t *testing.T) {
+	in := NewInterner()
+	labels := []Label{
+		MustParse("A#B#order"),
+		MustParse("B#A#confirm"),
+		MustParse("A#L#deliver"),
+	}
+	syms := make([]Symbol, len(labels))
+	for i, l := range labels {
+		syms[i] = in.Intern(l)
+	}
+	for i, l := range labels {
+		if got := in.LabelOf(syms[i]); got != l {
+			t.Fatalf("LabelOf(%d) = %q, want %q", syms[i], got, l)
+		}
+		if s, ok := in.Lookup(l); !ok || s != syms[i] {
+			t.Fatalf("Lookup(%q) = (%d,%t), want (%d,true)", l, s, ok, syms[i])
+		}
+	}
+	if in.Len() != len(labels)+1 { // +1 for ε
+		t.Fatalf("Len = %d, want %d", in.Len(), len(labels)+1)
+	}
+	if _, ok := in.Lookup(MustParse("X#Y#never")); ok {
+		t.Fatal("Lookup invented a symbol for an unseen label")
+	}
+}
+
+func TestInternerEpsilon(t *testing.T) {
+	in := NewInterner()
+	if got := in.Intern(Epsilon); got != SymEpsilon {
+		t.Fatalf("Intern(ε) = %d, want %d", got, SymEpsilon)
+	}
+	if got := in.LabelOf(SymEpsilon); got != Epsilon {
+		t.Fatalf("LabelOf(SymEpsilon) = %q, want ε", got)
+	}
+	if s, ok := in.Lookup(Epsilon); !ok || s != SymEpsilon {
+		t.Fatalf("Lookup(ε) = (%d,%t)", s, ok)
+	}
+	// ε stays at slot 0 no matter what is interned around it.
+	in.Intern(MustParse("A#B#x"))
+	if got := in.Intern(Epsilon); got != SymEpsilon {
+		t.Fatalf("ε moved to symbol %d", got)
+	}
+}
+
+// Symbols are assigned densely in first-sight order, and re-interning
+// a known label never reassigns it — the stability the per-snapshot
+// sharing in the store depends on.
+func TestInternerStableAssignment(t *testing.T) {
+	mk := func() (*Interner, []Symbol) {
+		in := NewInterner()
+		var syms []Symbol
+		for i := 0; i < 10; i++ {
+			syms = append(syms, in.Intern(MustParse(fmt.Sprintf("A#B#m%d", i))))
+		}
+		return in, syms
+	}
+	in1, syms1 := mk()
+	_, syms2 := mk()
+	for i := range syms1 {
+		if syms1[i] != syms2[i] {
+			t.Fatalf("symbol assignment not deterministic: %v vs %v", syms1, syms2)
+		}
+		if int(syms1[i]) != i+1 { // dense, after ε at 0
+			t.Fatalf("symbols not dense: %v", syms1)
+		}
+	}
+	for i := 9; i >= 0; i-- {
+		if got := in1.Intern(MustParse(fmt.Sprintf("A#B#m%d", i))); got != syms1[i] {
+			t.Fatalf("re-interning m%d moved it: %d → %d", i, syms1[i], got)
+		}
+	}
+}
+
+func TestInternerLabelsView(t *testing.T) {
+	in := NewInterner()
+	s := in.Intern(MustParse("A#B#x"))
+	view := in.Labels()
+	if view[s] != MustParse("A#B#x") {
+		t.Fatalf("Labels()[%d] = %q", s, view[s])
+	}
+	// The view taken before later growth keeps serving its prefix.
+	in.Intern(MustParse("A#B#y"))
+	if view[s] != MustParse("A#B#x") {
+		t.Fatal("old Labels() view corrupted by growth")
+	}
+}
+
+func TestInternerRanks(t *testing.T) {
+	in := NewInterner()
+	b := in.Intern(MustParse("B#A#x"))
+	a := in.Intern(MustParse("A#B#x"))
+	r := in.Ranks()
+	if len(r) != in.Len() {
+		t.Fatalf("Ranks len %d, want %d", len(r), in.Len())
+	}
+	if !(r[SymEpsilon] < r[a] && r[a] < r[b]) {
+		t.Fatalf("ranks out of lexicographic order: ε=%d a=%d b=%d", r[SymEpsilon], r[a], r[b])
+	}
+	// After growth the relative order still matches the label order.
+	c := in.Intern(MustParse("A#A#x"))
+	r2 := in.Ranks()
+	if !(r2[SymEpsilon] < r2[c] && r2[c] < r2[a] && r2[a] < r2[b]) {
+		t.Fatalf("ranks after growth: ε=%d c=%d a=%d b=%d", r2[SymEpsilon], r2[c], r2[a], r2[b])
+	}
+}
+
+// Concurrent interning of overlapping label sets must agree on one
+// symbol per label (run with -race in CI).
+func TestInternerConcurrent(t *testing.T) {
+	in := NewInterner()
+	const workers, labels = 8, 64
+	results := make([][]Symbol, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			out := make([]Symbol, labels)
+			for i := 0; i < labels; i++ {
+				// Workers intern in different orders to force races.
+				idx := (i*7 + w*13) % labels
+				out[idx] = in.Intern(MustParse(fmt.Sprintf("A#B#m%d", idx)))
+				in.Ranks() // exercise the cache rebuild against growth
+			}
+			results[w] = out
+		}()
+	}
+	wg.Wait()
+	for w := 1; w < workers; w++ {
+		for i := range results[w] {
+			if results[w][i] != results[0][i] {
+				t.Fatalf("worker %d disagrees on label %d: %d vs %d", w, i, results[w][i], results[0][i])
+			}
+		}
+	}
+	if in.Len() != labels+1 {
+		t.Fatalf("Len = %d, want %d", in.Len(), labels+1)
+	}
+	for i := 0; i < labels; i++ {
+		l := MustParse(fmt.Sprintf("A#B#m%d", i))
+		if got := in.LabelOf(results[0][i]); got != l {
+			t.Fatalf("round trip after concurrency: %q vs %q", got, l)
+		}
+	}
+}

@@ -85,15 +85,31 @@ func (l Label) Valid() bool {
 	return err == nil
 }
 
+// part returns the i-th of the (up to) three label parts without
+// allocating: the accessors run inside view generation and snapshot
+// alphabet scans, so they must not split into fresh slices.
 func (l Label) part(i int) string {
 	if l.IsEpsilon() {
 		return ""
 	}
-	parts := strings.SplitN(string(l), Sep, 3)
-	if len(parts) != 3 {
+	s := string(l)
+	a := strings.Index(s, Sep)
+	if a < 0 {
 		return ""
 	}
-	return parts[i]
+	b := strings.Index(s[a+1:], Sep)
+	if b < 0 {
+		return ""
+	}
+	b += a + 1
+	switch i {
+	case 0:
+		return s[:a]
+	case 1:
+		return s[a+1 : b]
+	default:
+		return s[b+1:]
+	}
 }
 
 // Sender returns the sending party, or "" for ε.

@@ -129,6 +129,11 @@ func (s *Store) evolveSnapshot(ctx context.Context, snap *Snapshot, party string
 	if err != nil {
 		return nil, fmt.Errorf("store: deriving changed public process: %w", err)
 	}
+	// Deliberately NOT reinterned into snap.syms here: what-if
+	// analyses run on the candidate's private interner (operators
+	// align symbol spaces on the fly), so rejected candidates never
+	// grow the choreography's shared, append-only symbol space. The
+	// commit path moves the public onto the shared interner.
 	evo := &Evolution{
 		Choreography:    snap.ID,
 		BaseVersion:     snap.Version,
@@ -233,8 +238,15 @@ func (s *Store) CommitEvolution(ctx context.Context, evo *Evolution) (*Snapshot,
 	next := cur.clone()
 	next.Version = cur.Version + 1
 	next.Registry = evo.Registry
+	// Move the committed public onto the choreography's shared
+	// interner (on a clone: the caller may still be reading the
+	// analyzed evolution concurrently), so the published party state
+	// shares the snapshot-wide symbol space. Only committed labels
+	// ever enter the shared interner.
+	pub := evo.NewPublic.Clone()
+	pub.Reintern(next.syms)
 	next.parties[evo.Party] = newPartyState(evo.NewPrivate,
-		&mapping.Result{Automaton: evo.NewPublic, Table: evo.NewTable}, old.Version+1)
+		&mapping.Result{Automaton: pub, Table: evo.NewTable}, old.Version+1)
 	next.computePairs()
 	e.snap.Store(next)
 	s.commits.Add(1)

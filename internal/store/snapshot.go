@@ -100,6 +100,15 @@ type Snapshot struct {
 	// current private processes plus the choreography's sync markers.
 	Registry *wsdl.Registry
 
+	// syms is the choreography's shared label interner: every party
+	// public registered into any snapshot of this choreography is
+	// reinterned into it at commit time, so bilateral views, pair
+	// intersections and migration checkers across all parties agree on
+	// label symbols and never re-hash label strings. The interner is
+	// append-only and safe for concurrent use; snapshots of one
+	// choreography share a single instance across versions.
+	syms *label.Interner
+
 	syncOps []string
 	parties map[string]*PartyState
 	order   []string
@@ -231,6 +240,7 @@ func (s *Snapshot) clone() *Snapshot {
 		ID:       s.ID,
 		Version:  s.Version,
 		Registry: s.Registry,
+		syms:     s.syms,
 		syncOps:  append([]string(nil), s.syncOps...),
 		parties:  parties,
 		order:    append([]string(nil), s.order...),

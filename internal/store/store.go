@@ -73,6 +73,7 @@ import (
 
 	"repro/internal/afsa"
 	"repro/internal/bpel"
+	"repro/internal/label"
 	"repro/internal/mapping"
 	"repro/internal/migrate"
 )
@@ -245,6 +246,7 @@ func (s *Store) Create(ctx context.Context, id string, syncOps []string) error {
 	}
 	e.snap.Store(&Snapshot{
 		ID:      id,
+		syms:    label.NewInterner(),
 		syncOps: append([]string(nil), syncOps...),
 		parties: map[string]*PartyState{},
 	})
@@ -437,6 +439,10 @@ func (s *Store) rebuildAll(ctx context.Context, cur *Snapshot, procs []*bpel.Pro
 		if err != nil {
 			return nil, fmt.Errorf("store: deriving %q: %w", p.Owner, err)
 		}
+		// Move the freshly derived public onto the choreography's
+		// shared interner: views and pair products across parties then
+		// work on one symbol space without re-hashing labels.
+		res.Automaton.Reintern(next.syms)
 		var partyVersion uint64 = 1
 		if old, ok := cur.parties[p.Owner]; ok {
 			partyVersion = old.Version + 1
