@@ -15,6 +15,7 @@ import (
 	"testing"
 
 	"repro/internal/afsa"
+	"repro/internal/bpel"
 	"repro/internal/decentral"
 	"repro/internal/discovery"
 	"repro/internal/gen"
@@ -852,5 +853,59 @@ func BenchmarkChoreodHTTPCheck(b *testing.B) {
 				b.Fatal("paper scenario inconsistent")
 			}
 		}
+	})
+}
+
+// ---- journal overhead on the commit path ----
+
+// benchCommitLoop registers the paper scenario into st and then
+// times repeated UpdateParty commits of the accounting process — the
+// full commit path (registry inference, public derivation, snapshot
+// publication) with whatever durability st was built with.
+func benchCommitLoop(b *testing.B, st *store.Store) {
+	b.Helper()
+	const id = "procurement"
+	if err := st.Create(benchCtx, id, []string{"L.getStatusLOp"}); err != nil {
+		b.Fatal(err)
+	}
+	if _, err := st.PutParties(benchCtx, id, []*bpel.Process{
+		paperrepro.BuyerProcess(), paperrepro.AccountingProcess(), paperrepro.LogisticsProcess(),
+	}, nil); err != nil {
+		b.Fatal(err)
+	}
+	acct := paperrepro.AccountingProcess()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := st.UpdateParty(benchCtx, id, acct, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkScenarioCommitJournal measures what the write-ahead
+// journal adds to the ScenarioConsistency commit path: the same
+// UpdateParty loop against an in-memory store, a journaled store, and
+// a journaled store with per-append fsync. The mem/wal delta is the
+// append overhead recorded in BENCH_afsa.json.
+func BenchmarkScenarioCommitJournal(b *testing.B) {
+	b.Run("mem", func(b *testing.B) {
+		benchCommitLoop(b, store.New())
+	})
+	b.Run("wal", func(b *testing.B) {
+		st, err := store.Open(store.WithJournal(b.TempDir()))
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer st.Close()
+		benchCommitLoop(b, st)
+	})
+	b.Run("wal-fsync", func(b *testing.B) {
+		st, err := store.Open(store.WithJournal(b.TempDir()), store.WithJournalFsync())
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer st.Close()
+		benchCommitLoop(b, st)
 	})
 }

@@ -9,8 +9,10 @@
 //	                                              plan the propagation and print suggestions
 //	choreoctl simulate -in a.xml -in b.xml ... [-walks n]
 //	                                              execute the choreography
-//	choreoctl serve    [-addr :8080] [-shards n] [-cachecap n]
-//	                                              run the choreod HTTP service
+//	choreoctl serve    [-addr :8080] [-shards n] [-cachecap n] [-data dir] [-fsync]
+//	                                              run the choreod HTTP service; -data makes
+//	                                              it durable (journal + recovery + graceful
+//	                                              SIGTERM checkpoint)
 //	choreoctl register -addr URL -chor ID -in a.xml [-in b.xml ...]
 //	                                              batch-register parties on a running service
 //	choreoctl evolve   -addr URL -chor ID -party P (-new new.xml | -op SPEC ...) [-commit]
@@ -36,7 +38,9 @@ import (
 	"log"
 	"net/http"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 	"time"
 
 	choreo "repro"
@@ -95,6 +99,7 @@ commands:
   simulate   execute a choreography (exhaustive + random walks)
   serve      run the choreod HTTP service
              [-addr :8080] [-shards 16] [-cachecap n, 0 = unbounded cache]
+             [-data dir, journal + recovery; empty = in-memory] [-fsync]
   register   batch-register parties on a running choreod (/v2/)
              [-addr http://localhost:8080] [-timeout 30s, 0 = none]
   evolve     submit a change transaction to a running choreod (/v2/)
@@ -352,18 +357,63 @@ func runPropagate(args []string) error {
 
 // runServe starts the choreod HTTP service: a sharded, cache-aware
 // choreography store behind the JSON API of internal/server (/v2/
-// plus the /v1/ compatibility shim).
+// plus the /v1/ compatibility shim). With -data the store is durable:
+// state is recovered from the journal directory on boot, every
+// mutation is written ahead to it, and a graceful shutdown (SIGTERM
+// or interrupt) drains in-flight requests, checkpoints and closes the
+// journal. Without -data the store is in-memory, as before.
 func runServe(args []string) error {
 	fs := flag.NewFlagSet("serve", flag.ExitOnError)
 	addr := fs.String("addr", ":8080", "listen address")
 	shards := fs.Int("shards", 0, "store shard count (0 = default)")
 	cacheCap := fs.Int("cachecap", 0, "per-choreography consistency-cache entries (0 = unbounded)")
+	data := fs.String("data", "", "journal directory: recover on boot, write-ahead every mutation, checkpoint on shutdown (empty = in-memory)")
+	fsync := fs.Bool("fsync", false, "with -data: fsync the journal on every append")
 	fs.Parse(args)
-	st := choreo.NewChoreographyStore(
-		choreo.WithStoreShards(*shards), choreo.WithStoreCacheCap(*cacheCap))
+	opts := []choreo.StoreOption{
+		choreo.WithStoreShards(*shards), choreo.WithStoreCacheCap(*cacheCap),
+	}
+	if *data != "" {
+		opts = append(opts, choreo.WithStoreJournal(*data))
+		if *fsync {
+			opts = append(opts, choreo.WithStoreJournalFsync())
+		}
+	}
+	st, err := choreo.OpenChoreographyStore(opts...)
+	if err != nil {
+		return err
+	}
 	srv := choreo.NewChoreoServer(st)
-	log.Printf("choreod listening on %s", *addr)
-	return http.ListenAndServe(*addr, srv.Handler())
+	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
+	if *data == "" {
+		log.Printf("choreod listening on %s (in-memory)", *addr)
+		return httpSrv.ListenAndServe()
+	}
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, syscall.SIGTERM, os.Interrupt)
+	defer signal.Stop(stop)
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.ListenAndServe() }()
+	log.Printf("choreod listening on %s (journal: %s)", *addr, *data)
+	select {
+	case err := <-errc:
+		st.Close()
+		return err
+	case sig := <-stop:
+		log.Printf("choreod: %v: draining, checkpointing, closing journal", sig)
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := httpSrv.Shutdown(shutdownCtx); err != nil {
+			log.Printf("choreod: shutdown: %v", err)
+		}
+		if info, err := st.Checkpoint(shutdownCtx); err != nil {
+			// Not fatal: the journal is intact, the next boot replays it.
+			log.Printf("choreod: checkpoint failed (recovery will replay the log): %v", err)
+		} else {
+			log.Printf("choreod: checkpointed %d bytes at LSN %d", info.Bytes, info.LSN)
+		}
+		return st.Close()
+	}
 }
 
 // remoteContext builds the request context for the remote subcommands;

@@ -96,6 +96,17 @@
 // for the wire types and docs/api.md for the full wire reference with
 // curl examples and the v1→v2 migration table.
 //
+// The store is durable on request: OpenChoreographyStore with
+// WithStoreJournal(dir) write-ahead logs every store mutation into
+// dir and recovers the previous state (snapshot + log tail, torn
+// tails truncated) on open, re-deriving all automata into one shared
+// symbol space per choreography. Server-layer ephemera — discovery
+// publications, pending evolve analyses — are not journaled.
+// Checkpoint compacts the log — online via POST /v2/admin/checkpoint
+// (ChoreoClient.Checkpoint), or on SIGTERM when serving with
+// "choreoctl serve -data dir". See docs/persistence.md for file
+// formats and recovery semantics.
+//
 // # Bulk instance migration
 //
 // After a change is committed, every in-flight conversation must be

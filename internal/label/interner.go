@@ -104,6 +104,26 @@ func (in *Interner) Labels() []Label {
 // rank[s2] iff label(s1) < label(s2)); that relation is stable across
 // interner growth even though the absolute values shift, so an
 // operator may keep using the slice it fetched.
+//
+// Concurrency audit (the len(ranks) == len(labels) validity check):
+//
+//   - Both ranks and labels are only written under the write lock
+//     (Intern appends to labels; Ranks installs a freshly built ranks
+//     slice), so the two lengths read under either lock are a
+//     consistent pair — the check can never observe a torn update.
+//   - A recompute never mutates the previously published slice; it
+//     builds a new one and swaps the field. A caller holding a stale
+//     slice therefore sees stable values forever, and the documented
+//     relative-order guarantee keeps those values meaningful.
+//   - Equal lengths imply validity: labels is append-only, so
+//     len(ranks) == len(labels) means no Intern has completed since
+//     the cached ranks were computed over exactly those labels. An
+//     Intern completing right after the check (racing reader) is
+//     indistinguishable from the reader fetching Ranks first — the
+//     caller got a slice that was valid at fetch time, which is all
+//     the contract promises.
+//
+// Pinned by TestRanksConcurrentWithIntern under -race.
 func (in *Interner) Ranks() []int32 {
 	in.mu.RLock()
 	if len(in.ranks) == len(in.labels) {

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sync"
 	"testing"
+	"time"
 )
 
 func TestInternerRoundTrip(t *testing.T) {
@@ -151,5 +152,97 @@ func TestInternerConcurrent(t *testing.T) {
 		if got := in.LabelOf(results[0][i]); got != l {
 			t.Fatalf("round trip after concurrency: %q vs %q", got, l)
 		}
+	}
+}
+
+// TestRanksConcurrentWithIntern hammers Ranks from several readers
+// while writers keep interning fresh labels (run under -race in CI).
+// Every fetched slice must be internally valid for the label prefix
+// it was computed over: a bijection onto [0, len), ordering symbols
+// exactly as their labels order lexicographically.
+func TestRanksConcurrentWithIntern(t *testing.T) {
+	in := NewInterner()
+	const (
+		writers   = 4
+		readers   = 4
+		perWriter = 300
+	)
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				in.Intern(MustParse(fmt.Sprintf("P%d#Q#op%04d", w, i)))
+			}
+		}(w)
+	}
+	errc := make(chan error, readers)
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				ranks := in.Ranks()
+				// Labels() is append-only: its prefix of len(ranks)
+				// entries is exactly the label set ranks was built over.
+				all := in.Labels()
+				if len(all) < len(ranks) {
+					errc <- fmt.Errorf("ranks longer than label table: %d > %d", len(ranks), len(all))
+					return
+				}
+				seen := make([]bool, len(ranks))
+				for s, rk := range ranks {
+					if rk < 0 || int(rk) >= len(ranks) || seen[rk] {
+						errc <- fmt.Errorf("ranks not a bijection: rank[%d] = %d", s, rk)
+						return
+					}
+					seen[rk] = true
+				}
+				// Spot-check the order relation on a stride of pairs.
+				for i := 1; i < len(ranks); i += 7 {
+					a, b := Symbol(i-1), Symbol(i)
+					if (ranks[a] < ranks[b]) != (all[a] < all[b]) {
+						errc <- fmt.Errorf("rank order disagrees with label order at %d/%d", a, b)
+						return
+					}
+				}
+			}
+		}()
+	}
+	done := make(chan struct{})
+	go func() {
+		wg.Wait()
+		close(done)
+	}()
+	// Writers finish on their own (observable through the interner
+	// size); readers spin until told to stop.
+	deadline := time.After(10 * time.Second)
+	for in.Len() < writers*perWriter+1 {
+		select {
+		case err := <-errc:
+			t.Fatal(err)
+		case <-deadline:
+			t.Fatalf("writers stalled at %d labels", in.Len())
+		default:
+		}
+	}
+	close(stop)
+	<-done
+	select {
+	case err := <-errc:
+		t.Fatal(err)
+	default:
+	}
+	// One final validation on the settled interner.
+	ranks := in.Ranks()
+	if len(ranks) != in.Len() {
+		t.Fatalf("settled ranks cover %d of %d labels", len(ranks), in.Len())
 	}
 }

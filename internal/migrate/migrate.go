@@ -164,6 +164,13 @@ type Job struct {
 	Choreography  string
 	TargetVersion uint64
 
+	// Observer, when non-nil, is invoked right before each committed
+	// shard folds into the job — the store's journaling hook. It must
+	// be set before the first Run/RunAsync and is called without the
+	// job lock held, so it may take locks of its own; folds of
+	// different shards may invoke it concurrently.
+	Observer func(shard int, c Counts, stranded []Stranded)
+
 	mu       sync.Mutex
 	status   Status
 	errMsg   string
@@ -188,6 +195,68 @@ func NewJob(id, choreography string, targetVersion uint64, shards int) *Job {
 		status:        StatusRunning,
 		done:          make([]bool, shards),
 	}
+}
+
+// JobState is the serializable checkpoint of a Job: everything needed
+// to reconstruct its observable state after a restart. It carries no
+// runner-role fields — a persisted job is, by definition, not being
+// swept.
+type JobState struct {
+	ID            string     `json:"id"`
+	Choreography  string     `json:"choreography"`
+	TargetVersion uint64     `json:"targetVersion"`
+	Status        Status     `json:"status"`
+	Err           string     `json:"error,omitempty"`
+	Done          []bool     `json:"done"`
+	Counts        Counts     `json:"counts"`
+	Stranded      []Stranded `json:"stranded,omitempty"`
+}
+
+// State returns a consistent serializable checkpoint of the job.
+func (j *Job) State() JobState {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return JobState{
+		ID:            j.ID,
+		Choreography:  j.Choreography,
+		TargetVersion: j.TargetVersion,
+		Status:        j.status,
+		Err:           j.errMsg,
+		Done:          append([]bool(nil), j.done...),
+		Counts:        j.counts,
+		Stranded:      append([]Stranded(nil), j.stranded...),
+	}
+}
+
+// RestoreJob reconstructs a job from a persisted state. The restored
+// status is settled for a world where no sweep survives a restart: a
+// job whose shards are all committed is Done; one persisted while
+// running (or mid-resume) comes back Canceled — terminal but
+// resumable, exactly like a sweep stopped by Cancel; Canceled and
+// Failed states persist as they were.
+func RestoreJob(st JobState) *Job {
+	j := &Job{
+		ID:            st.ID,
+		Choreography:  st.Choreography,
+		TargetVersion: st.TargetVersion,
+		status:        st.Status,
+		errMsg:        st.Err,
+		done:          append([]bool(nil), st.Done...),
+		counts:        st.Counts,
+		stranded:      append([]Stranded(nil), st.Stranded...),
+	}
+	for _, d := range j.done {
+		if d {
+			j.doneN++
+		}
+	}
+	switch {
+	case j.doneN == len(j.done):
+		j.status, j.errMsg = StatusDone, ""
+	case j.status == StatusRunning:
+		j.status = StatusCanceled
+	}
+	return j
 }
 
 // Snapshot returns a consistent copy of the job's progress.
@@ -308,8 +377,22 @@ func (j *Job) pending() []int {
 	return out
 }
 
-// shardDone folds one committed shard into the job.
+// shardDone folds one committed shard into the job, notifying the
+// Observer first (outside the job lock: the observer journals the
+// fold and must not be able to deadlock against readers of the job).
 func (j *Job) shardDone(shard int, c Counts, stranded []Stranded) {
+	if j.Observer != nil {
+		j.Observer(shard, c, stranded)
+	}
+	j.FoldShard(shard, c, stranded)
+}
+
+// FoldShard folds one committed shard's results into the job. It is
+// idempotent per shard — folding an already-committed shard is a
+// no-op — which is what lets crash recovery replay journaled folds
+// without double counting. Normal sweeps go through shardDone; call
+// FoldShard directly only when reconstructing a job.
+func (j *Job) FoldShard(shard int, c Counts, stranded []Stranded) {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	if j.done[shard] {
@@ -320,6 +403,12 @@ func (j *Job) shardDone(shard int, c Counts, stranded []Stranded) {
 	j.counts.add(c)
 	j.stranded = append(j.stranded, stranded...)
 	j.sorted = nil
+	if j.doneN == len(j.done) {
+		// Every shard committed: the job is Done no matter how the
+		// folds arrived (a live sweep's finish would settle the same
+		// way; recovery replaying folds has no finish to rely on).
+		j.status, j.errMsg = StatusDone, ""
+	}
 }
 
 // finish releases the runner role and settles the terminal status.

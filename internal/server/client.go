@@ -27,7 +27,15 @@ type Client struct {
 
 // maxResponseBytes caps how much of a response body the client reads —
 // a misbehaving server cannot make the client buffer unbounded data.
+// A response that hits the cap fails with ErrResponseTooLarge instead
+// of surfacing as an opaque JSON decode error on the truncated body.
 const maxResponseBytes = 8 << 20
+
+// ErrResponseTooLarge reports a response body that exceeded the
+// client's maxResponseBytes cap. The decode failure it would
+// otherwise masquerade as is attached as context; test with
+// errors.Is.
+var ErrResponseTooLarge = errors.New("server: response exceeds client limit")
 
 // NewClient returns a client for the service at base (e.g.
 // "http://localhost:8080"). httpClient may be nil for
@@ -100,7 +108,10 @@ func (c *Client) do(ctx context.Context, method, path string, ifMatch *uint64, i
 		_, _ = io.Copy(io.Discard, io.LimitReader(resp.Body, maxResponseBytes))
 		resp.Body.Close()
 	}()
-	limited := io.LimitReader(resp.Body, maxResponseBytes)
+	// One extra byte past the cap distinguishes "body is exactly the
+	// cap" from "body was truncated at the cap": only a decode that
+	// consumed the sentinel byte can have been cut short.
+	limited := &io.LimitedReader{R: resp.Body, N: maxResponseBytes + 1}
 	if etag := strings.Trim(resp.Header.Get("ETag"), `"`); etag != "" {
 		version, _ = strconv.ParseUint(etag, 10, 64)
 	}
@@ -115,7 +126,25 @@ func (c *Client) do(ctx context.Context, method, path string, ifMatch *uint64, i
 	if out == nil {
 		return version, nil
 	}
-	return version, json.NewDecoder(limited).Decode(out)
+	if derr := json.NewDecoder(limited).Decode(out); derr != nil {
+		if limited.N <= 0 {
+			return version, fmt.Errorf("%w (%d bytes): %v", ErrResponseTooLarge, maxResponseBytes, derr)
+		}
+		return version, derr
+	}
+	return version, nil
+}
+
+// Checkpoint compacts the server's journal online
+// (POST /v2/admin/checkpoint): the store state is snapshotted and the
+// write-ahead log truncated. It fails with CodeInvalidArgument
+// against a server running on an in-memory store.
+func (c *Client) Checkpoint(ctx context.Context) (*CheckpointResponse, error) {
+	var out CheckpointResponse
+	if _, err := c.do(ctx, "POST", "/v2/admin/checkpoint", nil, struct{}{}, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
 }
 
 // ---- choreographies ----

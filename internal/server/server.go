@@ -33,8 +33,13 @@
 //	POST   /v2/discovery/publish                              {name, choreography, party}
 //	POST   /v2/discovery/match                                {choreography, party, matcher, limit, pageToken}
 //	GET    /v2/discovery/services?limit=&page_token=
+//	POST   /v2/admin/checkpoint                               compact the journal (durable stores)
 //	GET    /v2/stats
 //	GET    /healthz
+//
+// Pagination is uniform: limit above the server-side maximum page
+// size (1000) is clamped, limit omitted or 0 picks the default, and
+// page_token continues where the previous page stopped.
 //
 // Optimistic concurrency travels in headers: responses describing a
 // snapshot carry its version as a strong ETag, and writes accept
@@ -362,8 +367,11 @@ func migrationJSONPage(job *migrate.Job, limit int, pageToken string) (Migration
 	if err != nil {
 		return out, err
 	}
-	if limit <= 0 || limit > defaultPageLimit {
+	if limit <= 0 {
 		limit = defaultPageLimit
+	}
+	if limit > maxPageLimit {
+		limit = maxPageLimit
 	}
 	start := 0
 	if cursor != "" {

@@ -42,6 +42,7 @@ func (s *Server) routesV2(mux *http.ServeMux) {
 	mux.HandleFunc("POST /v2/discovery/publish", s.v2Publish)
 	mux.HandleFunc("POST /v2/discovery/match", s.v2Match)
 	mux.HandleFunc("GET /v2/discovery/services", s.v2Services)
+	mux.HandleFunc("POST /v2/admin/checkpoint", s.v2Checkpoint)
 }
 
 // evolveResponseV2 renders an analysis in the v2 shape; the base
@@ -533,17 +534,42 @@ func (s *Server) v2GetMigration(w http.ResponseWriter, r *http.Request) {
 // The handler waits briefly for the runner to settle so the response
 // normally shows the terminal state; a response still saying
 // "running" means the workers are draining — poll the job.
+//
+// A cancel that reached the server takes effect even when the request
+// context is already done (client gone, deadline blown): the intent
+// was expressed, and dropping it would leak a sweep the caller
+// believes stopped. The settle wait, on the other hand, strictly
+// honors the request context — a dead request never sleeps out the
+// settle window.
 func (s *Server) v2CancelMigration(w http.ResponseWriter, r *http.Request) {
-	job, err := s.store.MigrationJob(r.Context(), r.PathValue("id"), r.PathValue("job"))
+	job, err := s.store.MigrationJob(context.WithoutCancel(r.Context()), r.PathValue("id"), r.PathValue("job"))
 	if err != nil {
 		writeErrorV2(w, err)
 		return
 	}
 	job.Cancel()
+	if r.Context().Err() != nil {
+		// Nobody is waiting for the settled state; answer immediately.
+		writeJSON(w, http.StatusOK, migrationView(job.Snapshot()))
+		return
+	}
 	settle, cancel := context.WithTimeout(r.Context(), cancelSettleTimeout)
 	defer cancel()
 	v, _ := job.Wait(settle)
 	writeJSON(w, http.StatusOK, migrationView(v))
+}
+
+// v2Checkpoint compacts the store's journal online: the full state is
+// serialized into the snapshot file and the write-ahead log is
+// truncated (see docs/persistence.md). On an in-memory store it fails
+// with invalid_argument.
+func (s *Server) v2Checkpoint(w http.ResponseWriter, r *http.Request) {
+	info, err := s.store.Checkpoint(r.Context())
+	if err != nil {
+		writeErrorV2(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, CheckpointResponse{LSN: info.LSN, SnapshotBytes: info.Bytes})
 }
 
 // cancelSettleTimeout bounds how long a cancel waits for the sweep's

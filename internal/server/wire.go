@@ -351,6 +351,15 @@ type MigrationListResponse struct {
 	NextPageToken string             `json:"nextPageToken,omitempty"`
 }
 
+// CheckpointResponse acknowledges a journal compaction
+// (POST /v2/admin/checkpoint).
+type CheckpointResponse struct {
+	// LSN is the last journaled mutation the new snapshot covers.
+	LSN uint64 `json:"lsn"`
+	// SnapshotBytes is the size of the snapshot that was written.
+	SnapshotBytes int `json:"snapshotBytes"`
+}
+
 // ---- error mapping ----
 
 var (
@@ -456,9 +465,16 @@ func staleVersion(want, current uint64) error {
 
 // ---- cursor pagination ----
 
-// defaultPageLimit caps unpaginated /v2/ listings so a single request
-// cannot serialize an unbounded tenant population.
-const defaultPageLimit = 1000
+// maxPageLimit is the server-side maximum page size of every
+// paginated /v2/ route (query-parameter and body limits alike): a
+// larger client-supplied limit is clamped, never honored, so a single
+// request cannot serialize an unbounded tenant population. Documented
+// in docs/api.md — change both together.
+const maxPageLimit = 1000
+
+// defaultPageLimit is the page size when the client sends no limit
+// (or 0).
+const defaultPageLimit = maxPageLimit
 
 func encodePageToken(last string) string {
 	return base64.RawURLEncoding.EncodeToString([]byte(last))
@@ -483,8 +499,11 @@ func paginate(sorted []string, limit int, pageToken string) (page []string, next
 	if err != nil {
 		return nil, "", err
 	}
-	if limit <= 0 || limit > defaultPageLimit {
+	if limit <= 0 {
 		limit = defaultPageLimit
+	}
+	if limit > maxPageLimit {
+		limit = maxPageLimit
 	}
 	start := 0
 	if cursor != "" {
@@ -500,13 +519,18 @@ func paginate(sorted []string, limit int, pageToken string) (page []string, next
 	return sorted[start:end], encodePageToken(sorted[end-1]), nil
 }
 
-// pageQuery reads the limit/page_token query parameters.
+// pageQuery reads the limit/page_token query parameters, clamping
+// limit to maxPageLimit — an arbitrarily large value must never reach
+// a pagination loop or allocation site.
 func pageQuery(r *http.Request) (limit int, token string, err error) {
 	token = r.URL.Query().Get("page_token")
 	if raw := r.URL.Query().Get("limit"); raw != "" {
 		limit, err = strconv.Atoi(raw)
 		if err != nil || limit < 0 {
 			return 0, "", badRequest("malformed limit %q", raw)
+		}
+		if limit > maxPageLimit {
+			limit = maxPageLimit
 		}
 	}
 	return limit, token, nil

@@ -248,7 +248,9 @@ func (s *Store) CommitEvolution(ctx context.Context, evo *Evolution) (*Snapshot,
 	next.parties[evo.Party] = newPartyState(evo.NewPrivate,
 		&mapping.Result{Automaton: pub, Table: evo.NewTable}, old.Version+1)
 	next.computePairs()
-	e.snap.Store(next)
+	if err := s.publish(e, next, []*bpel.Process{evo.NewPrivate}); err != nil {
+		return nil, err
+	}
 	s.commits.Add(1)
 	s.invalidatePairs(e, evo.Party)
 	return next, nil
@@ -294,7 +296,9 @@ func (s *Store) ApplyOps(ctx context.Context, id, partner string, ops []change.O
 	if err != nil {
 		return nil, err
 	}
-	e.snap.Store(next)
+	if err := s.publish(e, next, []*bpel.Process{p}); err != nil {
+		return nil, err
+	}
 	s.commits.Add(1)
 	s.invalidatePairs(e, partner)
 	return next, nil

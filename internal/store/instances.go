@@ -97,8 +97,7 @@ func (s *Store) AddInstances(ctx context.Context, id, party string, insts []inst
 	if _, ok := snap.parties[party]; !ok {
 		return fmt.Errorf("%w: party %q in choreography %q", ErrNotFound, party, id)
 	}
-	e.addInstances(party, insts, snap.Version)
-	return nil
+	return s.recordInstances(e, party, insts, snap.Version)
 }
 
 // SampleInstances draws n seeded random-walk instances of party's
@@ -117,7 +116,9 @@ func (s *Store) SampleInstances(ctx context.Context, id, party string, seed int6
 		return nil, fmt.Errorf("%w: party %q in choreography %q", ErrNotFound, party, id)
 	}
 	insts := instance.SampleInstances(ps.Public, seed, n, maxLen)
-	e.addInstances(party, insts, snap.Version)
+	if err := s.recordInstances(e, party, insts, snap.Version); err != nil {
+		return nil, err
+	}
 	return insts, nil
 }
 
@@ -203,8 +204,10 @@ func (s *Store) Migrate(ctx context.Context, id, party string, candidate *afsa.A
 const maxMigrationJobs = 256
 
 // instanceSource adapts one entry's instance shards to the engine's
-// Source interface, tagging committed migrations with target.
+// Source interface, tagging committed migrations with target (and
+// journaling the tag advances when st is durable).
 type instanceSource struct {
+	st     *Store
 	e      *entry
 	target uint64
 }
@@ -236,6 +239,17 @@ func (src *instanceSource) Commit(ctx context.Context, shard int, migrated []mig
 	if err := ctxErr(ctx); err != nil {
 		return err
 	}
+	if src.st.jnl != nil {
+		rec := recMigTags{ID: src.e.id, Target: src.target, Shard: shard, Refs: make([]tagRef, 0, len(migrated))}
+		for _, it := range migrated {
+			rec.Refs = append(rec.Refs, tagRef{Party: it.Party, Ref: it.Ref})
+		}
+		unlock := src.st.persistRLock()
+		defer unlock()
+		if err := src.st.appendWAL(&walRecord{MigTags: &rec}); err != nil {
+			return err
+		}
+	}
 	sh := &src.e.inst[shard]
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
@@ -266,15 +280,25 @@ func (s *Store) prepareMigration(id string, workers int) (*migrate.Job, *migrate
 	}
 	snap := e.snap.Load()
 	jobID := migrationJobID(id, snap.Version)
+	unlock := s.persistRLock()
 	s.migMu.Lock()
 	job, ok := s.migs[jobID]
 	if !ok {
+		if err := s.appendWAL(&walRecord{MigJob: &recMigJob{
+			Job: jobID, ID: id, Version: snap.Version, Shards: instShardCount,
+		}}); err != nil {
+			s.migMu.Unlock()
+			unlock()
+			return nil, nil, nil, nil, err
+		}
 		job = migrate.NewJob(jobID, id, snap.Version, instShardCount)
+		job.Observer = s.shardObserver(jobID)
 		s.migs[jobID] = job
 		s.migOrder = append(s.migOrder, jobID)
 		s.evictMigrationJobsLocked()
 	}
 	s.migMu.Unlock()
+	unlock()
 
 	// The classifier closes over the snapshot the job targets: party
 	// states are immutable, so the memoized compliance checkers
@@ -292,7 +316,7 @@ func (s *Store) prepareMigration(id string, workers int) (*migrate.Job, *migrate
 		return chk.Check(inst), nil
 	}
 	eng := &migrate.Engine{Workers: workers}
-	return job, eng, &instanceSource{e: e, target: snap.Version}, classify, nil
+	return job, eng, &instanceSource{st: s, e: e, target: snap.Version}, classify, nil
 }
 
 // evictMigrationJobsLocked drops the oldest terminal jobs past the

@@ -333,7 +333,7 @@ func TestCommitNeverDowngradesSchema(t *testing.T) {
 	}
 	// A stale source, as held by a sweep started before the last
 	// commit, re-commits every instance of every shard.
-	stale := &instanceSource{e: e, target: snap.Version - 1}
+	stale := &instanceSource{st: s, e: e, target: snap.Version - 1}
 	for shard := 0; shard < stale.Shards(); shard++ {
 		items, err := stale.Load(ctx, shard)
 		if err != nil {
@@ -357,5 +357,97 @@ func TestCommitNeverDowngradesSchema(t *testing.T) {
 	}
 	if want := s.migs[migrationJobID(id, snap.Version)].Snapshot().Migratable; moved != want {
 		t.Fatalf("stale commit downgraded tags: %d at current version, want %d", moved, want)
+	}
+}
+
+// blockingSource parks every Load until released — a sweep that stays
+// genuinely running for as long as a test needs it to.
+type blockingSource struct{ release chan struct{} }
+
+func (b blockingSource) Shards() int { return 1 }
+
+func (b blockingSource) Load(ctx context.Context, shard int) ([]migrate.Item, error) {
+	select {
+	case <-b.release:
+		return nil, nil
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+func (b blockingSource) Commit(context.Context, int, []migrate.Item) error { return nil }
+
+// TestRetentionNeverEvictsRunningJobs is the regression test for the
+// migration-job retention bound: with the job table far past
+// maxMigrationJobs, eviction must drop only terminal jobs — a job
+// whose sweep is still in flight stays, even when it is the oldest
+// entry in the table.
+func TestRetentionNeverEvictsRunningJobs(t *testing.T) {
+	s := New()
+	release := make(chan struct{})
+	classify := func(string, instance.Instance) (instance.Status, error) {
+		return instance.Migratable, nil
+	}
+	eng := &migrate.Engine{Workers: 1}
+	var running []*migrate.Job
+	// The running jobs are the OLDEST entries: eviction walks the
+	// table in creation order, so any bug that drops the oldest job
+	// unconditionally hits them first.
+	for i := 0; i < 5; i++ {
+		job := migrate.NewJob(fmt.Sprintf("mig-run-%d", i), "c", 1, 1)
+		eng.RunAsync(job, blockingSource{release: release}, classify)
+		s.migs[job.ID] = job
+		s.migOrder = append(s.migOrder, job.ID)
+		running = append(running, job)
+	}
+	for i := 0; i < 2*maxMigrationJobs; i++ {
+		job := migrate.RestoreJob(migrate.JobState{
+			ID: fmt.Sprintf("mig-done-%03d", i), Choreography: "c",
+			Status: migrate.StatusCanceled, Done: make([]bool, 1),
+		})
+		s.migs[job.ID] = job
+		s.migOrder = append(s.migOrder, job.ID)
+	}
+	s.migMu.Lock()
+	s.evictMigrationJobsLocked()
+	kept := len(s.migOrder)
+	s.migMu.Unlock()
+	if kept != maxMigrationJobs {
+		t.Fatalf("retained %d jobs, want %d", kept, maxMigrationJobs)
+	}
+	s.migMu.Lock()
+	for _, job := range running {
+		if _, ok := s.migs[job.ID]; !ok {
+			t.Errorf("running job %s was evicted", job.ID)
+		}
+	}
+	s.migMu.Unlock()
+	close(release)
+	for _, job := range running {
+		if v, err := job.Wait(ctx); err != nil || v.Status != migrate.StatusDone {
+			t.Fatalf("job %s did not finish cleanly: %v %v", job.ID, v.Status, err)
+		}
+	}
+}
+
+// TestRetentionKeepsEverythingWhenAllRunning pins the overflow
+// behavior when nothing is evictable: the bound yields rather than
+// dropping live jobs.
+func TestRetentionKeepsEverythingWhenAllRunning(t *testing.T) {
+	s := New()
+	n := maxMigrationJobs + 10
+	for i := 0; i < n; i++ {
+		// A fresh job is StatusRunning until its first sweep settles —
+		// not terminal, therefore not evictable.
+		job := migrate.NewJob(fmt.Sprintf("mig-%03d", i), "c", 1, 1)
+		s.migs[job.ID] = job
+		s.migOrder = append(s.migOrder, job.ID)
+	}
+	s.migMu.Lock()
+	s.evictMigrationJobsLocked()
+	kept := len(s.migOrder)
+	s.migMu.Unlock()
+	if kept != n {
+		t.Fatalf("evicted non-terminal jobs: retained %d, want %d", kept, n)
 	}
 }

@@ -27,7 +27,10 @@
 // WithCacheCap(n) bounds the per-choreography consistency-result
 // cache to n entries with arbitrary eviction on overflow; the default
 // is unbounded, which is right for populations whose version churn is
-// low relative to memory.
+// low relative to memory. WithJournal(dir) makes the store durable —
+// write-ahead logging, crash recovery, online checkpoints; it
+// requires the fallible constructor Open (see persist.go and
+// docs/persistence.md).
 //
 // # Context contract
 //
@@ -73,6 +76,7 @@ import (
 
 	"repro/internal/afsa"
 	"repro/internal/bpel"
+	"repro/internal/journal"
 	"repro/internal/label"
 	"repro/internal/mapping"
 	"repro/internal/migrate"
@@ -117,6 +121,11 @@ type entry struct {
 	// outside the schema snapshots — sharded so bulk-migration sweeps
 	// never lock the whole population (see instances.go).
 	inst [instShardCount]instShard
+	// instAppendMu orders journaled instance recordings: the WAL order
+	// of recInstances records must match the in-memory append order,
+	// because shard slice indices are migration refs (see
+	// recordInstances in persist.go). Untaken on in-memory stores.
+	instAppendMu sync.Mutex
 }
 
 type shard struct {
@@ -141,10 +150,24 @@ type Stats struct {
 }
 
 // Store is a sharded in-memory choreography store safe for concurrent
-// use.
+// use. With WithJournal it is additionally durable: mutations are
+// written ahead to a journal and recovered on Open (see persist.go
+// and docs/persistence.md).
 type Store struct {
 	shards   []shard
 	cacheCap int
+
+	// journalDir/journalFsync are the WithJournal* settings; jnl is
+	// the open journal (nil on an in-memory store, set once before the
+	// store is shared). persistMu orders journaled mutations against
+	// Checkpoint: mutators append+apply under the read side, a
+	// checkpoint serializes state and truncates the log under the
+	// write side. Lock order: commitMu and instAppendMu outside
+	// persistMu, all other store locks inside it (see persist.go).
+	journalDir   string
+	journalFsync bool
+	jnl          *journal.Log
+	persistMu    sync.RWMutex
 
 	// migs tracks bulk-migration jobs by job ID (see instances.go);
 	// migOrder is their creation order for bounded retention.
@@ -185,8 +208,20 @@ func WithCacheCap(n int) Option {
 	}
 }
 
-// New returns an empty store configured by opts.
+// New returns an empty store configured by opts. It panics when opts
+// include WithJournal — opening a journal performs recovery, which
+// can fail; durable stores are constructed with Open, which reports
+// the error.
 func New(opts ...Option) *Store {
+	s := newStore(opts...)
+	if s.journalDir != "" {
+		panic("store: New cannot open a journal (recovery can fail); use store.Open")
+	}
+	return s
+}
+
+// newStore builds the in-memory skeleton both New and Open share.
+func newStore(opts ...Option) *Store {
 	s := &Store{shards: make([]shard, DefaultShards), migs: map[string]*migrate.Job{}}
 	for _, opt := range opts {
 		opt(s)
@@ -234,11 +269,16 @@ func (s *Store) Create(ctx context.Context, id string, syncOps []string) error {
 	if id == "" {
 		return fmt.Errorf("%w: empty choreography id", ErrInvalid)
 	}
+	unlock := s.persistRLock()
+	defer unlock()
 	sh := s.shardOf(id)
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
 	if _, dup := sh.entries[id]; dup {
 		return fmt.Errorf("%w: choreography %q", ErrExists, id)
+	}
+	if err := s.appendWAL(&walRecord{Create: &recCreate{ID: id, SyncOps: syncOps}}); err != nil {
+		return err
 	}
 	e := &entry{
 		id:   id,
@@ -259,11 +299,16 @@ func (s *Store) Delete(ctx context.Context, id string) error {
 	if err := ctxErr(ctx); err != nil {
 		return err
 	}
+	unlock := s.persistRLock()
+	defer unlock()
 	sh := s.shardOf(id)
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
 	if _, ok := sh.entries[id]; !ok {
 		return fmt.Errorf("%w: choreography %q", ErrNotFound, id)
+	}
+	if err := s.appendWAL(&walRecord{Delete: &recDelete{ID: id}}); err != nil {
+		return err
 	}
 	delete(sh.entries, id)
 	return nil
@@ -322,7 +367,9 @@ func (s *Store) RegisterParty(ctx context.Context, id string, p *bpel.Process) (
 	if err != nil {
 		return nil, err
 	}
-	e.snap.Store(next)
+	if err := s.publish(e, next, []*bpel.Process{p}); err != nil {
+		return nil, err
+	}
 	s.commits.Add(1)
 	return next, nil
 }
@@ -355,7 +402,9 @@ func (s *Store) UpdateParty(ctx context.Context, id string, p *bpel.Process, ifV
 	if err != nil {
 		return nil, err
 	}
-	e.snap.Store(next)
+	if err := s.publish(e, next, []*bpel.Process{p}); err != nil {
+		return nil, err
+	}
 	s.commits.Add(1)
 	s.invalidatePairs(e, p.Owner)
 	return next, nil
@@ -409,7 +458,9 @@ func (s *Store) PutParties(ctx context.Context, id string, procs []*bpel.Process
 	if err != nil {
 		return nil, err
 	}
-	e.snap.Store(next)
+	if err := s.publish(e, next, procs); err != nil {
+		return nil, err
+	}
 	s.commits.Add(1)
 	for _, p := range procs {
 		if _, existed := cur.parties[p.Owner]; existed {

@@ -54,7 +54,19 @@ var (
 	WithStoreShards = store.WithShards
 	// WithStoreCacheCap bounds the per-choreography consistency cache.
 	WithStoreCacheCap = store.WithCacheCap
+	// WithStoreJournal makes the store durable: mutations are written
+	// ahead to a journal in the given directory and recovered on open.
+	// Pass it to OpenChoreographyStore (NewChoreographyStore panics on
+	// it, since recovery can fail). See docs/persistence.md.
+	WithStoreJournal = store.WithJournal
+	// WithStoreJournalFsync fsyncs the journal on every append
+	// (durability across power loss, at per-commit latency cost).
+	WithStoreJournalFsync = store.WithJournalFsync
 )
+
+// StoreCheckpointInfo describes a completed journal compaction
+// (ChoreographyStore.Checkpoint / POST /v2/admin/checkpoint).
+type StoreCheckpointInfo = store.CheckpointInfo
 
 // Store sentinel errors.
 var (
@@ -106,6 +118,15 @@ const (
 // NewChoreographyStore returns an empty store configured by opts
 // (WithStoreShards, WithStoreCacheCap).
 func NewChoreographyStore(opts ...StoreOption) *ChoreographyStore { return store.New(opts...) }
+
+// OpenChoreographyStore is NewChoreographyStore plus durability: with
+// WithStoreJournal among opts it opens the journal, recovers the
+// previous state (snapshot + write-ahead log tail) and write-ahead
+// logs every subsequent mutation. Without a journal option it is
+// equivalent to NewChoreographyStore.
+func OpenChoreographyStore(opts ...StoreOption) (*ChoreographyStore, error) {
+	return store.Open(opts...)
+}
 
 // NewChoreoServer returns the choreod HTTP service over st.
 func NewChoreoServer(st *ChoreographyStore) *ChoreoServer { return server.New(st) }

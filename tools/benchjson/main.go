@@ -38,7 +38,7 @@ type target struct {
 // criteria track: whole-scenario consistency, the operator scaling
 // series, public-process derivation, and the bulk-migration sweep.
 var defaultTargets = []target{
-	{Pkg: ".", Bench: "^(BenchmarkScenarioConsistency|BenchmarkIntersectScale|BenchmarkMinimizeScale|BenchmarkDeriveScale)$"},
+	{Pkg: ".", Bench: "^(BenchmarkScenarioConsistency|BenchmarkIntersectScale|BenchmarkMinimizeScale|BenchmarkDeriveScale|BenchmarkScenarioCommitJournal)$"},
 	{Pkg: "./internal/store", Bench: "^BenchmarkMigrateAll$"},
 }
 
