@@ -20,8 +20,12 @@
 //	choreoctl migrate  -addr URL -chor ID [-workers n] [-nowait] [-stranded n]
 //	                                              bulk-migrate running instances to the
 //	                                              committed schema
+//	choreoctl ingest   -addr URL -chor ID [-in events.jsonl] [-batch n]
+//	                                              stream observed instance events (JSONL)
+//	                                              into a running service, honoring
+//	                                              backpressure retry hints
 //
-// The remote subcommands (register, evolve, migrate) talk to a running
+// The remote subcommands (register, evolve, migrate, ingest) talk to a running
 // choreod over its /v2/ API and accept -timeout to bound the request
 // context (default 30s; 0 disables the deadline).
 //
@@ -31,10 +35,12 @@
 package main
 
 import (
+	"bufio"
 	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"net/http"
 	"os"
@@ -74,6 +80,8 @@ func main() {
 		err = runEvolve(args)
 	case "migrate":
 		err = runMigrate(args)
+	case "ingest":
+		err = runIngest(args)
 	case "help", "-h", "--help":
 		usage()
 	default:
@@ -106,6 +114,9 @@ commands:
              [-addr http://localhost:8080] [-timeout 30s, 0 = none]
   migrate    bulk-migrate running instances to the committed schema (/v2/)
              [-addr http://localhost:8080] [-timeout 30s, 0 = none]
+  ingest     stream observed instance events into a running choreod (/v2/)
+             [-addr http://localhost:8080] [-in events.jsonl, empty = stdin]
+             [-batch 256] [-timeout 30s per request, 0 = none]
 
 run 'choreoctl <command> -h' for the full flag list of a command`)
 }
@@ -628,6 +639,92 @@ func runMigrate(args []string) error {
 	if rest := total - len(list); *stranded > 0 && rest > 0 {
 		fmt.Printf("  ... and %d more stranded instances\n", rest)
 	}
+	return nil
+}
+
+// runIngest streams observed instance events into a running choreod
+// through POST /v2/choreographies/{id}/instances:events. The input is
+// JSONL — one {"party","instance","label"} event per line, blank lines
+// and #-comments skipped — read from -in or stdin, grouped into
+// batches of -batch events. A 429 resource_exhausted answer (a full
+// ingestion lane) backs off by the server's retryAfter hint and
+// resubmits the identical batch, so a slow consumer throttles the
+// stream instead of dropping it.
+func runIngest(args []string) error {
+	fs := flag.NewFlagSet("ingest", flag.ExitOnError)
+	addr := fs.String("addr", "http://localhost:8080", "choreod base URL")
+	chor := fs.String("chor", "", "choreography ID")
+	in := fs.String("in", "", "JSONL event file (empty = stdin)")
+	batch := fs.Int("batch", 256, "events per request (1..1024)")
+	timeout := fs.Duration("timeout", 30*time.Second, "per-request timeout (0 = none)")
+	fs.Parse(args)
+	if *chor == "" {
+		return fmt.Errorf("ingest: -chor required")
+	}
+	if *batch < 1 || *batch > 1024 {
+		return fmt.Errorf("ingest: -batch must be in 1..1024")
+	}
+	var r io.Reader = os.Stdin
+	if *in != "" {
+		f, err := os.Open(*in)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		r = f
+	}
+	c := choreo.NewChoreoClient(*addr, nil)
+	var pending []choreo.ChoreoIngestEvent
+	total, batches := 0, 0
+	flush := func() error {
+		for len(pending) > 0 {
+			ctx, cancel := remoteContext(*timeout)
+			n, err := c.IngestEvents(ctx, *chor, pending)
+			cancel()
+			if err == nil {
+				total += n
+				batches++
+				pending = pending[:0]
+				return nil
+			}
+			backoff, ok := choreo.ChoreoRetryAfter(err)
+			if !ok {
+				return err
+			}
+			time.Sleep(backoff)
+		}
+		return nil
+	}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		var ev choreo.ChoreoIngestEvent
+		if err := json.Unmarshal([]byte(text), &ev); err != nil {
+			return fmt.Errorf("ingest: line %d: %v", line, err)
+		}
+		if ev.Party == "" || ev.Instance == "" || ev.Label == "" {
+			return fmt.Errorf("ingest: line %d: party, instance and label are all required", line)
+		}
+		pending = append(pending, ev)
+		if len(pending) >= *batch {
+			if err := flush(); err != nil {
+				return err
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	if err := flush(); err != nil {
+		return err
+	}
+	fmt.Printf("ingested %d events in %d batches\n", total, batches)
 	return nil
 }
 

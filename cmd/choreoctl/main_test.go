@@ -288,6 +288,52 @@ func TestMigrateSubcommand(t *testing.T) {
 	}
 }
 
+// TestIngestSubcommand streams a JSONL event file into an in-process
+// choreod — blank lines and comments skipped, the stream sliced into
+// batches — and verifies the events landed as live instance state.
+func TestIngestSubcommand(t *testing.T) {
+	srv := choreo.NewChoreoServer(choreo.NewChoreographyStore())
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+	ctx := context.Background()
+
+	buyerPath := writeFixture(t, "buyer.xml", buyerXML)
+	accPath := writeFixture(t, "acc.xml", accXML)
+	if err := runRegister([]string{
+		"-addr", ts.URL, "-chor", "demo", "-create",
+		"-in", buyerPath, "-in", accPath,
+	}); err != nil {
+		t.Fatalf("register: %v", err)
+	}
+
+	events := writeFixture(t, "events.jsonl", `
+{"party":"A","instance":"c1","label":"B#A#orderOp"}
+
+# a comment between events
+{"party":"A","instance":"c2","label":"B#A#orderOp"}
+{"party":"A","instance":"c1","label":"A#B#deliveryOp"}
+`)
+	if err := runIngest([]string{
+		"-addr", ts.URL, "-chor", "demo", "-in", events, "-batch", "2", "-timeout", "10s",
+	}); err != nil {
+		t.Fatalf("ingest: %v", err)
+	}
+	st, err := choreo.NewChoreoClient(ts.URL, nil).Stats(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.EventsIngested != 3 || st.TrackedInstances != 2 || st.InstancesByChoreography["demo"] != 2 {
+		t.Fatalf("stats = {ingested %d, tracked %d, byChor %v}, want 3 events over 2 instances",
+			st.EventsIngested, st.TrackedInstances, st.InstancesByChoreography)
+	}
+
+	// A malformed line fails loudly rather than skipping silently.
+	broken := writeFixture(t, "broken.jsonl", `{"party":"A","instance":"c3"}`)
+	if err := runIngest([]string{"-addr", ts.URL, "-chor", "demo", "-in", broken}); err == nil {
+		t.Fatal("ingest accepted an event without a label")
+	}
+}
+
 // TestServeDurableGracefulShutdown boots `serve -data`, mutates state
 // over HTTP, delivers SIGTERM and verifies the graceful path: drain,
 // checkpoint (snapshot.bin appears), close — and that a fresh store

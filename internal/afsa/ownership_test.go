@@ -108,3 +108,36 @@ func TestStepperMatchesStep(t *testing.T) {
 		}
 	}
 }
+
+// StepSym must agree with Step on every interned symbol and guard
+// None, negative and out-of-range symbols (labels interned after the
+// stepper was built fall outside its dense table).
+func TestStepSymMatchesStep(t *testing.T) {
+	for seed := int64(0); seed < 30; seed++ {
+		a := annotatedNFA(seed, int(seed%5)+2).Determinize()
+		st := NewStepper(a)
+		for q := 0; q < a.NumStates(); q++ {
+			for _, l := range testAlphabet {
+				sym, ok := st.Symbol(l)
+				if !ok {
+					if got := st.Step(StateID(q), l); got != None {
+						t.Fatalf("seed %d: %s steps to %d but has no symbol", seed, l, got)
+					}
+					continue
+				}
+				if got, want := st.StepSym(StateID(q), sym), st.Step(StateID(q), l); got != want {
+					t.Fatalf("seed %d: StepSym(%d, %d) = %d, Step(%d, %s) = %d", seed, q, sym, got, q, l, want)
+				}
+			}
+			if got := st.StepSym(StateID(q), label.Symbol(-1)); got != None {
+				t.Fatalf("negative symbol stepped to %d", got)
+			}
+			if got := st.StepSym(StateID(q), label.Symbol(1<<20)); got != None {
+				t.Fatalf("out-of-range symbol stepped to %d", got)
+			}
+		}
+		if got := st.StepSym(None, 0); got != None {
+			t.Fatalf("StepSym from None = %d", got)
+		}
+	}
+}

@@ -68,3 +68,22 @@ func (s *Stepper) Step(q StateID, l label.Label) StateID {
 	}
 	return s.next[int(q)*s.ns+int(sym)]
 }
+
+// StepSym is Step for a pre-interned symbol: no label hashing at all.
+// Symbols outside the table width — interned into a shared interner
+// after this stepper was built — cannot occur on the automaton's edges,
+// so they step to None exactly like an unknown label.
+func (s *Stepper) StepSym(q StateID, sym label.Symbol) StateID {
+	if q == None || sym < 0 || int(sym) >= s.ns {
+		return None
+	}
+	return s.next[int(q)*s.ns+int(sym)]
+}
+
+// Symbol returns the stepper's symbol for l (taken from its
+// construction-time snapshot of the interner), reporting whether the
+// label is known at all.
+func (s *Stepper) Symbol(l label.Label) (label.Symbol, bool) {
+	sym, ok := s.sym[l]
+	return sym, ok
+}

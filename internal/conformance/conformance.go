@@ -81,6 +81,21 @@ type Monitor struct {
 	steppers map[string]*afsa.Stepper
 	states   map[string]afsa.StateID
 	steps    int
+
+	// Symbol fast path, available when every party automaton shares
+	// one label interner (always true for automata taken from one
+	// store snapshot): syms is that shared interner and routes maps
+	// each of its symbols — snapshotted at construction — to the
+	// pre-parsed sender and receiver names, so StepSymbol never parses
+	// or hashes a label.
+	syms   *label.Interner
+	labels []label.Label // construction-time snapshot, indexed by symbol
+	routes []symRoute
+}
+
+// symRoute is one symbol's pre-parsed endpoint pair.
+type symRoute struct {
+	sender, receiver string
 }
 
 // NewMonitor builds a monitor from public processes keyed by party.
@@ -105,6 +120,21 @@ func NewMonitor(parties map[string]*afsa.Automaton) (*Monitor, error) {
 		m.names = append(m.names, name)
 	}
 	sort.Strings(m.names)
+	shared := m.autos[m.names[0]].Interner()
+	for _, name := range m.names[1:] {
+		if m.autos[name].Interner() != shared {
+			shared = nil
+			break
+		}
+	}
+	if shared != nil {
+		m.syms = shared
+		m.labels = shared.Labels()
+		m.routes = make([]symRoute, len(m.labels))
+		for s, l := range m.labels {
+			m.routes[s] = symRoute{sender: l.Sender(), receiver: l.Receiver()}
+		}
+	}
 	return m, nil
 }
 
@@ -159,6 +189,59 @@ func (m *Monitor) Step(l label.Label) *Deviation {
 	}
 	m.states[sender] = sNext
 	m.states[receiver] = rNext
+	m.steps++
+	return nil
+}
+
+// StepSymbol is Step for a pre-interned symbol of the parties' shared
+// label interner — the streaming hot path: routing (who sends, who
+// receives) comes from a table built at construction, and both
+// endpoint steppers advance by symbol, so replaying a message parses
+// and hashes nothing. Results are identical to Step(l) for the label l
+// the symbol interns.
+//
+// It requires every party automaton to share one interner, which holds
+// for automata taken from one store snapshot; NewMonitor detects
+// sharing, and StepSymbol panics when the monitor was built from
+// automata with disjoint symbol spaces (use Step there).
+func (m *Monitor) StepSymbol(sym label.Symbol) *Deviation {
+	if m.syms == nil {
+		panic("conformance: StepSymbol needs parties sharing one label interner; use Step")
+	}
+	if sym < 0 {
+		return &Deviation{Step: m.steps, Role: RoleUnknown}
+	}
+	if int(sym) >= len(m.routes) {
+		// Interned after the monitor was built: no party automaton can
+		// carry it on an edge; the label path reports the deviation.
+		return m.Step(m.syms.LabelOf(sym))
+	}
+	l := m.labels[sym]
+	rt := m.routes[sym]
+	ss, okS := m.steppers[rt.sender]
+	if !okS {
+		return &Deviation{Step: m.steps, Label: l, Party: rt.sender, Role: RoleUnknown}
+	}
+	rs, okR := m.steppers[rt.receiver]
+	if !okR {
+		return &Deviation{Step: m.steps, Label: l, Party: rt.receiver, Role: RoleUnknown}
+	}
+	sNext := ss.StepSym(m.states[rt.sender], sym)
+	if sNext == afsa.None {
+		return &Deviation{
+			Step: m.steps, Label: l, Party: rt.sender, Role: RoleSender,
+			Expected: m.expectedAt(rt.sender),
+		}
+	}
+	rNext := rs.StepSym(m.states[rt.receiver], sym)
+	if rNext == afsa.None {
+		return &Deviation{
+			Step: m.steps, Label: l, Party: rt.receiver, Role: RoleReceiver,
+			Expected: m.expectedAt(rt.receiver),
+		}
+	}
+	m.states[rt.sender] = sNext
+	m.states[rt.receiver] = rNext
 	m.steps++
 	return nil
 }

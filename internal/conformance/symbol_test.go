@@ -1,0 +1,130 @@
+package conformance
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/afsa"
+	"repro/internal/label"
+)
+
+// sharedParties reinterns the paper scenario's automata onto one
+// shared interner — the shape automata have when taken from one store
+// snapshot, which is what enables the StepSymbol fast path.
+func sharedParties(t *testing.T) (map[string]*afsa.Automaton, *label.Interner) {
+	t.Helper()
+	parties := paperParties(t)
+	shared := label.NewInterner()
+	for _, a := range parties {
+		a.Reintern(shared)
+	}
+	return parties, shared
+}
+
+// StepSymbol must be observationally identical to Step on the label a
+// symbol interns: same deviations (step, party, role, expected set),
+// same states, same completion — across valid traces, deviating
+// traces, and random label streams.
+func TestStepSymbolMatchesStep(t *testing.T) {
+	parties, shared := sharedParties(t)
+	mLab, err := NewMonitor(parties)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mSym, err := NewMonitor(parties)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var alphabet []label.Label
+	alphabet = append(alphabet, shared.Labels()...)
+	traces := [][]label.Label{
+		happyTrace(),
+		// Deviate mid-conversation: the status answer before any
+		// tracking request.
+		word("B#A#orderOp", "A#B#statusOp"),
+		// Unknown parties on both ends.
+		word("B#A#orderOp", "Z#A#orderOp"),
+		word("B#A#orderOp", "B#Z#orderOp"),
+	}
+	r := rand.New(rand.NewSource(7))
+	for i := 0; i < 50; i++ {
+		n := r.Intn(12) + 1
+		trace := make([]label.Label, n)
+		for j := range trace {
+			trace[j] = alphabet[r.Intn(len(alphabet))]
+		}
+		traces = append(traces, trace)
+	}
+
+	for ti, trace := range traces {
+		mLab.Reset()
+		mSym.Reset()
+		for li, l := range trace {
+			sym, ok := shared.Lookup(l)
+			if !ok {
+				// Interning after monitor construction exercises the
+				// late-symbol fallback inside StepSymbol.
+				sym = shared.Intern(l)
+			}
+			dLab := mLab.Step(l)
+			dSym := mSym.StepSymbol(sym)
+			if !reflect.DeepEqual(dLab, dSym) {
+				t.Fatalf("trace %d step %d (%s): Step = %+v, StepSymbol = %+v", ti, li, l, dLab, dSym)
+			}
+		}
+		if mLab.Steps() != mSym.Steps() {
+			t.Fatalf("trace %d: Steps %d vs %d", ti, mLab.Steps(), mSym.Steps())
+		}
+		if mLab.Complete() != mSym.Complete() {
+			t.Fatalf("trace %d: Complete %v vs %v", ti, mLab.Complete(), mSym.Complete())
+		}
+	}
+}
+
+// A negative symbol (the store's marker for a label the interner has
+// never produced) deviates as an unknown party without advancing.
+func TestStepSymbolNegativeSymbolDeviates(t *testing.T) {
+	parties, _ := sharedParties(t)
+	m, err := NewMonitor(parties)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := m.StepSymbol(label.Symbol(-1))
+	if d == nil || d.Role != RoleUnknown || d.Step != 0 {
+		t.Fatalf("negative symbol deviation = %+v, want step-0 unknown-party deviation", d)
+	}
+	if m.Steps() != 0 {
+		t.Fatalf("monitor advanced on a negative symbol: %d steps", m.Steps())
+	}
+}
+
+// Monitors over automata with disjoint symbol spaces have no shared
+// routing table; StepSymbol must refuse loudly rather than route by a
+// wrong symbol.
+func TestStepSymbolPanicsWithoutSharedInterner(t *testing.T) {
+	parties := paperParties(t)
+	distinct := false
+	var first *label.Interner
+	for _, a := range parties {
+		if first == nil {
+			first = a.Interner()
+		} else if a.Interner() != first {
+			distinct = true
+		}
+	}
+	if !distinct {
+		t.Skip("paper automata happen to share an interner; nothing to refuse")
+	}
+	m, err := NewMonitor(parties)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("StepSymbol without a shared interner did not panic")
+		}
+	}()
+	m.StepSymbol(0)
+}

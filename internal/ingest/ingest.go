@@ -1,0 +1,379 @@
+// Package ingest is the streaming event path of choreod: a sharded,
+// batch-first engine that moves observed conversation messages from
+// the API boundary to per-instance apply functions without unbounded
+// buffering.
+//
+// The engine owns nothing but flow control. Events are fanned out over
+// per-choreography lanes keyed by hash(party, instance id) — the same
+// 64-way FNV-1a partitioning the store uses for instance shards, so
+// with the default lane count a lane's batch lands in exactly one
+// instance shard. Each lane is drained by exactly one worker
+// (worker = lane mod workers), which preserves per-instance (indeed
+// per-shard) event order end to end. What a batch *means* is decided
+// by the apply callback the owner supplies; the store's callback
+// journals the batch and advances live instance state (see
+// internal/store).
+//
+// # Backpressure contract
+//
+// Queues are bounded in events, per lane. Submit reserves capacity on
+// every target lane before enqueueing anything; if any lane cannot
+// take its share, every reservation is rolled back and the whole batch
+// is rejected with a *BackpressureError carrying a retry-after hint
+// scaled by how full the fullest contended lane is. A rejected batch
+// has no effect at all — the engine never buffers beyond its bound and
+// never applies half a submission's lanes on rejection.
+//
+// # Delivery contract
+//
+// Submit blocks until every lane of the batch has been applied (or the
+// context ends). A nil return therefore means the apply callback — and
+// with the store's callback, the write-ahead log — has seen every
+// event. Lanes are independent: if one lane's apply fails, other lanes
+// of the same submission may still have been applied; the first error
+// is returned. A context cancellation abandons the wait, not the work:
+// already-enqueued events are still applied in order.
+package ingest
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/label"
+)
+
+// Event is one observed message of one running conversation.
+type Event struct {
+	// Party is the endpoint whose public process the event is checked
+	// against; Instance identifies the conversation within the party.
+	Party    string
+	Instance string
+	// Label is the observed message.
+	Label label.Label
+}
+
+// DefaultLanes matches the store's instance-shard fan-out, so a lane
+// batch targets exactly one instance shard.
+const DefaultLanes = 64
+
+// DefaultWorkers bounds apply concurrency when Config leaves it zero.
+const DefaultWorkers = 4
+
+// DefaultQueueCap is the per-lane queue bound in events.
+const DefaultQueueCap = 4096
+
+// ErrBackpressure marks a rejected submission; match with errors.Is
+// and extract the retry hint with errors.As on *BackpressureError.
+var ErrBackpressure = errors.New("ingest: backpressure")
+
+// ErrClosed marks a submission against a closed engine (or one whose
+// events were still queued when the engine shut down).
+var ErrClosed = errors.New("ingest: engine closed")
+
+// BackpressureError rejects one whole submission.
+type BackpressureError struct {
+	// Lane is the lane that could not take its share of the batch.
+	Lane int
+	// RetryAfter is the suggested client backoff.
+	RetryAfter time.Duration
+}
+
+func (e *BackpressureError) Error() string {
+	return fmt.Sprintf("ingest: lane %d full, retry after %s", e.Lane, e.RetryAfter)
+}
+
+// Unwrap makes errors.Is(err, ErrBackpressure) hold.
+func (e *BackpressureError) Unwrap() error { return ErrBackpressure }
+
+// Apply consumes one lane's share of a submission, in submission
+// order. It runs on an engine worker; at most one Apply is in flight
+// per lane at any time.
+type Apply func(lane int, events []Event) error
+
+// Config sizes an Engine; zero values take the defaults above.
+type Config struct {
+	Lanes    int
+	Workers  int
+	QueueCap int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Lanes <= 0 {
+		c.Lanes = DefaultLanes
+	}
+	if c.Workers <= 0 {
+		c.Workers = DefaultWorkers
+	}
+	if c.Workers > c.Lanes {
+		c.Workers = c.Lanes
+	}
+	if c.QueueCap <= 0 {
+		c.QueueCap = DefaultQueueCap
+	}
+	return c
+}
+
+// Stats are cumulative engine counters plus the momentary queue depth.
+type Stats struct {
+	// Submitted counts events accepted by Submit; Applied counts events
+	// handed to the apply callback; Rejected counts events turned away
+	// by backpressure (whole batches).
+	Submitted, Applied, Rejected uint64
+	// Queued is the number of events currently reserved in lane queues.
+	Queued int
+}
+
+// task is one lane's share of one submission.
+type task struct {
+	events []Event
+	done   *batchDone
+}
+
+// batchDone aggregates per-lane completions back to the submitter.
+type batchDone struct {
+	wg  sync.WaitGroup
+	mu  sync.Mutex
+	err error
+}
+
+func (b *batchDone) fail(err error) {
+	b.mu.Lock()
+	if b.err == nil {
+		b.err = err
+	}
+	b.mu.Unlock()
+}
+
+type lane struct {
+	mu     sync.Mutex
+	queued int // events reserved (queued or being applied)
+	tasks  []task
+}
+
+// Engine fans event submissions out over bounded lanes drained by a
+// fixed worker pool. Construct with New, release with Close.
+type Engine struct {
+	cfg   Config
+	apply Apply
+
+	lanes []lane
+	wake  []chan struct{} // one per worker, buffered
+
+	// closeMu fences Submit's reserve+enqueue against Close: Close
+	// holds the write side while failing queued tasks, so no task can
+	// slip in afterwards and strand its submitter.
+	closeMu sync.RWMutex
+	closed  bool
+	stop    chan struct{}
+	wg      sync.WaitGroup
+
+	submitted, applied, rejected atomic.Uint64
+}
+
+// New starts an engine applying lane batches through apply.
+func New(cfg Config, apply Apply) *Engine {
+	cfg = cfg.withDefaults()
+	en := &Engine{
+		cfg:   cfg,
+		apply: apply,
+		lanes: make([]lane, cfg.Lanes),
+		wake:  make([]chan struct{}, cfg.Workers),
+		stop:  make(chan struct{}),
+	}
+	for w := range en.wake {
+		en.wake[w] = make(chan struct{}, 1)
+		en.wg.Add(1)
+		go en.worker(w)
+	}
+	return en
+}
+
+// LaneOf returns the lane of one (party, instance) pair — FNV-1a over
+// party, a zero byte, and the id, modulo lanes. With lanes = 64 this
+// is identical to the store's instance-shard placement.
+func LaneOf(party, id string, lanes int) int {
+	h := fnv.New32a()
+	h.Write([]byte(party))
+	h.Write([]byte{0})
+	h.Write([]byte(id))
+	return int(h.Sum32() % uint32(lanes))
+}
+
+// Submit fans one batch out over its lanes and blocks until every lane
+// has been applied. See the package comment for the backpressure and
+// delivery contracts.
+func (en *Engine) Submit(ctx context.Context, events []Event) error {
+	if len(events) == 0 {
+		return nil
+	}
+	// Group by lane, preserving submission order within each lane.
+	perLane := map[int][]Event{}
+	for _, ev := range events {
+		l := LaneOf(ev.Party, ev.Instance, en.cfg.Lanes)
+		perLane[l] = append(perLane[l], ev)
+	}
+
+	en.closeMu.RLock()
+	if en.closed {
+		en.closeMu.RUnlock()
+		return ErrClosed
+	}
+	// Reserve capacity on every target lane; on the first overflow,
+	// roll everything back and reject the whole batch.
+	var reserved []int
+	for l, evs := range perLane {
+		ln := &en.lanes[l]
+		ln.mu.Lock()
+		if ln.queued+len(evs) > en.cfg.QueueCap {
+			fill := float64(ln.queued) / float64(en.cfg.QueueCap)
+			ln.mu.Unlock()
+			for _, r := range reserved {
+				rl := &en.lanes[r]
+				rl.mu.Lock()
+				rl.queued -= len(perLane[r])
+				rl.mu.Unlock()
+			}
+			en.closeMu.RUnlock()
+			en.rejected.Add(uint64(len(events)))
+			return &BackpressureError{Lane: l, RetryAfter: retryAfter(fill)}
+		}
+		ln.queued += len(evs)
+		ln.mu.Unlock()
+		reserved = append(reserved, l)
+	}
+	// Enqueue and wake the owning workers.
+	done := &batchDone{}
+	for l, evs := range perLane {
+		ln := &en.lanes[l]
+		done.wg.Add(1)
+		ln.mu.Lock()
+		ln.tasks = append(ln.tasks, task{events: evs, done: done})
+		ln.mu.Unlock()
+		select {
+		case en.wake[l%en.cfg.Workers] <- struct{}{}:
+		default:
+		}
+	}
+	en.closeMu.RUnlock()
+	en.submitted.Add(uint64(len(events)))
+
+	waited := make(chan struct{})
+	go func() {
+		done.wg.Wait()
+		close(waited)
+	}()
+	select {
+	case <-waited:
+		done.mu.Lock()
+		err := done.err
+		done.mu.Unlock()
+		return err
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// retryAfter scales the backoff hint by the fullest contended lane's
+// fill fraction: 50ms near empty, up to 500ms when saturated.
+func retryAfter(fill float64) time.Duration {
+	if fill < 0 {
+		fill = 0
+	}
+	if fill > 1 {
+		fill = 1
+	}
+	return 50*time.Millisecond + time.Duration(fill*float64(450*time.Millisecond))
+}
+
+// worker drains the lanes it owns (lane mod workers == w) in order.
+func (en *Engine) worker(w int) {
+	defer en.wg.Done()
+	for {
+		progressed := false
+		for l := w; l < en.cfg.Lanes; l += en.cfg.Workers {
+			ln := &en.lanes[l]
+			ln.mu.Lock()
+			tasks := ln.tasks
+			ln.tasks = nil
+			ln.mu.Unlock()
+			for _, t := range tasks {
+				err := en.apply(l, t.events)
+				ln.mu.Lock()
+				ln.queued -= len(t.events)
+				ln.mu.Unlock()
+				if err != nil {
+					t.done.fail(err)
+				} else {
+					en.applied.Add(uint64(len(t.events)))
+				}
+				t.done.wg.Done()
+				progressed = true
+			}
+		}
+		if progressed {
+			continue
+		}
+		select {
+		case <-en.stop:
+			en.drainOnStop(w)
+			return
+		case <-en.wake[w]:
+		}
+	}
+}
+
+// drainOnStop fails whatever is still queued on w's lanes so no
+// submitter is left waiting. Close holds closeMu, so nothing new can
+// be enqueued concurrently.
+func (en *Engine) drainOnStop(w int) {
+	for l := w; l < en.cfg.Lanes; l += en.cfg.Workers {
+		ln := &en.lanes[l]
+		ln.mu.Lock()
+		tasks := ln.tasks
+		ln.tasks = nil
+		for _, t := range tasks {
+			ln.queued -= len(t.events)
+		}
+		ln.mu.Unlock()
+		for _, t := range tasks {
+			t.done.fail(ErrClosed)
+			t.done.wg.Done()
+		}
+	}
+}
+
+// Close stops the workers, failing still-queued submissions with
+// ErrClosed, and waits for them to exit. It is idempotent.
+func (en *Engine) Close() {
+	en.closeMu.Lock()
+	if en.closed {
+		en.closeMu.Unlock()
+		en.wg.Wait()
+		return
+	}
+	en.closed = true
+	close(en.stop)
+	en.closeMu.Unlock()
+	en.wg.Wait()
+}
+
+// Stats returns cumulative counters plus the momentary queue depth.
+func (en *Engine) Stats() Stats {
+	st := Stats{
+		Submitted: en.submitted.Load(),
+		Applied:   en.applied.Load(),
+		Rejected:  en.rejected.Load(),
+	}
+	for i := range en.lanes {
+		ln := &en.lanes[i]
+		ln.mu.Lock()
+		st.Queued += ln.queued
+		ln.mu.Unlock()
+	}
+	return st
+}

@@ -1,0 +1,290 @@
+package ingest
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/label"
+)
+
+var ctx = context.Background()
+
+func evt(party, id string, n int) Event {
+	return Event{Party: party, Instance: id, Label: label.Label(fmt.Sprintf("%s#X#op%d", party, n))}
+}
+
+// recorder is an apply callback collecting every event per lane.
+type recorder struct {
+	mu     sync.Mutex
+	byLane map[int][]Event
+}
+
+func newRecorder() *recorder { return &recorder{byLane: map[int][]Event{}} }
+
+func (r *recorder) apply(lane int, events []Event) error {
+	r.mu.Lock()
+	r.byLane[lane] = append(r.byLane[lane], events...)
+	r.mu.Unlock()
+	return nil
+}
+
+func TestLaneOfDeterministicAndInRange(t *testing.T) {
+	for lanes := 1; lanes <= 64; lanes *= 4 {
+		for i := 0; i < 100; i++ {
+			party, id := fmt.Sprintf("P%d", i%7), fmt.Sprintf("inst-%d", i)
+			l := LaneOf(party, id, lanes)
+			if l < 0 || l >= lanes {
+				t.Fatalf("LaneOf(%s,%s,%d) = %d out of range", party, id, lanes, l)
+			}
+			if again := LaneOf(party, id, lanes); again != l {
+				t.Fatalf("LaneOf not deterministic: %d then %d", l, again)
+			}
+		}
+	}
+	// The NUL separator keeps ("ab","c") and ("a","bc") distinct inputs.
+	if LaneOf("ab", "c", 1<<16) == LaneOf("a", "bc", 1<<16) {
+		t.Fatal("LaneOf conflates party/id boundaries")
+	}
+}
+
+// Sequential submissions must come out in submission order on every
+// lane (Submit blocks until applied, so later batches are ordered
+// after earlier ones).
+func TestSubmitPreservesPerLaneOrder(t *testing.T) {
+	rec := newRecorder()
+	en := New(Config{Lanes: 8, Workers: 3, QueueCap: 128}, rec.apply)
+	defer en.Close()
+	var want []Event
+	for b := 0; b < 10; b++ {
+		var batch []Event
+		for i := 0; i < 17; i++ {
+			batch = append(batch, evt(fmt.Sprintf("P%d", i%3), fmt.Sprintf("inst-%d", i%5), b*17+i))
+		}
+		want = append(want, batch...)
+		if err := en.Submit(ctx, batch); err != nil {
+			t.Fatalf("Submit batch %d: %v", b, err)
+		}
+	}
+	// Reconstruct each lane's expected stream from the submission
+	// stream and compare.
+	wantByLane := map[int][]Event{}
+	for _, ev := range want {
+		l := LaneOf(ev.Party, ev.Instance, 8)
+		wantByLane[l] = append(wantByLane[l], ev)
+	}
+	rec.mu.Lock()
+	defer rec.mu.Unlock()
+	for l, wantEvs := range wantByLane {
+		got := rec.byLane[l]
+		if len(got) != len(wantEvs) {
+			t.Fatalf("lane %d: %d events, want %d", l, len(got), len(wantEvs))
+		}
+		for i := range got {
+			if got[i] != wantEvs[i] {
+				t.Fatalf("lane %d event %d = %+v, want %+v", l, i, got[i], wantEvs[i])
+			}
+		}
+	}
+	st := en.Stats()
+	if st.Submitted != uint64(len(want)) || st.Applied != uint64(len(want)) || st.Rejected != 0 || st.Queued != 0 {
+		t.Fatalf("stats = %+v, want %d submitted and applied, nothing rejected or queued", st, len(want))
+	}
+}
+
+// A batch that overflows a lane queue is rejected as a unit with a
+// retry hint, and reservations on other lanes are rolled back so the
+// engine can accept work again immediately.
+func TestBackpressureRejectsWholeBatch(t *testing.T) {
+	block, entered := make(chan struct{}), make(chan struct{}, 16)
+	en := New(Config{Lanes: 1, Workers: 1, QueueCap: 4}, func(lane int, events []Event) error {
+		entered <- struct{}{}
+		<-block
+		return nil
+	})
+	defer en.Close()
+
+	first := make(chan error, 1)
+	go func() { first <- en.Submit(ctx, []Event{evt("P", "a", 0), evt("P", "a", 1), evt("P", "a", 2)}) }()
+	<-entered // the worker holds the 3 reserved events in-flight
+
+	err := en.Submit(ctx, []Event{evt("P", "b", 0), evt("P", "b", 1)})
+	var bp *BackpressureError
+	if !errors.As(err, &bp) {
+		t.Fatalf("overflowing Submit = %v, want *BackpressureError", err)
+	}
+	if !errors.Is(err, ErrBackpressure) {
+		t.Fatal("BackpressureError does not unwrap to ErrBackpressure")
+	}
+	if bp.Lane != 0 {
+		t.Fatalf("rejected lane = %d, want 0", bp.Lane)
+	}
+	if bp.RetryAfter < 50*time.Millisecond || bp.RetryAfter > 500*time.Millisecond {
+		t.Fatalf("retry-after hint %s outside [50ms, 500ms]", bp.RetryAfter)
+	}
+	if st := en.Stats(); st.Rejected != 2 {
+		t.Fatalf("rejected counter = %d, want 2", st.Rejected)
+	}
+
+	// A fitting batch is still admitted: the rejection rolled back
+	// cleanly and only the in-flight reservation remains.
+	second := make(chan error, 1)
+	go func() { second <- en.Submit(ctx, []Event{evt("P", "c", 0)}) }()
+	close(block)
+	if err := <-first; err != nil {
+		t.Fatalf("first Submit: %v", err)
+	}
+	if err := <-second; err != nil {
+		t.Fatalf("second Submit: %v", err)
+	}
+	if st := en.Stats(); st.Applied != 4 || st.Queued != 0 {
+		t.Fatalf("stats after drain = %+v, want 4 applied, 0 queued", st)
+	}
+}
+
+// An apply error propagates to the submitter of that batch; lanes are
+// independent, so other submissions are unaffected.
+func TestApplyErrorPropagates(t *testing.T) {
+	boom := errors.New("apply failed")
+	en := New(Config{Lanes: 4, Workers: 2, QueueCap: 16}, func(lane int, events []Event) error {
+		for _, ev := range events {
+			if ev.Instance == "poison" {
+				return boom
+			}
+		}
+		return nil
+	})
+	defer en.Close()
+	if err := en.Submit(ctx, []Event{evt("P", "poison", 0)}); !errors.Is(err, boom) {
+		t.Fatalf("Submit = %v, want %v", err, boom)
+	}
+	if err := en.Submit(ctx, []Event{evt("P", "fine", 0)}); err != nil {
+		t.Fatalf("Submit after failed batch: %v", err)
+	}
+}
+
+// A canceled context abandons the wait, not the work: the submission
+// is still applied once the worker gets to it.
+func TestSubmitContextCancelAbandonsWaitNotWork(t *testing.T) {
+	block := make(chan struct{})
+	entered := make(chan struct{}, 2)
+	rec := newRecorder()
+	en := New(Config{Lanes: 1, Workers: 1, QueueCap: 16}, func(lane int, events []Event) error {
+		entered <- struct{}{}
+		<-block
+		return rec.apply(lane, events)
+	})
+	defer en.Close()
+	cctx, cancel := context.WithCancel(ctx)
+	errc := make(chan error, 1)
+	go func() { errc <- en.Submit(cctx, []Event{evt("P", "a", 0)}) }()
+	<-entered
+	cancel()
+	if err := <-errc; !errors.Is(err, context.Canceled) {
+		t.Fatalf("Submit = %v, want context.Canceled", err)
+	}
+	close(block)
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if en.Stats().Applied == 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("abandoned submission was never applied")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// Close completes in-flight applies, then rejects new submissions.
+func TestCloseDrainsAndRejects(t *testing.T) {
+	block := make(chan struct{})
+	entered := make(chan struct{}, 4)
+	en := New(Config{Lanes: 2, Workers: 1, QueueCap: 16}, func(lane int, events []Event) error {
+		entered <- struct{}{}
+		<-block
+		return nil
+	})
+	inflight := make(chan error, 1)
+	go func() { inflight <- en.Submit(ctx, []Event{evt("P", "a", 0)}) }()
+	<-entered
+	closed := make(chan struct{})
+	go func() { en.Close(); close(closed) }()
+	close(block)
+	if err := <-inflight; err != nil {
+		t.Fatalf("in-flight Submit across Close: %v", err)
+	}
+	<-closed
+	if err := en.Submit(ctx, []Event{evt("P", "b", 0)}); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Submit after Close = %v, want ErrClosed", err)
+	}
+	en.Close() // idempotent
+}
+
+// Concurrent submitters over many lanes: everything lands exactly
+// once, per-instance order holds within each submitter's stream.
+func TestConcurrentSubmitters(t *testing.T) {
+	rec := newRecorder()
+	en := New(Config{Lanes: 16, Workers: 4, QueueCap: 1024}, rec.apply)
+	defer en.Close()
+	const goroutines, batches, perBatch = 8, 20, 11
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			party := fmt.Sprintf("G%d", g)
+			for b := 0; b < batches; b++ {
+				var batch []Event
+				for i := 0; i < perBatch; i++ {
+					batch = append(batch, evt(party, fmt.Sprintf("i%d", i%3), b*perBatch+i))
+				}
+				for {
+					err := en.Submit(ctx, batch)
+					if err == nil {
+						break
+					}
+					if !errors.Is(err, ErrBackpressure) {
+						t.Errorf("goroutine %d: %v", g, err)
+						return
+					}
+					time.Sleep(time.Millisecond)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	total := 0
+	rec.mu.Lock()
+	perInstance := map[string][]Event{}
+	for _, evs := range rec.byLane {
+		total += len(evs)
+		for _, ev := range evs {
+			k := ev.Party + "\x00" + ev.Instance
+			perInstance[k] = append(perInstance[k], ev)
+		}
+	}
+	rec.mu.Unlock()
+	if want := goroutines * batches * perBatch; total != want {
+		t.Fatalf("applied %d events, want %d", total, want)
+	}
+	// One goroutine's events on one instance must appear in its
+	// submission order: Submit blocks per batch, and a lane is drained
+	// by one worker, so labels opN per (party, instance) ascend.
+	for k, evs := range perInstance {
+		last := -1
+		for _, ev := range evs {
+			var n int
+			if _, err := fmt.Sscanf(string(ev.Label), evs[0].Party+"#X#op%d", &n); err != nil {
+				t.Fatalf("unparseable label %q", ev.Label)
+			}
+			if n <= last {
+				t.Fatalf("instance %q: event order violated (%d after %d)", k, n, last)
+			}
+			last = n
+		}
+	}
+}

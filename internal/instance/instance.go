@@ -94,15 +94,49 @@ func NewChecker(newPublic *afsa.Automaton) (*Checker, error) {
 // Check classifies one instance: replay the trace on the determinized
 // candidate and test viability of the reached state.
 func (c *Checker) Check(inst Instance) Status {
-	q := c.step.Start()
-	if q == afsa.None {
-		return NonReplayable
-	}
+	q := c.Start()
 	for _, l := range inst.Trace {
-		q = c.step.Step(q, l)
+		q = c.Step(q, l)
 		if q == afsa.None {
 			return NonReplayable
 		}
+	}
+	return c.StatusAt(q)
+}
+
+// Incremental interface: streaming callers (the store's event-ingestion
+// path) keep one StateID per running instance and advance it message by
+// message instead of replaying the whole trace. The incremental answers
+// agree with Check by construction: Check is written in terms of them.
+
+// Start returns the replay start state (afsa.None when the candidate
+// has no start state, in which case nothing replays).
+func (c *Checker) Start() afsa.StateID { return c.step.Start() }
+
+// Step advances one replay state by one observed message; afsa.None
+// means the extended trace is not a prefix of the candidate behavior.
+func (c *Checker) Step(q afsa.StateID, l label.Label) afsa.StateID {
+	return c.step.Step(q, l)
+}
+
+// StepSym is Step for a pre-interned symbol — the allocation- and
+// hash-free hot path. Symbols must come from the interner the candidate
+// automaton was built on (the choreography's shared interner).
+func (c *Checker) StepSym(q afsa.StateID, sym label.Symbol) afsa.StateID {
+	return c.step.StepSym(q, sym)
+}
+
+// Symbol resolves a label through the checker's construction-time
+// interner snapshot.
+func (c *Checker) Symbol(l label.Label) (label.Symbol, bool) {
+	return c.step.Symbol(l)
+}
+
+// StatusAt classifies a replay state: NonReplayable for afsa.None (the
+// replay already failed), otherwise viable ⇒ Migratable, else Unviable.
+func (c *Checker) StatusAt(q afsa.StateID) Status {
+	if q == afsa.None || int(q) >= len(c.viable) {
+		return NonReplayable
 	}
 	if !c.viable[q] {
 		return Unviable

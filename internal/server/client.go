@@ -388,6 +388,36 @@ func (c *Client) AddInstances(ctx context.Context, id, party string, insts []Ins
 	return out.Added, err
 }
 
+// IngestEvents streams one batch of observed instance events
+// (POST /v2/choreographies/{id}/instances:events). The batch is
+// durably journaled and applied before the call returns. A full
+// ingestion lane surfaces as an APIError with CodeResourceExhausted;
+// resubmit the identical batch after the RetryAfter backoff.
+func (c *Client) IngestEvents(ctx context.Context, id string, events []IngestEventJSON) (int, error) {
+	var out IngestResponse
+	_, err := c.do(ctx, "POST", "/v2/choreographies/"+seg(id)+"/instances:events", nil,
+		IngestRequest{Events: events}, &out)
+	if err != nil {
+		return 0, err
+	}
+	return out.Ingested, nil
+}
+
+// RetryAfter extracts the server's backoff hint from a
+// resource_exhausted (backpressure) API error. ok is false when err is
+// no such error or carries no hint.
+func RetryAfter(err error) (backoff time.Duration, ok bool) {
+	var apiErr *APIError
+	if !errors.As(err, &apiErr) || apiErr.Code != CodeResourceExhausted {
+		return 0, false
+	}
+	secs, ok := apiErr.Details["retryAfter"].(float64)
+	if !ok || secs < 0 {
+		return 0, false
+	}
+	return time.Duration(secs * float64(time.Second)), true
+}
+
 // Migrate classifies a party's recorded instances; evoID may be empty
 // (classify against the current schema) or name a pending evolution
 // (what-if before committing).

@@ -25,6 +25,7 @@
 //	POST   /v2/evolutions/{evo}/commit                        [If-Match] → 412 on stale
 //	POST   /v2/evolutions/{evo}/apply                         {partner, suggestions[]} → 409 on race
 //	POST   /v2/choreographies/{id}/parties/{party}/instances  {sample}|{instances}
+//	POST   /v2/choreographies/{id}/instances:events           {events[]} → 429 + retryAfter on backpressure
 //	POST   /v2/choreographies/{id}/parties/{party}/migrate    {evolution}
 //	POST   /v2/choreographies/{id}/migrations                 {workers} → bulk sweep job
 //	GET    /v2/choreographies/{id}/migrations                 ?limit=&page_token=
@@ -487,15 +488,20 @@ func (s *Server) stats() StatsResponse {
 	pending := len(s.evos)
 	s.evoMu.RUnlock()
 	return StatsResponse{
-		Choreographies:    st.Choreographies,
-		ConsistencyHits:   st.ConsistencyHits,
-		ConsistencyMisses: st.ConsistencyMisses,
-		ViewHits:          st.ViewHits,
-		ViewMisses:        st.ViewMisses,
-		Commits:           st.Commits,
-		Conflicts:         st.Conflicts,
-		Evolutions:        st.Evolutions,
-		PendingEvolutions: pending,
-		Requests:          s.requests.Load(),
+		Choreographies:          st.Choreographies,
+		ConsistencyHits:         st.ConsistencyHits,
+		ConsistencyMisses:       st.ConsistencyMisses,
+		ViewHits:                st.ViewHits,
+		ViewMisses:              st.ViewMisses,
+		Commits:                 st.Commits,
+		Conflicts:               st.Conflicts,
+		Evolutions:              st.Evolutions,
+		PendingEvolutions:       pending,
+		Requests:                s.requests.Load(),
+		TrackedInstances:        st.TrackedInstances,
+		InstancesByChoreography: st.InstancesByChoreography,
+		EventsIngested:          st.EventsIngested,
+		IngestRejected:          st.IngestRejected,
+		OnlineMigrations:        st.OnlineMigrations,
 	}
 }

@@ -8,6 +8,8 @@ import (
 	"time"
 
 	"repro/internal/bpel"
+	"repro/internal/ingest"
+	"repro/internal/label"
 	"repro/internal/store"
 )
 
@@ -34,6 +36,7 @@ func (s *Server) routesV2(mux *http.ServeMux) {
 	mux.HandleFunc("POST /v2/evolutions/{evo}/commit", s.v2Commit)
 	mux.HandleFunc("POST /v2/evolutions/{evo}/apply", s.v2Apply)
 	mux.HandleFunc("POST /v2/choreographies/{id}/parties/{party}/instances", s.v2Instances)
+	mux.HandleFunc("POST /v2/choreographies/{id}/instances:events", s.v2IngestEvents)
 	mux.HandleFunc("POST /v2/choreographies/{id}/parties/{party}/migrate", s.v2Migrate)
 	mux.HandleFunc("POST /v2/choreographies/{id}/migrations", s.v2StartMigration)
 	mux.HandleFunc("GET /v2/choreographies/{id}/migrations", s.v2ListMigrations)
@@ -434,6 +437,48 @@ func (s *Server) v2Instances(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusCreated, map[string]int{"added": added})
+}
+
+// maxIngestBatch bounds one ingest request. It stays below the
+// store's per-lane queue capacity so a single maximal batch routed to
+// one lane can always be admitted by an idle engine. Documented in
+// docs/api.md — change both together.
+const maxIngestBatch = 1024
+
+// v2IngestEvents streams one batch of observed instance events into
+// the choreography. The batch is durably journaled and applied before
+// the response; a full ingestion lane answers 429
+// {code: "resource_exhausted"} with a retryAfter hint in the details,
+// and the client resubmits the identical batch after backing off.
+func (s *Server) v2IngestEvents(w http.ResponseWriter, r *http.Request) {
+	var req IngestRequest
+	if err := decode(r, &req); err != nil {
+		writeErrorV2(w, err)
+		return
+	}
+	if len(req.Events) == 0 {
+		writeErrorV2(w, badRequest("empty event batch"))
+		return
+	}
+	if len(req.Events) > maxIngestBatch {
+		writeErrorV2(w, badRequest("batch of %d events exceeds the maximum of %d", len(req.Events), maxIngestBatch))
+		return
+	}
+	events := make([]ingest.Event, 0, len(req.Events))
+	for i, ev := range req.Events {
+		l, err := label.Parse(ev.Label)
+		if err != nil {
+			writeErrorV2(w, badRequest("events[%d]: %v", i, err))
+			return
+		}
+		events = append(events, ingest.Event{Party: ev.Party, Instance: ev.Instance, Label: l})
+	}
+	n, err := s.store.IngestEvents(r.Context(), r.PathValue("id"), events)
+	if err != nil {
+		writeErrorV2(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, IngestResponse{Ingested: n})
 }
 
 func (s *Server) v2Migrate(w http.ResponseWriter, r *http.Request) {

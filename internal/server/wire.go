@@ -11,6 +11,7 @@ import (
 	"strconv"
 	"strings"
 
+	"repro/internal/ingest"
 	"repro/internal/store"
 )
 
@@ -187,6 +188,18 @@ type StatsResponse struct {
 	Evolutions        uint64 `json:"evolutions"`
 	PendingEvolutions int    `json:"pendingEvolutions"`
 	Requests          uint64 `json:"requests"`
+	// TrackedInstances counts recorded instances across every
+	// choreography; InstancesByChoreography breaks the count down per
+	// choreography ID.
+	TrackedInstances        int            `json:"trackedInstances"`
+	InstancesByChoreography map[string]int `json:"instancesByChoreography,omitempty"`
+	// EventsIngested / IngestRejected / OnlineMigrations are the
+	// streaming-ingestion counters: events durably applied, events
+	// refused with resource_exhausted backpressure, and instances moved
+	// to a newer schema online as their next event arrived.
+	EventsIngested   uint64 `json:"eventsIngested"`
+	IngestRejected   uint64 `json:"ingestRejected"`
+	OnlineMigrations uint64 `json:"onlineMigrations"`
 }
 
 // ---- v1-only wire types ----
@@ -220,13 +233,14 @@ type EvolveResponse struct {
 // Error codes of the /v2/ error envelope. They are part of the API
 // contract: clients branch on codes, not on message strings.
 const (
-	CodeInvalidArgument = "invalid_argument" // 400
-	CodeNotFound        = "not_found"        // 404
-	CodeAlreadyExists   = "already_exists"   // 409
-	CodeConflict        = "conflict"         // 409
-	CodeStaleVersion    = "stale_version"    // 412
-	CodeCancelled       = "cancelled"        // 503
-	CodeInternal        = "internal"         // 500
+	CodeInvalidArgument   = "invalid_argument"   // 400
+	CodeNotFound          = "not_found"          // 404
+	CodeAlreadyExists     = "already_exists"     // 409
+	CodeConflict          = "conflict"           // 409
+	CodeStaleVersion      = "stale_version"      // 412
+	CodeResourceExhausted = "resource_exhausted" // 429 (backpressure; details carry retryAfter seconds)
+	CodeCancelled         = "cancelled"          // 503
+	CodeInternal          = "internal"           // 500
 )
 
 // ErrorEnvelope is the uniform machine-readable /v2/ error body.
@@ -351,6 +365,30 @@ type MigrationListResponse struct {
 	NextPageToken string             `json:"nextPageToken,omitempty"`
 }
 
+// IngestEventJSON is one observed message of a running instance: the
+// exchanged label, attributed to the tracking party's instance ID. An
+// unknown (party, instance) pair starts a fresh instance at the
+// current schema version.
+type IngestEventJSON struct {
+	Party    string `json:"party"`
+	Instance string `json:"instance"`
+	Label    string `json:"label"`
+}
+
+// IngestRequest is one event batch for
+// POST /v2/choreographies/{id}/instances:events. Events of one
+// instance apply in batch order; the whole batch is accepted or — when
+// an ingestion lane's queue is full — rejected as a unit with
+// resource_exhausted and a retryAfter hint (see docs/ingest.md).
+type IngestRequest struct {
+	Events []IngestEventJSON `json:"events"`
+}
+
+// IngestResponse acknowledges a durably applied event batch.
+type IngestResponse struct {
+	Ingested int `json:"ingested"`
+}
+
 // CheckpointResponse acknowledges a journal compaction
 // (POST /v2/admin/checkpoint).
 type CheckpointResponse struct {
@@ -377,7 +415,13 @@ func badRequest(format string, args ...any) error {
 func envelope(err error) (int, ErrorEnvelope) {
 	env := ErrorEnvelope{Message: err.Error()}
 	var status int
+	var bp *ingest.BackpressureError
 	switch {
+	case errors.As(err, &bp):
+		status, env.Code = http.StatusTooManyRequests, CodeResourceExhausted
+		env.Details = map[string]any{"retryAfter": bp.RetryAfter.Seconds(), "lane": bp.Lane}
+	case errors.Is(err, ingest.ErrBackpressure):
+		status, env.Code = http.StatusTooManyRequests, CodeResourceExhausted
 	case errors.Is(err, errStale):
 		status, env.Code = http.StatusPreconditionFailed, CodeStaleVersion
 	case errors.Is(err, store.ErrNotFound):

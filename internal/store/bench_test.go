@@ -1,12 +1,15 @@
 package store
 
 import (
+	"fmt"
 	"sync/atomic"
 	"testing"
 	"time"
 
 	"repro/internal/bpel"
 	"repro/internal/gen"
+	"repro/internal/ingest"
+	"repro/internal/instance"
 	"repro/internal/paperrepro"
 )
 
@@ -123,6 +126,64 @@ func BenchmarkEvolveAnalysis(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		if _, err := s.Evolve(ctx, "p", paperrepro.Accounting, paperrepro.CancelChange()); err != nil {
 			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkIngestEvents drives the streaming event path end to end —
+// batches of observed messages through the lane engine into live
+// instance state — crossing batch size with apply workers. The
+// events/s metric is the acceptance number for the ingest subsystem.
+func BenchmarkIngestEvents(b *testing.B) {
+	for _, batch := range []int{1, 64, 1024} {
+		for _, workers := range []int{1, 4, 8} {
+			b.Run(fmt.Sprintf("batch%d/workers%d", batch, workers), func(b *testing.B) {
+				s := New(WithIngestWorkers(workers))
+				if err := s.Create(ctx, "p", paperSyncOps); err != nil {
+					b.Fatal(err)
+				}
+				for _, p := range []*bpel.Process{
+					paperrepro.BuyerProcess(), paperrepro.AccountingProcess(), paperrepro.LogisticsProcess(),
+				} {
+					if _, err := s.RegisterParty(ctx, "p", p); err != nil {
+						b.Fatal(err)
+					}
+				}
+				snap, err := s.Snapshot(ctx, "p")
+				if err != nil {
+					b.Fatal(err)
+				}
+				// A pool of valid interleaved streams; cycling past the end
+				// re-feeds instances, which then deviate — keeping a realistic
+				// mix of stepping and deviated instances in long runs.
+				var pool []ingest.Event
+				for pi, party := range []string{paperrepro.Buyer, paperrepro.Accounting, paperrepro.Logistics} {
+					ps, _ := snap.Party(party)
+					insts := instance.SampleInstances(ps.Public, int64(pi+1), 256, 10)
+					for i := range insts {
+						insts[i].ID = fmt.Sprintf("b%d-%d", pi, i)
+					}
+					pool = append(pool, interleave(party, insts)...)
+				}
+				if len(pool) < batch {
+					b.Fatalf("event pool %d too small for batch %d", len(pool), batch)
+				}
+				buf := make([]ingest.Event, batch)
+				off := 0
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					for j := range buf {
+						buf[j] = pool[off]
+						off = (off + 1) % len(pool)
+					}
+					if _, err := s.IngestEvents(ctx, "p", buf); err != nil {
+						b.Fatal(err)
+					}
+				}
+				b.StopTimer()
+				b.ReportMetric(float64(b.N*batch)/b.Elapsed().Seconds(), "events/s")
+			})
 		}
 	}
 }

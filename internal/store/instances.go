@@ -29,12 +29,25 @@ const instShardCount = 64
 
 // instRecord is one tracked instance. schema is the choreography
 // snapshot version the instance currently complies with: the version
-// current when it was recorded, advanced by every bulk migration that
-// classified it migratable. Records are addressed by pointer, so a
-// commit tags them in place regardless of concurrent appends.
+// current when it was recorded, advanced by every bulk migration (or
+// streaming online migration) that classified it migratable. Records
+// are addressed by pointer, so a commit tags them in place regardless
+// of concurrent appends.
 type instRecord struct {
 	inst   instance.Instance
 	schema uint64
+	// ref is the record's index in its party's shard slice — the
+	// stable address migration refs and journaled tag advances use.
+	// Set at append time; records never move.
+	ref int
+	// live is the streaming path's derived runtime state (replay state,
+	// deviation point); nil until the first ingested event touches the
+	// record. It is replaced wholesale under the shard lock, never
+	// mutated in place, so a loaded pointer stays consistent. Live
+	// state is derived data: it is neither journaled nor checkpointed,
+	// and is rebuilt lazily from the trace after recovery or a schema
+	// commit (see ingest.go).
+	live *instLive
 }
 
 // instShard is one lockable slice of a choreography's instances,
@@ -43,6 +56,11 @@ type instRecord struct {
 type instShard struct {
 	mu   sync.Mutex
 	recs map[string][]*instRecord
+	// idx resolves (party, instance id) → the party's FIRST record
+	// with that id; the streaming event path appends to that record.
+	// Later duplicates recorded through AddInstances never displace
+	// the first, keeping the mapping deterministic across replay.
+	idx map[string]*instRecord
 }
 
 func instShardOf(party, id string) int {
@@ -53,16 +71,32 @@ func instShardOf(party, id string) int {
 	return int(h.Sum32() % instShardCount)
 }
 
+// instIdxKey flattens (party, instance id) into one idx map key.
+func instIdxKey(party, id string) string { return party + "\x00" + id }
+
+// appendLocked appends one record to party's slice, assigning its ref
+// and registering it in the id index; the caller holds sh.mu.
+func (sh *instShard) appendLocked(party string, rec *instRecord) {
+	if sh.recs == nil {
+		sh.recs = map[string][]*instRecord{}
+	}
+	if sh.idx == nil {
+		sh.idx = map[string]*instRecord{}
+	}
+	rec.ref = len(sh.recs[party])
+	sh.recs[party] = append(sh.recs[party], rec)
+	if k := instIdxKey(party, rec.inst.ID); sh.idx[k] == nil {
+		sh.idx[k] = rec
+	}
+}
+
 // addInstances distributes records over e's instance shards, tagging
 // them with the given snapshot version.
 func (e *entry) addInstances(party string, insts []instance.Instance, schema uint64) {
 	for _, inst := range insts {
 		sh := &e.inst[instShardOf(party, inst.ID)]
 		sh.mu.Lock()
-		if sh.recs == nil {
-			sh.recs = map[string][]*instRecord{}
-		}
-		sh.recs[party] = append(sh.recs[party], &instRecord{inst: inst, schema: schema})
+		sh.appendLocked(party, &instRecord{inst: inst, schema: schema})
 		sh.mu.Unlock()
 	}
 }

@@ -102,11 +102,24 @@ func Open(opts ...Option) (*Store, error) {
 // Durable reports whether the store writes a journal.
 func (s *Store) Durable() bool { return s.jnl != nil }
 
-// Close releases the journal (fsyncing it first). It does not
-// checkpoint — pair it with Checkpoint for a clean shutdown, or skip
-// the checkpoint and let the next Open replay the log. Close on an
-// in-memory store is a no-op.
+// Close shuts every choreography's event engine down (failing
+// still-queued ingest submissions with ingest.ErrClosed) and releases
+// the journal, fsyncing it first. It does not checkpoint — pair it
+// with Checkpoint for a clean shutdown, or skip the checkpoint and let
+// the next Open replay the log.
 func (s *Store) Close() error {
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.RLock()
+		es := make([]*entry, 0, len(sh.entries))
+		for _, e := range sh.entries {
+			es = append(es, e)
+		}
+		sh.mu.RUnlock()
+		for _, e := range es {
+			e.closeIngest()
+		}
+	}
 	if s.jnl == nil {
 		return nil
 	}
@@ -154,6 +167,7 @@ type walRecord struct {
 	Delete    *recDelete    `json:"delete,omitempty"`
 	Commit    *recCommit    `json:"commit,omitempty"`
 	Instances *recInstances `json:"instances,omitempty"`
+	Events    *recEvents    `json:"events,omitempty"`
 	MigJob    *recMigJob    `json:"migJob,omitempty"`
 	MigTags   *recMigTags   `json:"migTags,omitempty"`
 	MigShard  *recMigShard  `json:"migShard,omitempty"`
@@ -187,6 +201,39 @@ type recInstances struct {
 	Party  string          `json:"party"`
 	Schema uint64          `json:"schema"`
 	Insts  []persistedInst `json:"insts"`
+}
+
+// recEvent is one ingested message within a recEvents batch.
+type recEvent struct {
+	Party string      `json:"party"`
+	Inst  string      `json:"inst"`
+	Label label.Label `json:"label"`
+}
+
+// recEvtCreate journals one instance a recEvents batch started
+// tracking, with the schema tag decided at live apply time.
+type recEvtCreate struct {
+	Party  string `json:"party"`
+	Inst   string `json:"inst"`
+	Schema uint64 `json:"schema"`
+}
+
+// recEvents journals one applied lane batch of the streaming event
+// path (see ingest.go): the events in apply order plus the *decided
+// facts* — instances created by the batch with their creation tags,
+// and the online-migration tag advances (monotonic, hence idempotent,
+// like recMigTags). Replay applies the recorded outcomes instead of
+// re-running the decisions, so recovery is deterministic regardless of
+// how concurrent commit records interleave with event records in the
+// WAL. Live replay state is derived data and deliberately absent; it
+// is rebuilt lazily from the traces after recovery.
+type recEvents struct {
+	ID      string         `json:"id"`
+	Shard   int            `json:"shard"`
+	Events  []recEvent     `json:"events"`
+	Created []recEvtCreate `json:"created,omitempty"`
+	Target  uint64         `json:"target,omitempty"`
+	Tags    []tagRef       `json:"tags,omitempty"`
 }
 
 // recMigJob journals the creation of a bulk-migration job.
@@ -518,6 +565,8 @@ func (s *Store) replay(data []byte) error {
 		return s.applyCommit(rec.Commit)
 	case rec.Instances != nil:
 		return s.applyInstances(rec.Instances)
+	case rec.Events != nil:
+		return s.applyEvents(rec.Events)
 	case rec.MigJob != nil:
 		return s.applyMigJob(rec.MigJob)
 	case rec.MigTags != nil:
@@ -596,6 +645,52 @@ func (s *Store) applyInstances(rec *recInstances) error {
 	}
 	for _, pi := range rec.Insts {
 		e.addInstances(rec.Party, []instance.Instance{{ID: pi.ID, Trace: pi.Trace}}, rec.Schema)
+	}
+	return nil
+}
+
+// applyEvents replays one lane batch of ingested events: traces grow
+// by the recorded labels in order, instances the batch started
+// tracking are re-created in first-touch order (reproducing the exact
+// shard slots), and the journaled tag advances are re-applied
+// monotonically. Live replay state stays nil — it is derived data,
+// rebuilt lazily on the next event or read.
+func (s *Store) applyEvents(rec *recEvents) error {
+	e, err := s.entry(rec.ID)
+	if err != nil {
+		return nil // raced a delete; see applyCommit
+	}
+	if rec.Shard < 0 || rec.Shard >= instShardCount {
+		return fmt.Errorf("ingested events for %q: shard %d out of range", rec.ID, rec.Shard)
+	}
+	created := make(map[string]uint64, len(rec.Created))
+	for _, c := range rec.Created {
+		created[instIdxKey(c.Party, c.Inst)] = c.Schema
+	}
+	sh := &e.inst[rec.Shard]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	for _, ev := range rec.Events {
+		k := instIdxKey(ev.Party, ev.Inst)
+		r := sh.idx[k]
+		if r == nil {
+			schema, isNew := created[k]
+			if !isNew {
+				return fmt.Errorf("ingested events for %q: unknown instance %s/%s", rec.ID, ev.Party, ev.Inst)
+			}
+			r = &instRecord{inst: instance.Instance{ID: ev.Inst}, schema: schema}
+			sh.appendLocked(ev.Party, r)
+		}
+		r.inst.Trace = append(r.inst.Trace, ev.Label)
+	}
+	for _, ref := range rec.Tags {
+		recs := sh.recs[ref.Party]
+		if ref.Ref < 0 || ref.Ref >= len(recs) {
+			return fmt.Errorf("ingested events for %q: ref %s/%d out of range", rec.ID, ref.Party, ref.Ref)
+		}
+		if r := recs[ref.Ref]; r.schema < rec.Target {
+			r.schema = rec.Target
+		}
 	}
 	return nil
 }

@@ -13,7 +13,9 @@ import (
 	"repro/internal/bpel"
 	"repro/internal/change"
 	"repro/internal/gen"
+	"repro/internal/ingest"
 	"repro/internal/instance"
+	"repro/internal/label"
 	"repro/internal/migrate"
 	"repro/internal/paperrepro"
 )
@@ -274,7 +276,7 @@ func (q *opSeq) step(t *testing.T, s *Store, checkpoint bool) {
 		if _, err := s.CommitEvolution(ctx, evo); err != nil {
 			t.Fatalf("commit %s/%s: %v", id, party, err)
 		}
-	case choice < 75:
+	case choice < 68:
 		id := q.pick()
 		party := "A"
 		if q.rng.Intn(2) == 0 {
@@ -283,10 +285,47 @@ func (q *opSeq) step(t *testing.T, s *Store, checkpoint bool) {
 		if _, err := s.SampleInstances(ctx, id, party, q.rng.Int63(), 1+q.rng.Intn(6), 3+q.rng.Intn(6)); err != nil {
 			t.Fatalf("sample %s/%s: %v", id, party, err)
 		}
-	case choice < 88:
+	case choice < 78:
 		id := q.pick()
 		if _, err := s.MigrateAll(ctx, id, 1+q.rng.Intn(3)); err != nil {
 			t.Fatalf("migrate %s: %v", id, err)
+		}
+	case choice < 89:
+		// Streaming ingest targeting a single instance: one lane, one
+		// apply, exactly one WAL record — which keeps the
+		// cut-at-every-op boundaries of the recovery harness valid.
+		// Reused instance IDs extend earlier traces; a junk label (one
+		// the interner has never seen) records a deviation.
+		id := q.pick()
+		party := "A"
+		if q.rng.Intn(2) == 0 {
+			party = "B"
+		}
+		instID := fmt.Sprintf("ing-%02d", q.rng.Intn(24))
+		junk := q.rng.Intn(4) == 0
+		junkN := q.rng.Intn(3)
+		sampleSeed := q.rng.Int63()
+		maxLen := 2 + q.rng.Intn(5)
+		snap, err := s.Snapshot(ctx, id)
+		if err != nil {
+			t.Fatalf("snapshot %s: %v", id, err)
+		}
+		ps, ok := snap.Party(party)
+		if !ok {
+			t.Fatalf("%s: party %s missing", id, party)
+		}
+		var evs []ingest.Event
+		for _, l := range instance.SampleInstances(ps.Public, sampleSeed, 1, maxLen)[0].Trace {
+			evs = append(evs, ingest.Event{Party: party, Instance: instID, Label: l})
+		}
+		if junk || len(evs) == 0 {
+			evs = append(evs, ingest.Event{
+				Party: party, Instance: instID,
+				Label: label.Label(fmt.Sprintf("%s#Z#junk%dOp", party, junkN)),
+			})
+		}
+		if _, err := s.IngestEvents(ctx, id, evs); err != nil {
+			t.Fatalf("ingest %s/%s: %v", id, party, err)
 		}
 	case choice < 93 && len(q.ids) > 1:
 		i := q.rng.Intn(len(q.ids))
@@ -563,6 +602,114 @@ func TestNewPanicsOnJournal(t *testing.T) {
 		}
 	}()
 	New(WithJournal(t.TempDir()))
+}
+
+// ingestWave feeds one deterministic interleaved mix of streaming
+// events and batch-recorded instances into st's procurement
+// choreography. Waves build on each other: wave 2 reuses wave 1's
+// instance IDs, so its events extend traces that — after a crash —
+// exist only as recovered WAL facts, forcing live-state rebuilds.
+func ingestWave(t *testing.T, st *Store, wave int) {
+	t.Helper()
+	snap, err := st.Snapshot(ctx, "procurement")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for pi, party := range []string{paperrepro.Buyer, paperrepro.Accounting, paperrepro.Logistics} {
+		ps, ok := snap.Party(party)
+		if !ok {
+			t.Fatalf("party %s missing", party)
+		}
+		insts := instance.SampleInstances(ps.Public, int64(wave*100+pi), 6, 8)
+		for i := range insts {
+			// Stable across waves: wave 2 appends to wave 1's records.
+			insts[i].ID = fmt.Sprintf("st-%d", i)
+		}
+		// One deviator per party per wave: a valid first message, then a
+		// label no interner has ever produced.
+		insts = append(insts, instance.Instance{
+			ID:    fmt.Sprintf("dev-%d", wave),
+			Trace: []label.Label{"B#A#orderOp", label.Label(fmt.Sprintf("%s#Z#bogus%dOp", party, wave))},
+		})
+		var stream []ingest.Event
+		for pos := 0; ; pos++ {
+			progressed := false
+			for _, inst := range insts {
+				if pos < len(inst.Trace) {
+					stream = append(stream, ingest.Event{Party: party, Instance: inst.ID, Label: inst.Trace[pos]})
+					progressed = true
+				}
+			}
+			if !progressed {
+				break
+			}
+		}
+		// Interleave event batches with AddInstances so recEvents and
+		// instance records land mixed in the WAL, sharing the
+		// per-entry append-lock ordering.
+		for batch := 0; len(stream) > 0; batch++ {
+			n := 7
+			if n > len(stream) {
+				n = len(stream)
+			}
+			if _, err := st.IngestEvents(ctx, "procurement", stream[:n]); err != nil {
+				t.Fatalf("wave %d ingest %s: %v", wave, party, err)
+			}
+			stream = stream[n:]
+			if batch%3 == 0 {
+				adds := []instance.Instance{{ID: fmt.Sprintf("add-w%d-%s-%d", wave, party, batch)}}
+				if err := st.AddInstances(ctx, "procurement", party, adds); err != nil {
+					t.Fatalf("wave %d add %s: %v", wave, party, err)
+				}
+			}
+		}
+	}
+}
+
+// TestRecoverIngestInterleavedWithAddInstances pins the WAL ordering of
+// streaming event records against batch instance records: a store fed
+// an interleaved mix is killed without a handshake, and the recovered
+// store must match exactly — shard slots, traces, schema tags. It then
+// pins that recovery is not a dead end: the recovered store resumes
+// ingestion, and its per-instance streaming state stays identical to a
+// mirror that never crashed.
+func TestRecoverIngestInterleavedWithAddInstances(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(WithJournal(dir), WithShards(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	mirror := New(WithShards(4))
+	for _, st := range []*Store{s, mirror} {
+		seedPaperScenario(t, st)
+		ingestWave(t, st, 1)
+	}
+	// Kill: no Checkpoint, no Close. Only the journal survives.
+	recovered, err := Open(WithJournal(dir), WithShards(4))
+	if err != nil {
+		t.Fatalf("recovery: %v", err)
+	}
+	defer recovered.Close()
+	assertStoresEqual(t, s, recovered)
+
+	// Resume ingestion on the recovered store; the never-killed mirror
+	// runs the identical wave as the reference.
+	ingestWave(t, mirror, 2)
+	ingestWave(t, recovered, 2)
+	assertStoresEqual(t, mirror, recovered)
+	for _, party := range []string{paperrepro.Buyer, paperrepro.Accounting, paperrepro.Logistics} {
+		want, err := mirror.InstanceStates(ctx, "procurement", party)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := recovered.InstanceStates(ctx, "procurement", party)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if fmt.Sprint(got) != fmt.Sprint(want) {
+			t.Fatalf("%s: resumed instance states differ:\n got %v\nwant %v", party, got, want)
+		}
+	}
 }
 
 // TestInstanceRecordingOrderSurvives pins the ref-stability invariant

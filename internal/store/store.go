@@ -76,6 +76,7 @@ import (
 
 	"repro/internal/afsa"
 	"repro/internal/bpel"
+	"repro/internal/ingest"
 	"repro/internal/journal"
 	"repro/internal/label"
 	"repro/internal/mapping"
@@ -122,10 +123,16 @@ type entry struct {
 	// never lock the whole population (see instances.go).
 	inst [instShardCount]instShard
 	// instAppendMu orders journaled instance recordings: the WAL order
-	// of recInstances records must match the in-memory append order,
-	// because shard slice indices are migration refs (see
-	// recordInstances in persist.go). Untaken on in-memory stores.
+	// of recInstances and recEvents records must match the in-memory
+	// append order, because shard slice indices are migration refs
+	// (see recordInstances in persist.go and applyIngest in
+	// ingest.go). Untaken on in-memory stores.
 	instAppendMu sync.Mutex
+
+	// ing is the choreography's streaming event engine, created lazily
+	// on the first IngestEvents call (see ingest.go).
+	ingMu sync.Mutex
+	ing   *ingest.Engine
 }
 
 type shard struct {
@@ -147,6 +154,16 @@ type Stats struct {
 	Commits, Conflicts uint64
 	// Evolutions counts analyzed (not necessarily committed) changes.
 	Evolutions uint64
+	// TrackedInstances counts currently tracked instance records
+	// across all choreographies; InstancesByChoreography breaks the
+	// count down per choreography.
+	TrackedInstances        int
+	InstancesByChoreography map[string]int
+	// EventsIngested counts events accepted by the streaming path;
+	// IngestRejected counts events turned away by backpressure (whole
+	// batches); OnlineMigrations counts instances the streaming path
+	// moved to a newer schema at a compliant point (see ingest.go).
+	EventsIngested, IngestRejected, OnlineMigrations uint64
 }
 
 // Store is a sharded in-memory choreography store safe for concurrent
@@ -175,10 +192,19 @@ type Store struct {
 	migs     map[string]*migrate.Job
 	migOrder []string
 
+	// ingestWorkers/ingestQueueCap are the WithIngest* settings; zero
+	// keeps the ingest.go defaults.
+	ingestWorkers  int
+	ingestQueueCap int
+
 	consHits, consMisses atomic.Uint64
 	viewHits, viewMisses atomic.Uint64
 	commits, conflicts   atomic.Uint64
 	evolutions           atomic.Uint64
+
+	eventsIngested   atomic.Uint64
+	ingestRejected   atomic.Uint64
+	onlineMigrations atomic.Uint64
 }
 
 // DefaultShards is the shard count used unless WithShards overrides it.
@@ -294,23 +320,34 @@ func (s *Store) Create(ctx context.Context, id string, syncOps []string) error {
 	return nil
 }
 
-// Delete removes a choreography.
+// Delete removes a choreography, shutting its event engine down;
+// in-flight ingest submissions fail with ingest.ErrClosed.
 func (s *Store) Delete(ctx context.Context, id string) error {
 	if err := ctxErr(ctx); err != nil {
 		return err
 	}
-	unlock := s.persistRLock()
-	defer unlock()
-	sh := s.shardOf(id)
-	sh.mu.Lock()
-	defer sh.mu.Unlock()
-	if _, ok := sh.entries[id]; !ok {
-		return fmt.Errorf("%w: choreography %q", ErrNotFound, id)
-	}
-	if err := s.appendWAL(&walRecord{Delete: &recDelete{ID: id}}); err != nil {
+	e, err := func() (*entry, error) {
+		unlock := s.persistRLock()
+		defer unlock()
+		sh := s.shardOf(id)
+		sh.mu.Lock()
+		defer sh.mu.Unlock()
+		e, ok := sh.entries[id]
+		if !ok {
+			return nil, fmt.Errorf("%w: choreography %q", ErrNotFound, id)
+		}
+		if err := s.appendWAL(&walRecord{Delete: &recDelete{ID: id}}); err != nil {
+			return nil, err
+		}
+		delete(sh.entries, id)
+		return e, nil
+	}()
+	if err != nil {
 		return err
 	}
-	delete(sh.entries, id)
+	// Outside every lock: Close waits for in-flight lane applies,
+	// which take the persist read lock and the instance shard locks.
+	e.closeIngest()
 	return nil
 }
 
@@ -667,23 +704,51 @@ func (s *Store) View(ctx context.Context, id, of, forParty string) (*afsa.Automa
 	return s.view(ps, forParty), nil
 }
 
-// Stats returns cumulative counters.
+// Stats returns cumulative counters plus a momentary census of the
+// tracked-instance population (counted under the instance-shard locks,
+// one shard at a time).
 func (s *Store) Stats() Stats {
 	n := 0
+	byChoreo := map[string]int{}
 	for i := range s.shards {
 		sh := &s.shards[i]
 		sh.mu.RLock()
-		n += len(sh.entries)
+		es := make([]*entry, 0, len(sh.entries))
+		for _, e := range sh.entries {
+			es = append(es, e)
+		}
 		sh.mu.RUnlock()
+		n += len(es)
+		for _, e := range es {
+			count := 0
+			for j := range e.inst {
+				ish := &e.inst[j]
+				ish.mu.Lock()
+				for _, recs := range ish.recs {
+					count += len(recs)
+				}
+				ish.mu.Unlock()
+			}
+			byChoreo[e.id] = count
+		}
+	}
+	total := 0
+	for _, c := range byChoreo {
+		total += c
 	}
 	return Stats{
-		Choreographies:    n,
-		ConsistencyHits:   s.consHits.Load(),
-		ConsistencyMisses: s.consMisses.Load(),
-		ViewHits:          s.viewHits.Load(),
-		ViewMisses:        s.viewMisses.Load(),
-		Commits:           s.commits.Load(),
-		Conflicts:         s.conflicts.Load(),
-		Evolutions:        s.evolutions.Load(),
+		Choreographies:          n,
+		ConsistencyHits:         s.consHits.Load(),
+		ConsistencyMisses:       s.consMisses.Load(),
+		ViewHits:                s.viewHits.Load(),
+		ViewMisses:              s.viewMisses.Load(),
+		Commits:                 s.commits.Load(),
+		Conflicts:               s.conflicts.Load(),
+		Evolutions:              s.evolutions.Load(),
+		TrackedInstances:        total,
+		InstancesByChoreography: byChoreo,
+		EventsIngested:          s.eventsIngested.Load(),
+		IngestRejected:          s.ingestRejected.Load(),
+		OnlineMigrations:        s.onlineMigrations.Load(),
 	}
 }

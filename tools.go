@@ -2,6 +2,7 @@ package choreo
 
 import (
 	"net/http"
+	"time"
 
 	"repro/internal/conformance"
 	"repro/internal/decentral"
@@ -78,16 +79,46 @@ var (
 
 // Machine-readable choreod /v2/ error codes (ChoreoErrIs matches them).
 const (
-	ChoreoCodeInvalidArgument = server.CodeInvalidArgument
-	ChoreoCodeNotFound        = server.CodeNotFound
-	ChoreoCodeAlreadyExists   = server.CodeAlreadyExists
-	ChoreoCodeConflict        = server.CodeConflict
-	ChoreoCodeStaleVersion    = server.CodeStaleVersion
+	ChoreoCodeInvalidArgument   = server.CodeInvalidArgument
+	ChoreoCodeNotFound          = server.CodeNotFound
+	ChoreoCodeAlreadyExists     = server.CodeAlreadyExists
+	ChoreoCodeConflict          = server.CodeConflict
+	ChoreoCodeStaleVersion      = server.CodeStaleVersion
+	ChoreoCodeResourceExhausted = server.CodeResourceExhausted
 )
 
 // ChoreoErrIs reports whether err is a choreod API error with the
 // given /v2/ code.
 func ChoreoErrIs(err error, code string) bool { return server.ErrIs(err, code) }
+
+// Streaming event ingestion: the batch endpoint
+// POST /v2/choreographies/{id}/instances:events advancing tracked
+// per-instance state as events arrive (see docs/ingest.md).
+type (
+	// ChoreoIngestEvent is the wire shape of one observed instance
+	// event on the /v2/ API.
+	ChoreoIngestEvent = server.IngestEventJSON
+	// InstanceLiveState is one tracked instance's ingestion-time state:
+	// trace position, schema tag, conformance status and deviation
+	// point.
+	InstanceLiveState = store.InstanceState
+)
+
+// Ingestion tuning options for NewChoreographyStore /
+// OpenChoreographyStore.
+var (
+	// WithStoreIngestWorkers sizes the per-choreography ingestion
+	// worker pool.
+	WithStoreIngestWorkers = store.WithIngestWorkers
+	// WithStoreIngestQueueCap bounds each ingestion lane's queue; a
+	// full lane rejects batches with backpressure.
+	WithStoreIngestQueueCap = store.WithIngestQueueCap
+)
+
+// ChoreoRetryAfter extracts the backoff hint of a resource_exhausted
+// (ingestion backpressure) choreod API error; ok is false when err
+// carries no hint.
+func ChoreoRetryAfter(err error) (time.Duration, bool) { return server.RetryAfter(err) }
 
 // Bulk instance migration: choreography-wide sweeps moving every
 // tracked instance to the current committed snapshot

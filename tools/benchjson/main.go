@@ -36,10 +36,11 @@ type target struct {
 
 // defaultTargets covers the kernel benchmarks the perf acceptance
 // criteria track: whole-scenario consistency, the operator scaling
-// series, public-process derivation, and the bulk-migration sweep.
+// series, public-process derivation, the bulk-migration sweep, and the
+// streaming event-ingestion path.
 var defaultTargets = []target{
 	{Pkg: ".", Bench: "^(BenchmarkScenarioConsistency|BenchmarkIntersectScale|BenchmarkMinimizeScale|BenchmarkDeriveScale|BenchmarkScenarioCommitJournal)$"},
-	{Pkg: "./internal/store", Bench: "^BenchmarkMigrateAll$"},
+	{Pkg: "./internal/store", Bench: "^(BenchmarkMigrateAll|BenchmarkIngestEvents)$"},
 }
 
 // Benchmark is one parsed result line.
