@@ -162,6 +162,13 @@ func (s *Store) Checkpoint(ctx context.Context) (CheckpointInfo, error) {
 // ---- record encoding ----
 
 // walRecord is the journal's record envelope: exactly one field set.
+// The //choreolint:union marker makes the walexhaustive analyzer
+// reject any nil-dispatch over this struct (replay's switch below)
+// that does not cover every exported pointer field — adding a record
+// type without teaching replay about it is a lint failure, not a
+// silently dropped mutation on the next recovery.
+//
+//choreolint:union
 type walRecord struct {
 	Create    *recCreate    `json:"create,omitempty"`
 	Delete    *recDelete    `json:"delete,omitempty"`
@@ -478,7 +485,11 @@ func persistChoreo(e *entry) (persistedChoreo, error) {
 // ---- recovery ----
 
 // restoreSnapshot loads a checkpoint into the (still empty,
-// single-goroutine) store.
+// single-goroutine) store. Like replay, it is a replaydeterminism
+// root: restoring the same checkpoint twice must build identical
+// state.
+//
+//choreolint:replay
 func (s *Store) restoreSnapshot(data []byte) error {
 	var ps persistedStore
 	if err := json.Unmarshal(data, &ps); err != nil {
@@ -550,7 +561,13 @@ func (s *Store) restoreChoreo(pc persistedChoreo) error {
 }
 
 // replay applies one WAL record. Replay runs single-goroutine on a
-// store nobody else can see, before journaling starts.
+// store nobody else can see, before journaling starts. The
+// //choreolint:replay marker roots the replaydeterminism analyzer
+// here: nothing reachable below may consult the clock, randomness, or
+// map iteration order — recovery must be a pure function of the
+// journaled facts.
+//
+//choreolint:replay
 func (s *Store) replay(data []byte) error {
 	var rec walRecord
 	if err := json.Unmarshal(data, &rec); err != nil {

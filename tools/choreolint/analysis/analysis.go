@@ -1,0 +1,159 @@
+// Package analysis is the minimal analyzer framework choreolint is
+// built on: an Analyzer runs over one type-checked package and reports
+// position-anchored diagnostics. It mirrors the shape of
+// golang.org/x/tools/go/analysis — Name/Doc/Run, a Pass carrying the
+// package and its type information, Reportf — but is self-contained on
+// the standard library, because this module deliberately has no
+// external dependencies. Drivers (the vettool protocol in package main,
+// the checktest fixture harness) load and type-check packages, run the
+// analyzers, and apply the //lint:ignore suppression pass (see
+// directive.go) before surfacing diagnostics.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// An Analyzer checks one invariant over a single package.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and in
+	// //lint:ignore directives.
+	Name string
+	// Doc is the one-paragraph description shown by `choreolint help`.
+	Doc string
+	// Run performs the check, reporting findings through pass.Reportf.
+	// The returned error aborts the whole run (reserved for internal
+	// failures, not findings).
+	Run func(pass *Pass) error
+}
+
+// A Pass is one analyzer's view of one type-checked package.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	diags []Diagnostic
+}
+
+// A Diagnostic is one finding.
+type Diagnostic struct {
+	Pos      token.Pos
+	Analyzer string
+	Message  string
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.diags = append(p.diags, Diagnostic{
+		Pos:      pos,
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Run executes each analyzer over the package and returns the
+// surviving diagnostics: //lint:ignore-suppressed findings and
+// findings in _test.go files are dropped (the invariants govern
+// production code; tests violate them deliberately — seeded
+// randomness, detached contexts in helpers, raw statuses in
+// fixtures), the rest come back sorted by position.
+func Run(analyzers []*Analyzer, fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info) ([]Diagnostic, error) {
+	ignores := parseIgnores(fset, files)
+	var out []Diagnostic
+	for _, a := range analyzers {
+		pass := &Pass{Analyzer: a, Fset: fset, Files: files, Pkg: pkg, TypesInfo: info}
+		if err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("%s: %w", a.Name, err)
+		}
+		for _, d := range pass.diags {
+			posn := fset.Position(d.Pos)
+			if strings.HasSuffix(posn.Filename, "_test.go") || ignores.suppresses(posn, a.Name) {
+				continue
+			}
+			out = append(out, d)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Pos < out[j].Pos })
+	return out, nil
+}
+
+// Preorder walks every node of every file in depth-first preorder.
+func Preorder(files []*ast.File, f func(ast.Node)) {
+	for _, file := range files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			if n != nil {
+				f(n)
+			}
+			return true
+		})
+	}
+}
+
+// CalleeOf resolves the object a call expression invokes, unwrapping
+// parentheses; nil when the callee is not a named function or method
+// (a function literal, a conversion, a call through an interface
+// value resolves to the interface method).
+func CalleeOf(info *types.Info, call *ast.CallExpr) types.Object {
+	fun := ast.Unparen(call.Fun)
+	switch fn := fun.(type) {
+	case *ast.Ident:
+		return info.Uses[fn]
+	case *ast.SelectorExpr:
+		return info.Uses[fn.Sel]
+	}
+	return nil
+}
+
+// IsPkgCall reports whether call invokes the package-level function
+// path.name (for example "time".Now or "net/http".Error).
+func IsPkgCall(info *types.Info, call *ast.CallExpr, path, name string) bool {
+	obj := CalleeOf(info, call)
+	if obj == nil || obj.Pkg() == nil {
+		return false
+	}
+	if _, isFunc := obj.(*types.Func); !isFunc {
+		return false
+	}
+	return obj.Pkg().Path() == path && obj.Name() == name
+}
+
+// ReceiverField returns the name of the struct field a method call's
+// receiver resolves to: for `s.persistMu.RLock()` the call.Fun is the
+// selector `s.persistMu.RLock`, whose X (`s.persistMu`) selects the
+// field persistMu. Empty when the receiver is not a field selection or
+// a plain variable.
+func ReceiverField(info *types.Info, call *ast.CallExpr) string {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return ""
+	}
+	switch recv := ast.Unparen(sel.X).(type) {
+	case *ast.SelectorExpr:
+		if obj, ok := info.Uses[recv.Sel].(*types.Var); ok && obj.IsField() {
+			return obj.Name()
+		}
+	case *ast.Ident:
+		if obj, ok := info.Uses[recv].(*types.Var); ok {
+			return obj.Name()
+		}
+	}
+	return ""
+}
+
+// IsContextType reports whether t is context.Context.
+func IsContextType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "context" && obj.Name() == "Context"
+}

@@ -1,0 +1,78 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// CallGraph is the static intra-package call graph: declared functions
+// and methods, and the same-package functions each one calls directly.
+// Calls through function values, interfaces, or other packages are
+// outside it — the analyzers built on top are checks for invariants
+// this codebase maintains through direct calls, not a whole-program
+// escape analysis, and docs/lint.md documents that boundary.
+type CallGraph struct {
+	// Decls maps each declared function object to its syntax.
+	Decls map[*types.Func]*ast.FuncDecl
+	// Calls maps each declared function to the distinct same-package
+	// functions it calls (only those with a declaration in Decls).
+	Calls map[*types.Func][]*types.Func
+}
+
+// BuildCallGraph constructs the package's call graph. Function
+// literals are attributed to the declaration they appear in: a
+// goroutine or closure body inside f counts as f's calls, which is
+// the conservative direction for lock-order and determinism checks.
+func BuildCallGraph(pass *Pass) *CallGraph {
+	g := &CallGraph{Decls: map[*types.Func]*ast.FuncDecl{}, Calls: map[*types.Func][]*types.Func{}}
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok {
+				continue
+			}
+			if fn, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func); ok {
+				g.Decls[fn] = fd
+			}
+		}
+	}
+	for fn, fd := range g.Decls {
+		seen := map[*types.Func]bool{}
+		ast.Inspect(fd, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			callee, ok := CalleeOf(pass.TypesInfo, call).(*types.Func)
+			if !ok || seen[callee] {
+				return true
+			}
+			if _, declared := g.Decls[callee]; declared {
+				seen[callee] = true
+				g.Calls[fn] = append(g.Calls[fn], callee)
+			}
+			return true
+		})
+	}
+	return g
+}
+
+// Reachable returns every function reachable from roots, including the
+// roots themselves.
+func (g *CallGraph) Reachable(roots []*types.Func) map[*types.Func]bool {
+	reached := map[*types.Func]bool{}
+	var visit func(fn *types.Func)
+	visit = func(fn *types.Func) {
+		if reached[fn] {
+			return
+		}
+		reached[fn] = true
+		for _, callee := range g.Calls[fn] {
+			visit(callee)
+		}
+	}
+	for _, fn := range roots {
+		visit(fn)
+	}
+	return reached
+}

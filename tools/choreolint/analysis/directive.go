@@ -1,0 +1,129 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// Suppression and marker directives.
+//
+// A finding is silenced with a staticcheck-style ignore directive on
+// the flagged line or the line directly above it:
+//
+//	//lint:ignore choreolint/lockorder reason the checkpoint cannot run here
+//	s.persistMu.RLock()
+//
+// The directive names one analyzer (with or without the "choreolint/"
+// prefix), a comma-separated list, or "*" for all, and must carry a
+// reason — a bare //lint:ignore is itself ignored, so suppressions
+// stay justified. Marker directives (//choreolint:union,
+// //choreolint:replay) are the opposite: they opt declarations into a
+// check; analyzers read them through UnionStructs and MarkedFuncs.
+
+// ignoreSet records, per file and line, which analyzers are silenced.
+type ignoreSet map[string]map[int][]string
+
+// parseIgnores collects every //lint:ignore directive. The directive
+// suppresses matching findings on its own line and the following one.
+func parseIgnores(fset *token.FileSet, files []*ast.File) ignoreSet {
+	set := ignoreSet{}
+	for _, file := range files {
+		for _, cg := range file.Comments {
+			for _, c := range cg.List {
+				rest, ok := strings.CutPrefix(c.Text, "//lint:ignore ")
+				if !ok {
+					continue
+				}
+				fields := strings.Fields(rest)
+				if len(fields) < 2 {
+					continue // no reason given: not a valid suppression
+				}
+				pos := fset.Position(c.Pos())
+				lines := set[pos.Filename]
+				if lines == nil {
+					lines = map[int][]string{}
+					set[pos.Filename] = lines
+				}
+				names := strings.Split(fields[0], ",")
+				lines[pos.Line] = append(lines[pos.Line], names...)
+			}
+		}
+	}
+	return set
+}
+
+// suppresses reports whether a directive at posn's line or the line
+// above names analyzer (or "*").
+func (s ignoreSet) suppresses(posn token.Position, analyzer string) bool {
+	lines := s[posn.Filename]
+	if lines == nil {
+		return false
+	}
+	for _, line := range []int{posn.Line, posn.Line - 1} {
+		for _, name := range lines[line] {
+			name = strings.TrimPrefix(name, "choreolint/")
+			if name == "*" || name == analyzer {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// hasMarker reports whether the doc comment carries //choreolint:<marker>.
+func hasMarker(doc *ast.CommentGroup, marker string) bool {
+	if doc == nil {
+		return false
+	}
+	for _, c := range doc.List {
+		if strings.TrimSpace(c.Text) == "//choreolint:"+marker {
+			return true
+		}
+	}
+	return false
+}
+
+// UnionStructs returns the struct types declared in the package whose
+// doc comment carries //choreolint:union — closed unions whose
+// nil-dispatch switches walexhaustive keeps exhaustive.
+func UnionStructs(pass *Pass) map[*ast.TypeSpec]*ast.StructType {
+	out := map[*ast.TypeSpec]*ast.StructType{}
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok || gd.Tok != token.TYPE {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				ts, ok := spec.(*ast.TypeSpec)
+				if !ok {
+					continue
+				}
+				st, ok := ts.Type.(*ast.StructType)
+				if !ok {
+					continue
+				}
+				if hasMarker(ts.Doc, "union") || (len(gd.Specs) == 1 && hasMarker(gd.Doc, "union")) {
+					out[ts] = st
+				}
+			}
+		}
+	}
+	return out
+}
+
+// MarkedFuncs returns the function declarations whose doc comment
+// carries //choreolint:<marker> (for example the replay roots of
+// replaydeterminism).
+func MarkedFuncs(pass *Pass, marker string) []*ast.FuncDecl {
+	var out []*ast.FuncDecl
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && hasMarker(fd.Doc, marker) {
+				out = append(out, fd)
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,183 @@
+// Package checktest runs one analyzer over a seeded-violation fixture
+// package and diffs its findings against `// want "regexp"` comments
+// in the fixture source — the analysistest idiom, rebuilt on the
+// standard toolchain. Fixtures live under tools/choreolint/testdata/src
+// so module-wide patterns (./..., gofmt, go vet) skip them, yet they
+// are real, compiling packages: the loader shells out to
+// `go list -export -deps -json`, which compiles the fixture's import
+// tree through the build cache and hands back the export-data files
+// the type-checker needs — the same inputs the go vet protocol gives
+// the production driver, so a fixture exercises the analyzer exactly
+// as CI will run it.
+//
+// A want comment asserts one finding on its own line:
+//
+//	s.commitMu.Lock() // want "commitMu acquired while persistMu"
+//
+// Every want must be matched by a reported diagnostic on that line
+// and every diagnostic must match a want; either direction failing
+// fails the test.
+package checktest
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"io"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+
+	"repro/tools/choreolint/analysis"
+	"repro/tools/choreolint/load"
+)
+
+// listedPackage is the slice of `go list -json` output the loader reads.
+type listedPackage struct {
+	Dir        string
+	ImportPath string
+	Export     string
+	GoFiles    []string
+}
+
+// wantRE extracts the quoted regexps of one want comment: double
+// quotes or backticks (the latter spare escaping in patterns that
+// match parentheses).
+var wantRE = regexp.MustCompile("\"((?:[^\"\\\\]|\\\\.)*)\"|`([^`]*)`")
+
+// Fixture runs a over the fixture package named name under
+// tools/choreolint/testdata/src and checks its findings against the
+// fixture's want comments. It is called from the per-analyzer test
+// packages (tools/choreolint/passes/<name>), whose working directory
+// the testdata path is resolved against.
+func Fixture(t *testing.T, name string, a *analysis.Analyzer) {
+	t.Helper()
+	unit, err := loadFixture(filepath.Join("..", "..", "testdata", "src", name))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(unit.TypeErrors) > 0 {
+		t.Fatalf("fixture %s does not type-check: %v", name, unit.TypeErrors[0])
+	}
+	diags, err := analysis.Run([]*analysis.Analyzer{a}, unit.Fset, unit.Files, unit.Pkg, unit.TypesInfo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	diff(t, unit, diags)
+}
+
+// loadFixture resolves the fixture's import tree with the go command
+// and type-checks it from export data.
+func loadFixture(dir string) (*load.Unit, error) {
+	absDir, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, err
+	}
+	cmd := exec.Command("go", "list", "-export", "-deps", "-json=Dir,ImportPath,Export,GoFiles", "./"+filepath.ToSlash(dir))
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go list %s: %v\n%s", dir, err, stderr.String())
+	}
+	exportFor := map[string]string{}
+	var target *listedPackage
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var p listedPackage
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("decoding go list output: %v", err)
+		}
+		if p.Export != "" {
+			exportFor[p.ImportPath] = p.Export
+		}
+		if p.Dir == absDir {
+			target = &p
+		}
+	}
+	if target == nil {
+		return nil, fmt.Errorf("go list did not return a package for %s", dir)
+	}
+	files := make([]string, len(target.GoFiles))
+	for i, f := range target.GoFiles {
+		files[i] = filepath.Join(target.Dir, f)
+	}
+	return load.Package(&load.Config{
+		ImportPath:  target.ImportPath,
+		GoFiles:     files,
+		PackageFile: exportFor,
+	})
+}
+
+// expectation is one want comment.
+type expectation struct {
+	file string
+	line int
+	re   *regexp.Regexp
+	hit  bool
+}
+
+// diff pairs diagnostics with want comments and reports both
+// directions of mismatch.
+func diff(t *testing.T, unit *load.Unit, diags []analysis.Diagnostic) {
+	t.Helper()
+	var wants []*expectation
+	for _, file := range unit.Files {
+		for _, cg := range file.Comments {
+			for _, c := range cg.List {
+				wants = append(wants, parseWants(t, unit, c)...)
+			}
+		}
+	}
+	for _, d := range diags {
+		posn := unit.Fset.Position(d.Pos)
+		matched := false
+		for _, w := range wants {
+			if !w.hit && w.file == posn.Filename && w.line == posn.Line && w.re.MatchString(d.Message) {
+				w.hit = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("%s: unexpected finding: %s [%s]", posn, d.Message, d.Analyzer)
+		}
+	}
+	for _, w := range wants {
+		if !w.hit {
+			t.Errorf("%s:%d: expected finding matching %q, got none", w.file, w.line, w.re)
+		}
+	}
+}
+
+// parseWants reads the `// want "re" ["re" ...]` expectations of one
+// comment, anchored to the comment's line.
+func parseWants(t *testing.T, unit *load.Unit, c *ast.Comment) []*expectation {
+	t.Helper()
+	text, ok := strings.CutPrefix(c.Text, "// want ")
+	if !ok {
+		return nil
+	}
+	posn := unit.Fset.Position(c.Pos())
+	var out []*expectation
+	for _, m := range wantRE.FindAllStringSubmatch(text, -1) {
+		pattern := m[1]
+		if m[2] != "" {
+			pattern = m[2]
+		}
+		re, err := regexp.Compile(pattern)
+		if err != nil {
+			t.Fatalf("%s: bad want regexp %q: %v", posn, pattern, err)
+		}
+		out = append(out, &expectation{file: posn.Filename, line: posn.Line, re: re})
+	}
+	if len(out) == 0 {
+		t.Fatalf("%s: want comment carries no quoted regexp", posn)
+	}
+	return out
+}

@@ -1,0 +1,67 @@
+package main
+
+import (
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestVettoolProtocol builds the binary and drives it through the
+// real `go vet -vettool` JSON protocol — the exact shape CI runs —
+// against a seeded-violation fixture (must fail with choreolint
+// findings) and against a clean production package (must pass).
+func TestVettoolProtocol(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds the binary and shells out to go vet")
+	}
+	bin := filepath.Join(t.TempDir(), "choreolint")
+	build := exec.Command("go", "build", "-o", bin, ".")
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("building choreolint: %v\n%s", err, out)
+	}
+	root, err := filepath.Abs(filepath.Join("..", ".."))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	vet := func(pkg string) (string, error) {
+		cmd := exec.Command("go", "vet", "-vettool="+bin, pkg)
+		cmd.Dir = root
+		out, err := cmd.CombinedOutput()
+		return string(out), err
+	}
+
+	out, err := vet("./tools/choreolint/testdata/src/lockorder/")
+	if err == nil {
+		t.Fatalf("vet on the lockorder fixture passed; want findings\n%s", out)
+	}
+	if !strings.Contains(out, "[choreolint/lockorder]") {
+		t.Fatalf("vet on the lockorder fixture failed without a lockorder finding:\n%s", out)
+	}
+
+	out, err = vet("./internal/journal/")
+	if err != nil {
+		t.Fatalf("vet on internal/journal failed: %v\n%s", err, out)
+	}
+}
+
+// TestVersionFlag checks the -V=full handshake the go command uses to
+// fingerprint the tool for build caching.
+func TestVersionFlag(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds the binary")
+	}
+	bin := filepath.Join(t.TempDir(), "choreolint")
+	if out, err := exec.Command("go", "build", "-o", bin, ".").CombinedOutput(); err != nil {
+		t.Fatalf("building choreolint: %v\n%s", err, out)
+	}
+	out, err := exec.Command(bin, "-V=full").Output()
+	if err != nil {
+		t.Fatalf("-V=full: %v", err)
+	}
+	got := strings.TrimSpace(string(out))
+	if !strings.Contains(got, "choreolint version ") || !strings.Contains(got, "buildID=") {
+		t.Fatalf("-V=full printed %q; want \"choreolint version ... buildID=...\"", got)
+	}
+}

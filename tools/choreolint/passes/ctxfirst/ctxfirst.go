@@ -1,0 +1,107 @@
+// Package ctxfirst enforces the module's context conventions, the
+// ones the store's "Context contract" doc comment promises: a
+// function that accepts a context.Context takes it as its first
+// parameter, and a function that already has a context — as a
+// parameter, or implicitly through an *http.Request — never
+// manufactures a fresh one with context.Background or context.TODO.
+// A detached context cuts the request path's cancellation chain:
+// the caller hangs up and the work keeps burning CPU, which is
+// exactly the leak the store's expensive paths re-check ctx to
+// prevent.
+//
+// Legitimate detachment points (a background sweep whose lifetime is
+// owned by a job, replay on a store nobody can cancel yet) carry a
+// //lint:ignore choreolint/ctxfirst directive with the reason, so
+// every detachment in the tree is a documented decision.
+package ctxfirst
+
+import (
+	"go/ast"
+	"go/types"
+
+	"repro/tools/choreolint/analysis"
+)
+
+// Analyzer reports misplaced context parameters and detached contexts.
+var Analyzer = &analysis.Analyzer{
+	Name: "ctxfirst",
+	Doc:  "context.Context parameters come first; no context.Background/TODO where a context is in scope",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok {
+				continue
+			}
+			checkSignature(pass, fd)
+			if hasContext(pass, fd) {
+				checkBody(pass, fd)
+			}
+		}
+	}
+	return nil
+}
+
+// checkSignature reports a context.Context parameter anywhere but
+// position 0.
+func checkSignature(pass *analysis.Pass, fd *ast.FuncDecl) {
+	pos := 0
+	for _, field := range fd.Type.Params.List {
+		t := pass.TypesInfo.TypeOf(field.Type)
+		names := len(field.Names)
+		if names == 0 {
+			names = 1
+		}
+		if t != nil && analysis.IsContextType(t) && pos != 0 {
+			pass.Reportf(field.Pos(), "%s: context.Context must be the first parameter", fd.Name.Name)
+		}
+		pos += names
+	}
+}
+
+// hasContext reports whether the function receives a context: a
+// context.Context parameter, or an *http.Request (whose Context
+// method is the request path's context).
+func hasContext(pass *analysis.Pass, fd *ast.FuncDecl) bool {
+	for _, field := range fd.Type.Params.List {
+		t := pass.TypesInfo.TypeOf(field.Type)
+		if t == nil {
+			continue
+		}
+		if analysis.IsContextType(t) {
+			return true
+		}
+		if ptr, ok := t.(*types.Pointer); ok {
+			if named, ok := ptr.Elem().(*types.Named); ok {
+				obj := named.Obj()
+				if obj.Pkg() != nil && obj.Pkg().Path() == "net/http" && obj.Name() == "Request" {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}
+
+// checkBody reports context.Background()/context.TODO() calls in a
+// function that already has a context to thread.
+func checkBody(pass *analysis.Pass, fd *ast.FuncDecl) {
+	if fd.Body == nil {
+		return
+	}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		for _, name := range []string{"Background", "TODO"} {
+			if analysis.IsPkgCall(pass.TypesInfo, call, "context", name) {
+				pass.Reportf(call.Pos(), "context.%s() inside %s, which already has a context: thread it instead of detaching", name, fd.Name.Name)
+			}
+		}
+		return true
+	})
+}

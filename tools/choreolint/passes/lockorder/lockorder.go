@@ -1,0 +1,178 @@
+// Package lockorder enforces the store's documented lock hierarchy
+// around the persistence mutex: commitMu and instAppendMu are taken
+// OUTSIDE persistMu (internal/store/persist.go's package comment), so
+// acquiring either of them while persistMu is held — directly, or by
+// calling a function that does — can deadlock a checkpoint against a
+// mutator and is reported.
+//
+// The check is name-based and flow-insensitive on purpose: it tracks
+// mutexes by their field or variable name (persistMu, commitMu,
+// instAppendMu), scans each function's statements in source order,
+// and treats a lock as held from its Lock/RLock call until an
+// un-deferred Unlock/RUnlock of the same name. Functions that return
+// while still holding persistMu (the persistRLock idiom, which hands
+// the caller the unlock) mark their callers as holding it too. Calls
+// through function values or other packages are invisible to the
+// walk; the hierarchy is a package-internal contract, so that is the
+// right scope.
+package lockorder
+
+import (
+	"go/ast"
+	"go/types"
+
+	"repro/tools/choreolint/analysis"
+)
+
+// Analyzer reports acquisitions that invert the persistMu hierarchy.
+var Analyzer = &analysis.Analyzer{
+	Name: "lockorder",
+	Doc:  "commitMu/instAppendMu must never be acquired while persistMu is held",
+	Run:  run,
+}
+
+// innerLock is held innermost; outerLocks must already be held (or
+// never taken) when it is.
+const innerLock = "persistMu"
+
+var outerLocks = map[string]bool{"commitMu": true, "instAppendMu": true}
+
+const (
+	acquiresOuter = 1 << iota // takes commitMu/instAppendMu somewhere inside
+	leaksInner                // returns with persistMu still held
+)
+
+func run(pass *analysis.Pass) error {
+	graph := analysis.BuildCallGraph(pass)
+	summaries := map[*types.Func]int{}
+	var summarize func(fn *types.Func, onPath map[*types.Func]bool) int
+	summarize = func(fn *types.Func, onPath map[*types.Func]bool) int {
+		if s, ok := summaries[fn]; ok {
+			return s
+		}
+		if onPath[fn] {
+			return 0 // recursion: the cycle's effects surface via its other members
+		}
+		onPath[fn] = true
+		defer delete(onPath, fn)
+		s := scanLocks(pass, graph.Decls[fn])
+		for _, callee := range graph.Calls[fn] {
+			s |= summarize(callee, onPath) & acquiresOuter
+		}
+		summaries[fn] = s
+		return s
+	}
+	for fn := range graph.Decls {
+		summarize(fn, map[*types.Func]bool{})
+	}
+	for fn, decl := range graph.Decls {
+		checkFunc(pass, graph, summaries, fn, decl)
+	}
+	return nil
+}
+
+// lockCall classifies one call expression against the tracked
+// mutexes, returning the mutex name and whether the call acquires
+// (Lock/RLock) or releases (Unlock/RUnlock) it.
+func lockCall(pass *analysis.Pass, call *ast.CallExpr) (mutex string, acquire, release bool) {
+	obj := analysis.CalleeOf(pass.TypesInfo, call)
+	if obj == nil || obj.Pkg() == nil || obj.Pkg().Path() != "sync" {
+		return "", false, false
+	}
+	name := analysis.ReceiverField(pass.TypesInfo, call)
+	if name != innerLock && !outerLocks[name] {
+		return "", false, false
+	}
+	switch obj.Name() {
+	case "Lock", "RLock":
+		return name, true, false
+	case "Unlock", "RUnlock":
+		return name, false, true
+	}
+	return "", false, false
+}
+
+// scanLocks computes a function's summary bits from its own body.
+func scanLocks(pass *analysis.Pass, decl *ast.FuncDecl) int {
+	if decl == nil || decl.Body == nil {
+		return 0
+	}
+	s := 0
+	innerHeld := false
+	ast.Inspect(decl.Body, func(n ast.Node) bool {
+		if d, ok := n.(*ast.DeferStmt); ok {
+			// A deferred release keeps the lock held for the rest of
+			// the body but not past the return.
+			if name, _, release := lockCall(pass, d.Call); release && name == innerLock {
+				return false
+			}
+			return true
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		switch name, acquire, release := lockCall(pass, call); {
+		case acquire && outerLocks[name]:
+			s |= acquiresOuter
+		case acquire && name == innerLock:
+			innerHeld = true
+		case release && name == innerLock:
+			innerHeld = false
+		}
+		return true
+	})
+	if innerHeld {
+		s |= leaksInner
+	}
+	return s
+}
+
+// checkFunc re-walks one function in source order, tracking whether
+// persistMu is held, and reports every outer-lock acquisition — direct
+// or via a call — inside the held region.
+func checkFunc(pass *analysis.Pass, graph *analysis.CallGraph, summaries map[*types.Func]int, fn *types.Func, decl *ast.FuncDecl) {
+	if decl == nil || decl.Body == nil {
+		return
+	}
+	held := false
+	ast.Inspect(decl.Body, func(n ast.Node) bool {
+		if d, ok := n.(*ast.DeferStmt); ok {
+			if name, _, release := lockCall(pass, d.Call); release && name == innerLock {
+				return false
+			}
+			return true
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if name, acquire, release := lockCall(pass, call); name != "" {
+			switch {
+			case acquire && outerLocks[name]:
+				if held {
+					pass.Reportf(call.Pos(), "%s acquired while %s is held (lock order: %s before %s)", name, innerLock, name, innerLock)
+				}
+			case acquire && name == innerLock:
+				held = true
+			case release && name == innerLock:
+				held = false
+			}
+			return true
+		}
+		callee, ok := analysis.CalleeOf(pass.TypesInfo, call).(*types.Func)
+		if !ok {
+			return true
+		}
+		if _, declared := graph.Decls[callee]; !declared {
+			return true
+		}
+		if held && summaries[callee]&acquiresOuter != 0 {
+			pass.Reportf(call.Pos(), "call to %s acquires commitMu/instAppendMu while %s is held (lock order: commitMu, instAppendMu before %s)", callee.Name(), innerLock, innerLock)
+		}
+		if summaries[callee]&leaksInner != 0 {
+			held = true
+		}
+		return true
+	})
+}

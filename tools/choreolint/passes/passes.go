@@ -1,0 +1,25 @@
+// Package passes registers the choreolint analyzer suite. Each
+// analyzer encodes one repository invariant; docs/lint.md is the
+// catalog with the reasoning behind each.
+package passes
+
+import (
+	"repro/tools/choreolint/analysis"
+	"repro/tools/choreolint/passes/ctxfirst"
+	"repro/tools/choreolint/passes/errenvelope"
+	"repro/tools/choreolint/passes/lockorder"
+	"repro/tools/choreolint/passes/replaydeterminism"
+	"repro/tools/choreolint/passes/walexhaustive"
+)
+
+// All returns the full suite in the order findings are most useful to
+// read: concurrency and durability first, then API conventions.
+func All() []*analysis.Analyzer {
+	return []*analysis.Analyzer{
+		lockorder.Analyzer,
+		walexhaustive.Analyzer,
+		replaydeterminism.Analyzer,
+		ctxfirst.Analyzer,
+		errenvelope.Analyzer,
+	}
+}

@@ -1,0 +1,174 @@
+// Package replaydeterminism keeps crash recovery fact-driven: a
+// journal replayed twice must rebuild byte-identical state, so nothing
+// reachable from the replay/apply path may consult wall-clock time,
+// randomness, or map iteration order. Roots are marked with a
+// //choreolint:replay doc-comment directive (replay and
+// restoreSnapshot in internal/store/persist.go); the analyzer walks
+// the package's static call graph from them and reports, in every
+// reachable function:
+//
+//   - calls into time's clock surface (Now, Since, Until, After,
+//     Tick, NewTimer, NewTicker, AfterFunc) — replay must depend only
+//     on journaled facts, never on when recovery runs;
+//   - any call into math/rand or math/rand/v2 — a replay decision
+//     derived from randomness diverges from the live decision it is
+//     supposed to reproduce;
+//   - a range over a map that appends to a slice declared outside the
+//     loop, unless the function visibly sorts that slice afterwards —
+//     the canonical way iteration order leaks into rebuilt state.
+//
+// Cross-package callees are out of scope (the journal's replay facts
+// are decided in internal/store); crypto/rand is deliberately not
+// banned — it never makes replay decisions, and flagging it would
+// only invite blanket suppressions.
+package replaydeterminism
+
+import (
+	"go/ast"
+	"go/types"
+
+	"repro/tools/choreolint/analysis"
+)
+
+// Analyzer reports nondeterminism reachable from //choreolint:replay roots.
+var Analyzer = &analysis.Analyzer{
+	Name: "replaydeterminism",
+	Doc:  "no clock, randomness, or map-order-dependent writes reachable from //choreolint:replay roots",
+	Run:  run,
+}
+
+// clockFuncs are the banned package-level functions of "time".
+var clockFuncs = map[string]bool{
+	"Now": true, "Since": true, "Until": true, "After": true,
+	"Tick": true, "NewTimer": true, "NewTicker": true, "AfterFunc": true,
+}
+
+func run(pass *analysis.Pass) error {
+	roots := analysis.MarkedFuncs(pass, "replay")
+	if len(roots) == 0 {
+		return nil
+	}
+	graph := analysis.BuildCallGraph(pass)
+	var rootFns []*types.Func
+	for _, decl := range roots {
+		if fn, ok := pass.TypesInfo.Defs[decl.Name].(*types.Func); ok {
+			rootFns = append(rootFns, fn)
+		}
+	}
+	for fn := range graph.Reachable(rootFns) {
+		checkFunc(pass, graph.Decls[fn])
+	}
+	return nil
+}
+
+func checkFunc(pass *analysis.Pass, decl *ast.FuncDecl) {
+	if decl == nil || decl.Body == nil {
+		return
+	}
+	ast.Inspect(decl.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			checkCall(pass, n)
+		case *ast.RangeStmt:
+			checkMapRange(pass, decl, n)
+		}
+		return true
+	})
+}
+
+func checkCall(pass *analysis.Pass, call *ast.CallExpr) {
+	obj := analysis.CalleeOf(pass.TypesInfo, call)
+	if obj == nil || obj.Pkg() == nil {
+		return
+	}
+	switch path := obj.Pkg().Path(); {
+	case path == "time" && clockFuncs[obj.Name()]:
+		pass.Reportf(call.Pos(), "time.%s in the replay path: recovery must depend on journaled facts, not on when it runs", obj.Name())
+	case path == "math/rand" || path == "math/rand/v2":
+		pass.Reportf(call.Pos(), "%s.%s in the replay path: a random replay decision cannot reproduce the live one", path, obj.Name())
+	}
+}
+
+// checkMapRange flags `for k := range m { s = append(s, ...) }` when s
+// outlives the loop and is never sorted later in the same function.
+func checkMapRange(pass *analysis.Pass, decl *ast.FuncDecl, rng *ast.RangeStmt) {
+	t := pass.TypesInfo.TypeOf(rng.X)
+	if t == nil {
+		return
+	}
+	if _, isMap := t.Underlying().(*types.Map); !isMap {
+		return
+	}
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		assign, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		for i, rhs := range assign.Rhs {
+			call, ok := ast.Unparen(rhs).(*ast.CallExpr)
+			if !ok || !isAppend(pass, call) || i >= len(assign.Lhs) {
+				continue
+			}
+			target, ok := ast.Unparen(assign.Lhs[i]).(*ast.Ident)
+			if !ok {
+				continue
+			}
+			obj := pass.TypesInfo.ObjectOf(target)
+			if obj == nil || !declaredOutside(obj, rng) {
+				continue
+			}
+			if !sortedInFunc(pass, decl, obj) {
+				pass.Reportf(assign.Pos(), "%s accumulates in map iteration order on the replay path; sort it afterwards or iterate a sorted key list", target.Name)
+			}
+		}
+		return true
+	})
+}
+
+func isAppend(pass *analysis.Pass, call *ast.CallExpr) bool {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	b, ok := pass.TypesInfo.Uses[id].(*types.Builtin)
+	return ok && b.Name() == "append"
+}
+
+// declaredOutside reports whether obj's declaration precedes the range
+// statement (it survives the loop, so its element order matters).
+func declaredOutside(obj types.Object, rng *ast.RangeStmt) bool {
+	return obj.Pos() < rng.Pos()
+}
+
+// sortedInFunc reports whether the function calls into sort or slices
+// with obj as an argument (or inside one) anywhere in its body.
+func sortedInFunc(pass *analysis.Pass, decl *ast.FuncDecl, obj types.Object) bool {
+	sorted := false
+	ast.Inspect(decl.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || sorted {
+			return !sorted
+		}
+		callee := analysis.CalleeOf(pass.TypesInfo, call)
+		if callee == nil || callee.Pkg() == nil {
+			return true
+		}
+		if p := callee.Pkg().Path(); p != "sort" && p != "slices" {
+			return true
+		}
+		for _, arg := range call.Args {
+			found := false
+			ast.Inspect(arg, func(m ast.Node) bool {
+				if id, ok := m.(*ast.Ident); ok && pass.TypesInfo.ObjectOf(id) == obj {
+					found = true
+				}
+				return !found
+			})
+			if found {
+				sorted = true
+			}
+		}
+		return !sorted
+	})
+	return sorted
+}

@@ -1,0 +1,150 @@
+// Package walexhaustive keeps replay dispatch exhaustive over the
+// journal's record union. The WAL envelope (walRecord in
+// internal/store/persist.go) is a struct with exactly one exported
+// pointer field set per record; recovery dispatches on which field is
+// non-nil. Adding a record type without teaching replay about it
+// would silently drop journaled mutations on the next recovery — this
+// analyzer turns that into a build-time error.
+//
+// A struct opts in with a //choreolint:union marker on its doc
+// comment. Every tagless switch that nil-tests the union's fields
+// (`switch { case rec.Create != nil: ... }`) must then cover every
+// exported pointer field and carry a default case rejecting the empty
+// record.
+package walexhaustive
+
+import (
+	"go/ast"
+	"go/types"
+	"sort"
+	"strings"
+
+	"repro/tools/choreolint/analysis"
+)
+
+// Analyzer reports nil-dispatch switches that miss union fields.
+var Analyzer = &analysis.Analyzer{
+	Name: "walexhaustive",
+	Doc:  "nil-dispatch over a //choreolint:union struct must cover every exported pointer field",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	unions := map[*types.Struct][]string{} // union struct -> exported pointer field names
+	for ts := range analysis.UnionStructs(pass) {
+		obj, ok := pass.TypesInfo.Defs[ts.Name].(*types.TypeName)
+		if !ok {
+			continue
+		}
+		st, ok := obj.Type().Underlying().(*types.Struct)
+		if !ok {
+			continue
+		}
+		var fields []string
+		for i := 0; i < st.NumFields(); i++ {
+			f := st.Field(i)
+			if _, isPtr := f.Type().(*types.Pointer); isPtr && f.Exported() {
+				fields = append(fields, f.Name())
+			}
+		}
+		unions[st] = fields
+	}
+	if len(unions) == 0 {
+		return nil
+	}
+	analysis.Preorder(pass.Files, func(n ast.Node) {
+		sw, ok := n.(*ast.SwitchStmt)
+		if !ok || sw.Tag != nil {
+			return
+		}
+		checkSwitch(pass, unions, sw)
+	})
+	return nil
+}
+
+// checkSwitch matches one tagless switch against the unions: if any
+// case nil-tests a union field, the switch is a dispatch over that
+// union and must be exhaustive.
+func checkSwitch(pass *analysis.Pass, unions map[*types.Struct][]string, sw *ast.SwitchStmt) {
+	covered := map[*types.Struct]map[string]bool{}
+	hasDefault := false
+	for _, clause := range sw.Body.List {
+		cc, ok := clause.(*ast.CaseClause)
+		if !ok {
+			continue
+		}
+		if cc.List == nil {
+			hasDefault = true
+			continue
+		}
+		for _, expr := range cc.List {
+			st, field := nilTestedField(pass, unions, expr)
+			if st == nil {
+				continue
+			}
+			if covered[st] == nil {
+				covered[st] = map[string]bool{}
+			}
+			covered[st][field] = true
+		}
+	}
+	for st, seen := range covered {
+		var missing []string
+		for _, f := range unions[st] {
+			if !seen[f] {
+				missing = append(missing, f)
+			}
+		}
+		sort.Strings(missing)
+		if len(missing) > 0 {
+			pass.Reportf(sw.Pos(), "union dispatch does not cover field(s) %s; a journal record with only that field set would be dropped on replay", strings.Join(missing, ", "))
+		}
+		if !hasDefault {
+			pass.Reportf(sw.Pos(), "union dispatch has no default case; an empty record must be rejected, not ignored")
+		}
+	}
+}
+
+// nilTestedField recognizes `u.Field != nil` (either operand order)
+// where u has a registered union type, returning that union and the
+// field name.
+func nilTestedField(pass *analysis.Pass, unions map[*types.Struct][]string, expr ast.Expr) (*types.Struct, string) {
+	bin, ok := ast.Unparen(expr).(*ast.BinaryExpr)
+	if !ok || bin.Op.String() != "!=" {
+		return nil, ""
+	}
+	operand := bin.X
+	if isNil(pass, bin.X) {
+		operand = bin.Y
+	} else if !isNil(pass, bin.Y) {
+		return nil, ""
+	}
+	sel, ok := ast.Unparen(operand).(*ast.SelectorExpr)
+	if !ok {
+		return nil, ""
+	}
+	obj, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Var)
+	if !ok || !obj.IsField() {
+		return nil, ""
+	}
+	base := pass.TypesInfo.TypeOf(sel.X)
+	if base == nil {
+		return nil, ""
+	}
+	if ptr, ok := base.Underlying().(*types.Pointer); ok {
+		base = ptr.Elem()
+	}
+	st, ok := base.Underlying().(*types.Struct)
+	if !ok {
+		return nil, ""
+	}
+	if _, registered := unions[st]; !registered {
+		return nil, ""
+	}
+	return st, obj.Name()
+}
+
+func isNil(pass *analysis.Pass, expr ast.Expr) bool {
+	tv, ok := pass.TypesInfo.Types[ast.Unparen(expr)]
+	return ok && tv.IsNil()
+}

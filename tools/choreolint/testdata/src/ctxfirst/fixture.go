@@ -1,0 +1,54 @@
+// Package ctxfirst is the seeded-violation fixture for the ctxfirst
+// analyzer: misplaced context parameters and detached contexts next
+// to the conforming shapes.
+package ctxfirst
+
+import (
+	"context"
+	"net/http"
+)
+
+type svc struct{}
+
+func (s *svc) Good(ctx context.Context, id string) error {
+	_ = id
+	return ctx.Err()
+}
+
+func (s *svc) BadOrder(id string, ctx context.Context) error { // want "context.Context must be the first parameter"
+	_ = id
+	return ctx.Err()
+}
+
+func (s *svc) BadDetach(ctx context.Context, id string) error {
+	dctx := context.Background() // want `context.Background\(\) inside BadDetach`
+	_, _ = dctx, id
+	return ctx.Err()
+}
+
+func (s *svc) BadTODO(ctx context.Context) error {
+	_ = ctx
+	return work(context.TODO()) // want `context.TODO\(\) inside BadTODO`
+}
+
+func work(ctx context.Context) error { return ctx.Err() }
+
+// handler has a context through the request; detaching loses the
+// client hang-up signal.
+func handler(w http.ResponseWriter, r *http.Request) {
+	ctx := context.Background() // want `context.Background\(\) inside handler`
+	_, _, _ = w, r, ctx
+}
+
+// detachedRoot owns its own lifetime: no context in scope, Background
+// is the right call.
+func detachedRoot() context.Context {
+	return context.Background()
+}
+
+// sweeper documents its detachment with a justified suppression.
+func sweeper(ctx context.Context) context.Context {
+	_ = ctx
+	//lint:ignore choreolint/ctxfirst the sweep's lifetime is owned by the job, not this request
+	return context.Background()
+}

@@ -1,0 +1,47 @@
+// Package errenvelope is the seeded-violation fixture for the
+// errenvelope analyzer: a package that owns an error envelope (it
+// declares writeErrorV2) with handlers that bypass it.
+package errenvelope
+
+import (
+	"encoding/json"
+	"net/http"
+)
+
+type errorBody struct {
+	Code    string `json:"code"`
+	Message string `json:"message"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeErrorV2(w http.ResponseWriter, err error) {
+	writeJSON(w, http.StatusInternalServerError, errorBody{Code: "internal", Message: err.Error()})
+}
+
+func goodHandler(w http.ResponseWriter, r *http.Request, err error) {
+	_ = r
+	writeErrorV2(w, err)
+}
+
+func badHTTPError(w http.ResponseWriter, r *http.Request) {
+	_ = r
+	http.Error(w, "boom", http.StatusInternalServerError) // want "http.Error bypasses the error envelope"
+}
+
+func badRawStatus(w http.ResponseWriter, r *http.Request) {
+	_ = r
+	w.WriteHeader(http.StatusNotFound) // want `WriteHeader\(404\) writes an error status outside the envelope helpers`
+	_, _ = w.Write([]byte(`{"oops":"not the envelope"}`))
+}
+
+// okSuccessStatus writes a success status directly; only error
+// statuses must flow through the envelope.
+func okSuccessStatus(w http.ResponseWriter, r *http.Request) {
+	_ = r
+	w.WriteHeader(http.StatusNoContent)
+}

@@ -1,0 +1,62 @@
+// Package replaydeterminism is the seeded-violation fixture for the
+// replaydeterminism analyzer: a //choreolint:replay root whose
+// reachable functions consult the clock, randomness, and map
+// iteration order — and the sorted/unreachable variants that must
+// stay clean.
+package replaydeterminism
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+)
+
+type state struct {
+	entries map[string]int
+	applied []string
+	stamp   time.Time
+}
+
+// replay is the recovery root.
+//
+//choreolint:replay
+func (s *state) replay(recs []string) {
+	for _, r := range recs {
+		s.apply(r)
+	}
+}
+
+func (s *state) apply(r string) {
+	s.stamp = time.Now()   // want "time.Now in the replay path"
+	if rand.Intn(2) == 0 { // want "math/rand.Intn in the replay path"
+		s.entries[r]++
+	}
+	s.rebuildKeys()
+	s.rebuildSorted()
+}
+
+// rebuildKeys leaks map iteration order into applied.
+func (s *state) rebuildKeys() {
+	var keys []string
+	for k := range s.entries {
+		keys = append(keys, k) // want "keys accumulates in map iteration order"
+	}
+	s.applied = keys
+}
+
+// rebuildSorted does the same but sorts, so the result is a function
+// of the map's contents only.
+func (s *state) rebuildSorted() {
+	var keys []string
+	for k := range s.entries {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	s.applied = keys
+}
+
+// liveOnly is not reachable from the replay root; the live path may
+// use the clock freely.
+func (s *state) liveOnly() time.Time {
+	return time.Now()
+}

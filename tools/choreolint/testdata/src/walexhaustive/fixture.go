@@ -1,0 +1,81 @@
+// Package walexhaustive is the seeded-violation fixture for the
+// walexhaustive analyzer: a journal record union with nil-dispatch
+// switches that are exhaustive, missing a field, and missing the
+// default case.
+package walexhaustive
+
+type recCreate struct{ ID string }
+type recDelete struct{ ID string }
+type recCommit struct{ ID string }
+
+// walRecord mirrors the store's journal envelope: one exported
+// pointer field per record type.
+//
+//choreolint:union
+type walRecord struct {
+	Create *recCreate
+	Delete *recDelete
+	Commit *recCommit
+	// note is unexported scratch state, not part of the union contract.
+	note *recCreate
+}
+
+func replayGood(rec *walRecord) string {
+	switch {
+	case rec.Create != nil:
+		return "create"
+	case rec.Delete != nil:
+		return "delete"
+	case rec.Commit != nil:
+		return "commit"
+	default:
+		return "empty"
+	}
+}
+
+func replayMissingField(rec *walRecord) string {
+	switch { // want `does not cover field\(s\) Commit`
+	case rec.Create != nil:
+		return "create"
+	case rec.Delete != nil:
+		return "delete"
+	default:
+		return "empty"
+	}
+}
+
+func replayNoDefault(rec *walRecord) string {
+	switch { // want "no default case"
+	case rec.Create != nil:
+		return "create"
+	case rec.Delete != nil:
+		return "delete"
+	case rec.Commit != nil:
+		return "commit"
+	}
+	return ""
+}
+
+// plain is not marked: dispatches over it are not checked.
+type plain struct {
+	A *recCreate
+	B *recDelete
+}
+
+func overPlain(p *plain) string {
+	switch {
+	case p.A != nil:
+		return "a"
+	}
+	return ""
+}
+
+// overInts is an ordinary tagless switch, untouched by the check.
+func overInts(a, b int) int {
+	switch {
+	case a > b:
+		return a
+	default:
+		return b
+	}
+}

@@ -1,7 +1,7 @@
 // Command docscheck keeps the route docs honest: it extracts every
-// "METHOD /path" route that docs/api.md and docs/persistence.md
-// mention and fails when one of them is absent from the server's
-// route table (the mux.HandleFunc registrations in internal/server).
+// "METHOD /path" route that the files in docFiles mention and fails
+// when one of them is absent from the server's route table (the
+// mux.HandleFunc registrations in internal/server).
 // Run from the repository root; wired into CI as
 // `go run ./tools/docscheck`.
 package main
@@ -62,7 +62,7 @@ func serverRoutes(dir string) (map[string]bool, error) {
 // docFiles are the documents whose route mentions must exist in the
 // server; docs/api.md is additionally the reference the route table
 // is diffed against.
-var docFiles = []string{"docs/api.md", "docs/persistence.md"}
+var docFiles = []string{"docs/api.md", "docs/persistence.md", "docs/ingest.md"}
 
 // docRoutes maps each found route to the files mentioning it.
 func docRoutes(files []string) (map[string][]string, error) {
