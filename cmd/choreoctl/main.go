@@ -24,8 +24,13 @@
 //	                                              stream observed instance events (JSONL)
 //	                                              into a running service, honoring
 //	                                              backpressure retry hints
+//	choreoctl loadgen  -addr URL [-duration 10s | -maxops n] [-concurrency 4]
+//	                                              drive mixed corpus traffic (check/
+//	                                              evolve/commit/migrate/ingest) against
+//	                                              a running service and report per-class
+//	                                              throughput and latency quantiles
 //
-// The remote subcommands (register, evolve, migrate, ingest) talk to a running
+// The remote subcommands (register, evolve, migrate, ingest, loadgen) talk to a running
 // choreod over its /v2/ API and accept -timeout to bound the request
 // context (default 30s; 0 disables the deadline).
 //
@@ -45,6 +50,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strconv"
 	"strings"
 	"syscall"
 	"time"
@@ -82,6 +88,8 @@ func main() {
 		err = runMigrate(args)
 	case "ingest":
 		err = runIngest(args)
+	case "loadgen":
+		err = runLoadgen(args)
 	case "help", "-h", "--help":
 		usage()
 	default:
@@ -117,6 +125,11 @@ commands:
   ingest     stream observed instance events into a running choreod (/v2/)
              [-addr http://localhost:8080] [-in events.jsonl, empty = stdin]
              [-batch 256] [-timeout 30s per request, 0 = none]
+  loadgen    drive mixed scenario-corpus traffic against a running choreod (/v2/)
+             [-addr http://localhost:8080] [-duration 10s | -maxops n]
+             [-concurrency 4] [-mix check=4,evolve=2,commit=1,migrate=1,ingest=4]
+             [-scenario name, repeatable; empty = whole corpus] [-seed 1]
+             [-ingestbatch 16] [-prefix loadgen]
 
 run 'choreoctl <command> -h' for the full flag list of a command`)
 }
@@ -763,5 +776,75 @@ func runSimulate(args []string) error {
 	if !res.DeadlockFree() {
 		os.Exit(1)
 	}
+	return nil
+}
+
+// parseMix parses "check=4,evolve=2,..." into a LoadgenMix.
+func parseMix(s string) (choreo.LoadgenMix, error) {
+	var m choreo.LoadgenMix
+	if strings.TrimSpace(s) == "" {
+		return m, nil
+	}
+	for _, part := range strings.Split(s, ",") {
+		kv := strings.SplitN(strings.TrimSpace(part), "=", 2)
+		if len(kv) != 2 {
+			return m, fmt.Errorf("bad mix entry %q (want class=weight)", part)
+		}
+		w, err := strconv.Atoi(kv[1])
+		if err != nil || w < 0 {
+			return m, fmt.Errorf("bad mix weight %q", part)
+		}
+		switch kv[0] {
+		case "check":
+			m.Check = w
+		case "evolve":
+			m.Evolve = w
+		case "commit":
+			m.Commit = w
+		case "migrate":
+			m.Migrate = w
+		case "ingest":
+			m.Ingest = w
+		default:
+			return m, fmt.Errorf("unknown mix class %q", kv[0])
+		}
+	}
+	return m, nil
+}
+
+// runLoadgen drives mixed corpus traffic against a running choreod
+// and prints the per-op-class throughput/latency table.
+func runLoadgen(args []string) error {
+	fs := flag.NewFlagSet("loadgen", flag.ExitOnError)
+	addr := fs.String("addr", "http://localhost:8080", "choreod base URL")
+	duration := fs.Duration("duration", 10*time.Second, "run length (0 = use -maxops only)")
+	maxOps := fs.Int64("maxops", 0, "total op budget (0 = use -duration only)")
+	concurrency := fs.Int("concurrency", 4, "worker goroutines")
+	mixSpec := fs.String("mix", "", "op-class weights, e.g. check=4,evolve=2,commit=1,migrate=1,ingest=4")
+	seed := fs.Int64("seed", 1, "op-schedule seed")
+	ingestBatch := fs.Int("ingestbatch", 16, "events per ingest op")
+	prefix := fs.String("prefix", "loadgen", "choreography ID prefix for the run")
+	var scenarios multiFlag
+	fs.Var(&scenarios, "scenario", "corpus scenario name (repeatable; empty = all)")
+	fs.Parse(args)
+	mix, err := parseMix(*mixSpec)
+	if err != nil {
+		return fmt.Errorf("loadgen: %v", err)
+	}
+	rep, err := choreo.RunLoadgen(context.Background(), choreo.LoadgenConfig{
+		Addr:        *addr,
+		Scenarios:   scenarios,
+		Concurrency: *concurrency,
+		Duration:    *duration,
+		MaxOps:      *maxOps,
+		Mix:         mix,
+		Seed:        *seed,
+		IngestBatch: *ingestBatch,
+		Prefix:      *prefix,
+	})
+	if err != nil {
+		return fmt.Errorf("loadgen: %v", err)
+	}
+	fmt.Print(rep.Table())
 	return nil
 }

@@ -399,3 +399,49 @@ func TestServeDurableGracefulShutdown(t *testing.T) {
 		t.Fatalf("recovered %d parties, want 1", snap.NumParties())
 	}
 }
+
+// TestLoadgenSubcommand runs the load harness end to end through the
+// CLI entry point against an in-process choreod: a small budgeted run
+// over one corpus scenario, plus mix-spec parsing edge cases.
+func TestLoadgenSubcommand(t *testing.T) {
+	srv := choreo.NewChoreoServer(choreo.NewChoreographyStore())
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+
+	if err := runLoadgen([]string{
+		"-addr", ts.URL, "-duration", "0", "-maxops", "24",
+		"-concurrency", "2", "-scenario", "supply-chain", "-seed", "5",
+		"-mix", "check=3,evolve=1,commit=1,migrate=1,ingest=2",
+	}); err != nil {
+		t.Fatalf("loadgen: %v", err)
+	}
+	chors, err := choreo.NewChoreoClient(ts.URL, nil).Choreographies(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(chors) == 0 {
+		t.Fatal("loadgen provisioned no choreographies")
+	}
+	// No traffic source at all is rejected.
+	if err := runLoadgen([]string{"-addr", ts.URL, "-duration", "0"}); err == nil {
+		t.Fatal("loadgen accepted neither -duration nor -maxops")
+	}
+}
+
+func TestParseMix(t *testing.T) {
+	m, err := parseMix("check=3, evolve=1,ingest=0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Check != 3 || m.Evolve != 1 || m.Ingest != 0 || m.Commit != 0 {
+		t.Fatalf("parsed mix = %+v", m)
+	}
+	if m, err = parseMix(""); err != nil || m != (choreo.LoadgenMix{}) {
+		t.Fatalf("empty mix: %+v, %v", m, err)
+	}
+	for _, bad := range []string{"check", "check=x", "check=-1", "nap=3"} {
+		if _, err := parseMix(bad); err == nil {
+			t.Errorf("parseMix(%q) accepted", bad)
+		}
+	}
+}

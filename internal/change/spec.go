@@ -1,0 +1,120 @@
+package change
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/bpel"
+)
+
+// Spec is the declarative encoding of one structural change operation,
+// shared by the /v2/ wire format and the scenario-corpus manifests.
+// Kind selects the operation; the other fields parameterize it:
+//
+//	replaceProcess  XML (whole process; owner must match the party)
+//	replace         Path, XML (activity fragment)
+//	insert          Path (sibling), XML, After
+//	append          Path (sequence/flow), XML
+//	delete          Path
+//	shift           Path, Anchor, After
+//	setWhileCond    Path, Cond
+//
+// Path addresses an activity as its block elements joined by "/"
+// (e.g. "Sequence:accounting process/Receive:order"); activity XML
+// uses the same fragment syntax the BPEL process bodies use.
+type Spec struct {
+	Kind   string `json:"kind"`
+	Path   string `json:"path,omitempty"`
+	XML    string `json:"xml,omitempty"`
+	Cond   string `json:"cond,omitempty"`
+	Anchor string `json:"anchor,omitempty"`
+	After  bool   `json:"after,omitempty"`
+}
+
+// ParsePath splits a "/"-joined spec path into bpel.Path elements.
+func ParsePath(s string) bpel.Path {
+	if strings.TrimSpace(s) == "" {
+		return nil
+	}
+	parts := strings.Split(s, "/")
+	out := make(bpel.Path, 0, len(parts))
+	for _, p := range parts {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// activity parses the spec's XML field as an activity fragment.
+func (o Spec) activity() (bpel.Activity, error) {
+	if o.XML == "" {
+		return nil, fmt.Errorf("op %q needs an activity in xml", o.Kind)
+	}
+	a, err := bpel.UnmarshalActivityXML([]byte(o.XML))
+	if err != nil {
+		return nil, fmt.Errorf("op %q: parsing activity XML: %v", o.Kind, err)
+	}
+	return a, nil
+}
+
+// Decode translates the spec into a change Operation for party.
+func (o Spec) Decode(party string) (Operation, error) {
+	switch o.Kind {
+	case "replaceProcess":
+		p, err := bpel.UnmarshalXML([]byte(o.XML))
+		if err != nil {
+			return nil, fmt.Errorf("op replaceProcess: %v", err)
+		}
+		if p.Owner != party {
+			return nil, fmt.Errorf("op replaceProcess: process owner %q does not match party %q", p.Owner, party)
+		}
+		return Replace{Path: nil, New: p.Body}, nil
+	case "replace":
+		a, err := o.activity()
+		if err != nil {
+			return nil, err
+		}
+		return Replace{Path: ParsePath(o.Path), New: a}, nil
+	case "insert":
+		a, err := o.activity()
+		if err != nil {
+			return nil, err
+		}
+		return Insert{Path: ParsePath(o.Path), New: a, After: o.After}, nil
+	case "append":
+		a, err := o.activity()
+		if err != nil {
+			return nil, err
+		}
+		return Append{Path: ParsePath(o.Path), New: a}, nil
+	case "delete":
+		return Delete{Path: ParsePath(o.Path)}, nil
+	case "shift":
+		return Shift{Path: ParsePath(o.Path), Anchor: o.Anchor, After: o.After}, nil
+	case "setWhileCond":
+		return SetWhileCond{Path: ParsePath(o.Path), Cond: o.Cond}, nil
+	case "":
+		return nil, fmt.Errorf("op without kind")
+	}
+	return nil, fmt.Errorf("unknown op kind %q", o.Kind)
+}
+
+// DecodeSpecs translates a spec list into a change transaction.
+func DecodeSpecs(party string, specs []Spec) ([]Operation, error) {
+	if party == "" {
+		return nil, fmt.Errorf("missing party")
+	}
+	if len(specs) == 0 {
+		return nil, fmt.Errorf("evolve needs at least one op")
+	}
+	out := make([]Operation, 0, len(specs))
+	for i, o := range specs {
+		op, err := o.Decode(party)
+		if err != nil {
+			return nil, fmt.Errorf("ops[%d]: %v", i, err)
+		}
+		out = append(out, op)
+	}
+	return out, nil
+}

@@ -1,0 +1,403 @@
+// Package loadgen drives configurable mixed traffic — consistency
+// checks, evolution analyses, commit/revert cycles, migration what-ifs
+// and event ingestion — against a running choreod server, using the
+// scenario corpus as the workload. It reports per-op-class throughput
+// and latency quantiles; `choreoctl loadgen` is the CLI front end and
+// BenchmarkLoadgen records a steady-state run in BENCH_afsa.json.
+package loadgen
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/scenario"
+	"repro/internal/server"
+)
+
+// Mix weighs the op classes; a zero weight disables the class. The
+// default mix is read-heavy with a steady trickle of mutations,
+// roughly the profile of a choreography registry in production.
+type Mix struct {
+	Check   int
+	Evolve  int
+	Commit  int
+	Migrate int
+	Ingest  int
+}
+
+// DefaultMix is used when the config leaves every weight zero.
+var DefaultMix = Mix{Check: 4, Evolve: 2, Commit: 1, Migrate: 1, Ingest: 4}
+
+func (m Mix) total() int { return m.Check + m.Evolve + m.Commit + m.Migrate + m.Ingest }
+
+// Config parameterizes one load run.
+type Config struct {
+	// Addr is the base URL of the choreod server.
+	Addr string
+	// Scenarios are corpus scenario names (empty = whole corpus).
+	Scenarios []string
+	// Concurrency is the worker count (default 4).
+	Concurrency int
+	// Duration bounds the run in wall time; MaxOps in total operations.
+	// At least one must be set; whichever trips first stops the run.
+	Duration time.Duration
+	MaxOps   int64
+	// Mix weighs the op classes (zero value = DefaultMix).
+	Mix Mix
+	// Seed makes the op schedule reproducible.
+	Seed int64
+	// IngestBatch is the events-per-ingest-op batch size (default 16).
+	IngestBatch int
+	// Prefix namespaces the choreographies the run creates (default
+	// "loadgen"); reruns against the same server reuse them.
+	Prefix string
+}
+
+// ClassStats aggregates one op class.
+type ClassStats struct {
+	Ops     int64
+	Errors  int64
+	P50     time.Duration
+	P90     time.Duration
+	P99     time.Duration
+	Mean    time.Duration
+	PerSec  float64
+	samples []time.Duration
+}
+
+// Report is the outcome of a load run.
+type Report struct {
+	Elapsed     time.Duration
+	TotalOps    int64
+	TotalErrors int64
+	Classes     map[string]*ClassStats
+}
+
+// classNames fixes the report ordering.
+var classNames = []string{"check", "evolve", "commit", "migrate", "ingest"}
+
+// Table renders the report as an aligned per-class summary.
+func (r *Report) Table() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-8s %10s %8s %10s %10s %10s %10s %10s\n",
+		"class", "ops", "errors", "ops/s", "mean", "p50", "p90", "p99")
+	for _, name := range classNames {
+		cs, ok := r.Classes[name]
+		if !ok || cs.Ops == 0 {
+			continue
+		}
+		fmt.Fprintf(&b, "%-8s %10d %8d %10.1f %10s %10s %10s %10s\n",
+			name, cs.Ops, cs.Errors, cs.PerSec,
+			round(cs.Mean), round(cs.P50), round(cs.P90), round(cs.P99))
+	}
+	fmt.Fprintf(&b, "total    %10d %8d in %s\n", r.TotalOps, r.TotalErrors, round(r.Elapsed))
+	return b.String()
+}
+
+func round(d time.Duration) time.Duration { return d.Round(time.Microsecond) }
+
+// runner holds the shared state of one load run.
+type runner struct {
+	cfg    Config
+	client *server.Client
+	corpus []*scenario.Scenario
+	// shared choreography IDs (one per scenario) for read-mostly
+	// classes; commit workers get private copies.
+	shared []string
+	ops    atomic.Int64
+}
+
+// Run executes one load run against cfg.Addr: it provisions the
+// corpus choreographies (idempotently), spins up the worker pool, and
+// aggregates per-class latencies.
+func Run(ctx context.Context, cfg Config) (*Report, error) {
+	if cfg.Addr == "" {
+		return nil, fmt.Errorf("loadgen: missing server address")
+	}
+	if cfg.Duration <= 0 && cfg.MaxOps <= 0 {
+		return nil, fmt.Errorf("loadgen: need a duration or an op budget")
+	}
+	if cfg.Concurrency <= 0 {
+		cfg.Concurrency = 4
+	}
+	if cfg.IngestBatch <= 0 {
+		cfg.IngestBatch = 16
+	}
+	if cfg.Mix.total() == 0 {
+		cfg.Mix = DefaultMix
+	}
+	if cfg.Prefix == "" {
+		cfg.Prefix = "loadgen"
+	}
+
+	r := &runner{cfg: cfg, client: server.NewClient(cfg.Addr, nil)}
+	if err := r.loadCorpus(); err != nil {
+		return nil, err
+	}
+	if err := r.provision(ctx); err != nil {
+		return nil, err
+	}
+
+	if cfg.Duration > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, cfg.Duration)
+		defer cancel()
+	}
+
+	recs := make([]map[string]*ClassStats, cfg.Concurrency)
+	start := time.Now()
+	var wg sync.WaitGroup
+	for w := 0; w < cfg.Concurrency; w++ {
+		recs[w] = map[string]*ClassStats{}
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			r.worker(ctx, w, recs[w])
+		}(w)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	rep := &Report{Elapsed: elapsed, Classes: map[string]*ClassStats{}}
+	for _, rec := range recs {
+		for name, cs := range rec {
+			agg, ok := rep.Classes[name]
+			if !ok {
+				agg = &ClassStats{}
+				rep.Classes[name] = agg
+			}
+			agg.Ops += cs.Ops
+			agg.Errors += cs.Errors
+			agg.samples = append(agg.samples, cs.samples...)
+		}
+	}
+	for _, cs := range rep.Classes {
+		finalize(cs, elapsed)
+		rep.TotalOps += cs.Ops
+		rep.TotalErrors += cs.Errors
+	}
+	return rep, nil
+}
+
+// finalize computes quantiles and rates from the raw samples.
+func finalize(cs *ClassStats, elapsed time.Duration) {
+	if len(cs.samples) == 0 {
+		return
+	}
+	sort.Slice(cs.samples, func(i, j int) bool { return cs.samples[i] < cs.samples[j] })
+	at := func(q float64) time.Duration {
+		return cs.samples[int(q*float64(len(cs.samples)-1))]
+	}
+	var sum time.Duration
+	for _, d := range cs.samples {
+		sum += d
+	}
+	cs.P50, cs.P90, cs.P99 = at(0.50), at(0.90), at(0.99)
+	cs.Mean = sum / time.Duration(len(cs.samples))
+	if elapsed > 0 {
+		cs.PerSec = float64(cs.Ops) / elapsed.Seconds()
+	}
+	cs.samples = nil
+}
+
+func (r *runner) loadCorpus() error {
+	names := r.cfg.Scenarios
+	if len(names) == 0 {
+		names = scenario.Names()
+	}
+	for _, name := range names {
+		sc, err := scenario.Load(name)
+		if err != nil {
+			return fmt.Errorf("loadgen: %w", err)
+		}
+		r.corpus = append(r.corpus, sc)
+	}
+	if len(r.corpus) == 0 {
+		return fmt.Errorf("loadgen: no scenarios")
+	}
+	return nil
+}
+
+// provision creates the run's choreographies: one shared copy of every
+// scenario, plus a private copy per commit worker. Existing copies
+// (reruns against the same server) are reused.
+func (r *runner) provision(ctx context.Context) error {
+	type copyOf struct {
+		id string
+		sc *scenario.Scenario
+	}
+	var ids []copyOf
+	for _, sc := range r.corpus {
+		id := r.cfg.Prefix + "-" + sc.Name
+		r.shared = append(r.shared, id)
+		ids = append(ids, copyOf{id, sc})
+	}
+	if r.cfg.Mix.Commit > 0 {
+		for w := 0; w < r.cfg.Concurrency; w++ {
+			sc := r.corpus[w%len(r.corpus)]
+			ids = append(ids, copyOf{fmt.Sprintf("%s-%s-w%d", r.cfg.Prefix, sc.Name, w), sc})
+		}
+	}
+	existing := map[string]bool{}
+	if known, err := r.client.Choreographies(ctx); err == nil {
+		for _, id := range known {
+			existing[id] = true
+		}
+	}
+	for _, e := range ids {
+		if existing[e.id] {
+			continue
+		}
+		if err := r.client.CreateChoreography(ctx, e.id, e.sc.SyncOps); err != nil {
+			return fmt.Errorf("loadgen: creating %s: %w", e.id, err)
+		}
+		if _, err := r.client.RegisterParties(ctx, e.id, e.sc.Parties, nil); err != nil {
+			return fmt.Errorf("loadgen: registering %s: %w", e.id, err)
+		}
+		for _, p := range e.sc.Parties {
+			insts := instancesJSON(e.sc.InstancesOf(p.Owner))
+			if len(insts) == 0 {
+				continue
+			}
+			if _, err := r.client.AddInstances(ctx, e.id, p.Owner, insts); err != nil {
+				return fmt.Errorf("loadgen: seeding instances of %s: %w", e.id, err)
+			}
+		}
+	}
+	return nil
+}
+
+func instancesJSON(insts []scenario.Instance) []server.InstanceJSON {
+	var out []server.InstanceJSON
+	for _, in := range insts {
+		j := server.InstanceJSON{ID: in.ID}
+		for _, l := range in.Trace {
+			j.Trace = append(j.Trace, l.String())
+		}
+		out = append(out, j)
+	}
+	return out
+}
+
+// worker runs one goroutine's share of the op schedule.
+func (r *runner) worker(ctx context.Context, w int, rec map[string]*ClassStats) {
+	rng := rand.New(rand.NewSource(r.cfg.Seed + int64(w)*7919))
+	commitSc := r.corpus[w%len(r.corpus)]
+	commitID := fmt.Sprintf("%s-%s-w%d", r.cfg.Prefix, commitSc.Name, w)
+	iter := 0
+	for {
+		if ctx.Err() != nil {
+			return
+		}
+		if r.cfg.MaxOps > 0 && r.ops.Add(1) > r.cfg.MaxOps {
+			return
+		}
+		iter++
+		si := rng.Intn(len(r.corpus))
+		sc, id := r.corpus[si], r.shared[si]
+		class := pickClass(rng, r.cfg.Mix)
+		start := time.Now()
+		var err error
+		switch class {
+		case "check":
+			_, err = r.client.Check(ctx, id)
+		case "evolve":
+			err = r.evolveOnly(ctx, rng, sc, id)
+		case "commit":
+			err = r.commitRevert(ctx, commitSc, commitID)
+		case "migrate":
+			party := sc.Parties[rng.Intn(len(sc.Parties))].Owner
+			_, err = r.client.Migrate(ctx, id, party, "")
+		case "ingest":
+			err = r.ingestBatch(ctx, sc, id, w, iter)
+		}
+		if ctx.Err() != nil {
+			// Latency of an op cut off by the deadline is noise.
+			return
+		}
+		cs, ok := rec[class]
+		if !ok {
+			cs = &ClassStats{}
+			rec[class] = cs
+		}
+		cs.Ops++
+		if err != nil {
+			cs.Errors++
+		} else {
+			cs.samples = append(cs.samples, time.Since(start))
+		}
+	}
+}
+
+func pickClass(rng *rand.Rand, m Mix) string {
+	n := rng.Intn(m.total())
+	for _, c := range []struct {
+		name   string
+		weight int
+	}{{"check", m.Check}, {"evolve", m.Evolve}, {"commit", m.Commit}, {"migrate", m.Migrate}, {"ingest", m.Ingest}} {
+		if n < c.weight {
+			return c.name
+		}
+		n -= c.weight
+	}
+	return "check"
+}
+
+// opsJSON converts an episode's specs to wire ops.
+func opsJSON(ep scenario.Episode) []server.OpJSON {
+	out := make([]server.OpJSON, len(ep.Ops))
+	for i, sp := range ep.Ops {
+		out[i] = server.OpJSON(sp)
+	}
+	return out
+}
+
+// evolveOnly runs a what-if analysis of a random scripted episode
+// against the shared choreography without committing it.
+func (r *runner) evolveOnly(ctx context.Context, rng *rand.Rand, sc *scenario.Scenario, id string) error {
+	ep := sc.Episodes[rng.Intn(len(sc.Episodes))]
+	_, err := r.client.EvolveOps(ctx, id, ep.Party, opsJSON(ep))
+	return err
+}
+
+// commitRevert evolves the worker-private choreography through its
+// first scripted episode, commits, and reverts the originator to the
+// base process — leaving the copy back at its starting schema (modulo
+// version counters) for the next cycle.
+func (r *runner) commitRevert(ctx context.Context, sc *scenario.Scenario, id string) error {
+	ep := sc.Episodes[0]
+	evo, err := r.client.EvolveOps(ctx, id, ep.Party, opsJSON(ep))
+	if err != nil {
+		return err
+	}
+	if _, err := r.client.Commit(ctx, evo.Evolution); err != nil {
+		return err
+	}
+	if _, err := r.client.UpdateParty(ctx, id, sc.Party(ep.Party), nil); err != nil {
+		return err
+	}
+	return nil
+}
+
+// ingestBatch streams a batch of scripted-trace events under instance
+// IDs unique to this (worker, iteration).
+func (r *runner) ingestBatch(ctx context.Context, sc *scenario.Scenario, id string, w, iter int) error {
+	evs := scenario.Events(sc.Instances, fmt.Sprintf("-w%d-%d", w, iter))
+	// Batches always cut at the stream head so every instance keeps a
+	// whole, in-order trace prefix.
+	if len(evs) > r.cfg.IngestBatch {
+		evs = evs[:r.cfg.IngestBatch]
+	}
+	batch := make([]server.IngestEventJSON, len(evs))
+	for i, ev := range evs {
+		batch[i] = server.IngestEventJSON{Party: ev.Party, Instance: ev.Instance, Label: string(ev.Label)}
+	}
+	_, err := r.client.IngestEvents(ctx, id, batch)
+	return err
+}

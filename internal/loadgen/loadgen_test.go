@@ -1,0 +1,143 @@
+package loadgen
+
+import (
+	"context"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"repro/internal/server"
+	"repro/internal/store"
+)
+
+// startServer brings up an in-process choreod.
+func startServer(t testing.TB) *httptest.Server {
+	st := store.New(store.WithShards(4))
+	ts := httptest.NewServer(server.New(st).Handler())
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+// TestLoadgenAgainstInProcessServer drives a small budgeted run with
+// every op class enabled and checks the report adds up: the budget is
+// honored, every enabled class got traffic, and nothing but the
+// scripted conflict-free schedule ran (zero errors).
+func TestLoadgenAgainstInProcessServer(t *testing.T) {
+	ts := startServer(t)
+	maxOps := int64(120)
+	if testing.Short() {
+		maxOps = 60
+	}
+	rep, err := Run(context.Background(), Config{
+		Addr:        ts.URL,
+		Concurrency: 4,
+		MaxOps:      maxOps,
+		Seed:        7,
+		Mix:         Mix{Check: 3, Evolve: 2, Commit: 1, Migrate: 1, Ingest: 3},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.TotalOps != maxOps {
+		t.Fatalf("ran %d ops, budget was %d", rep.TotalOps, maxOps)
+	}
+	if rep.TotalErrors != 0 {
+		t.Fatalf("%d ops errored:\n%s", rep.TotalErrors, rep.Table())
+	}
+	for _, class := range classNames {
+		cs, ok := rep.Classes[class]
+		if !ok || cs.Ops == 0 {
+			t.Errorf("class %s got no traffic", class)
+			continue
+		}
+		if cs.P50 <= 0 || cs.P99 < cs.P50 {
+			t.Errorf("class %s: implausible quantiles p50=%v p99=%v", class, cs.P50, cs.P99)
+		}
+	}
+	if rep.Table() == "" {
+		t.Fatal("empty report table")
+	}
+}
+
+// TestLoadgenReRunReusesChoreographies checks a second run against the
+// same server (same prefix) provisions nothing new and still succeeds.
+func TestLoadgenReRunReusesChoreographies(t *testing.T) {
+	ts := startServer(t)
+	cfg := Config{Addr: ts.URL, Concurrency: 2, MaxOps: 20, Seed: 3}
+	if _, err := Run(context.Background(), cfg); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Run(context.Background(), cfg)
+	if err != nil {
+		t.Fatalf("rerun: %v", err)
+	}
+	if rep.TotalErrors != 0 {
+		t.Fatalf("rerun errors:\n%s", rep.Table())
+	}
+}
+
+// TestLoadgenSoak is the duration-bounded soak (skipped in -short):
+// sustained mixed traffic for a wall-clock slice, no errors.
+func TestLoadgenSoak(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak skipped in -short")
+	}
+	ts := startServer(t)
+	rep, err := Run(context.Background(), Config{
+		Addr:        ts.URL,
+		Concurrency: 4,
+		Duration:    2 * time.Second,
+		Seed:        11,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.TotalOps == 0 {
+		t.Fatal("soak ran no ops")
+	}
+	if rep.TotalErrors != 0 {
+		t.Fatalf("soak errors:\n%s", rep.Table())
+	}
+}
+
+func TestLoadgenConfigValidation(t *testing.T) {
+	if _, err := Run(context.Background(), Config{Addr: "http://x", Seed: 1}); err == nil {
+		t.Fatal("no duration and no op budget accepted")
+	}
+	if _, err := Run(context.Background(), Config{MaxOps: 1}); err == nil {
+		t.Fatal("missing address accepted")
+	}
+}
+
+// BenchmarkLoadgen measures steady-state mixed-traffic throughput
+// against an in-process choreod; benchjson records it as the
+// "loadgen" run in BENCH_afsa.json.
+func BenchmarkLoadgen(b *testing.B) {
+	ts := startServer(b)
+	// Warm provisioning outside the timer.
+	if _, err := Run(context.Background(), Config{Addr: ts.URL, Concurrency: 4, MaxOps: 8, Seed: 1}); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	rep, err := Run(context.Background(), Config{
+		Addr:        ts.URL,
+		Concurrency: 4,
+		MaxOps:      int64(b.N),
+		Seed:        1,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.StopTimer()
+	if rep.TotalErrors != 0 {
+		b.Fatalf("errors under load:\n%s", rep.Table())
+	}
+	perSec := float64(rep.TotalOps) / rep.Elapsed.Seconds()
+	b.ReportMetric(perSec, "mixedops/s")
+	if cs, ok := rep.Classes["check"]; ok && cs.Ops > 0 {
+		b.ReportMetric(float64(cs.P99.Microseconds()), "check-p99-µs")
+	}
+	if cs, ok := rep.Classes["ingest"]; ok && cs.Ops > 0 {
+		b.ReportMetric(float64(cs.P99.Microseconds()), "ingest-p99-µs")
+	}
+}

@@ -1,0 +1,53 @@
+package mapping
+
+import (
+	"repro/internal/bpel"
+	"repro/internal/wsdl"
+)
+
+// InferRegistry builds a WSDL registry covering every operation the
+// processes mention, so derivation validates without a hand-written
+// registry. Operations default to asynchronous; syncOps entries of the
+// form "party.op" mark synchronous ones (request/response pairs in the
+// public process).
+func InferRegistry(procs []*bpel.Process, syncOps []string) (*wsdl.Registry, error) {
+	reg := wsdl.NewRegistry()
+	isSync := map[string]bool{}
+	for _, s := range syncOps {
+		isSync[s] = true
+	}
+	seen := map[string]bool{}
+	add := func(owner, op string) error {
+		key := owner + "." + op
+		if seen[key] {
+			return nil
+		}
+		seen[key] = true
+		return reg.AddOperation(owner, op, isSync[key])
+	}
+	var err error
+	for _, p := range procs {
+		owner := p.Owner
+		bpel.Walk(p.Body, func(a bpel.Activity, _ bpel.Path) bool {
+			if err != nil {
+				return false
+			}
+			switch t := a.(type) {
+			case *bpel.Receive:
+				err = add(owner, t.Op)
+			case *bpel.Reply:
+				err = add(owner, t.Op)
+			case *bpel.Invoke:
+				err = add(t.Partner, t.Op)
+			case *bpel.Pick:
+				for _, b := range t.Branches {
+					if err == nil {
+						err = add(owner, b.Op)
+					}
+				}
+			}
+			return err == nil
+		})
+	}
+	return reg, err
+}

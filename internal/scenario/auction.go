@@ -1,0 +1,214 @@
+package scenario
+
+import (
+	"repro/internal/bpel"
+	"repro/internal/change"
+)
+
+// auctionScenario is a five-party auction: a seller lists a lot with
+// the auction house, a notary certifies it, the bidder desk streams
+// bids through the paper's loop idiom (While "1 = 1" around a pick
+// whose exits Terminate), payments settles the hammer price, and the
+// seller may withdraw the lot from inside a cancellation scope. This
+// is the corpus's loop-and-cancellation-heavy entry.
+func auctionScenario() *Scenario {
+	// settle/cancel tails of the auction house bid loop; the builders
+	// take a suffix so the bounded rewrite in the bid-limit episode can
+	// duplicate them per unrolled level with distinct block names.
+	settleSeq := func(suffix string) *bpel.Sequence {
+		return seq("settle"+suffix,
+			inv("collect"+suffix, "PY", "collectOp"),
+			recv("collected"+suffix, "PY", "collectedOp"),
+			inv("sold"+suffix, "SE", "soldOp"),
+			inv("record"+suffix, "NT", "recordOp"),
+			terminate("done"+suffix),
+		)
+	}
+	cancelSeq := func(suffix string) *bpel.Sequence {
+		return seq("cancelled"+suffix,
+			inv("closeBook"+suffix, "BD", "closeBookOp"),
+			inv("noCollect"+suffix, "PY", "noCollectOp"),
+			inv("voidCert"+suffix, "NT", "voidCertOp"),
+			terminate("aborted"+suffix),
+		)
+	}
+
+	auctionHouse := proc("auction house", "AH", seq("auction house process",
+		recv("list", "SE", "listOp"),
+		inv("certify", "NT", "certifyOp"),
+		recv("certified", "NT", "certifiedOp"),
+		inv("listed", "SE", "listedOp"),
+		inv("open", "BD", "openOp"),
+		loop("bidding", pick("bid stream",
+			on("BD", "bidOp", inv("bidAck", "BD", "bidAckOp")),
+			on("BD", "hammerOp", settleSeq("")),
+			on("SE", "cancelOp", cancelSeq("")),
+		)),
+	))
+	seller := proc("seller", "SE", seq("seller process",
+		inv("list", "AH", "listOp"),
+		recv("listed", "AH", "listedOp"),
+		scope("sale", choice("patience?",
+			[]bpel.Case{when("wait", recv("sold", "AH", "soldOp"))},
+			seq("withdraw",
+				inv("cancel", "AH", "cancelOp"),
+				terminate("withdrawn"),
+			),
+		)),
+	))
+	bidderDesk := proc("bidder desk", "BD", seq("bidder desk process",
+		recv("open", "AH", "openOp"),
+		loop("bids", choice("more bids?",
+			[]bpel.Case{
+				when("bid", seq("place bid",
+					inv("bid", "AH", "bidOp"),
+					recv("bidAck", "AH", "bidAckOp"),
+				)),
+				when("close", seq("close out",
+					inv("hammer", "AH", "hammerOp"),
+					terminate("hammered"),
+				)),
+			},
+			seq("stand by",
+				recv("closeBook", "AH", "closeBookOp"),
+				terminate("book closed"),
+			),
+		)),
+	))
+	payments := proc("payments", "PY", seq("payments process",
+		pick("settlement",
+			on("AH", "collectOp", inv("collected", "AH", "collectedOp")),
+			on("AH", "noCollectOp", empty("no settlement")),
+		),
+	))
+	notary := proc("notary", "NT", seq("notary process",
+		recv("certify", "AH", "certifyOp"),
+		inv("certified", "AH", "certifiedOp"),
+		pick("outcome",
+			on("AH", "recordOp", empty("recorded")),
+			on("AH", "voidCertOp", empty("voided")),
+		),
+	))
+
+	// proxy-bids: the auction house additionally accepts proxy bids in
+	// the loop — additive invariant for the bidder desk.
+	proxyBids := Episode{
+		Name:  "proxy-bids",
+		Party: "AH",
+		Ops: []change.Spec{specReplace("Sequence:auction house process/While:bidding/Pick:bid stream",
+			pick("bid stream",
+				on("BD", "bidOp", inv("bidAck", "BD", "bidAckOp")),
+				on("BD", "proxyBidOp", inv("proxyAck", "BD", "bidAckOp")),
+				on("BD", "hammerOp", settleSeq("")),
+				on("SE", "cancelOp", cancelSeq("")),
+			))},
+		PublicChanged: true,
+		Impacts:       map[string]Impact{"BD": {Kind: "additive", Scope: "invariant"}},
+		Stranded:      []Stranded{{Party: "AH", ID: "AH-dev", Status: "non-replayable"}},
+	}
+
+	// bid-limit: the unbounded bid loop becomes at most one open bid —
+	// the paper's bound-an-unbounded-loop archetype. Only the bidder
+	// desk loses words (subtractive variant); the seller, payments and
+	// notary conversations are unchanged. The bidder desk adapts with a
+	// matching bounded switch; long bid histories strand.
+	bidLimit := Episode{
+		Name:  "bid-limit",
+		Party: "AH",
+		Ops: []change.Spec{specReplace("Sequence:auction house process/While:bidding",
+			pick("first move",
+				on("BD", "bidOp", seq("one bid",
+					inv("bidAck", "BD", "bidAckOp"),
+					pick("second move",
+						on("BD", "hammerOp", settleSeq(" after bid")),
+						on("SE", "cancelOp", cancelSeq(" after bid")),
+					),
+				)),
+				on("BD", "hammerOp", settleSeq("")),
+				on("SE", "cancelOp", cancelSeq("")),
+			))},
+		PublicChanged: true,
+		Impacts:       map[string]Impact{"BD": {Kind: "subtractive", Scope: "variant"}},
+		Adaptations: []Adaptation{{
+			Party: "BD",
+			Ops: []change.Spec{specReplace("Sequence:bidder desk process/While:bids",
+				choice("limited bids",
+					[]bpel.Case{
+						when("bid once", seq("place bid",
+							inv("bid", "AH", "bidOp"),
+							recv("bidAck", "AH", "bidAckOp"),
+							choice("then",
+								[]bpel.Case{when("close", seq("close out",
+									inv("hammer", "AH", "hammerOp"),
+									terminate("hammered"),
+								))},
+								seq("stand by",
+									recv("closeBook", "AH", "closeBookOp"),
+									terminate("book closed"),
+								),
+							),
+						)),
+						when("close now", seq("close out now",
+							inv("hammer now", "AH", "hammerOp"),
+							terminate("hammered now"),
+						)),
+					},
+					seq("stand by now",
+						recv("closeBook now", "AH", "closeBookOp"),
+						terminate("book closed now"),
+					),
+				))},
+		}},
+		Stranded: []Stranded{
+			{Party: "AH", ID: "AH-bidding", Status: "non-replayable"},
+			{Party: "AH", ID: "AH-dev", Status: "non-replayable"},
+			{Party: "BD", ID: "BD-two-bids", Status: "non-replayable"},
+		},
+	}
+
+	// buyers-premium: a premium notice is inserted before the sold
+	// message inside the settle tail — mid-sequence insertion, so the
+	// seller both gains and loses words (additive+subtractive,
+	// variant). Completed sales strand.
+	buyersPremium := Episode{
+		Name:  "buyers-premium",
+		Party: "AH",
+		Ops: []change.Spec{specInsert(
+			"Sequence:auction house process/While:bidding/Pick:bid stream/Sequence:settle/Invoke:sold",
+			inv("premium", "SE", "premiumOp"), false)},
+		PublicChanged: true,
+		Impacts:       map[string]Impact{"SE": {Kind: "additive+subtractive", Scope: "variant"}},
+		Adaptations: []Adaptation{{
+			Party: "SE",
+			Ops: []change.Spec{specReplace("Sequence:seller process/Scope:sale/Switch:patience?/Receive:sold",
+				seq("premium then sold",
+					recv("premium", "AH", "premiumOp"),
+					recv("sold", "AH", "soldOp"),
+				))},
+		}},
+		Stranded: []Stranded{
+			{Party: "AH", ID: "AH-dev", Status: "non-replayable"},
+			{Party: "AH", ID: "AH-sold", Status: "non-replayable"},
+			{Party: "SE", ID: "SE-sold", Status: "non-replayable"},
+		},
+	}
+
+	return &Scenario{
+		Name:        "auction",
+		Description: "Auction house: seller, auction house, bidder desk, payments, notary; unbounded bid loop with terminate exits and a seller-side cancellation scope.",
+		Parties:     []*bpel.Process{auctionHouse, seller, bidderDesk, payments, notary},
+		Instances: []Instance{
+			migratable("AH", "AH-sold", "SE#AH#listOp", "AH#NT#certifyOp", "NT#AH#certifiedOp", "AH#SE#listedOp", "AH#BD#openOp", "BD#AH#bidOp", "AH#BD#bidAckOp", "BD#AH#hammerOp", "AH#PY#collectOp", "PY#AH#collectedOp", "AH#SE#soldOp", "AH#NT#recordOp"),
+			migratable("AH", "AH-bidding", "SE#AH#listOp", "AH#NT#certifyOp", "NT#AH#certifiedOp", "AH#SE#listedOp", "AH#BD#openOp", "BD#AH#bidOp", "AH#BD#bidAckOp", "BD#AH#bidOp", "AH#BD#bidAckOp"),
+			migratable("AH", "AH-cancelled", "SE#AH#listOp", "AH#NT#certifyOp", "NT#AH#certifiedOp", "AH#SE#listedOp", "AH#BD#openOp", "SE#AH#cancelOp", "AH#BD#closeBookOp", "AH#PY#noCollectOp", "AH#NT#voidCertOp"),
+			deviator("AH", "AH-dev", "SE#AH#listOp", "AH#X#bogusOp"),
+			migratable("BD", "BD-two-bids", "AH#BD#openOp", "BD#AH#bidOp", "AH#BD#bidAckOp", "BD#AH#bidOp", "AH#BD#bidAckOp", "BD#AH#hammerOp"),
+			migratable("BD", "BD-one-bid", "AH#BD#openOp", "BD#AH#bidOp", "AH#BD#bidAckOp"),
+			migratable("SE", "SE-sold", "SE#AH#listOp", "AH#SE#listedOp", "AH#SE#soldOp"),
+			migratable("SE", "SE-cancel", "SE#AH#listOp", "AH#SE#listedOp", "SE#AH#cancelOp"),
+			migratable("PY", "PY-paid", "AH#PY#collectOp", "PY#AH#collectedOp"),
+			migratable("NT", "NT-void", "AH#NT#certifyOp", "NT#AH#certifiedOp", "AH#NT#voidCertOp"),
+		},
+		Episodes: []Episode{proxyBids, bidLimit, buyersPremium},
+	}
+}

@@ -1,0 +1,126 @@
+package scenario
+
+import (
+	"repro/internal/bpel"
+	"repro/internal/change"
+)
+
+// claimsScenario is a five-party insurance claim settlement: a claimant
+// files with the insurer, an adjuster assesses, and the insurer's
+// approve/reject decision fans out to the claimant, the repair garage
+// and the bank with distinct messages per branch. The insurer is the
+// hub.
+func claimsScenario() *Scenario {
+	insurer := proc("insurer", "I", seq("insurer process",
+		recv("claim", "CL", "claimOp"),
+		inv("ack", "CL", "ackOp"),
+		inv("assess", "AD", "assessOp"),
+		recv("report", "AD", "reportOp"),
+		choice("decision",
+			[]bpel.Case{when("approve", seq("approve",
+				inv("approved", "CL", "approvedOp"),
+				inv("authorize", "G", "authorizeOp"),
+				recv("repaired", "G", "repairedOp"),
+				inv("pay", "BK", "payOp"),
+			))},
+			seq("reject",
+				inv("rejected", "CL", "rejectedOp"),
+				inv("noRepair", "G", "noRepairOp"),
+				inv("noPay", "BK", "noPayOp"),
+			),
+		),
+	))
+	claimant := proc("claimant", "CL", seq("claimant process",
+		inv("claim", "I", "claimOp"),
+		recv("ack", "I", "ackOp"),
+		pick("decision",
+			on("I", "approvedOp", recv("payout", "BK", "payoutOp")),
+			on("I", "rejectedOp", empty("rejected")),
+		),
+	))
+	adjuster := proc("adjuster", "AD", seq("adjuster process",
+		recv("assess", "I", "assessOp"),
+		inv("report", "I", "reportOp"),
+	))
+	garage := proc("garage", "G", seq("garage process",
+		pick("job",
+			on("I", "authorizeOp", inv("repaired", "I", "repairedOp")),
+			on("I", "noRepairOp", empty("idle")),
+		),
+	))
+	bank := proc("bank", "BK", seq("bank process",
+		pick("instruction",
+			on("I", "payOp", inv("payout", "CL", "payoutOp")),
+			on("I", "noPayOp", empty("no payout")),
+		),
+	))
+
+	// online-claims: the insurer additionally accepts web claims —
+	// additive invariant for the claimant.
+	onlineClaims := Episode{
+		Name:  "online-claims",
+		Party: "I",
+		Ops: []change.Spec{specReplace("Sequence:insurer process/Receive:claim",
+			pick("claim intake",
+				on("CL", "claimOp", empty("paper")),
+				on("CL", "webClaimOp", empty("web")),
+			))},
+		PublicChanged: true,
+		Impacts:       map[string]Impact{"CL": {Kind: "additive", Scope: "invariant"}},
+		Stranded:      []Stranded{{Party: "I", ID: "I-dev", Status: "non-replayable"}},
+	}
+
+	// field-visit: the adjuster may announce a field visit before
+	// reporting — additive variant for the insurer, who adapts by
+	// widening its report receive into a pick.
+	fieldVisit := Episode{
+		Name:  "field-visit",
+		Party: "AD",
+		Ops: []change.Spec{specReplace("Sequence:adjuster process/Invoke:report",
+			choice("visit needed?",
+				[]bpel.Case{when("desk only", inv("report", "I", "reportOp"))},
+				seq("field visit",
+					inv("fieldVisit", "I", "fieldVisitOp"),
+					inv("report after visit", "I", "reportOp"),
+				),
+			))},
+		PublicChanged: true,
+		Impacts:       map[string]Impact{"I": {Kind: "additive", Scope: "variant"}},
+		Adaptations: []Adaptation{{
+			Party: "I",
+			Ops: []change.Spec{specReplace("Sequence:insurer process/Receive:report",
+				pick("assessment outcome",
+					on("AD", "reportOp", empty("desk report")),
+					on("AD", "fieldVisitOp", recv("report", "AD", "reportOp")),
+				))},
+		}},
+		Stranded: []Stranded{{Party: "I", ID: "I-dev", Status: "non-replayable"}},
+	}
+
+	// fraud-scoring: a silent scoring step after the report — neutral.
+	fraudScoring := Episode{
+		Name:  "fraud-scoring",
+		Party: "I",
+		Ops: []change.Spec{specInsert("Sequence:insurer process/Receive:report",
+			&bpel.Assign{BlockName: "fraud score"}, true)},
+		PublicChanged: false,
+		Stranded:      []Stranded{{Party: "I", ID: "I-dev", Status: "non-replayable"}},
+	}
+
+	return &Scenario{
+		Name:        "claims",
+		Description: "Insurance claim settlement: claimant, insurer, adjuster, garage, bank; the approve/reject decision fans out to three partners.",
+		Parties:     []*bpel.Process{insurer, claimant, adjuster, garage, bank},
+		Instances: []Instance{
+			migratable("I", "I-approved", "CL#I#claimOp", "I#CL#ackOp", "I#AD#assessOp", "AD#I#reportOp", "I#CL#approvedOp", "I#G#authorizeOp", "G#I#repairedOp", "I#BK#payOp"),
+			migratable("I", "I-rejected", "CL#I#claimOp", "I#CL#ackOp", "I#AD#assessOp", "AD#I#reportOp", "I#CL#rejectedOp", "I#G#noRepairOp", "I#BK#noPayOp"),
+			deviator("I", "I-dev", "CL#I#claimOp", "I#X#bogusOp"),
+			migratable("CL", "CL-paid", "CL#I#claimOp", "I#CL#ackOp", "I#CL#approvedOp", "BK#CL#payoutOp"),
+			migratable("CL", "CL-rejected", "CL#I#claimOp", "I#CL#ackOp", "I#CL#rejectedOp"),
+			migratable("AD", "AD-open", "I#AD#assessOp"),
+			migratable("G", "G-repair", "I#G#authorizeOp", "G#I#repairedOp"),
+			migratable("BK", "BK-paid", "I#BK#payOp", "BK#CL#payoutOp"),
+		},
+		Episodes: []Episode{onlineClaims, fieldVisit, fraudScoring},
+	}
+}

@@ -1,0 +1,108 @@
+package scenario
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/bpel"
+)
+
+var update = flag.Bool("update", false, "regenerate testdata from the scenario builders")
+
+func partyFile(p *bpel.Process) string {
+	return strings.ReplaceAll(p.Name, " ", "-") + ".xml"
+}
+
+// render produces the on-disk files (relative to testdata/<name>/) for
+// one built scenario.
+func render(sc *Scenario) (map[string][]byte, error) {
+	out := make(map[string][]byte)
+	m := manifest{
+		Name:        sc.Name,
+		Description: sc.Description,
+		SyncOps:     sc.SyncOps,
+		Episodes:    sc.Episodes,
+	}
+	for _, p := range sc.Parties {
+		file := partyFile(p)
+		raw, err := bpel.MarshalXML(p)
+		if err != nil {
+			return nil, fmt.Errorf("party %s: %v", p.Owner, err)
+		}
+		out[file] = raw
+		m.Parties = append(m.Parties, manifestParty{Name: p.Owner, File: file})
+	}
+	for _, in := range sc.Instances {
+		mi := manifestInstance{Party: in.Party, ID: in.ID, Status: in.Status}
+		for _, l := range in.Trace {
+			mi.Trace = append(mi.Trace, l.String())
+		}
+		m.Instances = append(m.Instances, mi)
+	}
+	raw, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	out["manifest.json"] = append(raw, '\n')
+	return out, nil
+}
+
+// TestTestdataInSync fails when the checked-in corpus drifts from the
+// builders; -update regenerates it.
+func TestTestdataInSync(t *testing.T) {
+	byName := make(map[string]map[string][]byte)
+	for _, sc := range definitions() {
+		files, err := render(sc)
+		if err != nil {
+			t.Fatalf("rendering %s: %v", sc.Name, err)
+		}
+		byName[sc.Name] = files
+	}
+
+	if *update {
+		for name, files := range byName {
+			dir := filepath.Join("testdata", name)
+			if err := os.RemoveAll(dir); err != nil {
+				t.Fatal(err)
+			}
+			if err := os.MkdirAll(dir, 0o755); err != nil {
+				t.Fatal(err)
+			}
+			for file, raw := range files {
+				if err := os.WriteFile(filepath.Join(dir, file), raw, 0o644); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		t.Log("testdata regenerated")
+		return
+	}
+
+	names := Names()
+	if want := len(byName); len(names) != want {
+		t.Fatalf("testdata has %d scenarios %v, builders define %d (run -update)", len(names), names, want)
+	}
+	for _, name := range names {
+		files, ok := byName[name]
+		if !ok {
+			t.Errorf("testdata/%s has no builder (run -update)", name)
+			continue
+		}
+		for file, want := range files {
+			got, err := testdataFS.ReadFile("testdata/" + name + "/" + file)
+			if err != nil {
+				t.Errorf("%s/%s: %v (run -update)", name, file, err)
+				continue
+			}
+			if !bytes.Equal(got, want) {
+				t.Errorf("%s/%s is stale (run -update)", name, file)
+			}
+		}
+	}
+}

@@ -1,0 +1,164 @@
+package scenario
+
+import (
+	"repro/internal/bpel"
+	"repro/internal/change"
+)
+
+// logisticsScenario is a six-party freight corridor: a shipper books a
+// carrier, the carrier declares the cargo at customs, the customs
+// outcome (cleared/held) decides the warehouse instruction, and the
+// consignee accepts delivery while an insurer covers the shipment on
+// the side. The carrier is the hub; the customs switch is announced to
+// the carrier with a distinct message per branch.
+func logisticsScenario() *Scenario {
+	carrier := proc("carrier", "C", seq("carrier process",
+		recv("book", "SH", "bookOp"),
+		inv("booked", "SH", "bookedOp"),
+		inv("declare", "CU", "declareOp"),
+		pick("customs result",
+			on("CU", "clearedOp", inv("store", "WH", "storeOp")),
+			on("CU", "heldOp", inv("hold", "WH", "holdOp")),
+		),
+		recv("released", "WH", "releasedOp"),
+		inv("arrive", "CO", "arriveOp"),
+		recv("accept", "CO", "acceptOp"),
+		inv("delivered", "SH", "deliveredOp"),
+	))
+	shipper := proc("shipper", "SH", seq("shipper process",
+		inv("book", "C", "bookOp"),
+		recv("booked", "C", "bookedOp"),
+		inv("cover", "IN", "coverOp"),
+		recv("covered", "IN", "coveredOp"),
+		recv("delivered", "C", "deliveredOp"),
+	))
+	customs := proc("customs", "CU", seq("customs process",
+		recv("declare", "C", "declareOp"),
+		choice("inspection",
+			[]bpel.Case{when("clear", inv("cleared", "C", "clearedOp"))},
+			inv("held", "C", "heldOp"),
+		),
+	))
+	warehouse := proc("warehouse", "WH", seq("warehouse process",
+		pick("instruction",
+			on("C", "storeOp", empty("shelve")),
+			on("C", "holdOp", empty("bond")),
+		),
+		inv("released", "C", "releasedOp"),
+	))
+	consignee := proc("consignee", "CO", seq("consignee process",
+		recv("arrive", "C", "arriveOp"),
+		inv("accept", "C", "acceptOp"),
+	))
+	insurer := proc("insurer", "IN", seq("insurer process",
+		recv("cover", "SH", "coverOp"),
+		inv("covered", "SH", "coveredOp"),
+	))
+
+	// e-declaration: customs additionally accepts electronic
+	// declarations — additive invariant for the carrier.
+	eDeclaration := Episode{
+		Name:  "e-declaration",
+		Party: "CU",
+		Ops: []change.Spec{specReplace("Sequence:customs process/Receive:declare",
+			pick("declaration intake",
+				on("C", "declareOp", empty("paper")),
+				on("C", "eDeclareOp", empty("electronic")),
+			))},
+		PublicChanged: true,
+		Impacts:       map[string]Impact{"C": {Kind: "additive", Scope: "invariant"}},
+		Stranded:      []Stranded{{Party: "C", ID: "C-dev", Status: "non-replayable"}},
+	}
+
+	// diversion: the carrier gains a diversion exit before arrival —
+	// the consignee is notified and the shipper's shipment ends with a
+	// diverted message instead of delivered. Additive variant for both;
+	// each adapts by widening its tail receive into a pick.
+	diversion := Episode{
+		Name:  "diversion",
+		Party: "C",
+		Ops: []change.Spec{specReplace("Sequence:carrier process",
+			seq("carrier process",
+				recv("book", "SH", "bookOp"),
+				inv("booked", "SH", "bookedOp"),
+				inv("declare", "CU", "declareOp"),
+				pick("customs result",
+					on("CU", "clearedOp", inv("store", "WH", "storeOp")),
+					on("CU", "heldOp", inv("hold", "WH", "holdOp")),
+				),
+				recv("released", "WH", "releasedOp"),
+				choice("route ok?",
+					[]bpel.Case{when("on route", seq("deliver leg",
+						inv("arrive", "CO", "arriveOp"),
+						recv("accept", "CO", "acceptOp"),
+						inv("delivered", "SH", "deliveredOp"),
+					))},
+					seq("divert leg",
+						inv("divertNotice", "CO", "divertOp"),
+						inv("diverted", "SH", "divertedOp"),
+						terminate("diverted"),
+					),
+				),
+			))},
+		PublicChanged: true,
+		Impacts: map[string]Impact{
+			"CO": {Kind: "additive", Scope: "variant"},
+			"SH": {Kind: "additive", Scope: "variant"},
+		},
+		Adaptations: []Adaptation{
+			{
+				Party: "CO",
+				Ops: []change.Spec{specReplace("Sequence:consignee process",
+					seq("consignee process",
+						pick("arrival?",
+							on("C", "arriveOp", inv("accept", "C", "acceptOp")),
+							on("C", "divertOp", empty("diverted")),
+						),
+					))},
+			},
+			{
+				Party: "SH",
+				Ops: []change.Spec{specReplace("Sequence:shipper process/Receive:delivered",
+					pick("outcome",
+						on("C", "deliveredOp", empty("delivered")),
+						on("C", "divertedOp", empty("diverted")),
+					))},
+			},
+		},
+		Stranded: []Stranded{{Party: "C", ID: "C-dev", Status: "non-replayable"}},
+	}
+
+	// always-clear: customs drops the inspection and always clears —
+	// the carrier loses the held branch it merely picked on
+	// (subtractive invariant), held-branch instances strand.
+	alwaysClear := Episode{
+		Name:  "always-clear",
+		Party: "CU",
+		Ops: []change.Spec{specReplace("Sequence:customs process/Switch:inspection",
+			inv("cleared", "C", "clearedOp"))},
+		PublicChanged: true,
+		Impacts:       map[string]Impact{"C": {Kind: "subtractive", Scope: "invariant"}},
+		Stranded: []Stranded{
+			{Party: "C", ID: "C-dev", Status: "non-replayable"},
+			{Party: "CU", ID: "CU-held", Status: "non-replayable"},
+		},
+	}
+
+	return &Scenario{
+		Name:        "logistics",
+		Description: "Freight corridor: shipper, carrier, customs, warehouse, consignee, insurer; customs outcome steers the warehouse instruction.",
+		Parties:     []*bpel.Process{carrier, shipper, customs, warehouse, consignee, insurer},
+		Instances: []Instance{
+			migratable("C", "C-cleared", "SH#C#bookOp", "C#SH#bookedOp", "C#CU#declareOp", "CU#C#clearedOp", "C#WH#storeOp", "WH#C#releasedOp", "C#CO#arriveOp", "CO#C#acceptOp", "C#SH#deliveredOp"),
+			migratable("C", "C-held", "SH#C#bookOp", "C#SH#bookedOp", "C#CU#declareOp", "CU#C#heldOp", "C#WH#holdOp"),
+			deviator("C", "C-dev", "SH#C#bookOp", "C#X#bogusOp"),
+			migratable("CU", "CU-cleared", "C#CU#declareOp", "CU#C#clearedOp"),
+			migratable("CU", "CU-held", "C#CU#declareOp", "CU#C#heldOp"),
+			migratable("WH", "WH-hold", "C#WH#holdOp", "WH#C#releasedOp"),
+			migratable("SH", "SH-open", "SH#C#bookOp", "C#SH#bookedOp", "SH#IN#coverOp", "IN#SH#coveredOp"),
+			migratable("CO", "CO-done", "C#CO#arriveOp", "CO#C#acceptOp"),
+			migratable("IN", "IN-done", "SH#IN#coverOp", "IN#SH#coveredOp"),
+		},
+		Episodes: []Episode{eDeclaration, diversion, alwaysClear},
+	}
+}

@@ -1,0 +1,129 @@
+package scenario
+
+import (
+	"repro/internal/bpel"
+	"repro/internal/change"
+)
+
+// supplyChainScenario is a five-party retail supply chain: a retailer
+// orders from a wholesaler, who either confirms from stock or
+// backorders from the factory, hands the parcel to a shipper and
+// invoices the retailer, who pays through a bank. The wholesaler's
+// stock decision is announced to both the retailer (confirm/backorder)
+// and the factory (noBuild/build) with distinct messages per branch.
+func supplyChainScenario() *Scenario {
+	retailer := proc("retailer", "R", seq("retailer process",
+		inv("order", "W", "orderOp"),
+		pick("order outcome",
+			on("W", "confirmOp", empty("confirmed")),
+			on("W", "backorderOp", empty("backordered")),
+		),
+		recv("deliver", "S", "deliverOp"),
+		recv("invoice", "W", "invoiceOp"),
+		inv("pay", "K", "payOp"),
+	))
+	wholesaler := proc("wholesaler", "W", seq("wholesaler process",
+		recv("order", "R", "orderOp"),
+		choice("stock?",
+			[]bpel.Case{when("in stock", seq("in stock",
+				inv("confirm", "R", "confirmOp"),
+				inv("noBuild", "F", "noBuildOp"),
+			))},
+			seq("backorder",
+				inv("backorder", "R", "backorderOp"),
+				inv("build", "F", "buildOp"),
+				recv("built", "F", "builtOp"),
+			),
+		),
+		inv("pickup", "S", "pickupOp"),
+		recv("shipped", "S", "shippedOp"),
+		inv("invoice", "R", "invoiceOp"),
+		recv("paid", "K", "paidWOp"),
+	))
+	factory := proc("factory", "F", seq("factory process",
+		pick("work?",
+			on("W", "noBuildOp", empty("idle")),
+			on("W", "buildOp", inv("built", "W", "builtOp")),
+		),
+	))
+	shipper := proc("shipper", "S", seq("shipper process",
+		recv("pickup", "W", "pickupOp"),
+		inv("deliver", "R", "deliverOp"),
+		inv("shipped", "W", "shippedOp"),
+	))
+	bank := proc("bank", "K", seq("bank process",
+		recv("pay", "R", "payOp"),
+		inv("paidW", "W", "paidWOp"),
+	))
+
+	// rush-order: the wholesaler additionally accepts a rush order
+	// message — the paper's invariant additive archetype (widen a
+	// receive into a pick).
+	rushOrder := Episode{
+		Name:  "rush-order",
+		Party: "W",
+		Ops: []change.Spec{specReplace("Sequence:wholesaler process/Receive:order",
+			pick("order intake",
+				on("R", "orderOp", empty("standard")),
+				on("R", "rushOrderOp", empty("rush")),
+			))},
+		PublicChanged: true,
+		Impacts:       map[string]Impact{"R": {Kind: "additive", Scope: "invariant"}},
+		Stranded:      []Stranded{{Party: "W", ID: "W-dev", Status: "non-replayable"}},
+	}
+
+	// tracking-link: the wholesaler sends a tracking link right after
+	// confirming — mid-sequence insertion, so old in-stock words
+	// disappear while new ones appear (additive+subtractive, variant).
+	// The retailer adapts its confirm branch to receive the link.
+	trackingLink := Episode{
+		Name:  "tracking-link",
+		Party: "W",
+		Ops: []change.Spec{specInsert(
+			"Sequence:wholesaler process/Switch:stock?/Sequence:in stock/Invoke:confirm",
+			inv("trackLink", "R", "trackLinkOp"), true)},
+		PublicChanged: true,
+		Impacts:       map[string]Impact{"R": {Kind: "additive+subtractive", Scope: "variant"}},
+		Adaptations: []Adaptation{{
+			Party: "R",
+			Ops: []change.Spec{specReplace("Sequence:retailer process/Pick:order outcome",
+				pick("order outcome",
+					on("W", "confirmOp", recv("trackLink", "W", "trackLinkOp")),
+					on("W", "backorderOp", empty("backordered")),
+				))},
+		}},
+		Stranded: []Stranded{
+			{Party: "R", ID: "R-done", Status: "non-replayable"},
+			{Party: "W", ID: "W-dev", Status: "non-replayable"},
+			{Party: "W", ID: "W-instock", Status: "non-replayable"},
+		},
+	}
+
+	// audit-log: a silent bookkeeping step — neutral, invisible to
+	// every partner.
+	auditLog := Episode{
+		Name:  "audit-log",
+		Party: "W",
+		Ops: []change.Spec{specInsert("Sequence:wholesaler process/Receive:order",
+			&bpel.Assign{BlockName: "audit"}, true)},
+		PublicChanged: false,
+		Stranded:      []Stranded{{Party: "W", ID: "W-dev", Status: "non-replayable"}},
+	}
+
+	return &Scenario{
+		Name:        "supply-chain",
+		Description: "Retail supply chain: retailer, wholesaler, factory, shipper, bank; stock decision fans out to retailer and factory.",
+		Parties:     []*bpel.Process{retailer, wholesaler, factory, shipper, bank},
+		Instances: []Instance{
+			migratable("R", "R-done", "R#W#orderOp", "W#R#confirmOp", "S#R#deliverOp", "W#R#invoiceOp", "R#K#payOp"),
+			migratable("R", "R-open", "R#W#orderOp", "W#R#confirmOp"),
+			migratable("W", "W-instock", "R#W#orderOp", "W#R#confirmOp", "W#F#noBuildOp", "W#S#pickupOp", "S#W#shippedOp", "W#R#invoiceOp", "K#W#paidWOp"),
+			migratable("W", "W-backorder", "R#W#orderOp", "W#R#backorderOp", "W#F#buildOp", "F#W#builtOp"),
+			deviator("W", "W-dev", "R#W#orderOp", "W#X#bogusOp"),
+			migratable("F", "F-build", "W#F#buildOp", "F#W#builtOp"),
+			migratable("S", "S-open", "W#S#pickupOp", "S#R#deliverOp"),
+			migratable("K", "K-done", "R#K#payOp", "K#W#paidWOp"),
+		},
+		Episodes: []Episode{rushOrder, trackingLink, auditLog},
+	}
+}

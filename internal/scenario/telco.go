@@ -1,0 +1,156 @@
+package scenario
+
+import (
+	"repro/internal/bpel"
+	"repro/internal/change"
+)
+
+// telcoScenario is a five-party telco provisioning flow: a subscriber
+// orders from CRM, CRM runs a synchronous credit check against
+// billing, and the accept/decline decision fans out to the subscriber,
+// network operations, field service and billing. The credit check is
+// the corpus's synchronous request/reply conversation.
+func telcoScenario() *Scenario {
+	crm := proc("crm", "CR", seq("crm process",
+		recv("order", "SB", "orderOp"),
+		syncInv("creditCheck", "BI", "creditCheckOp"),
+		choice("credit?",
+			[]bpel.Case{when("ok", seq("accept",
+				inv("accepted", "SB", "acceptedOp"),
+				inv("provision", "NO", "provisionOp"),
+				recv("active", "NO", "activeOp"),
+				inv("install", "FS", "installOp"),
+				recv("installed", "FS", "installedOp"),
+				inv("ready", "SB", "readyOp"),
+				inv("startBilling", "BI", "startBillingOp"),
+			))},
+			seq("decline",
+				inv("declined", "SB", "declinedOp"),
+				inv("noProvision", "NO", "noProvisionOp"),
+				inv("noInstall", "FS", "noInstallOp"),
+				inv("noBilling", "BI", "noBillingOp"),
+			),
+		),
+	))
+	billing := proc("billing", "BI", seq("billing process",
+		recv("creditCheck", "CR", "creditCheckOp"),
+		&bpel.Reply{BlockName: "creditScore", Partner: "CR", Op: "creditCheckOp"},
+		pick("billing?",
+			on("CR", "startBillingOp", empty("bill")),
+			on("CR", "noBillingOp", empty("idle")),
+		),
+	))
+	netops := proc("networkops", "NO", seq("networkops process",
+		pick("provision?",
+			on("CR", "provisionOp", inv("active", "CR", "activeOp")),
+			on("CR", "noProvisionOp", empty("idle")),
+		),
+	))
+	fieldservice := proc("fieldservice", "FS", seq("fieldservice process",
+		pick("install?",
+			on("CR", "installOp", inv("installed", "CR", "installedOp")),
+			on("CR", "noInstallOp", empty("idle")),
+		),
+	))
+	subscriber := proc("subscriber", "SB", seq("subscriber process",
+		inv("order", "CR", "orderOp"),
+		pick("outcome",
+			on("CR", "acceptedOp", recv("ready", "CR", "readyOp")),
+			on("CR", "declinedOp", empty("declined")),
+		),
+	))
+
+	// pause-billing: billing additionally accepts a pause instruction —
+	// additive invariant for CRM.
+	pauseBilling := Episode{
+		Name:  "pause-billing",
+		Party: "BI",
+		Ops: []change.Spec{specReplace("Sequence:billing process/Pick:billing?",
+			pick("billing?",
+				on("CR", "startBillingOp", empty("bill")),
+				on("CR", "noBillingOp", empty("idle")),
+				on("CR", "pauseBillingOp", empty("paused")),
+			))},
+		PublicChanged: true,
+		Impacts:       map[string]Impact{"CR": {Kind: "additive", Scope: "invariant"}},
+		Stranded:      []Stranded{{Party: "CR", ID: "CR-dev", Status: "non-replayable"}},
+	}
+
+	// site-survey: field service may reschedule before confirming the
+	// install — additive variant for CRM, who widens its installed
+	// receive into a pick.
+	siteSurvey := Episode{
+		Name:  "site-survey",
+		Party: "FS",
+		Ops: []change.Spec{specReplace("Sequence:fieldservice process/Pick:install?",
+			pick("install?",
+				on("CR", "installOp", choice("site ok?",
+					[]bpel.Case{when("ok", inv("installed", "CR", "installedOp"))},
+					seq("survey first",
+						inv("reschedule", "CR", "rescheduleOp"),
+						inv("installed after survey", "CR", "installedOp"),
+					),
+				)),
+				on("CR", "noInstallOp", empty("idle")),
+			))},
+		PublicChanged: true,
+		Impacts:       map[string]Impact{"CR": {Kind: "additive", Scope: "variant"}},
+		Adaptations: []Adaptation{{
+			Party: "CR",
+			Ops: []change.Spec{specReplace("Sequence:crm process/Switch:credit?/Sequence:accept/Receive:installed",
+				pick("install outcome",
+					on("FS", "installedOp", empty("installed")),
+					on("FS", "rescheduleOp", recv("installed", "FS", "installedOp")),
+				))},
+		}},
+		Stranded: []Stranded{{Party: "CR", ID: "CR-dev", Status: "non-replayable"}},
+	}
+
+	// prepaid-only: CRM drops the decline branch and always provisions
+	// — every partner loses alternatives it merely picked on
+	// (subtractive invariant for all four).
+	prepaidOnly := Episode{
+		Name:  "prepaid-only",
+		Party: "CR",
+		Ops: []change.Spec{specReplace("Sequence:crm process/Switch:credit?",
+			seq("accept",
+				inv("accepted", "SB", "acceptedOp"),
+				inv("provision", "NO", "provisionOp"),
+				recv("active", "NO", "activeOp"),
+				inv("install", "FS", "installOp"),
+				recv("installed", "FS", "installedOp"),
+				inv("ready", "SB", "readyOp"),
+				inv("startBilling", "BI", "startBillingOp"),
+			))},
+		PublicChanged: true,
+		Impacts: map[string]Impact{
+			"SB": {Kind: "subtractive", Scope: "invariant"},
+			"NO": {Kind: "subtractive", Scope: "invariant"},
+			"FS": {Kind: "subtractive", Scope: "invariant"},
+			"BI": {Kind: "subtractive", Scope: "invariant"},
+		},
+		Stranded: []Stranded{
+			{Party: "CR", ID: "CR-declined", Status: "non-replayable"},
+			{Party: "CR", ID: "CR-dev", Status: "non-replayable"},
+		},
+	}
+
+	return &Scenario{
+		Name:        "telco",
+		Description: "Telco provisioning: subscriber, crm, billing, networkops, fieldservice; synchronous credit check, accept/decline fan-out.",
+		SyncOps:     []string{"BI.creditCheckOp"},
+		Parties:     []*bpel.Process{crm, billing, netops, fieldservice, subscriber},
+		Instances: []Instance{
+			migratable("CR", "CR-accepted", "SB#CR#orderOp", "CR#BI#creditCheckOp", "BI#CR#creditCheckOp", "CR#SB#acceptedOp", "CR#NO#provisionOp", "NO#CR#activeOp", "CR#FS#installOp", "FS#CR#installedOp", "CR#SB#readyOp", "CR#BI#startBillingOp"),
+			migratable("CR", "CR-declined", "SB#CR#orderOp", "CR#BI#creditCheckOp", "BI#CR#creditCheckOp", "CR#SB#declinedOp", "CR#NO#noProvisionOp", "CR#FS#noInstallOp", "CR#BI#noBillingOp"),
+			deviator("CR", "CR-dev", "SB#CR#orderOp", "CR#X#bogusOp"),
+			migratable("SB", "SB-live", "SB#CR#orderOp", "CR#SB#acceptedOp", "CR#SB#readyOp"),
+			migratable("SB", "SB-declined", "SB#CR#orderOp", "CR#SB#declinedOp"),
+			migratable("BI", "BI-billing", "CR#BI#creditCheckOp", "BI#CR#creditCheckOp", "CR#BI#startBillingOp"),
+			migratable("NO", "NO-live", "CR#NO#provisionOp", "NO#CR#activeOp"),
+			migratable("NO", "NO-skip", "CR#NO#noProvisionOp"),
+			migratable("FS", "FS-done", "CR#FS#installOp", "FS#CR#installedOp"),
+		},
+		Episodes: []Episode{pauseBilling, siteSurvey, prepaidOnly},
+	}
+}

@@ -1,15 +1,12 @@
 package server
 
 import (
-	"strings"
-
-	"repro/internal/bpel"
 	"repro/internal/change"
 )
 
 // OpJSON is the wire encoding of one structural change operation of a
-// /v2/ evolve transaction. Kind selects the operation; the other
-// fields parameterize it:
+// /v2/ evolve transaction. It mirrors change.Spec — Kind selects the
+// operation; the other fields parameterize it:
 //
 //	replaceProcess  XML (whole process; owner must match the party)
 //	replace         Path, XML (activity fragment)
@@ -31,73 +28,13 @@ type OpJSON struct {
 	After  bool   `json:"after,omitempty"`
 }
 
-// parsePath splits the "/"-joined wire path into bpel.Path elements.
-func parsePath(s string) bpel.Path {
-	if strings.TrimSpace(s) == "" {
-		return nil
-	}
-	parts := strings.Split(s, "/")
-	out := make(bpel.Path, 0, len(parts))
-	for _, p := range parts {
-		if p = strings.TrimSpace(p); p != "" {
-			out = append(out, p)
-		}
-	}
-	return out
-}
-
-// activity parses the op's XML field as an activity fragment.
-func (o OpJSON) activity() (bpel.Activity, error) {
-	if o.XML == "" {
-		return nil, badRequest("op %q needs an activity in xml", o.Kind)
-	}
-	a, err := bpel.UnmarshalActivityXML([]byte(o.XML))
-	if err != nil {
-		return nil, badRequest("op %q: parsing activity XML: %v", o.Kind, err)
-	}
-	return a, nil
-}
-
 // Operation translates the wire op into a change.Operation for party.
 func (o OpJSON) Operation(party string) (change.Operation, error) {
-	switch o.Kind {
-	case "replaceProcess":
-		p, err := parseProcess(o.XML)
-		if err != nil {
-			return nil, err
-		}
-		if p.Owner != party {
-			return nil, badRequest("op replaceProcess: process owner %q does not match party %q", p.Owner, party)
-		}
-		return change.Replace{Path: nil, New: p.Body}, nil
-	case "replace":
-		a, err := o.activity()
-		if err != nil {
-			return nil, err
-		}
-		return change.Replace{Path: parsePath(o.Path), New: a}, nil
-	case "insert":
-		a, err := o.activity()
-		if err != nil {
-			return nil, err
-		}
-		return change.Insert{Path: parsePath(o.Path), New: a, After: o.After}, nil
-	case "append":
-		a, err := o.activity()
-		if err != nil {
-			return nil, err
-		}
-		return change.Append{Path: parsePath(o.Path), New: a}, nil
-	case "delete":
-		return change.Delete{Path: parsePath(o.Path)}, nil
-	case "shift":
-		return change.Shift{Path: parsePath(o.Path), Anchor: o.Anchor, After: o.After}, nil
-	case "setWhileCond":
-		return change.SetWhileCond{Path: parsePath(o.Path), Cond: o.Cond}, nil
-	case "":
-		return nil, badRequest("op without kind")
+	op, err := change.Spec(o).Decode(party)
+	if err != nil {
+		return nil, badRequest("%v", err)
 	}
-	return nil, badRequest("unknown op kind %q", o.Kind)
+	return op, nil
 }
 
 // decodeOps translates a wire op list into a change transaction.

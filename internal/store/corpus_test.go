@@ -1,0 +1,373 @@
+package store
+
+import (
+	"fmt"
+	"sort"
+	"testing"
+
+	"repro/internal/ingest"
+	"repro/internal/instance"
+	"repro/internal/scenario"
+)
+
+// corpusScenarios loads the whole scenario corpus.
+func corpusScenarios(t *testing.T) []*scenario.Scenario {
+	t.Helper()
+	scs, err := scenario.All()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(scs) < 5 {
+		t.Fatalf("corpus has %d scenarios, want at least 5", len(scs))
+	}
+	return scs
+}
+
+// loadCorpusScenario populates a fresh store with one scenario:
+// choreography, parties, scripted instances.
+func loadCorpusScenario(t *testing.T, s *Store, sc *scenario.Scenario) {
+	t.Helper()
+	if err := s.Create(ctx, sc.Name, sc.SyncOps); err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range sc.Parties {
+		if _, err := s.RegisterParty(ctx, sc.Name, p); err != nil {
+			t.Fatalf("RegisterParty(%s): %v", p.Owner, err)
+		}
+	}
+	for _, p := range sc.Parties {
+		var insts []instance.Instance
+		for _, in := range sc.InstancesOf(p.Owner) {
+			insts = append(insts, instance.Instance{ID: in.ID, Trace: in.Trace})
+		}
+		if len(insts) == 0 {
+			continue
+		}
+		if err := s.AddInstances(ctx, sc.Name, p.Owner, insts); err != nil {
+			t.Fatalf("AddInstances(%s): %v", p.Owner, err)
+		}
+	}
+}
+
+// ingestCorpusEvents streams the scenario's scripted traces through
+// the ingest path under fresh instance IDs (suffix "-ev").
+func ingestCorpusEvents(t *testing.T, s *Store, sc *scenario.Scenario) {
+	t.Helper()
+	evs := scenario.Events(sc.Instances, "-ev")
+	for len(evs) > 0 {
+		n := 37
+		if n > len(evs) {
+			n = len(evs)
+		}
+		batch := make([]ingest.Event, n)
+		for i, ev := range evs[:n] {
+			batch[i] = ingest.Event{Party: ev.Party, Instance: ev.Instance, Label: ev.Label}
+		}
+		got, err := s.IngestEvents(ctx, sc.Name, batch)
+		if err != nil {
+			t.Fatalf("IngestEvents: %v", err)
+		}
+		if got != n {
+			t.Fatalf("IngestEvents applied %d of %d", got, n)
+		}
+		evs = evs[n:]
+	}
+}
+
+// runCorpusEpisode drives one scripted episode end to end — check,
+// evolve, classify, commit, adapt, migrate, ingest — asserting the
+// manifest's expectations at each step.
+func runCorpusEpisode(t *testing.T, s *Store, sc *scenario.Scenario, ep scenario.Episode) {
+	t.Helper()
+	rep, err := s.Check(ctx, sc.Name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Consistent() {
+		t.Fatalf("base choreography inconsistent: %+v", rep.Pairs)
+	}
+
+	ops, err := ep.Operations()
+	if err != nil {
+		t.Fatalf("decoding episode ops: %v", err)
+	}
+	evo, err := s.Evolve(ctx, sc.Name, ep.Party, ops...)
+	if err != nil {
+		t.Fatalf("Evolve: %v", err)
+	}
+	if evo.PublicChanged != ep.PublicChanged {
+		t.Fatalf("PublicChanged = %v, want %v", evo.PublicChanged, ep.PublicChanged)
+	}
+	seen := map[string]bool{}
+	for _, im := range evo.Impacts {
+		want, expected := ep.Impacts[im.Partner]
+		if !expected {
+			if im.ViewChanged {
+				t.Errorf("partner %s: unexpected view change (%s %s)",
+					im.Partner, im.Classification.Kind, im.Classification.Scope)
+			}
+			continue
+		}
+		seen[im.Partner] = true
+		if !im.ViewChanged {
+			t.Errorf("partner %s: view unchanged, want %s %s", im.Partner, want.Kind, want.Scope)
+			continue
+		}
+		if got := im.Classification.Kind.String(); got != want.Kind {
+			t.Errorf("partner %s: kind %s, want %s", im.Partner, got, want.Kind)
+		}
+		if got := im.Classification.Scope.String(); got != want.Scope {
+			t.Errorf("partner %s: scope %s, want %s", im.Partner, got, want.Scope)
+		}
+	}
+	for partner := range ep.Impacts {
+		if !seen[partner] {
+			t.Errorf("partner %s: no impact reported, want %v", partner, ep.Impacts[partner])
+		}
+	}
+
+	if _, err := s.CommitEvolution(ctx, evo); err != nil {
+		t.Fatalf("CommitEvolution: %v", err)
+	}
+
+	// A variant change leaves the choreography inconsistent until the
+	// scripted adaptations land (paper Sec. 5); anything else keeps it
+	// consistent.
+	variant := false
+	for _, im := range ep.Impacts {
+		if im.Scope == "variant" {
+			variant = true
+		}
+	}
+	rep, err = s.Check(ctx, sc.Name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Consistent() == variant {
+		t.Fatalf("post-commit consistency = %v, want %v", rep.Consistent(), !variant)
+	}
+
+	for _, ad := range ep.Adaptations {
+		adOps, err := ad.Operations()
+		if err != nil {
+			t.Fatalf("decoding adaptation for %s: %v", ad.Party, err)
+		}
+		snap, err := s.Snapshot(ctx, sc.Name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ps, ok := snap.Party(ad.Party)
+		if !ok {
+			t.Fatalf("adaptation party %s missing", ad.Party)
+		}
+		if _, err := s.ApplyOps(ctx, sc.Name, ad.Party, adOps, ps.Version); err != nil {
+			t.Fatalf("ApplyOps(%s): %v", ad.Party, err)
+		}
+	}
+	rep, err = s.Check(ctx, sc.Name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Consistent() {
+		t.Fatalf("choreography still inconsistent after adaptations: %+v", rep.Pairs)
+	}
+
+	// Bulk migration: the stranded set must match the script exactly.
+	job, err := s.MigrateAll(ctx, sc.Name, 4)
+	if err != nil {
+		t.Fatalf("MigrateAll: %v", err)
+	}
+	var got []scenario.Stranded
+	for _, st := range job.Stranded() {
+		got = append(got, scenario.Stranded{Party: st.Party, ID: st.ID, Status: st.Status.String()})
+	}
+	sort.Slice(got, func(i, j int) bool {
+		if got[i].Party != got[j].Party {
+			return got[i].Party < got[j].Party
+		}
+		return got[i].ID < got[j].ID
+	})
+	if fmt.Sprint(got) != fmt.Sprint(ep.Stranded) {
+		t.Fatalf("stranded set:\n got %v\nwant %v", got, ep.Stranded)
+	}
+
+	// Streaming replay of the scripted traces against the final
+	// schema: every streamed status must equal the whole-trace checker
+	// verdict.
+	ingestCorpusEvents(t, s, sc)
+	snap, err := s.Snapshot(ctx, sc.Name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range sc.Parties {
+		states, err := s.InstanceStates(ctx, sc.Name, p.Owner)
+		if err != nil {
+			t.Fatal(err)
+		}
+		byID := map[string]InstanceState{}
+		for _, st := range states {
+			byID[st.ID] = st
+		}
+		ps, _ := snap.Party(p.Owner)
+		for _, in := range sc.InstancesOf(p.Owner) {
+			st, ok := byID[in.ID+"-ev"]
+			if !ok {
+				t.Fatalf("%s/%s-ev: no streamed state", p.Owner, in.ID)
+			}
+			want, err := instance.Check(instance.Instance{ID: in.ID, Trace: in.Trace}, ps.Public)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if st.Status != want {
+				t.Errorf("%s/%s-ev: streamed status %v, whole-trace checker says %v", p.Owner, in.ID, st.Status, want)
+			}
+			if st.TracePos != len(in.Trace) {
+				t.Errorf("%s/%s-ev: trace pos %d, want %d", p.Owner, in.ID, st.TracePos, len(in.Trace))
+			}
+		}
+	}
+}
+
+// TestCorpusEndToEnd replays every scripted evolution episode of every
+// corpus scenario through the full lifecycle: register → check →
+// evolve (classification per partner) → commit → adapt → re-check →
+// bulk migrate (stranded set) → streaming ingest. In -short mode only
+// the first episode of each scenario runs.
+func TestCorpusEndToEnd(t *testing.T) {
+	for _, sc := range corpusScenarios(t) {
+		episodes := sc.Episodes
+		if testing.Short() && len(episodes) > 1 {
+			episodes = episodes[:1]
+		}
+		for _, ep := range episodes {
+			t.Run(sc.Name+"/"+ep.Name, func(t *testing.T) {
+				s := New(WithShards(4))
+				loadCorpusScenario(t, s, sc)
+				runCorpusEpisode(t, s, sc, ep)
+			})
+		}
+	}
+}
+
+// TestCorpusStreamingMatchesWholeTrace is the per-scenario variant of
+// TestStreamingMatchesWholeTraceChecker: half of every scripted trace
+// streams in under the base schema, the first episode (plus its
+// adaptations) commits mid-stream, the rest streams against the new
+// schema — and every streamed verdict must match the whole-trace
+// checker against the final publics, loops and cancellation branches
+// included.
+func TestCorpusStreamingMatchesWholeTrace(t *testing.T) {
+	for _, sc := range corpusScenarios(t) {
+		t.Run(sc.Name, func(t *testing.T) {
+			s := New(WithShards(4))
+			if err := s.Create(ctx, sc.Name, sc.SyncOps); err != nil {
+				t.Fatal(err)
+			}
+			for _, p := range sc.Parties {
+				if _, err := s.RegisterParty(ctx, sc.Name, p); err != nil {
+					t.Fatal(err)
+				}
+			}
+			evs := scenario.Events(sc.Instances, "")
+			half := len(evs) / 2
+			submit := func(evs []scenario.Event) {
+				for _, ev := range evs {
+					n, err := s.IngestEvents(ctx, sc.Name, []ingest.Event{{Party: ev.Party, Instance: ev.Instance, Label: ev.Label}})
+					if err != nil || n != 1 {
+						t.Fatalf("IngestEvents: n=%d err=%v", n, err)
+					}
+				}
+			}
+			submit(evs[:half])
+
+			ep := sc.Episodes[0]
+			ops, err := ep.Operations()
+			if err != nil {
+				t.Fatal(err)
+			}
+			evo, err := s.Evolve(ctx, sc.Name, ep.Party, ops...)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := s.CommitEvolution(ctx, evo); err != nil {
+				t.Fatal(err)
+			}
+			for _, ad := range ep.Adaptations {
+				adOps, err := ad.Operations()
+				if err != nil {
+					t.Fatal(err)
+				}
+				if _, err := s.ApplyOps(ctx, sc.Name, ad.Party, adOps, 0); err != nil {
+					t.Fatal(err)
+				}
+			}
+
+			submit(evs[half:])
+
+			snap, err := s.Snapshot(ctx, sc.Name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, p := range sc.Parties {
+				states, err := s.InstanceStates(ctx, sc.Name, p.Owner)
+				if err != nil {
+					t.Fatal(err)
+				}
+				byID := map[string]InstanceState{}
+				for _, st := range states {
+					byID[st.ID] = st
+				}
+				ps, _ := snap.Party(p.Owner)
+				for _, in := range sc.InstancesOf(p.Owner) {
+					st, ok := byID[in.ID]
+					if !ok {
+						t.Fatalf("%s/%s: no streamed state", p.Owner, in.ID)
+					}
+					want, err := instance.Check(instance.Instance{ID: in.ID, Trace: in.Trace}, ps.Public)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if st.Status != want {
+						t.Errorf("%s/%s: streamed status %v across schema change, whole-trace checker says %v", p.Owner, in.ID, st.Status, want)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestCorpusRecovery is the per-scenario kill-and-reopen test: a
+// durable store runs a full episode lifecycle (half the scenarios
+// checkpoint mid-way so recovery exercises snapshot + WAL tail), is
+// killed without any shutdown handshake, and the reopened store must
+// be deep-equal to the pre-crash one.
+func TestCorpusRecovery(t *testing.T) {
+	scs := corpusScenarios(t)
+	if testing.Short() {
+		scs = scs[:2]
+	}
+	for i, sc := range scs {
+		t.Run(sc.Name, func(t *testing.T) {
+			dir := t.TempDir()
+			s, err := Open(WithJournal(dir), WithShards(4))
+			if err != nil {
+				t.Fatal(err)
+			}
+			loadCorpusScenario(t, s, sc)
+			if i%2 == 0 {
+				if _, err := s.Checkpoint(ctx); err != nil {
+					t.Fatal(err)
+				}
+			}
+			runCorpusEpisode(t, s, sc, sc.Episodes[0])
+			// Kill: no Checkpoint, no Close — the journal is all that
+			// survives.
+			recovered, err := Open(WithJournal(dir), WithShards(4))
+			if err != nil {
+				t.Fatalf("recovery: %v", err)
+			}
+			defer recovered.Close()
+			assertStoresEqual(t, s, recovered)
+		})
+	}
+}

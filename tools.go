@@ -1,6 +1,7 @@
 package choreo
 
 import (
+	"context"
 	"net/http"
 	"time"
 
@@ -9,8 +10,10 @@ import (
 	"repro/internal/discovery"
 	"repro/internal/gen"
 	"repro/internal/instance"
+	"repro/internal/loadgen"
 	"repro/internal/migrate"
 	"repro/internal/runtime"
+	"repro/internal/scenario"
 	"repro/internal/server"
 	"repro/internal/store"
 	"repro/internal/version"
@@ -370,4 +373,34 @@ func GenerateConversation(seed int64, p GenParams) (*Conversation, error) {
 // RandomChange draws a random structural change for a process.
 func RandomChange(seed int64, p *Process, reg *Registry) (ChangeOperation, error) {
 	return gen.RandomChange(seed, p, reg)
+}
+
+// Workload layer: the scenario corpus and the mixed-traffic load
+// generator over it.
+type (
+	// Scenario is one corpus entry: 5+ party processes (consistent by
+	// construction), scripted running instances and scripted evolution
+	// episodes with expected classifications and migration fallout.
+	Scenario = scenario.Scenario
+	// ScenarioEpisode is one scripted evolution of a Scenario.
+	ScenarioEpisode = scenario.Episode
+	// LoadgenConfig parameterizes one load run against a choreod.
+	LoadgenConfig = loadgen.Config
+	// LoadgenMix weighs the load generator's op classes.
+	LoadgenMix = loadgen.Mix
+	// LoadgenReport is a load run's per-class throughput/latency
+	// summary.
+	LoadgenReport = loadgen.Report
+)
+
+// ScenarioNames lists the checked-in corpus scenarios.
+func ScenarioNames() []string { return scenario.Names() }
+
+// LoadScenario loads one corpus scenario by name.
+func LoadScenario(name string) (*Scenario, error) { return scenario.Load(name) }
+
+// RunLoadgen drives mixed corpus traffic against a running choreod
+// and reports per-op-class throughput and latency quantiles.
+func RunLoadgen(ctx context.Context, cfg LoadgenConfig) (*LoadgenReport, error) {
+	return loadgen.Run(ctx, cfg)
 }
