@@ -28,7 +28,10 @@
 //	                                              drive mixed corpus traffic (check/
 //	                                              evolve/commit/migrate/ingest) against
 //	                                              a running service and report per-class
-//	                                              throughput and latency quantiles
+//	                                              throughput and latency quantiles;
+//	                                              -faults p self-hosts an embedded
+//	                                              choreod, injects journal faults and
+//	                                              verifies crash recovery afterwards
 //
 // The remote subcommands (register, evolve, migrate, ingest, loadgen) talk to a running
 // choreod over its /v2/ API and accept -timeout to bound the request
@@ -99,6 +102,9 @@ func main() {
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "choreoctl:", err)
+		if choreo.ChoreoErrIs(err, choreo.ChoreoCodeUnavailable) {
+			fmt.Fprintln(os.Stderr, "choreoctl: the server is degraded to read-only (or shutting down): reads still work; mutations need a restart over an intact journal")
+		}
 		os.Exit(1)
 	}
 }
@@ -130,6 +136,8 @@ commands:
              [-concurrency 4] [-mix check=4,evolve=2,commit=1,migrate=1,ingest=4]
              [-scenario name, repeatable; empty = whole corpus] [-seed 1]
              [-ingestbatch 16] [-prefix loadgen]
+             [-faults p: embedded server + journal fault injection +
+              post-run crash-recovery verification]
 
 run 'choreoctl <command> -h' for the full flag list of a command`)
 }
@@ -816,7 +824,8 @@ func parseMix(s string) (choreo.LoadgenMix, error) {
 // and prints the per-op-class throughput/latency table.
 func runLoadgen(args []string) error {
 	fs := flag.NewFlagSet("loadgen", flag.ExitOnError)
-	addr := fs.String("addr", "http://localhost:8080", "choreod base URL")
+	addr := fs.String("addr", "http://localhost:8080", "choreod base URL (ignored with -faults)")
+	faults := fs.Float64("faults", 0, "journal fault probability (0,1): self-host an embedded choreod, inject faults, verify recovery")
 	duration := fs.Duration("duration", 10*time.Second, "run length (0 = use -maxops only)")
 	maxOps := fs.Int64("maxops", 0, "total op budget (0 = use -duration only)")
 	concurrency := fs.Int("concurrency", 4, "worker goroutines")
@@ -831,8 +840,14 @@ func runLoadgen(args []string) error {
 	if err != nil {
 		return fmt.Errorf("loadgen: %v", err)
 	}
+	if *faults > 0 {
+		// Fault runs self-host the server; the flag default must not
+		// masquerade as a user-chosen address.
+		*addr = ""
+	}
 	rep, err := choreo.RunLoadgen(context.Background(), choreo.LoadgenConfig{
 		Addr:        *addr,
+		Faults:      *faults,
 		Scenarios:   scenarios,
 		Concurrency: *concurrency,
 		Duration:    *duration,

@@ -126,6 +126,9 @@ type Stats struct {
 	Submitted, Applied, Rejected uint64
 	// Queued is the number of events currently reserved in lane queues.
 	Queued int
+	// LaneRejects breaks Rejected down by the lane whose overflow
+	// rejected the batch (indexed by lane, length Config.Lanes).
+	LaneRejects []uint64
 }
 
 // task is one lane's share of one submission.
@@ -150,9 +153,10 @@ func (b *batchDone) fail(err error) {
 }
 
 type lane struct {
-	mu     sync.Mutex
-	queued int // events reserved (queued or being applied)
-	tasks  []task
+	mu      sync.Mutex
+	queued  int // events reserved (queued or being applied)
+	rejects uint64
+	tasks   []task
 }
 
 // Engine fans event submissions out over bounded lanes drained by a
@@ -231,6 +235,7 @@ func (en *Engine) Submit(ctx context.Context, events []Event) error {
 		ln.mu.Lock()
 		if ln.queued+len(evs) > en.cfg.QueueCap {
 			fill := float64(ln.queued) / float64(en.cfg.QueueCap)
+			ln.rejects++
 			ln.mu.Unlock()
 			for _, r := range reserved {
 				rl := &en.lanes[r]
@@ -278,8 +283,18 @@ func (en *Engine) Submit(ctx context.Context, events []Event) error {
 	}
 }
 
+// The documented bounds of every RetryAfter hint the engine emits:
+// clients may rely on a rejection never asking them to wait less than
+// MinRetryAfter or longer than MaxRetryAfter (see docs/resilience.md).
+const (
+	MinRetryAfter = 10 * time.Millisecond
+	MaxRetryAfter = 2 * time.Second
+)
+
 // retryAfter scales the backoff hint by the fullest contended lane's
-// fill fraction: 50ms near empty, up to 500ms when saturated.
+// fill fraction — 50ms near empty, up to 500ms when saturated — and
+// clamps the result into the documented [MinRetryAfter, MaxRetryAfter]
+// band.
 func retryAfter(fill float64) time.Duration {
 	if fill < 0 {
 		fill = 0
@@ -287,7 +302,14 @@ func retryAfter(fill float64) time.Duration {
 	if fill > 1 {
 		fill = 1
 	}
-	return 50*time.Millisecond + time.Duration(fill*float64(450*time.Millisecond))
+	d := 50*time.Millisecond + time.Duration(fill*float64(450*time.Millisecond))
+	if d < MinRetryAfter {
+		d = MinRetryAfter
+	}
+	if d > MaxRetryAfter {
+		d = MaxRetryAfter
+	}
+	return d
 }
 
 // worker drains the lanes it owns (lane mod workers == w) in order.
@@ -365,14 +387,16 @@ func (en *Engine) Close() {
 // Stats returns cumulative counters plus the momentary queue depth.
 func (en *Engine) Stats() Stats {
 	st := Stats{
-		Submitted: en.submitted.Load(),
-		Applied:   en.applied.Load(),
-		Rejected:  en.rejected.Load(),
+		Submitted:   en.submitted.Load(),
+		Applied:     en.applied.Load(),
+		Rejected:    en.rejected.Load(),
+		LaneRejects: make([]uint64, len(en.lanes)),
 	}
 	for i := range en.lanes {
 		ln := &en.lanes[i]
 		ln.mu.Lock()
 		st.Queued += ln.queued
+		st.LaneRejects[i] = ln.rejects
 		ln.mu.Unlock()
 	}
 	return st

@@ -1,0 +1,220 @@
+package journal
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/fault"
+)
+
+// armed arms one point for the test's duration.
+func armed(t *testing.T, p *fault.Point, tr fault.Trigger) {
+	t.Helper()
+	p.Arm(tr)
+	t.Cleanup(p.Disarm)
+}
+
+// TestOpenReadOnlyDirectory drives Open against a directory whose
+// filesystem refuses writes (injected at the mkdir and WAL-open
+// points, the calls a read-only mount fails): both must surface a
+// clean error, leaving nothing behind.
+func TestOpenReadOnlyDirectory(t *testing.T) {
+	dir := t.TempDir()
+	armed(t, fpOpenMkdir, fault.Trigger{})
+	if _, _, _, err := Open(filepath.Join(dir, "a")); !errors.Is(err, fault.ErrInjected) {
+		t.Fatalf("Open with mkdir fault: err = %v", err)
+	}
+	fpOpenMkdir.Disarm()
+
+	armed(t, fpOpenWAL, fault.Trigger{})
+	if _, _, _, err := Open(filepath.Join(dir, "b")); !errors.Is(err, fault.ErrInjected) {
+		t.Fatalf("Open with WAL-open fault: err = %v", err)
+	}
+	fpOpenWAL.Disarm()
+
+	armed(t, fpOpenSnap, fault.Trigger{})
+	if _, _, _, err := Open(filepath.Join(dir, "c")); !errors.Is(err, fault.ErrInjected) {
+		t.Fatalf("Open with snapshot-read fault: err = %v", err)
+	}
+	fpOpenSnap.Disarm()
+
+	// With every point disarmed the same directory opens fine.
+	l, snap, tail, err := Open(filepath.Join(dir, "a"))
+	if err != nil {
+		t.Fatalf("Open after faults cleared: %v", err)
+	}
+	if snap != nil || len(tail) != 0 {
+		t.Fatalf("fresh dir recovered snap=%v tail=%v", snap, tail)
+	}
+	l.Close()
+}
+
+// TestAppendTornWriteRollsBack arms the append-write point (which
+// lands half the frame before failing, like a torn kernel write) and
+// checks the failed record is fully rolled back: the next append
+// reuses the LSN and recovery never sees the rejected record.
+func TestAppendTornWriteRollsBack(t *testing.T) {
+	dir := t.TempDir()
+	l, _, _, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.Append([]byte("first")); err != nil {
+		t.Fatal(err)
+	}
+
+	armed(t, fpAppendWrite, fault.Trigger{Nth: 1})
+	if _, err := l.Append([]byte("rejected")); !errors.Is(err, fault.ErrInjected) {
+		t.Fatalf("faulted append: err = %v", err)
+	}
+	lsn, err := l.Append([]byte("second"))
+	if err != nil {
+		t.Fatalf("append after rollback: %v", err)
+	}
+	if lsn != 2 {
+		t.Fatalf("append after rollback got LSN %d, want 2 (reused)", lsn)
+	}
+	l.Close()
+
+	_, snap, tail, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap != nil || len(tail) != 2 {
+		t.Fatalf("recovered snap=%v, %d records, want 2", snap, len(tail))
+	}
+	for i, want := range []string{"first", "second"} {
+		if string(tail[i].Data) != want {
+			t.Fatalf("record %d = %q, want %q", i, tail[i].Data, want)
+		}
+	}
+}
+
+// TestFailedRollbackPoisons makes both the append write and its
+// rollback truncate fail: the log must poison itself, refuse further
+// writes with ErrPoisoned, and report Broken.
+func TestFailedRollbackPoisons(t *testing.T) {
+	dir := t.TempDir()
+	l, _, _, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	armed(t, fpAppendWrite, fault.Trigger{Nth: 1})
+	armed(t, fpWALTruncate, fault.Trigger{})
+	if _, err := l.Append([]byte("doomed")); !errors.Is(err, fault.ErrInjected) {
+		t.Fatalf("faulted append: err = %v", err)
+	}
+	if !l.Broken() {
+		t.Fatal("log not Broken after failed rollback")
+	}
+	if _, err := l.Append([]byte("after")); !errors.Is(err, ErrPoisoned) {
+		t.Fatalf("append on poisoned log: err = %v", err)
+	}
+	if err := l.Checkpoint([]byte("snap")); !errors.Is(err, ErrPoisoned) {
+		t.Fatalf("checkpoint on poisoned log: err = %v", err)
+	}
+}
+
+// TestCheckpointENOSPC fails the checkpoint at every stage in turn —
+// tmp create, write (torn), fsync, rename — and asserts the invariant
+// the snapshot protocol promises: the failure is clean, the previous
+// snapshot still governs recovery, and no half-written snapshot ever
+// shadows the WAL.
+func TestCheckpointENOSPC(t *testing.T) {
+	stages := []struct {
+		name  string
+		point *fault.Point
+	}{
+		{"tmp-create", fpCkptTmp},
+		{"tmp-write", fpCkptWrite},
+		{"tmp-sync", fpCkptSync},
+		{"rename", fpCkptRename},
+	}
+	for _, stage := range stages {
+		t.Run(stage.name, func(t *testing.T) {
+			dir := t.TempDir()
+			l, _, _, err := Open(dir)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// An established checkpoint plus two WAL records past it.
+			if _, err := l.Append([]byte("covered")); err != nil {
+				t.Fatal(err)
+			}
+			if err := l.Checkpoint([]byte("old-snap")); err != nil {
+				t.Fatal(err)
+			}
+			for i := 0; i < 2; i++ {
+				if _, err := l.Append([]byte(fmt.Sprintf("tail-%d", i))); err != nil {
+					t.Fatal(err)
+				}
+			}
+
+			armed(t, stage.point, fault.Trigger{Nth: 1})
+			if err := l.Checkpoint([]byte("new-snap")); !errors.Is(err, fault.ErrInjected) {
+				t.Fatalf("faulted checkpoint: err = %v", err)
+			}
+			// The log is not poisoned by a failed checkpoint: appends
+			// continue.
+			if _, err := l.Append([]byte("tail-2")); err != nil {
+				t.Fatalf("append after failed checkpoint: %v", err)
+			}
+			l.Close()
+
+			// Recovery: the old snapshot plus the full tail — the
+			// half-written tmp file must not shadow the WAL.
+			_, snap, tail, err := Open(dir)
+			if err != nil {
+				t.Fatalf("recovery after failed checkpoint: %v", err)
+			}
+			// Even for the rename stage — where the tmp file was fully
+			// written before the fault — the visible snapshot must still
+			// be the old one.
+			if !bytes.Equal(snap, []byte("old-snap")) {
+				t.Fatalf("snapshot = %q, want old-snap", snap)
+			}
+			var got []string
+			for _, r := range tail {
+				got = append(got, string(r.Data))
+			}
+			want := fmt.Sprint([]string{"tail-0", "tail-1", "tail-2"})
+			if fmt.Sprint(got) != want {
+				t.Fatalf("recovered tail %v, want %v", got, want)
+			}
+			// No tmp leftovers pretending to be a snapshot.
+			if _, err := os.Stat(filepath.Join(dir, "snapshot.bin.tmp")); err == nil && stage.point == fpCkptRename {
+				// A tmp file left behind by a failed rename is harmless;
+				// Open ignores it. Only its *content* must never be
+				// loaded, which the snapshot assertion above pins.
+				t.Log("tmp snapshot left behind (ignored by recovery)")
+			}
+		})
+	}
+}
+
+// TestAppendSyncFaultRollsBack covers the fsync-on-append path: the
+// write lands, the sync fails, and the record must still be rolled
+// back — the caller was told the append failed.
+func TestAppendSyncFaultRollsBack(t *testing.T) {
+	dir := t.TempDir()
+	l, _, _, err := Open(dir, WithFsync(true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	armed(t, fpAppendSync, fault.Trigger{Nth: 1})
+	if _, err := l.Append([]byte("unsynced")); !errors.Is(err, fault.ErrInjected) {
+		t.Fatalf("faulted sync append: err = %v", err)
+	}
+	l.Close()
+	_, _, tail, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tail) != 0 {
+		t.Fatalf("rejected record survived recovery: %v", tail)
+	}
+}

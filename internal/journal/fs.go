@@ -1,0 +1,166 @@
+package journal
+
+// The filesystem seam: every syscall the journal's durability story
+// depends on goes through the fsys/file interfaces, and the default
+// implementation wraps the real filesystem with the journal.* named
+// failpoints (see internal/fault and docs/resilience.md). Disarmed
+// points cost one atomic load per operation; armed ones let tests and
+// chaos soaks fail appends, fsyncs, truncations, snapshot writes and
+// the checkpoint rename on demand — the append-write point even tears
+// the frame, landing half the bytes before erroring, to exercise the
+// torn-tail recovery path for real.
+
+import (
+	"io"
+	"os"
+	"path/filepath"
+
+	"repro/internal/fault"
+)
+
+// file is the subset of *os.File the journal uses.
+type file interface {
+	io.Reader
+	io.Writer
+	io.Seeker
+	Sync() error
+	Truncate(size int64) error
+	Close() error
+}
+
+// fsys abstracts the filesystem operations of Open and Checkpoint.
+type fsys interface {
+	MkdirAll(dir string, perm os.FileMode) error
+	ReadFile(name string) ([]byte, error)
+	OpenFile(name string, flag int, perm os.FileMode) (file, error)
+	Rename(oldname, newname string) error
+	SyncDir(dir string)
+}
+
+// The journal's failpoints, registered once against the shared
+// catalog.
+var (
+	fpOpenMkdir   = fault.New(fault.PointJournalOpenMkdir)
+	fpOpenSnap    = fault.New(fault.PointJournalOpenSnapshot)
+	fpOpenWAL     = fault.New(fault.PointJournalOpenWAL)
+	fpAppendWrite = fault.New(fault.PointJournalAppendWrite)
+	fpAppendSync  = fault.New(fault.PointJournalAppendSync)
+	fpWALTruncate = fault.New(fault.PointJournalWALTruncate)
+	fpCkptTmp     = fault.New(fault.PointJournalCheckpointTmp)
+	fpCkptWrite   = fault.New(fault.PointJournalCheckpointWrite)
+	fpCkptSync    = fault.New(fault.PointJournalCheckpointSync)
+	fpCkptRename  = fault.New(fault.PointJournalCheckpointRename)
+)
+
+// osFS is the real filesystem.
+type osFS struct{}
+
+func (osFS) MkdirAll(dir string, perm os.FileMode) error { return os.MkdirAll(dir, perm) }
+func (osFS) ReadFile(name string) ([]byte, error)        { return os.ReadFile(name) }
+func (osFS) Rename(oldname, newname string) error        { return os.Rename(oldname, newname) }
+
+func (osFS) OpenFile(name string, flag int, perm os.FileMode) (file, error) {
+	return os.OpenFile(name, flag, perm)
+}
+
+// SyncDir best-effort fsyncs a directory so a rename is durable.
+func (osFS) SyncDir(dir string) {
+	if d, err := os.Open(dir); err == nil {
+		_ = d.Sync()
+		d.Close()
+	}
+}
+
+// faultFS threads the journal failpoints under an fsys. Which points
+// guard an opened file follows from its name: the WAL gets the append
+// and truncate points, the snapshot tmp file the checkpoint points.
+type faultFS struct {
+	fs fsys
+}
+
+// defaultFS is the filesystem every Log uses: the real one, behind
+// the failpoints.
+var defaultFS fsys = faultFS{fs: osFS{}}
+
+func (f faultFS) MkdirAll(dir string, perm os.FileMode) error {
+	if err := fpOpenMkdir.Fire(); err != nil {
+		return err
+	}
+	return f.fs.MkdirAll(dir, perm)
+}
+
+func (f faultFS) ReadFile(name string) ([]byte, error) {
+	if err := fpOpenSnap.Fire(); err != nil {
+		return nil, err
+	}
+	return f.fs.ReadFile(name)
+}
+
+func (f faultFS) Rename(oldname, newname string) error {
+	if err := fpCkptRename.Fire(); err != nil {
+		return err
+	}
+	return f.fs.Rename(oldname, newname)
+}
+
+func (f faultFS) SyncDir(dir string) { f.fs.SyncDir(dir) }
+
+func (f faultFS) OpenFile(name string, flag int, perm os.FileMode) (file, error) {
+	var open, write, sync, trunc *fault.Point
+	switch filepath.Base(name) {
+	case walName:
+		open, write, sync, trunc = fpOpenWAL, fpAppendWrite, fpAppendSync, fpWALTruncate
+	case snapTmpName:
+		open, write, sync = fpCkptTmp, fpCkptWrite, fpCkptSync
+	}
+	if open != nil {
+		if err := open.Fire(); err != nil {
+			return nil, err
+		}
+	}
+	inner, err := f.fs.OpenFile(name, flag, perm)
+	if err != nil {
+		return nil, err
+	}
+	return &faultFile{file: inner, write: write, sync: sync, trunc: trunc}, nil
+}
+
+// faultFile guards one opened file's write/sync/truncate with the
+// points faultFS.OpenFile selected; nil points pass through.
+type faultFile struct {
+	file
+	write, sync, trunc *fault.Point
+}
+
+func (f *faultFile) Write(p []byte) (int, error) {
+	if f.write != nil {
+		if err := f.write.Fire(); err != nil {
+			// Tear the write: half the bytes reach the file before the
+			// failure, the way a crashed kernel write would leave it.
+			n := 0
+			if half := len(p) / 2; half > 0 {
+				n, _ = f.file.Write(p[:half])
+			}
+			return n, err
+		}
+	}
+	return f.file.Write(p)
+}
+
+func (f *faultFile) Sync() error {
+	if f.sync != nil {
+		if err := f.sync.Fire(); err != nil {
+			return err
+		}
+	}
+	return f.file.Sync()
+}
+
+func (f *faultFile) Truncate(size int64) error {
+	if f.trunc != nil {
+		if err := f.trunc.Fire(); err != nil {
+			return err
+		}
+	}
+	return f.file.Truncate(size)
+}

@@ -76,6 +76,12 @@ const (
 // ErrClosed reports use of a closed log.
 var ErrClosed = errors.New("journal: log closed")
 
+// ErrPoisoned reports use of a log whose failed append could not be
+// rolled back: the on-disk tail is in an unknown state, so every
+// further Append and Checkpoint is refused. The owning store treats
+// this as the signal to enter degraded read-only mode.
+var ErrPoisoned = errors.New("journal: log poisoned by an earlier failed append")
+
 // Record is one recovered WAL entry.
 type Record struct {
 	// LSN is the record's log sequence number.
@@ -99,9 +105,10 @@ func WithFsync(on bool) Option {
 type Log struct {
 	dir   string
 	fsync bool
+	fs    fsys
 
 	mu      sync.Mutex
-	wal     *os.File
+	wal     file
 	lsn     uint64 // last assigned LSN
 	snapLSN uint64 // LSN covered by the current snapshot
 	walLen  int64  // current WAL size in bytes
@@ -120,10 +127,10 @@ type Log struct {
 // truncated away; the log is positioned to append after the last good
 // record.
 func Open(dir string, opts ...Option) (l *Log, snap []byte, tail []Record, err error) {
-	if err := os.MkdirAll(dir, 0o755); err != nil {
+	l = &Log{dir: dir, fs: defaultFS}
+	if err := l.fs.MkdirAll(dir, 0o755); err != nil {
 		return nil, nil, nil, fmt.Errorf("journal: %w", err)
 	}
-	l = &Log{dir: dir}
 	for _, opt := range opts {
 		opt(l)
 	}
@@ -140,7 +147,7 @@ func Open(dir string, opts ...Option) (l *Log, snap []byte, tail []Record, err e
 
 // readSnapshot loads snapshot.bin, setting snapLSN and lsn.
 func (l *Log) readSnapshot() ([]byte, error) {
-	data, err := os.ReadFile(filepath.Join(l.dir, snapName))
+	data, err := l.fs.ReadFile(filepath.Join(l.dir, snapName))
 	if errors.Is(err, os.ErrNotExist) {
 		return nil, nil
 	}
@@ -158,7 +165,7 @@ func (l *Log) readSnapshot() ([]byte, error) {
 // openWAL scans wal.log, truncates any torn tail, positions the file
 // for appending and returns the records past the snapshot LSN.
 func (l *Log) openWAL() ([]Record, error) {
-	f, err := os.OpenFile(filepath.Join(l.dir, walName), os.O_RDWR|os.O_CREATE, 0o644)
+	f, err := l.fs.OpenFile(filepath.Join(l.dir, walName), os.O_RDWR|os.O_CREATE, 0o644)
 	if err != nil {
 		return nil, fmt.Errorf("journal: %w", err)
 	}
@@ -244,7 +251,7 @@ func (l *Log) Append(data []byte) (uint64, error) {
 		return 0, ErrClosed
 	}
 	if l.broken {
-		return 0, errors.New("journal: log poisoned by an earlier failed append")
+		return 0, ErrPoisoned
 	}
 	buf := frame(l.lsn+1, data)
 	if _, err := l.wal.Write(buf); err != nil {
@@ -292,10 +299,10 @@ func (l *Log) Checkpoint(snap []byte) error {
 		return ErrClosed
 	}
 	if l.broken {
-		return errors.New("journal: log poisoned by an earlier failed append")
+		return ErrPoisoned
 	}
 	tmp := filepath.Join(l.dir, snapTmpName)
-	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	f, err := l.fs.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
 	if err != nil {
 		return fmt.Errorf("journal: checkpoint: %w", err)
 	}
@@ -309,10 +316,10 @@ func (l *Log) Checkpoint(snap []byte) error {
 	if werr != nil {
 		return fmt.Errorf("journal: checkpoint: %w", werr)
 	}
-	if err := os.Rename(tmp, filepath.Join(l.dir, snapName)); err != nil {
+	if err := l.fs.Rename(tmp, filepath.Join(l.dir, snapName)); err != nil {
 		return fmt.Errorf("journal: checkpoint: %w", err)
 	}
-	syncDir(l.dir)
+	l.fs.SyncDir(l.dir)
 	// The snapshot now covers every appended record; cut the log. A
 	// crash before the truncate leaves old records behind — harmless,
 	// their LSNs are <= the snapshot's and Open skips them.
@@ -326,12 +333,13 @@ func (l *Log) Checkpoint(snap []byte) error {
 	return nil
 }
 
-// syncDir best-effort fsyncs a directory so a rename is durable.
-func syncDir(dir string) {
-	if d, err := os.Open(dir); err == nil {
-		_ = d.Sync()
-		d.Close()
-	}
+// Broken reports whether the log is poisoned: a failed append could
+// not be rolled back, so the on-disk tail is unknown and every
+// further Append and Checkpoint fails with ErrPoisoned.
+func (l *Log) Broken() bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.broken
 }
 
 // LSN returns the last assigned log sequence number.

@@ -8,16 +8,22 @@ package loadgen
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"math/rand"
+	"net"
+	"net/http"
+	"os"
 	"sort"
 	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"repro/internal/fault"
 	"repro/internal/scenario"
 	"repro/internal/server"
+	"repro/internal/store"
 )
 
 // Mix weighs the op classes; a zero weight disables the class. The
@@ -57,12 +63,22 @@ type Config struct {
 	// Prefix namespaces the choreographies the run creates (default
 	// "loadgen"); reruns against the same server reuse them.
 	Prefix string
+	// Faults injects journal write faults at this per-hit probability
+	// (0 disables, must stay below 1). A fault run self-hosts an
+	// embedded journaled choreod — Addr must be empty — arms the
+	// client's retry policy, and after the run reopens the journal
+	// kill-style to check the recovered state against the live store:
+	// any divergence is acked-write loss and fails the run.
+	Faults float64
 }
 
 // ClassStats aggregates one op class.
 type ClassStats struct {
-	Ops     int64
-	Errors  int64
+	Ops    int64
+	Errors int64
+	// Codes buckets the errors by server envelope code ("transport"
+	// for failures that never produced an envelope).
+	Codes   map[string]int64
 	P50     time.Duration
 	P90     time.Duration
 	P99     time.Duration
@@ -77,6 +93,8 @@ type Report struct {
 	TotalOps    int64
 	TotalErrors int64
 	Classes     map[string]*ClassStats
+	// FaultsInjected counts journal faults fired during a Faults run.
+	FaultsInjected uint64
 }
 
 // classNames fixes the report ordering.
@@ -92,12 +110,34 @@ func (r *Report) Table() string {
 		if !ok || cs.Ops == 0 {
 			continue
 		}
-		fmt.Fprintf(&b, "%-8s %10d %8d %10.1f %10s %10s %10s %10s\n",
+		fmt.Fprintf(&b, "%-8s %10d %8d %10.1f %10s %10s %10s %10s%s\n",
 			name, cs.Ops, cs.Errors, cs.PerSec,
-			round(cs.Mean), round(cs.P50), round(cs.P90), round(cs.P99))
+			round(cs.Mean), round(cs.P50), round(cs.P90), round(cs.P99),
+			codesColumn(cs.Codes))
 	}
 	fmt.Fprintf(&b, "total    %10d %8d in %s\n", r.TotalOps, r.TotalErrors, round(r.Elapsed))
+	if r.FaultsInjected > 0 {
+		fmt.Fprintf(&b, "faults injected: %d (recovery verified)\n", r.FaultsInjected)
+	}
 	return b.String()
+}
+
+// codesColumn renders a class's error-code breakdown, sorted by code
+// so reruns diff cleanly.
+func codesColumn(codes map[string]int64) string {
+	if len(codes) == 0 {
+		return ""
+	}
+	keys := make([]string, 0, len(codes))
+	for k := range codes {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	parts := make([]string, len(keys))
+	for i, k := range keys {
+		parts[i] = fmt.Sprintf("%s:%d", k, codes[k])
+	}
+	return "  " + strings.Join(parts, " ")
 }
 
 func round(d time.Duration) time.Duration { return d.Round(time.Microsecond) }
@@ -115,8 +155,25 @@ type runner struct {
 
 // Run executes one load run against cfg.Addr: it provisions the
 // corpus choreographies (idempotently), spins up the worker pool, and
-// aggregates per-class latencies.
+// aggregates per-class latencies. With Faults set it self-hosts the
+// server, injects journal faults during the run, and fails unless the
+// journal recovers to exactly the live store's state.
 func Run(ctx context.Context, cfg Config) (*Report, error) {
+	var emb *embedded
+	if cfg.Faults > 0 {
+		if cfg.Faults >= 1 {
+			return nil, fmt.Errorf("loadgen: fault rate %v out of range (0,1)", cfg.Faults)
+		}
+		if cfg.Addr != "" {
+			return nil, fmt.Errorf("loadgen: fault injection self-hosts the server; drop -addr")
+		}
+		var err error
+		if emb, err = startEmbedded(); err != nil {
+			return nil, err
+		}
+		defer emb.stop()
+		cfg.Addr = emb.addr
+	}
 	if cfg.Addr == "" {
 		return nil, fmt.Errorf("loadgen: missing server address")
 	}
@@ -137,11 +194,22 @@ func Run(ctx context.Context, cfg Config) (*Report, error) {
 	}
 
 	r := &runner{cfg: cfg, client: server.NewClient(cfg.Addr, nil)}
+	if emb != nil {
+		// Fault runs exercise the whole resilience stack: retried
+		// idempotent requests against a server whose journal misbehaves.
+		r.client.SetRetry(server.Retry{MaxAttempts: 3, BaseDelay: 2 * time.Millisecond})
+	}
 	if err := r.loadCorpus(); err != nil {
 		return nil, err
 	}
 	if err := r.provision(ctx); err != nil {
 		return nil, err
+	}
+	if emb != nil {
+		// Provisioning ran clean; everything after this may fail.
+		if err := emb.arm(cfg.Faults, cfg.Seed); err != nil {
+			return nil, err
+		}
 	}
 
 	if cfg.Duration > 0 {
@@ -174,6 +242,12 @@ func Run(ctx context.Context, cfg Config) (*Report, error) {
 			}
 			agg.Ops += cs.Ops
 			agg.Errors += cs.Errors
+			for code, n := range cs.Codes {
+				if agg.Codes == nil {
+					agg.Codes = map[string]int64{}
+				}
+				agg.Codes[code] += n
+			}
 			agg.samples = append(agg.samples, cs.samples...)
 		}
 	}
@@ -181,6 +255,16 @@ func Run(ctx context.Context, cfg Config) (*Report, error) {
 		finalize(cs, elapsed)
 		rep.TotalOps += cs.Ops
 		rep.TotalErrors += cs.Errors
+	}
+	if emb != nil {
+		fires, err := emb.disarm()
+		if err != nil {
+			return rep, err
+		}
+		rep.FaultsInjected = fires
+		if err := emb.verifyRecovery(ctx); err != nil {
+			return rep, fmt.Errorf("loadgen: acked-write loss: %w", err)
+		}
 	}
 	return rep, nil
 }
@@ -329,6 +413,10 @@ func (r *runner) worker(ctx context.Context, w int, rec map[string]*ClassStats) 
 		cs.Ops++
 		if err != nil {
 			cs.Errors++
+			if cs.Codes == nil {
+				cs.Codes = map[string]int64{}
+			}
+			cs.Codes[errCode(err)]++
 		} else {
 			cs.samples = append(cs.samples, time.Since(start))
 		}
@@ -400,4 +488,161 @@ func (r *runner) ingestBatch(ctx context.Context, sc *scenario.Scenario, id stri
 	}
 	_, err := r.client.IngestEvents(ctx, id, batch)
 	return err
+}
+
+// errCode buckets an op error for the per-class breakdown: the server
+// envelope code when there is one, "transport" otherwise.
+func errCode(err error) string {
+	var apiErr *server.APIError
+	if errors.As(err, &apiErr) && apiErr.Code != "" {
+		return apiErr.Code
+	}
+	return "transport"
+}
+
+// faultPoints are the journal writes a fault run injects into. The
+// WAL-truncate (rollback) point is deliberately left alone: failing
+// rollback poisons the store into permanent read-only mode, which is
+// degraded_test territory, not steady-state chaos.
+var faultPoints = []string{
+	fault.PointJournalAppendWrite,
+	fault.PointJournalCheckpointWrite,
+	fault.PointJournalCheckpointRename,
+}
+
+// embedded is the self-hosted choreod a fault run drives: a journaled
+// store behind a real HTTP listener, so faults land on the same code
+// path a production server runs.
+type embedded struct {
+	dir   string
+	store *store.Store
+	http  *http.Server
+	addr  string
+}
+
+func startEmbedded() (*embedded, error) {
+	dir, err := os.MkdirTemp("", "loadgen-faults-")
+	if err != nil {
+		return nil, fmt.Errorf("loadgen: %w", err)
+	}
+	st, err := store.Open(store.WithJournal(dir), store.WithShards(4))
+	if err != nil {
+		os.RemoveAll(dir)
+		return nil, fmt.Errorf("loadgen: opening embedded store: %w", err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		st.Close()
+		os.RemoveAll(dir)
+		return nil, fmt.Errorf("loadgen: %w", err)
+	}
+	e := &embedded{
+		dir:   dir,
+		store: st,
+		http:  &http.Server{Handler: server.New(st).Handler()},
+		addr:  "http://" + ln.Addr().String(),
+	}
+	go e.http.Serve(ln)
+	return e, nil
+}
+
+// arm turns on the journal faults at the given per-hit probability,
+// seeded off the run seed so reruns replay the same fault schedule.
+func (e *embedded) arm(rate float64, seed int64) error {
+	for i, pt := range faultPoints {
+		if err := fault.Arm(pt, fault.Trigger{Prob: rate, Seed: uint64(seed) + uint64(i) + 1}); err != nil {
+			fault.DisarmAll()
+			return fmt.Errorf("loadgen: %w", err)
+		}
+	}
+	return nil
+}
+
+// disarm turns the faults off and reports how many fired.
+func (e *embedded) disarm() (uint64, error) {
+	var fires uint64
+	for _, pt := range faultPoints {
+		n, err := fault.Fires(pt)
+		if err != nil {
+			fault.DisarmAll()
+			return 0, fmt.Errorf("loadgen: %w", err)
+		}
+		fires += n
+	}
+	fault.DisarmAll()
+	return fires, nil
+}
+
+// verifyRecovery reopens the journal directory kill-style — the live
+// store is NOT closed first, exactly as after a crash — and checks the
+// recovered state against what the live store acked: choreography set,
+// snapshot and party versions, and per-party instance counts. Any
+// divergence means an acked write was lost.
+func (e *embedded) verifyRecovery(ctx context.Context) error {
+	recovered, err := store.Open(store.WithJournal(e.dir), store.WithShards(4))
+	if err != nil {
+		return fmt.Errorf("reopening journal: %w", err)
+	}
+	defer recovered.Close()
+
+	liveIDs, err := e.store.IDs(ctx)
+	if err != nil {
+		return err
+	}
+	recIDs, err := recovered.IDs(ctx)
+	if err != nil {
+		return err
+	}
+	sort.Strings(liveIDs)
+	sort.Strings(recIDs)
+	if fmt.Sprint(liveIDs) != fmt.Sprint(recIDs) {
+		return fmt.Errorf("choreography IDs: recovered %v, live %v", recIDs, liveIDs)
+	}
+	for _, id := range liveIDs {
+		live, err := e.store.Snapshot(ctx, id)
+		if err != nil {
+			return err
+		}
+		rec, err := recovered.Snapshot(ctx, id)
+		if err != nil {
+			return fmt.Errorf("%s: missing after recovery: %w", id, err)
+		}
+		if rec.Version != live.Version {
+			return fmt.Errorf("%s: recovered version %d, live %d", id, rec.Version, live.Version)
+		}
+		for _, name := range live.Parties() {
+			lp, _ := live.Party(name)
+			rp, ok := rec.Party(name)
+			if !ok {
+				return fmt.Errorf("%s/%s: missing after recovery", id, name)
+			}
+			if rp.Version != lp.Version {
+				return fmt.Errorf("%s/%s: recovered party version %d, live %d", id, name, rp.Version, lp.Version)
+			}
+			ln, err := e.store.InstanceRecords(ctx, id, name)
+			if err != nil {
+				return err
+			}
+			rn, err := recovered.InstanceRecords(ctx, id, name)
+			if err != nil {
+				return err
+			}
+			if len(rn) != len(ln) {
+				return fmt.Errorf("%s/%s: recovered %d instances, live %d", id, name, len(rn), len(ln))
+			}
+		}
+	}
+	return nil
+}
+
+// stop tears the embedded server down; the journal directory is kept
+// only if the store degraded (it is then the evidence).
+func (e *embedded) stop() {
+	fault.DisarmAll()
+	e.http.Close()
+	degraded := e.store.Degraded() != nil
+	e.store.Close()
+	if !degraded {
+		os.RemoveAll(e.dir)
+	}
 }

@@ -6,6 +6,7 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/scenario"
 	"repro/internal/server"
 	"repro/internal/store"
 )
@@ -139,5 +140,80 @@ func BenchmarkLoadgen(b *testing.B) {
 	}
 	if cs, ok := rep.Classes["ingest"]; ok && cs.Ops > 0 {
 		b.ReportMetric(float64(cs.P99.Microseconds()), "ingest-p99-µs")
+	}
+}
+
+// TestLoadgenFaults runs the self-hosted fault mode: journal faults
+// must actually fire, the post-run crash-recovery check must pass, and
+// injected failures must show up in the per-class code breakdown
+// rather than vanish.
+func TestLoadgenFaults(t *testing.T) {
+	maxOps := int64(160)
+	if testing.Short() {
+		maxOps = 80
+	}
+	rep, err := Run(context.Background(), Config{
+		Faults:      0.1,
+		Concurrency: 4,
+		MaxOps:      maxOps,
+		Seed:        11,
+		Scenarios:   []string{scenario.Names()[0]},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.FaultsInjected == 0 {
+		t.Fatal("fault run injected nothing")
+	}
+	if rep.TotalErrors > 0 {
+		var bucketed int64
+		for _, cs := range rep.Classes {
+			for _, n := range cs.Codes {
+				bucketed += n
+			}
+		}
+		if bucketed != rep.TotalErrors {
+			t.Fatalf("code breakdown covers %d of %d errors", bucketed, rep.TotalErrors)
+		}
+	}
+	t.Logf("faults=%d errors=%d\n%s", rep.FaultsInjected, rep.TotalErrors, rep.Table())
+}
+
+// TestLoadgenFaultsValidation pins the fault-mode config contract.
+func TestLoadgenFaultsValidation(t *testing.T) {
+	if _, err := Run(context.Background(), Config{Faults: 1.5, MaxOps: 1}); err == nil {
+		t.Fatal("fault rate >= 1 accepted")
+	}
+	if _, err := Run(context.Background(), Config{Faults: 0.1, Addr: "http://x", MaxOps: 1}); err == nil {
+		t.Fatal("fault mode with an external address accepted")
+	}
+}
+
+// BenchmarkLoadgenFaults measures mixed-traffic throughput with 5%
+// injected journal faults: the self-hosted fault mode end to end,
+// crash-recovery check included. benchjson records it in the "chaos"
+// run; the custom metrics are the error-class mix under faults.
+func BenchmarkLoadgenFaults(b *testing.B) {
+	rep, err := Run(context.Background(), Config{
+		Faults:      0.05,
+		Concurrency: 4,
+		MaxOps:      int64(b.N),
+		Seed:        1,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(rep.TotalOps)/rep.Elapsed.Seconds(), "mixedops/s")
+	b.ReportMetric(float64(rep.FaultsInjected)/float64(b.N), "faults/op")
+	b.ReportMetric(float64(rep.TotalErrors)/float64(b.N), "errors/op")
+	codes := map[string]int64{}
+	for _, cs := range rep.Classes {
+		for code, n := range cs.Codes {
+			codes[code] += n
+		}
+	}
+	for code, n := range codes {
+		b.ReportMetric(float64(n)/float64(b.N), "err-"+code+"/op")
 	}
 }

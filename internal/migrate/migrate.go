@@ -165,15 +165,22 @@ type Job struct {
 	TargetVersion uint64
 
 	// Observer, when non-nil, is invoked right before each committed
-	// shard folds into the job — the store's journaling hook. It must
-	// be set before the first Run/RunAsync and is called without the
-	// job lock held, so it may take locks of its own; folds of
-	// different shards may invoke it concurrently.
-	Observer func(shard int, c Counts, stranded []Stranded)
+	// shard folds into the job — the store's journaling hook. An
+	// observer error aborts the fold and fails the shard sweep, so a
+	// shard counts as done only once its fold is durable; the retry
+	// re-sweeps it. It must be set before the first Run/RunAsync and is
+	// called without the job lock held, so it may take locks of its
+	// own; folds of different shards may invoke it concurrently.
+	Observer func(shard int, c Counts, stranded []Stranded) error
 
-	mu       sync.Mutex
-	status   Status
-	errMsg   string
+	mu     sync.Mutex
+	status Status
+	errMsg string
+	// failErr is the live shard-failure error behind errMsg, kept so
+	// Run's callers can classify it with errors.Is (injected fault,
+	// degraded store). A job recovered from the journal has only the
+	// message.
+	failErr  error
 	done     []bool // per-shard commit checkpoint
 	doneN    int
 	counts   Counts
@@ -380,11 +387,17 @@ func (j *Job) pending() []int {
 // shardDone folds one committed shard into the job, notifying the
 // Observer first (outside the job lock: the observer journals the
 // fold and must not be able to deadlock against readers of the job).
-func (j *Job) shardDone(shard int, c Counts, stranded []Stranded) {
+// An observer failure skips the fold: the shard stays pending and the
+// resumed sweep revisits it, so "done" is never acked beyond what the
+// journal holds.
+func (j *Job) shardDone(shard int, c Counts, stranded []Stranded) error {
 	if j.Observer != nil {
-		j.Observer(shard, c, stranded)
+		if err := j.Observer(shard, c, stranded); err != nil {
+			return err
+		}
 	}
 	j.FoldShard(shard, c, stranded)
+	return nil
 }
 
 // FoldShard folds one committed shard's results into the job. It is
@@ -425,6 +438,7 @@ func (j *Job) finish(sweepErr error, canceled bool) {
 	case sweepErr != nil:
 		j.status = StatusFailed
 		j.errMsg = sweepErr.Error()
+		j.failErr = sweepErr
 	default:
 		j.status = StatusCanceled
 	}
@@ -491,6 +505,12 @@ func (j *Job) outcome(ctx context.Context) error {
 	case StatusDone:
 		return nil
 	case StatusFailed:
+		j.mu.Lock()
+		failErr := j.failErr
+		j.mu.Unlock()
+		if failErr != nil {
+			return failErr
+		}
 		return errors.New(v.Err)
 	default:
 		if err := ctx.Err(); err != nil {
@@ -590,6 +610,8 @@ func (e *Engine) sweepShard(ctx context.Context, job *Job, src Source, classify 
 	if err := src.Commit(ctx, shard, migrated); err != nil {
 		return fmt.Errorf("migrate: committing shard %d: %w", shard, err)
 	}
-	job.shardDone(shard, c, stranded)
+	if err := job.shardDone(shard, c, stranded); err != nil {
+		return fmt.Errorf("migrate: journaling shard %d fold: %w", shard, err)
+	}
 	return nil
 }

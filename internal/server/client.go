@@ -3,10 +3,13 @@ package server
 import (
 	"bytes"
 	"context"
+	cryptorand "crypto/rand"
+	"encoding/hex"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
+	"math/rand"
 	"net/http"
 	"net/url"
 	"strconv"
@@ -20,9 +23,112 @@ import (
 // takes a leading context governing the request; errors carry the
 // machine-readable /v2/ code (see APIError and ErrIs). The zero value
 // is unusable; use NewClient.
+//
+// Retries are off by default; SetRetry arms the retry/backoff policy.
+// Commit and EvolveOps always carry an auto-generated Idempotency-Key,
+// so their retries apply exactly once server-side.
 type Client struct {
-	base string
-	http *http.Client
+	base  string
+	http  *http.Client
+	retry Retry
+}
+
+// Retry is the client's retry/backoff contract (docs/resilience.md):
+// exponential backoff with jitter, honoring the server's retryAfter
+// hint on backpressure, capped in attempts and total elapsed time.
+// Only calls that are safe to re-send retry: reads, ingest batches
+// (rejected as a unit — nothing applied), and mutations carrying an
+// Idempotency-Key. An unkeyed POST that fails mid-flight is never
+// retried: the client cannot know whether it applied.
+type Retry struct {
+	// MaxAttempts is the total number of tries including the first;
+	// values <= 1 disable retries (the zero policy is "no retries").
+	MaxAttempts int
+	// BaseDelay seeds the exponential backoff (default 50ms); attempt n
+	// waits BaseDelay·2^(n-1), capped at MaxDelay (default 2s). The
+	// server's retryAfter hint overrides a shorter computed delay.
+	BaseDelay time.Duration
+	MaxDelay  time.Duration
+	// MaxElapsed caps the total time spent across attempts and
+	// backoffs; 0 means no cap beyond the context deadline.
+	MaxElapsed time.Duration
+	// Jitter randomizes each delay downward by up to this fraction
+	// (0..1, default 0.2) so synchronized clients do not stampede.
+	Jitter float64
+}
+
+// SetRetry arms (or, with a zero policy, disarms) the retry policy for
+// every subsequent call on this client. Not safe to call concurrently
+// with in-flight requests.
+func (c *Client) SetRetry(r Retry) { c.retry = r }
+
+// backoff computes the delay before the given retry (attempt counts
+// the tries already made, so the first retry is attempt 1).
+func (p Retry) backoff(attempt int, hint time.Duration) time.Duration {
+	base := p.BaseDelay
+	if base <= 0 {
+		base = 50 * time.Millisecond
+	}
+	maxDelay := p.MaxDelay
+	if maxDelay <= 0 {
+		maxDelay = 2 * time.Second
+	}
+	d := base
+	for i := 1; i < attempt && d < maxDelay; i++ {
+		d *= 2
+	}
+	if d > maxDelay {
+		d = maxDelay
+	}
+	if hint > d {
+		d = hint
+	}
+	jitter := p.Jitter
+	if jitter == 0 {
+		jitter = 0.2
+	}
+	if jitter < 0 || jitter > 1 {
+		jitter = 0.2
+	}
+	return d - time.Duration(jitter*rand.Float64()*float64(d))
+}
+
+// retryDecision classifies an error of one attempt: whether re-sending
+// is safe and useful, and any server-provided backoff hint.
+func retryDecision(err error, idempotent bool) (retryable bool, hint time.Duration) {
+	var apiErr *APIError
+	if errors.As(err, &apiErr) {
+		switch {
+		case apiErr.Code == CodeResourceExhausted:
+			// Backpressure rejects the batch as a unit — nothing was
+			// applied, so even an unkeyed mutation is safe to re-send.
+			hint, _ := RetryAfter(err)
+			return true, hint
+		case apiErr.Status == http.StatusServiceUnavailable:
+			// Degraded store, shutdown, or a cancelled upstream: the
+			// request may have applied, so only idempotent calls retry.
+			return idempotent, 0
+		}
+		return false, 0
+	}
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return false, 0
+	}
+	// Transport error — connection refused, reset mid-flight. The
+	// request may have reached the server, so same rule as 503.
+	return idempotent, 0
+}
+
+// newIdempotencyKey mints a unique key for one logical mutation; every
+// retry of that mutation re-sends the same key.
+func newIdempotencyKey() string {
+	var b [16]byte
+	if _, err := cryptorand.Read(b[:]); err != nil {
+		// The fallback only needs uniqueness within the server's dedup
+		// window, not unpredictability.
+		return fmt.Sprintf("key-%d-%d", time.Now().UnixNano(), rand.Uint64())
+	}
+	return hex.EncodeToString(b[:])
 }
 
 // maxResponseBytes caps how much of a response body the client reads —
@@ -73,30 +179,77 @@ func ErrIs(err error, code string) bool {
 	return errors.As(err, &apiErr) && apiErr.Code == code
 }
 
-// do runs one request. A non-nil ifMatch sends the If-Match
-// precondition (version 0 is a valid precondition — a freshly created
-// choreography). The response body is always drained and closed so
-// keep-alive connections return to the pool, reads are capped at
-// maxResponseBytes, and the returned version carries the response ETag
-// (0 when absent).
+// do runs one request under the client's retry policy; see doKeyed.
 func (c *Client) do(ctx context.Context, method, path string, ifMatch *uint64, in, out any) (version uint64, err error) {
-	var body io.Reader
+	return c.doKeyed(ctx, method, path, ifMatch, "", in, out)
+}
+
+// doKeyed runs one logical request, retrying per the client's Retry
+// policy when the call is idempotent: a safe method (GET/PUT/DELETE),
+// or any method carrying an idempotency key — every retry re-sends the
+// same key, so the server applies the mutation exactly once. A non-nil
+// ifMatch sends the If-Match precondition (version 0 is a valid
+// precondition — a freshly created choreography). The returned version
+// carries the response ETag (0 when absent).
+func (c *Client) doKeyed(ctx context.Context, method, path string, ifMatch *uint64, key string, in, out any) (version uint64, err error) {
+	var data []byte
 	if in != nil {
-		data, err := json.Marshal(in)
-		if err != nil {
+		if data, err = json.Marshal(in); err != nil {
 			return 0, err
 		}
+	}
+	idempotent := key != "" || method == http.MethodGet || method == http.MethodPut || method == http.MethodDelete
+	attempts := c.retry.MaxAttempts
+	if attempts < 1 {
+		attempts = 1
+	}
+	var start time.Time
+	if c.retry.MaxElapsed > 0 {
+		start = time.Now()
+	}
+	for attempt := 1; ; attempt++ {
+		version, err = c.roundTrip(ctx, method, path, ifMatch, key, data, in != nil, out)
+		if err == nil || attempt >= attempts {
+			return version, err
+		}
+		retryable, hint := retryDecision(err, idempotent)
+		if !retryable {
+			return version, err
+		}
+		delay := c.retry.backoff(attempt, hint)
+		if c.retry.MaxElapsed > 0 && time.Since(start)+delay > c.retry.MaxElapsed {
+			return version, err
+		}
+		timer := time.NewTimer(delay)
+		select {
+		case <-ctx.Done():
+			timer.Stop()
+			return version, ctx.Err()
+		case <-timer.C:
+		}
+	}
+}
+
+// roundTrip runs one attempt. The response body is always drained and
+// closed so keep-alive connections return to the pool, and reads are
+// capped at maxResponseBytes.
+func (c *Client) roundTrip(ctx context.Context, method, path string, ifMatch *uint64, key string, data []byte, hasBody bool, out any) (version uint64, err error) {
+	var body io.Reader
+	if hasBody {
 		body = bytes.NewReader(data)
 	}
 	req, err := http.NewRequestWithContext(ctx, method, c.base+path, body)
 	if err != nil {
 		return 0, err
 	}
-	if in != nil {
+	if hasBody {
 		req.Header.Set("Content-Type", "application/json")
 	}
 	if ifMatch != nil {
 		req.Header.Set("If-Match", etagOf(*ifMatch))
+	}
+	if key != "" {
+		req.Header.Set("Idempotency-Key", key)
 	}
 	resp, err := c.http.Do(req)
 	if err != nil {
@@ -307,10 +460,12 @@ func (c *Client) Evolve(ctx context.Context, id string, p *bpel.Process) (*Evolv
 // EvolveOps submits a multi-op change transaction for analysis: the
 // ops are applied in order and the combined delta is classified once.
 // The returned BaseVersion (from the response ETag) pins the analysis
-// for CommitIfMatch.
+// for CommitIfMatch. The request carries an auto-generated
+// Idempotency-Key, so under an armed Retry policy a resubmission
+// answers the already-minted analysis instead of a duplicate.
 func (c *Client) EvolveOps(ctx context.Context, id, party string, ops []OpJSON) (*EvolveOpsResponse, error) {
 	var out EvolveOpsResponse
-	version, err := c.do(ctx, "POST", "/v2/choreographies/"+seg(id)+"/evolve", nil,
+	version, err := c.doKeyed(ctx, "POST", "/v2/choreographies/"+seg(id)+"/evolve", nil, newIdempotencyKey(),
 		EvolveOpsRequest{Party: party, Ops: ops}, &out)
 	if err != nil {
 		return nil, err
@@ -344,9 +499,13 @@ func (c *Client) CommitIfMatch(ctx context.Context, evoID string, baseVersion ui
 	return c.commit(ctx, evoID, &baseVersion)
 }
 
+// commit posts the evolution with an auto-generated Idempotency-Key:
+// the server journals (key → outcome) with the commit, so a retried
+// commit — even one whose first response was lost on the wire —
+// applies exactly once and answers the original version.
 func (c *Client) commit(ctx context.Context, evoID string, ifMatch *uint64) (*CommitResponse, error) {
 	var out CommitResponse
-	_, err := c.do(ctx, "POST", "/v2/evolutions/"+seg(evoID)+"/commit", ifMatch, struct{}{}, &out)
+	_, err := c.doKeyed(ctx, "POST", "/v2/evolutions/"+seg(evoID)+"/commit", ifMatch, newIdempotencyKey(), struct{}{}, &out)
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,320 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/fault"
+	"repro/internal/paperrepro"
+	"repro/internal/store"
+)
+
+// journaledClient spins a server over a journaled store so journal
+// faults have somewhere to land.
+func journaledClient(t *testing.T) (*Client, *Server) {
+	t.Helper()
+	st, err := store.Open(store.WithJournal(t.TempDir()), store.WithShards(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = st.Close() })
+	srv := New(st)
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+	return NewClient(ts.URL, ts.Client()), srv
+}
+
+// poison arms the append-write and rollback-truncate faults together:
+// the next journaled mutation fails AND cannot roll back, which is the
+// one condition that degrades the store to read-only.
+func poison(t *testing.T) {
+	t.Helper()
+	for _, pt := range []string{fault.PointJournalAppendWrite, fault.PointJournalWALTruncate} {
+		if err := fault.Arm(pt, fault.Trigger{}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	t.Cleanup(fault.DisarmAll)
+}
+
+// TestDegradedModeHTTP pins the serving contract of a degraded store:
+// mutations answer 503 {code: "unavailable"}, reads keep working,
+// readyz flips to 503 while healthz stays 200, and stats reports the
+// degraded flag with the causal error.
+func TestDegradedModeHTTP(t *testing.T) {
+	c, _ := journaledClient(t)
+	id := paperSetup(t, c)
+
+	poison(t)
+	if err := c.CreateChoreography(ctx, "other", nil); err == nil {
+		t.Fatal("mutation on degrading store succeeded")
+	}
+	fault.DisarmAll()
+
+	// The store is now degraded for the rest of its life: even with
+	// faults disarmed, mutations answer 503 unavailable.
+	err := c.CreateChoreography(ctx, "other2", nil)
+	if !ErrIs(err, CodeUnavailable) {
+		t.Fatalf("mutation after degrade: %v, want code %q", err, CodeUnavailable)
+	}
+	var apiErr *APIError
+	if !errors.As(err, &apiErr) || apiErr.Status != http.StatusServiceUnavailable {
+		t.Fatalf("mutation after degrade: %v, want HTTP 503", err)
+	}
+
+	// Reads still serve the last committed state.
+	info, err := c.Choreography(ctx, id)
+	if err != nil {
+		t.Fatalf("read on degraded store: %v", err)
+	}
+	if len(info.Parties) != 3 {
+		t.Fatalf("degraded read: %d parties, want 3", len(info.Parties))
+	}
+
+	// Probes: liveness stays green, readiness goes red.
+	res, err := c.http.Get(c.base + "/v2/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res.Body.Close()
+	if res.StatusCode != http.StatusOK {
+		t.Fatalf("healthz on degraded store: %d, want 200", res.StatusCode)
+	}
+	res, err = c.http.Get(c.base + "/v2/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var env ErrorEnvelope
+	if err := json.NewDecoder(res.Body).Decode(&env); err != nil {
+		t.Fatal(err)
+	}
+	res.Body.Close()
+	if res.StatusCode != http.StatusServiceUnavailable || env.Code != CodeUnavailable {
+		t.Fatalf("readyz on degraded store: %d %q, want 503 %q", res.StatusCode, env.Code, CodeUnavailable)
+	}
+
+	stats, err := c.Stats(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !stats.Degraded || stats.LastError == "" {
+		t.Fatalf("stats on degraded store: degraded=%v lastError=%q", stats.Degraded, stats.LastError)
+	}
+}
+
+// TestReadyzHealthy pins the green path of both probes.
+func TestReadyzHealthy(t *testing.T) {
+	c, _ := testClient(t)
+	for _, path := range []string{"/v2/healthz", "/v2/readyz"} {
+		res, err := c.http.Get(c.base + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res.Body.Close()
+		if res.StatusCode != http.StatusOK {
+			t.Fatalf("%s: %d, want 200", path, res.StatusCode)
+		}
+	}
+}
+
+// lossyTransport drops the RESPONSE of matching requests after the
+// server processed them — the classic "did my commit apply?" failure a
+// retry with an idempotency key must survive.
+type lossyTransport struct {
+	inner http.RoundTripper
+	// dropNext counts how many matching responses to drop.
+	dropNext atomic.Int32
+	match    func(*http.Request) bool
+}
+
+func (lt *lossyTransport) RoundTrip(req *http.Request) (*http.Response, error) {
+	resp, err := lt.inner.RoundTrip(req)
+	if err != nil {
+		return resp, err
+	}
+	if lt.match(req) && lt.dropNext.Add(-1) >= 0 {
+		resp.Body.Close()
+		return nil, errors.New("lossy transport: response lost")
+	}
+	return resp, nil
+}
+
+// TestCommitRetriesExactlyOnce pins the end-to-end exactly-once
+// contract: the commit response is lost on the wire, the armed Retry
+// policy re-sends the same auto-generated Idempotency-Key, and the
+// server answers the original outcome — one version bump, one commit,
+// no conflict.
+func TestCommitRetriesExactlyOnce(t *testing.T) {
+	c, srv := journaledClient(t)
+	id := paperSetup(t, c)
+
+	lt := &lossyTransport{
+		inner: http.DefaultTransport,
+		match: func(r *http.Request) bool {
+			return r.Method == "POST" && r.Header.Get("Idempotency-Key") != ""
+		},
+	}
+	lt.dropNext.Store(1)
+	c.http = &http.Client{Transport: lt}
+	c.SetRetry(Retry{MaxAttempts: 4, BaseDelay: time.Millisecond})
+
+	// The evolve request is keyed too, so it survives its own drop; use
+	// it as submitted.
+	evo, err := c.Evolve(ctx, id, apply(t, paperrepro.AccountingProcess(), paperrepro.TrackingLimitChange()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := srv.Store().Stats().Commits
+
+	lt.dropNext.Store(1) // lose exactly the first commit response
+	out, err := c.Commit(ctx, evo.Evolution)
+	if err != nil {
+		t.Fatalf("retried commit: %v", err)
+	}
+	if out.Version != evo.BaseVersion+1 {
+		t.Fatalf("committed version %d, want %d", out.Version, evo.BaseVersion+1)
+	}
+	if got := srv.Store().Stats().Commits - before; got != 1 {
+		t.Fatalf("commit applied %d times, want exactly 1", got)
+	}
+
+	// The same logical commit retried again (fresh call, same evolution)
+	// now has a different key and must answer stale_version, proving the
+	// dedup is per key, not per evolution.
+	if _, err := c.Commit(ctx, evo.Evolution); !ErrIs(err, CodeStaleVersion) {
+		t.Fatalf("re-commit with a fresh key: %v, want code %q", err, CodeStaleVersion)
+	}
+}
+
+// TestEvolveIdempotencyKey pins the evolve-side dedup: the same key
+// answers the same evolution ID instead of minting a duplicate.
+func TestEvolveIdempotencyKey(t *testing.T) {
+	c, srv := testClient(t)
+	id := paperSetup(t, c)
+
+	lt := &lossyTransport{
+		inner: http.DefaultTransport,
+		match: func(r *http.Request) bool {
+			return r.Method == "POST" && r.Header.Get("Idempotency-Key") != ""
+		},
+	}
+	lt.dropNext.Store(1)
+	c.http = &http.Client{Transport: lt}
+	c.SetRetry(Retry{MaxAttempts: 4, BaseDelay: time.Millisecond})
+
+	evo, err := c.Evolve(ctx, id, apply(t, paperrepro.AccountingProcess(), paperrepro.TrackingLimitChange()))
+	if err != nil {
+		t.Fatalf("retried evolve: %v", err)
+	}
+	srv.evoMu.RLock()
+	pending := len(srv.evos)
+	srv.evoMu.RUnlock()
+	if pending != 1 {
+		t.Fatalf("pending evolutions after retried evolve = %d, want 1 (no duplicate analysis)", pending)
+	}
+	if evo.Evolution == "" {
+		t.Fatal("empty evolution id")
+	}
+}
+
+// countingHandler fails the first n requests with the given status,
+// then delegates.
+type countingHandler struct {
+	inner    http.Handler
+	failures atomic.Int32
+	status   int
+	requests atomic.Int32
+}
+
+func (h *countingHandler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	h.requests.Add(1)
+	if h.failures.Add(-1) >= 0 {
+		writeJSON(w, h.status, ErrorEnvelope{Code: CodeUnavailable, Message: "synthetic outage"})
+		return
+	}
+	h.inner.ServeHTTP(w, r)
+}
+
+// TestRetryPolicy pins the retry classification: reads retry through
+// 503s, unkeyed POSTs do not (the client cannot know whether they
+// applied), and 429 backpressure retries even unkeyed because the
+// batch was rejected as a unit.
+func TestRetryPolicy(t *testing.T) {
+	srv := New(store.New(store.WithShards(2)))
+	h := &countingHandler{inner: srv.Handler(), status: http.StatusServiceUnavailable}
+	ts := httptest.NewServer(h)
+	t.Cleanup(ts.Close)
+	c := NewClient(ts.URL, ts.Client())
+	c.SetRetry(Retry{MaxAttempts: 3, BaseDelay: time.Millisecond})
+
+	// GET retries through two 503s.
+	h.failures.Store(2)
+	h.requests.Store(0)
+	if _, err := c.Stats(ctx); err != nil {
+		t.Fatalf("GET through 503s: %v", err)
+	}
+	if got := h.requests.Load(); got != 3 {
+		t.Fatalf("GET attempts = %d, want 3", got)
+	}
+
+	// An unkeyed POST does not retry on 503.
+	h.failures.Store(1)
+	h.requests.Store(0)
+	err := c.CreateChoreography(ctx, "once", nil)
+	if !ErrIs(err, CodeUnavailable) {
+		t.Fatalf("unkeyed POST: %v, want %q passed through", err, CodeUnavailable)
+	}
+	if got := h.requests.Load(); got != 1 {
+		t.Fatalf("unkeyed POST attempts = %d, want 1 (no retry)", got)
+	}
+
+	// 429 backpressure retries an unkeyed POST: the reject is
+	// all-or-nothing, so re-sending cannot double-apply.
+	var attempts429, fail429 atomic.Int32
+	fail429.Store(1)
+	ts2 := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		attempts429.Add(1)
+		if fail429.Add(-1) >= 0 {
+			writeJSON(w, http.StatusTooManyRequests, ErrorEnvelope{Code: CodeResourceExhausted, Message: "lane full", Details: map[string]any{"retryAfter": 0.001}})
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]string{"id": "ok"})
+	}))
+	t.Cleanup(ts2.Close)
+	c2 := NewClient(ts2.URL, ts2.Client())
+	c2.SetRetry(Retry{MaxAttempts: 3, BaseDelay: time.Millisecond})
+	if err := c2.CreateChoreography(ctx, "bp", nil); err != nil {
+		t.Fatalf("POST through 429: %v", err)
+	}
+	if got := attempts429.Load(); got != 2 {
+		t.Fatalf("backpressure POST attempts = %d, want 2", got)
+	}
+}
+
+// TestRetryHonorsContext pins that a canceled context stops the retry
+// loop instead of sleeping out the backoff.
+func TestRetryHonorsContext(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusServiceUnavailable, ErrorEnvelope{Code: CodeUnavailable, Message: "down"})
+	}))
+	t.Cleanup(ts.Close)
+	c := NewClient(ts.URL, ts.Client())
+	c.SetRetry(Retry{MaxAttempts: 10, BaseDelay: 10 * time.Second})
+
+	cctx, cancel := context.WithTimeout(ctx, 50*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err := c.Stats(cctx)
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("retry slept %v through a canceled context", elapsed)
+	}
+}

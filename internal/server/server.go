@@ -36,6 +36,8 @@
 //	GET    /v2/discovery/services?limit=&page_token=
 //	POST   /v2/admin/checkpoint                               compact the journal (durable stores)
 //	GET    /v2/stats
+//	GET    /v2/healthz                                        liveness (always 200 while serving)
+//	GET    /v2/readyz                                         readiness (503 {code: "unavailable"} when degraded)
 //	GET    /healthz
 //
 // Pagination is uniform: limit above the server-side maximum page
@@ -48,7 +50,12 @@
 // version is outdated. Errors are a uniform machine-readable envelope
 // {code, message, details}; see the Code* constants for the mapping
 // (not-found → 404, duplicates and apply races → 409, malformed input
-// → 400, stale preconditions → 412).
+// → 400, stale preconditions → 412, degraded read-only store → 503).
+//
+// Retried mutations are made safe by idempotency keys: evolve and
+// commit accept an Idempotency-Key header, and a retried commit with
+// the same key applies exactly once — the replay answers the original
+// outcome (see docs/resilience.md).
 //
 // /v1/ remains available as a compatibility shim with the original
 // single-op, body-version, {error}-envelope wire contract; it
@@ -82,6 +89,11 @@ type Server struct {
 	// (maxPendingEvolutions): a long-running service would otherwise
 	// accumulate every analysis ever made.
 	evoOrder []string
+	// evoByKey/evoKeys map Idempotency-Key ↔ evolution ID both ways so
+	// a retried evolve answers the original analysis and eviction can
+	// clean the key up with its evolution.
+	evoByKey map[string]string
+	evoKeys  map[string]string
 	evoSeq   atomic.Uint64
 
 	discMu sync.RWMutex
@@ -98,9 +110,11 @@ const maxPendingEvolutions = 1024
 // New returns a server over st.
 func New(st *store.Store) *Server {
 	return &Server{
-		store: st,
-		evos:  map[string]*store.Evolution{},
-		disc:  discovery.NewRegistry(),
+		store:    st,
+		evos:     map[string]*store.Evolution{},
+		evoByKey: map[string]string{},
+		evoKeys:  map[string]string{},
+		disc:     discovery.NewRegistry(),
 	}
 }
 
@@ -197,18 +211,42 @@ func impactsJSON(evo *store.Evolution) []ImpactJSON {
 }
 
 // registerEvolution stores an analysis under a fresh ID, evicting the
-// oldest pending ones past the retention bound.
-func (s *Server) registerEvolution(evo *store.Evolution) string {
+// oldest pending ones past the retention bound. A non-empty
+// idempotency key is remembered so a retried evolve with the same key
+// answers this analysis instead of minting a duplicate.
+func (s *Server) registerEvolution(evo *store.Evolution, key string) string {
 	id := fmt.Sprintf("evo-%d", s.evoSeq.Add(1))
 	s.evoMu.Lock()
 	s.evos[id] = evo
 	s.evoOrder = append(s.evoOrder, id)
+	if key != "" {
+		s.evoByKey[key] = id
+		s.evoKeys[id] = key
+	}
 	for len(s.evoOrder) > maxPendingEvolutions {
-		delete(s.evos, s.evoOrder[0])
+		old := s.evoOrder[0]
+		delete(s.evos, old)
+		if k, ok := s.evoKeys[old]; ok {
+			delete(s.evoKeys, old)
+			delete(s.evoByKey, k)
+		}
 		s.evoOrder = s.evoOrder[1:]
 	}
 	s.evoMu.Unlock()
 	return id
+}
+
+// evolutionByKey answers a previously registered analysis for an
+// idempotency key, if it is still retained.
+func (s *Server) evolutionByKey(key string) (string, *store.Evolution, bool) {
+	s.evoMu.RLock()
+	defer s.evoMu.RUnlock()
+	id, ok := s.evoByKey[key]
+	if !ok {
+		return "", nil, false
+	}
+	evo, ok := s.evos[id]
+	return id, evo, ok
 }
 
 func (s *Server) evolution(id string) (*store.Evolution, error) {
@@ -503,5 +541,8 @@ func (s *Server) stats() StatsResponse {
 		EventsIngested:          st.EventsIngested,
 		IngestRejected:          st.IngestRejected,
 		OnlineMigrations:        st.OnlineMigrations,
+		IngestLaneRejects:       st.IngestLaneRejects,
+		Degraded:                st.Degraded,
+		LastError:               st.LastError,
 	}
 }

@@ -224,7 +224,7 @@ func (s *Server) v1Evolve(w http.ResponseWriter, r *http.Request) {
 		writeErrorV1(w, err)
 		return
 	}
-	writeJSON(w, http.StatusOK, evolveResponseV1(s.registerEvolution(evo), evo))
+	writeJSON(w, http.StatusOK, evolveResponseV1(s.registerEvolution(evo, ""), evo))
 }
 
 func (s *Server) v1GetEvolution(w http.ResponseWriter, r *http.Request) {

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"strings"
 	"time"
 
 	"repro/internal/bpel"
@@ -20,6 +21,8 @@ import (
 
 func (s *Server) routesV2(mux *http.ServeMux) {
 	mux.HandleFunc("GET /v2/stats", s.v2Stats)
+	mux.HandleFunc("GET /v2/healthz", s.v2Healthz)
+	mux.HandleFunc("GET /v2/readyz", s.v2Readyz)
 	mux.HandleFunc("POST /v2/choreographies", s.v2Create)
 	mux.HandleFunc("GET /v2/choreographies", s.v2List)
 	mux.HandleFunc("GET /v2/choreographies/{id}", s.v2Get)
@@ -89,6 +92,26 @@ func asStale(err error) error {
 
 func (s *Server) v2Stats(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, s.stats())
+}
+
+// v2Healthz is the liveness probe: 200 whenever the process serves
+// requests, degraded or not — a degraded store still answers reads and
+// must not be restarted into a crash loop by an orchestrator.
+func (s *Server) v2Healthz(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+// v2Readyz is the readiness probe: 503 {code: "unavailable"} once the
+// store degraded to read-only, so traffic that mutates is drained away
+// while reads keep flowing through clients that ignore readiness.
+func (s *Server) v2Readyz(w http.ResponseWriter, _ *http.Request) {
+	if err := s.store.Degraded(); err != nil {
+		// Degraded() reports the causal journal failure; wrap it so the
+		// envelope classifies it as unavailable, not internal.
+		writeErrorV2(w, fmt.Errorf("%w: %v", store.ErrDegraded, err))
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ready"})
 }
 
 func (s *Server) v2Create(w http.ResponseWriter, r *http.Request) {
@@ -339,11 +362,21 @@ func (s *Server) v2BatchCheck(w http.ResponseWriter, r *http.Request) {
 // v2Evolve analyzes a multi-op change transaction. The ops are applied
 // in order to the party's private process and the combined delta is
 // classified once; the base snapshot version is returned as the ETag.
+// A retried request carrying the same Idempotency-Key answers the
+// analysis already minted for it instead of registering a duplicate.
 func (s *Server) v2Evolve(w http.ResponseWriter, r *http.Request) {
 	var req EvolveOpsRequest
 	if err := decode(r, &req); err != nil {
 		writeErrorV2(w, err)
 		return
+	}
+	key := idempotencyKey(r)
+	if key != "" {
+		if id, evo, ok := s.evolutionByKey(key); ok {
+			setETag(w, evo.BaseVersion)
+			writeJSON(w, http.StatusOK, evolveResponseV2(id, evo))
+			return
+		}
 	}
 	ops, err := decodeOps(req.Party, req.Ops)
 	if err != nil {
@@ -356,7 +389,7 @@ func (s *Server) v2Evolve(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	setETag(w, evo.BaseVersion)
-	writeJSON(w, http.StatusOK, evolveResponseV2(s.registerEvolution(evo), evo))
+	writeJSON(w, http.StatusOK, evolveResponseV2(s.registerEvolution(evo, key), evo))
 }
 
 func (s *Server) v2GetEvolution(w http.ResponseWriter, r *http.Request) {
@@ -392,13 +425,23 @@ func (s *Server) v2Commit(w http.ResponseWriter, r *http.Request) {
 		writeErrorV2(w, staleVersion(*ifVersion, evo.BaseVersion))
 		return
 	}
-	snap, err := s.store.CommitEvolution(r.Context(), evo)
+	// With an Idempotency-Key, the store journals (key → outcome) with
+	// the commit itself: a retried commit with the same key answers the
+	// original version instead of applying twice (or failing with a
+	// spurious conflict).
+	_, version, err := s.store.CommitEvolutionIdem(r.Context(), evo, idempotencyKey(r))
 	if err != nil {
 		writeErrorV2(w, asStale(err))
 		return
 	}
-	setETag(w, snap.Version)
-	writeJSON(w, http.StatusOK, CommitResponse{Choreography: snap.ID, Version: snap.Version})
+	setETag(w, version)
+	writeJSON(w, http.StatusOK, CommitResponse{Choreography: evo.Choreography, Version: version})
+}
+
+// idempotencyKey reads the request's Idempotency-Key header; empty
+// means the mutation is not keyed and retries are the caller's risk.
+func idempotencyKey(r *http.Request) string {
+	return strings.TrimSpace(r.Header.Get("Idempotency-Key"))
 }
 
 // v2Apply runs suggestions on a partner. A partner that changed since

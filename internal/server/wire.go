@@ -200,6 +200,14 @@ type StatsResponse struct {
 	EventsIngested   uint64 `json:"eventsIngested"`
 	IngestRejected   uint64 `json:"ingestRejected"`
 	OnlineMigrations uint64 `json:"onlineMigrations"`
+	// IngestLaneRejects breaks IngestRejected down per ingestion lane,
+	// summed across choreographies — a single hot lane shows up here.
+	IngestLaneRejects []uint64 `json:"ingestLaneRejects,omitempty"`
+	// Degraded reports a store that lost its journal and went
+	// read-only; LastError carries the unrecoverable write error behind
+	// it. Mirrored by GET /v2/readyz answering 503.
+	Degraded  bool   `json:"degraded,omitempty"`
+	LastError string `json:"lastError,omitempty"`
 }
 
 // ---- v1-only wire types ----
@@ -240,6 +248,7 @@ const (
 	CodeStaleVersion      = "stale_version"      // 412
 	CodeResourceExhausted = "resource_exhausted" // 429 (backpressure; details carry retryAfter seconds)
 	CodeCancelled         = "cancelled"          // 503
+	CodeUnavailable       = "unavailable"        // 503 (degraded read-only store, or shutting down)
 	CodeInternal          = "internal"           // 500
 )
 
@@ -432,6 +441,14 @@ func envelope(err error) (int, ErrorEnvelope) {
 		status, env.Code = http.StatusConflict, CodeConflict
 	case errors.Is(err, store.ErrInvalid), errors.Is(err, errBadRequest):
 		status, env.Code = http.StatusBadRequest, CodeInvalidArgument
+	case errors.Is(err, store.ErrDegraded):
+		// The store lost its journal and went read-only: reads keep
+		// working, mutations answer 503 until the operator recovers the
+		// volume and restarts (see docs/resilience.md).
+		status, env.Code = http.StatusServiceUnavailable, CodeUnavailable
+		env.Details = map[string]any{"degraded": true}
+	case errors.Is(err, store.ErrClosed):
+		status, env.Code = http.StatusServiceUnavailable, CodeUnavailable
 	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
 		status, env.Code = http.StatusServiceUnavailable, CodeCancelled
 	default:

@@ -1,0 +1,68 @@
+package store
+
+// Degraded read-only mode. A journaled mutator that fails cleanly —
+// the append was rolled back — just returns its error and the store
+// keeps running. But when the rollback itself fails the journal is
+// poisoned (journal.ErrPoisoned): the WAL holds a record the memory
+// state rejected, nothing more may be appended, and continuing to
+// mutate would fork the durable and the in-memory histories. At that
+// point the store degrades: all mutations fail with ErrDegraded while
+// reads keep serving the last committed in-memory state, and the
+// server layer reports 503 unavailable / readyz=false so an operator
+// (or orchestrator) can drain, inspect the journal directory, and
+// restart into recovery. Degradation is one-way for the process
+// lifetime — only a fresh Open clears it.
+
+import "fmt"
+
+// degradedState pins the first unrecoverable journal error.
+type degradedState struct {
+	err error
+}
+
+// degrade moves the store into read-only mode; the first error wins.
+func (s *Store) degrade(err error) {
+	s.degradedState.CompareAndSwap(nil, &degradedState{err: err})
+}
+
+// Degraded returns the unrecoverable journal error that forced the
+// store read-only, or nil while the store is healthy.
+func (s *Store) Degraded() error {
+	if st := s.degradedState.Load(); st != nil {
+		return st.err
+	}
+	return nil
+}
+
+// beginMutation gates one mutating call: it fails with ErrClosed
+// after Close, ErrDegraded (wrapping the original journal failure) in
+// degraded mode, and otherwise admits the caller, who holds the
+// returned release until the call's observable work is done. Close
+// flips the closed flag under the write side of the same lock, so
+// passing that barrier guarantees no admitted mutator is still
+// mid-flight — no late migration claim, ingest submission, or
+// checkpoint can race the journal shutting down. closeMu is the
+// outermost store lock.
+func (s *Store) beginMutation() (func(), error) {
+	s.closeMu.RLock()
+	if s.closed {
+		s.closeMu.RUnlock()
+		return nil, ErrClosed
+	}
+	if st := s.degradedState.Load(); st != nil {
+		s.closeMu.RUnlock()
+		return nil, fmt.Errorf("%w: %v", ErrDegraded, st.err)
+	}
+	return s.closeMu.RUnlock, nil
+}
+
+// checkAppendErr inspects a failed WAL append: a poisoned journal
+// degrades the store and upgrades the error to ErrDegraded; a clean
+// failure (the append rolled back) passes through untouched.
+func (s *Store) checkAppendErr(err error) error {
+	if s.jnl != nil && s.jnl.Broken() {
+		s.degrade(err)
+		return fmt.Errorf("%w: %v", ErrDegraded, err)
+	}
+	return err
+}

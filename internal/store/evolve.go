@@ -219,19 +219,38 @@ func (s *Store) planPropagation(snap *Snapshot, party string, partner *PartyStat
 // ErrConflict when the choreography advanced past evo.BaseVersion —
 // the caller re-runs Evolve against the fresh snapshot.
 func (s *Store) CommitEvolution(ctx context.Context, evo *Evolution) (*Snapshot, error) {
+	snap, _, err := s.CommitEvolutionIdem(ctx, evo, "")
+	return snap, err
+}
+
+// CommitEvolutionIdem is CommitEvolution with an idempotency key: a
+// retry carrying the key of an already-applied commit returns the
+// current snapshot and the version that commit published, without
+// applying anything (see idem.go). An empty key disables dedup.
+func (s *Store) CommitEvolutionIdem(ctx context.Context, evo *Evolution, key string) (*Snapshot, uint64, error) {
 	if err := ctxErr(ctx); err != nil {
-		return nil, err
+		return nil, 0, err
 	}
+	release, err := s.beginMutation()
+	if err != nil {
+		return nil, 0, err
+	}
+	defer release()
 	e, err := s.entry(evo.Choreography)
 	if err != nil {
-		return nil, err
+		return nil, 0, err
 	}
 	e.commitMu.Lock()
 	defer e.commitMu.Unlock()
+	if key != "" {
+		if res, ok := s.IdemSeen(key); ok {
+			return e.snap.Load(), res.Version, nil
+		}
+	}
 	cur := e.snap.Load()
 	if cur.Version != evo.BaseVersion {
 		s.conflicts.Add(1)
-		return nil, fmt.Errorf("%w: choreography %q at version %d, evolution based on %d",
+		return nil, 0, fmt.Errorf("%w: choreography %q at version %d, evolution based on %d",
 			ErrConflict, evo.Choreography, cur.Version, evo.BaseVersion)
 	}
 	old := cur.parties[evo.Party]
@@ -248,12 +267,12 @@ func (s *Store) CommitEvolution(ctx context.Context, evo *Evolution) (*Snapshot,
 	next.parties[evo.Party] = newPartyState(evo.NewPrivate,
 		&mapping.Result{Automaton: pub, Table: evo.NewTable}, old.Version+1)
 	next.computePairs()
-	if err := s.publish(e, next, []*bpel.Process{evo.NewPrivate}); err != nil {
-		return nil, err
+	if err := s.publishIdem(e, next, []*bpel.Process{evo.NewPrivate}, key); err != nil {
+		return nil, 0, err
 	}
 	s.commits.Add(1)
 	s.invalidatePairs(e, evo.Party)
-	return next, nil
+	return next, next.Version, nil
 }
 
 // ApplyOps applies adaptation operations to a partner's private
@@ -268,6 +287,11 @@ func (s *Store) ApplyOps(ctx context.Context, id, partner string, ops []change.O
 	if len(ops) == 0 {
 		return nil, fmt.Errorf("%w: no operations to apply", ErrInvalid)
 	}
+	release, err := s.beginMutation()
+	if err != nil {
+		return nil, err
+	}
+	defer release()
 	e, err := s.entry(id)
 	if err != nil {
 		return nil, err

@@ -1,0 +1,54 @@
+package store
+
+// Commit idempotency. A client that lost the response to a commit
+// cannot tell "applied" from "never arrived", so blind retries of a
+// version-bumping mutation risk double-applying it. The store keeps a
+// bounded dedup window of idempotency keys: a keyed commit journals a
+// recIdem record alongside its commit record, and a retry carrying
+// the same key returns the recorded outcome instead of re-applying.
+// The window is a FIFO over the last idemWindow keys — eviction is
+// insertion-ordered (never clock- or map-order-driven) so replaying
+// the WAL rebuilds the identical window.
+//
+// Exactly-once does not hinge on the window alone: the idem record is
+// appended after the commit record, so a crash between the two leaves
+// the commit durable but the key unknown. A retry then fails the
+// BaseVersion check under the commit lock with ErrConflict — a safe,
+// visible outcome — rather than applying twice. The window upgrades
+// that retry from a conflict to an idempotent success.
+
+// IdemResult is the recorded outcome of an applied keyed commit.
+type IdemResult struct {
+	// ID is the choreography the commit applied to; Version is the
+	// snapshot version it published.
+	ID      string
+	Version uint64
+}
+
+// idemWindow bounds the dedup window; older keys are evicted FIFO.
+const idemWindow = 4096
+
+// IdemSeen reports whether an idempotency key is inside the dedup
+// window, with the outcome recorded for it.
+func (s *Store) IdemSeen(key string) (IdemResult, bool) {
+	s.idemMu.Lock()
+	defer s.idemMu.Unlock()
+	res, ok := s.idem[key]
+	return res, ok
+}
+
+// idemRecord enters one key into the window, evicting FIFO past
+// idemWindow. Duplicate keys keep their original slot and outcome.
+func (s *Store) idemRecord(key string, res IdemResult) {
+	s.idemMu.Lock()
+	defer s.idemMu.Unlock()
+	if _, dup := s.idem[key]; dup {
+		return
+	}
+	s.idem[key] = res
+	s.idemOrder = append(s.idemOrder, key)
+	for len(s.idemOrder) > idemWindow {
+		delete(s.idem, s.idemOrder[0])
+		s.idemOrder = s.idemOrder[1:]
+	}
+}

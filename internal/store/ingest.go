@@ -157,6 +157,11 @@ func (s *Store) IngestEvents(ctx context.Context, id string, events []ingest.Eve
 	if len(events) == 0 {
 		return 0, fmt.Errorf("%w: empty event batch", ErrInvalid)
 	}
+	release, err := s.beginMutation()
+	if err != nil {
+		return 0, err
+	}
+	defer release()
 	e, err := s.entry(id)
 	if err != nil {
 		return 0, err

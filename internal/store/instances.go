@@ -123,6 +123,11 @@ func (s *Store) AddInstances(ctx context.Context, id, party string, insts []inst
 	if err := ctxErr(ctx); err != nil {
 		return err
 	}
+	release, err := s.beginMutation()
+	if err != nil {
+		return err
+	}
+	defer release()
 	e, err := s.entry(id)
 	if err != nil {
 		return err
@@ -140,6 +145,11 @@ func (s *Store) SampleInstances(ctx context.Context, id, party string, seed int6
 	if err := ctxErr(ctx); err != nil {
 		return nil, err
 	}
+	release, err := s.beginMutation()
+	if err != nil {
+		return nil, err
+	}
+	defer release()
 	e, err := s.entry(id)
 	if err != nil {
 		return nil, err
@@ -386,6 +396,11 @@ func (s *Store) evictMigrationJobsLocked() {
 // call resumes with the remainder. MigrateAll blocks until the sweep
 // ends; StartMigration is the non-blocking variant.
 func (s *Store) MigrateAll(ctx context.Context, id string, workers int) (*migrate.Job, error) {
+	release, err := s.beginMutation()
+	if err != nil {
+		return nil, err
+	}
+	defer release()
 	job, eng, src, classify, err := s.prepareMigration(id, workers)
 	if err != nil {
 		return nil, err
@@ -408,6 +423,11 @@ func (s *Store) StartMigration(ctx context.Context, id string, workers int) (*mi
 	if err := ctxErr(ctx); err != nil {
 		return nil, err
 	}
+	release, err := s.beginMutation()
+	if err != nil {
+		return nil, err
+	}
+	defer release()
 	job, eng, src, classify, err := s.prepareMigration(id, workers)
 	if err != nil {
 		return nil, err

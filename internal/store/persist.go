@@ -102,12 +102,39 @@ func Open(opts ...Option) (*Store, error) {
 // Durable reports whether the store writes a journal.
 func (s *Store) Durable() bool { return s.jnl != nil }
 
-// Close shuts every choreography's event engine down (failing
-// still-queued ingest submissions with ingest.ErrClosed) and releases
-// the journal, fsyncing it first. It does not checkpoint — pair it
-// with Checkpoint for a clean shutdown, or skip the checkpoint and let
-// the next Open replay the log.
+// Close drains the store and releases the journal. New mutations fail
+// with ErrClosed from the moment Close is entered; then every
+// migration sweep is canceled and awaited and every choreography's
+// event engine is shut down (failing still-queued ingest submissions
+// with ingest.ErrClosed, applying already-claimed batches) — both
+// append journal records from background goroutines, so both must be
+// quiet before the journal closes underneath them. Close does not
+// checkpoint — pair it with Checkpoint for a clean shutdown, or skip
+// the checkpoint and let the next Open replay the log. It is
+// idempotent; only the first call does the work.
 func (s *Store) Close() error {
+	s.closeMu.Lock()
+	if s.closed {
+		s.closeMu.Unlock()
+		return nil
+	}
+	s.closed = true
+	s.closeMu.Unlock()
+	// The Lock/Unlock above is a barrier: every admitted mutator has
+	// released the gate, so the migration-job set is final and no new
+	// ingest engine can appear — one cancel+wait round drains for good.
+	s.migMu.Lock()
+	jobs := make([]*migrate.Job, 0, len(s.migs))
+	for _, job := range s.migs {
+		jobs = append(jobs, job)
+	}
+	s.migMu.Unlock()
+	for _, job := range jobs {
+		job.Cancel()
+	}
+	for _, job := range jobs {
+		_, _ = job.Wait(context.Background())
+	}
 	for i := range s.shards {
 		sh := &s.shards[i]
 		sh.mu.RLock()
@@ -147,6 +174,11 @@ func (s *Store) Checkpoint(ctx context.Context) (CheckpointInfo, error) {
 	if err := ctxErr(ctx); err != nil {
 		return CheckpointInfo{}, err
 	}
+	release, err := s.beginMutation()
+	if err != nil {
+		return CheckpointInfo{}, err
+	}
+	defer release()
 	s.persistMu.Lock()
 	defer s.persistMu.Unlock()
 	data, err := s.serialize()
@@ -178,6 +210,7 @@ type walRecord struct {
 	MigJob    *recMigJob    `json:"migJob,omitempty"`
 	MigTags   *recMigTags   `json:"migTags,omitempty"`
 	MigShard  *recMigShard  `json:"migShard,omitempty"`
+	Idem      *recIdem      `json:"idem,omitempty"`
 }
 
 // recCreate journals Create.
@@ -269,6 +302,14 @@ type recMigTags struct {
 	Refs   []tagRef `json:"refs"`
 }
 
+// recIdem journals one idempotency key entering the dedup window,
+// with the outcome of the keyed commit it rode behind (see idem.go).
+type recIdem struct {
+	Key     string `json:"key"`
+	ID      string `json:"id"`
+	Version uint64 `json:"version"`
+}
+
 // recMigShard journals one shard folding into its job's checkpoint.
 type recMigShard struct {
 	Job      string             `json:"job"`
@@ -289,7 +330,7 @@ func (s *Store) appendWAL(rec *walRecord) error {
 		return fmt.Errorf("store: encoding journal record: %w", err)
 	}
 	if _, err := s.jnl.Append(data); err != nil {
-		return fmt.Errorf("store: %w", err)
+		return s.checkAppendErr(fmt.Errorf("store: %w", err))
 	}
 	return nil
 }
@@ -312,8 +353,21 @@ func (s *Store) persistRLock() func() {
 // caller holds the choreography's commit lock, which orders the
 // records of one choreography.
 func (s *Store) publish(e *entry, next *Snapshot, touched []*bpel.Process) error {
+	return s.publishIdem(e, next, touched, "")
+}
+
+// publishIdem is publish with an idempotency key: a non-empty key
+// additionally journals a recIdem record behind the commit record and
+// enters the key into the dedup window. The commit is already durable
+// and applied when the idem append runs, so an idem append failure
+// cannot fail the call — it only costs the retry its idempotent
+// success (it gets ErrConflict instead; see idem.go).
+func (s *Store) publishIdem(e *entry, next *Snapshot, touched []*bpel.Process, key string) error {
 	if s.jnl == nil {
 		e.snap.Store(next)
+		if key != "" {
+			s.idemRecord(key, IdemResult{ID: next.ID, Version: next.Version})
+		}
 		return nil
 	}
 	rec := recCommit{ID: next.ID, Version: next.Version, XMLs: make([]string, 0, len(touched))}
@@ -330,6 +384,10 @@ func (s *Store) publish(e *entry, next *Snapshot, touched []*bpel.Process) error
 		return err
 	}
 	e.snap.Store(next)
+	if key != "" {
+		_ = s.appendWAL(&walRecord{Idem: &recIdem{Key: key, ID: next.ID, Version: next.Version}})
+		s.idemRecord(key, IdemResult{ID: next.ID, Version: next.Version})
+	}
 	return nil
 }
 
@@ -364,17 +422,23 @@ func (s *Store) recordInstances(e *entry, party string, insts []instance.Instanc
 // shardObserver returns the journaling hook for one job's shard
 // folds. The closure checks the journal at call time, so it is safe
 // to install on jobs restored before journaling starts.
-func (s *Store) shardObserver(jobID string) func(int, migrate.Counts, []migrate.Stranded) {
-	return func(shard int, c migrate.Counts, stranded []migrate.Stranded) {
+func (s *Store) shardObserver(jobID string) func(int, migrate.Counts, []migrate.Stranded) error {
+	return func(shard int, c migrate.Counts, stranded []migrate.Stranded) error {
 		if s.jnl == nil {
-			return
+			return nil
 		}
 		rec := walRecord{MigShard: &recMigShard{Job: jobID, Shard: shard, Counts: c, Stranded: stranded}}
 		s.persistMu.RLock()
-		// A failed append cannot fail the fold; the shard is merely
-		// re-swept after the next recovery.
-		_ = s.appendWAL(&rec)
-		s.persistMu.RUnlock()
+		defer s.persistMu.RUnlock()
+		// A failed append fails the fold: the shard's tags are already
+		// durable (and idempotent to re-apply), but its "done" mark is
+		// not, so acking it would let a recovered job regress below
+		// what the client saw. The failed sweep resumes with this
+		// shard still pending.
+		if err := s.appendWAL(&rec); err != nil {
+			return s.checkAppendErr(err)
+		}
+		return nil
 	}
 }
 
@@ -590,6 +654,8 @@ func (s *Store) replay(data []byte) error {
 		return s.applyMigTags(rec.MigTags)
 	case rec.MigShard != nil:
 		return s.applyMigShard(rec.MigShard)
+	case rec.Idem != nil:
+		return s.applyIdem(rec.Idem)
 	default:
 		return fmt.Errorf("empty record")
 	}
@@ -749,6 +815,14 @@ func (s *Store) applyMigTags(rec *recMigTags) error {
 			r.schema = rec.Target
 		}
 	}
+	return nil
+}
+
+// applyIdem rebuilds the dedup window entry for one keyed commit.
+// idemRecord's eviction is FIFO over insertion order — replay in WAL
+// order reproduces the live window exactly.
+func (s *Store) applyIdem(rec *recIdem) error {
+	s.idemRecord(rec.Key, IdemResult{ID: rec.ID, Version: rec.Version})
 	return nil
 }
 

@@ -95,6 +95,12 @@ var (
 	// ErrInvalid marks malformed input (empty IDs, ownerless processes,
 	// empty batches).
 	ErrInvalid = fmt.Errorf("store: invalid argument")
+	// ErrDegraded marks a store in degraded read-only mode after an
+	// unrecoverable journal write error: reads serve the last committed
+	// state, every mutation fails (see degraded.go).
+	ErrDegraded = fmt.Errorf("store: degraded, read-only")
+	// ErrClosed marks a store after Close.
+	ErrClosed = fmt.Errorf("store: closed")
 )
 
 // pairKey keys one bilateral-consistency result. Party names are
@@ -164,6 +170,13 @@ type Stats struct {
 	// batches); OnlineMigrations counts instances the streaming path
 	// moved to a newer schema at a compliant point (see ingest.go).
 	EventsIngested, IngestRejected, OnlineMigrations uint64
+	// IngestLaneRejects breaks IngestRejected down by ingest lane,
+	// summed across all choreographies' engines.
+	IngestLaneRejects []uint64
+	// Degraded reports the store is in read-only mode; LastError is the
+	// journal failure that forced it there (empty while healthy).
+	Degraded  bool
+	LastError string
 }
 
 // Store is a sharded in-memory choreography store safe for concurrent
@@ -205,6 +218,22 @@ type Store struct {
 	eventsIngested   atomic.Uint64
 	ingestRejected   atomic.Uint64
 	onlineMigrations atomic.Uint64
+
+	// degradedState pins the first unrecoverable journal error (see
+	// degraded.go). closeMu is the mutation gate and the outermost
+	// store lock: every mutating entry point holds the read side for
+	// its duration (via beginMutation), Close flips closed under the
+	// write side, so the flip doubles as a drain barrier.
+	degradedState atomic.Pointer[degradedState]
+	closeMu       sync.RWMutex
+	closed        bool
+
+	// idem is the commit idempotency-key dedup window (see idem.go):
+	// key → applied outcome, with idemOrder the FIFO eviction order.
+	// idemMu sits inside persistMu (taken under the commit lock).
+	idemMu    sync.Mutex
+	idem      map[string]IdemResult
+	idemOrder []string
 }
 
 // DefaultShards is the shard count used unless WithShards overrides it.
@@ -248,7 +277,7 @@ func New(opts ...Option) *Store {
 
 // newStore builds the in-memory skeleton both New and Open share.
 func newStore(opts ...Option) *Store {
-	s := &Store{shards: make([]shard, DefaultShards), migs: map[string]*migrate.Job{}}
+	s := &Store{shards: make([]shard, DefaultShards), migs: map[string]*migrate.Job{}, idem: map[string]IdemResult{}}
 	for _, opt := range opts {
 		opt(s)
 	}
@@ -292,6 +321,11 @@ func (s *Store) Create(ctx context.Context, id string, syncOps []string) error {
 	if err := ctxErr(ctx); err != nil {
 		return err
 	}
+	release, err := s.beginMutation()
+	if err != nil {
+		return err
+	}
+	defer release()
 	if id == "" {
 		return fmt.Errorf("%w: empty choreography id", ErrInvalid)
 	}
@@ -326,6 +360,11 @@ func (s *Store) Delete(ctx context.Context, id string) error {
 	if err := ctxErr(ctx); err != nil {
 		return err
 	}
+	release, err := s.beginMutation()
+	if err != nil {
+		return err
+	}
+	defer release()
 	e, err := func() (*entry, error) {
 		unlock := s.persistRLock()
 		defer unlock()
@@ -390,6 +429,11 @@ func (s *Store) RegisterParty(ctx context.Context, id string, p *bpel.Process) (
 	if p == nil || p.Owner == "" {
 		return nil, fmt.Errorf("%w: register needs a process with an owner", ErrInvalid)
 	}
+	release, err := s.beginMutation()
+	if err != nil {
+		return nil, err
+	}
+	defer release()
 	e, err := s.entry(id)
 	if err != nil {
 		return nil, err
@@ -422,6 +466,11 @@ func (s *Store) UpdateParty(ctx context.Context, id string, p *bpel.Process, ifV
 	if p == nil || p.Owner == "" {
 		return nil, fmt.Errorf("%w: update needs a process with an owner", ErrInvalid)
 	}
+	release, err := s.beginMutation()
+	if err != nil {
+		return nil, err
+	}
+	defer release()
 	e, err := s.entry(id)
 	if err != nil {
 		return nil, err
@@ -481,6 +530,11 @@ func (s *Store) PutParties(ctx context.Context, id string, procs []*bpel.Process
 		}
 		seen[p.Owner] = true
 	}
+	release, err := s.beginMutation()
+	if err != nil {
+		return nil, err
+	}
+	defer release()
 	e, err := s.entry(id)
 	if err != nil {
 		return nil, err
@@ -710,6 +764,7 @@ func (s *Store) View(ctx context.Context, id, of, forParty string) (*afsa.Automa
 func (s *Store) Stats() Stats {
 	n := 0
 	byChoreo := map[string]int{}
+	var laneRejects []uint64
 	for i := range s.shards {
 		sh := &s.shards[i]
 		sh.mu.RLock()
@@ -730,13 +785,24 @@ func (s *Store) Stats() Stats {
 				ish.mu.Unlock()
 			}
 			byChoreo[e.id] = count
+			e.ingMu.Lock()
+			ing := e.ing
+			e.ingMu.Unlock()
+			if ing != nil {
+				for lane, r := range ing.Stats().LaneRejects {
+					for len(laneRejects) <= lane {
+						laneRejects = append(laneRejects, 0)
+					}
+					laneRejects[lane] += r
+				}
+			}
 		}
 	}
 	total := 0
 	for _, c := range byChoreo {
 		total += c
 	}
-	return Stats{
+	st := Stats{
 		Choreographies:          n,
 		ConsistencyHits:         s.consHits.Load(),
 		ConsistencyMisses:       s.consMisses.Load(),
@@ -750,5 +816,11 @@ func (s *Store) Stats() Stats {
 		EventsIngested:          s.eventsIngested.Load(),
 		IngestRejected:          s.ingestRejected.Load(),
 		OnlineMigrations:        s.onlineMigrations.Load(),
+		IngestLaneRejects:       laneRejects,
 	}
+	if err := s.Degraded(); err != nil {
+		st.Degraded = true
+		st.LastError = err.Error()
+	}
+	return st
 }

@@ -78,6 +78,10 @@ var (
 	ErrStoreExists   = store.ErrExists
 	ErrStoreConflict = store.ErrConflict
 	ErrStoreInvalid  = store.ErrInvalid
+	// ErrStoreDegraded marks mutations rejected because a journal
+	// failure could not be rolled back: the store serves reads only
+	// until the process is restarted over an intact journal.
+	ErrStoreDegraded = store.ErrDegraded
 )
 
 // Machine-readable choreod /v2/ error codes (ChoreoErrIs matches them).
@@ -88,7 +92,15 @@ const (
 	ChoreoCodeConflict          = server.CodeConflict
 	ChoreoCodeStaleVersion      = server.CodeStaleVersion
 	ChoreoCodeResourceExhausted = server.CodeResourceExhausted
+	ChoreoCodeUnavailable       = server.CodeUnavailable
 )
+
+// ChoreoRetry is the client-side retry/backoff policy; arm it with
+// ChoreoClient.SetRetry. Idempotent requests (reads, and mutations the
+// client keys with Idempotency-Key) retry through 503s and transport
+// failures with exponential backoff; 429 backpressure retries always,
+// honoring the server's retryAfter hint.
+type ChoreoRetry = server.Retry
 
 // ChoreoErrIs reports whether err is a choreod API error with the
 // given /v2/ code.

@@ -40,8 +40,8 @@ type target struct {
 // streaming event-ingestion path, and the mixed-traffic load harness.
 var defaultTargets = []target{
 	{Pkg: ".", Bench: "^(BenchmarkScenarioConsistency|BenchmarkIntersectScale|BenchmarkMinimizeScale|BenchmarkDeriveScale|BenchmarkScenarioCommitJournal)$"},
-	{Pkg: "./internal/store", Bench: "^(BenchmarkMigrateAll|BenchmarkIngestEvents)$"},
-	{Pkg: "./internal/loadgen", Bench: "^BenchmarkLoadgen$"},
+	{Pkg: "./internal/store", Bench: "^(BenchmarkMigrateAll|BenchmarkIngestEvents|BenchmarkChaosSoak)$"},
+	{Pkg: "./internal/loadgen", Bench: "^(BenchmarkLoadgen|BenchmarkLoadgenFaults)$"},
 }
 
 // Benchmark is one parsed result line.

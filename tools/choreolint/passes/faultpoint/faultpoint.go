@@ -1,0 +1,134 @@
+// Package faultpoint keeps the failpoint namespace static. The fault
+// framework's contract (internal/fault) is that every failpoint name
+// is declared once in the catalog (the fault package's Point*
+// constants), registered exactly once with fault.New by the package
+// owning the call site, and referenced by that same constant at every
+// arming site. A computed name defeats grep and the catalog; a name
+// outside the catalog is either a typo or an unregistered point that
+// every Arm will reject at runtime.
+//
+// The analyzer reports:
+//
+//   - fault.New whose name argument is not a compile-time string
+//     constant — registrations must be statically greppable;
+//   - fault.New of a name absent from the catalog;
+//   - two fault.New calls with the same name in one package (the
+//     runtime panic is the cross-package backstop);
+//   - fault.Arm / Disarm / Fires with a constant name outside the
+//     catalog (non-constant names — e.g. ranging over a slice of
+//     catalog constants — are left to the runtime lookup);
+//   - fault.ArmSpec whose constant spec names a point outside the
+//     catalog.
+//
+// The fault package itself is exempt: it defines the framework, and
+// its tests arm deliberately bogus names.
+package faultpoint
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+	"strings"
+
+	"repro/tools/choreolint/analysis"
+)
+
+// Analyzer reports failpoint names that are computed, duplicated, or
+// absent from the fault package's catalog.
+var Analyzer = &analysis.Analyzer{
+	Name: "faultpoint",
+	Doc:  "failpoint names are catalog constants: no computed names, duplicate registrations, or arming outside the catalog",
+	Run:  run,
+}
+
+// faultPath is the framework package; suffix-matched so the fixture
+// package (whose import graph the test loader rewrites under the
+// module root) resolves the same way production packages do.
+const faultPath = "internal/fault"
+
+func isFaultPkg(path string) bool {
+	return path == faultPath || strings.HasSuffix(path, "/"+faultPath)
+}
+
+func run(pass *analysis.Pass) error {
+	if isFaultPkg(pass.Pkg.Path()) {
+		return nil
+	}
+	catalog := catalogOf(pass.Pkg)
+	if catalog == nil {
+		// The package does not import the framework; nothing to check.
+		return nil
+	}
+	registered := map[string]bool{}
+	analysis.Preorder(pass.Files, func(n ast.Node) {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return
+		}
+		obj := analysis.CalleeOf(pass.TypesInfo, call)
+		if obj == nil || obj.Pkg() == nil || !isFaultPkg(obj.Pkg().Path()) || len(call.Args) == 0 {
+			return
+		}
+		name, isConst := constString(pass.TypesInfo, call.Args[0])
+		switch obj.Name() {
+		case "New":
+			switch {
+			case !isConst:
+				pass.Reportf(call.Args[0].Pos(), "failpoint name must be a compile-time constant from the fault catalog")
+			case !catalog[name]:
+				pass.Reportf(call.Args[0].Pos(), "failpoint %q is not in the fault catalog (internal/fault/catalog.go)", name)
+			case registered[name]:
+				pass.Reportf(call.Pos(), "failpoint %q registered twice in this package", name)
+			default:
+				registered[name] = true
+			}
+		case "Arm", "Disarm", "Fires":
+			if isConst && !catalog[name] {
+				pass.Reportf(call.Args[0].Pos(), "arming failpoint %q, which is not in the fault catalog", name)
+			}
+		case "ArmSpec":
+			if !isConst {
+				return
+			}
+			for _, entry := range strings.Split(name, ",") {
+				pt, _, ok := strings.Cut(strings.TrimSpace(entry), "=")
+				if ok && pt != "" && !catalog[pt] {
+					pass.Reportf(call.Args[0].Pos(), "spec arms failpoint %q, which is not in the fault catalog", pt)
+				}
+			}
+		}
+	})
+	return nil
+}
+
+// catalogOf collects the fault package's catalog — its exported
+// Point* string constants — from the import's export data, or nil
+// when the package does not import the framework.
+func catalogOf(pkg *types.Package) map[string]bool {
+	for _, imp := range pkg.Imports() {
+		if !isFaultPkg(imp.Path()) {
+			continue
+		}
+		catalog := map[string]bool{}
+		scope := imp.Scope()
+		for _, n := range scope.Names() {
+			if !strings.HasPrefix(n, "Point") {
+				continue
+			}
+			if c, ok := scope.Lookup(n).(*types.Const); ok && c.Val().Kind() == constant.String {
+				catalog[constant.StringVal(c.Val())] = true
+			}
+		}
+		return catalog
+	}
+	return nil
+}
+
+// constString resolves an expression to its compile-time string value.
+func constString(info *types.Info, e ast.Expr) (string, bool) {
+	tv, ok := info.Types[e]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+		return "", false
+	}
+	return constant.StringVal(tv.Value), true
+}

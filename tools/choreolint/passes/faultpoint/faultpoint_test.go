@@ -1,0 +1,15 @@
+package faultpoint_test
+
+import (
+	"testing"
+
+	"repro/tools/choreolint/checktest"
+	"repro/tools/choreolint/passes/faultpoint"
+)
+
+// TestFixture runs the analyzer over its seeded-violation fixture
+// package and requires every want comment to be reported — the proof
+// that the analyzer catches the invariant breach it encodes.
+func TestFixture(t *testing.T) {
+	checktest.Fixture(t, "faultpoint", faultpoint.Analyzer)
+}

@@ -7,6 +7,7 @@ import (
 	"repro/tools/choreolint/analysis"
 	"repro/tools/choreolint/passes/ctxfirst"
 	"repro/tools/choreolint/passes/errenvelope"
+	"repro/tools/choreolint/passes/faultpoint"
 	"repro/tools/choreolint/passes/lockorder"
 	"repro/tools/choreolint/passes/replaydeterminism"
 	"repro/tools/choreolint/passes/walexhaustive"
@@ -18,6 +19,7 @@ func All() []*analysis.Analyzer {
 	return []*analysis.Analyzer{
 		lockorder.Analyzer,
 		walexhaustive.Analyzer,
+		faultpoint.Analyzer,
 		replaydeterminism.Analyzer,
 		ctxfirst.Analyzer,
 		errenvelope.Analyzer,

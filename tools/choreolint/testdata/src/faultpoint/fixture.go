@@ -1,0 +1,43 @@
+// Package faultpoint is the seeded-violation fixture for the
+// faultpoint analyzer: computed, duplicated, and off-catalog failpoint
+// names next to the conforming shapes.
+package faultpoint
+
+import "repro/internal/fault"
+
+// Conforming: a catalog constant registered once.
+var good = fault.Point{}
+
+var okPoint = fault.New(fault.PointJournalOpenMkdir)
+
+func pointName() string { return "journal.open.mkdir" }
+
+var computed = fault.New(pointName()) // want "failpoint name must be a compile-time constant"
+
+var rogue = fault.New("rogue.surprise") // want `failpoint "rogue.surprise" is not in the fault catalog`
+
+var dup = fault.New(fault.PointJournalOpenMkdir) // want `failpoint "journal.open.mkdir" registered twice in this package`
+
+func armSites() {
+	// Conforming: catalog constant, and a non-constant name left to the
+	// runtime lookup.
+	_ = fault.Arm(fault.PointJournalAppendWrite, fault.Trigger{})
+	for _, pt := range []string{fault.PointJournalAppendWrite, fault.PointJournalAppendSync} {
+		_ = fault.Arm(pt, fault.Trigger{})
+	}
+
+	_ = fault.Arm("journal.append.writ", fault.Trigger{}) // want `arming failpoint "journal.append.writ", which is not in the fault catalog`
+	_ = fault.Disarm("no.such.point")                     // want `arming failpoint "no.such.point", which is not in the fault catalog`
+	_, _ = fault.Fires("no.such.point")                   // want `arming failpoint "no.such.point", which is not in the fault catalog`
+
+	_ = fault.ArmSpec(fault.PointJournalAppendWrite + "=p:0.05")
+	_ = fault.ArmSpec("journal.append.write=always,bogus.name=n:3") // want `spec arms failpoint "bogus.name", which is not in the fault catalog`
+}
+
+func use() {
+	_ = good
+	_ = okPoint
+	_ = computed
+	_ = rogue
+	_ = dup
+}
