@@ -63,6 +63,16 @@ type edge struct {
 
 // Automaton is a mutable annotated finite state automaton. The zero
 // value is unusable; use New or NewShared.
+//
+// Mutability ends at publication: every automaton reachable from a
+// published store snapshot (party publics, bilateral views, checker
+// DFAs) is read concurrently without locks, so mutations are only
+// legal while an automaton is still being constructed. choreolint's
+// snapshotimmut pass enforces this — the mutating methods below may
+// only be reached from //choreolint:builder functions or on freshly
+// constructed automata.
+//
+//choreolint:frozen
 type Automaton struct {
 	// Name is a human-readable identifier carried through operators
 	// for diagnostics ("Buyer public", "τ_Buyer(Accounting)", ...).

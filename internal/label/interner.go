@@ -31,6 +31,21 @@ type Interner struct {
 	ranks []int32
 }
 
+// View is the read-only label slice an Interner hands out: Labels()
+// returns the interner's live backing array, shared by every caller
+// and by the interner itself, so a write through a View corrupts the
+// symbol table under every automaton sharing it. choreolint's
+// snapshotimmut pass enforces the read-only contract.
+//
+//choreolint:frozen
+type View []Label
+
+// RankView is the read-only rank slice Ranks() hands out; like View it
+// aliases a cached array shared by every caller.
+//
+//choreolint:frozen
+type RankView []int32
+
 // NewInterner returns an interner holding only ε (as SymEpsilon).
 func NewInterner() *Interner {
 	return &Interner{
@@ -90,7 +105,7 @@ func (in *Interner) Len() int {
 // indexed by symbol. The returned slice must not be modified; it stays
 // valid while the interner grows (appends never move the prefix a
 // caller already holds).
-func (in *Interner) Labels() []Label {
+func (in *Interner) Labels() View {
 	in.mu.RLock()
 	l := in.labels
 	in.mu.RUnlock()
@@ -124,7 +139,7 @@ func (in *Interner) Labels() []Label {
 //     the contract promises.
 //
 // Pinned by TestRanksConcurrentWithIntern under -race.
-func (in *Interner) Ranks() []int32 {
+func (in *Interner) Ranks() RankView {
 	in.mu.RLock()
 	if len(in.ranks) == len(in.labels) {
 		r := in.ranks

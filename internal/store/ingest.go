@@ -199,6 +199,36 @@ type pendingInst struct {
 	tagTo  uint64 // online-migration advance decided this batch (0 = none)
 }
 
+// advance steps one event through the pending instance's simulated
+// replay: step the checker (an unknown symbol or a missing transition
+// pins the deviation at pos), then decide an online-migration tag
+// advance — the instance is at a compliant point under the current
+// schema and its tag trails it (tags never downgrade; the advance is
+// journaled as a fact by the caller).
+//
+// This runs once per event under the shard lock; allocgate proves it
+// allocation-free.
+//
+//choreolint:allocfree
+func (p *pendingInst) advance(sym label.Symbol, pos int, snapVersion uint64) {
+	if p.live.dev < 0 {
+		q := afsa.None
+		if sym != symUnknown {
+			q = p.live.chk.StepSym(p.live.state, sym)
+		}
+		if q == afsa.None {
+			p.live.dev = pos
+			p.live.state = afsa.None
+		} else {
+			p.live.state = q
+		}
+	}
+	if p.schema < snapVersion && p.live.status() == instance.Migratable {
+		p.tagTo = snapVersion
+		p.schema = snapVersion
+	}
+}
+
 // applyIngest applies one lane batch to its instance shard; it runs on
 // an engine worker, at most once concurrently per shard. See the file
 // comment for the three-phase protocol.
@@ -280,25 +310,7 @@ func (s *Store) applyIngest(e *entry, shard int, evs []ingest.Event) error {
 			pos += len(p.rec.inst.Trace)
 		}
 		p.added = append(p.added, ev.Label)
-		if p.live.dev < 0 {
-			q := afsa.None
-			if sym := syms[ev.Label]; sym != symUnknown {
-				q = p.live.chk.StepSym(p.live.state, sym)
-			}
-			if q == afsa.None {
-				p.live.dev = pos
-				p.live.state = afsa.None
-			} else {
-				p.live.state = q
-			}
-		}
-		// Online migration: the instance is at a compliant point under
-		// the current schema and its tag trails it — advance (tags
-		// never downgrade; the advance is journaled as a fact below).
-		if p.schema < snap.Version && p.live.status() == instance.Migratable {
-			p.tagTo = snap.Version
-			p.schema = snap.Version
-		}
+		p.advance(syms[ev.Label], pos, snap.Version)
 	}
 
 	// Phase 2: journal the batch with its decided facts.

@@ -577,7 +577,10 @@ func (s *Store) restoreSnapshot(data []byte) error {
 // built it: registry inferred over all privates, each public
 // re-derived and re-interned into one fresh shared interner, pair
 // cache recomputed — only the recorded versions are pinned instead of
-// recounted.
+// recounted. Builder: every snapshot and automaton it touches is under
+// construction here, published only at the end via e.snap.Store.
+//
+//choreolint:builder
 func (s *Store) restoreChoreo(pc persistedChoreo) error {
 	procs := make([]*bpel.Process, 0, len(pc.Parties))
 	for _, pp := range pc.Parties {

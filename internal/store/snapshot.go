@@ -91,6 +91,14 @@ func (ps *PartyState) complianceChecker() (*instance.Checker, error) {
 // Readers obtain a snapshot and work on it without locks; writers
 // build a new snapshot and publish it atomically. Party states that a
 // commit does not touch are shared between the old and new snapshot.
+//
+// The immutability is load-bearing: once a snapshot is published via
+// entry.snap, concurrent readers hold it lock-free, so any in-place
+// write is a data race. choreolint's snapshotimmut pass enforces this
+// — writes to a Snapshot are only legal in //choreolint:builder
+// functions operating on a not-yet-published copy.
+//
+//choreolint:frozen
 type Snapshot struct {
 	// ID is the choreography identifier.
 	ID string

@@ -133,6 +133,8 @@ type entry struct {
 	// append order, because shard slice indices are migration refs
 	// (see recordInstances in persist.go and applyIngest in
 	// ingest.go). Untaken on in-memory stores.
+	//
+	//choreolint:hotlock
 	instAppendMu sync.Mutex
 
 	// ing is the choreography's streaming event engine, created lazily
@@ -142,6 +144,7 @@ type entry struct {
 }
 
 type shard struct {
+	//choreolint:hotlock
 	mu      sync.RWMutex
 	entries map[string]*entry
 }
@@ -197,7 +200,8 @@ type Store struct {
 	journalDir   string
 	journalFsync bool
 	jnl          *journal.Log
-	persistMu    sync.RWMutex
+	//choreolint:hotlock
+	persistMu sync.RWMutex
 
 	// migs tracks bulk-migration jobs by job ID (see instances.go);
 	// migOrder is their creation order for bounded retention.
@@ -564,7 +568,11 @@ func (s *Store) PutParties(ctx context.Context, id string, procs []*bpel.Process
 // rebuildAll produces the successor snapshot with every proc in procs
 // registered (if new) or replaced, re-inferring the registry once over
 // the combined set and re-deriving only the supplied processes. Every
-// untouched party state is shared with cur.
+// untouched party state is shared with cur. Builder: the successor is
+// under construction until the caller publishes it; the automata it
+// re-interns are the freshly derived publics, never cur's.
+//
+//choreolint:builder
 func (s *Store) rebuildAll(ctx context.Context, cur *Snapshot, procs []*bpel.Process) (*Snapshot, error) {
 	reg, err := InferRegistry(cur.privatesWith(procs), cur.syncOps)
 	if err != nil {

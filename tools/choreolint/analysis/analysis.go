@@ -17,6 +17,8 @@ import (
 	"go/types"
 	"sort"
 	"strings"
+
+	"repro/tools/choreolint/analysis/summary"
 )
 
 // An Analyzer checks one invariant over a single package.
@@ -39,6 +41,11 @@ type Pass struct {
 	Files     []*ast.File
 	Pkg       *types.Package
 	TypesInfo *types.Info
+	// Summary carries the package's interprocedural function
+	// summaries, call graph, and marker tables (see
+	// tools/choreolint/analysis/summary). Drivers compute it once per
+	// package and share it across analyzers.
+	Summary *summary.Info
 
 	diags []Diagnostic
 }
@@ -64,12 +71,14 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 // findings in _test.go files are dropped (the invariants govern
 // production code; tests violate them deliberately — seeded
 // randomness, detached contexts in helpers, raw statuses in
-// fixtures), the rest come back sorted by position.
-func Run(analyzers []*Analyzer, fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info) ([]Diagnostic, error) {
+// fixtures), the rest come back in deterministic order: sorted by
+// file, line, column, analyzer name, then message, so repeated runs
+// and CI logs diff cleanly.
+func Run(analyzers []*Analyzer, fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info, sum *summary.Info) ([]Diagnostic, error) {
 	ignores := parseIgnores(fset, files)
 	var out []Diagnostic
 	for _, a := range analyzers {
-		pass := &Pass{Analyzer: a, Fset: fset, Files: files, Pkg: pkg, TypesInfo: info}
+		pass := &Pass{Analyzer: a, Fset: fset, Files: files, Pkg: pkg, TypesInfo: info, Summary: sum}
 		if err := a.Run(pass); err != nil {
 			return nil, fmt.Errorf("%s: %w", a.Name, err)
 		}
@@ -81,7 +90,21 @@ func Run(analyzers []*Analyzer, fset *token.FileSet, files []*ast.File, pkg *typ
 			out = append(out, d)
 		}
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].Pos < out[j].Pos })
+	sort.Slice(out, func(i, j int) bool {
+		pi, pj := fset.Position(out[i].Pos), fset.Position(out[j].Pos)
+		switch {
+		case pi.Filename != pj.Filename:
+			return pi.Filename < pj.Filename
+		case pi.Line != pj.Line:
+			return pi.Line < pj.Line
+		case pi.Column != pj.Column:
+			return pi.Column < pj.Column
+		case out[i].Analyzer != out[j].Analyzer:
+			return out[i].Analyzer < out[j].Analyzer
+		default:
+			return out[i].Message < out[j].Message
+		}
+	})
 	return out, nil
 }
 
@@ -146,6 +169,23 @@ func ReceiverField(info *types.Info, call *ast.CallExpr) string {
 		}
 	}
 	return ""
+}
+
+// ReceiverFieldVar resolves a method call's receiver to the struct
+// field it selects — the variable object, not just its name, so two
+// same-named fields on different structs stay distinct. Nil when the
+// receiver is not a field selection.
+func ReceiverFieldVar(info *types.Info, call *ast.CallExpr) *types.Var {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return nil
+	}
+	if recv, ok := ast.Unparen(sel.X).(*ast.SelectorExpr); ok {
+		if obj, ok := info.Uses[recv.Sel].(*types.Var); ok && obj.IsField() {
+			return obj
+		}
+	}
+	return nil
 }
 
 // IsContextType reports whether t is context.Context.

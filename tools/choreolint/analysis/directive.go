@@ -3,32 +3,57 @@ package analysis
 import (
 	"go/ast"
 	"go/token"
+	"go/types"
 	"strings"
 )
 
 // Suppression and marker directives.
 //
 // A finding is silenced with a staticcheck-style ignore directive on
-// the flagged line or the line directly above it:
+// the flagged line, the line directly above it, or — when the
+// directive documents or directly precedes a declaration, struct
+// field, or simple statement — anywhere within that construct's span:
 //
 //	//lint:ignore choreolint/lockorder reason the checkpoint cannot run here
 //	s.persistMu.RLock()
+//
+// The span rule is what makes multi-line constructs suppressible: a
+// directive in a function's doc comment covers the whole (possibly
+// wrapped) signature, a directive above a struct field covers the
+// field even when its own doc comment pushes the field line further
+// down, and a directive above a multi-line assignment or call
+// statement covers its continuation lines. Spans stay narrow on
+// purpose — a function directive covers the signature, never the
+// body, so one directive cannot blanket-silence a whole function.
 //
 // The directive names one analyzer (with or without the "choreolint/"
 // prefix), a comma-separated list, or "*" for all, and must carry a
 // reason — a bare //lint:ignore is itself ignored, so suppressions
 // stay justified. Marker directives (//choreolint:union,
-// //choreolint:replay) are the opposite: they opt declarations into a
-// check; analyzers read them through UnionStructs and MarkedFuncs.
+// //choreolint:replay, //choreolint:frozen, //choreolint:builder,
+// //choreolint:hotlock, //choreolint:allocfree) are the opposite: they
+// opt declarations into a check; analyzers read them through
+// UnionStructs, MarkedFuncs, MarkedFields and the summary engine's
+// marker tables.
 
-// ignoreSet records, per file and line, which analyzers are silenced.
-type ignoreSet map[string]map[int][]string
+// ignoreRange is one directive's coverage: the line span it silences
+// and the analyzers it names.
+type ignoreRange struct {
+	from, to int
+	names    []string
+}
 
-// parseIgnores collects every //lint:ignore directive. The directive
-// suppresses matching findings on its own line and the following one.
+// ignoreSet records each file's directive ranges.
+type ignoreSet map[string][]ignoreRange
+
+// parseIgnores collects every //lint:ignore directive and computes its
+// line span: its own line and the following one always, widened to the
+// full span of the syntax construct it documents or directly precedes.
 func parseIgnores(fset *token.FileSet, files []*ast.File) ignoreSet {
 	set := ignoreSet{}
 	for _, file := range files {
+		filename := ""
+		names := map[int][]string{} // directive line → analyzer names
 		for _, cg := range file.Comments {
 			for _, c := range cg.List {
 				rest, ok := strings.CutPrefix(c.Text, "//lint:ignore ")
@@ -40,28 +65,81 @@ func parseIgnores(fset *token.FileSet, files []*ast.File) ignoreSet {
 					continue // no reason given: not a valid suppression
 				}
 				pos := fset.Position(c.Pos())
-				lines := set[pos.Filename]
-				if lines == nil {
-					lines = map[int][]string{}
-					set[pos.Filename] = lines
-				}
-				names := strings.Split(fields[0], ",")
-				lines[pos.Line] = append(lines[pos.Line], names...)
+				filename = pos.Filename
+				names[pos.Line] = append(names[pos.Line], strings.Split(fields[0], ",")...)
 			}
+		}
+		if len(names) == 0 {
+			continue
+		}
+		ends := map[int]int{} // directive line → last covered line
+		for line := range names {
+			ends[line] = line + 1
+		}
+		widenIgnores(fset, file, names, ends)
+		for line, ns := range names {
+			set[filename] = append(set[filename], ignoreRange{from: line, to: ends[line], names: ns})
 		}
 	}
 	return set
 }
 
-// suppresses reports whether a directive at posn's line or the line
-// above names analyzer (or "*").
-func (s ignoreSet) suppresses(posn token.Position, analyzer string) bool {
-	lines := s[posn.Filename]
-	if lines == nil {
-		return false
+// widenIgnores extends each directive's coverage over the syntax
+// construct it is attached to. A directive is attached to a node when
+// it sits anywhere in the node's doc comment, on the line directly
+// above the node, or on the node's first line (trailing comment).
+func widenIgnores(fset *token.FileSet, file *ast.File, names map[int][]string, ends map[int]int) {
+	attach := func(doc *ast.CommentGroup, start, end token.Pos) {
+		startLine := fset.Position(start).Line
+		endLine := fset.Position(end).Line
+		claim := func(line int) {
+			if _, ok := names[line]; ok && endLine > ends[line] {
+				ends[line] = endLine
+			}
+		}
+		claim(startLine - 1)
+		claim(startLine)
+		if doc != nil {
+			for _, c := range doc.List {
+				claim(fset.Position(c.Pos()).Line)
+			}
+		}
 	}
-	for _, line := range []int{posn.Line, posn.Line - 1} {
-		for _, name := range lines[line] {
+	ast.Inspect(file, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.FuncDecl:
+			// The signature only: a directive on a function must not
+			// silence findings throughout its body.
+			attach(x.Doc, x.Pos(), x.Type.End())
+		case *ast.GenDecl:
+			attach(x.Doc, x.Pos(), x.End())
+		case *ast.TypeSpec:
+			attach(x.Doc, x.Pos(), x.End())
+		case *ast.ValueSpec:
+			attach(x.Doc, x.Pos(), x.End())
+		case *ast.Field:
+			attach(x.Doc, x.Pos(), x.End())
+		case *ast.KeyValueExpr:
+			attach(nil, x.Pos(), x.End())
+		case *ast.AssignStmt, *ast.ExprStmt, *ast.SendStmt, *ast.IncDecStmt,
+			*ast.DeferStmt, *ast.GoStmt, *ast.ReturnStmt, *ast.DeclStmt:
+			// Simple statements span only their own expressions, so the
+			// widening covers wrapped calls and literals without
+			// swallowing a block.
+			attach(nil, n.Pos(), n.End())
+		}
+		return true
+	})
+}
+
+// suppresses reports whether a directive covering posn's line names
+// analyzer (or "*").
+func (s ignoreSet) suppresses(posn token.Position, analyzer string) bool {
+	for _, r := range s[posn.Filename] {
+		if posn.Line < r.from || posn.Line > r.to {
+			continue
+		}
+		for _, name := range r.names {
 			name = strings.TrimPrefix(name, "choreolint/")
 			if name == "*" || name == analyzer {
 				return true
@@ -124,6 +202,34 @@ func MarkedFuncs(pass *Pass, marker string) []*ast.FuncDecl {
 				out = append(out, fd)
 			}
 		}
+	}
+	return out
+}
+
+// MarkedFields returns the struct fields whose doc or trailing comment
+// carries //choreolint:<marker> (for example the hot mutexes lockheldio
+// tracks), as their variable objects so same-named fields on different
+// structs stay distinct.
+func MarkedFields(pass *Pass, marker string) map[*types.Var]bool {
+	out := map[*types.Var]bool{}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			st, ok := n.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			for _, field := range st.Fields.List {
+				if !hasMarker(field.Doc, marker) && !hasMarker(field.Comment, marker) {
+					continue
+				}
+				for _, name := range field.Names {
+					if v, ok := pass.TypesInfo.Defs[name].(*types.Var); ok {
+						out[v] = true
+					}
+				}
+			}
+			return true
+		})
 	}
 	return out
 }

@@ -1,0 +1,130 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+// directiveSrc exercises every widening shape: a directive in a doc
+// comment covering a wrapped signature (but not the body), one above a
+// struct field whose own doc pushes the field line down, one above a
+// multi-line call statement, and a bare directive with no construct
+// (covering only its own line and the next).
+const directiveSrc = `package p
+
+// Wrapped keeps a legacy parameter order.
+//
+//lint:ignore choreolint/ctxfirst legacy wire order
+func Wrapped(
+	a int,
+	b string,
+) {
+	inBody(a, b)
+}
+
+type S struct {
+	//lint:ignore choreolint/errenvelope field carries raw errors
+	// extraDoc pushes the field line further down.
+	Field func(
+		x int,
+	) error
+	Other int
+}
+
+func body() {
+	//lint:ignore * wrapped call below
+	x := compute(
+		1,
+		2,
+	)
+	_ = x
+	y := compute(3, 4)
+	_ = y
+}
+
+//lint:ignore choreolint/lockorder bare directive
+
+func compute(a, b int) int { return a + b }
+func inBody(a int, b string) {}
+`
+
+// lineOf returns the 1-based line of the first occurrence of sub.
+func lineOf(t *testing.T, sub string) int {
+	t.Helper()
+	i := strings.Index(directiveSrc, sub)
+	if i < 0 {
+		t.Fatalf("%q not in source", sub)
+	}
+	return 1 + strings.Count(directiveSrc[:i], "\n")
+}
+
+// TestIgnoreWidening pins the suppression spans for multi-line
+// declarations, struct fields, and wrapped statements — the shapes a
+// line-below-only rule misses — and the narrowness guarantees: a
+// function directive never covers the body, and a directive never
+// covers an unrelated neighbor.
+func TestIgnoreWidening(t *testing.T) {
+	fset := token.NewFileSet()
+	file, err := parser.ParseFile(fset, "fixture.go", directiveSrc, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	set := parseIgnores(fset, []*ast.File{file})
+
+	at := func(sub string) token.Position {
+		return token.Position{Filename: "fixture.go", Line: lineOf(t, sub)}
+	}
+	cases := []struct {
+		sub      string
+		analyzer string
+		want     bool
+	}{
+		// The whole wrapped signature is covered...
+		{"func Wrapped(", "ctxfirst", true},
+		{"b string,", "ctxfirst", true},
+		// ...but only for the named analyzer, and never the body.
+		{"b string,", "lockorder", false},
+		{"inBody(a, b)", "ctxfirst", false},
+		// A field directive spans the field even when extra doc lines
+		// push it down, wrapped type included; the next field is out.
+		{"Field func(", "errenvelope", true},
+		{"x int,", "errenvelope", true},
+		{"Other int", "errenvelope", false},
+		// "*" covers every analyzer across the wrapped statement; the
+		// following statement is out.
+		{"x := compute(", "ctxfirst", true},
+		{"2,", "lockorder", true},
+		{"y := compute(3, 4)", "lockorder", false},
+		// A bare directive still covers its own line and the next.
+		{"//lint:ignore choreolint/lockorder bare directive", "lockorder", true},
+	}
+	for _, tc := range cases {
+		if got := set.suppresses(at(tc.sub), tc.analyzer); got != tc.want {
+			t.Errorf("suppresses(line of %q, %s) = %v, want %v", tc.sub, tc.analyzer, got, tc.want)
+		}
+	}
+
+	// The bare directive's span is its line plus one.
+	bare := lineOf(t, "bare directive")
+	if set.suppresses(token.Position{Filename: "fixture.go", Line: bare + 2}, "lockorder") {
+		t.Errorf("bare directive covers line %d; want only %d-%d", bare+2, bare, bare+1)
+	}
+}
+
+// TestIgnoreRequiresReason checks that a reasonless directive is inert:
+// suppressions must stay justified.
+func TestIgnoreRequiresReason(t *testing.T) {
+	src := "package p\n\n//lint:ignore choreolint/lockorder\nvar X int\n"
+	fset := token.NewFileSet()
+	file, err := parser.ParseFile(fset, "bare.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	set := parseIgnores(fset, []*ast.File{file})
+	if set.suppresses(token.Position{Filename: "bare.go", Line: 4}, "lockorder") {
+		t.Error("reasonless //lint:ignore suppressed a finding; want it ignored")
+	}
+}

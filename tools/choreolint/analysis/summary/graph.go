@@ -1,0 +1,171 @@
+package summary
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Graph is the static intra-package call graph: declared functions and
+// methods, the same-package functions each one calls directly, and an
+// over-approximation of its indirect callees (method values taken,
+// same-package implementations of interface methods it calls).
+// Function literals are attributed to the declaration they appear in:
+// a goroutine or closure body inside f counts as f's calls, the
+// conservative direction for every check built on the graph.
+type Graph struct {
+	// Decls maps each declared function object to its syntax.
+	Decls map[*types.Func]*ast.FuncDecl
+	// Calls maps each declared function to the distinct same-package
+	// functions it calls directly (only those with a declaration).
+	Calls map[*types.Func][]*types.Func
+	// Approx maps each declared function to same-package functions it
+	// may call indirectly: functions and methods whose value it takes
+	// (a method value passed as a callback may be invoked), and
+	// declared methods implementing an interface method it calls.
+	Approx map[*types.Func][]*types.Func
+}
+
+// BuildGraph constructs the package's call graph from its files.
+func BuildGraph(files []*ast.File, info *types.Info) *Graph {
+	g := &Graph{
+		Decls:  map[*types.Func]*ast.FuncDecl{},
+		Calls:  map[*types.Func][]*types.Func{},
+		Approx: map[*types.Func][]*types.Func{},
+	}
+	for _, file := range files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok {
+				continue
+			}
+			if fn, ok := info.Defs[fd.Name].(*types.Func); ok {
+				g.Decls[fn] = fd
+			}
+		}
+	}
+	// Declared methods by name, for the interface-callee approximation.
+	methodsByName := map[string][]*types.Func{}
+	for fn := range g.Decls {
+		if recv := fn.Type().(*types.Signature).Recv(); recv != nil {
+			methodsByName[fn.Name()] = append(methodsByName[fn.Name()], fn)
+		}
+	}
+	for fn, fd := range g.Decls {
+		seenCall := map[*types.Func]bool{}
+		seenApprox := map[*types.Func]bool{}
+		addApprox := func(callee *types.Func) {
+			if _, declared := g.Decls[callee]; declared && !seenApprox[callee] {
+				seenApprox[callee] = true
+				g.Approx[fn] = append(g.Approx[fn], callee)
+			}
+		}
+		// Identifiers consumed as direct callees; every other use of a
+		// declared function's identifier is a value reference.
+		calleeIdents := map[*ast.Ident]bool{}
+		ast.Inspect(fd, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			var id *ast.Ident
+			switch fun := ast.Unparen(call.Fun).(type) {
+			case *ast.Ident:
+				id = fun
+			case *ast.SelectorExpr:
+				id = fun.Sel
+			default:
+				return true
+			}
+			calleeIdents[id] = true
+			callee, ok := info.Uses[id].(*types.Func)
+			if !ok {
+				return true
+			}
+			callee = callee.Origin()
+			if recv := callee.Type().(*types.Signature).Recv(); recv != nil && types.IsInterface(recv.Type()) {
+				// Interface method call: approximate with every declared
+				// same-package method of that name whose receiver type
+				// implements the interface.
+				iface, _ := recv.Type().Underlying().(*types.Interface)
+				if iface != nil {
+					for _, m := range methodsByName[callee.Name()] {
+						rt := m.Type().(*types.Signature).Recv().Type()
+						if types.Implements(rt, iface) || types.Implements(types.NewPointer(rt), iface) {
+							addApprox(m)
+						}
+					}
+				}
+				return true
+			}
+			if _, declared := g.Decls[callee]; declared && !seenCall[callee] {
+				seenCall[callee] = true
+				g.Calls[fn] = append(g.Calls[fn], callee)
+			}
+			return true
+		})
+		ast.Inspect(fd, func(n ast.Node) bool {
+			id, ok := n.(*ast.Ident)
+			if !ok || calleeIdents[id] {
+				return true
+			}
+			if ref, ok := info.Uses[id].(*types.Func); ok {
+				addApprox(ref.Origin())
+			}
+			return true
+		})
+	}
+	return g
+}
+
+// Implementers returns the declared same-package methods that may
+// stand behind a call to the interface method iface: same name,
+// receiver type implementing the interface. Nil for a non-interface
+// method.
+func (g *Graph) Implementers(ifaceMethod *types.Func) []*types.Func {
+	recv := ifaceMethod.Type().(*types.Signature).Recv()
+	if recv == nil || !types.IsInterface(recv.Type()) {
+		return nil
+	}
+	iface, _ := recv.Type().Underlying().(*types.Interface)
+	if iface == nil {
+		return nil
+	}
+	var out []*types.Func
+	for fn := range g.Decls {
+		r := fn.Type().(*types.Signature).Recv()
+		if r == nil || fn.Name() != ifaceMethod.Name() {
+			continue
+		}
+		rt := r.Type()
+		if types.Implements(rt, iface) || types.Implements(types.NewPointer(rt), iface) {
+			out = append(out, fn)
+		}
+	}
+	return out
+}
+
+// Reachable returns every function reachable from roots through
+// direct calls — and through the approximated indirect edges when
+// approx is set — including the roots themselves.
+func (g *Graph) Reachable(roots []*types.Func, approx bool) map[*types.Func]bool {
+	reached := map[*types.Func]bool{}
+	var visit func(fn *types.Func)
+	visit = func(fn *types.Func) {
+		if reached[fn] {
+			return
+		}
+		reached[fn] = true
+		for _, callee := range g.Calls[fn] {
+			visit(callee)
+		}
+		if approx {
+			for _, callee := range g.Approx[fn] {
+				visit(callee)
+			}
+		}
+	}
+	for _, fn := range roots {
+		visit(fn)
+	}
+	return reached
+}

@@ -32,7 +32,9 @@ import (
 	"testing"
 
 	"repro/tools/choreolint/analysis"
+	"repro/tools/choreolint/analysis/summary"
 	"repro/tools/choreolint/load"
+	"repro/tools/choreolint/passes"
 )
 
 // listedPackage is the slice of `go list -json` output the loader reads.
@@ -62,7 +64,13 @@ func Fixture(t *testing.T, name string, a *analysis.Analyzer) {
 	if len(unit.TypeErrors) > 0 {
 		t.Fatalf("fixture %s does not type-check: %v", name, unit.TypeErrors[0])
 	}
-	diags, err := analysis.Run([]*analysis.Analyzer{a}, unit.Fset, unit.Files, unit.Pkg, unit.TypesInfo)
+	sum := summary.Compute(&summary.Context{
+		Fset:      unit.Fset,
+		Files:     unit.Files,
+		Pkg:       unit.Pkg,
+		TypesInfo: unit.TypesInfo,
+	}, passes.Collectors())
+	diags, err := analysis.Run([]*analysis.Analyzer{a}, unit.Fset, unit.Files, unit.Pkg, unit.TypesInfo, sum)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -31,6 +31,7 @@ import (
 	"strings"
 
 	"repro/tools/choreolint/analysis"
+	"repro/tools/choreolint/analysis/summary"
 	"repro/tools/choreolint/load"
 	"repro/tools/choreolint/passes"
 )
@@ -63,6 +64,21 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("choreolint: ")
 	args := os.Args[1:]
+	// The go command forwards declared vet flags (today: -json) ahead
+	// of the unit's .cfg argument.
+	jsonOut := false
+	for len(args) > 0 {
+		switch arg := args[0]; {
+		case arg == "-json" || arg == "--json" || arg == "-json=true" || arg == "--json=true":
+			jsonOut = true
+			args = args[1:]
+		case arg == "-json=false" || arg == "--json=false":
+			args = args[1:]
+		default:
+			goto parsed
+		}
+	}
+parsed:
 	switch {
 	case len(args) == 1 && (args[0] == "-V=full" || args[0] == "--V=full"):
 		printVersion()
@@ -71,9 +87,9 @@ func main() {
 	case len(args) >= 1 && args[0] == "help":
 		printHelp()
 	case len(args) == 1 && strings.HasSuffix(args[0], ".cfg"):
-		os.Exit(checkUnit(args[0]))
+		os.Exit(checkUnit(args[0], jsonOut))
 	case len(args) >= 1:
-		os.Exit(rerunUnderGoVet(args))
+		os.Exit(rerunUnderGoVet(args, jsonOut))
 	default:
 		printHelp()
 		os.Exit(2)
@@ -112,6 +128,7 @@ func printFlags() {
 	data, err := json.MarshalIndent([]jsonFlag{
 		{Name: "V", Bool: true, Usage: "print version and exit"},
 		{Name: "flags", Bool: true, Usage: "print analyzer flags in JSON"},
+		{Name: "json", Bool: true, Usage: "emit JSON output instead of text diagnostics"},
 	}, "", "\t")
 	if err != nil {
 		log.Fatal(err)
@@ -136,12 +153,16 @@ func printHelp() {
 
 // rerunUnderGoVet turns a direct `choreolint ./...` invocation into
 // the real thing: go vet drives this same binary as its vettool.
-func rerunUnderGoVet(args []string) int {
+func rerunUnderGoVet(args []string, jsonOut bool) int {
 	self, err := os.Executable()
 	if err != nil {
 		log.Fatal(err)
 	}
-	cmd := exec.Command("go", append([]string{"vet", "-vettool=" + self}, args...)...)
+	vetArgs := []string{"vet", "-vettool=" + self}
+	if jsonOut {
+		vetArgs = append(vetArgs, "-json")
+	}
+	cmd := exec.Command("go", append(vetArgs, args...)...)
 	cmd.Stdout, cmd.Stderr = os.Stdout, os.Stderr
 	if err := cmd.Run(); err != nil {
 		if ee, ok := err.(*exec.ExitError); ok {
@@ -153,9 +174,17 @@ func rerunUnderGoVet(args []string) int {
 }
 
 // checkUnit analyzes the single compilation unit described by the
-// config file, printing findings to stderr; it returns the process
-// exit code (1 when findings exist, as go vet expects).
-func checkUnit(cfgFile string) int {
+// config file, printing findings to stderr (or JSON to stdout); it
+// returns the process exit code (1 when findings exist, as go vet
+// expects; JSON mode always exits 0, mirroring unitchecker).
+//
+// Dependency units arrive with VetxOnly set: the go command wants
+// only the package's exported facts. For packages of this module the
+// summary engine's facts are computed and written for real — that is
+// the channel that makes cross-package calls visible to the
+// interprocedural passes — while standard-library and external
+// dependencies get the empty facts file and stay on the fast path.
+func checkUnit(cfgFile string, jsonOut bool) int {
 	data, err := os.ReadFile(cfgFile)
 	if err != nil {
 		log.Fatal(err)
@@ -164,11 +193,10 @@ func checkUnit(cfgFile string) int {
 	if err := json.Unmarshal(data, &cfg); err != nil {
 		log.Fatalf("cannot decode JSON config file %s: %v", cfgFile, err)
 	}
-	// The go command asks for dependency packages only to collect
-	// facts; choreolint's analyzers are package-local and export
-	// none, so a facts-only unit is satisfied by the empty output.
-	defer writeVetx(&cfg)
-	if cfg.VetxOnly {
+	inModule := cfg.ModulePath != "" &&
+		(cfg.ImportPath == cfg.ModulePath || strings.HasPrefix(cfg.ImportPath, cfg.ModulePath+"/"))
+	if cfg.VetxOnly && !inModule {
+		writeVetx(&cfg, nil)
 		return 0
 	}
 	unit, err := load.Package(&load.Config{
@@ -182,14 +210,34 @@ func checkUnit(cfgFile string) int {
 		err = unit.TypeErrors[0]
 	}
 	if err != nil {
+		writeVetx(&cfg, nil)
 		if cfg.SucceedOnTypecheckFailure {
 			return 0 // the compiler will report the real problem
 		}
 		log.Fatalf("typechecking %s: %v", cfg.ImportPath, err)
 	}
-	diags, err := analysis.Run(passes.All(), unit.Fset, unit.Files, unit.Pkg, unit.TypesInfo)
+	sum := summary.Compute(&summary.Context{
+		Fset:      unit.Fset,
+		Files:     unit.Files,
+		Pkg:       unit.Pkg,
+		TypesInfo: unit.TypesInfo,
+		Imports:   &vetxImporter{cfg: &cfg},
+	}, passes.Collectors())
+	facts, err := sum.Encode()
 	if err != nil {
 		log.Fatal(err)
+	}
+	writeVetx(&cfg, facts)
+	if cfg.VetxOnly {
+		return 0
+	}
+	diags, err := analysis.Run(passes.All(), unit.Fset, unit.Files, unit.Pkg, unit.TypesInfo, sum)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if jsonOut {
+		printJSONDiags(&cfg, unit, diags)
+		return 0
 	}
 	for _, d := range diags {
 		fmt.Fprintf(os.Stderr, "%s: %s [choreolint/%s]\n", unit.Fset.Position(d.Pos), d.Message, d.Analyzer)
@@ -200,13 +248,61 @@ func checkUnit(cfgFile string) int {
 	return 0
 }
 
+// printJSONDiags emits the unitchecker JSON shape — import path →
+// analyzer → diagnostics — which `go vet -json` aggregates across
+// packages.
+func printJSONDiags(cfg *config, unit *load.Unit, diags []analysis.Diagnostic) {
+	type jsonDiag struct {
+		Posn    string `json:"posn"`
+		Message string `json:"message"`
+	}
+	byAnalyzer := map[string][]jsonDiag{}
+	for _, d := range diags {
+		name := "choreolint/" + d.Analyzer
+		byAnalyzer[name] = append(byAnalyzer[name], jsonDiag{
+			Posn:    unit.Fset.Position(d.Pos).String(),
+			Message: d.Message,
+		})
+	}
+	data, err := json.MarshalIndent(map[string]map[string][]jsonDiag{cfg.ImportPath: byAnalyzer}, "", "\t")
+	if err != nil {
+		log.Fatal(err)
+	}
+	os.Stdout.Write(data)
+	os.Stdout.Write([]byte("\n"))
+}
+
+// vetxImporter resolves dependency summaries from the facts files the
+// go command threads through PackageVetx; per-package decoding is
+// cached by the summary context.
+type vetxImporter struct {
+	cfg *config
+}
+
+func (v *vetxImporter) Facts(pkgPath string) *summary.File {
+	file, ok := v.cfg.PackageVetx[pkgPath]
+	if !ok {
+		return nil
+	}
+	data, err := os.ReadFile(file)
+	if err != nil || len(data) == 0 {
+		return nil
+	}
+	f, err := summary.Decode(data)
+	if err != nil {
+		log.Fatalf("decoding summary facts of %s: %v", pkgPath, err)
+	}
+	return f
+}
+
 // writeVetx satisfies the protocol's facts output: the go command
-// caches the (empty) facts file alongside the unit's vet result.
-func writeVetx(cfg *config) {
+// caches the facts file alongside the unit's vet result and threads
+// it to dependent units via PackageVetx.
+func writeVetx(cfg *config, facts []byte) {
 	if cfg.VetxOutput == "" {
 		return
 	}
-	if err := os.WriteFile(cfg.VetxOutput, nil, 0o666); err != nil {
+	if err := os.WriteFile(cfg.VetxOutput, facts, 0o666); err != nil {
 		log.Fatal(err)
 	}
 }

@@ -1,0 +1,572 @@
+// Package lockheldio generalizes lockorder's held-state walk into a
+// blocking-operation check: while a mutex field marked
+// //choreolint:hotlock is held (the store's persistMu, instAppendMu,
+// and the shard mutexes), nothing slow or unbounded may run — no
+// os.File I/O or fsync, no net calls, no time.Sleep, and no
+// unbuffered channel sends. Those locks sit on the serving path;
+// every reader and mutator queues behind them, so one fsync or one
+// blocked send under a shard lock turns a sub-millisecond commit into
+// a pile-up.
+//
+// The one sanctioned exception is the journal: WAL appends must
+// happen under the locks (per-key WAL order equals in-memory order),
+// and the journal package owns its own buffering and fsync policy.
+// Calls into repro/internal/journal are therefore allowlisted; any
+// other path to I/O — direct, through a same-package helper
+// (summary-engine fact, fixed point over the call graph), or through
+// another module package (vetx summary facts) — is reported at the
+// call that runs it under the lock.
+//
+// Sends are flagged only when blocking is possible: a send on a
+// channel made locally with a constant positive capacity, or a send
+// inside a select that has a default case, is allowed. Held-state
+// tracking mirrors lockorder, including deferred releases and the
+// persistRLock idiom (a function returning with a hot lock held marks
+// its callers as holding it).
+package lockheldio
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+	"strings"
+
+	"repro/tools/choreolint/analysis"
+	"repro/tools/choreolint/analysis/summary"
+)
+
+// Analyzer reports blocking operations under //choreolint:hotlock mutexes.
+var Analyzer = &analysis.Analyzer{
+	Name: "lockheldio",
+	Doc:  "no file I/O, net calls, sleeps, or unbuffered sends while a //choreolint:hotlock mutex is held",
+	Run:  run,
+}
+
+// Summary bits: the kinds of blocking operation a function performs
+// (directly or transitively, journal excepted).
+const (
+	doesFileIO = 1 << iota
+	doesNet
+	doesSleep
+	doesChanSend
+)
+
+const allOps = doesFileIO | doesNet | doesSleep | doesChanSend
+
+// journalPkg is the allowlisted append path.
+const journalPkg = "repro/internal/journal"
+
+// leakPrefix tags a leaked (returned-held) hot lock in Fact.Strings.
+const leakPrefix = "leaks:"
+
+// osFileFuncs are the file-touching package functions of os.
+var osFileFuncs = map[string]bool{
+	"Create": true, "CreateTemp": true, "Open": true, "OpenFile": true,
+	"ReadFile": true, "WriteFile": true, "ReadDir": true, "Remove": true,
+	"RemoveAll": true, "Rename": true, "Mkdir": true, "MkdirAll": true,
+	"MkdirTemp": true, "Truncate": true, "Chmod": true, "Chtimes": true,
+	"Link": true, "Symlink": true,
+}
+
+// netIONames and httpIONames are the identifiers of net and net/http
+// that actually touch the wire (or the request body). The rest of
+// those packages — Request.Context, PathValue, Addr.String, header
+// plumbing — are pure accessors and must not count as network I/O.
+var netIONames = map[string]bool{
+	"Dial": true, "DialTimeout": true, "DialTCP": true, "DialUDP": true,
+	"DialUnix": true, "DialIP": true,
+	"Listen": true, "ListenTCP": true, "ListenUDP": true, "ListenUnix": true,
+	"ListenPacket": true, "ListenIP": true,
+	"Accept": true, "AcceptTCP": true, "AcceptUnix": true,
+	"Read": true, "ReadFrom": true, "ReadFromUDP": true, "ReadMsgUDP": true,
+	"Write": true, "WriteTo": true, "WriteToUDP": true, "WriteMsgUDP": true,
+	"Close": true, "CloseRead": true, "CloseWrite": true,
+	"LookupHost": true, "LookupIP": true, "LookupAddr": true, "LookupCNAME": true,
+	"LookupMX": true, "LookupNS": true, "LookupPort": true, "LookupSRV": true,
+	"LookupTXT": true,
+}
+
+var httpIONames = map[string]bool{
+	"Do": true, "Get": true, "Head": true, "Post": true, "PostForm": true,
+	"ListenAndServe": true, "ListenAndServeTLS": true, "Serve": true,
+	"ServeTLS": true, "Shutdown": true, "Close": true,
+	"Write": true, "WriteHeader": true, "Flush": true, "FlushError": true,
+	"ReadRequest": true, "ReadResponse": true, "Redirect": true,
+	"ServeFile": true, "ServeContent": true, "Error": true, "NotFound": true,
+	"ParseForm": true, "ParseMultipartForm": true, "FormValue": true,
+	"PostFormValue": true, "FormFile": true,
+}
+
+// Collector computes each function's blocking-operation bits and the
+// hot locks it returns while holding.
+var Collector = &summary.Collector{
+	Name: "lockheldio",
+	Scan: scan,
+}
+
+func scan(c *summary.Context, fn *types.Func, decl *ast.FuncDecl, cur summary.Lookup) summary.Fact {
+	if decl == nil || decl.Body == nil {
+		return summary.Fact{}
+	}
+	hot, ok := c.Cache["lockheldio.hot"].(map[*types.Var]bool)
+	if !ok {
+		hot = hotLocks(c.Files, c.TypesInfo)
+		c.Cache["lockheldio.hot"] = hot
+	}
+	rel := releaseVars(c.TypesInfo, decl, cur)
+	var f summary.Fact
+	held := map[string]int{}
+	// deferred counts releases scheduled with defer: the lock is held
+	// for the rest of the body but NOT past return, so it must not
+	// become a leak fact.
+	deferred := map[string]int{}
+	ast.Inspect(decl.Body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.DeferStmt:
+			if name, _, release := hotLockCall(c.TypesInfo, hot, x.Call); release && name != "" {
+				deferred[name]++
+				return false
+			}
+			if locks := releasedBy(c.TypesInfo, rel, x.Call); len(locks) > 0 {
+				for _, l := range locks {
+					deferred[l]++
+				}
+				return false
+			}
+		case *ast.SendStmt:
+			if blockingSend(c.TypesInfo, decl, x) {
+				f.Bits |= doesChanSend
+			}
+		case *ast.SelectStmt:
+			if selectHasDefault(x) {
+				return false // non-blocking by construction
+			}
+		case *ast.CallExpr:
+			if name, acquire, release := hotLockCall(c.TypesInfo, hot, x); name != "" {
+				if acquire {
+					held[name]++
+				} else if release && held[name] > 0 {
+					held[name]--
+				}
+				return true
+			}
+			if locks := releasedBy(c.TypesInfo, rel, x); len(locks) > 0 {
+				for _, l := range locks {
+					if held[l] > 0 {
+						held[l]--
+					}
+				}
+				return true
+			}
+			if op, _ := directOp(c.TypesInfo, x); op != 0 {
+				f.Bits |= op
+				return true
+			}
+			callee, ok := analysis.CalleeOf(c.TypesInfo, x).(*types.Func)
+			if !ok {
+				return true
+			}
+			f.Bits |= calleeBits(c.Graph, cur, callee)
+			for _, leaked := range leakedLocks(cur(callee)) {
+				held[leaked]++
+			}
+		}
+		return true
+	})
+	for name, n := range held {
+		if n-deferred[name] > 0 {
+			f.AddString(leakPrefix + name)
+		}
+	}
+	f.Bits &= allOps
+	return f
+}
+
+// releaseVars maps function-typed variables assigned from a
+// lock-leaking call to the locks that call acquired — the
+// `release := s.persistRLock(); defer release()` idiom. Calling or
+// deferring such a variable releases those locks.
+func releaseVars(info *types.Info, decl *ast.FuncDecl, cur summary.Lookup) map[types.Object][]string {
+	out := map[types.Object][]string{}
+	record := func(lhs []ast.Expr, rhs ast.Expr) {
+		call, ok := ast.Unparen(rhs).(*ast.CallExpr)
+		if !ok {
+			return
+		}
+		callee, ok := analysis.CalleeOf(info, call).(*types.Func)
+		if !ok {
+			return
+		}
+		locks := leakedLocks(cur(callee))
+		if len(locks) == 0 {
+			return
+		}
+		for _, l := range lhs {
+			id, ok := ast.Unparen(l).(*ast.Ident)
+			if !ok || id.Name == "_" {
+				continue
+			}
+			obj := info.ObjectOf(id)
+			if obj == nil {
+				continue
+			}
+			if _, ok := types.Unalias(obj.Type()).(*types.Signature); ok {
+				out[obj] = locks
+			}
+		}
+	}
+	ast.Inspect(decl, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.AssignStmt:
+			if len(x.Rhs) == 1 {
+				record(x.Lhs, x.Rhs[0])
+			} else {
+				for i := range x.Rhs {
+					if i < len(x.Lhs) {
+						record(x.Lhs[i:i+1], x.Rhs[i])
+					}
+				}
+			}
+		case *ast.ValueSpec:
+			if len(x.Values) == 1 {
+				ids := make([]ast.Expr, len(x.Names))
+				for i, id := range x.Names {
+					ids[i] = id
+				}
+				record(ids, x.Values[0])
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// releasedBy returns the locks released by calling a release variable
+// (empty when the call is not one).
+func releasedBy(info *types.Info, rel map[types.Object][]string, call *ast.CallExpr) []string {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	return rel[info.ObjectOf(id)]
+}
+
+// calleeBits folds one callee's blocking bits, with the journal
+// allowlist and the interface approximation applied.
+func calleeBits(g *summary.Graph, cur summary.Lookup, callee *types.Func) uint64 {
+	if callee.Pkg() != nil && callee.Pkg().Path() == journalPkg {
+		return 0 // the WAL's own append path is the sanctioned exception
+	}
+	if recv := callee.Type().(*types.Signature).Recv(); recv != nil && types.IsInterface(recv.Type()) {
+		var bits uint64
+		for _, impl := range g.Implementers(callee) {
+			bits |= cur(impl).Bits
+		}
+		return bits & allOps
+	}
+	return cur(callee).Bits & allOps
+}
+
+// leakedLocks decodes the hot locks a callee returns while holding.
+func leakedLocks(f summary.Fact) []string {
+	var out []string
+	for _, s := range f.Strings {
+		if name, ok := strings.CutPrefix(s, leakPrefix); ok {
+			out = append(out, name)
+		}
+	}
+	return out
+}
+
+func run(pass *analysis.Pass) error {
+	hot := hotLocks(pass.Files, pass.TypesInfo)
+	graph := pass.Summary.Graph()
+	cur := pass.Summary.Lookup("lockheldio")
+	for _, decl := range graph.Decls {
+		checkFunc(pass, hot, graph, cur, decl)
+	}
+	return nil
+}
+
+// checkFunc re-walks one function in source order, tracking the held
+// hot locks, and reports every blocking operation inside a held
+// region.
+func checkFunc(pass *analysis.Pass, hot map[*types.Var]bool, graph *summary.Graph, cur summary.Lookup, decl *ast.FuncDecl) {
+	if decl == nil || decl.Body == nil {
+		return
+	}
+	rel := releaseVars(pass.TypesInfo, decl, cur)
+	held := map[string]int{}
+	heldNames := func() string {
+		var names []string
+		for name, n := range held {
+			if n > 0 {
+				names = append(names, name)
+			}
+		}
+		if len(names) == 0 {
+			return ""
+		}
+		// Deterministic message regardless of map order.
+		for i := 1; i < len(names); i++ {
+			for j := i; j > 0 && names[j] < names[j-1]; j-- {
+				names[j], names[j-1] = names[j-1], names[j]
+			}
+		}
+		return strings.Join(names, "+")
+	}
+	ast.Inspect(decl.Body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.DeferStmt:
+			// A deferred release keeps the lock held for the rest of
+			// the body; operations after it are still reported.
+			if name, _, release := hotLockCall(pass.TypesInfo, hot, x.Call); release && name != "" {
+				return false
+			}
+			if len(releasedBy(pass.TypesInfo, rel, x.Call)) > 0 {
+				return false
+			}
+		case *ast.SendStmt:
+			if locks := heldNames(); locks != "" && blockingSend(pass.TypesInfo, decl, x) {
+				pass.Reportf(x.Pos(), "potentially blocking channel send while %s is held; use a buffered channel or a select with default", locks)
+			}
+		case *ast.SelectStmt:
+			if selectHasDefault(x) {
+				return false
+			}
+		case *ast.CallExpr:
+			if name, acquire, release := hotLockCall(pass.TypesInfo, hot, x); name != "" {
+				if acquire {
+					held[name]++
+				} else if release && held[name] > 0 {
+					held[name]--
+				}
+				return true
+			}
+			if locks := releasedBy(pass.TypesInfo, rel, x); len(locks) > 0 {
+				for _, l := range locks {
+					if held[l] > 0 {
+						held[l]--
+					}
+				}
+				return true
+			}
+			locks := heldNames()
+			if op, what := directOp(pass.TypesInfo, x); op != 0 {
+				if locks != "" {
+					pass.Reportf(x.Pos(), "%s while %s is held; move it outside the critical section (journal appends go through internal/journal)", what, locks)
+				}
+				return true
+			}
+			callee, ok := analysis.CalleeOf(pass.TypesInfo, x).(*types.Func)
+			if !ok {
+				return true
+			}
+			if locks != "" {
+				if bits := calleeBits(graph, cur, callee); bits != 0 {
+					pass.Reportf(x.Pos(), "call to %s performs %s while %s is held; move it outside the critical section (journal appends go through internal/journal)", callee.Name(), opNames(bits), locks)
+				}
+			}
+			for _, leaked := range leakedLocks(cur(callee)) {
+				held[leaked]++
+			}
+		}
+		return true
+	})
+}
+
+// selectHasDefault reports whether a select statement carries a
+// default case, making every send in it non-blocking.
+func selectHasDefault(sel *ast.SelectStmt) bool {
+	for _, clause := range sel.Body.List {
+		if cc, ok := clause.(*ast.CommClause); ok && cc.Comm == nil {
+			return true
+		}
+	}
+	return false
+}
+
+// hotLocks returns the //choreolint:hotlock-marked mutex fields, by
+// identity.
+func hotLocks(files []*ast.File, info *types.Info) map[*types.Var]bool {
+	out := map[*types.Var]bool{}
+	for _, file := range files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			st, ok := n.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			for _, field := range st.Fields.List {
+				if !fieldMarked(field) {
+					continue
+				}
+				for _, name := range field.Names {
+					if v, ok := info.Defs[name].(*types.Var); ok {
+						out[v] = true
+					}
+				}
+			}
+			return true
+		})
+	}
+	return out
+}
+
+func fieldMarked(field *ast.Field) bool {
+	for _, doc := range []*ast.CommentGroup{field.Doc, field.Comment} {
+		if doc == nil {
+			continue
+		}
+		for _, c := range doc.List {
+			if strings.TrimSpace(c.Text) == "//choreolint:hotlock" {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// hotLockCall classifies a call against the marked mutex fields,
+// resolving the receiver to the field's variable object so two fields
+// named mu on different structs are tracked correctly (they share a
+// report name; either being held bans the same operations).
+func hotLockCall(info *types.Info, hot map[*types.Var]bool, call *ast.CallExpr) (name string, acquire, release bool) {
+	obj := analysis.CalleeOf(info, call)
+	if obj == nil || obj.Pkg() == nil || obj.Pkg().Path() != "sync" {
+		return "", false, false
+	}
+	v := analysis.ReceiverFieldVar(info, call)
+	if v == nil || !hot[v] {
+		return "", false, false
+	}
+	switch obj.Name() {
+	case "Lock", "RLock":
+		return v.Name(), true, false
+	case "Unlock", "RUnlock":
+		return v.Name(), false, true
+	}
+	return "", false, false
+}
+
+// directOp classifies one call as a banned blocking operation.
+func directOp(info *types.Info, call *ast.CallExpr) (uint64, string) {
+	obj := analysis.CalleeOf(info, call)
+	if obj == nil || obj.Pkg() == nil {
+		return 0, ""
+	}
+	path := obj.Pkg().Path()
+	switch {
+	case path == "os":
+		fn, isFunc := obj.(*types.Func)
+		if !isFunc {
+			return 0, ""
+		}
+		if recv := fn.Type().(*types.Signature).Recv(); recv != nil {
+			// Any *os.File method is file I/O (Write, Sync, Close, ...).
+			if key, ok := namedKey(recv.Type()); ok && key == "os.File" {
+				return doesFileIO, "os.File." + obj.Name() + " (file I/O)"
+			}
+			return 0, ""
+		}
+		if osFileFuncs[obj.Name()] {
+			return doesFileIO, "os." + obj.Name() + " (file I/O)"
+		}
+	case path == "net":
+		if netIONames[obj.Name()] {
+			return doesNet, "net." + obj.Name() + " (network I/O)"
+		}
+	case path == "net/http":
+		if httpIONames[obj.Name()] {
+			return doesNet, "net/http." + obj.Name() + " (network I/O)"
+		}
+	case path == "time" && obj.Name() == "Sleep":
+		return doesSleep, "time.Sleep"
+	case path == "syscall" && (obj.Name() == "Fsync" || obj.Name() == "Fdatasync"):
+		return doesFileIO, "syscall." + obj.Name() + " (fsync)"
+	}
+	return 0, ""
+}
+
+func namedKey(t types.Type) (string, bool) {
+	for {
+		t = types.Unalias(t)
+		ptr, ok := t.(*types.Pointer)
+		if !ok {
+			break
+		}
+		t = ptr.Elem()
+	}
+	named, ok := types.Unalias(t).(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return "", false
+	}
+	return named.Obj().Pkg().Path() + "." + named.Obj().Name(), true
+}
+
+func opNames(bits uint64) string {
+	var parts []string
+	if bits&doesFileIO != 0 {
+		parts = append(parts, "file I/O")
+	}
+	if bits&doesNet != 0 {
+		parts = append(parts, "network I/O")
+	}
+	if bits&doesSleep != 0 {
+		parts = append(parts, "a sleep")
+	}
+	if bits&doesChanSend != 0 {
+		parts = append(parts, "a potentially blocking channel send")
+	}
+	return strings.Join(parts, ", ")
+}
+
+// blockingSend reports whether a send can block: true unless the
+// channel is made in this function with a constant positive capacity.
+// (Sends under a select with a default never reach here: the walk
+// prunes those selects.)
+func blockingSend(info *types.Info, decl *ast.FuncDecl, send *ast.SendStmt) bool {
+	id, ok := ast.Unparen(send.Chan).(*ast.Ident)
+	if !ok {
+		return true
+	}
+	v, ok := info.ObjectOf(id).(*types.Var)
+	if !ok {
+		return true
+	}
+	buffered := false
+	ast.Inspect(decl, func(n ast.Node) bool {
+		assign, ok := n.(*ast.AssignStmt)
+		if !ok || buffered {
+			return !buffered
+		}
+		for i, lhs := range assign.Lhs {
+			target, ok := ast.Unparen(lhs).(*ast.Ident)
+			if !ok || info.ObjectOf(target) != v || i >= len(assign.Rhs) {
+				continue
+			}
+			if bufferedMake(info, assign.Rhs[i]) {
+				buffered = true
+			}
+		}
+		return true
+	})
+	return !buffered
+}
+
+// bufferedMake reports whether e is make(chan T, n) with constant n > 0.
+func bufferedMake(info *types.Info, e ast.Expr) bool {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok || len(call.Args) != 2 {
+		return false
+	}
+	b, ok := analysis.CalleeOf(info, call).(*types.Builtin)
+	if !ok || b.Name() != "make" {
+		return false
+	}
+	tv, ok := info.Types[call.Args[1]]
+	if !ok || tv.Value == nil {
+		return false
+	}
+	n, ok := constant.Int64Val(constant.ToInt(tv.Value))
+	return ok && n > 0
+}

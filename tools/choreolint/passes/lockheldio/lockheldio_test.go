@@ -1,0 +1,17 @@
+package lockheldio_test
+
+import (
+	"testing"
+
+	"repro/tools/choreolint/checktest"
+	"repro/tools/choreolint/passes/lockheldio"
+)
+
+// TestFixture runs the analyzer over its seeded-violation fixture
+// package and requires every want comment to be reported — the proof
+// that the analyzer catches I/O, sleeps, and blocking sends under
+// //choreolint:hotlock mutexes while allowlisting the journal's own
+// append path.
+func TestFixture(t *testing.T) {
+	checktest.Fixture(t, "lockheldio", lockheldio.Analyzer)
+}

@@ -11,9 +11,11 @@
 // and treats a lock as held from its Lock/RLock call until an
 // un-deferred Unlock/RUnlock of the same name. Functions that return
 // while still holding persistMu (the persistRLock idiom, which hands
-// the caller the unlock) mark their callers as holding it too. Calls
+// the caller the unlock) mark their callers as holding it too. The
+// transitive "acquires an outer lock" bit is a summary-engine fact
+// computed to a fixed point over the package call graph; calls
 // through function values or other packages are invisible to the
-// walk; the hierarchy is a package-internal contract, so that is the
+// walk — the hierarchy is a package-internal contract, so that is the
 // right scope.
 package lockorder
 
@@ -22,6 +24,7 @@ import (
 	"go/types"
 
 	"repro/tools/choreolint/analysis"
+	"repro/tools/choreolint/analysis/summary"
 )
 
 // Analyzer reports acquisitions that invert the persistMu hierarchy.
@@ -42,31 +45,24 @@ const (
 	leaksInner                // returns with persistMu still held
 )
 
+// Collector computes each function's lock summary on the shared
+// engine: its own acquisitions plus the acquiresOuter bit of every
+// same-package callee, to a fixed point.
+var Collector = &summary.Collector{
+	Name: "lockorder",
+	Scan: func(c *summary.Context, fn *types.Func, decl *ast.FuncDecl, cur summary.Lookup) summary.Fact {
+		bits := scanLocks(c.TypesInfo, decl)
+		for _, callee := range c.Graph.Calls[fn] {
+			bits |= cur(callee).Bits & acquiresOuter
+		}
+		return summary.Fact{Bits: bits}
+	},
+}
+
 func run(pass *analysis.Pass) error {
-	graph := analysis.BuildCallGraph(pass)
-	summaries := map[*types.Func]int{}
-	var summarize func(fn *types.Func, onPath map[*types.Func]bool) int
-	summarize = func(fn *types.Func, onPath map[*types.Func]bool) int {
-		if s, ok := summaries[fn]; ok {
-			return s
-		}
-		if onPath[fn] {
-			return 0 // recursion: the cycle's effects surface via its other members
-		}
-		onPath[fn] = true
-		defer delete(onPath, fn)
-		s := scanLocks(pass, graph.Decls[fn])
-		for _, callee := range graph.Calls[fn] {
-			s |= summarize(callee, onPath) & acquiresOuter
-		}
-		summaries[fn] = s
-		return s
-	}
-	for fn := range graph.Decls {
-		summarize(fn, map[*types.Func]bool{})
-	}
+	graph := pass.Summary.Graph()
 	for fn, decl := range graph.Decls {
-		checkFunc(pass, graph, summaries, fn, decl)
+		checkFunc(pass, graph, fn, decl)
 	}
 	return nil
 }
@@ -74,12 +70,12 @@ func run(pass *analysis.Pass) error {
 // lockCall classifies one call expression against the tracked
 // mutexes, returning the mutex name and whether the call acquires
 // (Lock/RLock) or releases (Unlock/RUnlock) it.
-func lockCall(pass *analysis.Pass, call *ast.CallExpr) (mutex string, acquire, release bool) {
-	obj := analysis.CalleeOf(pass.TypesInfo, call)
+func lockCall(info *types.Info, call *ast.CallExpr) (mutex string, acquire, release bool) {
+	obj := analysis.CalleeOf(info, call)
 	if obj == nil || obj.Pkg() == nil || obj.Pkg().Path() != "sync" {
 		return "", false, false
 	}
-	name := analysis.ReceiverField(pass.TypesInfo, call)
+	name := analysis.ReceiverField(info, call)
 	if name != innerLock && !outerLocks[name] {
 		return "", false, false
 	}
@@ -93,17 +89,17 @@ func lockCall(pass *analysis.Pass, call *ast.CallExpr) (mutex string, acquire, r
 }
 
 // scanLocks computes a function's summary bits from its own body.
-func scanLocks(pass *analysis.Pass, decl *ast.FuncDecl) int {
+func scanLocks(info *types.Info, decl *ast.FuncDecl) uint64 {
 	if decl == nil || decl.Body == nil {
 		return 0
 	}
-	s := 0
+	var s uint64
 	innerHeld := false
 	ast.Inspect(decl.Body, func(n ast.Node) bool {
 		if d, ok := n.(*ast.DeferStmt); ok {
 			// A deferred release keeps the lock held for the rest of
 			// the body but not past the return.
-			if name, _, release := lockCall(pass, d.Call); release && name == innerLock {
+			if name, _, release := lockCall(info, d.Call); release && name == innerLock {
 				return false
 			}
 			return true
@@ -112,7 +108,7 @@ func scanLocks(pass *analysis.Pass, decl *ast.FuncDecl) int {
 		if !ok {
 			return true
 		}
-		switch name, acquire, release := lockCall(pass, call); {
+		switch name, acquire, release := lockCall(info, call); {
 		case acquire && outerLocks[name]:
 			s |= acquiresOuter
 		case acquire && name == innerLock:
@@ -131,14 +127,14 @@ func scanLocks(pass *analysis.Pass, decl *ast.FuncDecl) int {
 // checkFunc re-walks one function in source order, tracking whether
 // persistMu is held, and reports every outer-lock acquisition — direct
 // or via a call — inside the held region.
-func checkFunc(pass *analysis.Pass, graph *analysis.CallGraph, summaries map[*types.Func]int, fn *types.Func, decl *ast.FuncDecl) {
+func checkFunc(pass *analysis.Pass, graph *summary.Graph, fn *types.Func, decl *ast.FuncDecl) {
 	if decl == nil || decl.Body == nil {
 		return
 	}
 	held := false
 	ast.Inspect(decl.Body, func(n ast.Node) bool {
 		if d, ok := n.(*ast.DeferStmt); ok {
-			if name, _, release := lockCall(pass, d.Call); release && name == innerLock {
+			if name, _, release := lockCall(pass.TypesInfo, d.Call); release && name == innerLock {
 				return false
 			}
 			return true
@@ -147,7 +143,7 @@ func checkFunc(pass *analysis.Pass, graph *analysis.CallGraph, summaries map[*ty
 		if !ok {
 			return true
 		}
-		if name, acquire, release := lockCall(pass, call); name != "" {
+		if name, acquire, release := lockCall(pass.TypesInfo, call); name != "" {
 			switch {
 			case acquire && outerLocks[name]:
 				if held {
@@ -167,10 +163,11 @@ func checkFunc(pass *analysis.Pass, graph *analysis.CallGraph, summaries map[*ty
 		if _, declared := graph.Decls[callee]; !declared {
 			return true
 		}
-		if held && summaries[callee]&acquiresOuter != 0 {
+		bits := pass.Summary.Fact("lockorder", callee).Bits
+		if held && bits&acquiresOuter != 0 {
 			pass.Reportf(call.Pos(), "call to %s acquires commitMu/instAppendMu while %s is held (lock order: commitMu, instAppendMu before %s)", callee.Name(), innerLock, innerLock)
 		}
-		if summaries[callee]&leaksInner != 0 {
+		if bits&leaksInner != 0 {
 			held = true
 		}
 		return true

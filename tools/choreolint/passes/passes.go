@@ -5,11 +5,14 @@ package passes
 
 import (
 	"repro/tools/choreolint/analysis"
+	"repro/tools/choreolint/analysis/summary"
 	"repro/tools/choreolint/passes/ctxfirst"
 	"repro/tools/choreolint/passes/errenvelope"
 	"repro/tools/choreolint/passes/faultpoint"
+	"repro/tools/choreolint/passes/lockheldio"
 	"repro/tools/choreolint/passes/lockorder"
 	"repro/tools/choreolint/passes/replaydeterminism"
+	"repro/tools/choreolint/passes/snapshotimmut"
 	"repro/tools/choreolint/passes/walexhaustive"
 )
 
@@ -18,10 +21,24 @@ import (
 func All() []*analysis.Analyzer {
 	return []*analysis.Analyzer{
 		lockorder.Analyzer,
+		lockheldio.Analyzer,
+		snapshotimmut.Analyzer,
 		walexhaustive.Analyzer,
 		faultpoint.Analyzer,
 		replaydeterminism.Analyzer,
 		ctxfirst.Analyzer,
 		errenvelope.Analyzer,
+	}
+}
+
+// Collectors returns the summary collectors the suite's
+// interprocedural passes contribute; drivers run them through
+// summary.Compute before the analyzers and export the result over the
+// vetx protocol.
+func Collectors() []*summary.Collector {
+	return []*summary.Collector{
+		lockorder.Collector,
+		lockheldio.Collector,
+		snapshotimmut.Collector,
 	}
 }

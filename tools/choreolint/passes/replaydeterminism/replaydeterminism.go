@@ -17,6 +17,9 @@
 //     loop, unless the function visibly sorts that slice afterwards —
 //     the canonical way iteration order leaks into rebuilt state.
 //
+// Reachability is the summary engine's package call graph including
+// its approximated indirect edges, so a clock read behind a method
+// value or a same-package interface implementation is found too.
 // Cross-package callees are out of scope (the journal's replay facts
 // are decided in internal/store); crypto/rand is deliberately not
 // banned — it never makes replay decisions, and flagging it would
@@ -48,14 +51,14 @@ func run(pass *analysis.Pass) error {
 	if len(roots) == 0 {
 		return nil
 	}
-	graph := analysis.BuildCallGraph(pass)
+	graph := pass.Summary.Graph()
 	var rootFns []*types.Func
 	for _, decl := range roots {
 		if fn, ok := pass.TypesInfo.Defs[decl.Name].(*types.Func); ok {
 			rootFns = append(rootFns, fn)
 		}
 	}
-	for fn := range graph.Reachable(rootFns) {
+	for fn := range graph.Reachable(rootFns, true) {
 		checkFunc(pass, graph.Decls[fn])
 	}
 	return nil

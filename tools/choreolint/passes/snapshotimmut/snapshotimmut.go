@@ -1,0 +1,621 @@
+// Package snapshotimmut enforces the store's publish-then-freeze
+// contract: data of a type marked //choreolint:frozen (store.Snapshot,
+// afsa.Automaton, the interner's view slices) must never be written —
+// field assignment, slice/map element store, delete — once it can be
+// shared. The readers' whole lock-free story (snapshots behind an
+// atomic pointer, automata shared across goroutines, interner views
+// handed out without copying) depends on it.
+//
+// Construction still has to write, so the analyzer reasons about
+// freshness instead of banning writes outright. A write is allowed
+// when its root is provably fresh in the writing function: a local
+// built from a composite literal, new, make, or a call to a function
+// whose summary proves every return is freshly constructed (clone and
+// Derive-style constructors, discovered interprocedurally, across
+// packages via the vetx summary files). A write whose root is a
+// parameter or receiver is not reported locally; instead it becomes a
+// written-parameter-slot fact in the function's summary, and every
+// call site passing a non-fresh argument into such a slot is reported
+// — that is how a helper three calls deep that scribbles on a
+// published snapshot surfaces at the call that leaked the snapshot to
+// it. Functions marked //choreolint:builder (the commit path:
+// rebuildAll-style rebuilders, restore/replay constructors, the
+// automaton's documented mutators) are exempt and contribute no write
+// facts; the marker is the audited escape hatch.
+//
+// Limits: freshness is shallow — a fresh struct's reference fields may
+// still alias shared data, so builder-style constructors must deep-copy
+// the containers they intend to fill (clone does). Aliasing through
+// locals other than direct copies, and arguments bound into plain
+// function values, are invisible. Method values are approximated: a
+// bound receiver flowing into a receiver-writing method is checked,
+// the unbound arguments are not.
+package snapshotimmut
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"repro/tools/choreolint/analysis"
+	"repro/tools/choreolint/analysis/summary"
+)
+
+// Analyzer reports writes that can reach published frozen data.
+var Analyzer = &analysis.Analyzer{
+	Name: "snapshotimmut",
+	Doc:  "no writes reach //choreolint:frozen types outside builders or freshly constructed values",
+	Run:  run,
+}
+
+// returnsFresh marks a function whose every return statement yields
+// freshly constructed values — its results are safe write roots at
+// call sites.
+const returnsFresh = 1 << iota
+
+// Collector computes each function's snapshotimmut summary: the
+// parameter slots through which it (transitively) writes frozen data,
+// the frozen type keys it reaches, and the returnsFresh bit.
+var Collector = &summary.Collector{
+	Name: "snapshotimmut",
+	Scan: func(c *summary.Context, fn *types.Func, decl *ast.FuncDecl, cur summary.Lookup) summary.Fact {
+		a := &funcAnalysis{
+			info:    c.TypesInfo,
+			graph:   c.Graph,
+			frozen:  c.MarkedTypes("frozen"),
+			builder: c.MarkedFuncObjs("builder")[fn],
+			cur:     cur,
+			fn:      fn,
+			decl:    decl,
+		}
+		return a.analyze()
+	},
+}
+
+func run(pass *analysis.Pass) error {
+	frozen := pass.Summary.MarkedTypes("frozen")
+	if len(frozen) == 0 {
+		return nil
+	}
+	builders := pass.Summary.MarkedFuncObjs("builder")
+	graph := pass.Summary.Graph()
+	for fn, decl := range graph.Decls {
+		a := &funcAnalysis{
+			info:    pass.TypesInfo,
+			graph:   graph,
+			frozen:  frozen,
+			builder: builders[fn],
+			cur:     pass.Summary.Lookup("snapshotimmut"),
+			fn:      fn,
+			decl:    decl,
+			report:  pass.Reportf,
+		}
+		a.analyze()
+	}
+	return nil
+}
+
+// funcAnalysis is one function's freshness-and-write walk, shared by
+// the summary collector (report nil: collect facts) and the analyzer
+// run (report set: emit diagnostics).
+type funcAnalysis struct {
+	info    *types.Info
+	graph   *summary.Graph
+	frozen  map[string]bool
+	builder bool
+	cur     summary.Lookup
+	fn      *types.Func
+	decl    *ast.FuncDecl
+	report  func(pos token.Pos, format string, args ...any)
+
+	fact summary.Fact
+
+	slots     map[*types.Var]int        // fn's receiver+params → slot index
+	paramish  map[*types.Var]bool       // params/results/receivers of fn and closures
+	assigns   map[*types.Var][]ast.Expr // local var → assigned expressions (nil entry = opaque)
+	freshMemo map[*types.Var]int        // 0 unknown, 1 fresh, 2 not, 3 in progress
+}
+
+func (a *funcAnalysis) analyze() summary.Fact {
+	if a.decl == nil || a.decl.Body == nil {
+		return summary.Fact{}
+	}
+	a.collectVars()
+	a.walk()
+	a.scanReturns()
+	if a.builder {
+		// A builder's writes are sanctioned; exporting its write-set
+		// would flag its legitimate call sites. Only freshness survives.
+		return summary.Fact{Bits: a.fact.Bits & returnsFresh}
+	}
+	return a.fact
+}
+
+// collectVars indexes the function's parameter slots (receiver first),
+// marks every parameter/result of the declaration and its closures as
+// non-fresh, and gathers each local's assigned expressions.
+func (a *funcAnalysis) collectVars() {
+	a.slots = map[*types.Var]int{}
+	a.paramish = map[*types.Var]bool{}
+	a.assigns = map[*types.Var][]ast.Expr{}
+	a.freshMemo = map[*types.Var]int{}
+	sig := a.fn.Type().(*types.Signature)
+	slot := 0
+	if recv := sig.Recv(); recv != nil {
+		a.slots[recv] = slot
+		a.paramish[recv] = true
+		slot++
+	}
+	for i := 0; i < sig.Params().Len(); i++ {
+		a.slots[sig.Params().At(i)] = slot
+		a.paramish[sig.Params().At(i)] = true
+		slot++
+	}
+	for i := 0; i < sig.Results().Len(); i++ {
+		a.paramish[sig.Results().At(i)] = false // named results are locals
+	}
+	markFieldList := func(fl *ast.FieldList) {
+		if fl == nil {
+			return
+		}
+		for _, f := range fl.List {
+			for _, name := range f.Names {
+				if v, ok := a.info.Defs[name].(*types.Var); ok {
+					a.paramish[v] = true
+				}
+			}
+		}
+	}
+	record := func(name *ast.Ident, rhs ast.Expr) {
+		var v *types.Var
+		if def, ok := a.info.Defs[name].(*types.Var); ok {
+			v = def
+		} else if use, ok := a.info.Uses[name].(*types.Var); ok {
+			v = use
+		}
+		if v == nil || a.paramish[v] {
+			return
+		}
+		a.assigns[v] = append(a.assigns[v], rhs)
+	}
+	ast.Inspect(a.decl, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.FuncLit:
+			markFieldList(x.Type.Params)
+			markFieldList(x.Type.Results)
+		case *ast.AssignStmt:
+			switch {
+			case len(x.Lhs) == len(x.Rhs):
+				for i, lhs := range x.Lhs {
+					if id, ok := ast.Unparen(lhs).(*ast.Ident); ok {
+						record(id, x.Rhs[i])
+					}
+				}
+			case len(x.Rhs) == 1:
+				for _, lhs := range x.Lhs {
+					if id, ok := ast.Unparen(lhs).(*ast.Ident); ok {
+						record(id, x.Rhs[0])
+					}
+				}
+			}
+		case *ast.ValueSpec:
+			for i, name := range x.Names {
+				switch {
+				case len(x.Values) == len(x.Names):
+					record(name, x.Values[i])
+				case len(x.Values) == 1:
+					record(name, x.Values[0])
+				}
+				// var x T with no value is a fresh zero value: no
+				// assignment recorded, freshness defaults to true.
+			}
+		case *ast.RangeStmt:
+			// Range variables alias the container's elements; opaque.
+			for _, e := range []ast.Expr{x.Key, x.Value} {
+				if id, ok := e.(*ast.Ident); ok && id.Name != "_" {
+					record(id, nil)
+				}
+			}
+		}
+		return true
+	})
+}
+
+// freshVar reports whether v is provably fresh: a local whose every
+// assignment is a freshly constructed value. Parameters, receivers,
+// globals, fields, and range/alias bindings are not.
+func (a *funcAnalysis) freshVar(v *types.Var) bool {
+	if v == nil || a.paramish[v] || v.IsField() {
+		return false
+	}
+	// Locals only: the variable must be declared inside this function.
+	if v.Pos() < a.decl.Pos() || v.Pos() > a.decl.End() {
+		return false
+	}
+	switch a.freshMemo[v] {
+	case 1:
+		return true
+	case 2:
+		return false
+	case 3:
+		return true // cycle of copies among fresh candidates
+	}
+	a.freshMemo[v] = 3
+	fresh := true
+	for _, rhs := range a.assigns[v] {
+		if rhs == nil || !a.freshExpr(rhs) {
+			fresh = false
+			break
+		}
+	}
+	if fresh {
+		a.freshMemo[v] = 1
+	} else {
+		a.freshMemo[v] = 2
+	}
+	return fresh
+}
+
+// freshExpr reports whether e evaluates to freshly constructed data:
+// a composite literal (or its address), new, make, a copy of a fresh
+// local, a conversion of one, or a call to a returns-fresh function.
+func (a *funcAnalysis) freshExpr(e ast.Expr) bool {
+	switch x := ast.Unparen(e).(type) {
+	case *ast.CompositeLit:
+		return true
+	case *ast.UnaryExpr:
+		if x.Op == token.AND {
+			_, lit := ast.Unparen(x.X).(*ast.CompositeLit)
+			return lit
+		}
+	case *ast.Ident:
+		switch obj := a.info.ObjectOf(x).(type) {
+		case *types.Var:
+			return a.freshVar(obj)
+		case *types.Nil:
+			return true // nil aliases nothing
+		}
+	case *ast.CallExpr:
+		return a.callFresh(x)
+	}
+	return false
+}
+
+// callFresh reports whether a call (or conversion) yields fresh data.
+func (a *funcAnalysis) callFresh(call *ast.CallExpr) bool {
+	if tv, ok := a.info.Types[call.Fun]; ok && tv.IsType() {
+		// A conversion is the identity on the underlying data.
+		if len(call.Args) == 1 {
+			return a.freshExpr(call.Args[0])
+		}
+		return false
+	}
+	switch callee := analysis.CalleeOf(a.info, call).(type) {
+	case *types.Builtin:
+		return callee.Name() == "new" || callee.Name() == "make"
+	case *types.Func:
+		return a.cur(callee).Bits&returnsFresh != 0
+	}
+	return false
+}
+
+// scanReturns sets the returnsFresh bit when every return statement of
+// a result-bearing function yields only fresh values. Results of inert
+// type — scalars like StateID, error — cannot carry frozen data and do
+// not count against freshness, so a (value, err) constructor keeps the
+// bit through its error returns.
+func (a *funcAnalysis) scanReturns() {
+	sig := a.fn.Type().(*types.Signature)
+	if sig.Results().Len() == 0 {
+		return
+	}
+	inert := func(t types.Type) bool {
+		t = types.Unalias(t)
+		if _, ok := t.Underlying().(*types.Basic); ok {
+			return true
+		}
+		return types.Identical(t, errorType)
+	}
+	fresh := true
+	sawReturn := false
+	var visit func(n ast.Node) bool
+	visit = func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.FuncLit:
+			return false // a closure's returns are its own
+		case *ast.ReturnStmt:
+			sawReturn = true
+			if len(x.Results) == 0 {
+				for i := 0; i < sig.Results().Len(); i++ {
+					r := sig.Results().At(i)
+					if inert(r.Type()) {
+						continue
+					}
+					if !a.freshVar(r) {
+						fresh = false
+					}
+				}
+				return true
+			}
+			for i, res := range x.Results {
+				if len(x.Results) == sig.Results().Len() && inert(sig.Results().At(i).Type()) {
+					continue
+				}
+				if !a.freshExpr(res) {
+					fresh = false
+				}
+			}
+		}
+		return fresh
+	}
+	ast.Inspect(a.decl.Body, visit)
+	if fresh && sawReturn {
+		a.fact.Bits |= returnsFresh
+	}
+}
+
+var errorType = types.Universe.Lookup("error").Type()
+
+// walk visits every write and call in the body, recording facts and
+// (when report is set and the function is not a builder) emitting
+// diagnostics.
+func (a *funcAnalysis) walk() {
+	calleeIdents := map[*ast.Ident]bool{}
+	ast.Inspect(a.decl.Body, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok {
+			var id *ast.Ident
+			switch fun := ast.Unparen(call.Fun).(type) {
+			case *ast.Ident:
+				id = fun
+			case *ast.SelectorExpr:
+				id = fun.Sel
+			}
+			if id != nil {
+				calleeIdents[id] = true
+			}
+		}
+		return true
+	})
+	ast.Inspect(a.decl.Body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.AssignStmt:
+			if x.Tok == token.DEFINE {
+				return true
+			}
+			for _, lhs := range x.Lhs {
+				a.checkWrite(lhs)
+			}
+		case *ast.IncDecStmt:
+			a.checkWrite(x.X)
+		case *ast.CallExpr:
+			if b, ok := analysis.CalleeOf(a.info, x).(*types.Builtin); ok {
+				if b.Name() == "delete" && len(x.Args) > 0 {
+					a.checkWrite(&ast.IndexExpr{X: x.Args[0], Index: x.Args[0]})
+				}
+				return true
+			}
+			a.checkCall(x)
+		case *ast.SelectorExpr:
+			if !calleeIdents[x.Sel] {
+				a.checkMethodValue(x)
+			}
+		}
+		return true
+	})
+}
+
+// frozenKey returns the marked type key of t (through pointers and
+// aliases), if any.
+func (a *funcAnalysis) frozenKey(t types.Type) (string, bool) {
+	for {
+		t = types.Unalias(t)
+		ptr, ok := t.(*types.Pointer)
+		if !ok {
+			break
+		}
+		t = ptr.Elem()
+	}
+	named, ok := types.Unalias(t).(*types.Named)
+	if !ok {
+		return "", false
+	}
+	key := summary.TypeKey(named.Obj())
+	return key, a.frozen[key]
+}
+
+// frozenChain reports whether writing through lhs mutates data owned
+// by a frozen type: any link of the selector/index/deref chain whose
+// base is (a pointer to) a frozen named type.
+func (a *funcAnalysis) frozenChain(lhs ast.Expr) (string, bool) {
+	e := lhs
+	for {
+		switch x := ast.Unparen(e).(type) {
+		case *ast.SelectorExpr:
+			if sel, ok := a.info.Selections[x]; ok && sel.Kind() == types.FieldVal {
+				if key, ok := a.frozenKey(a.info.TypeOf(x.X)); ok {
+					return key, true
+				}
+			}
+			e = x.X
+		case *ast.IndexExpr:
+			if key, ok := a.frozenKey(a.info.TypeOf(x.X)); ok {
+				return key, true
+			}
+			e = x.X
+		case *ast.StarExpr:
+			if key, ok := a.frozenKey(a.info.TypeOf(x.X)); ok {
+				return key, true
+			}
+			e = x.X
+		default:
+			return "", false
+		}
+	}
+}
+
+// rootExpr walks a write's chain down to its base expression.
+func rootExpr(e ast.Expr) ast.Expr {
+	for {
+		switch x := ast.Unparen(e).(type) {
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		default:
+			return ast.Unparen(e)
+		}
+	}
+}
+
+// checkWrite classifies one write destination.
+func (a *funcAnalysis) checkWrite(lhs ast.Expr) {
+	key, ok := a.frozenChain(lhs)
+	if !ok {
+		return
+	}
+	switch root := rootExpr(lhs).(type) {
+	case *ast.Ident:
+		v, _ := a.info.ObjectOf(root).(*types.Var)
+		if v != nil {
+			if slot, isParam := a.slots[v]; isParam {
+				a.fact.AddParam(slot)
+				a.fact.AddString(key)
+				return
+			}
+			if a.freshVar(v) {
+				return
+			}
+		}
+	case *ast.CallExpr:
+		if a.callFresh(root) {
+			return
+		}
+	}
+	a.emit(lhs.Pos(), "write to %s (//choreolint:frozen) outside a //choreolint:builder function; published data is immutable", key)
+}
+
+// checkCall flags arguments that flow into a callee's written
+// parameter slots, and propagates the taint when the argument is this
+// function's own parameter.
+func (a *funcAnalysis) checkCall(call *ast.CallExpr) {
+	var callees []*types.Func
+	switch callee := analysis.CalleeOf(a.info, call).(type) {
+	case *types.Func:
+		if recv := callee.Type().(*types.Signature).Recv(); recv != nil && types.IsInterface(recv.Type()) {
+			callees = a.graph.Implementers(callee)
+		} else {
+			callees = []*types.Func{callee}
+		}
+	default:
+		return
+	}
+	for _, callee := range callees {
+		cf := a.cur(callee)
+		if len(cf.Params) == 0 {
+			continue
+		}
+		for _, slot := range cf.Params {
+			arg, ok := a.argForSlot(call, callee, slot)
+			if !ok {
+				continue
+			}
+			a.checkFlow(call.Pos(), arg, callee, cf)
+		}
+	}
+}
+
+// checkMethodValue flags a bound method value whose method writes its
+// receiver: the binding is the moment a non-fresh value escapes into
+// the writer.
+func (a *funcAnalysis) checkMethodValue(sel *ast.SelectorExpr) {
+	m, ok := a.info.Uses[sel.Sel].(*types.Func)
+	if !ok {
+		return
+	}
+	if s, ok := a.info.Selections[sel]; !ok || s.Kind() != types.MethodVal {
+		return
+	}
+	cf := a.cur(m)
+	if !cf.HasParam(0) {
+		return
+	}
+	a.checkFlow(sel.Pos(), sel.X, m, cf)
+}
+
+// checkFlow classifies one argument flowing into a written slot.
+func (a *funcAnalysis) checkFlow(pos token.Pos, arg ast.Expr, callee *types.Func, cf summary.Fact) {
+	switch root := rootExpr(arg).(type) {
+	case *ast.Ident:
+		v, _ := a.info.ObjectOf(root).(*types.Var)
+		if v != nil {
+			if slot, isParam := a.slots[v]; isParam {
+				a.fact.AddParam(slot)
+				a.fact.MergeStrings(cf)
+				return
+			}
+			if a.freshVar(v) {
+				return
+			}
+		}
+	case *ast.CallExpr:
+		if a.callFresh(root) {
+			return
+		}
+	case *ast.CompositeLit:
+		return
+	}
+	a.emit(pos, "call to %s writes %s (//choreolint:frozen) through its parameters; the argument is not freshly constructed in this non-builder function", callee.Name(), joinKeys(cf.Strings))
+}
+
+// emit reports a diagnostic unless the function is a builder or the
+// walk is the fact-collection pass.
+func (a *funcAnalysis) emit(pos token.Pos, format string, args ...any) {
+	if a.builder || a.report == nil {
+		return
+	}
+	a.report(pos, format, args...)
+}
+
+func joinKeys(keys []string) string {
+	switch len(keys) {
+	case 0:
+		return "frozen data"
+	case 1:
+		return keys[0]
+	}
+	out := keys[0]
+	for _, k := range keys[1:] {
+		out += ", " + k
+	}
+	return out
+}
+
+// argForSlot maps a written parameter slot (receiver first) to the
+// call-site expression that feeds it.
+func (a *funcAnalysis) argForSlot(call *ast.CallExpr, callee *types.Func, slot int) (ast.Expr, bool) {
+	sig := callee.Type().(*types.Signature)
+	if sig.Recv() != nil {
+		sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+		if !ok {
+			return nil, false
+		}
+		if tv, ok := a.info.Types[sel.X]; ok && tv.IsType() {
+			// Method expression T.M(recv, args...): the receiver is
+			// argument zero.
+			if slot < len(call.Args) {
+				return call.Args[slot], true
+			}
+			return nil, false
+		}
+		if slot == 0 {
+			return sel.X, true
+		}
+		slot--
+	}
+	if slot < len(call.Args) {
+		return call.Args[slot], true
+	}
+	return nil, false // variadic tail: a fresh slice at the call
+}

@@ -1,0 +1,16 @@
+package snapshotimmut_test
+
+import (
+	"testing"
+
+	"repro/tools/choreolint/checktest"
+	"repro/tools/choreolint/passes/snapshotimmut"
+)
+
+// TestFixture runs the analyzer over its seeded-violation fixture
+// package and requires every want comment to be reported — the proof
+// that the analyzer catches direct, aliased, and call-chain writes to
+// frozen data while leaving builders and fresh construction alone.
+func TestFixture(t *testing.T) {
+	checktest.Fixture(t, "snapshotimmut", snapshotimmut.Analyzer)
+}

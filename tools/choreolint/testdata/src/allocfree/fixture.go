@@ -1,0 +1,48 @@
+// Package allocfree is the allocgate fixture: marked functions that
+// allocate in the three canonical ways the gate must catch — an
+// escaping closure, slice growth, interface boxing — plus a clean
+// function proving the gate reports nothing on genuinely
+// allocation-free code. The allocgate tests pin the findings to exact
+// lines of this file; renumber them if you edit it.
+package allocfree
+
+// EscapingClosure captures x by reference in a returned closure: both
+// the variable and the closure move to the heap.
+//
+//choreolint:allocfree
+func EscapingClosure(n int) func() int {
+	x := n
+	return func() int { x++; return x }
+}
+
+// SliceGrowth returns a locally made slice: the backing array escapes,
+// and append regrows it on the heap.
+//
+//choreolint:allocfree
+func SliceGrowth(n int) []int {
+	out := make([]int, 0, 4)
+	for i := 0; i < n; i++ {
+		out = append(out, i)
+	}
+	return out
+}
+
+// InterfaceBoxing boxes an int into an interface value that escapes.
+//
+//choreolint:allocfree
+func InterfaceBoxing(v int) any {
+	var i any = v
+	return i
+}
+
+// Clean is what the marker demands: index arithmetic over the caller's
+// memory, nothing escaping.
+//
+//choreolint:allocfree
+func Clean(xs []int) int {
+	s := 0
+	for _, x := range xs {
+		s += x
+	}
+	return s
+}

@@ -40,6 +40,21 @@ func handler(w http.ResponseWriter, r *http.Request) {
 	_, _, _ = w, r, ctx
 }
 
+// suppressedWrapped keeps a legacy wire order behind a justified
+// suppression. The directive sits in the doc comment while the
+// misplaced parameter is two lines further down inside the wrapped
+// signature — the regression shape for directive widening, which must
+// cover the whole signature, not just the line below the comment.
+//
+//lint:ignore choreolint/ctxfirst legacy wire order kept for compatibility
+func (s *svc) suppressedWrapped(
+	id string,
+	ctx context.Context,
+) error {
+	_ = id
+	return ctx.Err()
+}
+
 // detachedRoot owns its own lifetime: no context in scope, Background
 // is the right call.
 func detachedRoot() context.Context {
